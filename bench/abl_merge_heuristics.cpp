@@ -1,0 +1,57 @@
+// Ablation: pair-merge scheduling policy (Section III-D3).
+//
+// The paper reports that merging "online" / via a merge tree (i.e. pairing
+// aggressively) delays the final multiway merge and degrades performance,
+// which is why the heuristic stops at floor((nb-1)/2) pairs. This harness
+// compares kNone (defer everything), the paper heuristic, and kAll (pair
+// every adjacent couple) across batch counts.
+#include <iostream>
+#include <vector>
+
+#include "bench_util.h"
+
+using namespace hs;
+
+int main() {
+  bench::banner("Ablation — pair-merge policies on PLATFORM1, PIPEMERGE",
+                "Section III-D3 heuristic vs none vs merge-everything");
+
+  const model::Platform p = model::platform1();
+  constexpr std::uint64_t kBs = 500'000'000;
+
+  Table t({"n", "nb", "none_s", "heuristic_s", "all_s", "heuristic_pairs",
+           "heuristic_ways"});
+  for (const std::uint64_t n :
+       {2'000'000'000ull, 3'000'000'000ull, 5'000'000'000ull}) {
+    double times[3] = {0, 0, 0};
+    std::uint64_t pairs = 0, ways = 0;
+    const core::PairMergePolicy policies[] = {
+        core::PairMergePolicy::kNone, core::PairMergePolicy::kPaperHeuristic,
+        core::PairMergePolicy::kAll};
+    std::uint64_t nb = 0;
+    for (int i = 0; i < 3; ++i) {
+      auto cfg = bench::approach_config(core::Approach::kPipeMerge, kBs, 1, 4);
+      cfg.pair_policy = policies[i];
+      const auto r = bench::simulate(p, cfg, n);
+      times[i] = r.end_to_end;
+      nb = r.num_batches;
+      if (policies[i] == core::PairMergePolicy::kPaperHeuristic) {
+        pairs = r.pair_merges;
+        ways = r.multiway_ways;
+      }
+    }
+    t.row()
+        .add(n)
+        .add(nb)
+        .add(times[0], 2)
+        .add(times[1], 2)
+        .add(times[2], 2)
+        .add(pairs)
+        .add(ways);
+  }
+  t.print(std::cout);
+  t.print_csv(std::cout);
+  std::cout << "paper expectation: heuristic <= none, and all-pairs risks "
+               "delaying the multiway merge at higher batch counts\n";
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Ablation: stream count ns (Section III-D2 / IV-F discussion).
+//
+// "For a fixed value of n, setting ns > 2 may allow for more overlap of data
+// transfers, but this necessitates smaller batch sizes, and thus increased
+// the amount of merging to be done on the CPU." — this harness quantifies
+// that trade-off: for each ns, the batch size is the largest that fits
+// (bs = device_mem / (2 ns * 8)) and we report the end-to-end PIPEDATA time
+// plus the resulting batch count and merge cost share.
+#include <iostream>
+#include <vector>
+
+#include "bench_util.h"
+
+using namespace hs;
+
+int main() {
+  bench::banner("Ablation — streams per GPU (ns) on PLATFORM1, PIPEDATA",
+                "Section IV-F stream-count trade-off, n = 5e9");
+
+  const model::Platform p = model::platform1();
+  constexpr std::uint64_t kN = 5'000'000'000;
+
+  Table t({"ns", "bs_elems", "nb", "end_to_end_s", "multiway_busy_s",
+           "htod_busy_s"});
+  double best = 1e18;
+  unsigned best_ns = 0;
+  for (unsigned ns = 1; ns <= 8; ++ns) {
+    core::SortConfig cfg;
+    cfg.approach = core::Approach::kPipeData;
+    cfg.streams_per_gpu = ns;
+    cfg.batch_size = 0;  // auto: largest that fits with this ns
+    const auto r = bench::simulate(p, cfg, kN);
+    if (r.end_to_end < best) {
+      best = r.end_to_end;
+      best_ns = ns;
+    }
+    t.row()
+        .add(static_cast<int>(ns))
+        .add(r.batch_size)
+        .add(r.num_batches)
+        .add(r.end_to_end, 2)
+        .add(r.busy.multiway_merge, 2)
+        .add(r.busy.htod, 2);
+  }
+  t.print(std::cout);
+  t.print_csv(std::cout);
+  std::cout << "best ns = " << best_ns
+            << " (paper uses ns = 2: enough for bidirectional overlap while "
+               "keeping batches large)\n";
+  return 0;
+}

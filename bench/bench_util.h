@@ -1,0 +1,46 @@
+// Shared helpers for the figure/table bench harnesses.
+#pragma once
+
+#include <cstdint>
+#include <iostream>
+#include <string>
+
+#include "common/table.h"
+#include "common/units.h"
+#include "core/het_sorter.h"
+#include "core/sort_config.h"
+#include "model/platforms.h"
+
+namespace hs::bench {
+
+/// Runs one timing-only simulation and returns the report. The simulator is
+/// deterministic, so the paper's 3-trial averaging collapses to one run; we
+/// still note the methodology in each harness banner.
+inline core::Report simulate(const model::Platform& platform,
+                             core::SortConfig cfg, std::uint64_t n) {
+  core::HeterogeneousSorter sorter(platform, cfg);
+  return sorter.simulate(n);
+}
+
+inline core::SortConfig approach_config(core::Approach a, std::uint64_t bs,
+                                        unsigned gpus = 1,
+                                        unsigned memcpy_threads = 1) {
+  core::SortConfig cfg;
+  cfg.approach = a;
+  cfg.batch_size = bs;
+  cfg.num_gpus = gpus;
+  cfg.memcpy_threads = memcpy_threads;
+  return cfg;
+}
+
+inline void banner(const std::string& title, const std::string& paper_ref) {
+  std::cout << "==========================================================\n"
+            << title << "\n"
+            << "reproduces: " << paper_ref << "\n"
+            << "timing source: deterministic discrete-event simulation of\n"
+            << "the platform (see DESIGN.md); paper methodology averaged 3\n"
+            << "wall-clock trials.\n"
+            << "==========================================================\n";
+}
+
+}  // namespace hs::bench

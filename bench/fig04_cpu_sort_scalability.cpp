@@ -1,0 +1,78 @@
+// Figure 4: scalability of the CPU reference implementations on PLATFORM1.
+// (a) response time vs threads for GNU parallel sort and TBB at
+//     n = 1e5..1e8, plus sequential std::sort and std::qsort;
+// (b) speedup vs threads for the GNU parallel sort.
+//
+// Times come from the calibrated CpuSortModel (the CI host has one core; see
+// DESIGN.md). The real parallel_sort implementation is exercised for
+// correctness in tests/ and measured by micro_host_algorithms.
+#include <iostream>
+#include <vector>
+
+#include "bench_util.h"
+
+using namespace hs;
+
+int main() {
+  bench::banner("Figure 4 — CPU sort scalability on PLATFORM1",
+                "Fig 4a/4b; paper: speedups 3.17x (n=1e5) to 10.12x (n=1e8) "
+                "at 16 threads; TBB slower than GNU at large n; qsort ~2x "
+                "slower than std::sort");
+
+  const model::Platform p = model::platform1();
+  const std::vector<std::uint64_t> sizes{100'000, 1'000'000, 10'000'000,
+                                         100'000'000};
+
+  print_section(std::cout, "(a) response time [s] vs threads");
+  Table a({"threads", "gnu_1e5", "gnu_1e6", "gnu_1e7", "gnu_1e8", "tbb_1e5",
+           "tbb_1e6", "tbb_1e7", "tbb_1e8", "std_sort_1e8", "std_qsort_1e8"});
+  for (unsigned threads = 1; threads <= 16; ++threads) {
+    auto& row = a.row().add(static_cast<int>(threads));
+    for (const auto n : sizes) {
+      row.add(model::reference_sort_time(p, model::CpuSortLibrary::kGnuParallel,
+                                         n, threads),
+              4);
+    }
+    for (const auto n : sizes) {
+      row.add(model::reference_sort_time(p, model::CpuSortLibrary::kTbb, n,
+                                         threads),
+              4);
+    }
+    row.add(model::reference_sort_time(p, model::CpuSortLibrary::kStdSort,
+                                       100'000'000, 1),
+            4);
+    row.add(model::reference_sort_time(p, model::CpuSortLibrary::kStdQsort,
+                                       100'000'000, 1),
+            4);
+  }
+  a.print(std::cout);
+  a.print_csv(std::cout);
+
+  print_section(std::cout, "(b) GNU parallel sort speedup vs threads");
+  Table b({"threads", "n=1e5", "n=1e6", "n=1e7", "n=1e8", "perfect"});
+  for (unsigned threads = 1; threads <= 16; ++threads) {
+    auto& row = b.row().add(static_cast<int>(threads));
+    for (const auto n : sizes) row.add(p.cpu_sort.speedup(threads, n), 2);
+    row.add(static_cast<int>(threads));
+  }
+  b.print(std::cout);
+  b.print_csv(std::cout);
+
+  print_paper_check(std::cout, "speedup @16 threads, n=1e5", 3.17,
+                    p.cpu_sort.speedup(16, 100'000));
+  print_paper_check(std::cout, "speedup @16 threads, n=1e8", 10.12,
+                    p.cpu_sort.speedup(16, 100'000'000));
+  print_paper_check(
+      std::cout, "qsort / std::sort ratio", 2.0,
+      model::reference_sort_time(p, model::CpuSortLibrary::kStdQsort,
+                                 100'000'000, 1) /
+          model::reference_sort_time(p, model::CpuSortLibrary::kStdSort,
+                                     100'000'000, 1));
+  print_paper_check(
+      std::cout, "TBB/GNU ratio at n=1e8 (>1: GNU wins)", 1.2,
+      model::reference_sort_time(p, model::CpuSortLibrary::kTbb, 100'000'000,
+                                 16) /
+          model::reference_sort_time(p, model::CpuSortLibrary::kGnuParallel,
+                                     100'000'000, 16));
+  return 0;
+}

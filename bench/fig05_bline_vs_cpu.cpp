@@ -1,0 +1,40 @@
+// Figure 5: BLINE end-to-end response time vs n (single batch, PLATFORM2),
+// against the 20-thread CPU reference, with the CPU/GPU time ratio on the
+// right axis. Paper: ratio between 1.22 and 1.32 across the shown sizes.
+#include <iostream>
+#include <vector>
+
+#include "bench_util.h"
+
+using namespace hs;
+
+int main() {
+  bench::banner("Figure 5 — BLINE vs CPU reference on PLATFORM2 (nb = 1)",
+                "Fig 5; paper: CPU/GPU response-time ratio 1.22..1.32");
+
+  const model::Platform p = model::platform2();
+  const std::vector<std::uint64_t> sizes{100'000'000, 200'000'000, 300'000'000,
+                                         400'000'000, 500'000'000, 600'000'000,
+                                         700'000'000};
+  Table t({"n", "GiB", "bline_s", "ref20_s", "ratio"});
+  double ratio_min = 1e9, ratio_max = 0;
+  for (const auto n : sizes) {
+    const auto cfg = bench::approach_config(core::Approach::kBLine, n);
+    const auto r = bench::simulate(p, cfg, n);
+    const double ratio = r.reference_cpu_time / r.end_to_end;
+    ratio_min = std::min(ratio_min, ratio);
+    ratio_max = std::max(ratio_max, ratio);
+    t.row()
+        .add(n)
+        .add(to_gib(bytes_of_elems(n)), 3)
+        .add(r.end_to_end, 3)
+        .add(r.reference_cpu_time, 3)
+        .add(ratio, 3);
+  }
+  t.print(std::cout);
+  t.print_csv(std::cout);
+
+  print_paper_check(std::cout, "min CPU/GPU ratio", 1.22, ratio_min);
+  print_paper_check(std::cout, "max CPU/GPU ratio", 1.32, ratio_max);
+  return 0;
+}

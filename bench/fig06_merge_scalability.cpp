@@ -1,0 +1,32 @@
+// Figure 6: pair-wise merge scalability on PLATFORM1 — (a) response time and
+// (b) speedup for merging two sorted runs of 5e8 elements each (n = 1e9)
+// with 1..16 threads. Paper: 8.14x speedup on 16 cores; a moderate speedup
+// is expected since merging is O(n) and memory-bound.
+#include <iostream>
+
+#include "bench_util.h"
+
+using namespace hs;
+
+int main() {
+  bench::banner("Figure 6 — pairwise merge scalability on PLATFORM1",
+                "Fig 6a/6b; paper: 8.14x speedup at 16 threads, n = 1e9");
+
+  const model::Platform p = model::platform1();
+  constexpr std::uint64_t kN = 1'000'000'000;  // two runs of n/2
+
+  Table t({"threads", "time_s", "speedup", "perfect"});
+  for (unsigned threads = 1; threads <= 16; ++threads) {
+    t.row()
+        .add(static_cast<int>(threads))
+        .add(p.cpu_merge.time(kN, 2, threads), 4)
+        .add(p.cpu_merge.speedup(threads), 2)
+        .add(static_cast<int>(threads));
+  }
+  t.print(std::cout);
+  t.print_csv(std::cout);
+
+  print_paper_check(std::cout, "merge speedup @16 threads", 8.14,
+                    p.cpu_merge.speedup(16));
+  return 0;
+}

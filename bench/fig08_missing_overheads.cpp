@@ -1,0 +1,60 @@
+// Figure 8: the missing-overhead problem. Average response time vs n for the
+// BLINE components on PLATFORM1 (nb = 1): the related-work accounting
+// (HtoD + DtoH + GPUSort) against the full BLINE end-to-end time including
+// pinned allocation, staging copies and per-chunk synchronisation. The gap
+// between the two curves is the overhead omitted in [5].
+#include <iostream>
+#include <vector>
+
+#include "bench_util.h"
+
+using namespace hs;
+
+int main() {
+  bench::banner("Figure 8 — missing overheads vs n on PLATFORM1 (BLINE)",
+                "Fig 8; purple/yellow markers of the paper: related-work "
+                "HtoD 0.542 s and DtoH 0.477 s at n = 8e8");
+
+  const model::Platform p = model::platform1();
+  const std::vector<std::uint64_t> sizes{200'000'000, 400'000'000,
+                                         600'000'000, 800'000'000,
+                                         1'000'000'000};
+  Table t({"n", "GiB", "htod_s", "dtoh_s", "sort_s", "related_total_s",
+           "full_bline_s", "missing_overhead_s"});
+  double missing_at_8e8 = 0, full_at_8e8 = 0, related_at_8e8 = 0;
+  for (const auto n : sizes) {
+    const auto cfg = bench::approach_config(core::Approach::kBLine, n);
+    const auto r = bench::simulate(p, cfg, n);
+    if (n == 800'000'000) {
+      missing_at_8e8 = r.missing_overhead();
+      full_at_8e8 = r.end_to_end;
+      related_at_8e8 = r.related_work_total;
+    }
+    t.row()
+        .add(n)
+        .add(to_gib(bytes_of_elems(n)), 2)
+        .add(r.related_htod, 3)
+        .add(r.related_dtoh, 3)
+        .add(r.related_sort, 3)
+        .add(r.related_work_total, 3)
+        .add(r.end_to_end, 3)
+        .add(r.missing_overhead(), 3);
+  }
+  t.print(std::cout);
+  t.print_csv(std::cout);
+
+  std::cout << "\nat n = 8e8: full BLINE " << format_seconds(full_at_8e8)
+            << " vs related-work " << format_seconds(related_at_8e8)
+            << " -> missing overhead " << format_seconds(missing_at_8e8)
+            << " (" << static_cast<int>(100.0 * missing_at_8e8 / full_at_8e8)
+            << "% of the true end-to-end time)\n";
+
+  // The paper's Figure 8 markers at n = 8e8.
+  const auto cfg = bench::approach_config(core::Approach::kBLine, 800'000'000);
+  const auto r = bench::simulate(p, cfg, 800'000'000);
+  print_paper_check(std::cout, "related-work HtoD at n=8e8 (s)", 0.542,
+                    r.related_htod);
+  print_paper_check(std::cout, "related-work DtoH at n=8e8 (s)", 0.477,
+                    r.related_dtoh);
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Figure 9 (Experiment 1): response time vs n on PLATFORM1 for every
+// approach, bs = 5e8, ns = 2. Paper landmarks:
+//   * every approach beats the 16-thread CPU reference;
+//   * fastest approach (PIPEMERGE + PARMEMCPY) speedups: 3.47x at n = 1e9,
+//     3.21x at n = 5e9;
+//   * BLINEMULTI 31.2 s vs PIPEDATA 25.55 s at n = 5e9 (22% faster);
+//   * PARMEMCPY reduces PIPEDATA end-to-end by ~13%;
+//   * PIPEMERGE only marginally improves on PIPEDATA at these batch counts.
+#include <iostream>
+#include <map>
+#include <vector>
+
+#include "bench_util.h"
+
+using namespace hs;
+
+int main() {
+  bench::banner("Figure 9 — all approaches vs n on PLATFORM1 (bs = 5e8)",
+                "Fig 9 / Experiment 1");
+
+  const model::Platform p = model::platform1();
+  constexpr std::uint64_t kBs = 500'000'000;
+  const std::vector<std::uint64_t> sizes{1'000'000'000, 2'000'000'000,
+                                         3'000'000'000, 4'000'000'000,
+                                         5'000'000'000};
+
+  struct Series {
+    const char* name;
+    core::Approach approach;
+    unsigned memcpy_threads;
+  };
+  const std::vector<Series> series{
+      {"BLineMulti", core::Approach::kBLineMulti, 1},
+      {"PipeData", core::Approach::kPipeData, 1},
+      {"PipeMerge", core::Approach::kPipeMerge, 1},
+      {"PipeMerge+ParMemCpy", core::Approach::kPipeMerge, 4},
+  };
+
+  Table t({"n", "GiB", "BLineMulti", "PipeData", "PipeMerge",
+           "PipeMerge+ParMemCpy", "RefImpl16T", "best_speedup"});
+  std::map<std::pair<std::string, std::uint64_t>, double> results;
+  for (const auto n : sizes) {
+    auto& row = t.row().add(n).add(to_gib(bytes_of_elems(n)), 2);
+    double ref = 0, best = 1e18;
+    for (const auto& s : series) {
+      const auto cfg =
+          bench::approach_config(s.approach, kBs, 1, s.memcpy_threads);
+      const auto r = bench::simulate(p, cfg, n);
+      results[{s.name, n}] = r.end_to_end;
+      ref = r.reference_cpu_time;
+      best = std::min(best, r.end_to_end);
+      row.add(r.end_to_end, 2);
+    }
+    row.add(ref, 2).add(ref / best, 2);
+  }
+  t.print(std::cout);
+  t.print_csv(std::cout);
+
+  const double ref1 = p.cpu_sort.time(1'000'000'000, 16);
+  const double ref5 = p.cpu_sort.time(5'000'000'000, 16);
+  print_paper_check(std::cout, "fastest speedup at n=1e9", 3.47,
+                    ref1 / results[{"PipeMerge+ParMemCpy", 1'000'000'000}]);
+  print_paper_check(std::cout, "fastest speedup at n=5e9", 3.21,
+                    ref5 / results[{"PipeMerge+ParMemCpy", 5'000'000'000}]);
+  print_paper_check(std::cout, "BLineMulti at n=5e9 (s)", 31.2,
+                    results[{"BLineMulti", 5'000'000'000}]);
+  print_paper_check(std::cout, "PipeData at n=5e9 (s)", 25.55,
+                    results[{"PipeData", 5'000'000'000}]);
+  print_paper_check(std::cout, "BLineMulti->PipeData improvement (%)", 22.0,
+                    100.0 * (1.0 - results[{"PipeData", 5'000'000'000}] /
+                                       results[{"BLineMulti", 5'000'000'000}]));
+
+  // PARMEMCPY applied to PIPEDATA (the paper's 13% claim).
+  const auto pd_par = bench::simulate(
+      p, bench::approach_config(core::Approach::kPipeData, kBs, 1, 4),
+      5'000'000'000);
+  print_paper_check(std::cout, "ParMemCpy reduction on PipeData at 5e9 (%)",
+                    13.0,
+                    100.0 * (1.0 - pd_par.end_to_end /
+                                       results[{"PipeData", 5'000'000'000}]));
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Figure 10 (Experiment 2): response time vs n on PLATFORM2 with 1 vs 2
+// GPUs, bs = 3.5e8. Paper landmarks:
+//   * two GPUs beat every single-GPU configuration;
+//   * fastest approach speedups vs the 20-thread reference: 1.89x at
+//     n = 1.4e9 and 2.02x at n = 4.9e9;
+//   * the spread between approaches shrinks with 2 GPUs because the shared
+//     PCIe bus is already well utilised by BLINEMULTI.
+#include <iostream>
+#include <map>
+#include <vector>
+
+#include "bench_util.h"
+
+using namespace hs;
+
+int main() {
+  bench::banner("Figure 10 — 1 vs 2 GPUs on PLATFORM2 (bs = 3.5e8)",
+                "Fig 10 / Experiment 2");
+
+  const model::Platform p = model::platform2();
+  constexpr std::uint64_t kBs = 350'000'000;
+  const std::vector<std::uint64_t> sizes{1'400'000'000, 2'100'000'000,
+                                         2'800'000'000, 3'500'000'000,
+                                         4'200'000'000, 4'900'000'000};
+
+  struct Series {
+    const char* name;
+    core::Approach approach;
+    unsigned memcpy_threads;
+  };
+  const std::vector<Series> series{
+      {"BLineMulti", core::Approach::kBLineMulti, 1},
+      {"PipeData", core::Approach::kPipeData, 1},
+      {"PipeMerge", core::Approach::kPipeMerge, 1},
+      {"PipeMerge+ParMemCpy", core::Approach::kPipeMerge, 4},
+  };
+
+  Table t({"n", "GiB", "BLineMulti_1g", "PipeData_1g", "PipeMerge_1g",
+           "PM+PMC_1g", "BLineMulti_2g", "PipeData_2g", "PipeMerge_2g",
+           "PM+PMC_2g", "Ref20T"});
+  std::map<std::pair<std::string, std::uint64_t>, double> res;
+  for (const auto n : sizes) {
+    auto& row = t.row().add(n).add(to_gib(bytes_of_elems(n)), 2);
+    double ref = 0;
+    for (unsigned gpus = 1; gpus <= 2; ++gpus) {
+      for (const auto& s : series) {
+        const auto cfg =
+            bench::approach_config(s.approach, kBs, gpus, s.memcpy_threads);
+        const auto r = bench::simulate(p, cfg, n);
+        res[{std::string(s.name) + "_" + std::to_string(gpus), n}] =
+            r.end_to_end;
+        ref = r.reference_cpu_time;
+        row.add(r.end_to_end, 2);
+      }
+    }
+    row.add(ref, 2);
+  }
+  t.print(std::cout);
+  t.print_csv(std::cout);
+
+  const double ref_small = p.cpu_sort.time(1'400'000'000, 20);
+  const double ref_large = p.cpu_sort.time(4'900'000'000, 20);
+  print_paper_check(std::cout, "fastest 2-GPU speedup at n=1.4e9", 1.89,
+                    ref_small / res[{"PipeMerge+ParMemCpy_2", 1'400'000'000}]);
+  print_paper_check(std::cout, "fastest 2-GPU speedup at n=4.9e9", 2.02,
+                    ref_large / res[{"PipeMerge+ParMemCpy_2", 4'900'000'000}]);
+
+  // Approach spread (slowest/fastest) must shrink with the second GPU.
+  auto spread = [&](unsigned gpus) {
+    const std::string suffix = "_" + std::to_string(gpus);
+    const double worst = res[{"BLineMulti" + suffix, 4'900'000'000}];
+    const double bst = res[{"PipeMerge+ParMemCpy" + suffix, 4'900'000'000}];
+    return worst / bst;
+  };
+  std::cout << "approach spread at n=4.9e9: 1 GPU " << spread(1) << "x, 2 GPU "
+            << spread(2) << "x (paper: spread shrinks with 2 GPUs)\n";
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Figure 11 (Section IV-G): lower-bound baseline models vs PIPEDATA on
+// PLATFORM2 with 1 and 2 GPUs. Paper landmarks:
+//   * model slopes y = 6.278e-9 n (1 GPU) and y = 3.706e-9 n (2 GPUs);
+//   * at n = 1.4e9 PIPEDATA beats the model (overlap pays for the merge);
+//   * from n >= 2.1e9 the merge cost pulls PIPEDATA below the model;
+//   * at n = 4.9e9 the slowdown is 0.93x (1 GPU) and 0.88x (2 GPUs) — worse
+//     for 2 GPUs because the shared PCIe bus saturates.
+#include <iostream>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/lower_bound.h"
+
+using namespace hs;
+
+int main() {
+  bench::banner("Figure 11 — lower-bound models vs PIPEDATA on PLATFORM2",
+                "Fig 11 / Section IV-G");
+
+  const model::Platform p = model::platform2();
+  constexpr std::uint64_t kBs = 350'000'000;
+  // Calibration sizes mirror the paper: n = 7e8 fits one K40 with its sort
+  // temporary; the 2-GPU run sorts 1.4e9 split across both devices.
+  const auto lb = core::LowerBoundModel::derive(p, 700'000'000, 2);
+
+  std::cout << "derived model slopes: 1 GPU " << lb.per_elem_1gpu
+            << " s/elem, 2 GPU " << lb.per_elem_multi << " s/elem\n";
+  print_paper_check(std::cout, "1-GPU model slope", 6.278e-9,
+                    lb.per_elem_1gpu);
+  print_paper_check(std::cout, "2-GPU model slope", 3.706e-9,
+                    lb.per_elem_multi);
+
+  const std::vector<std::uint64_t> sizes{1'400'000'000, 2'100'000'000,
+                                         2'800'000'000, 3'500'000'000,
+                                         4'200'000'000, 4'900'000'000};
+  Table t({"n", "GiB", "pipedata_1g", "model_1g", "ratio_1g", "pipedata_2g",
+           "model_2g", "ratio_2g"});
+  double slow1 = 0, slow2 = 0, first_ratio1 = 0;
+  for (const auto n : sizes) {
+    const auto r1 = bench::simulate(
+        p, bench::approach_config(core::Approach::kPipeData, kBs, 1), n);
+    const auto r2 = bench::simulate(
+        p, bench::approach_config(core::Approach::kPipeData, kBs, 2), n);
+    const double m1 = lb.time(n, 1);
+    const double m2 = lb.time(n, 2);
+    if (n == sizes.front()) first_ratio1 = m1 / r1.end_to_end;
+    if (n == sizes.back()) {
+      slow1 = m1 / r1.end_to_end;
+      slow2 = m2 / r2.end_to_end;
+    }
+    t.row()
+        .add(n)
+        .add(to_gib(bytes_of_elems(n)), 2)
+        .add(r1.end_to_end, 2)
+        .add(m1, 2)
+        .add(m1 / r1.end_to_end, 3)
+        .add(r2.end_to_end, 2)
+        .add(m2, 2)
+        .add(m2 / r2.end_to_end, 3);
+  }
+  t.print(std::cout);
+  t.print_csv(std::cout);
+
+  print_paper_check(std::cout, "1-GPU slowdown at n=4.9e9", 0.93, slow1);
+  print_paper_check(std::cout, "2-GPU slowdown at n=4.9e9", 0.88, slow2);
+  std::cout << "PIPEDATA beats the model at the smallest n (ratio > 1): "
+            << (first_ratio1 > 1.0 ? "yes" : "no") << " (ratio "
+            << first_ratio1 << ", paper: yes at n = 1.4e9)\n";
+  return 0;
+}

@@ -1,0 +1,216 @@
+// Google-benchmark microbenchmarks of the *real* host algorithms (wall-clock
+// on the build machine, unlike the figure harnesses which use the calibrated
+// virtual platform). Covers the primitives the pipeline executes in
+// Execution::kReal: radix sort, parallel comparison sort, merge path,
+// multiway merge, and parallel memcpy, across input distributions.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/key_value.h"
+#include "cpu/inplace_merge.h"
+#include "cpu/merge_path.h"
+#include "cpu/multiway_merge.h"
+#include "cpu/parallel_memcpy.h"
+#include "cpu/parallel_quicksort.h"
+#include "cpu/parallel_sort.h"
+#include "cpu/sample_sort.h"
+#include "cpu/radix_sort.h"
+#include "data/generators.h"
+
+namespace {
+
+using hs::data::Distribution;
+
+hs::cpu::ThreadPool& pool() {
+  static hs::cpu::ThreadPool p;
+  return p;
+}
+
+void BM_StdSort(benchmark::State& state) {
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  const auto input = hs::data::generate(Distribution::kUniform, n, 7);
+  for (auto _ : state) {
+    auto v = input;
+    std::sort(v.begin(), v.end());
+    benchmark::DoNotOptimize(v.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(n) * state.iterations());
+}
+BENCHMARK(BM_StdSort)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_RadixSortDoubles(benchmark::State& state) {
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  const auto input = hs::data::generate(Distribution::kUniform, n, 7);
+  for (auto _ : state) {
+    auto v = input;
+    hs::cpu::radix_sort(std::span<double>(v));
+    benchmark::DoNotOptimize(v.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(n) * state.iterations());
+}
+BENCHMARK(BM_RadixSortDoubles)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_RadixSortParallel(benchmark::State& state) {
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  const auto input = hs::data::generate(Distribution::kUniform, n, 7);
+  for (auto _ : state) {
+    auto v = input;
+    hs::cpu::radix_sort_parallel(pool(), std::span<double>(v));
+    benchmark::DoNotOptimize(v.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(n) * state.iterations());
+}
+BENCHMARK(BM_RadixSortParallel)->Arg(1 << 20);
+
+void BM_ParallelSort(benchmark::State& state) {
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  const auto input = hs::data::generate(Distribution::kUniform, n, 7);
+  for (auto _ : state) {
+    auto v = input;
+    hs::cpu::parallel_sort<double>(pool(), v);
+    benchmark::DoNotOptimize(v.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(n) * state.iterations());
+}
+BENCHMARK(BM_ParallelSort)->Arg(1 << 20);
+
+void BM_MergeParallel(benchmark::State& state) {
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  auto a = hs::data::generate(Distribution::kUniform, n / 2, 1);
+  auto b = hs::data::generate(Distribution::kUniform, n / 2, 2);
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  std::vector<double> out(n);
+  for (auto _ : state) {
+    hs::cpu::merge_parallel<double>(pool(), a, b, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(n) * state.iterations());
+}
+BENCHMARK(BM_MergeParallel)->Arg(1 << 20);
+
+void BM_MultiwayMerge(benchmark::State& state) {
+  const auto ways = static_cast<std::size_t>(state.range(0));
+  constexpr std::uint64_t kPerRun = 1 << 16;
+  std::vector<std::vector<double>> runs(ways);
+  for (std::size_t r = 0; r < ways; ++r) {
+    runs[r] = hs::data::generate(Distribution::kUniform, kPerRun, r + 1);
+    std::sort(runs[r].begin(), runs[r].end());
+  }
+  std::vector<std::span<const double>> spans(runs.begin(), runs.end());
+  std::vector<double> out(ways * kPerRun);
+  for (auto _ : state) {
+    hs::cpu::multiway_merge_parallel(pool(), spans, std::span<double>(out));
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(out.size()) *
+                          state.iterations());
+}
+BENCHMARK(BM_MultiwayMerge)->Arg(2)->Arg(8)->Arg(20);
+
+void BM_ParallelMemcpy(benchmark::State& state) {
+  const auto bytes = static_cast<std::size_t>(state.range(0));
+  const std::vector<std::uint8_t> src(bytes, 0x5A);
+  std::vector<std::uint8_t> dst(bytes);
+  for (auto _ : state) {
+    hs::cpu::parallel_memcpy(pool(), dst.data(), src.data(), bytes);
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(bytes) *
+                          state.iterations());
+}
+BENCHMARK(BM_ParallelMemcpy)->Arg(1 << 20)->Arg(1 << 24);
+
+void BM_SampleSort(benchmark::State& state) {
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  const auto input = hs::data::generate(Distribution::kUniform, n, 7);
+  for (auto _ : state) {
+    auto v = input;
+    hs::cpu::sample_sort<double>(pool(), v);
+    benchmark::DoNotOptimize(v.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(n) * state.iterations());
+}
+BENCHMARK(BM_SampleSort)->Arg(1 << 20);
+
+void BM_ParallelQuicksort(benchmark::State& state) {
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  const auto input = hs::data::generate(Distribution::kUniform, n, 7);
+  for (auto _ : state) {
+    auto v = input;
+    hs::cpu::parallel_quicksort<double>(pool(), v);
+    benchmark::DoNotOptimize(v.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(n) * state.iterations());
+}
+BENCHMARK(BM_ParallelQuicksort)->Arg(1 << 20);
+
+// The Section III-C trade-off: buffered merge is O(n) moves, the in-place
+// rotation merge is O(n log n) moves — this pair quantifies the paper's
+// "in-place merging leads to a decrease in performance".
+void BM_BufferedMerge(benchmark::State& state) {
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  auto v = hs::data::generate(Distribution::kUniform, n, 3);
+  std::sort(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(n / 2));
+  std::sort(v.begin() + static_cast<std::ptrdiff_t>(n / 2), v.end());
+  std::vector<double> out(n);
+  for (auto _ : state) {
+    std::merge(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(n / 2),
+               v.begin() + static_cast<std::ptrdiff_t>(n / 2), v.end(),
+               out.begin());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(n) * state.iterations());
+}
+BENCHMARK(BM_BufferedMerge)->Arg(1 << 20);
+
+void BM_InplaceMergeRotation(benchmark::State& state) {
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  auto base = hs::data::generate(Distribution::kUniform, n, 3);
+  std::sort(base.begin(), base.begin() + static_cast<std::ptrdiff_t>(n / 2));
+  std::sort(base.begin() + static_cast<std::ptrdiff_t>(n / 2), base.end());
+  for (auto _ : state) {
+    auto v = base;
+    hs::cpu::inplace_merge_rotation<double>(v, n / 2);
+    benchmark::DoNotOptimize(v.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(n) * state.iterations());
+}
+BENCHMARK(BM_InplaceMergeRotation)->Arg(1 << 20);
+
+void BM_RadixSortKeyValue(benchmark::State& state) {
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  const auto keys = hs::data::generate_keys(Distribution::kUniform, n, 7);
+  std::vector<hs::KeyValue64> input(n);
+  for (std::uint64_t i = 0; i < n; ++i) input[i] = {keys[i], i};
+  for (auto _ : state) {
+    auto v = input;
+    hs::cpu::radix_sort(std::span<hs::KeyValue64>(v));
+    benchmark::DoNotOptimize(v.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(n) * state.iterations());
+}
+BENCHMARK(BM_RadixSortKeyValue)->Arg(1 << 20);
+
+void BM_SortByDistribution(benchmark::State& state) {
+  const auto dist = static_cast<Distribution>(state.range(0));
+  constexpr std::uint64_t kN = 1 << 18;
+  const auto input = hs::data::generate(dist, kN, 7);
+  for (auto _ : state) {
+    auto v = input;
+    hs::cpu::radix_sort(std::span<double>(v));
+    benchmark::DoNotOptimize(v.data());
+  }
+  state.SetLabel(std::string(hs::data::distribution_name(dist)));
+  state.SetItemsProcessed(static_cast<std::int64_t>(kN) * state.iterations());
+}
+BENCHMARK(BM_SortByDistribution)
+    ->Arg(static_cast<int>(Distribution::kUniform))
+    ->Arg(static_cast<int>(Distribution::kSorted))
+    ->Arg(static_cast<int>(Distribution::kReverseSorted))
+    ->Arg(static_cast<int>(Distribution::kDuplicateHeavy))
+    ->Arg(static_cast<int>(Distribution::kZipf));
+
+}  // namespace

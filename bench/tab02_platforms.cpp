@@ -1,0 +1,67 @@
+// Table II: hardware platforms, plus the calibration constants behind the
+// simulated interconnect and the Section V bandwidth claims.
+#include <iostream>
+
+#include "bench_util.h"
+
+using namespace hs;
+
+int main() {
+  bench::banner("Table II — hardware platforms (simulated)",
+                "Gowanlock & Karsin 2018, Table II + Section V rates");
+
+  Table t({"platform", "cpu", "cores", "clock", "host-mem", "gpu", "gpu-cores",
+           "gpu-mem", "software"});
+  for (const auto& p : {model::platform1(), model::platform2()}) {
+    for (const auto& g : p.gpus) {
+      t.row()
+          .add(p.name)
+          .add(p.cpu.model)
+          .add(std::to_string(p.cpu.sockets) + "x" +
+               std::to_string(p.cpu.cores_per_socket))
+          .add([&] {
+            char buf[16];
+            std::snprintf(buf, sizeof buf, "%.1f GHz", p.cpu.clock_ghz);
+            return std::string(buf);
+          }())
+          .add(format_bytes(p.cpu.memory_bytes))
+          .add(g.model)
+          .add(std::uint64_t{g.cuda_cores})
+          .add(format_bytes(g.memory_bytes))
+          .add(p.software);
+    }
+  }
+  t.print(std::cout);
+  t.print_csv(std::cout);
+
+  print_section(std::cout, "calibration constants");
+  Table c({"platform", "pinned GB/s", "pageable GB/s", "gpu sort Melem/s",
+           "cpu seq sort ns/elem/log2n", "merge ns/elem/level",
+           "memcpy 1T GB/s"});
+  for (const auto& p : {model::platform1(), model::platform2()}) {
+    c.row()
+        .add(p.name)
+        .add(p.pcie.pinned_bps / 1e9, 2)
+        .add(p.pcie.pageable_bps / 1e9, 2)
+        .add(p.gpus[0].sort.throughput() / 1e6, 1)
+        .add(p.cpu_sort.seq_coeff * 1e9, 2)
+        .add(p.cpu_merge.per_elem_seq * 1e9, 2)
+        .add(p.host_memcpy.per_thread_bps / 1e9, 2);
+  }
+  c.print(std::cout);
+  c.print_csv(std::cout);
+
+  print_section(std::cout, "Section V bandwidth claims");
+  const auto p1 = model::platform1();
+  // "Our pinned memory data transfers occur at ~12 GB/s, which is 75% of the
+  // peak PCIe v.3 bandwidth of 16 GB/s."
+  print_paper_check(std::cout, "pinned transfer rate (GB/s)", 12.0,
+                    p1.pcie.pinned_bps / 1e9);
+  print_paper_check(std::cout, "pinned fraction of 16 GB/s peak", 0.75,
+                    p1.pcie.pinned_bps / 16.0e9);
+  // "throughput improvements of up to a factor ~2x over copies without
+  // pinned memory".
+  print_paper_check(std::cout, "pinned/pageable throughput ratio", 2.0,
+                    p1.pcie.pinned_bps / p1.pcie.pageable_bps);
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Pinned-buffer sizing trade-off (Section IV-E.1 text): allocating ps = 1e6
+// elements costs 0.01 s while pinning the whole 8e8-element input costs
+// 2.2 s — more than the sum of the Fig 7 components — so a small reusable
+// staging buffer wins. This harness sweeps ps and reports both the
+// allocation cost and the resulting BLINE end-to-end time at n = 8e8,
+// exposing the U-shaped trade-off (sync-dominated at tiny ps, allocation-
+// dominated at huge ps).
+#include <iostream>
+#include <vector>
+
+#include "bench_util.h"
+
+using namespace hs;
+
+int main() {
+  bench::banner("Pinned staging buffer sweep on PLATFORM1 (BLINE, n = 8e8)",
+                "Section IV-E.1: alloc(1e6 elems) = 0.01 s, "
+                "alloc(8e8 elems) = 2.2 s");
+
+  const model::Platform p = model::platform1();
+  constexpr std::uint64_t kN = 800'000'000;
+  const std::vector<std::uint64_t> ps_values{
+      10'000,     50'000,      100'000,     500'000,    1'000'000,
+      5'000'000,  25'000'000,  100'000'000, 400'000'000, 800'000'000};
+
+  Table t({"ps_elems", "ps_bytes", "alloc_s", "chunks", "bline_total_s"});
+  for (const auto ps : ps_values) {
+    auto cfg = bench::approach_config(core::Approach::kBLine, kN);
+    cfg.staging_elems = ps;
+    const auto r = bench::simulate(p, cfg, kN);
+    t.row()
+        .add(ps)
+        .add(format_bytes(bytes_of_elems(ps)))
+        .add(p.pinned_alloc.time(bytes_of_elems(ps)), 4)
+        .add((kN + ps - 1) / ps)
+        .add(r.end_to_end, 3);
+  }
+  t.print(std::cout);
+  t.print_csv(std::cout);
+
+  print_paper_check(std::cout, "alloc time at ps=1e6 (s)", 0.01,
+                    p.pinned_alloc.time(bytes_of_elems(1'000'000)));
+  print_paper_check(std::cout, "alloc time at ps=8e8 (s)", 2.2,
+                    p.pinned_alloc.time(bytes_of_elems(800'000'000)));
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Multi-GPU pipeline (the paper's Experiment 2 scenario): sort on PLATFORM2
+// with 1 vs 2 K40m GPUs sharing one PCIe bus, and inspect where the time
+// goes. Demonstrates the paper's observation that a second GPU helps less
+// than 2x because both devices compete for PCIe bandwidth and the CPU merge
+// does not shrink.
+//
+//   $ ./examples/multi_gpu_pipeline [n]        (default n = 4.9e9)
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+#include "common/table.h"
+#include "common/units.h"
+#include "core/het_sorter.h"
+#include "model/platforms.h"
+
+int main(int argc, char** argv) {
+  using namespace hs;
+  const std::uint64_t n =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 4'900'000'000ull;
+
+  const model::Platform platform = model::platform2();
+  std::printf("sorting n = %llu (%s) on %s with 1 vs 2 GPUs\n\n",
+              static_cast<unsigned long long>(n),
+              format_bytes(bytes_of_elems(n)).c_str(), platform.name.c_str());
+
+  Table t({"gpus", "end_to_end_s", "speedup_vs_cpu", "scaling_vs_1gpu",
+           "htod_busy_s", "gpu_sort_busy_s", "multiway_busy_s"});
+  double t1 = 0;
+  for (unsigned gpus = 1; gpus <= 2; ++gpus) {
+    core::SortConfig cfg;
+    cfg.approach = core::Approach::kPipeMerge;
+    cfg.batch_size = 350'000'000;
+    cfg.num_gpus = gpus;
+    cfg.memcpy_threads = 4;
+    core::HeterogeneousSorter sorter(platform, cfg);
+    const core::Report r = sorter.simulate(n);
+    if (gpus == 1) t1 = r.end_to_end;
+    t.row()
+        .add(static_cast<int>(gpus))
+        .add(r.end_to_end, 2)
+        .add(r.speedup_vs_reference(), 2)
+        .add(t1 / r.end_to_end, 2)
+        .add(r.busy.htod, 2)
+        .add(r.busy.gpu_sort, 2)
+        .add(r.busy.multiway_merge, 2);
+  }
+  t.print(std::cout);
+
+  std::printf(
+      "\nnote: scaling_vs_1gpu << 2.0 — the GPUs share one PCIe bus and the\n"
+      "final multiway merge stays on the CPU (the paper's Section V point:\n"
+      "multi-GPU sorting needs GPU-side merging to scale further).\n");
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Out-of-core survey: compare every approach on a dataset far larger than
+// GPU memory (the paper's Experiment 1 scenario) and print a decision table.
+//
+//   $ ./examples/out_of_core_survey [n]        (default n = 5e9, 37 GiB)
+//
+// Runs in timing-only mode: no payload memory is allocated, so paper-scale
+// inputs work on any machine.
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+#include "common/table.h"
+#include "common/units.h"
+#include "core/het_sorter.h"
+#include "model/platforms.h"
+
+int main(int argc, char** argv) {
+  using namespace hs;
+  const std::uint64_t n =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 5'000'000'000ull;
+
+  const model::Platform platform = model::platform1();
+  std::printf("surveying approaches for n = %llu (%s) on %s\n\n",
+              static_cast<unsigned long long>(n),
+              format_bytes(bytes_of_elems(n)).c_str(), platform.name.c_str());
+
+  struct Row {
+    const char* name;
+    core::Approach approach;
+    unsigned memcpy_threads;
+  };
+  const Row rows[] = {
+      {"BLineMulti", core::Approach::kBLineMulti, 1},
+      {"PipeData", core::Approach::kPipeData, 1},
+      {"PipeData+ParMemCpy", core::Approach::kPipeData, 4},
+      {"PipeMerge", core::Approach::kPipeMerge, 1},
+      {"PipeMerge+ParMemCpy", core::Approach::kPipeMerge, 4},
+  };
+
+  Table t({"approach", "end_to_end_s", "speedup_vs_cpu", "batches",
+           "pair_merges", "multiway_ways", "staging_busy_s",
+           "multiway_busy_s"});
+  double best = 1e18;
+  const char* best_name = "";
+  for (const Row& row : rows) {
+    core::SortConfig cfg;
+    cfg.approach = row.approach;
+    cfg.batch_size = 500'000'000;  // the paper's bs on PLATFORM1
+    cfg.memcpy_threads = row.memcpy_threads;
+    core::HeterogeneousSorter sorter(platform, cfg);
+    const core::Report r = sorter.simulate(n);
+    if (r.end_to_end < best) {
+      best = r.end_to_end;
+      best_name = row.name;
+    }
+    t.row()
+        .add(row.name)
+        .add(r.end_to_end, 2)
+        .add(r.speedup_vs_reference(), 2)
+        .add(r.num_batches)
+        .add(r.pair_merges)
+        .add(r.multiway_ways)
+        .add(r.busy.staging_total(), 2)
+        .add(r.busy.multiway_merge, 2);
+  }
+  t.print(std::cout);
+  std::printf("\nrecommended approach: %s (%.2f s)\n", best_name, best);
+  return 0;
+}

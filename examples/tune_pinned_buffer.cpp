@@ -1,0 +1,54 @@
+// Staging-buffer tuner: sweeps the pinned buffer size ps for a given input
+// size and reports the end-to-end impact, exposing the trade-off of Section
+// IV-E.1 — tiny buffers drown in per-chunk synchronisation, huge buffers pay
+// seconds of allocation (pinning 6.4 GB costs ~2.2 s), and a few MB is the
+// sweet spot the paper (and CUDA drivers) settle on.
+//
+//   $ ./examples/tune_pinned_buffer [n]        (default n = 1e9)
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+#include "common/table.h"
+#include "common/units.h"
+#include "core/het_sorter.h"
+#include "model/platforms.h"
+
+int main(int argc, char** argv) {
+  using namespace hs;
+  const std::uint64_t n =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 1'000'000'000ull;
+
+  const model::Platform platform = model::platform1();
+  std::printf("tuning ps for n = %llu (%s), PIPEDATA on %s\n\n",
+              static_cast<unsigned long long>(n),
+              format_bytes(bytes_of_elems(n)).c_str(), platform.name.c_str());
+
+  Table t({"ps_elems", "ps_size", "alloc_s", "sync_chunks", "end_to_end_s"});
+  std::uint64_t best_ps = 0;
+  double best_time = 1e18;
+  for (const std::uint64_t ps :
+       {10'000ull, 100'000ull, 1'000'000ull, 10'000'000ull, 100'000'000ull}) {
+    core::SortConfig cfg;
+    cfg.approach = core::Approach::kPipeData;
+    cfg.batch_size = 500'000'000;
+    cfg.staging_elems = ps;
+    core::HeterogeneousSorter sorter(platform, cfg);
+    const core::Report r = sorter.simulate(n);
+    if (r.end_to_end < best_time) {
+      best_time = r.end_to_end;
+      best_ps = ps;
+    }
+    t.row()
+        .add(ps)
+        .add(format_bytes(bytes_of_elems(ps)))
+        .add(platform.pinned_alloc.time(bytes_of_elems(ps)), 4)
+        .add((n + ps - 1) / ps * 2)  // HtoD + DtoH chunks
+        .add(r.end_to_end, 3);
+  }
+  t.print(std::cout);
+  std::printf("\nbest ps = %llu elements (%s): %.3f s\n",
+              static_cast<unsigned long long>(best_ps),
+              format_bytes(bytes_of_elems(best_ps)).c_str(), best_time);
+  return 0;
+}

@@ -1,0 +1,19 @@
+#include "common/assert.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace hs {
+
+void contract_violation(std::string_view kind, std::string_view expr,
+                        std::string_view file, int line, std::string_view msg) {
+  std::fprintf(stderr, "hetsort: %.*s failed: %.*s at %.*s:%d%s%.*s\n",
+               static_cast<int>(kind.size()), kind.data(),
+               static_cast<int>(expr.size()), expr.data(),
+               static_cast<int>(file.size()), file.data(), line,
+               msg.empty() ? "" : " — ",
+               static_cast<int>(msg.size()), msg.data());
+  std::abort();
+}
+
+}  // namespace hs

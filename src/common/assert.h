@@ -1,0 +1,30 @@
+// Contract checking in the spirit of the C++ Core Guidelines (I.6/I.8):
+// preconditions via HS_EXPECTS, postconditions via HS_ENSURES, internal
+// invariants via HS_ASSERT. Violations abort with a diagnostic; they indicate
+// programmer error, not runtime conditions, and are therefore never mapped to
+// exceptions or error codes.
+#pragma once
+
+#include <string_view>
+
+namespace hs {
+
+// Prints "<kind> failed: <expr> at <file>:<line> (<msg>)" to stderr and aborts.
+[[noreturn]] void contract_violation(std::string_view kind, std::string_view expr,
+                                     std::string_view file, int line,
+                                     std::string_view msg);
+
+}  // namespace hs
+
+#define HS_CONTRACT_CHECK(kind, expr, msg)                                \
+  do {                                                                    \
+    if (!(expr)) [[unlikely]] {                                           \
+      ::hs::contract_violation(kind, #expr, __FILE__, __LINE__, msg);     \
+    }                                                                     \
+  } while (false)
+
+#define HS_EXPECTS(expr) HS_CONTRACT_CHECK("precondition", expr, "")
+#define HS_EXPECTS_MSG(expr, msg) HS_CONTRACT_CHECK("precondition", expr, msg)
+#define HS_ENSURES(expr) HS_CONTRACT_CHECK("postcondition", expr, "")
+#define HS_ASSERT(expr) HS_CONTRACT_CHECK("assertion", expr, "")
+#define HS_ASSERT_MSG(expr, msg) HS_CONTRACT_CHECK("assertion", expr, msg)

@@ -1,0 +1,25 @@
+// 16-byte key/value record — the element type of the related work's
+// heterogeneous sort (Stehle & Jacobsen sort 6 GB of 64-bit key / 64-bit
+// value pairs; the paper's Fig 7 compares against that workload).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+
+namespace hs {
+
+struct KeyValue64 {
+  std::uint64_t key = 0;
+  std::uint64_t value = 0;
+
+  friend bool operator==(const KeyValue64&, const KeyValue64&) = default;
+  /// Ordering is by key only; the value is an opaque payload. Ties are
+  /// resolved by stable algorithms, not by comparing values.
+  friend bool operator<(const KeyValue64& a, const KeyValue64& b) {
+    return a.key < b.key;
+  }
+};
+
+static_assert(sizeof(KeyValue64) == 16);
+
+}  // namespace hs

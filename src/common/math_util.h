@@ -1,0 +1,42 @@
+// Small integer/float helpers shared across subsystems.
+#pragma once
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdint>
+
+namespace hs {
+
+/// ceil(a / b) for positive integers.
+constexpr std::uint64_t div_ceil(std::uint64_t a, std::uint64_t b) {
+  return (a + b - 1) / b;
+}
+
+/// floor(log2(x)) for x >= 1.
+constexpr std::uint32_t log2_floor(std::uint64_t x) {
+  return 63u - static_cast<std::uint32_t>(std::countl_zero(x | 1ull));
+}
+
+/// ceil(log2(x)) for x >= 1; log2_ceil(1) == 0.
+constexpr std::uint32_t log2_ceil(std::uint64_t x) {
+  const std::uint32_t f = log2_floor(x);
+  return (x == (1ull << f)) ? f : f + 1;
+}
+
+/// Natural-feeling log2 over the reals for cost models; log2d(1) == 0, and the
+/// input is clamped at >= 1 so models never return negative work.
+inline double log2d(double x) {
+  return x <= 1.0 ? 0.0 : std::log2(x);
+}
+
+/// Linear interpolation.
+constexpr double lerp(double a, double b, double t) { return a + (b - a) * t; }
+
+/// Approximate relative equality used by model tests.
+inline bool approx_rel(double a, double b, double rel_tol) {
+  const double scale = std::max({std::abs(a), std::abs(b), 1e-30});
+  return std::abs(a - b) <= rel_tol * scale;
+}
+
+}  // namespace hs

@@ -1,0 +1,52 @@
+// Deterministic random number generation for workload synthesis.
+//
+// We deliberately avoid std::mt19937 + std::uniform_real_distribution in the
+// library proper: their output is implementation-defined across standard
+// libraries, and reproducibility of generated workloads is part of this
+// project's contract. xoshiro256** (Blackman & Vigna) seeded via splitmix64 is
+// small, fast, and bit-exact everywhere.
+#pragma once
+
+#include <cstdint>
+
+namespace hs {
+
+/// splitmix64 step; used for seeding and as a cheap stateless hash.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// xoshiro256** generator. Satisfies std::uniform_random_bit_generator, so it
+/// can also drive standard algorithms such as std::shuffle.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256(std::uint64_t seed);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ull; }
+
+  result_type operator()();
+
+  /// Uniform double in [0, 1) with 53 bits of randomness.
+  double uniform01();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [0, bound) without modulo bias (Lemire's method).
+  std::uint64_t bounded(std::uint64_t bound);
+
+  /// Standard normal via Box-Muller (deterministic pairing).
+  double normal();
+
+  /// Long-jump: advances the state by 2^192 steps, giving independent
+  /// non-overlapping subsequences for parallel generation.
+  void long_jump();
+
+ private:
+  std::uint64_t s_[4];
+  bool has_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace hs

@@ -1,0 +1,94 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/assert.h"
+
+namespace hs {
+
+Table::Table(std::vector<std::string> columns) : columns_(std::move(columns)) {
+  HS_EXPECTS(!columns_.empty());
+}
+
+Table& Table::row() {
+  HS_EXPECTS_MSG(rows_.empty() || rows_.back().size() == columns_.size(),
+                 "previous row not fully populated");
+  rows_.emplace_back();
+  rows_.back().reserve(columns_.size());
+  return *this;
+}
+
+Table& Table::add(std::string value) {
+  HS_EXPECTS_MSG(!rows_.empty() && rows_.back().size() < columns_.size(),
+                 "add() without row() or row overfull");
+  rows_.back().push_back(std::move(value));
+  return *this;
+}
+
+Table& Table::add(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, value);
+  return add(std::string(buf));
+}
+
+Table& Table::add(std::uint64_t value) {
+  return add(std::to_string(value));
+}
+
+Table& Table::add(int value) { return add(std::to_string(value)); }
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(columns_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c) widths[c] = columns_[c].size();
+  for (const auto& r : rows_) {
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      widths[c] = std::max(widths[c], r[c].size());
+    }
+  }
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << cells[c];
+      if (c + 1 < cells.size()) {
+        os << std::string(widths[c] - cells[c].size() + 2, ' ');
+      }
+    }
+    os << '\n';
+  };
+  emit(columns_);
+  std::size_t total = 0;
+  for (const auto w : widths) total += w + 2;
+  os << std::string(total > 2 ? total - 2 : total, '-') << '\n';
+  for (const auto& r : rows_) emit(r);
+}
+
+void Table::print_csv(std::ostream& os) const {
+  os << "--- csv ---\n";
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    os << columns_[c] << (c + 1 < columns_.size() ? "," : "\n");
+  }
+  for (const auto& r : rows_) {
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      os << r[c] << (c + 1 < r.size() ? "," : "\n");
+    }
+  }
+  os << "--- end csv ---\n";
+}
+
+void print_section(std::ostream& os, const std::string& title) {
+  os << "\n== " << title << " ==\n";
+}
+
+void print_paper_check(std::ostream& os, const std::string& what,
+                       double paper_value, double measured_value) {
+  char buf[256];
+  const double rel = paper_value != 0.0
+                         ? measured_value / paper_value
+                         : 0.0;
+  std::snprintf(buf, sizeof buf,
+                "[paper-check] %s: paper=%.4g measured=%.4g (ratio %.2f)",
+                what.c_str(), paper_value, measured_value, rel);
+  os << buf << '\n';
+}
+
+}  // namespace hs

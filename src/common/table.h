@@ -1,0 +1,47 @@
+// Aligned-table / CSV emitter used by every bench harness. Each figure bench
+// prints (a) a human-readable aligned table mirroring the paper's plot series
+// and (b) a machine-readable CSV block delimited by "--- csv ---" markers, so
+// downstream plotting scripts can regenerate the figures.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace hs {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> columns);
+
+  /// Starts a new row; subsequent add() calls fill it left to right.
+  Table& row();
+
+  Table& add(std::string value);
+  Table& add(double value, int precision = 4);
+  Table& add(std::uint64_t value);
+  Table& add(int value);
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+  /// Writes the aligned human-readable form.
+  void print(std::ostream& os) const;
+
+  /// Writes the CSV form (header + rows) between "--- csv ---" fences.
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Prints a bench section header ("== Figure 9: ... ==") uniformly.
+void print_section(std::ostream& os, const std::string& title);
+
+/// Prints a "paper reports X, we measured Y" comparison line used by the
+/// EXPERIMENTS.md extraction script and by eyeball checks.
+void print_paper_check(std::ostream& os, const std::string& what,
+                       double paper_value, double measured_value);
+
+}  // namespace hs

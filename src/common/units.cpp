@@ -1,0 +1,34 @@
+#include "common/units.h"
+
+#include <cstdio>
+
+namespace hs {
+
+std::string format_bytes(std::uint64_t bytes) {
+  char buf[64];
+  const double b = static_cast<double>(bytes);
+  if (bytes >= kGiB) {
+    std::snprintf(buf, sizeof buf, "%.2f GiB", b / static_cast<double>(kGiB));
+  } else if (bytes >= kMiB) {
+    std::snprintf(buf, sizeof buf, "%.2f MiB", b / static_cast<double>(kMiB));
+  } else if (bytes >= kKiB) {
+    std::snprintf(buf, sizeof buf, "%.2f KiB", b / static_cast<double>(kKiB));
+  } else {
+    std::snprintf(buf, sizeof buf, "%llu B", static_cast<unsigned long long>(bytes));
+  }
+  return buf;
+}
+
+std::string format_count(std::uint64_t n) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.1e", static_cast<double>(n));
+  return buf;
+}
+
+std::string format_seconds(double s) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.3f s", s);
+  return buf;
+}
+
+}  // namespace hs

@@ -1,0 +1,41 @@
+// Byte-quantity helpers. The paper mixes GB (decimal, as in "6 GB of key/value
+// pairs") and GiB (binary, as in "5.96 GiB"); we keep both spellings explicit
+// so calibration constants are unambiguous.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace hs {
+
+inline constexpr std::uint64_t kKiB = 1024ull;
+inline constexpr std::uint64_t kMiB = 1024ull * kKiB;
+inline constexpr std::uint64_t kGiB = 1024ull * kMiB;
+
+inline constexpr std::uint64_t kKB = 1000ull;
+inline constexpr std::uint64_t kMB = 1000ull * kKB;
+inline constexpr std::uint64_t kGB = 1000ull * kMB;
+
+/// Bytes occupied by `n` 64-bit elements (the paper's element type throughout).
+constexpr std::uint64_t bytes_of_elems(std::uint64_t n) { return n * 8ull; }
+
+/// Converts bytes to (fractional) GiB, e.g. for axis labels matching Figs 5-11.
+constexpr double to_gib(std::uint64_t bytes) {
+  return static_cast<double>(bytes) / static_cast<double>(kGiB);
+}
+
+/// Converts bytes to decimal GB (Stehle & Jacobsen's unit).
+constexpr double to_gb(std::uint64_t bytes) {
+  return static_cast<double>(bytes) / static_cast<double>(kGB);
+}
+
+/// Human-readable byte count, e.g. "5.96 GiB", "8.00 MiB", "123 B".
+std::string format_bytes(std::uint64_t bytes);
+
+/// Engineering-notation count, e.g. 5e9 -> "5.0e+09".
+std::string format_count(std::uint64_t n);
+
+/// Seconds with millisecond resolution, e.g. "31.200 s".
+std::string format_seconds(double s);
+
+}  // namespace hs

@@ -1,0 +1,45 @@
+#include "core/batch_plan.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+
+namespace hs::core {
+
+BatchPlan BatchPlan::create(const ResolvedConfig& rc) {
+  BatchPlan plan;
+  plan.batches_.reserve(rc.num_batches);
+  std::uint64_t offset = 0;
+  for (std::uint64_t i = 0; i < rc.num_batches; ++i) {
+    Batch b;
+    b.index = i;
+    b.offset = offset;
+    b.size = std::min(rc.batch_size, rc.n - offset);
+    if (rc.device_pair_merge) {
+      // Pairs (2k, 2k+1) must land on one (GPU, stream) slot: the stream
+      // owns both device input buffers and merges them in place on that GPU.
+      const std::uint64_t group = i / 2;
+      const std::uint64_t slot = group % rc.total_streams();
+      b.gpu = static_cast<unsigned>(slot / rc.streams_per_gpu);
+      b.stream = static_cast<unsigned>(slot % rc.streams_per_gpu);
+    } else {
+      b.gpu = static_cast<unsigned>(i % rc.num_gpus);
+      b.stream = static_cast<unsigned>((i / rc.num_gpus) % rc.streams_per_gpu);
+    }
+    offset += b.size;
+    plan.batches_.push_back(b);
+  }
+  HS_ENSURES(offset == rc.n);
+  return plan;
+}
+
+std::vector<std::uint64_t> BatchPlan::batches_for(unsigned gpu,
+                                                  unsigned stream) const {
+  std::vector<std::uint64_t> out;
+  for (const Batch& b : batches_) {
+    if (b.gpu == gpu && b.stream == stream) out.push_back(b.index);
+  }
+  return out;
+}
+
+}  // namespace hs::core

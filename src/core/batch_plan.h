@@ -1,0 +1,39 @@
+// Batch decomposition and placement.
+//
+// Splits the n-element input into nb batches of bs elements (the last batch
+// may be ragged — a generalisation over the paper, which assumes bs | n) and
+// assigns each batch round-robin to a (GPU, stream) slot, realising the
+// paper's "each stream is assigned nb/(ns*nGPU) batches" rule.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/sort_config.h"
+
+namespace hs::core {
+
+struct Batch {
+  std::uint64_t index = 0;   // position in A (and in the merge order)
+  std::uint64_t offset = 0;  // element offset into A
+  std::uint64_t size = 0;    // elements; == bs except possibly the last
+  unsigned gpu = 0;
+  unsigned stream = 0;       // stream index local to the GPU
+};
+
+class BatchPlan {
+ public:
+  static BatchPlan create(const ResolvedConfig& rc);
+
+  const std::vector<Batch>& batches() const { return batches_; }
+  const Batch& batch(std::uint64_t i) const { return batches_[i]; }
+  std::uint64_t num_batches() const { return batches_.size(); }
+
+  /// Batch indices served by (gpu, stream), in processing order.
+  std::vector<std::uint64_t> batches_for(unsigned gpu, unsigned stream) const;
+
+ private:
+  std::vector<Batch> batches_;
+};
+
+}  // namespace hs::core

@@ -1,0 +1,93 @@
+#include "core/het_sorter.h"
+
+#include <cstring>
+#include <utility>
+
+#include "common/assert.h"
+#include "core/batch_plan.h"
+#include "core/merge_schedule.h"
+#include "core/pipeline_builder.h"
+#include "vgpu/runtime.h"
+
+namespace hs::core {
+
+HeterogeneousSorter::HeterogeneousSorter(model::Platform platform,
+                                         SortConfig config)
+    : platform_(std::move(platform)), config_(config) {}
+
+Report HeterogeneousSorter::sort_bytes(std::span<std::byte> data,
+                                       std::uint64_t n,
+                                       const cpu::ElementOps& ops) {
+  HS_EXPECTS_MSG(data.size() == n * ops.elem_size,
+                 "byte buffer does not match n * elem_size");
+  return run(data, n, ops, /*is_real=*/true);
+}
+
+Report HeterogeneousSorter::simulate(std::uint64_t n) {
+  return simulate(n, cpu::element_ops<double>());
+}
+
+Report HeterogeneousSorter::simulate(std::uint64_t n,
+                                     const cpu::ElementOps& ops) {
+  return run({}, n, ops, /*is_real=*/false);
+}
+
+Report HeterogeneousSorter::run(std::span<std::byte> data, std::uint64_t n,
+                                const cpu::ElementOps& ops, bool is_real) {
+  const auto mode =
+      is_real ? vgpu::Execution::kReal : vgpu::Execution::kTimingOnly;
+  const ResolvedConfig rc = resolve(config_, platform_, n, ops.elem_size);
+  const BatchPlan plan = BatchPlan::create(rc);
+  const MergeSchedule sched = MergeSchedule::plan(rc);
+
+  vgpu::Runtime rt(platform_, mode);
+  PipelineBuffers bufs;
+  bufs.input = data;
+  PipelineBuilder builder(rt, rc, plan, sched, ops);
+  sim::TaskGraph graph = builder.build(bufs);
+  sim::Trace trace = rt.engine().run(std::move(graph));
+
+  Report r;
+  r.n = n;
+  r.num_batches = rc.num_batches;
+  r.batch_size = rc.batch_size;
+  r.pair_merges = sched.pairs().size();
+  r.multiway_ways =
+      rc.num_batches > 1 ? sched.multiway_ways(rc.num_batches) : 0;
+  r.label = config_.label();
+  r.element_type = ops.type_name;
+  r.end_to_end = trace.makespan();
+  r.busy = phase_times(trace);
+
+  // Related-work accounting (Section IV-E): pure-rate transfers + on-GPU sort
+  // + the single multiway merge of all nb batches, nothing else.
+  const double bytes = static_cast<double>(n) * static_cast<double>(ops.elem_size);
+  r.related_htod = bytes / platform_.pcie.pinned_bps;
+  r.related_dtoh = bytes / platform_.pcie.pinned_dtoh_bps;
+  double sort_total = 0;
+  for (const Batch& b : plan.batches()) {
+    sort_total +=
+        platform_.gpus[b.gpu].sort.time(b.size) * ops.gpu_sort_cost_factor;
+  }
+  r.related_sort = sort_total / rc.num_gpus;  // GPUs sort concurrently
+  r.related_merge =
+      rc.num_batches > 1
+          ? platform_.cpu_merge.time(n, static_cast<double>(rc.num_batches),
+                                     rc.multiway_threads)
+          : 0.0;
+  r.related_work_total =
+      r.related_htod + r.related_dtoh + r.related_sort + r.related_merge;
+
+  r.reference_cpu_time =
+      platform_.cpu_sort.time(n, platform_.reference_threads());
+
+  r.trace = std::move(trace);
+
+  if (is_real) {
+    HS_ASSERT(bufs.output.size() == data.size());
+    std::memcpy(data.data(), bufs.output.data(), data.size());
+  }
+  return r;
+}
+
+}  // namespace hs::core

@@ -1,0 +1,71 @@
+// Public entry point of the hetsort library.
+//
+// Sorts inputs larger than GPU global memory on a heterogeneous CPU/GPU
+// platform: batches are sorted on the (virtual) GPU(s) and merged on the CPU,
+// with the paper's pipelining optimisations selected by SortConfig.
+//
+//   hs::model::Platform plat = hs::model::platform1();
+//   hs::core::SortConfig cfg;                    // PIPEMERGE defaults
+//   hs::core::HeterogeneousSorter sorter(plat, cfg);
+//   std::vector<double> data = ...;
+//   hs::core::Report r = sorter.sort(data);      // data is now sorted
+//   r.print(std::cout);
+//
+// sort() executes every data movement and sort for real (verifiable output)
+// while a discrete-event simulation of the platform produces the virtual
+// end-to-end time; simulate() runs the identical pipeline without payloads
+// for paper-scale n. Element types: double (the paper's workload), uint64_t
+// keys, KeyValue64 records (the related work's workload), or any trivially
+// copyable type with a cpu::ElementOps.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+#include "common/assert.h"
+#include "core/report.h"
+#include "core/sort_config.h"
+#include "cpu/element_ops.h"
+#include "model/platforms.h"
+
+namespace hs::core {
+
+class HeterogeneousSorter {
+ public:
+  HeterogeneousSorter(model::Platform platform, SortConfig config);
+
+  const model::Platform& platform() const { return platform_; }
+  const SortConfig& config() const { return config_; }
+
+  /// Sorts `data` in place through the heterogeneous pipeline (real
+  /// execution). Throws vgpu::DeviceOutOfMemory if the resolved batch
+  /// geometry cannot fit the device. Requires ~2n additional host memory
+  /// (working + output buffers), the paper's ~3n total budget.
+  template <typename T>
+  Report sort(std::vector<T>& data) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    HS_EXPECTS_MSG(!data.empty(), "cannot sort an empty input");
+    return sort_bytes(std::as_writable_bytes(std::span(data)), data.size(),
+                      cpu::element_ops<T>());
+  }
+
+  /// Type-erased variant for custom element types.
+  Report sort_bytes(std::span<std::byte> data, std::uint64_t n,
+                    const cpu::ElementOps& ops);
+
+  /// Runs the identical pipeline for `n` elements without payload memory and
+  /// returns the timing report. Use for paper-scale inputs (n up to 5e9).
+  Report simulate(std::uint64_t n);
+  Report simulate(std::uint64_t n, const cpu::ElementOps& ops);
+
+ private:
+  Report run(std::span<std::byte> data, std::uint64_t n,
+             const cpu::ElementOps& ops, bool is_real);
+
+  model::Platform platform_;
+  SortConfig config_;
+};
+
+}  // namespace hs::core

@@ -1,0 +1,52 @@
+#include "core/lower_bound.h"
+
+#include "common/assert.h"
+#include "core/het_sorter.h"
+#include "core/sort_config.h"
+
+namespace hs::core {
+
+double LowerBoundModel::time(std::uint64_t n, unsigned gpus) const {
+  HS_EXPECTS(gpus == 1 || gpus == num_gpus);
+  const double slope = gpus == 1 ? per_elem_1gpu : per_elem_multi;
+  return slope * static_cast<double>(n);
+}
+
+LowerBoundModel LowerBoundModel::derive(const model::Platform& platform,
+                                        std::uint64_t calib_n_1gpu,
+                                        unsigned gpus) {
+  HS_EXPECTS(gpus >= 1 && gpus <= platform.gpus.size());
+  LowerBoundModel m;
+  m.num_gpus = gpus;
+
+  // 1 GPU: plain BLINE, one batch, no merging — peak pipeline throughput.
+  {
+    SortConfig cfg;
+    cfg.approach = Approach::kBLine;
+    cfg.batch_size = calib_n_1gpu;
+    cfg.num_gpus = 1;
+    HeterogeneousSorter sorter(platform, cfg);
+    const Report r = sorter.simulate(calib_n_1gpu);
+    m.per_elem_1gpu = r.end_to_end / static_cast<double>(calib_n_1gpu);
+  }
+
+  // Multi GPU: each device sorts one full batch (ns = 1) and the host merges
+  // the resulting `gpus` runs once — the unavoidable merge of Section IV-G.
+  if (gpus >= 2) {
+    const std::uint64_t n = calib_n_1gpu * gpus;
+    SortConfig cfg;
+    cfg.approach = Approach::kBLineMulti;
+    cfg.batch_size = calib_n_1gpu;
+    cfg.num_gpus = gpus;
+    cfg.streams_per_gpu = 1;
+    HeterogeneousSorter sorter(platform, cfg);
+    const Report r = sorter.simulate(n);
+    HS_ASSERT(r.num_batches == gpus);
+    m.per_elem_multi = r.end_to_end / static_cast<double>(n);
+  } else {
+    m.per_elem_multi = m.per_elem_1gpu;
+  }
+  return m;
+}
+
+}  // namespace hs::core

@@ -1,0 +1,37 @@
+// Lower-bound baseline models (Section IV-G).
+//
+// The paper models peak heterogeneous sorting throughput as linear in n,
+// derived from BLINE runs where no (1 GPU) or minimal (2 GPUs, one pair
+// merge) host merging occurs:
+//   1 GPU :  measure BLINE at the largest n fitting global memory; the
+//            per-element time t/n is the slope (paper: 6.278e-9 s on
+//            PLATFORM2).
+//   2 GPUs:  run BLINE-style sorting of n/2 per GPU with ns = 1 plus the one
+//            unavoidable pairwise merge (paper: 3.706e-9 s).
+// We reproduce the methodology, not the constants: derive() actually executes
+// the calibration runs through the simulator.
+#pragma once
+
+#include <cstdint>
+
+#include "model/platforms.h"
+
+namespace hs::core {
+
+struct LowerBoundModel {
+  double per_elem_1gpu = 0;   // seconds per element, single GPU
+  double per_elem_multi = 0;  // seconds per element, num_gpus GPUs
+  unsigned num_gpus = 1;
+
+  double time(std::uint64_t n, unsigned gpus) const;
+
+  /// Derives both slopes on `platform` by running the calibration BLINE
+  /// pipelines in timing-only mode. `calib_n_1gpu` is the single-GPU
+  /// calibration size (must fit one device's memory with its sort temporary,
+  /// i.e. 2 * n * 8 bytes <= device memory); the multi-GPU run uses
+  /// gpus * calib_n_1gpu elements split evenly.
+  static LowerBoundModel derive(const model::Platform& platform,
+                                std::uint64_t calib_n_1gpu, unsigned gpus);
+};
+
+}  // namespace hs::core

@@ -1,0 +1,54 @@
+#include "core/merge_schedule.h"
+
+#include "common/assert.h"
+
+namespace hs::core {
+
+std::uint64_t MergeSchedule::heuristic_pair_count(std::uint64_t nb,
+                                                  unsigned ngpu) {
+  if (nb < 2) return 0;
+  if (ngpu <= 1) return (nb - 1) / 2;
+  return (nb - 1) / (2ull * ngpu);
+}
+
+MergeSchedule MergeSchedule::plan(const ResolvedConfig& rc) {
+  MergeSchedule s;
+  if (rc.cfg.approach != Approach::kPipeMerge || rc.num_batches < 2) {
+    return s;
+  }
+  std::uint64_t count = 0;
+  switch (rc.cfg.pair_policy) {
+    case PairMergePolicy::kNone:
+      count = 0;
+      break;
+    case PairMergePolicy::kPaperHeuristic:
+      count = heuristic_pair_count(rc.num_batches, rc.num_gpus);
+      break;
+    case PairMergePolicy::kAll:
+      count = rc.num_batches / 2;
+      break;
+  }
+  // Never pair the (possibly ragged) final batch: the paper only pair-merges
+  // sublists of exactly bs elements. count <= (nb-1)/2 already guarantees
+  // this for the heuristic; enforce it for kAll with a ragged tail too.
+  if (count > 0 && rc.n % rc.batch_size != 0 &&
+      2 * count >= rc.num_batches) {
+    --count;
+  }
+  s.pairs_.reserve(count);
+  for (std::uint64_t k = 0; k < count; ++k) {
+    s.pairs_.push_back(PairMerge{2 * k, 2 * k + 1});
+  }
+  return s;
+}
+
+bool MergeSchedule::is_paired(std::uint64_t batch) const {
+  return batch < 2 * pairs_.size();
+}
+
+std::uint64_t MergeSchedule::multiway_ways(std::uint64_t nb) const {
+  HS_EXPECTS(2 * pairs_.size() <= nb);
+  return pairs_.size() + (nb - 2 * pairs_.size());
+}
+
+}  // namespace hs::core

@@ -1,0 +1,47 @@
+// Pipelined pair-merge scheduling (Section III-D3).
+//
+// While the GPU is still sorting, PIPEMERGE merges pairs of already-returned
+// sorted batches on the CPU so the final multiway merge sees fewer runs. The
+// paper's heuristic bounds the number of pair merges so they never delay the
+// final multiway merge:
+//   1 GPU :  floor((nb - 1) / 2)
+//   >=2 GPUs: floor((nb - 1) / (2 * nGPU))   (batches finish faster, less
+//                                             host time is available)
+// Only original, full-size batches are paired (never merge products), and
+// pairs are adjacent (b_{2k}, b_{2k+1}) so merged output is contiguous in A's
+// recycled storage.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/batch_plan.h"
+#include "core/sort_config.h"
+
+namespace hs::core {
+
+struct PairMerge {
+  std::uint64_t left = 0;   // batch index
+  std::uint64_t right = 0;  // batch index (== left + 1)
+};
+
+class MergeSchedule {
+ public:
+  static MergeSchedule plan(const ResolvedConfig& rc);
+
+  /// Paper heuristic in isolation (unit-testable).
+  static std::uint64_t heuristic_pair_count(std::uint64_t nb, unsigned ngpu);
+
+  const std::vector<PairMerge>& pairs() const { return pairs_; }
+
+  /// Whether batch `i` is consumed by some pipelined pair merge.
+  bool is_paired(std::uint64_t batch) const;
+
+  /// Number of runs entering the final multiway merge.
+  std::uint64_t multiway_ways(std::uint64_t nb) const;
+
+ private:
+  std::vector<PairMerge> pairs_;
+};
+
+}  // namespace hs::core

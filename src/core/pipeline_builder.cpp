@@ -1,0 +1,466 @@
+#include "core/pipeline_builder.h"
+
+#include <cstring>
+#include <string>
+#include <utility>
+
+#include "common/assert.h"
+#include "core/staging.h"
+#include "cpu/parallel_memcpy.h"
+#include "cpu/thread_pool.h"
+#include "vgpu/device_sort.h"
+
+namespace hs::core {
+namespace {
+
+void copy_bytes(std::span<const std::byte> src, std::span<std::byte> dst,
+                unsigned threads) {
+  HS_ASSERT(src.size() == dst.size());
+  if (threads > 1) {
+    hs::cpu::parallel_memcpy(hs::cpu::ThreadPool::global(), dst.data(),
+                             src.data(), src.size(), threads);
+  } else {
+    std::memcpy(dst.data(), src.data(), src.size());
+  }
+}
+
+}  // namespace
+
+PipelineBuilder::PipelineBuilder(vgpu::Runtime& rt, const ResolvedConfig& rc,
+                                 const BatchPlan& plan,
+                                 const MergeSchedule& sched,
+                                 const cpu::ElementOps& ops)
+    : rt_(rt), rc_(rc), plan_(plan), sched_(sched), ops_(ops) {
+  HS_EXPECTS(rc.elem_size == ops.elem_size);
+}
+
+bool PipelineBuilder::real() const {
+  return rt_.mode() == vgpu::Execution::kReal;
+}
+
+bool PipelineBuilder::blocking() const {
+  return rc_.cfg.approach == Approach::kBLine ||
+         rc_.cfg.approach == Approach::kBLineMulti;
+}
+
+double PipelineBuilder::copy_latency() const {
+  const auto& pcie = rt_.platform().pcie;
+  return blocking() ? pcie.blocking_latency_s : pcie.async_latency_s;
+}
+
+std::uint64_t PipelineBuilder::bytes_of(std::uint64_t elems) const {
+  return elems * rc_.elem_size;
+}
+
+unsigned PipelineBuilder::slot_of(const Batch& b) const {
+  return b.gpu * rc_.streams_per_gpu + b.stream;
+}
+
+std::span<std::byte> PipelineBuilder::dest_span(PipelineBuffers& bufs) const {
+  // Sorted batches land in W, or directly in B when no merging is needed.
+  std::vector<std::byte>& dest =
+      rc_.num_batches == 1 ? bufs.output : bufs.working;
+  return {dest.data(), dest.size()};
+}
+
+void PipelineBuilder::allocate_buffers(PipelineBuffers& bufs) {
+  if (real()) {
+    HS_EXPECTS_MSG(bufs.input.size() == bytes_of(rc_.n),
+                   "real execution requires the input buffer A");
+    bufs.output.resize(bytes_of(rc_.n));
+    if (rc_.num_batches > 1) bufs.working.resize(bytes_of(rc_.n));
+  }
+  const unsigned slots = rc_.total_streams();
+  const unsigned staging_buffers = rc_.cfg.double_buffer_staging ? 2u : 1u;
+  bufs.slots.reserve(slots);
+  for (unsigned g = 0; g < rc_.num_gpus; ++g) {
+    for (unsigned s = 0; s < rc_.streams_per_gpu; ++s) {
+      SlotBuffers slot;
+      // Out-of-place Thrust-style sorting: input buffer + equal temporary,
+      // the 2*bs*ns device budget of Section IV-F; device pair merging adds
+      // a second input and a 2*bs output (5*bs*ns, Section V extension).
+      slot.dev_in = rt_.device(g).allocate(bytes_of(rc_.batch_size));
+      slot.dev_tmp = rt_.device(g).allocate(bytes_of(rc_.batch_size));
+      if (rc_.device_pair_merge) {
+        slot.dev_in2 = rt_.device(g).allocate(bytes_of(rc_.batch_size));
+        slot.dev_out = rt_.device(g).allocate(2 * bytes_of(rc_.batch_size));
+      }
+      if (rc_.cfg.staging == StagingMode::kPinned) {
+        for (unsigned i = 0; i < staging_buffers; ++i) {
+          slot.staging.emplace_back(rc_.staging_bytes(), rt_.mode());
+        }
+      }
+      bufs.slots.push_back(std::move(slot));
+    }
+  }
+}
+
+void PipelineBuilder::emit_setup_tasks(sim::TaskGraph& g,
+                                       PipelineBuffers& bufs,
+                                       std::vector<vgpu::Stream>& streams) {
+  const auto& platform = rt_.platform();
+  for (unsigned gpu = 0; gpu < rc_.num_gpus; ++gpu) {
+    for (unsigned s = 0; s < rc_.streams_per_gpu; ++s) {
+      const unsigned slot = gpu * rc_.streams_per_gpu + s;
+      vgpu::Stream& stream = streams[slot];
+
+      sim::Task dev_alloc;
+      dev_alloc.label = stream.name() + ":cudaMalloc";
+      dev_alloc.phase = sim::Phase::kDeviceAlloc;
+      const double allocs = rc_.device_pair_merge ? 4.0 : 2.0;
+      dev_alloc.fixed_duration = allocs * platform.gpus[gpu].alloc.alloc_s;
+      stream.submit(g, std::move(dev_alloc));
+
+      for (const auto& pinned : bufs.slots[slot].staging) {
+        sim::Task pin;
+        pin.label = stream.name() + ":cudaMallocHost";
+        pin.phase = sim::Phase::kPinnedAlloc;
+        pin.fixed_duration = pinned.alloc_time(platform.pinned_alloc);
+        pin.traced_bytes = pinned.size_bytes();
+        stream.submit(g, std::move(pin));
+      }
+    }
+  }
+}
+
+void PipelineBuilder::emit_stage_to_device(
+    sim::TaskGraph& g, PipelineBuffers& bufs, vgpu::Stream& stream,
+    unsigned slot, std::uint64_t src_elem_off, std::uint64_t elems,
+    vgpu::DeviceBuffer& dev, const std::string& tag) {
+  const auto& platform = rt_.platform();
+  const auto chunks = chunk_batch(elems, rc_.cfg.staging_elems);
+  const double memcpy_rate = platform.host_memcpy.rate(rc_.memcpy_threads);
+  const bool dbl = rc_.cfg.double_buffer_staging;
+  auto& staging = bufs.slots[slot].staging;
+
+  std::vector<sim::TaskId> mcpy(chunks.size(), sim::kInvalidTask);
+  std::vector<sim::TaskId> htod(chunks.size(), sim::kInvalidTask);
+  const sim::TaskId entry = stream.tail();
+
+  for (std::size_t c = 0; c < chunks.size(); ++c) {
+    const Chunk& ch = chunks[c];
+    const std::size_t buf = dbl ? c % 2 : 0;
+
+    sim::Task tin;
+    tin.label = tag + ".in" + std::to_string(c);
+    tin.phase = sim::Phase::kStageIn;
+    tin.cores = sim::CoreClaim{rt_.host_pool(), rc_.memcpy_threads};
+    tin.flow = sim::FlowSpec{rt_.host_mem_channel(),
+                             static_cast<double>(bytes_of(ch.size)),
+                             memcpy_rate, 0.0};
+    if (c == 0) {
+      if (entry != sim::kInvalidTask) tin.deps.push_back(entry);
+    } else {
+      tin.deps.push_back(mcpy[c - 1]);  // one host lane per stream
+      // Reuse of the pinned buffer: wait until the transfer that last read
+      // it has finished. Single-buffered: the previous chunk; double-
+      // buffered: two chunks back.
+      const std::size_t reuse = dbl ? 2 : 1;
+      if (c >= reuse) tin.deps.push_back(htod[c - reuse]);
+    }
+    if (real()) {
+      auto src = bufs.input.subspan(bytes_of(src_elem_off + ch.offset),
+                                    bytes_of(ch.size));
+      auto dst = staging[buf].bytes().subspan(0, bytes_of(ch.size));
+      const unsigned threads = rc_.memcpy_threads;
+      tin.action = [src, dst, threads] { copy_bytes(src, dst, threads); };
+    }
+    mcpy[c] = g.add(std::move(tin));
+
+    sim::Task th;
+    th.label = tag + ".h2d" + std::to_string(c);
+    th.phase = sim::Phase::kHtoD;
+    th.flow = sim::FlowSpec{rt_.htod_channel(),
+                            static_cast<double>(bytes_of(ch.size)),
+                            platform.pcie.pinned_bps, copy_latency()};
+    th.deps.push_back(mcpy[c]);
+    if (c > 0) th.deps.push_back(htod[c - 1]);  // per-stream copy order
+    if (real()) {
+      auto src = std::span<const std::byte>(staging[buf].bytes())
+                     .subspan(0, bytes_of(ch.size));
+      auto dst = dev.bytes().subspan(bytes_of(ch.offset), bytes_of(ch.size));
+      th.action = [src, dst] { copy_bytes(src, dst, 1); };
+    }
+    htod[c] = g.add(std::move(th));
+  }
+  stream.adopt(htod.back());
+}
+
+sim::TaskId PipelineBuilder::emit_stage_from_device(
+    sim::TaskGraph& g, PipelineBuffers& bufs, vgpu::Stream& stream,
+    unsigned slot, const vgpu::DeviceBuffer& dev, std::uint64_t dst_elem_off,
+    std::uint64_t elems, const std::string& tag) {
+  const auto& platform = rt_.platform();
+  const auto chunks = chunk_batch(elems, rc_.cfg.staging_elems);
+  const double memcpy_rate = platform.host_memcpy.rate(rc_.memcpy_threads);
+  const bool dbl = rc_.cfg.double_buffer_staging;
+  auto& staging = bufs.slots[slot].staging;
+  auto dest = dest_span(bufs);
+
+  std::vector<sim::TaskId> dtoh(chunks.size(), sim::kInvalidTask);
+  std::vector<sim::TaskId> mcpy(chunks.size(), sim::kInvalidTask);
+  const sim::TaskId entry = stream.tail();
+
+  for (std::size_t c = 0; c < chunks.size(); ++c) {
+    const Chunk& ch = chunks[c];
+    const std::size_t buf = dbl ? c % 2 : 0;
+
+    sim::Task td;
+    td.label = tag + ".d2h" + std::to_string(c);
+    td.phase = sim::Phase::kDtoH;
+    td.flow = sim::FlowSpec{rt_.dtoh_channel(),
+                            static_cast<double>(bytes_of(ch.size)),
+                            platform.pcie.pinned_dtoh_bps, copy_latency()};
+    if (c == 0) {
+      if (entry != sim::kInvalidTask) td.deps.push_back(entry);
+    } else {
+      td.deps.push_back(dtoh[c - 1]);
+      const std::size_t reuse = dbl ? 2 : 1;
+      if (c >= reuse) td.deps.push_back(mcpy[c - reuse]);
+    }
+    if (real()) {
+      auto src = std::span<const std::byte>(dev.bytes())
+                     .subspan(bytes_of(ch.offset), bytes_of(ch.size));
+      auto dst = staging[buf].bytes().subspan(0, bytes_of(ch.size));
+      td.action = [src, dst] { copy_bytes(src, dst, 1); };
+    }
+    dtoh[c] = g.add(std::move(td));
+
+    sim::Task tout;
+    tout.label = tag + ".out" + std::to_string(c);
+    tout.phase = sim::Phase::kStageOut;
+    tout.cores = sim::CoreClaim{rt_.host_pool(), rc_.memcpy_threads};
+    tout.flow = sim::FlowSpec{rt_.host_mem_channel(),
+                              static_cast<double>(bytes_of(ch.size)),
+                              memcpy_rate, 0.0};
+    tout.deps.push_back(dtoh[c]);
+    if (c > 0) tout.deps.push_back(mcpy[c - 1]);
+    if (real()) {
+      auto src = std::span<const std::byte>(staging[buf].bytes())
+                     .subspan(0, bytes_of(ch.size));
+      auto dst = dest.subspan(bytes_of(dst_elem_off + ch.offset),
+                              bytes_of(ch.size));
+      const unsigned threads = rc_.memcpy_threads;
+      tout.action = [src, dst, threads] { copy_bytes(src, dst, threads); };
+    }
+    mcpy[c] = g.add(std::move(tout));
+  }
+  stream.adopt(mcpy.back());
+  return mcpy.back();
+}
+
+sim::TaskId PipelineBuilder::emit_batch(sim::TaskGraph& g,
+                                        PipelineBuffers& bufs,
+                                        vgpu::Stream& stream, const Batch& b) {
+  const unsigned slot = slot_of(b);
+  const std::string tag = "b" + std::to_string(b.index);
+  SlotBuffers& sb = bufs.slots[slot];
+
+  emit_stage_to_device(g, bufs, stream, slot, b.offset, b.size, sb.dev_in,
+                       tag);
+  vgpu::device_sort(rt_, g, stream, rt_.device(b.gpu), sb.dev_in, sb.dev_tmp,
+                    b.size, ops_);
+  return emit_stage_from_device(g, bufs, stream, slot, sb.dev_in, b.offset,
+                                b.size, tag);
+}
+
+sim::TaskId PipelineBuilder::emit_batch_pageable(sim::TaskGraph& g,
+                                                 PipelineBuffers& bufs,
+                                                 vgpu::Stream& stream,
+                                                 const Batch& b) {
+  const auto& platform = rt_.platform();
+  const unsigned slot = slot_of(b);
+  const std::string tag = "b" + std::to_string(b.index);
+  SlotBuffers& sb = bufs.slots[slot];
+
+  sim::Task th;
+  th.label = tag + ".h2d";
+  th.phase = sim::Phase::kHtoD;
+  th.flow = sim::FlowSpec{rt_.htod_channel(),
+                          static_cast<double>(bytes_of(b.size)),
+                          platform.pcie.pageable_bps,
+                          platform.pcie.blocking_latency_s};
+  if (real()) {
+    auto src = bufs.input.subspan(bytes_of(b.offset), bytes_of(b.size));
+    auto dst = sb.dev_in.bytes().subspan(0, bytes_of(b.size));
+    th.action = [src, dst] { copy_bytes(src, dst, 1); };
+  }
+  stream.submit(g, std::move(th));
+
+  vgpu::device_sort(rt_, g, stream, rt_.device(b.gpu), sb.dev_in, sb.dev_tmp,
+                    b.size, ops_);
+
+  auto dest = dest_span(bufs);
+  sim::Task td;
+  td.label = tag + ".d2h";
+  td.phase = sim::Phase::kDtoH;
+  td.flow = sim::FlowSpec{rt_.dtoh_channel(),
+                          static_cast<double>(bytes_of(b.size)),
+                          platform.pcie.pageable_bps,
+                          platform.pcie.blocking_latency_s};
+  if (real()) {
+    auto src = std::span<const std::byte>(sb.dev_in.bytes())
+                   .subspan(0, bytes_of(b.size));
+    auto dst = dest.subspan(bytes_of(b.offset), bytes_of(b.size));
+    td.action = [src, dst] { copy_bytes(src, dst, 1); };
+  }
+  return stream.submit(g, std::move(td));
+}
+
+sim::TaskId PipelineBuilder::emit_device_pair(sim::TaskGraph& g,
+                                              PipelineBuffers& bufs,
+                                              vgpu::Stream& stream,
+                                              const Batch& left,
+                                              const Batch& right) {
+  HS_ASSERT(slot_of(left) == slot_of(right));
+  const unsigned slot = slot_of(left);
+  SlotBuffers& sb = bufs.slots[slot];
+  auto& dev = rt_.device(left.gpu);
+
+  emit_stage_to_device(g, bufs, stream, slot, left.offset, left.size,
+                       sb.dev_in, "b" + std::to_string(left.index));
+  vgpu::device_sort(rt_, g, stream, dev, sb.dev_in, sb.dev_tmp, left.size,
+                    ops_);
+  emit_stage_to_device(g, bufs, stream, slot, right.offset, right.size,
+                       sb.dev_in2, "b" + std::to_string(right.index));
+  vgpu::device_sort(rt_, g, stream, dev, sb.dev_in2, sb.dev_tmp, right.size,
+                    ops_);
+  vgpu::device_merge(rt_, g, stream, dev, sb.dev_in, left.size, sb.dev_in2,
+                     right.size, sb.dev_out, ops_);
+  return emit_stage_from_device(
+      g, bufs, stream, slot, sb.dev_out, left.offset, left.size + right.size,
+      "m" + std::to_string(left.index / 2));
+}
+
+void PipelineBuilder::emit_merges(sim::TaskGraph& g, PipelineBuffers& bufs,
+                                  const std::vector<sim::TaskId>& batch_done) {
+  if (rc_.num_batches <= 1) return;
+  const auto& platform = rt_.platform();
+  const auto& merge_model = platform.cpu_merge;
+
+  // ---- pipelined host pair merges (PIPEMERGE) -----------------------------
+  std::vector<sim::TaskId> merge_tasks;
+  merge_tasks.reserve(sched_.pairs().size());
+  if (!rc_.device_pair_merge) {
+    for (std::size_t k = 0; k < sched_.pairs().size(); ++k) {
+      const PairMerge& pm = sched_.pairs()[k];
+      const Batch& lb = plan_.batch(pm.left);
+      const Batch& rb = plan_.batch(pm.right);
+      const std::uint64_t total = lb.size + rb.size;
+
+      sim::Task t;
+      t.label = "pairmerge" + std::to_string(k);
+      t.phase = sim::Phase::kPairMerge;
+      t.deps = {batch_done[pm.left], batch_done[pm.right]};
+      t.cores = sim::CoreClaim{rt_.host_pool(), rc_.merge_threads};
+      t.flow = sim::FlowSpec{
+          rt_.host_mem_channel(),
+          merge_model.traffic_bytes_per_elem * static_cast<double>(total),
+          merge_model.flow_rate(total, 2.0, rc_.merge_threads), 0.0};
+      t.traced_bytes = bytes_of(total);
+      if (real()) {
+        // Inputs are the two sorted runs in W; output recycles A's storage,
+        // whose [lb.offset, lb.offset + total) region is dead after staging.
+        auto w = std::span<const std::byte>(bufs.working);
+        cpu::RunView a{w.data() + bytes_of(lb.offset), lb.size};
+        cpu::RunView b{w.data() + bytes_of(rb.offset), rb.size};
+        std::byte* out = bufs.input.data() + bytes_of(lb.offset);
+        auto merge_fn = ops_.merge_pair;
+        const unsigned threads = rc_.merge_threads;
+        t.action = [a, b, out, merge_fn, threads] {
+          merge_fn(a, b, out, hs::cpu::ThreadPool::global(), threads);
+        };
+      }
+      merge_tasks.push_back(g.add(std::move(t)));
+    }
+  } else {
+    // Device pair merging: the merged runs already landed in W via the
+    // pair's final StageOut task, recorded in batch_done[left].
+    for (const PairMerge& pm : sched_.pairs()) {
+      merge_tasks.push_back(batch_done[pm.left]);
+    }
+  }
+
+  // ---- final multiway merge ------------------------------------------------
+  const std::uint64_t ways = sched_.multiway_ways(rc_.num_batches);
+  sim::Task t;
+  t.label = "multiway";
+  t.phase = sim::Phase::kMultiwayMerge;
+  for (std::uint64_t i = 0; i < rc_.num_batches; ++i) {
+    if (!sched_.is_paired(i)) t.deps.push_back(batch_done[i]);
+  }
+  t.deps.insert(t.deps.end(), merge_tasks.begin(), merge_tasks.end());
+  t.cores = sim::CoreClaim{rt_.host_pool(), rc_.multiway_threads};
+  t.flow = sim::FlowSpec{
+      rt_.host_mem_channel(),
+      merge_model.traffic_bytes_per_elem * static_cast<double>(rc_.n),
+      merge_model.flow_rate(rc_.n, static_cast<double>(ways),
+                            rc_.multiway_threads),
+      0.0};
+  t.traced_bytes = bytes_of(rc_.n);
+  if (real()) {
+    std::vector<cpu::RunView> runs;
+    runs.reserve(ways);
+    const std::byte* a = bufs.input.data();
+    const std::byte* w = bufs.working.data();
+    for (const PairMerge& pm : sched_.pairs()) {
+      const Batch& lb = plan_.batch(pm.left);
+      const Batch& rb = plan_.batch(pm.right);
+      // Host pair merges recycled A; device pair merges landed in W.
+      const std::byte* base = rc_.device_pair_merge ? w : a;
+      runs.push_back(
+          cpu::RunView{base + bytes_of(lb.offset), lb.size + rb.size});
+    }
+    for (std::uint64_t i = 0; i < rc_.num_batches; ++i) {
+      if (!sched_.is_paired(i)) {
+        const Batch& b = plan_.batch(i);
+        runs.push_back(cpu::RunView{w + bytes_of(b.offset), b.size});
+      }
+    }
+    std::byte* out = bufs.output.data();
+    auto multiway_fn = ops_.multiway;
+    const unsigned threads = rc_.multiway_threads;
+    t.action = [runs = std::move(runs), out, multiway_fn, threads] {
+      multiway_fn(runs, out, hs::cpu::ThreadPool::global(), threads);
+    };
+  }
+  g.add(std::move(t));
+}
+
+sim::TaskGraph PipelineBuilder::build(PipelineBuffers& bufs) {
+  allocate_buffers(bufs);
+
+  sim::TaskGraph g;
+  std::vector<vgpu::Stream> streams;
+  const unsigned slots = rc_.total_streams();
+  streams.reserve(slots);
+  for (unsigned gpu = 0; gpu < rc_.num_gpus; ++gpu) {
+    for (unsigned s = 0; s < rc_.streams_per_gpu; ++s) {
+      streams.emplace_back("g" + std::to_string(gpu) + ".s" +
+                           std::to_string(s));
+    }
+  }
+  emit_setup_tasks(g, bufs, streams);
+
+  std::vector<sim::TaskId> batch_done(plan_.num_batches(), sim::kInvalidTask);
+  for (const Batch& b : plan_.batches()) {
+    vgpu::Stream& stream = streams[slot_of(b)];
+    if (rc_.device_pair_merge && sched_.is_paired(b.index)) {
+      if (b.index % 2 == 0) continue;  // handled with its right sibling
+      const Batch& left = plan_.batch(b.index - 1);
+      const sim::TaskId done = emit_device_pair(g, bufs, stream, left, b);
+      batch_done[left.index] = done;
+      batch_done[b.index] = done;
+      continue;
+    }
+    batch_done[b.index] =
+        rc_.cfg.staging == StagingMode::kPinned
+            ? emit_batch(g, bufs, stream, b)
+            : emit_batch_pageable(g, bufs, stream, b);
+  }
+
+  emit_merges(g, bufs, batch_done);
+  return g;
+}
+
+}  // namespace hs::core

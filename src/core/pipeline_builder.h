@@ -1,0 +1,119 @@
+// Compiles a (config, batch plan, merge schedule) triple into the static task
+// graph realising the paper's workflows:
+//
+//   BLINE       A -> Stage -> HtoD -> GPUSort -> DtoH -> Stage -> B
+//   BLINEMULTI  per batch as BLINE, then -> W -> Merge -> B
+//   PIPEDATA    chunked staged copies in ns streams per GPU (Figure 2)
+//   PIPEMERGE   PIPEDATA + pipelined pair merges into A's recycled storage
+//               (Figure 3), then the final multiway merge
+//
+// plus two extensions beyond the paper:
+//   * double-buffered staging (two pinned buffers per stream, so the host
+//     copies chunk c+1 while chunk c is in flight on PCIe);
+//   * device pair merging (Section V outlook: the pair merge runs on the GPU
+//     before DtoH, so the host only sees pre-merged 2*bs runs).
+//
+// Memory discipline mirrors Section III-C's ~3n budget:
+//   A — caller's input; a batch's region is dead once staged to the GPU, so
+//       host pair merges write their output there;
+//   W — working memory receiving sorted batches (and device-merged pairs)
+//       from the GPU (skipped when nb = 1, where data lands directly in B);
+//   B — final output.
+//
+// The pipeline is element-type agnostic: buffers are bytes and all typed
+// work (sort, merges) goes through cpu::ElementOps.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/batch_plan.h"
+#include "core/merge_schedule.h"
+#include "core/sort_config.h"
+#include "cpu/element_ops.h"
+#include "sim/task_graph.h"
+#include "vgpu/pinned_buffer.h"
+#include "vgpu/runtime.h"
+#include "vgpu/stream.h"
+
+namespace hs::core {
+
+/// Device + pinned buffers owned by one (GPU, stream) slot.
+struct SlotBuffers {
+  vgpu::DeviceBuffer dev_in;   // bs elements — batch payload
+  vgpu::DeviceBuffer dev_tmp;  // bs elements — out-of-place sort temporary
+  vgpu::DeviceBuffer dev_in2;  // second batch (device pair merging only)
+  vgpu::DeviceBuffer dev_out;  // 2*bs merged output (device pair merging only)
+  std::vector<vgpu::PinnedHostBuffer> staging;  // 1, or 2 when double-buffered
+};
+
+/// All host/device memory a pipeline run touches. Must outlive the engine
+/// run: task actions capture spans into these buffers.
+struct PipelineBuffers {
+  std::span<std::byte> input;      // A; empty in timing-only mode
+  std::vector<std::byte> working;  // W (empty when nb == 1)
+  std::vector<std::byte> output;   // B
+  std::vector<SlotBuffers> slots;
+};
+
+class PipelineBuilder {
+ public:
+  PipelineBuilder(vgpu::Runtime& rt, const ResolvedConfig& rc,
+                  const BatchPlan& plan, const MergeSchedule& sched,
+                  const cpu::ElementOps& ops);
+
+  /// Allocates buffers into `bufs` (real storage only in Execution::kReal;
+  /// device capacity is enforced in both modes and may throw
+  /// vgpu::DeviceOutOfMemory) and returns the ready-to-run task graph.
+  sim::TaskGraph build(PipelineBuffers& bufs);
+
+ private:
+  void allocate_buffers(PipelineBuffers& bufs);
+  void emit_setup_tasks(sim::TaskGraph& g, PipelineBuffers& bufs,
+                        std::vector<vgpu::Stream>& streams);
+
+  /// Chunked A -> pinned -> device transfer of `elems` starting at element
+  /// `src_elem_off` of A into `dev` at element offset `dev_elem_off`.
+  void emit_stage_to_device(sim::TaskGraph& g, PipelineBuffers& bufs,
+                            vgpu::Stream& stream, unsigned slot,
+                            std::uint64_t src_elem_off, std::uint64_t elems,
+                            vgpu::DeviceBuffer& dev, const std::string& tag);
+
+  /// Chunked device -> pinned -> host transfer into W (or B when nb == 1)
+  /// at element offset `dst_elem_off`. Returns the final StageOut task.
+  sim::TaskId emit_stage_from_device(sim::TaskGraph& g, PipelineBuffers& bufs,
+                                     vgpu::Stream& stream, unsigned slot,
+                                     const vgpu::DeviceBuffer& dev,
+                                     std::uint64_t dst_elem_off,
+                                     std::uint64_t elems,
+                                     const std::string& tag);
+
+  sim::TaskId emit_batch(sim::TaskGraph& g, PipelineBuffers& bufs,
+                         vgpu::Stream& stream, const Batch& b);
+  sim::TaskId emit_batch_pageable(sim::TaskGraph& g, PipelineBuffers& bufs,
+                                  vgpu::Stream& stream, const Batch& b);
+  /// Device pair merging: stages both batches, sorts, merges on the GPU and
+  /// stages the 2*bs run out. Returns the pair's final StageOut task.
+  sim::TaskId emit_device_pair(sim::TaskGraph& g, PipelineBuffers& bufs,
+                               vgpu::Stream& stream, const Batch& left,
+                               const Batch& right);
+  void emit_merges(sim::TaskGraph& g, PipelineBuffers& bufs,
+                   const std::vector<sim::TaskId>& batch_done);
+
+  unsigned slot_of(const Batch& b) const;
+  std::span<std::byte> dest_span(PipelineBuffers& bufs) const;
+  std::uint64_t bytes_of(std::uint64_t elems) const;
+  bool real() const;
+  bool blocking() const;  // BLine / BLineMulti use blocking-copy semantics
+  double copy_latency() const;
+
+  vgpu::Runtime& rt_;
+  const ResolvedConfig& rc_;
+  const BatchPlan& plan_;
+  const MergeSchedule& sched_;
+  const cpu::ElementOps& ops_;
+};
+
+}  // namespace hs::core

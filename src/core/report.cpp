@@ -1,0 +1,47 @@
+#include "core/report.h"
+
+#include <cstdio>
+
+namespace hs::core {
+
+PhaseTimes phase_times(const sim::Trace& trace) {
+  using sim::Phase;
+  PhaseTimes t;
+  t.pinned_alloc = trace.phase_busy(Phase::kPinnedAlloc);
+  t.device_alloc = trace.phase_busy(Phase::kDeviceAlloc);
+  t.stage_in = trace.phase_busy(Phase::kStageIn);
+  t.htod = trace.phase_busy(Phase::kHtoD);
+  t.gpu_sort = trace.phase_busy(Phase::kGpuSort);
+  t.dtoh = trace.phase_busy(Phase::kDtoH);
+  t.stage_out = trace.phase_busy(Phase::kStageOut);
+  t.pair_merge = trace.phase_busy(Phase::kPairMerge);
+  t.multiway_merge = trace.phase_busy(Phase::kMultiwayMerge);
+  return t;
+}
+
+void Report::print(std::ostream& os) const {
+  char buf[512];
+  std::snprintf(buf, sizeof buf,
+                "%s: n=%llu nb=%llu bs=%llu pairs=%llu ways=%llu\n"
+                "  end-to-end            %8.4f s\n"
+                "  related-work account  %8.4f s (HtoD %.4f, DtoH %.4f, "
+                "sort %.4f, merge %.4f)\n"
+                "  missing overhead      %8.4f s\n"
+                "  reference CPU sort    %8.4f s (speedup %.2fx)\n"
+                "  busy: pinned-alloc %.4f | stage-in %.4f | HtoD %.4f | "
+                "sort %.4f | DtoH %.4f | stage-out %.4f | pair-merge %.4f | "
+                "multiway %.4f\n",
+                label.c_str(), static_cast<unsigned long long>(n),
+                static_cast<unsigned long long>(num_batches),
+                static_cast<unsigned long long>(batch_size),
+                static_cast<unsigned long long>(pair_merges),
+                static_cast<unsigned long long>(multiway_ways), end_to_end,
+                related_work_total, related_htod, related_dtoh, related_sort,
+                related_merge, missing_overhead(), reference_cpu_time,
+                speedup_vs_reference(), busy.pinned_alloc, busy.stage_in,
+                busy.htod, busy.gpu_sort, busy.dtoh, busy.stage_out,
+                busy.pair_merge, busy.multiway_merge);
+  os << buf;
+}
+
+}  // namespace hs::core

@@ -1,0 +1,72 @@
+// Run report: end-to-end time, per-phase breakdown, and the two accountings
+// whose gap is the paper's "missing overhead problem" (Section IV-E).
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+#include "core/sort_config.h"
+#include "sim/trace.h"
+
+namespace hs::core {
+
+/// Per-phase busy time (seconds); phases overlap under pipelined approaches,
+/// so these are component sums, not a partition of the end-to-end time.
+struct PhaseTimes {
+  double pinned_alloc = 0;
+  double device_alloc = 0;
+  double stage_in = 0;   // pageable -> pinned MCpy
+  double htod = 0;
+  double gpu_sort = 0;
+  double dtoh = 0;
+  double stage_out = 0;  // pinned -> pageable MCpy
+  double pair_merge = 0;
+  double multiway_merge = 0;
+
+  /// Host-to-host staging total — the bottleneck PARMEMCPY attacks.
+  double staging_total() const { return stage_in + stage_out; }
+};
+
+struct Report {
+  std::uint64_t n = 0;
+  std::uint64_t num_batches = 0;
+  std::uint64_t batch_size = 0;
+  std::uint64_t pair_merges = 0;
+  std::uint64_t multiway_ways = 0;
+  std::string label;
+  std::string element_type;  // "f64", "u64", "kv64", ...
+
+  /// Full accounting: virtual makespan including pinned allocation, staging
+  /// copies, and per-chunk synchronisation.
+  double end_to_end = 0;
+
+  /// The related-work accounting of Stehle & Jacobsen [5]: pure-rate HtoD +
+  /// pure-rate DtoH + on-GPU sort + CPU merge, nothing else. Matches their
+  /// Figure 8 methodology; the gap to end_to_end is the missing overhead.
+  double related_work_total = 0;
+  double related_htod = 0;
+  double related_dtoh = 0;
+  double related_sort = 0;
+  double related_merge = 0;
+
+  /// Reference implementation (GNU parallel sort, all cores) on the same
+  /// platform and n — denominators of the paper's speedup claims.
+  double reference_cpu_time = 0;
+
+  PhaseTimes busy;
+  sim::Trace trace;
+
+  double speedup_vs_reference() const {
+    return end_to_end > 0 ? reference_cpu_time / end_to_end : 0.0;
+  }
+  double missing_overhead() const { return end_to_end - related_work_total; }
+
+  /// Pretty-prints the breakdown (used by examples and benches).
+  void print(std::ostream& os) const;
+};
+
+/// Extracts PhaseTimes from a trace.
+PhaseTimes phase_times(const sim::Trace& trace);
+
+}  // namespace hs::core

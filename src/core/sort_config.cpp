@@ -1,0 +1,91 @@
+#include "core/sort_config.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+#include "common/math_util.h"
+
+namespace hs::core {
+
+std::string_view approach_name(Approach a) {
+  switch (a) {
+    case Approach::kBLine: return "BLine";
+    case Approach::kBLineMulti: return "BLineMulti";
+    case Approach::kPipeData: return "PipeData";
+    case Approach::kPipeMerge: return "PipeMerge";
+  }
+  return "?";
+}
+
+std::string SortConfig::label() const {
+  std::string s(approach_name(approach));
+  if (device_pair_merge) s += "+DevMerge";
+  if (par_memcpy()) s += "+ParMemCpy";
+  if (double_buffer_staging) s += "+DblBuf";
+  if (staging == StagingMode::kPageable) s += "(pageable)";
+  if (num_gpus > 1) s += " (" + std::to_string(num_gpus) + " GPU)";
+  return s;
+}
+
+ResolvedConfig resolve(const SortConfig& cfg, const model::Platform& platform,
+                       std::uint64_t n, std::size_t elem_size) {
+  HS_EXPECTS_MSG(n > 0, "cannot sort an empty input");
+  HS_EXPECTS_MSG(elem_size > 0, "element size must be positive");
+  ResolvedConfig r;
+  r.cfg = cfg;
+  r.n = n;
+  r.elem_size = elem_size;
+
+  r.num_gpus = cfg.num_gpus == 0 ? 1 : cfg.num_gpus;
+  HS_EXPECTS_MSG(r.num_gpus <= platform.gpus.size(),
+                 "config requests more GPUs than the platform has");
+
+  const bool pipelined = cfg.approach == Approach::kPipeData ||
+                         cfg.approach == Approach::kPipeMerge;
+  r.streams_per_gpu = pipelined ? std::max(1u, cfg.streams_per_gpu) : 1u;
+
+  r.device_pair_merge = cfg.device_pair_merge;
+  HS_EXPECTS_MSG(!r.device_pair_merge || cfg.approach == Approach::kPipeMerge,
+                 "device pair merging requires the PipeMerge approach");
+  HS_EXPECTS_MSG(!r.device_pair_merge || cfg.staging == StagingMode::kPinned,
+                 "device pair merging requires pinned staging");
+
+  // Batch sizing rule: each stream needs an input buffer and a sort
+  // temporary (Section IV-F), plus a second input and a 2*bs output when
+  // merging pairs on the device (Section V extension).
+  const std::uint64_t bufs_per_stream = r.device_pair_merge ? 5 : 2;
+  const std::uint64_t dev_bytes = platform.gpus.front().memory_bytes;
+  const std::uint64_t max_bs =
+      dev_bytes / (bufs_per_stream * r.streams_per_gpu * elem_size);
+  r.batch_size = cfg.batch_size == 0 ? max_bs : cfg.batch_size;
+  HS_EXPECTS_MSG(r.batch_size > 0, "batch size resolved to zero");
+  HS_EXPECTS_MSG(r.batch_size <= max_bs,
+                 "batch size exceeds device memory (needs 2*bs*ns doubles, "
+                 "or 5*bs*ns with device pair merging)");
+  r.batch_size = std::min(r.batch_size, n);
+
+  r.num_batches = div_ceil(n, r.batch_size);
+  if (cfg.approach == Approach::kBLine) {
+    HS_EXPECTS_MSG(r.num_batches == 1,
+                   "BLine requires the input to fit in one batch; use "
+                   "BLineMulti or a pipelined approach for larger inputs");
+    HS_EXPECTS_MSG(r.num_gpus == 1, "BLine uses a single GPU");
+  }
+
+  HS_EXPECTS_MSG(cfg.staging_elems > 0, "staging buffer must be non-empty");
+
+  const unsigned cores = platform.cpu.total_cores();
+  r.memcpy_threads = std::clamp(cfg.memcpy_threads, 1u, cores);
+  const unsigned staging_lanes = r.total_streams() * r.memcpy_threads;
+  if (cfg.merge_threads != 0) {
+    r.merge_threads = std::min(cfg.merge_threads, cores);
+  } else {
+    r.merge_threads =
+        std::max(1u, cores - std::min(cores - 1, staging_lanes));
+  }
+  r.multiway_threads =
+      cfg.multiway_threads == 0 ? cores : std::min(cfg.multiway_threads, cores);
+  return r;
+}
+
+}  // namespace hs::core

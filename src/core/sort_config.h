@@ -1,0 +1,116 @@
+// Configuration of the heterogeneous sort (Table I parameters + the approach
+// taxonomy of Section III-D4).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "model/platforms.h"
+
+namespace hs::core {
+
+/// The paper's approaches (Section III-D4). PARMEMCPY is orthogonal and
+/// selected via SortConfig::memcpy_threads > 1.
+enum class Approach : std::uint8_t {
+  kBLine,       // single batch, blocking staged copies, default stream
+  kBLineMulti,  // BLINE per batch + final multiway merge, no overlap
+  kPipeData,    // pinned staging + streams, overlapped bidirectional copies
+  kPipeMerge,   // PIPEDATA + pipelined pair-wise merges on the CPU
+};
+
+std::string_view approach_name(Approach a);
+
+/// How host<->device payloads are staged.
+enum class StagingMode : std::uint8_t {
+  kPinned,    // explicit ps-sized pinned buffer per stream (the paper's setup)
+  kPageable,  // plain blocking cudaMemcpy semantics: no explicit staging
+              // copies, but roughly half the transfer rate (Section V)
+};
+
+/// Which sorted batches are pair-merged while the GPU still sorts
+/// (Section III-D3).
+enum class PairMergePolicy : std::uint8_t {
+  kNone,            // defer everything to the final multiway merge
+  kPaperHeuristic,  // floor((nb-1)/2) pairs, /nGPU for multi-GPU
+  kAll,             // merge every adjacent pair (the "online" scheme the
+                    // paper reports as counter-productive; kept for ablation)
+};
+
+struct SortConfig {
+  Approach approach = Approach::kPipeMerge;
+  StagingMode staging = StagingMode::kPinned;
+  PairMergePolicy pair_policy = PairMergePolicy::kPaperHeuristic;
+
+  /// Section V extension: perform the pair merges ON the GPU before the
+  /// sorted data returns to the host (requires kPipeMerge). Each stream then
+  /// holds two input batches, a sort temporary, and a 2*bs output on the
+  /// device (5*bs*ns total), so batches shrink accordingly.
+  bool device_pair_merge = false;
+
+  /// bs — elements per batch; 0 derives the largest batch that fits the
+  /// device-memory budget (2*bs*ns host-merge / 5*bs*ns device-merge).
+  std::uint64_t batch_size = 0;
+
+  /// ps — pinned staging buffer size in elements (paper default 1e6).
+  std::uint64_t staging_elems = 1'000'000;
+
+  /// ns — streams per GPU (paper default 2 for the pipelined approaches).
+  unsigned streams_per_gpu = 2;
+
+  /// Number of GPUs to use (<= platform.gpus.size()).
+  unsigned num_gpus = 1;
+
+  /// Threads per staging memcpy; > 1 enables PARMEMCPY.
+  unsigned memcpy_threads = 1;
+
+  /// Threads for pipelined pair merges; 0 = cores minus staging lanes.
+  unsigned merge_threads = 0;
+
+  /// Threads for the final multiway merge; 0 = all cores.
+  unsigned multiway_threads = 0;
+
+  /// Use per-stream double buffering for the pinned staging area, letting
+  /// the host copy chunk c+1 while chunk c is still in flight on PCIe — a
+  /// natural extension of Figure 2's strict MCpy/HtoD alternation (ablation:
+  /// abl_double_buffer).
+  bool double_buffer_staging = false;
+
+  bool par_memcpy() const { return memcpy_threads > 1; }
+
+  /// Human-readable tag, e.g. "PipeMerge+ParMemCpy (2 GPU)".
+  std::string label() const;
+};
+
+/// Fully resolved parameters for a concrete run of `n` elements of
+/// `elem_size` bytes on `platform`; every 0-default filled in, every
+/// constraint checked.
+struct ResolvedConfig {
+  SortConfig cfg;
+  std::uint64_t n = 0;
+  std::size_t elem_size = sizeof(double);
+  std::uint64_t batch_size = 0;
+  std::uint64_t num_batches = 0;
+  unsigned streams_per_gpu = 1;
+  unsigned num_gpus = 1;
+  unsigned memcpy_threads = 1;
+  unsigned merge_threads = 1;
+  unsigned multiway_threads = 1;
+  bool device_pair_merge = false;
+
+  unsigned total_streams() const { return streams_per_gpu * num_gpus; }
+  std::uint64_t batch_bytes() const { return batch_size * elem_size; }
+  std::uint64_t staging_bytes() const {
+    return cfg.staging_elems * elem_size;
+  }
+};
+
+/// Validates `cfg` against `platform` for input size `n` and fills defaults.
+/// Aborts via contract violation on misuse (these are programmer errors:
+/// e.g. BLINE with n that needs batching, more GPUs than the platform has,
+/// device pair merging without PIPEMERGE).
+ResolvedConfig resolve(const SortConfig& cfg, const model::Platform& platform,
+                       std::uint64_t n, std::size_t elem_size = sizeof(double));
+
+}  // namespace hs::core

@@ -1,0 +1,19 @@
+#include "core/staging.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+
+namespace hs::core {
+
+std::vector<Chunk> chunk_batch(std::uint64_t batch_elems, std::uint64_t ps) {
+  HS_EXPECTS(ps > 0);
+  std::vector<Chunk> chunks;
+  chunks.reserve((batch_elems + ps - 1) / ps);
+  for (std::uint64_t off = 0; off < batch_elems; off += ps) {
+    chunks.push_back(Chunk{off, std::min(ps, batch_elems - off)});
+  }
+  return chunks;
+}
+
+}  // namespace hs::core

@@ -1,0 +1,17 @@
+// Chunking of a batch through the ps-sized pinned staging buffer (Figure 2).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace hs::core {
+
+struct Chunk {
+  std::uint64_t offset = 0;  // element offset within the batch
+  std::uint64_t size = 0;    // elements; == ps except possibly the last
+};
+
+/// Splits `batch_elems` into ceil(batch/ps) chunks of at most `ps` elements.
+std::vector<Chunk> chunk_batch(std::uint64_t batch_elems, std::uint64_t ps);
+
+}  // namespace hs::core

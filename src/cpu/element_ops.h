@@ -1,0 +1,66 @@
+// Type erasure for the pipeline's element type.
+//
+// The heterogeneous pipeline moves and merges opaque fixed-size records; only
+// three operations depend on the concrete type: the on-device sort, the
+// pairwise merge, and the multiway merge. ElementOps bundles them so the
+// pipeline compiles once over byte buffers while users sort `double`
+// (the paper's workload), `uint64_t` keys, or 16-byte `KeyValue64` records
+// (the related work's workload) — or any trivially copyable type they
+// provide ops for.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/key_value.h"
+#include "cpu/thread_pool.h"
+
+namespace hs::cpu {
+
+/// A sorted run inside a byte buffer.
+struct RunView {
+  const std::byte* data = nullptr;
+  std::uint64_t elems = 0;
+};
+
+struct ElementOps {
+  std::size_t elem_size = sizeof(double);
+  std::string type_name = "f64";
+
+  /// On-GPU sorting throughput relative to the 64-bit radix sort the
+  /// GpuSortModel is calibrated for (key/value records move twice the bytes
+  /// per element through the device pipeline).
+  double gpu_sort_cost_factor = 1.0;
+
+  /// Sorts `elems` records at `data` ascending (used by the virtual device).
+  std::function<void(std::byte* data, std::uint64_t elems)> device_sort;
+
+  /// Stable merge of two sorted runs into `out` (pair merges on the CPU).
+  std::function<void(RunView a, RunView b, std::byte* out,
+                     ThreadPool& pool, unsigned threads)>
+      merge_pair;
+
+  /// Stable k-way merge of sorted runs into `out` (final multiway merge).
+  std::function<void(std::span<const RunView> runs, std::byte* out,
+                     ThreadPool& pool, unsigned threads)>
+      multiway;
+};
+
+/// Ready-made ops. Explicit specialisations exist for double, uint64_t, and
+/// KeyValue64; other trivially copyable types can be supported by building
+/// an ElementOps by hand.
+template <typename T>
+ElementOps element_ops();
+
+template <>
+ElementOps element_ops<double>();
+template <>
+ElementOps element_ops<std::uint64_t>();
+template <>
+ElementOps element_ops<hs::KeyValue64>();
+
+}  // namespace hs::cpu

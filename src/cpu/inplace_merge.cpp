@@ -1,0 +1,3 @@
+// inplace_merge is header-only (templates); this TU anchors the target and verifies the
+// header is self-contained.
+#include "cpu/inplace_merge.h"

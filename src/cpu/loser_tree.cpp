@@ -1,0 +1,3 @@
+// LoserTree is header-only (templates); this TU anchors the target and
+// verifies the header is self-contained.
+#include "cpu/loser_tree.h"

@@ -1,0 +1,122 @@
+// Loser-tree (tournament) k-way merger — the sequential core of the multiway
+// merge the paper performs after all batches return from the GPU.
+//
+// A loser tree replays only one root-to-leaf path (log2 k comparisons) per
+// output element, giving the O(n log k) work bound quoted in the paper
+// (Section III-A) with excellent cache behaviour: the tree occupies O(k)
+// contiguous words.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "common/assert.h"
+#include "common/math_util.h"
+
+namespace hs::cpu {
+
+template <typename T, typename Compare = std::less<T>>
+class LoserTree {
+ public:
+  /// `runs` — the sorted input sequences. Empty runs are permitted.
+  explicit LoserTree(std::vector<std::span<const T>> runs, Compare comp = {})
+      : runs_(std::move(runs)), comp_(comp) {
+    k_ = runs_.size();
+    HS_EXPECTS(k_ >= 1);
+    // Round leaves up to a power of two; surplus leaves hold exhausted runs.
+    leaves_ = std::size_t{1} << log2_ceil(k_);
+    pos_.assign(leaves_, 0);
+    tree_.assign(leaves_, kExhausted);
+    remaining_ = 0;
+    for (std::size_t r = 0; r < k_; ++r) remaining_ += runs_[r].size();
+    build();
+  }
+
+  bool empty() const { return remaining_ == 0; }
+  std::uint64_t remaining() const { return remaining_; }
+
+  /// Pops the smallest element across all runs. Stable across runs: ties go
+  /// to the lower run index.
+  T pop() {
+    HS_EXPECTS(!empty());
+    const std::size_t winner = tree_[0];
+    HS_ASSERT(winner != kExhausted);
+    const T value = runs_[winner][pos_[winner]];
+    ++pos_[winner];
+    --remaining_;
+    replay(winner);
+    return value;
+  }
+
+  /// Merges everything into `out` (size must equal remaining()).
+  void drain(std::span<T> out) {
+    HS_EXPECTS(out.size() == remaining_);
+    for (std::size_t i = 0; i < out.size(); ++i) out[i] = pop();
+    HS_ENSURES(empty());
+  }
+
+ private:
+  static constexpr std::size_t kExhausted = ~std::size_t{0};
+
+  // Leaf `r` loses to leaf `s` when s's current element should be output
+  // first. Exhausted leaves always lose.
+  bool beats(std::size_t s, std::size_t r) const {
+    if (s == kExhausted) return false;
+    if (r == kExhausted) return true;
+    const T& vs = runs_[s][pos_[s]];
+    const T& vr = runs_[r][pos_[r]];
+    if (comp_(vs, vr)) return true;
+    if (comp_(vr, vs)) return false;
+    return s < r;  // stability: lower run index wins ties
+  }
+
+  std::size_t leaf_id(std::size_t leaf) const {
+    return (leaf < k_ && pos_[leaf] < runs_[leaf].size()) ? leaf : kExhausted;
+  }
+
+  void build() {
+    // tree_[1..leaves_) hold losers of internal matches; tree_[0] the winner.
+    // Straightforward O(k log k) construction by replaying each leaf.
+    std::vector<std::size_t> winner(2 * leaves_, kExhausted);
+    for (std::size_t i = 0; i < leaves_; ++i) {
+      winner[leaves_ + i] = leaf_id(i);
+    }
+    for (std::size_t i = leaves_ - 1; i >= 1; --i) {
+      const std::size_t a = winner[2 * i];
+      const std::size_t b = winner[2 * i + 1];
+      if (beats(a, b)) {
+        winner[i] = a;
+        tree_[i] = b;
+      } else {
+        winner[i] = b;
+        tree_[i] = a;
+      }
+    }
+    tree_[0] = winner[1];
+  }
+
+  // Re-runs the tournament along `leaf`'s path to the root.
+  void replay(std::size_t leaf) {
+    std::size_t contender = leaf_id(leaf);
+    std::size_t node = (leaves_ + leaf) / 2;
+    while (node >= 1) {
+      if (beats(tree_[node], contender)) {
+        std::swap(tree_[node], contender);
+      }
+      node /= 2;
+    }
+    tree_[0] = contender;
+  }
+
+  std::vector<std::span<const T>> runs_;
+  Compare comp_;
+  std::size_t k_ = 0;
+  std::size_t leaves_ = 0;
+  std::vector<std::uint64_t> pos_;
+  std::vector<std::size_t> tree_;
+  std::uint64_t remaining_ = 0;
+};
+
+}  // namespace hs::cpu

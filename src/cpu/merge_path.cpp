@@ -1,0 +1,3 @@
+// merge_path is header-only (templates); this TU anchors the target and
+// verifies the header is self-contained.
+#include "cpu/merge_path.h"

@@ -1,0 +1,130 @@
+// Multiway merge of k sorted runs — sequential (loser tree) and parallel.
+//
+// The parallel version partitions the *value domain* with sampled splitters:
+// each run contributes evenly spaced samples; the union of samples is sorted
+// and p-1 quantiles become splitter values. Part j then merges, from every
+// run, the sub-range of values in (splitter_{j-1}, splitter_j] — boundaries
+// located with std::upper_bound, so duplicated splitter values land in exactly
+// one part and the concatenation of parts is globally sorted. Sampling keeps
+// parts near-equal for realistic inputs (imbalance is bounded by k·n/s for s
+// samples per run) without the complexity of exact multisequence selection —
+// the same engineering trade-off GNU parallel mode makes with its sampling
+// splitting strategy.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "common/assert.h"
+#include "cpu/loser_tree.h"
+#include "cpu/parallel_for.h"
+#include "cpu/thread_pool.h"
+
+namespace hs::cpu {
+
+/// Sequential k-way merge into `out`; `out.size()` must equal the total input
+/// size. Stable across runs (ties keep lower run index first).
+template <typename T, typename Compare = std::less<T>>
+void multiway_merge_sequential(std::vector<std::span<const T>> runs,
+                               std::span<T> out, Compare comp = {}) {
+  if (runs.empty()) {
+    HS_EXPECTS(out.empty());
+    return;
+  }
+  if (runs.size() == 1) {
+    HS_EXPECTS(out.size() == runs[0].size());
+    std::copy(runs[0].begin(), runs[0].end(), out.begin());
+    return;
+  }
+  LoserTree<T, Compare> tree(std::move(runs), comp);
+  tree.drain(out);
+}
+
+/// Per-run cut positions for one value-domain part boundary.
+template <typename T>
+using RunCuts = std::vector<std::uint64_t>;
+
+/// Parallel k-way merge into `out` using up to `parts` lanes (0 = pool size).
+template <typename T, typename Compare = std::less<T>>
+void multiway_merge_parallel(ThreadPool& pool,
+                             std::vector<std::span<const T>> runs,
+                             std::span<T> out, Compare comp = {},
+                             unsigned parts = 0) {
+  std::uint64_t total = 0;
+  for (const auto& r : runs) total += r.size();
+  HS_EXPECTS(out.size() == total);
+  if (total == 0) return;
+
+  unsigned p = parts == 0 ? pool.size() : std::min(parts, pool.size());
+  p = static_cast<unsigned>(std::min<std::uint64_t>(p, total));
+  if (p <= 1 || runs.size() <= 1) {
+    multiway_merge_sequential(std::move(runs), out, comp);
+    return;
+  }
+
+  // --- sample splitters ---------------------------------------------------
+  constexpr std::uint64_t kSamplesPerPart = 32;
+  const std::uint64_t samples_per_run =
+      std::max<std::uint64_t>(1, kSamplesPerPart * p / runs.size());
+  std::vector<T> samples;
+  samples.reserve(runs.size() * samples_per_run);
+  for (const auto& r : runs) {
+    if (r.empty()) continue;
+    for (std::uint64_t s = 0; s < samples_per_run; ++s) {
+      const std::uint64_t idx =
+          (s * r.size() + r.size() / 2) / samples_per_run;
+      samples.push_back(r[std::min<std::uint64_t>(idx, r.size() - 1)]);
+    }
+  }
+  std::sort(samples.begin(), samples.end(), comp);
+
+  // --- compute per-part cut positions (p+1 boundaries per run) ------------
+  const std::size_t k = runs.size();
+  std::vector<std::vector<std::uint64_t>> cuts(p + 1,
+                                               std::vector<std::uint64_t>(k));
+  for (std::size_t r = 0; r < k; ++r) {
+    cuts[0][r] = 0;
+    cuts[p][r] = runs[r].size();
+  }
+  for (unsigned j = 1; j < p; ++j) {
+    const std::uint64_t s_idx = static_cast<std::uint64_t>(j) *
+                                samples.size() / p;
+    const T& splitter = samples[std::min<std::size_t>(
+        s_idx, samples.size() - 1)];
+    for (std::size_t r = 0; r < k; ++r) {
+      cuts[j][r] = static_cast<std::uint64_t>(
+          std::upper_bound(runs[r].begin(), runs[r].end(), splitter, comp) -
+          runs[r].begin());
+      // Boundaries must be monotone even if sampled splitters repeat.
+      cuts[j][r] = std::max(cuts[j][r], cuts[j - 1][r]);
+    }
+  }
+
+  // --- output offsets per part --------------------------------------------
+  std::vector<std::uint64_t> offsets(p + 1, 0);
+  for (unsigned j = 0; j < p; ++j) {
+    std::uint64_t part_size = 0;
+    for (std::size_t r = 0; r < k; ++r) part_size += cuts[j + 1][r] - cuts[j][r];
+    offsets[j + 1] = offsets[j] + part_size;
+  }
+  HS_ASSERT(offsets[p] == total);
+
+  // --- merge each part independently ---------------------------------------
+  parallel_region(pool, p, [&](unsigned lane, unsigned lanes) {
+    for (unsigned j = lane; j < p; j += lanes) {
+      std::vector<std::span<const T>> sub;
+      sub.reserve(k);
+      for (std::size_t r = 0; r < k; ++r) {
+        sub.push_back(runs[r].subspan(cuts[j][r], cuts[j + 1][r] - cuts[j][r]));
+      }
+      multiway_merge_sequential(std::move(sub),
+                                out.subspan(offsets[j], offsets[j + 1] - offsets[j]),
+                                comp);
+    }
+  });
+}
+
+}  // namespace hs::cpu

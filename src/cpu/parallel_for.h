@@ -1,0 +1,68 @@
+// Blocked fork-join parallel loop over an index range.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "common/assert.h"
+#include "cpu/thread_pool.h"
+
+namespace hs::cpu {
+
+/// Runs `body(lo, hi)` over disjoint sub-ranges of [begin, end) on up to
+/// `max_parts` lanes (0 = pool.size()). The caller executes the first chunk
+/// itself. Blocks until all chunks finish. `body` must be safe to invoke
+/// concurrently on disjoint ranges.
+template <typename Body>
+void parallel_for_blocked(ThreadPool& pool, std::uint64_t begin,
+                          std::uint64_t end, Body&& body,
+                          unsigned max_parts = 0) {
+  HS_EXPECTS(begin <= end);
+  const std::uint64_t n = end - begin;
+  if (n == 0) return;
+  unsigned parts = max_parts == 0 ? pool.size() : std::min(max_parts, pool.size());
+  parts = static_cast<unsigned>(
+      std::min<std::uint64_t>(parts, n));  // never more lanes than items
+  if (parts <= 1) {
+    body(begin, end);
+    return;
+  }
+  const std::uint64_t chunk = (n + parts - 1) / parts;
+  WaitGroup wg(parts - 1);
+  for (unsigned p = 1; p < parts; ++p) {
+    const std::uint64_t lo = begin + chunk * p;
+    const std::uint64_t hi = std::min(end, lo + chunk);
+    if (lo >= hi) {
+      wg.done();
+      continue;
+    }
+    pool.submit([&body, &wg, lo, hi] {
+      body(lo, hi);
+      wg.done();
+    });
+  }
+  body(begin, std::min(end, begin + chunk));
+  wg.wait();
+}
+
+/// Runs `body(part_index, num_parts)` once per lane; a generic SPMD region.
+template <typename Body>
+void parallel_region(ThreadPool& pool, unsigned parts, Body&& body) {
+  HS_EXPECTS(parts >= 1);
+  parts = std::min(parts, pool.size());
+  if (parts == 1) {
+    body(0u, 1u);
+    return;
+  }
+  WaitGroup wg(parts - 1);
+  for (unsigned p = 1; p < parts; ++p) {
+    pool.submit([&body, &wg, p, parts] {
+      body(p, parts);
+      wg.done();
+    });
+  }
+  body(0u, parts);
+  wg.wait();
+}
+
+}  // namespace hs::cpu

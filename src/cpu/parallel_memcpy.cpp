@@ -1,0 +1,30 @@
+#include "cpu/parallel_memcpy.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+
+#include "common/assert.h"
+#include "cpu/parallel_for.h"
+
+namespace hs::cpu {
+
+void parallel_memcpy(ThreadPool& pool, void* dst, const void* src,
+                     std::size_t bytes, unsigned parts) {
+  HS_EXPECTS(dst != nullptr && src != nullptr);
+  constexpr std::size_t kSequentialCutoff = 256 * 1024;
+  if (bytes <= kSequentialCutoff || pool.size() == 1) {
+    std::memcpy(dst, src, bytes);
+    return;
+  }
+  auto* d = static_cast<std::byte*>(dst);
+  const auto* s = static_cast<const std::byte*>(src);
+  parallel_for_blocked(
+      pool, 0, bytes,
+      [&](std::uint64_t lo, std::uint64_t hi) {
+        std::memcpy(d + lo, s + lo, hi - lo);
+      },
+      parts);
+}
+
+}  // namespace hs::cpu

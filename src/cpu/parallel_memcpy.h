@@ -1,0 +1,22 @@
+// Chunked multi-threaded memcpy — the PARMEMCPY optimisation.
+//
+// The paper's key host-side observation: a single core cannot saturate main
+// memory bandwidth for the pageable<->pinned staging copies, so parallelising
+// plain std::memcpy reduces end-to-end sort time by ~13% (Section IV-F). This
+// is that primitive.
+#pragma once
+
+#include <cstddef>
+
+#include "cpu/thread_pool.h"
+
+namespace hs::cpu {
+
+/// Copies `bytes` from `src` to `dst` using up to `parts` lanes
+/// (0 = pool.size()). Ranges must not overlap. Falls back to a single
+/// std::memcpy below a size cutoff where thread fan-out costs more than the
+/// copy.
+void parallel_memcpy(ThreadPool& pool, void* dst, const void* src,
+                     std::size_t bytes, unsigned parts = 0);
+
+}  // namespace hs::cpu

@@ -1,0 +1,3 @@
+// parallel_quicksort is header-only (templates); this TU anchors the target and verifies the
+// header is self-contained.
+#include "cpu/parallel_quicksort.h"

@@ -1,0 +1,109 @@
+// Parallel quicksort — the Quicksort family of the paper's related-work
+// taxonomy (Section II-A, Reif's parallel-prefix formulation; here the
+// practical shared-memory variant: sequential three-way partition, the two
+// sides sorted concurrently, smaller side first to bound the task count).
+//
+// In place, O(log n) expected auxiliary (the pending-range counter), not
+// stable. Median-of-three pivoting; falls back to heapsort-backed std::sort
+// below a cutoff and on pathological recursion depth.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <span>
+
+#include "common/assert.h"
+#include "cpu/thread_pool.h"
+
+namespace hs::cpu {
+
+namespace detail {
+
+/// Counts outstanding subranges; the caller blocks until all are sorted.
+class PendingRanges {
+ public:
+  void add() { count_.fetch_add(1, std::memory_order_relaxed); }
+  void done() {
+    if (count_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      const std::lock_guard lock(mu_);
+      cv_.notify_all();
+    }
+  }
+  void wait() {
+    std::unique_lock lock(mu_);
+    cv_.wait(lock, [this] { return count_.load(std::memory_order_acquire) == 0; });
+  }
+
+ private:
+  std::atomic<std::uint64_t> count_{0};
+  std::mutex mu_;
+  std::condition_variable cv_;
+};
+
+template <typename T, typename Compare>
+void quicksort_range(ThreadPool& pool, std::span<T> data, Compare comp,
+                     PendingRanges& pending, int depth_budget) {
+  constexpr std::uint64_t kSequentialCutoff = 16384;
+  while (data.size() > kSequentialCutoff && depth_budget > 0) {
+    // Median-of-three pivot.
+    T& a = data.front();
+    T& b = data[data.size() / 2];
+    T& c = data.back();
+    if (comp(b, a)) std::swap(a, b);
+    if (comp(c, b)) std::swap(b, c);
+    if (comp(b, a)) std::swap(a, b);
+    const T pivot = b;
+
+    // Three-way (Dutch national flag) partition: [< pivot][== pivot][> pivot].
+    std::uint64_t lo = 0, i = 0, hi = data.size();
+    while (i < hi) {
+      if (comp(data[i], pivot)) {
+        std::swap(data[lo++], data[i++]);
+      } else if (comp(pivot, data[i])) {
+        std::swap(data[i], data[--hi]);
+      } else {
+        ++i;
+      }
+    }
+    auto left = data.subspan(0, lo);
+    auto right = data.subspan(hi);
+    --depth_budget;
+    // Recurse on the smaller side asynchronously, loop on the larger: the
+    // task count stays O(p log n) and the loop depth O(log n).
+    auto spawn = left.size() < right.size() ? left : right;
+    auto keep = left.size() < right.size() ? right : left;
+    if (!spawn.empty()) {
+      pending.add();
+      const int budget = depth_budget;
+      pool.submit([&pool, spawn, comp, &pending, budget] {
+        quicksort_range(pool, spawn, comp, pending, budget);
+        pending.done();
+      });
+    }
+    data = keep;
+    if (data.empty()) return;
+  }
+  std::sort(data.begin(), data.end(), comp);
+}
+
+}  // namespace detail
+
+/// Sorts `data` in place. Not stable.
+template <typename T, typename Compare = std::less<T>>
+void parallel_quicksort(ThreadPool& pool, std::span<T> data,
+                        Compare comp = {}) {
+  if (data.size() < 2) return;
+  detail::PendingRanges pending;
+  // Depth budget 2*log2(n) mirrors introsort's pathology guard.
+  int budget = 2;
+  for (std::uint64_t n = data.size(); n > 1; n /= 2) ++budget;
+  budget *= 2;
+  detail::quicksort_range(pool, data, comp, pending, budget);
+  pending.wait();
+}
+
+}  // namespace hs::cpu

@@ -1,0 +1,3 @@
+// parallel_sort is header-only (templates); this TU anchors the target and
+// verifies the header is self-contained.
+#include "cpu/parallel_sort.h"

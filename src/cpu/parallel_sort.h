@@ -1,0 +1,69 @@
+// Parallel comparison sort — a p-way multiway mergesort in the style of GNU
+// libstdc++ parallel mode / MCSTL (the paper's CPU reference implementation):
+// split the input into p blocks, sort each block independently, then run one
+// parallel multiway merge of the p sorted blocks.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "common/assert.h"
+#include "cpu/multiway_merge.h"
+#include "cpu/parallel_for.h"
+#include "cpu/thread_pool.h"
+
+namespace hs::cpu {
+
+/// Sorts `data` in place using up to `parts` lanes (0 = pool.size()).
+/// Requires O(n) temporary memory for the out-of-place multiway merge, the
+/// same trade-off the paper makes (Section III-C: out-of-place merging for
+/// peak performance).
+template <typename T, typename Compare = std::less<T>>
+void parallel_sort(ThreadPool& pool, std::span<T> data, Compare comp = {},
+                   unsigned parts = 0) {
+  const std::uint64_t n = data.size();
+  if (n < 2) return;
+  unsigned p = parts == 0 ? pool.size() : std::min(parts, pool.size());
+  constexpr std::uint64_t kSequentialCutoff = 4096;
+  p = static_cast<unsigned>(
+      std::min<std::uint64_t>(p, std::max<std::uint64_t>(1, n / kSequentialCutoff)));
+  if (p <= 1) {
+    std::sort(data.begin(), data.end(), comp);
+    return;
+  }
+
+  const std::uint64_t block = (n + p - 1) / p;
+  std::vector<std::span<const T>> runs;
+  runs.reserve(p);
+
+  parallel_region(pool, p, [&](unsigned lane, unsigned lanes) {
+    for (unsigned j = lane; j < p; j += lanes) {
+      const std::uint64_t lo = block * j;
+      const std::uint64_t hi = std::min(n, lo + block);
+      if (lo < hi) {
+        std::sort(data.begin() + static_cast<std::ptrdiff_t>(lo),
+                  data.begin() + static_cast<std::ptrdiff_t>(hi), comp);
+      }
+    }
+  });
+
+  for (unsigned j = 0; j < p; ++j) {
+    const std::uint64_t lo = block * j;
+    const std::uint64_t hi = std::min(n, lo + block);
+    if (lo < hi) runs.push_back(std::span<const T>(data).subspan(lo, hi - lo));
+  }
+
+  std::vector<T> tmp(n);
+  multiway_merge_parallel(pool, std::move(runs), std::span<T>(tmp), comp, p);
+
+  parallel_for_blocked(pool, 0, n, [&](std::uint64_t lo, std::uint64_t hi) {
+    std::copy(tmp.begin() + static_cast<std::ptrdiff_t>(lo),
+              tmp.begin() + static_cast<std::ptrdiff_t>(hi),
+              data.begin() + static_cast<std::ptrdiff_t>(lo));
+  });
+}
+
+}  // namespace hs::cpu

@@ -1,0 +1,183 @@
+#include "cpu/radix_sort.h"
+
+#include <array>
+#include <bit>
+#include <cstring>
+#include <vector>
+
+#include "common/assert.h"
+#include "cpu/parallel_for.h"
+
+namespace hs::cpu {
+namespace {
+
+constexpr unsigned kDigitBits = 8;
+constexpr unsigned kNumDigits = 64 / kDigitBits;
+constexpr std::size_t kRadix = 1u << kDigitBits;
+
+constexpr std::size_t digit_of(std::uint64_t key, unsigned pass) {
+  return (key >> (pass * kDigitBits)) & (kRadix - 1);
+}
+
+// One stable sequential counting pass over records of type R whose 64-bit
+// sort key is KeyFn(record).
+template <typename R, typename KeyFn>
+void radix_pass_sequential(std::span<const R> in, std::span<R> out,
+                           unsigned pass, KeyFn key) {
+  std::array<std::uint64_t, kRadix> count{};
+  for (const R& r : in) ++count[digit_of(key(r), pass)];
+  std::uint64_t sum = 0;
+  for (auto& c : count) {
+    const std::uint64_t n = c;
+    c = sum;
+    sum += n;
+  }
+  for (const R& r : in) out[count[digit_of(key(r), pass)]++] = r;
+}
+
+// One stable parallel pass: per-lane histograms, a digit-major exclusive scan
+// so lane l's instances of digit d scatter after lane l-1's, then parallel
+// scatter to precomputed disjoint offsets.
+template <typename R, typename KeyFn>
+void radix_pass_parallel(ThreadPool& pool, std::span<const R> in,
+                         std::span<R> out, unsigned pass, unsigned lanes,
+                         KeyFn key) {
+  const std::uint64_t n = in.size();
+  const std::uint64_t chunk = (n + lanes - 1) / lanes;
+  std::vector<std::array<std::uint64_t, kRadix>> hist(
+      lanes, std::array<std::uint64_t, kRadix>{});
+
+  parallel_region(pool, lanes, [&](unsigned lane, unsigned) {
+    const std::uint64_t lo = chunk * lane;
+    const std::uint64_t hi = std::min(n, lo + chunk);
+    auto& h = hist[lane];
+    for (std::uint64_t i = lo; i < hi; ++i) ++h[digit_of(key(in[i]), pass)];
+  });
+
+  std::uint64_t sum = 0;
+  for (std::size_t d = 0; d < kRadix; ++d) {
+    for (unsigned l = 0; l < lanes; ++l) {
+      const std::uint64_t c = hist[l][d];
+      hist[l][d] = sum;
+      sum += c;
+    }
+  }
+
+  parallel_region(pool, lanes, [&](unsigned lane, unsigned) {
+    const std::uint64_t lo = chunk * lane;
+    const std::uint64_t hi = std::min(n, lo + chunk);
+    auto& offsets = hist[lane];
+    for (std::uint64_t i = lo; i < hi; ++i) {
+      out[offsets[digit_of(key(in[i]), pass)]++] = in[i];
+    }
+  });
+}
+
+template <typename R, typename KeyFn>
+void radix_sort_generic(std::span<R> records, KeyFn key) {
+  if (records.size() < 2) return;
+  std::vector<R> tmp(records.size());
+  std::span<R> a = records;
+  std::span<R> b = tmp;
+  for (unsigned pass = 0; pass < kNumDigits; ++pass) {
+    radix_pass_sequential<R>(a, b, pass, key);
+    std::swap(a, b);
+  }
+  // kNumDigits is even, so the final result already sits in `records`.
+  static_assert(kNumDigits % 2 == 0);
+}
+
+template <typename R, typename KeyFn>
+void radix_sort_parallel_generic(ThreadPool& pool, std::span<R> records,
+                                 unsigned parts, KeyFn key) {
+  const std::uint64_t n = records.size();
+  if (n < 2) return;
+  unsigned lanes = parts == 0 ? pool.size() : std::min(parts, pool.size());
+  constexpr std::uint64_t kSequentialCutoff = 1u << 16;
+  if (lanes <= 1 || n < kSequentialCutoff) {
+    radix_sort_generic(records, key);
+    return;
+  }
+  std::vector<R> tmp(n);
+  std::span<R> a = records;
+  std::span<R> b = tmp;
+  for (unsigned pass = 0; pass < kNumDigits; ++pass) {
+    radix_pass_parallel<R>(pool, a, b, pass, lanes, key);
+    std::swap(a, b);
+  }
+  static_assert(kNumDigits % 2 == 0);
+}
+
+std::span<std::uint64_t> as_keys(std::span<double> values) {
+  // double and uint64_t have identical size/alignment; the key transform is
+  // applied in place to avoid a second O(n) buffer.
+  static_assert(sizeof(double) == sizeof(std::uint64_t));
+  return {reinterpret_cast<std::uint64_t*>(values.data()), values.size()};
+}
+
+constexpr auto kIdentityKey = [](std::uint64_t k) { return k; };
+constexpr auto kKvKey = [](const KeyValue64& r) { return r.key; };
+
+}  // namespace
+
+std::uint64_t double_to_radix_key(double d) {
+  const auto bits = std::bit_cast<std::uint64_t>(d);
+  const std::uint64_t mask =
+      (bits & 0x8000000000000000ull) ? ~0ull : 0x8000000000000000ull;
+  return bits ^ mask;
+}
+
+double radix_key_to_double(std::uint64_t k) {
+  const std::uint64_t mask =
+      (k & 0x8000000000000000ull) ? 0x8000000000000000ull : ~0ull;
+  return std::bit_cast<double>(k ^ mask);
+}
+
+void radix_sort(std::span<std::uint64_t> keys) {
+  radix_sort_generic(keys, kIdentityKey);
+}
+
+void radix_sort(std::span<double> values) {
+  auto keys = as_keys(values);
+  for (auto& k : keys) k = double_to_radix_key(std::bit_cast<double>(k));
+  radix_sort_generic(keys, kIdentityKey);
+  for (auto& k : keys) {
+    k = std::bit_cast<std::uint64_t>(radix_key_to_double(k));
+  }
+}
+
+void radix_sort(std::span<KeyValue64> records) {
+  radix_sort_generic(records, kKvKey);
+}
+
+void radix_sort_parallel(ThreadPool& pool, std::span<std::uint64_t> keys,
+                         unsigned parts) {
+  radix_sort_parallel_generic(pool, keys, parts, kIdentityKey);
+}
+
+void radix_sort_parallel(ThreadPool& pool, std::span<double> values,
+                         unsigned parts) {
+  auto keys = as_keys(values);
+  parallel_for_blocked(pool, 0, values.size(),
+                       [&](std::uint64_t lo, std::uint64_t hi) {
+                         for (std::uint64_t i = lo; i < hi; ++i) {
+                           keys[i] = double_to_radix_key(
+                               std::bit_cast<double>(keys[i]));
+                         }
+                       });
+  radix_sort_parallel_generic(pool, keys, parts, kIdentityKey);
+  parallel_for_blocked(pool, 0, values.size(),
+                       [&](std::uint64_t lo, std::uint64_t hi) {
+                         for (std::uint64_t i = lo; i < hi; ++i) {
+                           keys[i] = std::bit_cast<std::uint64_t>(
+                               radix_key_to_double(keys[i]));
+                         }
+                       });
+}
+
+void radix_sort_parallel(ThreadPool& pool, std::span<KeyValue64> records,
+                         unsigned parts) {
+  radix_sort_parallel_generic(pool, records, parts, kKvKey);
+}
+
+}  // namespace hs::cpu

@@ -1,0 +1,49 @@
+// LSD radix sort for 64-bit keys — the algorithm class behind both the Thrust
+// sort the paper runs on the GPU and the CUB sort of the related work, so the
+// virtual device sorts with it (`vgpu::device_sort`). 8-bit digits, 8 passes,
+// stable counting scatter; a parallel variant distributes histogramming and
+// scattering across pool lanes with per-lane digit offsets.
+//
+// Doubles are sorted through the standard order-preserving bijection to
+// uint64 (flip all bits of negatives, flip only the sign bit of positives),
+// which orders IEEE-754 values correctly including -0.0 < +0.0 by bit
+// pattern; NaNs sort by payload above +inf and are therefore tolerated
+// (std::sort, by contrast, has UB on NaN with operator<).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "common/key_value.h"
+#include "cpu/thread_pool.h"
+
+namespace hs::cpu {
+
+/// Order-preserving bijections between double and uint64.
+std::uint64_t double_to_radix_key(double d);
+double radix_key_to_double(std::uint64_t k);
+
+/// Sequential LSD radix sort of uint64 keys. O(n) extra memory.
+void radix_sort(std::span<std::uint64_t> keys);
+
+/// Sequential radix sort of doubles via the key bijection.
+void radix_sort(std::span<double> values);
+
+/// Parallel LSD radix sort of uint64 keys using up to `parts` lanes
+/// (0 = pool.size()). Stable; O(n) extra memory.
+void radix_sort_parallel(ThreadPool& pool, std::span<std::uint64_t> keys,
+                         unsigned parts = 0);
+
+/// Parallel radix sort of doubles.
+void radix_sort_parallel(ThreadPool& pool, std::span<double> values,
+                         unsigned parts = 0);
+
+/// Sequential LSD radix sort of key/value records by key (stable in the
+/// original order for equal keys). O(n) extra memory.
+void radix_sort(std::span<KeyValue64> records);
+
+/// Parallel radix sort of key/value records by key.
+void radix_sort_parallel(ThreadPool& pool, std::span<KeyValue64> records,
+                         unsigned parts = 0);
+
+}  // namespace hs::cpu

@@ -1,0 +1,3 @@
+// sample_sort is header-only (templates); this TU anchors the target and verifies the
+// header is self-contained.
+#include "cpu/sample_sort.h"

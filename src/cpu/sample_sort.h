@@ -1,0 +1,113 @@
+// Parallel samplesort — the "Distribution sort" family of the paper's
+// related-work taxonomy (Section II-A, Nodine & Vitter).
+//
+// Oversampled splitters partition the input into p value-disjoint buckets;
+// buckets are scattered with a counting pass (two reads of the input) and
+// then sorted independently in parallel. Out-of-place: O(n) temporary, the
+// same space trade the paper makes for merging (Section III-C).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "common/assert.h"
+#include "common/rng.h"
+#include "cpu/parallel_for.h"
+#include "cpu/thread_pool.h"
+
+namespace hs::cpu {
+
+/// Sorts `data` in place using up to `parts` lanes (0 = pool.size()).
+/// Not stable (equal elements may be reordered across bucket boundaries by
+/// the final per-bucket std::sort); use parallel_sort for a stable multiway
+/// mergesort.
+template <typename T, typename Compare = std::less<T>>
+void sample_sort(ThreadPool& pool, std::span<T> data, Compare comp = {},
+                 unsigned parts = 0) {
+  const std::uint64_t n = data.size();
+  if (n < 2) return;
+  unsigned p = parts == 0 ? pool.size() : std::min(parts, pool.size());
+  constexpr std::uint64_t kSequentialCutoff = 8192;
+  if (p <= 1 || n < kSequentialCutoff) {
+    std::sort(data.begin(), data.end(), comp);
+    return;
+  }
+
+  // --- splitter selection: oversample, sort the sample, take quantiles ----
+  constexpr unsigned kOversample = 32;
+  const std::uint64_t sample_size = std::uint64_t{p} * kOversample;
+  std::vector<T> sample;
+  sample.reserve(sample_size);
+  Xoshiro256 rng(0x5a17e5047u);  // fixed seed: deterministic splitters
+  for (std::uint64_t i = 0; i < sample_size; ++i) {
+    sample.push_back(data[rng.bounded(n)]);
+  }
+  std::sort(sample.begin(), sample.end(), comp);
+  std::vector<T> splitters;
+  splitters.reserve(p - 1);
+  for (unsigned b = 1; b < p; ++b) {
+    splitters.push_back(sample[b * sample.size() / p]);
+  }
+
+  auto bucket_of = [&](const T& v) {
+    // First splitter > v; equal values go to the lower bucket (upper_bound),
+    // matching the multiway-merge partitioning convention.
+    return static_cast<std::uint64_t>(
+        std::upper_bound(splitters.begin(), splitters.end(), v, comp) -
+        splitters.begin());
+  };
+
+  // --- parallel counting ----------------------------------------------------
+  const std::uint64_t chunk = (n + p - 1) / p;
+  std::vector<std::vector<std::uint64_t>> counts(
+      p, std::vector<std::uint64_t>(p, 0));
+  parallel_region(pool, p, [&](unsigned lane, unsigned) {
+    const std::uint64_t lo = chunk * lane;
+    const std::uint64_t hi = std::min(n, lo + chunk);
+    auto& c = counts[lane];
+    for (std::uint64_t i = lo; i < hi; ++i) ++c[bucket_of(data[i])];
+  });
+
+  // --- bucket-major exclusive scan (stable scatter offsets) ----------------
+  std::vector<std::uint64_t> bucket_start(p + 1, 0);
+  {
+    std::uint64_t sum = 0;
+    for (unsigned b = 0; b < p; ++b) {
+      bucket_start[b] = sum;
+      for (unsigned l = 0; l < p; ++l) {
+        const std::uint64_t c = counts[l][b];
+        counts[l][b] = sum;
+        sum += c;
+      }
+    }
+    bucket_start[p] = sum;
+    HS_ASSERT(sum == n);
+  }
+
+  // --- parallel scatter into the temporary ---------------------------------
+  std::vector<T> tmp(n);
+  parallel_region(pool, p, [&](unsigned lane, unsigned) {
+    const std::uint64_t lo = chunk * lane;
+    const std::uint64_t hi = std::min(n, lo + chunk);
+    auto& offsets = counts[lane];
+    for (std::uint64_t i = lo; i < hi; ++i) {
+      tmp[offsets[bucket_of(data[i])]++] = data[i];
+    }
+  });
+
+  // --- sort buckets independently and copy back ----------------------------
+  parallel_region(pool, p, [&](unsigned lane, unsigned lanes) {
+    for (unsigned b = lane; b < p; b += lanes) {
+      const auto first = tmp.begin() + static_cast<std::ptrdiff_t>(bucket_start[b]);
+      const auto last = tmp.begin() + static_cast<std::ptrdiff_t>(bucket_start[b + 1]);
+      std::sort(first, last, comp);
+      std::copy(first, last,
+                data.begin() + static_cast<std::ptrdiff_t>(bucket_start[b]));
+    }
+  });
+}
+
+}  // namespace hs::cpu

@@ -1,0 +1,74 @@
+#include "cpu/thread_pool.h"
+
+#include "common/assert.h"
+
+namespace hs::cpu {
+
+ThreadPool::ThreadPool(unsigned threads) {
+  unsigned n = threads == 0 ? std::thread::hardware_concurrency() : threads;
+  if (n == 0) n = 1;
+  // n - 1 workers: the caller contributes the n-th lane in parallel_for.
+  workers_.reserve(n - 1);
+  for (unsigned i = 0; i + 1 < n; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> fn) {
+  HS_EXPECTS(fn != nullptr);
+  if (workers_.empty()) {
+    // Size-1 pool: run inline; preserves progress without a worker thread.
+    fn();
+    return;
+  }
+  {
+    const std::lock_guard lock(mu_);
+    queue_.push_back(std::move(fn));
+  }
+  cv_.notify_one();
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> fn;
+    {
+      std::unique_lock lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping
+      fn = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    fn();
+  }
+}
+
+void WaitGroup::done() {
+  {
+    const std::lock_guard lock(mu_);
+    HS_ASSERT(remaining_ > 0);
+    --remaining_;
+    if (remaining_ > 0) return;
+  }
+  cv_.notify_all();
+}
+
+void WaitGroup::wait() {
+  std::unique_lock lock(mu_);
+  cv_.wait(lock, [this] { return remaining_ == 0; });
+}
+
+}  // namespace hs::cpu

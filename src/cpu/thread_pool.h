@@ -1,0 +1,66 @@
+// Fixed-size worker pool used by all real host-side parallel algorithms.
+//
+// The pool plays the role of the OpenMP team in the paper's host code. Library
+// algorithms take a ThreadPool& parameter instead of using globals, per the
+// Core Guidelines (I.2); a process-wide default pool is provided for examples
+// and tests. Blocking waits use a per-group counter + condition variable, and
+// the calling thread always executes one share of the work itself, so a pool
+// of size 1 degrades to plain sequential execution without deadlock.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace hs::cpu {
+
+class ThreadPool {
+ public:
+  /// `threads` == 0 selects std::thread::hardware_concurrency().
+  explicit ThreadPool(unsigned threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of workers including the cooperating caller; algorithms use this
+  /// as the parallelism degree p.
+  unsigned size() const { return static_cast<unsigned>(workers_.size()) + 1; }
+
+  /// Enqueues `fn` for asynchronous execution on a worker.
+  void submit(std::function<void()> fn);
+
+  /// Process-wide default pool (lazily constructed, never destroyed before
+  /// exit).
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  bool stopping_ = false;
+};
+
+/// Waitable counter for fork-join sections (a minimal std::latch that can be
+/// counted down from pool workers and waited on by the caller).
+class WaitGroup {
+ public:
+  explicit WaitGroup(std::size_t count) : remaining_(count) {}
+
+  void done();
+  void wait();
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::size_t remaining_;
+};
+
+}  // namespace hs::cpu

@@ -1,0 +1,104 @@
+#include "data/generators.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.h"
+#include "common/rng.h"
+
+namespace hs::data {
+
+std::string_view distribution_name(Distribution d) {
+  switch (d) {
+    case Distribution::kUniform: return "uniform";
+    case Distribution::kGaussian: return "gaussian";
+    case Distribution::kSorted: return "sorted";
+    case Distribution::kReverseSorted: return "reverse";
+    case Distribution::kNearlySorted: return "nearly-sorted";
+    case Distribution::kDuplicateHeavy: return "dup-heavy";
+    case Distribution::kAllEqual: return "all-equal";
+    case Distribution::kZipf: return "zipf";
+  }
+  return "?";
+}
+
+std::vector<double> generate(Distribution dist, std::uint64_t n,
+                             std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<double> v(n);
+  switch (dist) {
+    case Distribution::kUniform:
+      for (auto& x : v) x = rng.uniform01();
+      break;
+    case Distribution::kGaussian:
+      for (auto& x : v) x = rng.normal();
+      break;
+    case Distribution::kSorted:
+      for (std::uint64_t i = 0; i < n; ++i) v[i] = static_cast<double>(i);
+      break;
+    case Distribution::kReverseSorted:
+      for (std::uint64_t i = 0; i < n; ++i) {
+        v[i] = static_cast<double>(n - i);
+      }
+      break;
+    case Distribution::kNearlySorted: {
+      for (std::uint64_t i = 0; i < n; ++i) v[i] = static_cast<double>(i);
+      const std::uint64_t swaps = n / 100;
+      for (std::uint64_t s = 0; s < swaps; ++s) {
+        std::swap(v[rng.bounded(n)], v[rng.bounded(n)]);
+      }
+      break;
+    }
+    case Distribution::kDuplicateHeavy:
+      for (auto& x : v) x = static_cast<double>(rng.bounded(16));
+      break;
+    case Distribution::kAllEqual:
+      std::fill(v.begin(), v.end(), 42.0);
+      break;
+    case Distribution::kZipf: {
+      // Inverse-CDF sampling over 1e6 ranks with s = 1 (harmonic weights).
+      constexpr double kRanks = 1e6;
+      const double h = std::log(kRanks);
+      for (auto& x : v) {
+        x = std::floor(std::exp(rng.uniform01() * h));
+      }
+      break;
+    }
+  }
+  return v;
+}
+
+std::vector<std::uint64_t> generate_keys(Distribution dist, std::uint64_t n,
+                                         std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<std::uint64_t> v(n);
+  switch (dist) {
+    case Distribution::kUniform:
+      for (auto& x : v) x = rng();
+      break;
+    case Distribution::kSorted:
+      for (std::uint64_t i = 0; i < n; ++i) v[i] = i;
+      break;
+    case Distribution::kReverseSorted:
+      for (std::uint64_t i = 0; i < n; ++i) v[i] = n - i;
+      break;
+    case Distribution::kDuplicateHeavy:
+      for (auto& x : v) x = rng.bounded(16);
+      break;
+    case Distribution::kAllEqual:
+      std::fill(v.begin(), v.end(), 42u);
+      break;
+    default: {
+      // Remaining distributions: quantise the double generator.
+      const auto d = generate(dist, n, seed);
+      for (std::uint64_t i = 0; i < n; ++i) {
+        v[i] = static_cast<std::uint64_t>(
+            std::llround(std::abs(d[i]) * 1e6));
+      }
+      break;
+    }
+  }
+  return v;
+}
+
+}  // namespace hs::data

@@ -1,0 +1,38 @@
+// Synthetic workload generation.
+//
+// The paper evaluates on uniformly distributed 64-bit doubles only (Section
+// IV-A: hybrid sorting is transfer-dominated, hence distribution-oblivious).
+// We provide the uniform generator used by every bench plus the distributions
+// common in the sorting literature (PARADIS, Polychroniou & Ross) so tests
+// can probe the real algorithms' sensitivity — and demonstrate the paper's
+// obliviousness claim in an ablation bench.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace hs::data {
+
+enum class Distribution {
+  kUniform,        // U[0, 1) — the paper's workload
+  kGaussian,       // N(0, 1)
+  kSorted,         // already ascending
+  kReverseSorted,  // descending
+  kNearlySorted,   // ascending with ~1% random swaps
+  kDuplicateHeavy, // few distinct values
+  kAllEqual,       // single value
+  kZipf,           // skewed ranks, s = 1.0
+};
+
+std::string_view distribution_name(Distribution d);
+
+/// Generates `n` doubles from `dist` deterministically from `seed`.
+std::vector<double> generate(Distribution dist, std::uint64_t n,
+                             std::uint64_t seed);
+
+/// Generates `n` uint64 keys (for radix tests) from `dist`.
+std::vector<std::uint64_t> generate_keys(Distribution dist, std::uint64_t n,
+                                         std::uint64_t seed);
+
+}  // namespace hs::data

@@ -1,0 +1,44 @@
+#include "data/verify.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/rng.h"
+
+namespace hs::data {
+namespace {
+
+std::uint64_t hash_u64(std::uint64_t x) {
+  std::uint64_t s = x;
+  return hs::splitmix64(s);
+}
+
+}  // namespace
+
+bool is_sorted_ascending(std::span<const double> v) {
+  return std::is_sorted(v.begin(), v.end());
+}
+
+bool is_sorted_ascending(std::span<const std::uint64_t> v) {
+  return std::is_sorted(v.begin(), v.end());
+}
+
+std::uint64_t multiset_fingerprint(std::span<const double> v) {
+  std::uint64_t acc = 0;
+  for (const double d : v) acc += hash_u64(std::bit_cast<std::uint64_t>(d));
+  return acc;
+}
+
+std::uint64_t multiset_fingerprint(std::span<const std::uint64_t> v) {
+  std::uint64_t acc = 0;
+  for (const std::uint64_t k : v) acc += hash_u64(k);
+  return acc;
+}
+
+bool is_sorted_permutation(std::span<const double> input,
+                           std::span<const double> output) {
+  return input.size() == output.size() && is_sorted_ascending(output) &&
+         multiset_fingerprint(input) == multiset_fingerprint(output);
+}
+
+}  // namespace hs::data

@@ -1,0 +1,25 @@
+// Output verification: sortedness plus permutation checking.
+//
+// A sorter can pass an is_sorted check while losing or duplicating elements;
+// the permutation check compares an order-independent multiset fingerprint
+// (sum of per-element hashes) of input and output, so tests catch dropped or
+// fabricated elements without O(n log n) re-sorting.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace hs::data {
+
+bool is_sorted_ascending(std::span<const double> v);
+bool is_sorted_ascending(std::span<const std::uint64_t> v);
+
+/// Order-independent multiset fingerprint (commutative hash accumulation).
+std::uint64_t multiset_fingerprint(std::span<const double> v);
+std::uint64_t multiset_fingerprint(std::span<const std::uint64_t> v);
+
+/// True iff `output` is a sorted permutation of `input`.
+bool is_sorted_permutation(std::span<const double> input,
+                           std::span<const double> output);
+
+}  // namespace hs::data

@@ -1,0 +1,57 @@
+// Out-of-core sorting of files larger than host memory.
+//
+// The paper sorts data larger than *GPU* memory but bounded by host RAM
+// (~3n budget, Section III-C). This module completes the "large datasets"
+// story for files exceeding host memory, using the heterogeneous pipeline as
+// the run-formation engine:
+//
+//   pass 1: read chunks of `memory_budget_elems`, sort each through
+//           HeterogeneousSorter (real execution on the virtual platform),
+//           write sorted run files;
+//   pass 2: k-way merge the run files through fixed-size streaming buffers
+//           (a loser-tree over BufferedRunReaders) into the output file.
+//
+// This is the classical external mergesort with the paper's hybrid sorter as
+// its in-memory phase; the returned stats separate disk time (wall clock)
+// from the pipeline's virtual time so both worlds stay honest.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/sort_config.h"
+#include "model/platforms.h"
+
+namespace hs::io {
+
+struct ExternalSortConfig {
+  model::Platform platform = model::platform1();
+  core::SortConfig pipeline;
+
+  /// Elements loaded, sorted and written per run (the in-memory budget;
+  /// the process peak is ~3x this, matching the pipeline's 3n rule).
+  std::uint64_t memory_budget_elems = 1 << 22;
+
+  /// Streaming buffer per run file during the merge phase.
+  std::uint64_t io_buffer_elems = 1 << 16;
+
+  /// Directory for intermediate run files (must exist).
+  std::string temp_dir = ".";
+};
+
+struct ExternalSortStats {
+  std::uint64_t n = 0;
+  std::uint64_t num_runs = 0;
+  double pipeline_virtual_seconds = 0;  // sum over run-formation reports
+  double wall_seconds = 0;              // real time incl. disk I/O
+};
+
+/// Sorts the doubles in `input_path` into `output_path` (which may equal
+/// `input_path`). Throws IoError on filesystem failures. Intermediate runs
+/// are deleted on success.
+ExternalSortStats external_sort_file(const std::string& input_path,
+                                     const std::string& output_path,
+                                     const ExternalSortConfig& cfg);
+
+}  // namespace hs::io

@@ -1,0 +1,134 @@
+#include "io/run_file.h"
+
+#include <utility>
+
+#include "common/assert.h"
+
+namespace hs::io {
+namespace {
+
+std::FILE* open_or_throw(const std::string& path, const char* mode) {
+  std::FILE* f = std::fopen(path.c_str(), mode);
+  if (f == nullptr) {
+    throw IoError("cannot open " + path);
+  }
+  return f;
+}
+
+}  // namespace
+
+void write_doubles(const std::string& path, std::span<const double> data) {
+  std::FILE* f = open_or_throw(path, "wb");
+  const std::size_t written =
+      data.empty() ? 0 : std::fwrite(data.data(), sizeof(double), data.size(), f);
+  const int rc = std::fclose(f);
+  if (written != data.size() || rc != 0) {
+    throw IoError("short write to " + path);
+  }
+}
+
+BufferedRunWriter::BufferedRunWriter(const std::string& path,
+                                     std::size_t buffer_elems)
+    : path_(path), file_(open_or_throw(path, "wb")) {
+  HS_EXPECTS(buffer_elems > 0);
+  buffer_.reserve(buffer_elems);
+}
+
+BufferedRunWriter::~BufferedRunWriter() {
+  try {
+    close();
+  } catch (const IoError&) {
+    // Destructors must not throw; call close() explicitly to observe errors.
+  }
+}
+
+void BufferedRunWriter::append(double value) {
+  buffer_.push_back(value);
+  ++written_;
+  if (buffer_.size() == buffer_.capacity()) flush_buffer();
+}
+
+void BufferedRunWriter::append(std::span<const double> values) {
+  for (const double v : values) append(v);
+}
+
+void BufferedRunWriter::close() {
+  if (file_ == nullptr) return;
+  flush_buffer();
+  const int rc = std::fclose(file_);
+  file_ = nullptr;
+  if (rc != 0) throw IoError("close failed for " + path_);
+}
+
+void BufferedRunWriter::flush_buffer() {
+  if (buffer_.empty()) return;
+  const std::size_t n =
+      std::fwrite(buffer_.data(), sizeof(double), buffer_.size(), file_);
+  if (n != buffer_.size()) throw IoError("short write to " + path_);
+  buffer_.clear();
+}
+
+std::uint64_t count_doubles(const std::string& path) {
+  std::FILE* f = open_or_throw(path, "rb");
+  std::fseek(f, 0, SEEK_END);
+  const long bytes = std::ftell(f);
+  std::fclose(f);
+  if (bytes < 0 || bytes % static_cast<long>(sizeof(double)) != 0) {
+    throw IoError(path + " is not a whole number of doubles");
+  }
+  return static_cast<std::uint64_t>(bytes) / sizeof(double);
+}
+
+std::vector<double> read_doubles(const std::string& path) {
+  const std::uint64_t n = count_doubles(path);
+  std::vector<double> v(n);
+  std::FILE* f = open_or_throw(path, "rb");
+  const std::size_t got =
+      n == 0 ? 0 : std::fread(v.data(), sizeof(double), n, f);
+  std::fclose(f);
+  if (got != n) throw IoError("short read from " + path);
+  return v;
+}
+
+BufferedRunReader::BufferedRunReader(const std::string& path,
+                                     std::size_t buffer_elems)
+    : file_(open_or_throw(path, "rb")), capacity_(buffer_elems) {
+  HS_EXPECTS(buffer_elems > 0);
+  remaining_total_ = count_doubles(path);
+  refill();
+}
+
+BufferedRunReader::~BufferedRunReader() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+BufferedRunReader::BufferedRunReader(BufferedRunReader&& other) noexcept
+    : file_(std::exchange(other.file_, nullptr)),
+      buffer_(std::move(other.buffer_)),
+      pos_(other.pos_),
+      capacity_(other.capacity_),
+      exhausted_(other.exhausted_),
+      remaining_total_(other.remaining_total_) {}
+
+double BufferedRunReader::head() const {
+  HS_EXPECTS(!empty());
+  return buffer_[pos_];
+}
+
+void BufferedRunReader::pop() {
+  HS_EXPECTS(!empty());
+  ++pos_;
+  --remaining_total_;
+  if (pos_ >= buffer_.size() && !exhausted_) refill();
+}
+
+void BufferedRunReader::refill() {
+  buffer_.resize(capacity_);
+  const std::size_t got =
+      std::fread(buffer_.data(), sizeof(double), capacity_, file_);
+  buffer_.resize(got);
+  pos_ = 0;
+  if (got < capacity_) exhausted_ = true;
+}
+
+}  // namespace hs::io

@@ -1,0 +1,93 @@
+// Binary run files for out-of-core sorting.
+//
+// Format: raw little-endian IEEE-754 doubles, nothing else — the natural
+// on-disk shape of the paper's element type, readable by numpy.fromfile.
+// BufferedRunReader streams a sorted run through a fixed-size buffer so the
+// k-way disk merge of external_sort keeps only O(k * buffer) in memory.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace hs::io {
+
+/// Thrown on any file-system failure (open, short read/write).
+class IoError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Writes `data` to `path`, replacing any existing file.
+void write_doubles(const std::string& path, std::span<const double> data);
+
+/// Appends `data` to an open FILE-backed writer with its own buffer.
+class BufferedRunWriter {
+ public:
+  BufferedRunWriter(const std::string& path, std::size_t buffer_elems);
+  ~BufferedRunWriter();
+
+  BufferedRunWriter(const BufferedRunWriter&) = delete;
+  BufferedRunWriter& operator=(const BufferedRunWriter&) = delete;
+
+  void append(double value);
+  void append(std::span<const double> values);
+
+  /// Flushes and closes; further appends are invalid. Called by the
+  /// destructor if not done explicitly (destructor swallows errors; call
+  /// close() to observe them).
+  void close();
+
+  std::uint64_t written() const { return written_; }
+
+ private:
+  void flush_buffer();
+
+  std::string path_;
+  std::FILE* file_ = nullptr;
+  std::vector<double> buffer_;
+  std::uint64_t written_ = 0;
+};
+
+/// Number of doubles in `path`. Throws IoError if the size is not a multiple
+/// of 8 or the file is unreadable.
+std::uint64_t count_doubles(const std::string& path);
+
+/// Reads the entire file (use only when it fits in memory, e.g. tests).
+std::vector<double> read_doubles(const std::string& path);
+
+/// Streams a run file through a fixed-size buffer.
+class BufferedRunReader {
+ public:
+  BufferedRunReader(const std::string& path, std::size_t buffer_elems);
+  ~BufferedRunReader();
+
+  BufferedRunReader(const BufferedRunReader&) = delete;
+  BufferedRunReader& operator=(const BufferedRunReader&) = delete;
+  BufferedRunReader(BufferedRunReader&&) noexcept;
+
+  bool empty() const { return pos_ >= buffer_.size() && exhausted_; }
+  std::uint64_t remaining() const { return remaining_total_; }
+
+  /// Current smallest unread element. Precondition: !empty().
+  double head() const;
+
+  /// Consumes head(), refilling the buffer from disk when it drains.
+  void pop();
+
+ private:
+  void refill();
+
+  std::FILE* file_ = nullptr;
+  std::vector<double> buffer_;
+  std::size_t pos_ = 0;
+  std::size_t capacity_;
+  bool exhausted_ = false;
+  std::uint64_t remaining_total_ = 0;
+};
+
+}  // namespace hs::io

@@ -1,0 +1,61 @@
+#include "model/cpu_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.h"
+#include "common/math_util.h"
+
+namespace hs::model {
+
+double CpuSortModel::parallel_fraction(std::uint64_t n) const {
+  if (n < 2) return 0.0;
+  const double f = 1.0 - frac_coeff / std::pow(static_cast<double>(n), frac_exp);
+  return std::clamp(f, 0.0, frac_max);
+}
+
+double CpuSortModel::speedup(unsigned threads, std::uint64_t n) const {
+  HS_EXPECTS(threads >= 1);
+  const double f = parallel_fraction(n);
+  return 1.0 / ((1.0 - f) + f / static_cast<double>(threads));
+}
+
+double CpuSortModel::seq_time(std::uint64_t n) const {
+  const double nd = static_cast<double>(n);
+  return seq_coeff * nd * hs::log2d(nd);
+}
+
+double CpuSortModel::time(std::uint64_t n, unsigned threads) const {
+  return seq_time(n) / speedup(threads, n);
+}
+
+double CpuMergeModel::speedup(unsigned threads) const {
+  HS_EXPECTS(threads >= 1);
+  const double p = threads;
+  return p / (1.0 + beta * (p - 1.0));
+}
+
+double CpuMergeModel::time(std::uint64_t n, double ways,
+                           unsigned threads) const {
+  HS_EXPECTS(ways >= 1.0);
+  const double levels = std::max(1.0, hs::log2d(ways));
+  return per_elem_seq * static_cast<double>(n) * levels / speedup(threads);
+}
+
+double CpuMergeModel::flow_rate(std::uint64_t n, double ways,
+                                unsigned threads) const {
+  const double t = time(n, ways, threads);
+  if (t <= 0) return 1e18;  // zero-size merge: effectively instantaneous
+  return traffic_bytes_per_elem * static_cast<double>(n) / t;
+}
+
+double HostMemcpyModel::rate(unsigned threads) const {
+  HS_EXPECTS(threads >= 1);
+  return std::min(per_thread_bps * threads, max_bps);
+}
+
+double HostMemcpyModel::time(std::uint64_t bytes, unsigned threads) const {
+  return static_cast<double>(bytes) / rate(threads);
+}
+
+}  // namespace hs::model

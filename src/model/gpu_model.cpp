@@ -1,0 +1,3 @@
+// GpuSortModel is header-only; this TU anchors the target and verifies the
+// header is self-contained.
+#include "model/gpu_model.h"

@@ -1,0 +1,39 @@
+// On-device sort cost model (the Thrust radix sort of Section III-B).
+//
+// Radix sort is linear in n; the model is affine: a fixed launch/temporary-
+// allocation overhead plus a per-element cost, calibrated so the GP100 sorts
+// 8e8 doubles in ~0.9 s (consistent with the sorting component of Fig 8) and
+// the K40m at roughly half that throughput (Kepler vs Pascal).
+#pragma once
+
+#include <cstdint>
+
+namespace hs::model {
+
+struct GpuSortModel {
+  double launch_s = 2.0e-3;    // kernel launch + cub::DeviceRadixSort setup
+  double per_elem_s = 1.11e-9; // inverse sorting throughput
+
+  double time(std::uint64_t n) const {
+    return launch_s + per_elem_s * static_cast<double>(n);
+  }
+  double throughput() const { return 1.0 / per_elem_s; }
+};
+
+struct DeviceAllocModel {
+  double alloc_s = 1.0e-3;  // cudaMalloc-style allocation latency
+};
+
+/// On-device merge of sorted runs (the Section V extension): memory-bound on
+/// HBM/GDDR, modelled as effective merge traffic throughput (read both runs
+/// + write the output = 2x payload bytes of traffic, folded into the rate).
+struct GpuMergeModel {
+  double launch_s = 1.0e-3;
+  double payload_bytes_per_s = 100.0e9;
+
+  double time(std::uint64_t payload_bytes) const {
+    return launch_s + static_cast<double>(payload_bytes) / payload_bytes_per_s;
+  }
+};
+
+}  // namespace hs::model

@@ -1,0 +1,3 @@
+// HostMemModel is header-only; this TU anchors the target and verifies the
+// header is self-contained.
+#include "model/host_mem_model.h"

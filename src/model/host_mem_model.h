@@ -1,0 +1,17 @@
+// Host main-memory bandwidth model.
+//
+// Staging memcpys and CPU merges are all memory-bound; they run as fluid
+// flows on one shared "host memory" channel whose capacity is the effective
+// copy bandwidth of the dual-socket Xeon (well below the DDR4 peak because
+// every copied byte is read and written). This shared channel is what makes
+// host-side work contend — the central claim of the paper's Section IV-F
+// discussion ("host-side bottlenecks").
+#pragma once
+
+namespace hs::model {
+
+struct HostMemModel {
+  double channel_bps = 40.0e9;  // aggregate copy-traffic bandwidth
+};
+
+}  // namespace hs::model

@@ -1,0 +1,3 @@
+// PcieModel is header-only; this TU anchors the target and verifies the
+// header is self-contained.
+#include "model/pcie_model.h"

@@ -1,0 +1,38 @@
+// PCIe interconnect model.
+//
+// One SharedChannel per direction (HtoD, DtoH) per bus: PCIe v3 x16 is full
+// duplex, so the directions do not contend with each other, but all GPUs on
+// one bus *do* share each direction (the PLATFORM2 dual-GPU contention of
+// Figs 10-11). Per-flow caps encode the paper's measured rates: pinned
+// transfers run at ~12 GB/s (75% of the 16 GB/s peak, Section V) and pageable
+// transfers at roughly half that (the driver's internal staging), and every
+// asynchronous chunk pays a submission/synchronisation latency — one of the
+// overheads the related work omits (Section IV-E).
+#pragma once
+
+#include <cstdint>
+
+namespace hs::model {
+
+struct PcieModel {
+  double channel_bps = 12.8e9;    // aggregate per direction, shared by GPUs
+  double pinned_bps = 12.0e9;     // per-flow cap, pinned HtoD
+  // DtoH runs measurably faster than HtoD on real hardware (the paper's
+  // 0.484 s vs 0.536 s for 5.96 GiB); model the asymmetry explicitly.
+  double pinned_dtoh_bps = 12.0e9;
+  double pageable_bps = 6.0e9;    // per-flow cap, plain cudaMemcpy
+  double async_latency_s = 20e-6; // per-chunk submission + sync overhead
+  double blocking_latency_s = 30e-6;  // cudaMemcpy call overhead
+
+  double pinned_time(std::uint64_t bytes) const {
+    return async_latency_s + static_cast<double>(bytes) / pinned_bps;
+  }
+  double pinned_dtoh_time(std::uint64_t bytes) const {
+    return async_latency_s + static_cast<double>(bytes) / pinned_dtoh_bps;
+  }
+  double pageable_time(std::uint64_t bytes) const {
+    return blocking_latency_s + static_cast<double>(bytes) / pageable_bps;
+  }
+};
+
+}  // namespace hs::model

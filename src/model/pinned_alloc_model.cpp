@@ -1,0 +1,3 @@
+// PinnedAllocModel is header-only; this TU anchors the target and verifies
+// the header is self-contained.
+#include "model/pinned_alloc_model.h"

@@ -1,0 +1,23 @@
+// Pinned (page-locked) host memory allocation cost.
+//
+// Affine model t = base + per_byte · bytes calibrated to the paper's two
+// measurements (Section IV-E.1): allocating ps = 1e6 8-byte elements (8 MB)
+// takes 0.01 s, and ps = 8e8 elements (6.4 GB) takes 2.2 s — the anecdote
+// that makes "just pin the whole buffer" a losing strategy and staging
+// buffers necessary.
+#pragma once
+
+#include <cstdint>
+
+namespace hs::model {
+
+struct PinnedAllocModel {
+  double base_s = 7.26e-3;      // page-table setup, driver round trip
+  double per_byte_s = 3.426e-10;  // page pinning cost
+
+  double time(std::uint64_t bytes) const {
+    return base_s + per_byte_s * static_cast<double>(bytes);
+  }
+};
+
+}  // namespace hs::model

@@ -1,0 +1,72 @@
+// Platform descriptions — Table II of the paper, plus every calibration
+// constant the simulator needs. Users can define their own Platform (see
+// examples/custom_platform.cpp) to explore other configurations, e.g. an
+// NVLink-class interconnect as discussed in the paper's Section V.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "model/cpu_model.h"
+#include "model/gpu_model.h"
+#include "model/host_mem_model.h"
+#include "model/pcie_model.h"
+#include "model/pinned_alloc_model.h"
+
+namespace hs::model {
+
+struct CpuSpec {
+  std::string model;
+  unsigned sockets = 2;
+  unsigned cores_per_socket = 8;
+  double clock_ghz = 2.1;
+  std::uint64_t memory_bytes = 0;
+
+  unsigned total_cores() const { return sockets * cores_per_socket; }
+};
+
+struct GpuSpec {
+  std::string model;
+  unsigned cuda_cores = 0;
+  std::uint64_t memory_bytes = 0;
+  GpuSortModel sort;
+  GpuMergeModel merge;
+  DeviceAllocModel alloc;
+};
+
+struct Platform {
+  std::string name;
+  std::string software;  // CUDA version in the paper's Table II
+  CpuSpec cpu;
+  std::vector<GpuSpec> gpus;  // all sharing one PCIe bus, as on PLATFORM2
+  PcieModel pcie;
+  HostMemModel host_mem;
+  PinnedAllocModel pinned_alloc;
+  CpuSortModel cpu_sort;
+  CpuMergeModel cpu_merge;
+  HostMemcpyModel host_memcpy;
+
+  /// Default reference-implementation thread count (16 on PLATFORM1, 20 on
+  /// PLATFORM2 — Section IV-C).
+  unsigned reference_threads() const { return cpu.total_cores(); }
+};
+
+/// PLATFORM1: 2x Xeon E5-2620 v4 (16 cores, 2.1 GHz, 128 GiB), Quadro GP100
+/// (3584 cores, 16 GiB), CUDA 9.
+Platform platform1();
+
+/// PLATFORM2: 2x Xeon E5-2660 v3 (20 cores, 2.6 GHz, 128 GiB), 2x Tesla K40m
+/// (2880 cores, 12 GiB each) on a shared PCIe bus, CUDA 7.5.
+Platform platform2();
+
+/// Reference CPU sorting libraries benchmarked in Fig 4. The GNU parallel
+/// mode sort is the baseline; TBB tracks it but falls behind at large n;
+/// std::qsort is ~2x std::sort due to indirect comparator calls; std::sort
+/// equals the 1-thread parallel sort.
+enum class CpuSortLibrary { kGnuParallel, kTbb, kStdSort, kStdQsort };
+
+double reference_sort_time(const Platform& p, CpuSortLibrary lib,
+                           std::uint64_t n, unsigned threads);
+
+}  // namespace hs::model

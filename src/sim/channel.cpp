@@ -1,0 +1,137 @@
+#include "sim/channel.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/assert.h"
+
+namespace hs::sim {
+
+namespace {
+// Bytes below this are treated as fully transferred; guards float drift.
+constexpr double kBytesEpsilon = 1e-6;
+// A flow whose residue would finish within this many seconds is also done:
+// at virtual times of order seconds, double time resolution (~1e-15 s) cannot
+// represent smaller steps, and scheduling them would livelock the event loop.
+constexpr double kTimeEpsilon = 1e-9;
+}  // namespace
+
+SharedChannel::SharedChannel(std::string name, double capacity_bps)
+    : name_(std::move(name)), capacity_bps_(capacity_bps) {
+  HS_EXPECTS(capacity_bps_ > 0);
+}
+
+void SharedChannel::advance_to(SimTime now) {
+  HS_EXPECTS(now + 1e-12 >= last_update_);
+  const double dt = now - last_update_;
+  if (dt > 0) {
+    for (auto& f : flows_) {
+      if (f.active) {
+        f.remaining = std::max(0.0, f.remaining - f.rate * dt);
+      }
+    }
+  }
+  last_update_ = std::max(last_update_, now);
+}
+
+FlowHandle SharedChannel::add_flow(double bytes, double rate_cap_bps) {
+  HS_EXPECTS(bytes >= 0);
+  Flow f;
+  f.remaining = bytes;
+  f.cap = rate_cap_bps > 0 ? rate_cap_bps
+                           : std::numeric_limits<double>::infinity();
+  f.serial = next_serial_++;
+  f.active = true;
+
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+    flows_[slot] = f;
+  } else {
+    slot = static_cast<std::uint32_t>(flows_.size());
+    flows_.push_back(f);
+  }
+  ++active_count_;
+  recompute_rates();
+  return FlowHandle{slot, f.serial};
+}
+
+bool SharedChannel::flow_done(FlowHandle h) const {
+  const Flow& f = get(h);
+  return f.remaining <= kBytesEpsilon + f.rate * kTimeEpsilon;
+}
+
+void SharedChannel::remove_flow(FlowHandle h) {
+  Flow& f = get(h);
+  f.active = false;
+  free_slots_.push_back(h.index);
+  HS_ASSERT(active_count_ > 0);
+  --active_count_;
+  recompute_rates();
+}
+
+SimTime SharedChannel::next_completion(SimTime now) const {
+  SimTime best = kTimeInfinity;
+  for (const auto& f : flows_) {
+    if (!f.active) continue;
+    HS_ASSERT(f.rate > 0);
+    if (f.remaining <= kBytesEpsilon + f.rate * kTimeEpsilon) {
+      return now;  // already done
+    }
+    best = std::min(best, now + f.remaining / f.rate);
+  }
+  return best;
+}
+
+double SharedChannel::flow_rate(FlowHandle h) const { return get(h).rate; }
+
+double SharedChannel::flow_remaining(FlowHandle h) const {
+  return get(h).remaining;
+}
+
+void SharedChannel::recompute_rates() {
+  // Water filling: repeatedly grant capped flows their cap whenever the cap is
+  // below the current fair share, then split what is left among the rest.
+  if (active_count_ == 0) return;
+  std::vector<Flow*> open;
+  open.reserve(active_count_);
+  for (auto& f : flows_) {
+    if (f.active) open.push_back(&f);
+  }
+  double remaining_cap = capacity_bps_;
+  bool changed = true;
+  while (changed && !open.empty()) {
+    changed = false;
+    const double fair = remaining_cap / static_cast<double>(open.size());
+    for (std::size_t i = 0; i < open.size();) {
+      if (open[i]->cap <= fair) {
+        open[i]->rate = open[i]->cap;
+        remaining_cap -= open[i]->cap;
+        open[i] = open.back();
+        open.pop_back();
+        changed = true;
+      } else {
+        ++i;
+      }
+    }
+  }
+  if (!open.empty()) {
+    const double fair = remaining_cap / static_cast<double>(open.size());
+    for (Flow* f : open) f->rate = fair;
+  }
+}
+
+const SharedChannel::Flow& SharedChannel::get(FlowHandle h) const {
+  HS_EXPECTS(h.index < flows_.size());
+  const Flow& f = flows_[h.index];
+  HS_EXPECTS_MSG(f.active && f.serial == h.serial, "stale flow handle");
+  return f;
+}
+
+SharedChannel::Flow& SharedChannel::get(FlowHandle h) {
+  return const_cast<Flow&>(
+      static_cast<const SharedChannel*>(this)->get(h));
+}
+
+}  // namespace hs::sim

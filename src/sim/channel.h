@@ -1,0 +1,86 @@
+// Fluid-flow processor-sharing channel.
+//
+// Models a bandwidth-limited link (one PCIe direction, the host memory bus)
+// carrying several concurrent transfers. Capacity is divided by *water
+// filling*: every active flow gets an equal share, except flows whose own rate
+// cap (e.g. "a pageable copy cannot exceed 6 GB/s", "one memcpy thread moves
+// at most 8 GB/s") is below the fair share; their surplus is redistributed to
+// the remaining flows. This is the standard fluid approximation for
+// bandwidth-shared links and is what reproduces the paper's dual-GPU PCIe
+// contention (Figs 10-11) without packet-level simulation.
+//
+// The channel is a passive state machine; the simulation Engine drives it by
+// calling advance_to() before every membership change and asking for the next
+// completion time afterwards.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/types.h"
+
+namespace hs::sim {
+
+struct FlowHandle {
+  std::uint32_t index = 0;     // slot in the channel's active table
+  std::uint64_t serial = 0;    // guards against slot reuse
+};
+
+class SharedChannel {
+ public:
+  /// `capacity_bps` — aggregate bytes/second the link sustains.
+  SharedChannel(std::string name, double capacity_bps);
+
+  const std::string& name() const { return name_; }
+  double capacity() const { return capacity_bps_; }
+
+  /// Advances all active flows' progress to time `now`. Must be called with
+  /// monotonically non-decreasing `now`.
+  void advance_to(SimTime now);
+
+  /// Adds a flow of `bytes` with per-flow cap `rate_cap_bps` (<= 0 means
+  /// uncapped). Caller must have advance_to(now)'d first. Rates of all flows
+  /// are recomputed.
+  FlowHandle add_flow(double bytes, double rate_cap_bps);
+
+  /// True if the flow has transferred all its bytes (within tolerance).
+  bool flow_done(FlowHandle h) const;
+
+  /// Removes a flow (normally when done) and recomputes rates.
+  void remove_flow(FlowHandle h);
+
+  /// Earliest time at which some active flow completes; kTimeInfinity if idle.
+  SimTime next_completion(SimTime now) const;
+
+  std::size_t active_flows() const { return active_count_; }
+
+  /// Current allocated rate of a flow (bytes/s); for tests and diagnostics.
+  double flow_rate(FlowHandle h) const;
+
+  /// Remaining bytes of a flow; for tests and diagnostics.
+  double flow_remaining(FlowHandle h) const;
+
+ private:
+  struct Flow {
+    double remaining = 0;
+    double cap = 0;        // per-flow cap; +inf when uncapped
+    double rate = 0;       // current allocation
+    std::uint64_t serial = 0;
+    bool active = false;
+  };
+
+  void recompute_rates();
+  const Flow& get(FlowHandle h) const;
+  Flow& get(FlowHandle h);
+
+  std::string name_;
+  double capacity_bps_;
+  std::vector<Flow> flows_;      // slot table, slots reused
+  std::vector<std::uint32_t> free_slots_;
+  std::size_t active_count_ = 0;
+  std::uint64_t next_serial_ = 1;
+  SimTime last_update_ = 0;
+};
+
+}  // namespace hs::sim

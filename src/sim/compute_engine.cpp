@@ -1,0 +1,36 @@
+#include "sim/compute_engine.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+
+namespace hs::sim {
+
+ComputeEngine::ComputeEngine(std::string name) : name_(std::move(name)) {}
+
+std::uint64_t ComputeEngine::enqueue(SimTime now, SimTime duration) {
+  HS_EXPECTS(duration >= 0);
+  const SimTime start = std::max(now, free_at_);
+  free_at_ = start + duration;
+  busy_total_ += duration;
+  const std::uint64_t ticket = next_ticket_++;
+  completions_.emplace_back(ticket, free_at_);
+  // Bound queue memory: drop records that can no longer be queried. Keep a
+  // generous window since queries arrive shortly after enqueue.
+  while (completions_.size() > 4096) completions_.pop_front();
+  return ticket;
+}
+
+bool ComputeEngine::done(std::uint64_t ticket, SimTime now) const {
+  return completion_time(ticket) <= now + 1e-12;
+}
+
+SimTime ComputeEngine::completion_time(std::uint64_t ticket) const {
+  for (const auto& [t, end] : completions_) {
+    if (t == ticket) return end;
+  }
+  HS_ASSERT_MSG(false, "unknown or evicted engine ticket");
+  return kTimeInfinity;
+}
+
+}  // namespace hs::sim

@@ -1,0 +1,45 @@
+#include "sim/core_pool.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+
+namespace hs::sim {
+
+CorePool::CorePool(std::string name, std::uint32_t cores)
+    : name_(std::move(name)), total_(cores), available_(cores) {
+  HS_EXPECTS(cores > 0);
+}
+
+bool CorePool::acquire(TaskId task, std::uint32_t count) {
+  const std::uint32_t need = std::min(std::max(count, 1u), total_);
+  if (waiting_.empty() && need <= available_) {
+    available_ -= need;
+    granted_.push_back({task, need});
+    return true;
+  }
+  waiting_.push_back({task, need});
+  return false;
+}
+
+void CorePool::release(TaskId task) {
+  auto it = std::find_if(granted_.begin(), granted_.end(),
+                         [task](const Claim& c) { return c.task == task; });
+  HS_EXPECTS_MSG(it != granted_.end(), "release without matching grant");
+  available_ += it->count;
+  HS_ASSERT(available_ <= total_);
+  granted_.erase(it);
+}
+
+TaskId CorePool::try_grant() {
+  if (waiting_.empty() || waiting_.front().count > available_) {
+    return kInvalidTask;
+  }
+  const Claim c = waiting_.front();
+  waiting_.pop_front();
+  available_ -= c.count;
+  granted_.push_back(c);
+  return c.task;
+}
+
+}  // namespace hs::sim

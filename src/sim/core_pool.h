@@ -1,0 +1,53 @@
+// Counted host-CPU core resource with FIFO admission.
+//
+// Host-side tasks (staging memcpys, pair-wise merges, the multiway merge)
+// claim a number of worker threads for their lifetime. Admission is strict
+// FIFO — a wide task at the head blocks later narrow tasks — which is the
+// conservative behaviour of an OpenMP runtime with a fixed team size and
+// avoids starvation analysis entirely.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+
+#include "sim/types.h"
+
+namespace hs::sim {
+
+class CorePool {
+ public:
+  CorePool(std::string name, std::uint32_t cores);
+
+  const std::string& name() const { return name_; }
+  std::uint32_t total() const { return total_; }
+  std::uint32_t available() const { return available_; }
+
+  /// Requests `count` cores (clamped to pool size) for task `task`. Returns
+  /// true when granted immediately; otherwise the request queues FIFO and the
+  /// Engine is notified via try_grant() when cores free up.
+  bool acquire(TaskId task, std::uint32_t count);
+
+  /// Releases the cores held by `task` (must match a prior grant).
+  void release(TaskId task);
+
+  /// Grants the queue head if it now fits; returns the granted task or
+  /// kInvalidTask. Call repeatedly until it returns kInvalidTask.
+  TaskId try_grant();
+
+  std::size_t queued() const { return waiting_.size(); }
+
+ private:
+  struct Claim {
+    TaskId task;
+    std::uint32_t count;
+  };
+
+  std::string name_;
+  std::uint32_t total_;
+  std::uint32_t available_;
+  std::deque<Claim> waiting_;
+  std::deque<Claim> granted_;
+};
+
+}  // namespace hs::sim

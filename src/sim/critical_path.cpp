@@ -1,0 +1,73 @@
+#include "sim/critical_path.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <unordered_map>
+
+#include "common/assert.h"
+
+namespace hs::sim {
+
+std::vector<CriticalStep> critical_path(const Trace& trace) {
+  if (trace.events().empty()) return {};
+  std::unordered_map<TaskId, const TraceEvent*> by_task;
+  const TraceEvent* last = nullptr;
+  for (const TraceEvent& ev : trace.events()) {
+    by_task.emplace(ev.task, &ev);
+    if (last == nullptr || ev.end > last->end) last = &ev;
+  }
+
+  std::vector<CriticalStep> reversed;
+  const TraceEvent* cur = last;
+  while (cur != nullptr) {
+    CriticalStep step;
+    step.event = cur;
+    step.service = cur->end - cur->start;
+    step.resource_wait = cur->start - cur->ready;
+    reversed.push_back(step);
+    if (cur->blocking_dep == kInvalidTask) break;
+    const auto it = by_task.find(cur->blocking_dep);
+    HS_ASSERT_MSG(it != by_task.end(), "blocking dep missing from trace");
+    cur = it->second;
+  }
+  std::reverse(reversed.begin(), reversed.end());
+  return reversed;
+}
+
+CriticalSummary summarize_critical_path(const Trace& trace) {
+  CriticalSummary s;
+  s.makespan = trace.makespan();
+  for (const CriticalStep& step : critical_path(trace)) {
+    s.total_service += step.service;
+    s.total_wait += step.resource_wait;
+    s.service_by_phase[static_cast<std::size_t>(step.event->phase)] +=
+        step.service;
+  }
+  return s;
+}
+
+void print_critical_summary(const Trace& trace, std::ostream& os) {
+  const CriticalSummary s = summarize_critical_path(trace);
+  char buf[160];
+  std::snprintf(buf, sizeof buf,
+                "critical path: makespan %.4f s = %.4f s service + %.4f s "
+                "resource wait\n",
+                s.makespan, s.total_service, s.total_wait);
+  os << buf;
+  // Phases sorted by contribution.
+  std::vector<std::pair<SimTime, Phase>> ranked;
+  for (std::size_t i = 0; i < kNumPhases; ++i) {
+    if (s.service_by_phase[i] > 0) {
+      ranked.emplace_back(s.service_by_phase[i], static_cast<Phase>(i));
+    }
+  }
+  std::sort(ranked.rbegin(), ranked.rend());
+  for (const auto& [service, phase] : ranked) {
+    std::snprintf(buf, sizeof buf, "  %-14s %8.4f s (%.1f%% of makespan)\n",
+                  std::string(phase_name(phase)).c_str(), service,
+                  s.makespan > 0 ? 100.0 * service / s.makespan : 0.0);
+    os << buf;
+  }
+}
+
+}  // namespace hs::sim

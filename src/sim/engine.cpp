@@ -1,0 +1,222 @@
+#include "sim/engine.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/assert.h"
+
+namespace hs::sim {
+
+ChannelId Engine::add_channel(std::string name, double capacity_bps) {
+  channels_.emplace_back(std::move(name), capacity_bps);
+  return static_cast<ChannelId>(channels_.size() - 1);
+}
+
+EngineId Engine::add_compute(std::string name) {
+  computes_.emplace_back(std::move(name));
+  return static_cast<EngineId>(computes_.size() - 1);
+}
+
+PoolId Engine::add_pool(std::string name, std::uint32_t cores) {
+  pools_.emplace_back(std::move(name), cores);
+  return static_cast<PoolId>(pools_.size() - 1);
+}
+
+SharedChannel& Engine::channel(ChannelId id) {
+  HS_EXPECTS(id < channels_.size());
+  return channels_[id];
+}
+
+ComputeEngine& Engine::compute(EngineId id) {
+  HS_EXPECTS(id < computes_.size());
+  return computes_[id];
+}
+
+CorePool& Engine::pool(PoolId id) {
+  HS_EXPECTS(id < pools_.size());
+  return pools_[id];
+}
+
+Trace Engine::run(TaskGraph graph) {
+  graph.validate();
+  graph_ = std::move(graph);
+  const std::size_t n = graph_.size();
+  states_.assign(n, TaskState{});
+  channel_versions_.assign(channels_.size(), 0);
+  channel_flows_.assign(channels_.size(), {});
+  events_ = {};
+  next_seq_ = 0;
+  completed_ = 0;
+  trace_.clear();
+
+  for (TaskId id = 0; id < n; ++id) {
+    const Task& t = graph_.task(id);
+    states_[id].deps_left = static_cast<std::uint32_t>(t.deps.size());
+    for (const TaskId d : t.deps) states_[d].dependents.push_back(id);
+  }
+  for (TaskId id = 0; id < n; ++id) {
+    if (states_[id].deps_left == 0) on_ready(id, 0.0);
+  }
+
+  while (!events_.empty()) {
+    const Event ev = events_.top();
+    events_.pop();
+    switch (ev.kind) {
+      case Event::Kind::kStageDone:
+        advance(ev.task, ev.time, ev.next_stage);
+        break;
+      case Event::Kind::kChannelCheck:
+        if (ev.version == channel_versions_[ev.chan]) {
+          handle_channel_check(ev.chan, ev.time);
+        }
+        break;
+    }
+  }
+
+  HS_ENSURES(completed_ == n);  // otherwise: resource deadlock or dangling wait
+  return std::exchange(trace_, Trace{});
+}
+
+void Engine::on_ready(TaskId id, SimTime t) {
+  TaskState& st = states_[id];
+  // Zero-cost tasks complete synchronously, so a dependent may reach zero
+  // deps while the initial ready sweep is still running; fire exactly once.
+  if (st.ready_fired) return;
+  st.ready_fired = true;
+  st.ready = t;
+  const Task& task = graph_.task(id);
+  if (task.cores) {
+    HS_EXPECTS(task.cores->pool < pools_.size());
+    if (!pools_[task.cores->pool].acquire(id, task.cores->count)) {
+      return;  // queued; start_service fires on a later release
+    }
+  }
+  start_service(id, t);
+}
+
+void Engine::start_service(TaskId id, SimTime t) {
+  TaskState& st = states_[id];
+  HS_ASSERT(!st.started);
+  st.started = true;
+  st.start = t;
+  advance(id, t, Stage::kFixed);
+}
+
+void Engine::advance(TaskId id, SimTime t, Stage stage) {
+  const Task& task = graph_.task(id);
+  switch (stage) {
+    case Stage::kFixed:
+      if (task.fixed_duration > 0) {
+        schedule_stage(id, t + task.fixed_duration, Stage::kExec);
+        return;
+      }
+      [[fallthrough]];
+    case Stage::kExec:
+      if (task.exec) {
+        HS_EXPECTS(task.exec->engine < computes_.size());
+        ComputeEngine& eng = computes_[task.exec->engine];
+        const std::uint64_t ticket = eng.enqueue(t, task.exec->duration);
+        schedule_stage(id, eng.completion_time(ticket), Stage::kLatency);
+        return;
+      }
+      [[fallthrough]];
+    case Stage::kLatency:
+      if (task.flow && task.flow->latency > 0) {
+        schedule_stage(id, t + task.flow->latency, Stage::kFlowJoin);
+        return;
+      }
+      [[fallthrough]];
+    case Stage::kFlowJoin:
+      if (task.flow) {
+        HS_EXPECTS(task.flow->channel < channels_.size());
+        SharedChannel& ch = channels_[task.flow->channel];
+        ch.advance_to(t);
+        const FlowHandle h = ch.add_flow(task.flow->bytes, task.flow->rate_cap_bps);
+        states_[id].flow_handle = h;
+        channel_flows_[task.flow->channel].emplace_back(id, h);
+        ++channel_versions_[task.flow->channel];
+        schedule_channel_check(task.flow->channel, t);
+        return;
+      }
+      [[fallthrough]];
+    case Stage::kDone:
+      complete(id, t);
+      return;
+  }
+}
+
+void Engine::complete(TaskId id, SimTime t) {
+  const Task& task = graph_.task(id);
+  TaskState& st = states_[id];
+
+  TraceEvent ev;
+  ev.task = id;
+  ev.phase = task.phase;
+  ev.label = task.label;
+  ev.ready = st.ready;
+  ev.start = st.start;
+  ev.end = t;
+  ev.bytes = task.traced_bytes;
+  ev.blocking_dep = st.blocking_dep;
+  trace_.record(std::move(ev));
+
+  if (task.cores) {
+    CorePool& pool = pools_[task.cores->pool];
+    pool.release(id);
+    for (TaskId granted = pool.try_grant(); granted != kInvalidTask;
+         granted = pool.try_grant()) {
+      start_service(granted, t);
+    }
+  }
+  if (task.action) task.action();
+  ++completed_;
+
+  for (const TaskId dep : st.dependents) {
+    HS_ASSERT(states_[dep].deps_left > 0);
+    if (--states_[dep].deps_left == 0) {
+      // This task is the last dependency to finish: the critical edge.
+      states_[dep].blocking_dep = id;
+      on_ready(dep, t);
+    }
+  }
+}
+
+void Engine::schedule_stage(TaskId id, SimTime t, Stage next) {
+  events_.push(Event{t, next_seq_++, Event::Kind::kStageDone, id, next, 0, 0});
+}
+
+void Engine::schedule_channel_check(ChannelId c, SimTime now) {
+  const SimTime when = channels_[c].next_completion(now);
+  if (when == kTimeInfinity) return;
+  Event ev;
+  ev.time = when;
+  ev.seq = next_seq_++;
+  ev.kind = Event::Kind::kChannelCheck;
+  ev.chan = c;
+  ev.version = channel_versions_[c];
+  events_.push(ev);
+}
+
+void Engine::handle_channel_check(ChannelId c, SimTime t) {
+  SharedChannel& ch = channels_[c];
+  ch.advance_to(t);
+  auto& flows = channel_flows_[c];
+  std::vector<TaskId> finished;
+  for (std::size_t i = 0; i < flows.size();) {
+    if (ch.flow_done(flows[i].second)) {
+      finished.push_back(flows[i].first);
+      ch.remove_flow(flows[i].second);
+      flows[i] = flows.back();
+      flows.pop_back();
+    } else {
+      ++i;
+    }
+  }
+  ++channel_versions_[c];
+  schedule_channel_check(c, t);
+  // Completing tasks may add new flows to this channel (dependents); that
+  // bumps the version again and reschedules, so ordering here is safe.
+  for (const TaskId id : finished) complete(id, t);
+}
+
+}  // namespace hs::sim

@@ -1,0 +1,89 @@
+// Discrete-event engine executing a TaskGraph over the declared resources.
+//
+// Events are ordered by (time, sequence number), so runs are bit-for-bit
+// deterministic. Channel flows use the fluid model in SharedChannel; every
+// membership change bumps a per-channel version that invalidates previously
+// scheduled completion checks (lazy deletion).
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "sim/channel.h"
+#include "sim/compute_engine.h"
+#include "sim/core_pool.h"
+#include "sim/task_graph.h"
+#include "sim/trace.h"
+#include "sim/types.h"
+
+namespace hs::sim {
+
+class Engine {
+ public:
+  ChannelId add_channel(std::string name, double capacity_bps);
+  EngineId add_compute(std::string name);
+  PoolId add_pool(std::string name, std::uint32_t cores);
+
+  SharedChannel& channel(ChannelId id);
+  ComputeEngine& compute(EngineId id);
+  CorePool& pool(PoolId id);
+
+  /// Runs `graph` to completion starting at virtual time 0 and returns the
+  /// trace. Resource state (engine free times, etc.) carries over between
+  /// runs only if reset() is not called; benches call run() on a fresh Engine.
+  Trace run(TaskGraph graph);
+
+ private:
+  enum class Stage : std::uint8_t { kFixed, kExec, kLatency, kFlowJoin, kDone };
+
+  struct TaskState {
+    std::uint32_t deps_left = 0;
+    SimTime ready = 0;
+    SimTime start = 0;
+    bool ready_fired = false;
+    bool started = false;
+    TaskId blocking_dep = kInvalidTask;
+    FlowHandle flow_handle{};
+    std::vector<TaskId> dependents;
+  };
+
+  struct Event {
+    SimTime time = 0;
+    std::uint64_t seq = 0;
+    enum class Kind : std::uint8_t { kStageDone, kChannelCheck } kind;
+    TaskId task = kInvalidTask;   // kStageDone
+    Stage next_stage = Stage::kDone;
+    ChannelId chan = 0;           // kChannelCheck
+    std::uint64_t version = 0;
+    bool operator>(const Event& o) const {
+      if (time != o.time) return time > o.time;
+      return seq > o.seq;
+    }
+  };
+
+  void on_ready(TaskId id, SimTime t);
+  void start_service(TaskId id, SimTime t);
+  void advance(TaskId id, SimTime t, Stage stage);
+  void complete(TaskId id, SimTime t);
+  void schedule_stage(TaskId id, SimTime t, Stage next);
+  void schedule_channel_check(ChannelId c, SimTime now);
+  void handle_channel_check(ChannelId c, SimTime t);
+
+  std::vector<SharedChannel> channels_;
+  std::vector<ComputeEngine> computes_;
+  std::vector<CorePool> pools_;
+
+  // Per-run state.
+  TaskGraph graph_;
+  std::vector<TaskState> states_;
+  std::vector<std::uint64_t> channel_versions_;
+  std::vector<std::vector<std::pair<TaskId, FlowHandle>>> channel_flows_;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> events_;
+  std::uint64_t next_seq_ = 0;
+  std::size_t completed_ = 0;
+  Trace trace_;
+};
+
+}  // namespace hs::sim

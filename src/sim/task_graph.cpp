@@ -1,0 +1,53 @@
+#include "sim/task_graph.h"
+
+#include "common/assert.h"
+
+namespace hs::sim {
+
+TaskId TaskGraph::add(Task t) {
+  HS_EXPECTS_MSG(tasks_.size() < kInvalidTask, "task graph too large");
+  if (t.traced_bytes == 0 && t.flow) {
+    t.traced_bytes = static_cast<std::uint64_t>(t.flow->bytes);
+  }
+  const auto id = static_cast<TaskId>(tasks_.size());
+  for (const TaskId d : t.deps) {
+    HS_EXPECTS_MSG(d < id, "dependency must precede dependent (topological order)");
+  }
+  tasks_.push_back(std::move(t));
+  return id;
+}
+
+TaskId TaskGraph::add_barrier(std::string label, std::vector<TaskId> deps) {
+  Task t;
+  t.label = std::move(label);
+  t.deps = std::move(deps);
+  return add(std::move(t));
+}
+
+const Task& TaskGraph::task(TaskId id) const {
+  HS_EXPECTS(id < tasks_.size());
+  return tasks_[id];
+}
+
+Task& TaskGraph::task(TaskId id) {
+  HS_EXPECTS(id < tasks_.size());
+  return tasks_[id];
+}
+
+void TaskGraph::validate() const {
+  for (std::size_t i = 0; i < tasks_.size(); ++i) {
+    for (const TaskId d : tasks_[i].deps) {
+      HS_EXPECTS(d < i);
+    }
+    if (tasks_[i].flow) {
+      HS_EXPECTS(tasks_[i].flow->bytes >= 0);
+      HS_EXPECTS(tasks_[i].flow->latency >= 0);
+    }
+    if (tasks_[i].exec) {
+      HS_EXPECTS(tasks_[i].exec->duration >= 0);
+    }
+    HS_EXPECTS(tasks_[i].fixed_duration >= 0);
+  }
+}
+
+}  // namespace hs::sim

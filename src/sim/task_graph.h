@@ -1,0 +1,78 @@
+// Static task graph consumed by the simulation Engine.
+//
+// A pipeline (BLINE, PIPEDATA, ...) is compiled into this DAG up front; the
+// paper's scheduling decisions (batch-to-stream assignment, the pair-merge
+// heuristic) are all static, so no dynamic scheduler is needed. Each task may
+// claim host cores, occupy a compute engine for a fixed duration, and/or push
+// bytes through a shared channel, in that order:
+//
+//   deps met -> acquire cores -> fixed delay -> engine job -> latency ->
+//   channel flow -> complete (release cores, fire side-effect action)
+//
+// The optional `action` is the *real* side effect (memcpy, std::sort on the
+// device buffer's backing store, merge) executed at completion in virtual
+// time order — the mechanism that lets one code path serve both correctness
+// tests (Execution::Real) and data-free timing sweeps (Execution::TimingOnly).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/trace.h"
+#include "sim/types.h"
+
+namespace hs::sim {
+
+struct CoreClaim {
+  PoolId pool = 0;
+  std::uint32_t count = 1;
+};
+
+struct ExecSpec {
+  EngineId engine = 0;
+  SimTime duration = 0;
+};
+
+struct FlowSpec {
+  ChannelId channel = 0;
+  double bytes = 0;
+  double rate_cap_bps = 0;  // <= 0: uncapped
+  SimTime latency = 0;      // per-transfer submission/synchronisation overhead
+};
+
+struct Task {
+  std::string label;
+  Phase phase = Phase::kOther;
+  std::vector<TaskId> deps;
+  std::optional<CoreClaim> cores;
+  std::optional<ExecSpec> exec;
+  std::optional<FlowSpec> flow;
+  SimTime fixed_duration = 0;
+  std::uint64_t traced_bytes = 0;  // reported in the trace (defaults to flow bytes)
+  std::function<void()> action;
+};
+
+class TaskGraph {
+ public:
+  TaskId add(Task t);
+
+  /// Convenience: a zero-cost barrier joining `deps`.
+  TaskId add_barrier(std::string label, std::vector<TaskId> deps);
+
+  const Task& task(TaskId id) const;
+  Task& task(TaskId id);
+
+  std::size_t size() const { return tasks_.size(); }
+
+  /// Validates the DAG: dependency ids in range and strictly smaller than the
+  /// dependent's id (construction order is a topological order by design).
+  void validate() const;
+
+ private:
+  std::vector<Task> tasks_;
+};
+
+}  // namespace hs::sim

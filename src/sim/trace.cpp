@@ -1,0 +1,64 @@
+#include "sim/trace.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+
+namespace hs::sim {
+
+std::string_view phase_name(Phase p) {
+  switch (p) {
+    case Phase::kPinnedAlloc: return "PinnedAlloc";
+    case Phase::kStageIn: return "StageIn";
+    case Phase::kHtoD: return "HtoD";
+    case Phase::kGpuSort: return "GPUSort";
+    case Phase::kDtoH: return "DtoH";
+    case Phase::kStageOut: return "StageOut";
+    case Phase::kSync: return "Sync";
+    case Phase::kPairMerge: return "PairMerge";
+    case Phase::kMultiwayMerge: return "MultiwayMerge";
+    case Phase::kDeviceAlloc: return "DeviceAlloc";
+    case Phase::kOther: return "Other";
+  }
+  return "?";
+}
+
+void Trace::record(TraceEvent ev) {
+  HS_EXPECTS(ev.ready <= ev.start && ev.start <= ev.end);
+  const auto i = static_cast<std::size_t>(ev.phase);
+  busy_[i] += ev.end - ev.start;
+  wait_[i] += ev.start - ev.ready;
+  bytes_[i] += ev.bytes;
+  count_[i] += 1;
+  makespan_ = std::max(makespan_, ev.end);
+  events_.push_back(std::move(ev));
+}
+
+SimTime Trace::phase_busy(Phase p) const {
+  return busy_[static_cast<std::size_t>(p)];
+}
+
+SimTime Trace::phase_queue_wait(Phase p) const {
+  return wait_[static_cast<std::size_t>(p)];
+}
+
+std::uint64_t Trace::phase_bytes(Phase p) const {
+  return bytes_[static_cast<std::size_t>(p)];
+}
+
+std::size_t Trace::phase_count(Phase p) const {
+  return count_[static_cast<std::size_t>(p)];
+}
+
+SimTime Trace::makespan() const { return makespan_; }
+
+void Trace::clear() {
+  events_.clear();
+  busy_.fill(0);
+  wait_.fill(0);
+  bytes_.fill(0);
+  count_.fill(0);
+  makespan_ = 0;
+}
+
+}  // namespace hs::sim

@@ -1,0 +1,83 @@
+// Execution trace of a simulated pipeline run.
+//
+// Every task records the interval during which it held resources, tagged with
+// a Phase. The per-phase aggregations are exactly what the paper's Figures 7
+// and 8 plot: how much time HtoD / DtoH / GPUSort / staging copies / pinned
+// allocation / synchronisation contribute, and which of those the
+// "related-work accounting" of Stehle & Jacobsen omits.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/types.h"
+
+namespace hs::sim {
+
+enum class Phase : std::uint8_t {
+  kPinnedAlloc,    // cudaMallocHost-equivalent staging-buffer allocation
+  kStageIn,        // host-to-host MCpy: pageable A -> pinned staging
+  kHtoD,           // PCIe transfer host -> device
+  kGpuSort,        // on-device sort kernel
+  kDtoH,           // PCIe transfer device -> host
+  kStageOut,       // host-to-host MCpy: pinned staging -> pageable W/B
+  kSync,           // per-chunk asynchronous-copy synchronisation overhead
+  kPairMerge,      // pipelined pair-wise merge on the CPU (PIPEMERGE)
+  kMultiwayMerge,  // final multiway merge on the CPU
+  kDeviceAlloc,    // device global-memory allocation
+  kOther,
+};
+
+inline constexpr std::size_t kNumPhases = 11;
+
+std::string_view phase_name(Phase p);
+
+struct TraceEvent {
+  TaskId task = kInvalidTask;
+  Phase phase = Phase::kOther;
+  std::string label;
+  SimTime ready = 0;    // all dependencies satisfied
+  SimTime start = 0;    // resources acquired, service begins
+  SimTime end = 0;      // service complete
+  std::uint64_t bytes = 0;
+  /// The dependency that finished last (kInvalidTask for roots) — the edge a
+  /// critical-path walk follows backwards.
+  TaskId blocking_dep = kInvalidTask;
+};
+
+class Trace {
+ public:
+  void record(TraceEvent ev);
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+
+  /// Sum of service durations (end - start) for one phase. Phases may overlap
+  /// in time under the pipelined approaches; this is per-phase busy time, the
+  /// quantity the paper's component plots report.
+  SimTime phase_busy(Phase p) const;
+
+  /// Sum of (start - ready): time tasks of this phase spent queued on
+  /// resources. Useful for diagnosing which resource saturates.
+  SimTime phase_queue_wait(Phase p) const;
+
+  std::uint64_t phase_bytes(Phase p) const;
+  std::size_t phase_count(Phase p) const;
+
+  /// End of the last event; with a graph-wide sink task this is the makespan.
+  SimTime makespan() const;
+
+  void clear();
+
+ private:
+  std::vector<TraceEvent> events_;
+  std::array<SimTime, kNumPhases> busy_{};
+  std::array<SimTime, kNumPhases> wait_{};
+  std::array<std::uint64_t, kNumPhases> bytes_{};
+  std::array<std::size_t, kNumPhases> count_{};
+  SimTime makespan_ = 0;
+};
+
+}  // namespace hs::sim

@@ -1,0 +1,95 @@
+#include "sim/trace_export.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <vector>
+
+#include "common/assert.h"
+
+namespace hs::sim {
+namespace {
+
+// Escapes the few characters task labels could inject into JSON strings.
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+void export_chrome_trace(const Trace& trace, std::ostream& os) {
+  os << "[\n";
+  bool first = true;
+  std::map<std::string, int> tids;
+  for (const TraceEvent& ev : trace.events()) {
+    const std::string row(phase_name(ev.phase));
+    const auto [it, inserted] =
+        tids.emplace(row, static_cast<int>(tids.size()) + 1);
+    char buf[512];
+    std::snprintf(
+        buf, sizeof buf,
+        "%s  {\"name\": \"%s\", \"cat\": \"%s\", \"ph\": \"X\", "
+        "\"ts\": %.3f, \"dur\": %.3f, \"pid\": 1, \"tid\": %d, "
+        "\"args\": {\"bytes\": %llu, \"queue_wait_us\": %.3f}}",
+        first ? "" : ",\n", json_escape(ev.label).c_str(), row.c_str(),
+        ev.start * 1e6, (ev.end - ev.start) * 1e6, it->second,
+        static_cast<unsigned long long>(ev.bytes),
+        (ev.start - ev.ready) * 1e6);
+    os << buf;
+    first = false;
+  }
+  os << "\n]\n";
+}
+
+void render_ascii_gantt(const Trace& trace, std::ostream& os, unsigned width) {
+  HS_EXPECTS(width >= 10);
+  const SimTime makespan = trace.makespan();
+  if (makespan <= 0 || trace.events().empty()) {
+    os << "(empty trace)\n";
+    return;
+  }
+  // busy[row][cell] accumulates seconds of service inside each time slice.
+  std::map<std::string, std::vector<double>> rows;
+  const double cell = makespan / width;
+  for (const TraceEvent& ev : trace.events()) {
+    auto& row = rows.try_emplace(std::string(phase_name(ev.phase)),
+                                 std::vector<double>(width, 0.0))
+                    .first->second;
+    const auto first_cell = static_cast<std::size_t>(ev.start / cell);
+    const auto last_cell = std::min<std::size_t>(
+        width - 1, static_cast<std::size_t>(ev.end / cell));
+    for (std::size_t c = first_cell; c <= last_cell; ++c) {
+      const double cs = static_cast<double>(c) * cell;
+      const double overlap =
+          std::min(ev.end, cs + cell) - std::max(ev.start, cs);
+      if (overlap > 0) row[c] += overlap;
+    }
+  }
+
+  std::size_t label_width = 0;
+  for (const auto& [name, _] : rows) label_width = std::max(label_width, name.size());
+  for (const auto& [name, cells] : rows) {
+    os << name << std::string(label_width - name.size() + 1, ' ') << '|';
+    for (const double busy : cells) {
+      const double frac = busy / cell;
+      os << (frac <= 0.001 ? ' ' : frac < 0.5 ? '.' : '#');
+    }
+    os << "|\n";
+  }
+  char time_label[32];
+  std::snprintf(time_label, sizeof time_label, "%.3f s", makespan);
+  const std::size_t total = label_width + 2 + width;
+  const std::size_t pad =
+      total > std::strlen(time_label) + 1 ? total - std::strlen(time_label) - 1
+                                          : 1;
+  os << '0' << std::string(pad, ' ') << time_label << '\n';
+}
+
+}  // namespace hs::sim

@@ -1,0 +1,27 @@
+// Trace visualisation: Chrome trace-event JSON (load in chrome://tracing or
+// https://ui.perfetto.dev) and a terminal Gantt chart. Both group tasks into
+// rows by the stream/phase prefix of their label, which is how the paper's
+// Figures 1-3 draw their pipelines — handy for eyeballing whether PIPEDATA
+// actually overlaps HtoD with DtoH the way Figure 2 promises.
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "sim/trace.h"
+
+namespace hs::sim {
+
+/// Writes the trace in Chrome trace-event array format. Rows ("tid") are
+/// derived from task labels: "b3.h2d17" groups under "HtoD", "g0.s1:sort"
+/// under its stream, merges under "merge". Durations are microseconds as the
+/// format requires.
+void export_chrome_trace(const Trace& trace, std::ostream& os);
+
+/// Renders an ASCII Gantt chart of the trace, one row per phase, `width`
+/// character cells across the makespan. Cell glyph density encodes how much
+/// of the cell's time slice is busy: ' ' idle, '.' <50%, '#' >=50%.
+void render_ascii_gantt(const Trace& trace, std::ostream& os,
+                        unsigned width = 100);
+
+}  // namespace hs::sim

@@ -1,0 +1,22 @@
+// Fundamental identifiers and time type for the discrete-event simulator.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace hs::sim {
+
+/// Virtual time in seconds. Double precision gives ~microsecond resolution at
+/// the hour scale, far below the model constants we calibrate (>= 1 us).
+using SimTime = double;
+
+inline constexpr SimTime kTimeInfinity = std::numeric_limits<SimTime>::infinity();
+
+using TaskId = std::uint32_t;
+using ChannelId = std::uint32_t;
+using EngineId = std::uint32_t;
+using PoolId = std::uint32_t;
+
+inline constexpr TaskId kInvalidTask = std::numeric_limits<TaskId>::max();
+
+}  // namespace hs::sim

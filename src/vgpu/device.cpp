@@ -1,0 +1,35 @@
+#include "vgpu/device.h"
+
+#include "common/assert.h"
+#include "common/units.h"
+
+namespace hs::vgpu {
+
+DeviceOutOfMemory::DeviceOutOfMemory(const std::string& device,
+                                     std::uint64_t requested,
+                                     std::uint64_t available)
+    : std::runtime_error("device " + device + " out of global memory: requested " +
+                         format_bytes(requested) + ", available " +
+                         format_bytes(available)),
+      requested_(requested),
+      available_(available) {}
+
+Device::Device(model::GpuSpec spec, unsigned index, Execution mode)
+    : spec_(std::move(spec)), index_(index), mode_(mode) {
+  HS_EXPECTS(spec_.memory_bytes > 0);
+}
+
+DeviceBuffer Device::allocate(std::uint64_t bytes) {
+  if (bytes > free_bytes()) {
+    throw DeviceOutOfMemory(spec_.model, bytes, free_bytes());
+  }
+  used_ += bytes;
+  return DeviceBuffer(this, bytes, mode_ == Execution::kReal);
+}
+
+void Device::on_free(std::uint64_t bytes) {
+  HS_ASSERT(bytes <= used_);
+  used_ -= bytes;
+}
+
+}  // namespace hs::vgpu

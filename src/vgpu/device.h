@@ -1,0 +1,67 @@
+// Virtual GPU device: global-memory capacity accounting (the constraint that
+// forces batching in the first place) plus the compute-engine binding.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "model/platforms.h"
+#include "sim/types.h"
+#include "vgpu/device_buffer.h"
+#include "vgpu/execution.h"
+
+namespace hs::vgpu {
+
+/// Thrown when an allocation exceeds remaining device global memory — the
+/// virtual analogue of cudaErrorMemoryAllocation.
+class DeviceOutOfMemory : public std::runtime_error {
+ public:
+  DeviceOutOfMemory(const std::string& device, std::uint64_t requested,
+                    std::uint64_t available);
+
+  std::uint64_t requested() const { return requested_; }
+  std::uint64_t available() const { return available_; }
+
+ private:
+  std::uint64_t requested_;
+  std::uint64_t available_;
+};
+
+class Device {
+ public:
+  Device(model::GpuSpec spec, unsigned index, Execution mode);
+
+  // Capacity accounting lives here; moving would dangle DeviceBuffer back
+  // pointers.
+  Device(const Device&) = delete;
+  Device& operator=(const Device&) = delete;
+
+  const model::GpuSpec& spec() const { return spec_; }
+  unsigned index() const { return index_; }
+  Execution mode() const { return mode_; }
+
+  std::uint64_t capacity_bytes() const { return spec_.memory_bytes; }
+  std::uint64_t used_bytes() const { return used_; }
+  std::uint64_t free_bytes() const { return spec_.memory_bytes - used_; }
+
+  /// Allocates `bytes` of global memory. Throws DeviceOutOfMemory.
+  DeviceBuffer allocate(std::uint64_t bytes);
+
+  /// Simulation compute engine carrying this device's sort kernels; assigned
+  /// by the Runtime during wiring.
+  sim::EngineId engine() const { return engine_; }
+  void bind_engine(sim::EngineId id) { engine_ = id; }
+
+ private:
+  friend class DeviceBuffer;
+  void on_free(std::uint64_t bytes);
+
+  model::GpuSpec spec_;
+  unsigned index_;
+  Execution mode_;
+  std::uint64_t used_ = 0;
+  sim::EngineId engine_ = 0;
+};
+
+}  // namespace hs::vgpu

@@ -1,0 +1,50 @@
+#include "vgpu/device_buffer.h"
+
+#include <utility>
+
+#include "common/assert.h"
+#include "vgpu/device.h"
+
+namespace hs::vgpu {
+
+DeviceBuffer::DeviceBuffer(Device* device, std::uint64_t bytes, bool real)
+    : device_(device), bytes_(bytes) {
+  if (real) storage_.resize(bytes);
+}
+
+DeviceBuffer::DeviceBuffer(DeviceBuffer&& other) noexcept
+    : device_(std::exchange(other.device_, nullptr)),
+      bytes_(std::exchange(other.bytes_, 0)),
+      storage_(std::move(other.storage_)) {}
+
+DeviceBuffer& DeviceBuffer::operator=(DeviceBuffer&& other) noexcept {
+  if (this != &other) {
+    release();
+    device_ = std::exchange(other.device_, nullptr);
+    bytes_ = std::exchange(other.bytes_, 0);
+    storage_ = std::move(other.storage_);
+  }
+  return *this;
+}
+
+DeviceBuffer::~DeviceBuffer() { release(); }
+
+std::span<std::byte> DeviceBuffer::bytes() {
+  return {storage_.data(), storage_.size()};
+}
+
+std::span<const std::byte> DeviceBuffer::bytes() const {
+  return {storage_.data(), storage_.size()};
+}
+
+void DeviceBuffer::release() {
+  if (device_ != nullptr) {
+    device_->on_free(bytes_);
+    device_ = nullptr;
+    bytes_ = 0;
+    storage_.clear();
+    storage_.shrink_to_fit();
+  }
+}
+
+}  // namespace hs::vgpu

@@ -1,0 +1,56 @@
+// RAII device global-memory allocation (cudaMalloc analogue).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace hs::vgpu {
+
+class Device;
+
+/// Move-only owner of a device allocation, sized in bytes (device memory is
+/// untyped, as in CUDA). In Execution::kReal the buffer has a real backing
+/// store ("device memory" lives in host RAM); in kTimingOnly only the byte
+/// count is tracked. Destruction returns capacity to the owning Device.
+class DeviceBuffer {
+ public:
+  DeviceBuffer() = default;
+  DeviceBuffer(DeviceBuffer&& other) noexcept;
+  DeviceBuffer& operator=(DeviceBuffer&& other) noexcept;
+  DeviceBuffer(const DeviceBuffer&) = delete;
+  DeviceBuffer& operator=(const DeviceBuffer&) = delete;
+  ~DeviceBuffer();
+
+  std::uint64_t size_bytes() const { return bytes_; }
+  bool valid() const { return device_ != nullptr; }
+
+  /// Real backing store; empty span in kTimingOnly mode.
+  std::span<std::byte> bytes();
+  std::span<const std::byte> bytes() const;
+
+  /// Typed view of the backing store (real mode only).
+  template <typename T>
+  std::span<T> as() {
+    auto b = bytes();
+    return {reinterpret_cast<T*>(b.data()), b.size() / sizeof(T)};
+  }
+  template <typename T>
+  std::span<const T> as() const {
+    auto b = bytes();
+    return {reinterpret_cast<const T*>(b.data()), b.size() / sizeof(T)};
+  }
+
+  void release();
+
+ private:
+  friend class Device;
+  DeviceBuffer(Device* device, std::uint64_t bytes, bool real);
+
+  Device* device_ = nullptr;
+  std::uint64_t bytes_ = 0;
+  std::vector<std::byte> storage_;
+};
+
+}  // namespace hs::vgpu

@@ -1,0 +1,67 @@
+#include "vgpu/device_ops.h"
+
+#include <cstring>
+
+#include "common/assert.h"
+
+namespace hs::vgpu {
+namespace {
+
+// On-device raw byte movement (memset, intra-device copies) runs near the
+// HBM/GDDR copy rate; reuse the merge model's payload throughput as the
+// calibrated per-device constant (both are streaming byte movers).
+double device_bandwidth(const Device& dev) {
+  return dev.spec().merge.payload_bytes_per_s;
+}
+
+}  // namespace
+
+sim::TaskId device_memset(Runtime& rt, sim::TaskGraph& graph, Stream& stream,
+                          Device& dev, DeviceBuffer& buf, std::uint64_t offset,
+                          std::uint64_t bytes, std::uint8_t value) {
+  HS_EXPECTS(offset + bytes <= buf.size_bytes());
+  sim::Task t;
+  t.label = stream.name() + ":memset";
+  t.phase = sim::Phase::kOther;
+  t.exec = sim::ExecSpec{dev.engine(),
+                         static_cast<double>(bytes) / device_bandwidth(dev)};
+  t.traced_bytes = bytes;
+  if (rt.mode() == Execution::kReal) {
+    auto dst = buf.bytes().subspan(offset, bytes);
+    t.action = [dst, value] {
+      std::memset(dst.data(), value, dst.size());
+    };
+  }
+  return stream.submit(graph, std::move(t));
+}
+
+sim::TaskId device_copy(Runtime& rt, sim::TaskGraph& graph, Stream& stream,
+                        Device& src_dev, const DeviceBuffer& src,
+                        std::uint64_t src_off, Device& dst_dev,
+                        DeviceBuffer& dst, std::uint64_t dst_off,
+                        std::uint64_t bytes) {
+  HS_EXPECTS(src_off + bytes <= src.size_bytes());
+  HS_EXPECTS(dst_off + bytes <= dst.size_bytes());
+  sim::Task t;
+  t.traced_bytes = bytes;
+  if (src_dev.index() == dst_dev.index()) {
+    t.label = stream.name() + ":d2d";
+    t.phase = sim::Phase::kOther;
+    t.exec = sim::ExecSpec{
+        src_dev.engine(), static_cast<double>(bytes) / device_bandwidth(src_dev)};
+  } else {
+    t.label = stream.name() + ":peer";
+    t.phase = sim::Phase::kDtoH;  // peer reads traverse the shared bus
+    t.flow = sim::FlowSpec{rt.dtoh_channel(), static_cast<double>(bytes),
+                           rt.platform().pcie.pinned_bps,
+                           rt.platform().pcie.async_latency_s};
+  }
+  if (rt.mode() == Execution::kReal) {
+    auto s = std::span<const std::byte>(src.bytes()).subspan(src_off, bytes);
+    auto d = dst.bytes().subspan(dst_off, bytes);
+    t.action = [s, d] { std::memcpy(d.data(), s.data(), s.size()); };
+  }
+  return stream.submit(graph, std::move(t));
+}
+
+}  // namespace hs::vgpu

@@ -1,0 +1,35 @@
+// Additional device primitives: memset and device-to-device copies —
+// cudaMemset / cudaMemcpyDeviceToDevice / cudaMemcpyPeer analogues.
+//
+// Intra-device copies and memsets are HBM-bandwidth-bound and run on the
+// device's compute engine (they do not touch PCIe). Cross-device (peer)
+// copies travel the shared PCIe bus; we model a peer copy as a flow on the
+// DtoH direction of the bus (P2P reads from the source device), a documented
+// simplification that preserves the property the paper cares about: peer
+// traffic contends with the pipeline's DtoH transfers.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/task_graph.h"
+#include "vgpu/device.h"
+#include "vgpu/runtime.h"
+#include "vgpu/stream.h"
+
+namespace hs::vgpu {
+
+/// Fills `bytes` of `buf` (from byte offset `offset`) with `value`.
+sim::TaskId device_memset(Runtime& rt, sim::TaskGraph& graph, Stream& stream,
+                          Device& dev, DeviceBuffer& buf, std::uint64_t offset,
+                          std::uint64_t bytes, std::uint8_t value);
+
+/// Copies `bytes` from `src` (offset `src_off`) to `dst` (offset `dst_off`).
+/// `src_dev`/`dst_dev` select intra-device (same index: HBM copy on the
+/// compute engine) or peer (different: PCIe flow) semantics.
+sim::TaskId device_copy(Runtime& rt, sim::TaskGraph& graph, Stream& stream,
+                        Device& src_dev, const DeviceBuffer& src,
+                        std::uint64_t src_off, Device& dst_dev,
+                        DeviceBuffer& dst, std::uint64_t dst_off,
+                        std::uint64_t bytes);
+
+}  // namespace hs::vgpu

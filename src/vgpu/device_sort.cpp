@@ -1,0 +1,64 @@
+#include "vgpu/device_sort.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+#include "cpu/thread_pool.h"
+
+namespace hs::vgpu {
+
+sim::TaskId device_sort(Runtime& rt, sim::TaskGraph& graph, Stream& stream,
+                        Device& dev, DeviceBuffer& buffer,
+                        const DeviceBuffer& temp, std::uint64_t elems,
+                        const cpu::ElementOps& ops) {
+  const std::uint64_t payload = elems * ops.elem_size;
+  HS_EXPECTS(payload <= buffer.size_bytes());
+  HS_EXPECTS_MSG(temp.size_bytes() >= payload,
+                 "Thrust-style sort is out-of-place: temp must cover the input");
+
+  sim::Task t;
+  t.label = stream.name() + ":sort";
+  t.phase = sim::Phase::kGpuSort;
+  t.exec = sim::ExecSpec{
+      dev.engine(), dev.spec().sort.time(elems) * ops.gpu_sort_cost_factor};
+  t.traced_bytes = payload;
+  if (rt.mode() == Execution::kReal) {
+    std::byte* data = buffer.bytes().data();
+    auto sort_fn = ops.device_sort;
+    t.action = [data, elems, sort_fn] { sort_fn(data, elems); };
+  }
+  return stream.submit(graph, std::move(t));
+}
+
+sim::TaskId device_merge(Runtime& rt, sim::TaskGraph& graph, Stream& stream,
+                         Device& dev, const DeviceBuffer& left,
+                         std::uint64_t left_elems, const DeviceBuffer& right,
+                         std::uint64_t right_elems, DeviceBuffer& out,
+                         const cpu::ElementOps& ops) {
+  const std::uint64_t payload = (left_elems + right_elems) * ops.elem_size;
+  HS_EXPECTS(left_elems * ops.elem_size <= left.size_bytes());
+  HS_EXPECTS(right_elems * ops.elem_size <= right.size_bytes());
+  HS_EXPECTS_MSG(out.size_bytes() >= payload,
+                 "device merge output must hold both runs");
+
+  sim::Task t;
+  t.label = stream.name() + ":devmerge";
+  t.phase = sim::Phase::kPairMerge;
+  t.exec = sim::ExecSpec{dev.engine(), dev.spec().merge.time(payload)};
+  t.traced_bytes = payload;
+  if (rt.mode() == Execution::kReal) {
+    cpu::RunView a{left.bytes().data(), left_elems};
+    cpu::RunView b{right.bytes().data(), right_elems};
+    std::byte* dst = out.bytes().data();
+    auto merge_fn = ops.merge_pair;
+    t.action = [a, b, dst, merge_fn] {
+      // The "kernel" uses one lane of the host pool: device merges do not
+      // consume CPU cores in the simulation, and the real work is the
+      // correctness side effect only.
+      merge_fn(a, b, dst, cpu::ThreadPool::global(), 1);
+    };
+  }
+  return stream.submit(graph, std::move(t));
+}
+
+}  // namespace hs::vgpu

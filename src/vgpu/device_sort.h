@@ -1,0 +1,44 @@
+// Thrust-like on-device sort (thrust::sort analogue, Section III-B).
+//
+// Submits a sort kernel for `elems` records held in `buffer` to `stream`.
+// The kernel occupies the device's compute engine for the GpuSortModel
+// duration (scaled by the element type's cost factor); in Execution::kReal
+// the action really sorts the buffer's backing store with the element's
+// radix sort (the same algorithm family Thrust dispatches to for primitive
+// keys).
+//
+// Thrust sorts out-of-place: the caller must have reserved a temporary
+// device buffer at least as large as the payload (`temp`), which is why each
+// in-flight batch costs 2*bs of global memory and the batch count doubles
+// relative to an in-place sort — the effect the paper highlights in
+// Section III-B.
+#pragma once
+
+#include <cstdint>
+
+#include "cpu/element_ops.h"
+#include "sim/task_graph.h"
+#include "vgpu/device.h"
+#include "vgpu/runtime.h"
+#include "vgpu/stream.h"
+
+namespace hs::vgpu {
+
+/// Returns the task id of the sort kernel.
+sim::TaskId device_sort(Runtime& rt, sim::TaskGraph& graph, Stream& stream,
+                        Device& dev, DeviceBuffer& buffer,
+                        const DeviceBuffer& temp, std::uint64_t elems,
+                        const cpu::ElementOps& ops);
+
+/// Merges two sorted runs already resident in `left` and `right` into `out`
+/// ON the device — the GPU-side merging the paper's Section V calls for in
+/// the NVLink era. Charged at the device merge model (memory-bound: the
+/// device streams 2x the payload through HBM); in kReal the action performs
+/// the merge on the backing stores.
+sim::TaskId device_merge(Runtime& rt, sim::TaskGraph& graph, Stream& stream,
+                         Device& dev, const DeviceBuffer& left,
+                         std::uint64_t left_elems, const DeviceBuffer& right,
+                         std::uint64_t right_elems, DeviceBuffer& out,
+                         const cpu::ElementOps& ops);
+
+}  // namespace hs::vgpu

@@ -1,0 +1,32 @@
+#include "vgpu/event.h"
+
+#include "common/assert.h"
+
+namespace hs::vgpu {
+
+void Event::record(sim::TaskGraph& graph, Stream& stream) {
+  sim::Task marker;
+  marker.label = "event:" + name_;
+  task_ = stream.submit(graph, std::move(marker));
+}
+
+void Event::wait(sim::TaskGraph& graph, Stream& stream) const {
+  HS_EXPECTS_MSG(recorded(), "waiting on an unrecorded event");
+  stream.wait(graph, task_);
+}
+
+sim::SimTime Event::completion_time(const sim::Trace& trace) const {
+  HS_EXPECTS_MSG(recorded(), "querying an unrecorded event");
+  for (const sim::TraceEvent& ev : trace.events()) {
+    if (ev.task == task_) return ev.end;
+  }
+  HS_EXPECTS_MSG(false, "event's task not found in trace (graph not run?)");
+  return 0;
+}
+
+sim::SimTime Event::elapsed_since(const Event& other,
+                                  const sim::Trace& trace) const {
+  return completion_time(trace) - other.completion_time(trace);
+}
+
+}  // namespace hs::vgpu

@@ -1,0 +1,45 @@
+// cudaEvent analogue: a named marker recorded at a stream's current tail.
+//
+// Other streams wait on it (cudaStreamWaitEvent) and, after the engine run,
+// the recorded task's completion time can be read back from the trace
+// (cudaEventElapsedTime over virtual time).
+#pragma once
+
+#include <string>
+
+#include "sim/trace.h"
+#include "sim/types.h"
+#include "vgpu/stream.h"
+
+namespace hs::vgpu {
+
+class Event {
+ public:
+  explicit Event(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  bool recorded() const { return task_ != sim::kInvalidTask; }
+  sim::TaskId task() const { return task_; }
+
+  /// Records the event at `stream`'s current tail (a zero-cost marker task,
+  /// so an event on an empty stream is valid and completes at t = 0).
+  void record(sim::TaskGraph& graph, Stream& stream);
+
+  /// Makes `stream` wait for this event (must be recorded first).
+  void wait(sim::TaskGraph& graph, Stream& stream) const;
+
+  /// Completion time of the event in `trace`; the event's marker task must
+  /// appear there (i.e. the graph it was recorded into was run).
+  sim::SimTime completion_time(const sim::Trace& trace) const;
+
+  /// Virtual seconds between two recorded events (may be negative if `other`
+  /// completed later).
+  sim::SimTime elapsed_since(const Event& other,
+                             const sim::Trace& trace) const;
+
+ private:
+  std::string name_;
+  sim::TaskId task_ = sim::kInvalidTask;
+};
+
+}  // namespace hs::vgpu

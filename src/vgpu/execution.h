@@ -1,0 +1,19 @@
+// Execution mode of the virtual GPU runtime.
+#pragma once
+
+namespace hs::vgpu {
+
+enum class Execution {
+  /// Buffers are real host memory; every transfer/sort/merge side effect is
+  /// executed, so the sorted output is genuinely produced and verifiable.
+  /// Used by tests, examples, and any n that fits in host RAM.
+  kReal,
+  /// No payload memory is allocated and no side effects run; only virtual
+  /// time is computed. Lets benches sweep to the paper's n = 5e9 (37 GiB)
+  /// scale on small machines. Faithful because the pipeline is
+  /// data-oblivious: the paper itself notes performance is independent of
+  /// the input distribution (Section IV-A).
+  kTimingOnly,
+};
+
+}  // namespace hs::vgpu

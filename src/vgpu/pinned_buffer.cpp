@@ -1,0 +1,23 @@
+#include "vgpu/pinned_buffer.h"
+
+namespace hs::vgpu {
+
+PinnedHostBuffer::PinnedHostBuffer(std::uint64_t bytes, Execution mode)
+    : bytes_(bytes) {
+  if (mode == Execution::kReal) storage_.resize(bytes);
+}
+
+std::span<std::byte> PinnedHostBuffer::bytes() {
+  return {storage_.data(), storage_.size()};
+}
+
+std::span<const std::byte> PinnedHostBuffer::bytes() const {
+  return {storage_.data(), storage_.size()};
+}
+
+double PinnedHostBuffer::alloc_time(
+    const model::PinnedAllocModel& alloc_model) const {
+  return alloc_model.time(size_bytes());
+}
+
+}  // namespace hs::vgpu

@@ -1,0 +1,28 @@
+#include "vgpu/runtime.h"
+
+#include "common/assert.h"
+
+namespace hs::vgpu {
+
+Runtime::Runtime(model::Platform platform, Execution mode)
+    : platform_(std::move(platform)), mode_(mode) {
+  HS_EXPECTS(!platform_.gpus.empty());
+  htod_ = engine_.add_channel("pcie.htod", platform_.pcie.channel_bps);
+  dtoh_ = engine_.add_channel("pcie.dtoh", platform_.pcie.channel_bps);
+  host_mem_ = engine_.add_channel("host.mem", platform_.host_mem.channel_bps);
+  host_pool_ = engine_.add_pool("host.cores", platform_.cpu.total_cores());
+  devices_.reserve(platform_.gpus.size());
+  for (unsigned i = 0; i < platform_.gpus.size(); ++i) {
+    devices_.push_back(
+        std::make_unique<Device>(platform_.gpus[i], i, mode_));
+    devices_.back()->bind_engine(
+        engine_.add_compute("gpu" + std::to_string(i)));
+  }
+}
+
+Device& Runtime::device(unsigned i) {
+  HS_EXPECTS(i < devices_.size());
+  return *devices_[i];
+}
+
+}  // namespace hs::vgpu

@@ -1,0 +1,56 @@
+// Virtual GPU runtime: wires a Platform description into simulation resources.
+//
+// Owns the sim::Engine plus the resource ids every pipeline needs:
+//   * one PCIe channel per direction (HtoD / DtoH), shared by all GPUs on the
+//     bus — full-duplex, so the two directions never contend with each other
+//     but concurrent same-direction transfers (multi-GPU, multi-stream) do;
+//   * one ComputeEngine per GPU (kernels from different streams serialise on
+//     a saturated device);
+//   * one host-memory channel (staging memcpys + CPU merges contend here);
+//   * one host core pool sized to the platform's total cores.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "model/platforms.h"
+#include "sim/engine.h"
+#include "vgpu/device.h"
+#include "vgpu/execution.h"
+
+namespace hs::vgpu {
+
+class Runtime {
+ public:
+  Runtime(model::Platform platform, Execution mode);
+
+  // Devices hold back-references into the runtime's resource table.
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  const model::Platform& platform() const { return platform_; }
+  Execution mode() const { return mode_; }
+
+  sim::Engine& engine() { return engine_; }
+
+  unsigned num_devices() const { return static_cast<unsigned>(devices_.size()); }
+  Device& device(unsigned i);
+
+  sim::ChannelId htod_channel() const { return htod_; }
+  sim::ChannelId dtoh_channel() const { return dtoh_; }
+  sim::ChannelId host_mem_channel() const { return host_mem_; }
+  sim::PoolId host_pool() const { return host_pool_; }
+
+ private:
+  model::Platform platform_;
+  Execution mode_;
+  sim::Engine engine_;
+  std::vector<std::unique_ptr<Device>> devices_;
+  sim::ChannelId htod_ = 0;
+  sim::ChannelId dtoh_ = 0;
+  sim::ChannelId host_mem_ = 0;
+  sim::PoolId host_pool_ = 0;
+};
+
+}  // namespace hs::vgpu

@@ -1,0 +1,21 @@
+#include "vgpu/stream.h"
+
+namespace hs::vgpu {
+
+sim::TaskId Stream::submit(sim::TaskGraph& graph, sim::Task task) {
+  if (tail_ != sim::kInvalidTask) {
+    task.deps.push_back(tail_);
+  }
+  tail_ = graph.add(std::move(task));
+  return tail_;
+}
+
+void Stream::wait(sim::TaskGraph& graph, sim::TaskId event_task) {
+  // Implemented as a zero-cost barrier so the chain stays a single tail.
+  sim::Task barrier;
+  barrier.label = name_ + ":wait";
+  barrier.deps.push_back(event_task);
+  submit(graph, std::move(barrier));
+}
+
+}  // namespace hs::vgpu

@@ -1,0 +1,46 @@
+// CUDA-stream analogue: a FIFO ordering handle over the static task graph.
+//
+// Work submitted to one stream executes in submission order (a dependency
+// chain); work in different streams may overlap — exactly the CUDA semantics
+// the paper's PIPEDATA relies on. An Event marks a point in a stream that
+// other streams (or host work) can wait on, mirroring cudaEventRecord /
+// cudaStreamWaitEvent.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/task_graph.h"
+#include "sim/types.h"
+
+namespace hs::vgpu {
+
+class Stream {
+ public:
+  explicit Stream(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  /// Adds `task` to `graph` serialised after everything previously submitted
+  /// to this stream (plus any deps already present on the task).
+  sim::TaskId submit(sim::TaskGraph& graph, sim::Task task);
+
+  /// Task id of the most recently submitted work (kInvalidTask when empty);
+  /// usable as a dependency, i.e. an implicit cudaEventRecord at the tail.
+  sim::TaskId tail() const { return tail_; }
+
+  /// Inserts a wait: subsequent submissions also depend on `event_task`.
+  void wait(sim::TaskGraph& graph, sim::TaskId event_task);
+
+  /// Adopts `task` as the new stream tail. For callers that build a subgraph
+  /// with explicit dependencies (e.g. double-buffered staging, which is
+  /// deliberately NOT a single chain) and need the stream's FIFO order to
+  /// resume after it. `task` must causally follow the previous tail.
+  void adopt(sim::TaskId task) { tail_ = task; }
+
+ private:
+  std::string name_;
+  sim::TaskId tail_ = sim::kInvalidTask;
+};
+
+}  // namespace hs::vgpu

@@ -1,0 +1,214 @@
+// Unit tests for src/common: rng determinism and statistics, units
+// formatting, math helpers, table emission.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "common/math_util.h"
+#include "common/rng.h"
+#include "common/table.h"
+#include "common/units.h"
+
+namespace hs {
+namespace {
+
+TEST(Splitmix64, KnownSequenceIsDeterministic) {
+  std::uint64_t s1 = 123, s2 = 123;
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(splitmix64(s1), splitmix64(s2));
+  }
+}
+
+TEST(Splitmix64, AdvancesState) {
+  std::uint64_t s = 7;
+  const auto a = splitmix64(s);
+  const auto b = splitmix64(s);
+  EXPECT_NE(a, b);
+}
+
+TEST(Xoshiro256, DeterministicForSameSeed) {
+  Xoshiro256 a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Xoshiro256, DifferentSeedsDiverge) {
+  Xoshiro256 a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (a() == b());
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Xoshiro256, ZeroSeedIsNotFixedPoint) {
+  Xoshiro256 a(0);
+  EXPECT_NE(a(), 0u);
+  EXPECT_NE(a(), a());
+}
+
+TEST(Xoshiro256, Uniform01InRange) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Xoshiro256, Uniform01MeanNearHalf) {
+  Xoshiro256 rng(11);
+  double sum = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) sum += rng.uniform01();
+  EXPECT_NEAR(sum / kN, 0.5, 0.01);
+}
+
+TEST(Xoshiro256, UniformRangeRespectsBounds) {
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-5.0, 9.0);
+    EXPECT_GE(u, -5.0);
+    EXPECT_LT(u, 9.0);
+  }
+}
+
+TEST(Xoshiro256, BoundedStaysInBound) {
+  Xoshiro256 rng(5);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(rng.bounded(17), 17u);
+}
+
+TEST(Xoshiro256, BoundedOneAlwaysZero) {
+  Xoshiro256 rng(5);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.bounded(1), 0u);
+}
+
+TEST(Xoshiro256, BoundedCoversAllResidues) {
+  Xoshiro256 rng(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.bounded(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Xoshiro256, NormalMeanAndVariance) {
+  Xoshiro256 rng(13);
+  double sum = 0, sum2 = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum2 += x * x;
+  }
+  EXPECT_NEAR(sum / kN, 0.0, 0.02);
+  EXPECT_NEAR(sum2 / kN, 1.0, 0.03);
+}
+
+TEST(Xoshiro256, LongJumpDecorrelates) {
+  Xoshiro256 a(42);
+  Xoshiro256 b(42);
+  b.long_jump();
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (a() == b());
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Units, Constants) {
+  EXPECT_EQ(kKiB, 1024u);
+  EXPECT_EQ(kMiB, 1024u * 1024u);
+  EXPECT_EQ(kGiB, 1024u * 1024u * 1024u);
+  EXPECT_EQ(kGB, 1000000000u);
+}
+
+TEST(Units, BytesOfElems) {
+  EXPECT_EQ(bytes_of_elems(0), 0u);
+  EXPECT_EQ(bytes_of_elems(1'000'000), 8'000'000u);
+}
+
+TEST(Units, PaperSizeConversions) {
+  // The paper calls n = 8e8 doubles "5.96 GiB" and the related work's
+  // key/value payload "6 GB".
+  EXPECT_NEAR(to_gib(bytes_of_elems(800'000'000)), 5.96, 0.01);
+  EXPECT_NEAR(to_gb(6'000'000'000ull), 6.0, 1e-12);
+}
+
+TEST(Units, FormatBytes) {
+  EXPECT_EQ(format_bytes(512), "512 B");
+  EXPECT_EQ(format_bytes(2 * kKiB), "2.00 KiB");
+  EXPECT_EQ(format_bytes(3 * kMiB), "3.00 MiB");
+  EXPECT_EQ(format_bytes(16 * kGiB), "16.00 GiB");
+}
+
+TEST(Units, FormatSeconds) { EXPECT_EQ(format_seconds(31.2), "31.200 s"); }
+
+TEST(MathUtil, DivCeil) {
+  EXPECT_EQ(div_ceil(10, 5), 2u);
+  EXPECT_EQ(div_ceil(11, 5), 3u);
+  EXPECT_EQ(div_ceil(1, 5), 1u);
+  EXPECT_EQ(div_ceil(0, 5), 0u);
+}
+
+TEST(MathUtil, Log2Floor) {
+  EXPECT_EQ(log2_floor(1), 0u);
+  EXPECT_EQ(log2_floor(2), 1u);
+  EXPECT_EQ(log2_floor(3), 1u);
+  EXPECT_EQ(log2_floor(1024), 10u);
+  EXPECT_EQ(log2_floor(1025), 10u);
+}
+
+TEST(MathUtil, Log2Ceil) {
+  EXPECT_EQ(log2_ceil(1), 0u);
+  EXPECT_EQ(log2_ceil(2), 1u);
+  EXPECT_EQ(log2_ceil(3), 2u);
+  EXPECT_EQ(log2_ceil(1024), 10u);
+  EXPECT_EQ(log2_ceil(1025), 11u);
+}
+
+TEST(MathUtil, Log2dClampsBelowOne) {
+  EXPECT_EQ(log2d(0.5), 0.0);
+  EXPECT_EQ(log2d(1.0), 0.0);
+  EXPECT_NEAR(log2d(8.0), 3.0, 1e-12);
+}
+
+TEST(MathUtil, ApproxRel) {
+  EXPECT_TRUE(approx_rel(100.0, 101.0, 0.02));
+  EXPECT_FALSE(approx_rel(100.0, 110.0, 0.02));
+  EXPECT_TRUE(approx_rel(0.0, 0.0, 0.01));
+}
+
+TEST(Table, AlignedOutputContainsHeaderAndRows) {
+  Table t({"n", "time_s"});
+  t.row().add(std::uint64_t{1000}).add(3.25, 2);
+  t.row().add(std::uint64_t{2000}).add(6.5, 2);
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("n"), std::string::npos);
+  EXPECT_NE(s.find("3.25"), std::string::npos);
+  EXPECT_NE(s.find("2000"), std::string::npos);
+}
+
+TEST(Table, CsvRoundTrip) {
+  Table t({"a", "b"});
+  t.row().add("x").add("y");
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_NE(os.str().find("a,b\nx,y\n"), std::string::npos);
+  EXPECT_NE(os.str().find("--- csv ---"), std::string::npos);
+}
+
+TEST(Table, RowCount) {
+  Table t({"a"});
+  EXPECT_EQ(t.num_rows(), 0u);
+  t.row().add(1);
+  t.row().add(2);
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(PaperCheck, PrintsRatio) {
+  std::ostringstream os;
+  print_paper_check(os, "speedup", 3.47, 3.30);
+  EXPECT_NE(os.str().find("paper=3.47"), std::string::npos);
+  EXPECT_NE(os.str().find("ratio 0.95"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hs

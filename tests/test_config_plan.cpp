@@ -1,0 +1,266 @@
+// Tests for SortConfig resolution, batch planning, the paper's pair-merge
+// heuristic, and staging chunk computation.
+#include <gtest/gtest.h>
+
+#include "core/batch_plan.h"
+#include "core/merge_schedule.h"
+#include "core/sort_config.h"
+#include "core/staging.h"
+
+namespace hs::core {
+namespace {
+
+model::Platform p1() { return model::platform1(); }
+model::Platform p2() { return model::platform2(); }
+
+TEST(Resolve, AutoBatchSizeUsesDeviceMemoryRule) {
+  SortConfig cfg;
+  cfg.approach = Approach::kPipeData;
+  cfg.streams_per_gpu = 2;
+  const auto rc = resolve(cfg, p1(), 5'000'000'000ull);
+  // 16 GiB / (2 streams * 2 buffers * 8 B) = 536,870,912 elements.
+  EXPECT_EQ(rc.batch_size, (16ull << 30) / 32);
+}
+
+TEST(Resolve, ExplicitBatchSizeKept) {
+  SortConfig cfg;
+  cfg.batch_size = 500'000'000;
+  const auto rc = resolve(cfg, p1(), 5'000'000'000ull);
+  EXPECT_EQ(rc.batch_size, 500'000'000u);
+  EXPECT_EQ(rc.num_batches, 10u);
+}
+
+TEST(Resolve, RaggedLastBatchCounted) {
+  SortConfig cfg;
+  cfg.batch_size = 300;
+  const auto rc = resolve(cfg, p1(), 1000);
+  EXPECT_EQ(rc.num_batches, 4u);  // 300+300+300+100
+}
+
+TEST(Resolve, BatchLargerThanInputClamps) {
+  SortConfig cfg;
+  cfg.approach = Approach::kBLine;
+  cfg.batch_size = 1'000'000;
+  const auto rc = resolve(cfg, p1(), 1000);
+  EXPECT_EQ(rc.batch_size, 1000u);
+  EXPECT_EQ(rc.num_batches, 1u);
+}
+
+TEST(Resolve, BLineRejectsMultiBatch) {
+  SortConfig cfg;
+  cfg.approach = Approach::kBLine;
+  cfg.batch_size = 100;
+  EXPECT_DEATH((void)resolve(cfg, p1(), 1000), "BLine requires");
+}
+
+TEST(Resolve, RejectsTooManyGpus) {
+  SortConfig cfg;
+  cfg.num_gpus = 2;
+  EXPECT_DEATH((void)resolve(cfg, p1(), 1000), "more GPUs");
+}
+
+TEST(Resolve, RejectsOversizedBatch) {
+  SortConfig cfg;
+  cfg.approach = Approach::kPipeData;
+  cfg.streams_per_gpu = 2;
+  cfg.batch_size = 600'000'000;  // needs 2*2*8*6e8 = 19.2 GB > 16 GiB
+  EXPECT_DEATH((void)resolve(cfg, p1(), 1'000'000'000ull),
+               "exceeds device memory");
+}
+
+TEST(Resolve, NonPipelinedApproachesUseOneStream) {
+  SortConfig cfg;
+  cfg.approach = Approach::kBLineMulti;
+  cfg.streams_per_gpu = 4;  // ignored for blocking approaches
+  cfg.batch_size = 100;
+  const auto rc = resolve(cfg, p1(), 1000);
+  EXPECT_EQ(rc.streams_per_gpu, 1u);
+}
+
+TEST(Resolve, MergeThreadsDefaultLeavesStagingLanes) {
+  SortConfig cfg;
+  cfg.approach = Approach::kPipeMerge;
+  cfg.streams_per_gpu = 2;
+  cfg.batch_size = 1000;
+  const auto rc = resolve(cfg, p1(), 10000);
+  EXPECT_EQ(rc.merge_threads, 16u - 2u);
+  EXPECT_EQ(rc.multiway_threads, 16u);
+}
+
+TEST(Resolve, ParMemcpyThreadsClamped) {
+  SortConfig cfg;
+  cfg.batch_size = 1000;
+  cfg.memcpy_threads = 99;
+  const auto rc = resolve(cfg, p1(), 10000);
+  EXPECT_EQ(rc.memcpy_threads, 16u);
+}
+
+TEST(SortConfig, LabelsDescribeApproach) {
+  SortConfig cfg;
+  cfg.approach = Approach::kPipeMerge;
+  cfg.memcpy_threads = 4;
+  cfg.num_gpus = 2;
+  EXPECT_EQ(cfg.label(), "PipeMerge+ParMemCpy (2 GPU)");
+  SortConfig plain;
+  plain.approach = Approach::kBLineMulti;
+  EXPECT_EQ(plain.label(), "BLineMulti");
+}
+
+TEST(BatchPlan, CoversInputExactly) {
+  SortConfig cfg;
+  cfg.batch_size = 300;
+  const auto rc = resolve(cfg, p1(), 1000);
+  const auto plan = BatchPlan::create(rc);
+  ASSERT_EQ(plan.num_batches(), 4u);
+  std::uint64_t covered = 0;
+  for (const auto& b : plan.batches()) {
+    EXPECT_EQ(b.offset, covered);
+    covered += b.size;
+  }
+  EXPECT_EQ(covered, 1000u);
+  EXPECT_EQ(plan.batch(3).size, 100u);
+}
+
+TEST(BatchPlan, RoundRobinOverGpusThenStreams) {
+  SortConfig cfg;
+  cfg.approach = Approach::kPipeData;
+  cfg.batch_size = 100;
+  cfg.num_gpus = 2;
+  cfg.streams_per_gpu = 2;
+  const auto rc = resolve(cfg, p2(), 800);
+  const auto plan = BatchPlan::create(rc);
+  ASSERT_EQ(plan.num_batches(), 8u);
+  EXPECT_EQ(plan.batch(0).gpu, 0u);
+  EXPECT_EQ(plan.batch(1).gpu, 1u);
+  EXPECT_EQ(plan.batch(0).stream, 0u);
+  EXPECT_EQ(plan.batch(2).stream, 1u);  // second batch on gpu0 -> stream 1
+  EXPECT_EQ(plan.batch(4).stream, 0u);  // wraps around
+}
+
+TEST(BatchPlan, BatchesForSlot) {
+  SortConfig cfg;
+  cfg.approach = Approach::kPipeData;
+  cfg.batch_size = 100;
+  cfg.streams_per_gpu = 2;
+  const auto rc = resolve(cfg, p1(), 600);
+  const auto plan = BatchPlan::create(rc);
+  EXPECT_EQ(plan.batches_for(0, 0), (std::vector<std::uint64_t>{0, 2, 4}));
+  EXPECT_EQ(plan.batches_for(0, 1), (std::vector<std::uint64_t>{1, 3, 5}));
+}
+
+// --- the paper's pair-merge heuristic (Section III-D3) ----------------------
+
+struct HeuristicCase {
+  std::uint64_t nb;
+  unsigned ngpu;
+  std::uint64_t expected;
+};
+
+class PairHeuristic : public ::testing::TestWithParam<HeuristicCase> {};
+
+TEST_P(PairHeuristic, MatchesPaperFormula) {
+  const auto& c = GetParam();
+  EXPECT_EQ(MergeSchedule::heuristic_pair_count(c.nb, c.ngpu), c.expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperFormula, PairHeuristic,
+    ::testing::Values(HeuristicCase{1, 1, 0},   // single batch: no merging
+                      HeuristicCase{2, 1, 0},   // floor(1/2)
+                      HeuristicCase{3, 1, 1},
+                      HeuristicCase{4, 1, 1},
+                      HeuristicCase{5, 1, 2},
+                      HeuristicCase{6, 1, 2},   // Fig 3's example: m1, m2
+                      HeuristicCase{7, 1, 3},   // odd: last batch unmerged
+                      HeuristicCase{10, 1, 4},
+                      HeuristicCase{4, 2, 0},   // floor(3/4)
+                      HeuristicCase{6, 2, 1},
+                      HeuristicCase{10, 2, 2},
+                      HeuristicCase{14, 2, 3},
+                      HeuristicCase{10, 4, 1},
+                      HeuristicCase{100, 1, 49}));
+
+TEST(MergeSchedule, OnlyPipeMergeGetsPairs) {
+  SortConfig cfg;
+  cfg.approach = Approach::kPipeData;
+  cfg.batch_size = 100;
+  const auto rc = resolve(cfg, p1(), 600);
+  EXPECT_TRUE(MergeSchedule::plan(rc).pairs().empty());
+}
+
+TEST(MergeSchedule, PairsAreAdjacentLeadingBatches) {
+  SortConfig cfg;
+  cfg.approach = Approach::kPipeMerge;
+  cfg.batch_size = 100;
+  const auto rc = resolve(cfg, p1(), 600);  // nb = 6 -> 2 pairs
+  const auto s = MergeSchedule::plan(rc);
+  ASSERT_EQ(s.pairs().size(), 2u);
+  EXPECT_EQ(s.pairs()[0].left, 0u);
+  EXPECT_EQ(s.pairs()[0].right, 1u);
+  EXPECT_EQ(s.pairs()[1].left, 2u);
+  EXPECT_EQ(s.pairs()[1].right, 3u);
+  EXPECT_TRUE(s.is_paired(0));
+  EXPECT_TRUE(s.is_paired(3));
+  EXPECT_FALSE(s.is_paired(4));
+  EXPECT_EQ(s.multiway_ways(6), 4u);  // 2 merged runs + batches 4, 5
+}
+
+TEST(MergeSchedule, RaggedTailNeverPaired) {
+  SortConfig cfg;
+  cfg.approach = Approach::kPipeMerge;
+  cfg.pair_policy = PairMergePolicy::kAll;
+  cfg.batch_size = 100;
+  const auto rc = resolve(cfg, p1(), 550);  // nb = 6, last has 50 elements
+  const auto s = MergeSchedule::plan(rc);
+  EXPECT_FALSE(s.is_paired(5));
+}
+
+TEST(MergeSchedule, PolicyNoneDisablesPairs) {
+  SortConfig cfg;
+  cfg.approach = Approach::kPipeMerge;
+  cfg.pair_policy = PairMergePolicy::kNone;
+  cfg.batch_size = 100;
+  const auto rc = resolve(cfg, p1(), 600);
+  const auto s = MergeSchedule::plan(rc);
+  EXPECT_TRUE(s.pairs().empty());
+  EXPECT_EQ(s.multiway_ways(6), 6u);
+}
+
+TEST(MergeSchedule, PolicyAllPairsEverything) {
+  SortConfig cfg;
+  cfg.approach = Approach::kPipeMerge;
+  cfg.pair_policy = PairMergePolicy::kAll;
+  cfg.batch_size = 100;
+  const auto rc = resolve(cfg, p1(), 600);
+  const auto s = MergeSchedule::plan(rc);
+  EXPECT_EQ(s.pairs().size(), 3u);
+  EXPECT_EQ(s.multiway_ways(6), 3u);
+}
+
+TEST(Staging, ChunksCoverBatch) {
+  const auto chunks = chunk_batch(1000, 300);
+  ASSERT_EQ(chunks.size(), 4u);
+  EXPECT_EQ(chunks[0].offset, 0u);
+  EXPECT_EQ(chunks[3].offset, 900u);
+  EXPECT_EQ(chunks[3].size, 100u);
+}
+
+TEST(Staging, ExactDivision) {
+  const auto chunks = chunk_batch(900, 300);
+  ASSERT_EQ(chunks.size(), 3u);
+  for (const auto& c : chunks) EXPECT_EQ(c.size, 300u);
+}
+
+TEST(Staging, StagingLargerThanBatch) {
+  const auto chunks = chunk_batch(100, 1'000'000);
+  ASSERT_EQ(chunks.size(), 1u);
+  EXPECT_EQ(chunks[0].size, 100u);
+}
+
+TEST(Staging, PaperGeometry) {
+  // bs = 5e8, ps = 1e6 -> 500 chunks per batch per direction.
+  EXPECT_EQ(chunk_batch(500'000'000, 1'000'000).size(), 500u);
+}
+
+}  // namespace
+}  // namespace hs::core

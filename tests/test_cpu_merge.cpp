@@ -1,0 +1,172 @@
+// Tests for merge-path pairwise merging: split correctness and monotonicity,
+// parallel merge equivalence with std::merge across distributions and sizes,
+// and stability.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <tuple>
+#include <vector>
+
+#include "common/rng.h"
+#include "cpu/merge_path.h"
+#include "data/generators.h"
+#include "data/verify.h"
+
+namespace hs::cpu {
+namespace {
+
+using hs::data::Distribution;
+
+std::vector<double> sorted_from(Distribution d, std::uint64_t n,
+                                std::uint64_t seed) {
+  auto v = hs::data::generate(d, n, seed);
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+TEST(MergePathSplit, EndpointsAreExact) {
+  const std::vector<double> a{1, 3, 5};
+  const std::vector<double> b{2, 4, 6};
+  EXPECT_EQ(merge_path_split<double>(a, b, 0), 0u);
+  EXPECT_EQ(merge_path_split<double>(a, b, 6), 3u);
+}
+
+TEST(MergePathSplit, KnownInterleaving) {
+  const std::vector<double> a{1, 3, 5};
+  const std::vector<double> b{2, 4, 6};
+  // diag 1: output {1} -> 1 from a; diag 2: {1,2} -> 1 from a; diag 3: {1,2,3}.
+  EXPECT_EQ(merge_path_split<double>(a, b, 1), 1u);
+  EXPECT_EQ(merge_path_split<double>(a, b, 2), 1u);
+  EXPECT_EQ(merge_path_split<double>(a, b, 3), 2u);
+}
+
+TEST(MergePathSplit, EmptySides) {
+  const std::vector<double> a{1, 2, 3};
+  const std::vector<double> empty;
+  EXPECT_EQ(merge_path_split<double>(a, empty, 2), 2u);
+  EXPECT_EQ(merge_path_split<double>(empty, a, 2), 0u);
+}
+
+TEST(MergePathSplit, TiesPreferA) {
+  const std::vector<double> a{5, 5};
+  const std::vector<double> b{5, 5};
+  // Stable semantics: a's equal elements are consumed first.
+  EXPECT_EQ(merge_path_split<double>(a, b, 1), 1u);
+  EXPECT_EQ(merge_path_split<double>(a, b, 2), 2u);
+  EXPECT_EQ(merge_path_split<double>(a, b, 3), 2u);
+}
+
+TEST(MergePathSplit, MonotoneInDiagonal) {
+  Xoshiro256 rng(99);
+  std::vector<double> a(257), b(391);
+  for (auto& x : a) x = rng.uniform01();
+  for (auto& x : b) x = rng.uniform01();
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  std::uint64_t prev = 0;
+  for (std::uint64_t d = 0; d <= a.size() + b.size(); ++d) {
+    const std::uint64_t i = merge_path_split<double>(a, b, d);
+    EXPECT_GE(i, prev);
+    EXPECT_LE(i - prev, 1u) << "split advances by at most 1 per diagonal";
+    prev = i;
+  }
+}
+
+struct MergeCase {
+  Distribution dist;
+  std::uint64_t na;
+  std::uint64_t nb;
+  unsigned parts;
+};
+
+class ParallelMergeProperty : public ::testing::TestWithParam<MergeCase> {};
+
+TEST_P(ParallelMergeProperty, MatchesStdMerge) {
+  const auto& pc = GetParam();
+  ThreadPool pool(4);
+  const auto a = sorted_from(pc.dist, pc.na, 1);
+  const auto b = sorted_from(pc.dist, pc.nb, 2);
+  std::vector<double> expected(pc.na + pc.nb);
+  std::merge(a.begin(), a.end(), b.begin(), b.end(), expected.begin());
+  std::vector<double> out(pc.na + pc.nb);
+  merge_parallel<double>(pool, a, b, out, std::less<>{}, pc.parts);
+  EXPECT_EQ(out, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ParallelMergeProperty,
+    ::testing::Values(
+        MergeCase{Distribution::kUniform, 0, 0, 4},
+        MergeCase{Distribution::kUniform, 1, 0, 4},
+        MergeCase{Distribution::kUniform, 0, 1, 4},
+        MergeCase{Distribution::kUniform, 1, 1, 4},
+        MergeCase{Distribution::kUniform, 1000, 1000, 1},
+        MergeCase{Distribution::kUniform, 1000, 1000, 2},
+        MergeCase{Distribution::kUniform, 1000, 1000, 4},
+        MergeCase{Distribution::kUniform, 10000, 1, 4},
+        MergeCase{Distribution::kUniform, 1, 10000, 4},
+        MergeCase{Distribution::kUniform, 12345, 6789, 4},
+        MergeCase{Distribution::kGaussian, 5000, 5000, 4},
+        MergeCase{Distribution::kDuplicateHeavy, 5000, 5000, 4},
+        MergeCase{Distribution::kAllEqual, 3000, 3000, 4},
+        MergeCase{Distribution::kSorted, 5000, 5000, 3},
+        MergeCase{Distribution::kZipf, 5000, 4000, 4}));
+
+TEST(ParallelMerge, StableAcrossInputs) {
+  // Pairs (key, origin): all of a's instances of a key must precede b's.
+  struct KV {
+    double key;
+    int origin;
+  };
+  auto less = [](const KV& x, const KV& y) { return x.key < y.key; };
+  std::vector<KV> a, b;
+  for (int i = 0; i < 500; ++i) a.push_back({static_cast<double>(i % 7), 0});
+  for (int i = 0; i < 500; ++i) b.push_back({static_cast<double>(i % 7), 1});
+  std::stable_sort(a.begin(), a.end(), less);
+  std::stable_sort(b.begin(), b.end(), less);
+  std::vector<KV> out(a.size() + b.size());
+  ThreadPool pool(4);
+  merge_parallel<KV>(pool, a, b, out, less, 4);
+  for (std::size_t i = 0; i + 1 < out.size(); ++i) {
+    if (out[i].key == out[i + 1].key) {
+      EXPECT_LE(out[i].origin, out[i + 1].origin);
+    }
+  }
+}
+
+TEST(ParallelMerge, CustomComparatorDescending) {
+  ThreadPool pool(4);
+  auto a = hs::data::generate(Distribution::kUniform, 4000, 3);
+  auto b = hs::data::generate(Distribution::kUniform, 4000, 4);
+  auto greater = std::greater<double>{};
+  std::sort(a.begin(), a.end(), greater);
+  std::sort(b.begin(), b.end(), greater);
+  std::vector<double> out(a.size() + b.size());
+  merge_parallel<double>(pool, a, b, out, greater, 4);
+  EXPECT_TRUE(std::is_sorted(out.begin(), out.end(), greater));
+}
+
+TEST(ParallelMerge, PreservesMultiset) {
+  ThreadPool pool(4);
+  const auto a = sorted_from(Distribution::kUniform, 9999, 5);
+  const auto b = sorted_from(Distribution::kUniform, 777, 6);
+  std::vector<double> out(a.size() + b.size());
+  merge_parallel<double>(pool, a, b, out);
+  std::vector<double> both;
+  both.insert(both.end(), a.begin(), a.end());
+  both.insert(both.end(), b.begin(), b.end());
+  EXPECT_EQ(hs::data::multiset_fingerprint(both),
+            hs::data::multiset_fingerprint(out));
+}
+
+TEST(MergeSequential, MatchesStdMerge) {
+  const auto a = sorted_from(Distribution::kUniform, 100, 7);
+  const auto b = sorted_from(Distribution::kUniform, 50, 8);
+  std::vector<double> expected(150), out(150);
+  std::merge(a.begin(), a.end(), b.begin(), b.end(), expected.begin());
+  merge_sequential<double>(a, b, out);
+  EXPECT_EQ(out, expected);
+}
+
+}  // namespace
+}  // namespace hs::cpu

@@ -1,0 +1,204 @@
+// Tests for the loser tree and sequential/parallel multiway merge: run-count
+// sweeps, empty and degenerate runs, duplicates, stability, and equivalence
+// with a reference merge.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.h"
+#include "cpu/loser_tree.h"
+#include "cpu/multiway_merge.h"
+#include "data/generators.h"
+#include "data/verify.h"
+
+namespace hs::cpu {
+namespace {
+
+using hs::data::Distribution;
+
+std::vector<std::vector<double>> make_runs(std::size_t k, std::uint64_t per_run,
+                                           std::uint64_t seed,
+                                           Distribution d = Distribution::kUniform) {
+  std::vector<std::vector<double>> runs(k);
+  for (std::size_t r = 0; r < k; ++r) {
+    runs[r] = hs::data::generate(d, per_run, seed + r);
+    std::sort(runs[r].begin(), runs[r].end());
+  }
+  return runs;
+}
+
+std::vector<std::span<const double>> as_spans(
+    const std::vector<std::vector<double>>& runs) {
+  std::vector<std::span<const double>> s;
+  s.reserve(runs.size());
+  for (const auto& r : runs) s.emplace_back(r);
+  return s;
+}
+
+std::vector<double> reference_merge(
+    const std::vector<std::vector<double>>& runs) {
+  std::vector<double> all;
+  for (const auto& r : runs) all.insert(all.end(), r.begin(), r.end());
+  std::sort(all.begin(), all.end());
+  return all;
+}
+
+TEST(LoserTree, SingleRunDrainsInOrder) {
+  const std::vector<double> r{1, 2, 3, 4};
+  LoserTree<double> tree({std::span<const double>(r)});
+  EXPECT_EQ(tree.remaining(), 4u);
+  for (const double expect : r) EXPECT_DOUBLE_EQ(tree.pop(), expect);
+  EXPECT_TRUE(tree.empty());
+}
+
+TEST(LoserTree, TwoRunsInterleave) {
+  const std::vector<double> a{1, 3, 5};
+  const std::vector<double> b{2, 4, 6};
+  LoserTree<double> tree({std::span<const double>(a), std::span<const double>(b)});
+  std::vector<double> out(6);
+  tree.drain(out);
+  EXPECT_EQ(out, (std::vector<double>{1, 2, 3, 4, 5, 6}));
+}
+
+TEST(LoserTree, HandlesEmptyRuns) {
+  const std::vector<double> a{1, 2};
+  const std::vector<double> empty;
+  LoserTree<double> tree({std::span<const double>(empty),
+                          std::span<const double>(a),
+                          std::span<const double>(empty)});
+  std::vector<double> out(2);
+  tree.drain(out);
+  EXPECT_EQ(out, (std::vector<double>{1, 2}));
+}
+
+TEST(LoserTree, AllRunsEmpty) {
+  const std::vector<double> empty;
+  LoserTree<double> tree({std::span<const double>(empty),
+                          std::span<const double>(empty)});
+  EXPECT_TRUE(tree.empty());
+}
+
+TEST(LoserTree, NonPowerOfTwoRunCount) {
+  const auto runs = make_runs(5, 100, 11);
+  std::vector<double> out(500);
+  LoserTree<double> tree(as_spans(runs));
+  tree.drain(out);
+  EXPECT_EQ(out, reference_merge(runs));
+}
+
+TEST(LoserTree, StableTiesKeepRunOrder) {
+  struct KV {
+    double key;
+    std::size_t run;
+  };
+  auto less = [](const KV& a, const KV& b) { return a.key < b.key; };
+  std::vector<std::vector<KV>> runs(3);
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (int i = 0; i < 10; ++i) runs[r].push_back({5.0, r});
+  }
+  std::vector<std::span<const KV>> spans;
+  for (const auto& r : runs) spans.emplace_back(r);
+  LoserTree<KV, decltype(less)> tree(std::move(spans), less);
+  std::size_t last_run = 0;
+  while (!tree.empty()) {
+    const KV kv = tree.pop();
+    EXPECT_GE(kv.run, last_run);
+    last_run = kv.run;
+  }
+}
+
+struct MultiwayCase {
+  std::size_t k;
+  std::uint64_t per_run;
+  unsigned parts;
+  Distribution dist;
+};
+
+class MultiwayMergeProperty : public ::testing::TestWithParam<MultiwayCase> {};
+
+TEST_P(MultiwayMergeProperty, SequentialMatchesReference) {
+  const auto& pc = GetParam();
+  const auto runs = make_runs(pc.k, pc.per_run, 21, pc.dist);
+  std::vector<double> out(pc.k * pc.per_run);
+  multiway_merge_sequential(as_spans(runs), std::span<double>(out));
+  EXPECT_EQ(out, reference_merge(runs));
+}
+
+TEST_P(MultiwayMergeProperty, ParallelMatchesReference) {
+  const auto& pc = GetParam();
+  ThreadPool pool(4);
+  const auto runs = make_runs(pc.k, pc.per_run, 22, pc.dist);
+  std::vector<double> out(pc.k * pc.per_run);
+  multiway_merge_parallel(pool, as_spans(runs), std::span<double>(out),
+                          std::less<>{}, pc.parts);
+  EXPECT_EQ(out, reference_merge(runs));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MultiwayMergeProperty,
+    ::testing::Values(MultiwayCase{1, 1000, 4, Distribution::kUniform},
+                      MultiwayCase{2, 1000, 4, Distribution::kUniform},
+                      MultiwayCase{3, 777, 4, Distribution::kUniform},
+                      MultiwayCase{4, 2500, 2, Distribution::kUniform},
+                      MultiwayCase{7, 501, 4, Distribution::kUniform},
+                      MultiwayCase{8, 1000, 4, Distribution::kGaussian},
+                      MultiwayCase{16, 250, 4, Distribution::kUniform},
+                      MultiwayCase{20, 333, 3, Distribution::kDuplicateHeavy},
+                      MultiwayCase{5, 1000, 4, Distribution::kAllEqual},
+                      MultiwayCase{32, 100, 4, Distribution::kZipf},
+                      MultiwayCase{64, 64, 4, Distribution::kUniform},
+                      MultiwayCase{6, 1, 4, Distribution::kUniform},
+                      MultiwayCase{12, 0, 4, Distribution::kUniform}));
+
+TEST(MultiwayMerge, UnevenRunSizes) {
+  ThreadPool pool(4);
+  std::vector<std::vector<double>> runs;
+  const std::uint64_t sizes[] = {0, 1, 1000, 37, 9999, 2};
+  std::uint64_t total = 0;
+  std::uint64_t seed = 31;
+  for (const auto s : sizes) {
+    runs.push_back(hs::data::generate(Distribution::kUniform, s, seed++));
+    std::sort(runs.back().begin(), runs.back().end());
+    total += s;
+  }
+  std::vector<double> out(total);
+  multiway_merge_parallel(pool, as_spans(runs), std::span<double>(out));
+  EXPECT_EQ(out, reference_merge(runs));
+}
+
+TEST(MultiwayMerge, EmptyInputs) {
+  std::vector<double> out;
+  multiway_merge_sequential<double>({}, std::span<double>(out));
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(MultiwayMerge, ParallelPreservesMultiset) {
+  ThreadPool pool(4);
+  const auto runs = make_runs(10, 5000, 41);
+  std::vector<double> out(50000);
+  multiway_merge_parallel(pool, as_spans(runs), std::span<double>(out));
+  std::vector<double> all;
+  for (const auto& r : runs) all.insert(all.end(), r.begin(), r.end());
+  EXPECT_EQ(hs::data::multiset_fingerprint(all),
+            hs::data::multiset_fingerprint(out));
+  EXPECT_TRUE(hs::data::is_sorted_ascending(out));
+}
+
+TEST(MultiwayMerge, DescendingComparator) {
+  ThreadPool pool(4);
+  auto greater = std::greater<double>{};
+  std::vector<std::vector<double>> runs(4);
+  std::uint64_t seed = 51;
+  for (auto& r : runs) {
+    r = hs::data::generate(Distribution::kUniform, 2000, seed++);
+    std::sort(r.begin(), r.end(), greater);
+  }
+  std::vector<double> out(8000);
+  multiway_merge_parallel<double, std::greater<double>>(
+      pool, as_spans(runs), std::span<double>(out), greater);
+  EXPECT_TRUE(std::is_sorted(out.begin(), out.end(), greater));
+}
+
+}  // namespace
+}  // namespace hs::cpu

@@ -1,0 +1,157 @@
+// Tests for the thread pool, parallel_for, and parallel_memcpy.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <numeric>
+#include <vector>
+
+#include "cpu/parallel_for.h"
+#include "cpu/parallel_memcpy.h"
+#include "cpu/thread_pool.h"
+#include "data/generators.h"
+
+namespace hs::cpu {
+namespace {
+
+TEST(ThreadPool, SizeIncludesCaller) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  ThreadPool one(1);
+  EXPECT_EQ(one.size(), 1u);
+}
+
+TEST(ThreadPool, SubmitRunsTask) {
+  ThreadPool pool(2);
+  std::atomic<int> hits{0};
+  WaitGroup wg(8);
+  for (int i = 0; i < 8; ++i) {
+    pool.submit([&] {
+      hits.fetch_add(1);
+      wg.done();
+    });
+  }
+  wg.wait();
+  EXPECT_EQ(hits.load(), 8);
+}
+
+TEST(ThreadPool, SizeOnePoolRunsInline) {
+  ThreadPool pool(1);
+  bool ran = false;
+  pool.submit([&ran] { ran = true; });
+  EXPECT_TRUE(ran);
+}
+
+TEST(ThreadPool, GlobalPoolIsSingleton) {
+  EXPECT_EQ(&ThreadPool::global(), &ThreadPool::global());
+}
+
+TEST(ParallelFor, CoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(10000);
+  parallel_for_blocked(pool, 0, hits.size(),
+                       [&](std::uint64_t lo, std::uint64_t hi) {
+                         for (std::uint64_t i = lo; i < hi; ++i) {
+                           hits[i].fetch_add(1);
+                         }
+                       });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, EmptyRangeIsNoop) {
+  ThreadPool pool(4);
+  int calls = 0;
+  parallel_for_blocked(pool, 5, 5,
+                       [&](std::uint64_t, std::uint64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ParallelFor, RespectsMaxParts) {
+  ThreadPool pool(4);
+  std::atomic<int> chunks{0};
+  parallel_for_blocked(
+      pool, 0, 1000,
+      [&](std::uint64_t, std::uint64_t) { chunks.fetch_add(1); }, 2);
+  EXPECT_LE(chunks.load(), 2);
+}
+
+TEST(ParallelFor, FewerItemsThanLanes) {
+  ThreadPool pool(4);
+  std::atomic<std::uint64_t> total{0};
+  parallel_for_blocked(pool, 0, 3, [&](std::uint64_t lo, std::uint64_t hi) {
+    total.fetch_add(hi - lo);
+  });
+  EXPECT_EQ(total.load(), 3u);
+}
+
+TEST(ParallelRegion, AllLanesRun) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> lane_hits(4);
+  parallel_region(pool, 4, [&](unsigned lane, unsigned lanes) {
+    EXPECT_EQ(lanes, 4u);
+    lane_hits[lane].fetch_add(1);
+  });
+  for (const auto& h : lane_hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelRegion, ClampsToPoolSize) {
+  ThreadPool pool(2);
+  std::atomic<unsigned> max_lanes{0};
+  parallel_region(pool, 16, [&](unsigned, unsigned lanes) {
+    max_lanes.store(lanes);
+  });
+  EXPECT_EQ(max_lanes.load(), 2u);
+}
+
+TEST(ParallelMemcpy, SmallCopyFallsBackToMemcpy) {
+  ThreadPool pool(4);
+  const std::vector<std::uint8_t> src(100, 0xAB);
+  std::vector<std::uint8_t> dst(100, 0);
+  parallel_memcpy(pool, dst.data(), src.data(), src.size());
+  EXPECT_EQ(dst, src);
+}
+
+TEST(ParallelMemcpy, LargeCopyIsExact) {
+  ThreadPool pool(4);
+  const auto src = hs::data::generate_keys(hs::data::Distribution::kUniform,
+                                           1 << 20, 91);
+  std::vector<std::uint64_t> dst(src.size());
+  parallel_memcpy(pool, dst.data(), src.data(),
+                  src.size() * sizeof(std::uint64_t));
+  EXPECT_EQ(dst, src);
+}
+
+TEST(ParallelMemcpy, OddByteCount) {
+  ThreadPool pool(4);
+  std::vector<std::uint8_t> src(1048577);
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    src[i] = static_cast<std::uint8_t>(i * 31u);
+  }
+  std::vector<std::uint8_t> dst(src.size(), 0);
+  parallel_memcpy(pool, dst.data(), src.data(), src.size());
+  EXPECT_EQ(dst, src);
+}
+
+TEST(ParallelMemcpy, PartsParameterLimitsFanout) {
+  ThreadPool pool(4);
+  std::vector<std::uint8_t> src(1 << 20, 0x5A), dst(1 << 20, 0);
+  parallel_memcpy(pool, dst.data(), src.data(), src.size(), 2);
+  EXPECT_EQ(dst, src);
+}
+
+TEST(WaitGroup, WaitsForAll) {
+  ThreadPool pool(4);
+  WaitGroup wg(3);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 3; ++i) {
+    pool.submit([&] {
+      done.fetch_add(1);
+      wg.done();
+    });
+  }
+  wg.wait();
+  EXPECT_EQ(done.load(), 3);
+}
+
+}  // namespace
+}  // namespace hs::cpu

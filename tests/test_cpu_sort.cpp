@@ -1,0 +1,216 @@
+// Tests for parallel_sort and the radix sorts: equivalence with std::sort
+// across distributions, sizes and thread counts; IEEE-754 edge cases for the
+// double<->key bijection; parallel/sequential agreement.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "cpu/parallel_sort.h"
+#include "cpu/radix_sort.h"
+#include "data/generators.h"
+#include "data/verify.h"
+
+namespace hs::cpu {
+namespace {
+
+using hs::data::Distribution;
+
+struct SortCase {
+  Distribution dist;
+  std::uint64_t n;
+  unsigned parts;
+};
+
+class ParallelSortProperty : public ::testing::TestWithParam<SortCase> {};
+
+TEST_P(ParallelSortProperty, MatchesStdSort) {
+  const auto& pc = GetParam();
+  ThreadPool pool(4);
+  auto v = hs::data::generate(pc.dist, pc.n, 61);
+  auto expected = v;
+  std::sort(expected.begin(), expected.end());
+  parallel_sort<double>(pool, v, std::less<>{}, pc.parts);
+  EXPECT_EQ(v, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ParallelSortProperty,
+    ::testing::Values(SortCase{Distribution::kUniform, 0, 4},
+                      SortCase{Distribution::kUniform, 1, 4},
+                      SortCase{Distribution::kUniform, 2, 4},
+                      SortCase{Distribution::kUniform, 1000, 1},
+                      SortCase{Distribution::kUniform, 100000, 2},
+                      SortCase{Distribution::kUniform, 100000, 4},
+                      SortCase{Distribution::kUniform, 131072, 4},
+                      SortCase{Distribution::kGaussian, 50000, 4},
+                      SortCase{Distribution::kSorted, 50000, 4},
+                      SortCase{Distribution::kReverseSorted, 50000, 4},
+                      SortCase{Distribution::kNearlySorted, 50000, 4},
+                      SortCase{Distribution::kDuplicateHeavy, 50000, 4},
+                      SortCase{Distribution::kAllEqual, 50000, 4},
+                      SortCase{Distribution::kZipf, 50000, 4},
+                      SortCase{Distribution::kUniform, 49999, 3}));
+
+TEST(ParallelSort, CustomComparatorDescending) {
+  ThreadPool pool(4);
+  auto v = hs::data::generate(Distribution::kUniform, 30000, 62);
+  parallel_sort<double>(pool, v, std::greater<>{});
+  EXPECT_TRUE(std::is_sorted(v.begin(), v.end(), std::greater<>{}));
+}
+
+TEST(ParallelSort, PreservesMultiset) {
+  ThreadPool pool(4);
+  auto v = hs::data::generate(Distribution::kUniform, 123457, 63);
+  const auto fp = hs::data::multiset_fingerprint(v);
+  parallel_sort<double>(pool, v);
+  EXPECT_EQ(hs::data::multiset_fingerprint(v), fp);
+  EXPECT_TRUE(hs::data::is_sorted_ascending(v));
+}
+
+TEST(ParallelSort, SinglethreadPoolDegradesGracefully) {
+  ThreadPool pool(1);
+  auto v = hs::data::generate(Distribution::kUniform, 20000, 64);
+  auto expected = v;
+  std::sort(expected.begin(), expected.end());
+  parallel_sort<double>(pool, v);
+  EXPECT_EQ(v, expected);
+}
+
+// --- radix key bijection ----------------------------------------------------
+
+TEST(RadixKey, RoundTripsExactly) {
+  const double values[] = {0.0,      -0.0,  1.0,   -1.0, 1e-300, -1e300,
+                           3.141592, -2e-9, 1e308, -1e-308};
+  for (const double d : values) {
+    EXPECT_EQ(radix_key_to_double(double_to_radix_key(d)), d)
+        << "value " << d;
+  }
+}
+
+TEST(RadixKey, PreservesOrder) {
+  const double sorted_values[] = {
+      -std::numeric_limits<double>::infinity(), -1e300, -2.5, -1.0, -1e-300,
+      -0.0, 0.0, 1e-300, 1.0, 2.5, 1e300,
+      std::numeric_limits<double>::infinity()};
+  for (std::size_t i = 0; i + 1 < std::size(sorted_values); ++i) {
+    // -0.0 and 0.0 compare equal as doubles but have distinct bit patterns;
+    // key order puts -0.0 first, which is consistent with a weak ordering.
+    EXPECT_LE(double_to_radix_key(sorted_values[i]),
+              double_to_radix_key(sorted_values[i + 1]))
+        << "pair " << i;
+  }
+}
+
+TEST(RadixKey, NegativeZeroBeforePositiveZero) {
+  EXPECT_LT(double_to_radix_key(-0.0), double_to_radix_key(0.0));
+}
+
+TEST(RadixKey, NanSortsAboveInfinity) {
+  const auto nan_key =
+      double_to_radix_key(std::numeric_limits<double>::quiet_NaN());
+  const auto inf_key =
+      double_to_radix_key(std::numeric_limits<double>::infinity());
+  EXPECT_GT(nan_key, inf_key);
+}
+
+// --- radix sorting ----------------------------------------------------------
+
+class RadixSortProperty : public ::testing::TestWithParam<SortCase> {};
+
+TEST_P(RadixSortProperty, DoublesMatchStdSort) {
+  const auto& pc = GetParam();
+  auto v = hs::data::generate(pc.dist, pc.n, 71);
+  auto expected = v;
+  std::sort(expected.begin(), expected.end());
+  radix_sort(std::span<double>(v));
+  EXPECT_EQ(v, expected);
+}
+
+TEST_P(RadixSortProperty, KeysMatchStdSort) {
+  const auto& pc = GetParam();
+  auto v = hs::data::generate_keys(pc.dist, pc.n, 72);
+  auto expected = v;
+  std::sort(expected.begin(), expected.end());
+  radix_sort(std::span<std::uint64_t>(v));
+  EXPECT_EQ(v, expected);
+}
+
+TEST_P(RadixSortProperty, ParallelMatchesSequential) {
+  const auto& pc = GetParam();
+  ThreadPool pool(4);
+  auto v = hs::data::generate(pc.dist, pc.n, 73);
+  auto w = v;
+  radix_sort(std::span<double>(v));
+  radix_sort_parallel(pool, std::span<double>(w), pc.parts);
+  EXPECT_EQ(v, w);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RadixSortProperty,
+    ::testing::Values(SortCase{Distribution::kUniform, 0, 4},
+                      SortCase{Distribution::kUniform, 1, 4},
+                      SortCase{Distribution::kUniform, 255, 4},
+                      SortCase{Distribution::kUniform, 256, 4},
+                      SortCase{Distribution::kUniform, 65536, 4},
+                      SortCase{Distribution::kUniform, 100001, 4},
+                      SortCase{Distribution::kGaussian, 65537, 4},
+                      SortCase{Distribution::kSorted, 70000, 2},
+                      SortCase{Distribution::kReverseSorted, 70000, 4},
+                      SortCase{Distribution::kDuplicateHeavy, 70000, 4},
+                      SortCase{Distribution::kAllEqual, 70000, 4},
+                      SortCase{Distribution::kZipf, 70000, 3}));
+
+TEST(RadixSort, NegativesAndZerosOrdered) {
+  std::vector<double> v{3.0, -0.0, -7.5, 0.0, 2.5, -1e-12, 1e-12, -3.0};
+  radix_sort(std::span<double>(v));
+  EXPECT_TRUE(std::is_sorted(v.begin(), v.end()));
+  EXPECT_DOUBLE_EQ(v.front(), -7.5);
+  EXPECT_DOUBLE_EQ(v.back(), 3.0);
+  // Bit-pattern order within the zero tie: -0.0 then +0.0.
+  EXPECT_TRUE(std::signbit(v[3]));
+  EXPECT_FALSE(std::signbit(v[4]));
+}
+
+TEST(RadixSort, InfinitiesAtExtremes) {
+  std::vector<double> v{1.0, std::numeric_limits<double>::infinity(), -2.0,
+                        -std::numeric_limits<double>::infinity(), 0.0};
+  radix_sort(std::span<double>(v));
+  EXPECT_EQ(v.front(), -std::numeric_limits<double>::infinity());
+  EXPECT_EQ(v.back(), std::numeric_limits<double>::infinity());
+}
+
+TEST(RadixSort, NansGroupAtTop) {
+  std::vector<double> v{1.0, std::numeric_limits<double>::quiet_NaN(), -2.0,
+                        std::numeric_limits<double>::infinity()};
+  radix_sort(std::span<double>(v));
+  EXPECT_DOUBLE_EQ(v[0], -2.0);
+  EXPECT_DOUBLE_EQ(v[1], 1.0);
+  EXPECT_EQ(v[2], std::numeric_limits<double>::infinity());
+  EXPECT_TRUE(std::isnan(v[3]));
+}
+
+TEST(RadixSortParallel, LargeInputPreservesMultiset) {
+  ThreadPool pool(4);
+  auto v = hs::data::generate(Distribution::kUniform, 300000, 81);
+  const auto fp = hs::data::multiset_fingerprint(v);
+  radix_sort_parallel(pool, std::span<double>(v));
+  EXPECT_TRUE(hs::data::is_sorted_ascending(v));
+  EXPECT_EQ(hs::data::multiset_fingerprint(v), fp);
+}
+
+TEST(RadixSortParallel, KeysAcrossFullValueRange) {
+  ThreadPool pool(4);
+  auto v = hs::data::generate_keys(Distribution::kUniform, 200000, 82);
+  v.push_back(0);
+  v.push_back(~0ull);
+  auto expected = v;
+  std::sort(expected.begin(), expected.end());
+  radix_sort_parallel(pool, std::span<std::uint64_t>(v));
+  EXPECT_EQ(v, expected);
+}
+
+}  // namespace
+}  // namespace hs::cpu

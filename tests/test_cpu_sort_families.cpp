@@ -1,0 +1,194 @@
+// Tests for the additional sorting/merging families of the paper's related
+// work (Section II-A): samplesort (distribution sort), parallel quicksort,
+// and the rotation-based in-place merge of the Section III-C trade-off.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "cpu/inplace_merge.h"
+#include "cpu/parallel_quicksort.h"
+#include "cpu/sample_sort.h"
+#include "data/generators.h"
+#include "data/verify.h"
+
+namespace hs::cpu {
+namespace {
+
+using hs::data::Distribution;
+
+struct FamilyCase {
+  Distribution dist;
+  std::uint64_t n;
+};
+
+class SortFamilyProperty : public ::testing::TestWithParam<FamilyCase> {};
+
+TEST_P(SortFamilyProperty, SampleSortMatchesStdSort) {
+  const auto& pc = GetParam();
+  ThreadPool pool(4);
+  auto v = hs::data::generate(pc.dist, pc.n, 101);
+  auto expected = v;
+  std::sort(expected.begin(), expected.end());
+  sample_sort<double>(pool, v);
+  EXPECT_EQ(v, expected);
+}
+
+TEST_P(SortFamilyProperty, ParallelQuicksortMatchesStdSort) {
+  const auto& pc = GetParam();
+  ThreadPool pool(4);
+  auto v = hs::data::generate(pc.dist, pc.n, 102);
+  auto expected = v;
+  std::sort(expected.begin(), expected.end());
+  parallel_quicksort<double>(pool, v);
+  EXPECT_EQ(v, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SortFamilyProperty,
+    ::testing::Values(FamilyCase{Distribution::kUniform, 0},
+                      FamilyCase{Distribution::kUniform, 1},
+                      FamilyCase{Distribution::kUniform, 2},
+                      FamilyCase{Distribution::kUniform, 8191},
+                      FamilyCase{Distribution::kUniform, 100000},
+                      FamilyCase{Distribution::kUniform, 100001},
+                      FamilyCase{Distribution::kGaussian, 60000},
+                      FamilyCase{Distribution::kSorted, 60000},
+                      FamilyCase{Distribution::kReverseSorted, 60000},
+                      FamilyCase{Distribution::kNearlySorted, 60000},
+                      FamilyCase{Distribution::kDuplicateHeavy, 60000},
+                      FamilyCase{Distribution::kAllEqual, 60000},
+                      FamilyCase{Distribution::kZipf, 60000}));
+
+TEST(SampleSort, DescendingComparator) {
+  ThreadPool pool(4);
+  auto v = hs::data::generate(Distribution::kUniform, 50000, 103);
+  sample_sort<double>(pool, v, std::greater<>{});
+  EXPECT_TRUE(std::is_sorted(v.begin(), v.end(), std::greater<>{}));
+}
+
+TEST(SampleSort, PreservesMultiset) {
+  ThreadPool pool(4);
+  auto v = hs::data::generate(Distribution::kZipf, 123123, 104);
+  const auto fp = hs::data::multiset_fingerprint(v);
+  sample_sort<double>(pool, v);
+  EXPECT_EQ(hs::data::multiset_fingerprint(v), fp);
+  EXPECT_TRUE(hs::data::is_sorted_ascending(v));
+}
+
+TEST(SampleSort, PartsParameterRespected) {
+  ThreadPool pool(4);
+  auto v = hs::data::generate(Distribution::kUniform, 50000, 105);
+  auto expected = v;
+  std::sort(expected.begin(), expected.end());
+  sample_sort<double>(pool, v, std::less<>{}, 2);
+  EXPECT_EQ(v, expected);
+}
+
+TEST(ParallelQuicksort, DuplicateFloodUsesThreeWayPartition) {
+  // All-equal inputs are quadratic for two-way quicksort; three-way must
+  // finish instantly (single partition pass).
+  ThreadPool pool(4);
+  std::vector<double> v(200000, 3.25);
+  parallel_quicksort<double>(pool, v);
+  EXPECT_TRUE(hs::data::is_sorted_ascending(v));
+}
+
+TEST(ParallelQuicksort, DescendingComparator) {
+  ThreadPool pool(4);
+  auto v = hs::data::generate(Distribution::kUniform, 60000, 106);
+  parallel_quicksort<double>(pool, v, std::greater<>{});
+  EXPECT_TRUE(std::is_sorted(v.begin(), v.end(), std::greater<>{}));
+}
+
+TEST(ParallelQuicksort, PreservesMultiset) {
+  ThreadPool pool(4);
+  auto v = hs::data::generate(Distribution::kGaussian, 98765, 107);
+  const auto fp = hs::data::multiset_fingerprint(v);
+  parallel_quicksort<double>(pool, v);
+  EXPECT_EQ(hs::data::multiset_fingerprint(v), fp);
+  EXPECT_TRUE(hs::data::is_sorted_ascending(v));
+}
+
+TEST(ParallelQuicksort, SinglethreadPool) {
+  ThreadPool pool(1);
+  auto v = hs::data::generate(Distribution::kUniform, 40000, 108);
+  auto expected = v;
+  std::sort(expected.begin(), expected.end());
+  parallel_quicksort<double>(pool, v);
+  EXPECT_EQ(v, expected);
+}
+
+// --- in-place merge -----------------------------------------------------------
+
+std::vector<double> two_runs(std::uint64_t n1, std::uint64_t n2,
+                             std::uint64_t seed) {
+  auto a = hs::data::generate(Distribution::kUniform, n1, seed);
+  auto b = hs::data::generate(Distribution::kUniform, n2, seed + 1);
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  a.insert(a.end(), b.begin(), b.end());
+  return a;
+}
+
+struct InplaceCase {
+  std::uint64_t n1;
+  std::uint64_t n2;
+};
+
+class InplaceMergeProperty : public ::testing::TestWithParam<InplaceCase> {};
+
+TEST_P(InplaceMergeProperty, MatchesBufferedMerge) {
+  const auto& pc = GetParam();
+  auto v = two_runs(pc.n1, pc.n2, 201);
+  auto expected = v;
+  std::inplace_merge(expected.begin(),
+                     expected.begin() + static_cast<std::ptrdiff_t>(pc.n1),
+                     expected.end());
+  inplace_merge_rotation<double>(v, pc.n1);
+  EXPECT_EQ(v, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, InplaceMergeProperty,
+                         ::testing::Values(InplaceCase{0, 0},
+                                           InplaceCase{0, 100},
+                                           InplaceCase{100, 0},
+                                           InplaceCase{1, 1},
+                                           InplaceCase{1, 1000},
+                                           InplaceCase{1000, 1},
+                                           InplaceCase{1000, 1000},
+                                           InplaceCase{12345, 6789},
+                                           InplaceCase{2, 3},
+                                           InplaceCase{65536, 65536}));
+
+TEST(InplaceMerge, HeavyDuplicates) {
+  std::vector<double> v;
+  for (int i = 0; i < 5000; ++i) v.push_back(i % 4);
+  std::sort(v.begin(), v.begin() + 2500);
+  std::sort(v.begin() + 2500, v.end());
+  auto expected = v;
+  std::inplace_merge(expected.begin(), expected.begin() + 2500, expected.end());
+  inplace_merge_rotation<double>(v, 2500);
+  EXPECT_EQ(v, expected);
+}
+
+TEST(InplaceMerge, AlreadyMergedIsNoop) {
+  std::vector<double> v{1, 2, 3, 4, 5, 6};
+  inplace_merge_rotation<double>(v, 3);
+  EXPECT_EQ(v, (std::vector<double>{1, 2, 3, 4, 5, 6}));
+}
+
+TEST(InplaceMerge, FullyInterleaved) {
+  std::vector<double> v{1, 3, 5, 7, 2, 4, 6, 8};
+  inplace_merge_rotation<double>(v, 4);
+  EXPECT_EQ(v, (std::vector<double>{1, 2, 3, 4, 5, 6, 7, 8}));
+}
+
+TEST(InplaceMerge, SecondRunAllSmaller) {
+  std::vector<double> v{5, 6, 7, 1, 2, 3};
+  inplace_merge_rotation<double>(v, 3);
+  EXPECT_EQ(v, (std::vector<double>{1, 2, 3, 5, 6, 7}));
+}
+
+}  // namespace
+}  // namespace hs::cpu

@@ -1,0 +1,132 @@
+// Tests for the workload generators and verification helpers.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "data/generators.h"
+#include "data/verify.h"
+
+namespace hs::data {
+namespace {
+
+TEST(Generators, DeterministicForSeed) {
+  EXPECT_EQ(generate(Distribution::kUniform, 1000, 42),
+            generate(Distribution::kUniform, 1000, 42));
+  EXPECT_NE(generate(Distribution::kUniform, 1000, 42),
+            generate(Distribution::kUniform, 1000, 43));
+}
+
+TEST(Generators, UniformStatistics) {
+  const auto v = generate(Distribution::kUniform, 100000, 1);
+  double sum = 0, mn = 1, mx = 0;
+  for (const double x : v) {
+    sum += x;
+    mn = std::min(mn, x);
+    mx = std::max(mx, x);
+  }
+  EXPECT_NEAR(sum / static_cast<double>(v.size()), 0.5, 0.01);
+  EXPECT_GE(mn, 0.0);
+  EXPECT_LT(mx, 1.0);
+}
+
+TEST(Generators, GaussianStatistics) {
+  const auto v = generate(Distribution::kGaussian, 100000, 2);
+  double sum = 0, sum2 = 0;
+  for (const double x : v) {
+    sum += x;
+    sum2 += x * x;
+  }
+  const double mean = sum / static_cast<double>(v.size());
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(sum2 / static_cast<double>(v.size()) - mean * mean, 1.0, 0.03);
+}
+
+TEST(Generators, SortedAndReverse) {
+  EXPECT_TRUE(is_sorted_ascending(
+      std::span<const double>(generate(Distribution::kSorted, 10000, 3))));
+  auto rev = generate(Distribution::kReverseSorted, 10000, 3);
+  std::reverse(rev.begin(), rev.end());
+  EXPECT_TRUE(is_sorted_ascending(std::span<const double>(rev)));
+}
+
+TEST(Generators, NearlySortedIsMostlySorted) {
+  const auto v = generate(Distribution::kNearlySorted, 10000, 4);
+  std::size_t inversions = 0;
+  for (std::size_t i = 0; i + 1 < v.size(); ++i) {
+    inversions += v[i] > v[i + 1];
+  }
+  EXPECT_GT(inversions, 0u);           // not fully sorted
+  EXPECT_LT(inversions, v.size() / 10); // but nearly
+}
+
+TEST(Generators, DuplicateHeavyHasFewDistinct) {
+  const auto v = generate(Distribution::kDuplicateHeavy, 10000, 5);
+  const std::set<double> distinct(v.begin(), v.end());
+  EXPECT_LE(distinct.size(), 16u);
+}
+
+TEST(Generators, AllEqual) {
+  const auto v = generate(Distribution::kAllEqual, 100, 6);
+  EXPECT_TRUE(std::all_of(v.begin(), v.end(),
+                          [](double x) { return x == 42.0; }));
+}
+
+TEST(Generators, ZipfIsSkewed) {
+  const auto v = generate(Distribution::kZipf, 100000, 7);
+  // Rank 1 must dominate: a large share of samples fall below e.g. 10.
+  const auto small = static_cast<std::size_t>(
+      std::count_if(v.begin(), v.end(), [](double x) { return x < 10.0; }));
+  EXPECT_GT(small, v.size() / 10);
+  const std::set<double> distinct(v.begin(), v.end());
+  EXPECT_GT(distinct.size(), 100u);  // but with a long tail
+}
+
+TEST(Generators, KeysCoverWideRange) {
+  const auto v = generate_keys(Distribution::kUniform, 10000, 8);
+  const auto mx = *std::max_element(v.begin(), v.end());
+  EXPECT_GT(mx, 1ull << 60);  // uniform over the full 64-bit range
+}
+
+TEST(Generators, NamesAreStable) {
+  EXPECT_EQ(distribution_name(Distribution::kUniform), "uniform");
+  EXPECT_EQ(distribution_name(Distribution::kZipf), "zipf");
+}
+
+TEST(Verify, DetectsUnsorted) {
+  EXPECT_FALSE(is_sorted_ascending(
+      std::span<const double>(std::vector<double>{1, 3, 2})));
+}
+
+TEST(Verify, FingerprintIsOrderIndependent) {
+  const std::vector<double> a{1, 2, 3}, b{3, 1, 2};
+  EXPECT_EQ(multiset_fingerprint(std::span<const double>(a)),
+            multiset_fingerprint(std::span<const double>(b)));
+}
+
+TEST(Verify, FingerprintDetectsSubstitution) {
+  const std::vector<double> a{1, 2, 3}, b{1, 2, 4};
+  EXPECT_NE(multiset_fingerprint(std::span<const double>(a)),
+            multiset_fingerprint(std::span<const double>(b)));
+}
+
+TEST(Verify, FingerprintDetectsDuplication) {
+  // A plain sum-of-values check would miss swapping {2,2,5} for {3,3,3}; the
+  // hashed multiset fingerprint must not.
+  const std::vector<double> a{2, 2, 5}, b{3, 3, 3};
+  EXPECT_NE(multiset_fingerprint(std::span<const double>(a)),
+            multiset_fingerprint(std::span<const double>(b)));
+}
+
+TEST(Verify, SortedPermutationEndToEnd) {
+  auto v = generate(Distribution::kUniform, 1000, 9);
+  auto sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_TRUE(is_sorted_permutation(v, sorted));
+  sorted[500] = -1;  // corrupt
+  EXPECT_FALSE(is_sorted_permutation(v, sorted));
+}
+
+}  // namespace
+}  // namespace hs::data

@@ -1,0 +1,105 @@
+// Tests for the ElementOps type erasure and the key/value record support.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/key_value.h"
+#include "cpu/element_ops.h"
+#include "cpu/radix_sort.h"
+#include "data/generators.h"
+
+namespace hs::cpu {
+namespace {
+
+std::vector<KeyValue64> make_kv(std::uint64_t n, std::uint64_t seed) {
+  const auto keys = hs::data::generate_keys(hs::data::Distribution::kUniform,
+                                            n, seed);
+  std::vector<KeyValue64> v(n);
+  for (std::uint64_t i = 0; i < n; ++i) v[i] = {keys[i], i};
+  return v;
+}
+
+TEST(KeyValue64, OrderedByKeyOnly) {
+  const KeyValue64 a{1, 99}, b{2, 0}, c{1, 0};
+  EXPECT_LT(a, b);
+  EXPECT_FALSE(a < c);
+  EXPECT_FALSE(c < a);
+}
+
+TEST(KeyValueRadix, SortsByKeyStably) {
+  auto v = make_kv(50000, 7);
+  auto expected = v;
+  std::stable_sort(expected.begin(), expected.end());
+  radix_sort(std::span<KeyValue64>(v));
+  EXPECT_EQ(v, expected);  // radix is stable, so values must match exactly
+}
+
+TEST(KeyValueRadix, ParallelMatchesSequential) {
+  ThreadPool pool(4);
+  auto v = make_kv(100000, 8);
+  auto w = v;
+  radix_sort(std::span<KeyValue64>(v));
+  radix_sort_parallel(pool, std::span<KeyValue64>(w));
+  EXPECT_EQ(v, w);
+}
+
+TEST(KeyValueRadix, PayloadsFollowKeys) {
+  // Build records whose value encodes the key; sorting must keep them paired.
+  std::vector<KeyValue64> v;
+  for (std::uint64_t i = 0; i < 10000; ++i) {
+    const std::uint64_t k = (i * 2654435761u) % 1000;
+    v.push_back({k, k * 31 + 7});
+  }
+  radix_sort(std::span<KeyValue64>(v));
+  for (const auto& r : v) EXPECT_EQ(r.value, r.key * 31 + 7);
+  EXPECT_TRUE(std::is_sorted(v.begin(), v.end()));
+}
+
+TEST(ElementOps, SizesAndNames) {
+  EXPECT_EQ(element_ops<double>().elem_size, 8u);
+  EXPECT_EQ(element_ops<double>().type_name, "f64");
+  EXPECT_EQ(element_ops<std::uint64_t>().elem_size, 8u);
+  EXPECT_EQ(element_ops<hs::KeyValue64>().elem_size, 16u);
+  EXPECT_EQ(element_ops<hs::KeyValue64>().type_name, "kv64");
+  EXPECT_GT(element_ops<hs::KeyValue64>().gpu_sort_cost_factor, 1.0);
+}
+
+TEST(ElementOps, DeviceSortHookSortsBytes) {
+  const auto ops = element_ops<double>();
+  auto v = hs::data::generate(hs::data::Distribution::kUniform, 10000, 9);
+  auto expected = v;
+  std::sort(expected.begin(), expected.end());
+  ops.device_sort(reinterpret_cast<std::byte*>(v.data()), v.size());
+  EXPECT_EQ(v, expected);
+}
+
+TEST(ElementOps, MergePairHookMergesRuns) {
+  const auto ops = element_ops<std::uint64_t>();
+  std::vector<std::uint64_t> a{1, 3, 5}, b{2, 4, 6}, out(6);
+  ThreadPool pool(2);
+  ops.merge_pair(RunView{reinterpret_cast<const std::byte*>(a.data()), 3},
+                 RunView{reinterpret_cast<const std::byte*>(b.data()), 3},
+                 reinterpret_cast<std::byte*>(out.data()), pool, 2);
+  EXPECT_EQ(out, (std::vector<std::uint64_t>{1, 2, 3, 4, 5, 6}));
+}
+
+TEST(ElementOps, MultiwayHookMergesRuns) {
+  const auto ops = element_ops<hs::KeyValue64>();
+  std::vector<KeyValue64> a{{1, 0}, {4, 0}}, b{{2, 1}, {5, 1}},
+      c{{3, 2}, {6, 2}};
+  std::vector<KeyValue64> out(6);
+  const RunView runs[] = {
+      {reinterpret_cast<const std::byte*>(a.data()), 2},
+      {reinterpret_cast<const std::byte*>(b.data()), 2},
+      {reinterpret_cast<const std::byte*>(c.data()), 2},
+  };
+  ThreadPool pool(2);
+  ops.multiway(runs, reinterpret_cast<std::byte*>(out.data()), pool, 2);
+  EXPECT_TRUE(std::is_sorted(out.begin(), out.end()));
+  EXPECT_EQ(out.front().key, 1u);
+  EXPECT_EQ(out.back().key, 6u);
+}
+
+}  // namespace
+}  // namespace hs::cpu

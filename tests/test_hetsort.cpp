@@ -1,0 +1,288 @@
+// Integration tests: the full heterogeneous sorting pipeline in real
+// execution mode. Every approach must produce a sorted permutation of its
+// input across batch geometries, distributions, GPU counts, and staging
+// modes; reports must be internally consistent.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/units.h"
+#include "core/het_sorter.h"
+#include "data/generators.h"
+#include "data/verify.h"
+#include "vgpu/device.h"
+
+namespace hs::core {
+namespace {
+
+using hs::data::Distribution;
+
+// A platform with deliberately tiny GPU memory so small test inputs exercise
+// multi-batch pipelines, and 2 GPUs for multi-GPU paths.
+model::Platform test_platform(std::uint64_t gpu_elems = 65536,
+                              unsigned gpus = 2) {
+  model::Platform p = model::platform1();
+  p.gpus.clear();
+  model::GpuSpec spec;
+  spec.model = "TinyTestGPU";
+  spec.cuda_cores = 64;
+  spec.memory_bytes = gpu_elems * sizeof(double);
+  spec.sort = model::GpuSortModel{1e-4, 2e-9};
+  for (unsigned i = 0; i < gpus; ++i) p.gpus.push_back(spec);
+  return p;
+}
+
+struct EndToEndCase {
+  Approach approach;
+  std::uint64_t n;
+  std::uint64_t bs;
+  unsigned gpus;
+  unsigned streams;
+  unsigned memcpy_threads;
+  Distribution dist;
+};
+
+class EndToEnd : public ::testing::TestWithParam<EndToEndCase> {};
+
+TEST_P(EndToEnd, SortsCorrectly) {
+  const auto& c = GetParam();
+  SortConfig cfg;
+  cfg.approach = c.approach;
+  cfg.batch_size = c.bs;
+  cfg.staging_elems = 1000;
+  cfg.num_gpus = c.gpus;
+  cfg.streams_per_gpu = c.streams;
+  cfg.memcpy_threads = c.memcpy_threads;
+
+  auto data = hs::data::generate(c.dist, c.n, 1234);
+  const auto original = data;
+  HeterogeneousSorter sorter(test_platform(), cfg);
+  const Report r = sorter.sort(data);
+
+  EXPECT_TRUE(hs::data::is_sorted_permutation(original, data))
+      << cfg.label() << " n=" << c.n;
+  EXPECT_EQ(r.n, c.n);
+  EXPECT_GT(r.end_to_end, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Approaches, EndToEnd,
+    ::testing::Values(
+        // BLine: single batch.
+        EndToEndCase{Approach::kBLine, 5000, 5000, 1, 1, 1,
+                     Distribution::kUniform},
+        EndToEndCase{Approach::kBLine, 1, 1, 1, 1, 1, Distribution::kUniform},
+        // BLineMulti: several batches, multiway merge.
+        EndToEndCase{Approach::kBLineMulti, 30000, 5000, 1, 1, 1,
+                     Distribution::kUniform},
+        EndToEndCase{Approach::kBLineMulti, 30001, 5000, 1, 1, 1,
+                     Distribution::kUniform},  // ragged tail
+        EndToEndCase{Approach::kBLineMulti, 10000, 5000, 2, 1, 1,
+                     Distribution::kUniform},  // dual GPU
+        // PipeData: streams + staging.
+        EndToEndCase{Approach::kPipeData, 30000, 5000, 1, 2, 1,
+                     Distribution::kUniform},
+        EndToEndCase{Approach::kPipeData, 30000, 5000, 2, 2, 1,
+                     Distribution::kGaussian},
+        EndToEndCase{Approach::kPipeData, 12345, 4000, 1, 3, 1,
+                     Distribution::kDuplicateHeavy},
+        // PipeMerge: pipelined pair merges.
+        EndToEndCase{Approach::kPipeMerge, 30000, 5000, 1, 2, 1,
+                     Distribution::kUniform},
+        EndToEndCase{Approach::kPipeMerge, 35000, 5000, 1, 2, 1,
+                     Distribution::kUniform},  // odd batch count
+        EndToEndCase{Approach::kPipeMerge, 30000, 5000, 2, 2, 1,
+                     Distribution::kUniform},
+        EndToEndCase{Approach::kPipeMerge, 34567, 5000, 2, 2, 1,
+                     Distribution::kZipf},  // ragged + dual GPU
+        // PARMEMCPY variants.
+        EndToEndCase{Approach::kPipeMerge, 30000, 5000, 1, 2, 4,
+                     Distribution::kUniform},
+        EndToEndCase{Approach::kPipeData, 30000, 5000, 2, 2, 4,
+                     Distribution::kNearlySorted},
+        // Many batches (deep multiway merge).
+        EndToEndCase{Approach::kPipeMerge, 60000, 3000, 1, 2, 1,
+                     Distribution::kUniform},
+        EndToEndCase{Approach::kBLineMulti, 60000, 3000, 1, 1, 1,
+                     Distribution::kReverseSorted},
+        // All-equal input (pathological splitters).
+        EndToEndCase{Approach::kPipeMerge, 30000, 5000, 1, 2, 1,
+                     Distribution::kAllEqual}));
+
+TEST(EndToEndEdge, BatchEqualsN) {
+  SortConfig cfg;
+  cfg.approach = Approach::kPipeData;
+  cfg.batch_size = 10000;
+  cfg.staging_elems = 512;
+  auto data = hs::data::generate(Distribution::kUniform, 10000, 5);
+  const auto original = data;
+  HeterogeneousSorter sorter(test_platform(), cfg);
+  const Report r = sorter.sort(data);
+  EXPECT_EQ(r.num_batches, 1u);
+  EXPECT_TRUE(hs::data::is_sorted_permutation(original, data));
+}
+
+TEST(EndToEndEdge, StagingBiggerThanBatch) {
+  SortConfig cfg;
+  cfg.approach = Approach::kPipeMerge;
+  cfg.batch_size = 2000;
+  cfg.staging_elems = 100000;
+  auto data = hs::data::generate(Distribution::kUniform, 8000, 6);
+  const auto original = data;
+  HeterogeneousSorter sorter(test_platform(), cfg);
+  sorter.sort(data);
+  EXPECT_TRUE(hs::data::is_sorted_permutation(original, data));
+}
+
+TEST(EndToEndEdge, StagingOfOneElement) {
+  SortConfig cfg;
+  cfg.approach = Approach::kPipeData;
+  cfg.batch_size = 100;
+  cfg.staging_elems = 1;
+  auto data = hs::data::generate(Distribution::kUniform, 300, 7);
+  const auto original = data;
+  HeterogeneousSorter sorter(test_platform(), cfg);
+  sorter.sort(data);
+  EXPECT_TRUE(hs::data::is_sorted_permutation(original, data));
+}
+
+TEST(EndToEndEdge, PageableStagingSortsCorrectly) {
+  SortConfig cfg;
+  cfg.approach = Approach::kBLineMulti;
+  cfg.staging = StagingMode::kPageable;
+  cfg.batch_size = 5000;
+  auto data = hs::data::generate(Distribution::kUniform, 20000, 8);
+  const auto original = data;
+  HeterogeneousSorter sorter(test_platform(), cfg);
+  const Report r = sorter.sort(data);
+  EXPECT_TRUE(hs::data::is_sorted_permutation(original, data));
+  EXPECT_DOUBLE_EQ(r.busy.stage_in, 0.0);  // no explicit staging copies
+  EXPECT_DOUBLE_EQ(r.busy.pinned_alloc, 0.0);
+}
+
+TEST(EndToEndEdge, PairPolicyAllSortsCorrectly) {
+  SortConfig cfg;
+  cfg.approach = Approach::kPipeMerge;
+  cfg.pair_policy = PairMergePolicy::kAll;
+  cfg.batch_size = 4000;
+  cfg.staging_elems = 500;
+  auto data = hs::data::generate(Distribution::kUniform, 32000, 9);
+  const auto original = data;
+  HeterogeneousSorter sorter(test_platform(), cfg);
+  const Report r = sorter.sort(data);
+  EXPECT_TRUE(hs::data::is_sorted_permutation(original, data));
+  EXPECT_EQ(r.pair_merges, 4u);
+}
+
+TEST(EndToEndEdge, HeterogeneousDeviceSizesCanThrowDeviceOom) {
+  // resolve() sizes batches against the first GPU; a smaller second GPU is
+  // only caught at allocation time, surfacing as DeviceOutOfMemory.
+  model::Platform plat = test_platform(65536, 2);
+  plat.gpus[1].memory_bytes = 1024 * sizeof(double);
+  SortConfig cfg;
+  cfg.approach = Approach::kBLineMulti;
+  cfg.batch_size = 8000;
+  cfg.num_gpus = 2;
+  auto data = hs::data::generate(Distribution::kUniform, 32000, 10);
+  HeterogeneousSorter sorter(plat, cfg);
+  EXPECT_THROW((void)sorter.sort(data), hs::vgpu::DeviceOutOfMemory);
+}
+
+TEST(ReportConsistency, PhasesPresentForPinnedPipeline) {
+  SortConfig cfg;
+  cfg.approach = Approach::kPipeMerge;
+  cfg.batch_size = 5000;
+  cfg.staging_elems = 1000;
+  auto data = hs::data::generate(Distribution::kUniform, 30000, 11);
+  HeterogeneousSorter sorter(test_platform(), cfg);
+  const Report r = sorter.sort(data);
+  EXPECT_GT(r.busy.pinned_alloc, 0.0);
+  EXPECT_GT(r.busy.stage_in, 0.0);
+  EXPECT_GT(r.busy.htod, 0.0);
+  EXPECT_GT(r.busy.gpu_sort, 0.0);
+  EXPECT_GT(r.busy.dtoh, 0.0);
+  EXPECT_GT(r.busy.stage_out, 0.0);
+  EXPECT_GT(r.busy.pair_merge, 0.0);
+  EXPECT_GT(r.busy.multiway_merge, 0.0);
+  EXPECT_GT(r.pair_merges, 0u);
+  EXPECT_EQ(r.multiway_ways, r.num_batches - r.pair_merges);
+}
+
+TEST(ReportConsistency, RelatedWorkOmitsOverheads) {
+  SortConfig cfg;
+  cfg.approach = Approach::kBLine;
+  cfg.batch_size = 8000;
+  auto data = hs::data::generate(Distribution::kUniform, 8000, 12);
+  HeterogeneousSorter sorter(test_platform(), cfg);
+  const Report r = sorter.sort(data);
+  // Full accounting must exceed the related-work accounting (the missing
+  // overhead problem) for a sequential BLINE run.
+  EXPECT_GT(r.end_to_end, r.related_work_total);
+  EXPECT_GT(r.missing_overhead(), 0.0);
+  EXPECT_DOUBLE_EQ(r.related_work_total, r.related_htod + r.related_dtoh +
+                                             r.related_sort + r.related_merge);
+  EXPECT_DOUBLE_EQ(r.related_merge, 0.0);  // nb == 1: no merge
+}
+
+TEST(ReportConsistency, SimulateMatchesRealTiming) {
+  // The virtual clock must be identical whether or not payloads move.
+  SortConfig cfg;
+  cfg.approach = Approach::kPipeMerge;
+  cfg.batch_size = 5000;
+  cfg.staging_elems = 777;
+  const model::Platform plat = test_platform();
+  HeterogeneousSorter sorter(plat, cfg);
+  auto data = hs::data::generate(Distribution::kUniform, 30000, 13);
+  const Report real = sorter.sort(data);
+  const Report sim = sorter.simulate(30000);
+  EXPECT_DOUBLE_EQ(real.end_to_end, sim.end_to_end);
+  EXPECT_DOUBLE_EQ(real.busy.htod, sim.busy.htod);
+  EXPECT_DOUBLE_EQ(real.busy.multiway_merge, sim.busy.multiway_merge);
+  EXPECT_EQ(real.trace.events().size(), sim.trace.events().size());
+}
+
+TEST(ReportConsistency, DeterministicAcrossRuns) {
+  SortConfig cfg;
+  cfg.approach = Approach::kPipeData;
+  cfg.batch_size = 4000;
+  HeterogeneousSorter sorter(test_platform(), cfg);
+  const Report a = sorter.simulate(20000);
+  const Report b = sorter.simulate(20000);
+  EXPECT_DOUBLE_EQ(a.end_to_end, b.end_to_end);
+}
+
+TEST(ReportConsistency, TraceBytesMatchWorkload) {
+  SortConfig cfg;
+  cfg.approach = Approach::kPipeData;
+  cfg.batch_size = 5000;
+  cfg.staging_elems = 1000;
+  HeterogeneousSorter sorter(test_platform(), cfg);
+  const Report r = sorter.simulate(30000);
+  // Every element crosses PCIe exactly once in each direction.
+  EXPECT_EQ(r.trace.phase_bytes(sim::Phase::kHtoD),
+            hs::bytes_of_elems(30000));
+  EXPECT_EQ(r.trace.phase_bytes(sim::Phase::kDtoH),
+            hs::bytes_of_elems(30000));
+}
+
+TEST(ReportConsistency, PrintProducesBreakdown) {
+  SortConfig cfg;
+  cfg.approach = Approach::kPipeMerge;
+  cfg.batch_size = 5000;
+  HeterogeneousSorter sorter(test_platform(), cfg);
+  const Report r = sorter.simulate(30000);
+  std::ostringstream os;
+  r.print(os);
+  EXPECT_NE(os.str().find("end-to-end"), std::string::npos);
+  EXPECT_NE(os.str().find("PipeMerge"), std::string::npos);
+}
+
+TEST(ReportConsistency, EmptyInputRejected) {
+  SortConfig cfg;
+  HeterogeneousSorter sorter(test_platform(), cfg);
+  std::vector<double> data;
+  EXPECT_DEATH((void)sorter.sort(data), "empty");
+}
+
+}  // namespace
+}  // namespace hs::core

@@ -1,0 +1,309 @@
+// Integration tests for the library extensions: generic element types
+// (uint64 keys, key/value records), device-side pair merging, and
+// double-buffered staging — correctness and timing properties.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/key_value.h"
+#include "core/batch_plan.h"
+#include "core/het_sorter.h"
+#include "data/generators.h"
+#include "data/verify.h"
+
+namespace hs::core {
+namespace {
+
+using hs::data::Distribution;
+
+model::Platform test_platform(std::uint64_t gpu_bytes = 65536 * 8,
+                              unsigned gpus = 2) {
+  model::Platform p = model::platform1();
+  p.gpus.clear();
+  model::GpuSpec spec;
+  spec.model = "TinyTestGPU";
+  spec.cuda_cores = 64;
+  spec.memory_bytes = gpu_bytes;
+  spec.sort = model::GpuSortModel{1e-4, 2e-9};
+  spec.merge = model::GpuMergeModel{1e-4, 50.0e9};
+  for (unsigned i = 0; i < gpus; ++i) p.gpus.push_back(spec);
+  return p;
+}
+
+// --- generic element types ---------------------------------------------------
+
+TEST(GenericElements, SortsUint64Keys) {
+  SortConfig cfg;
+  cfg.approach = Approach::kPipeMerge;
+  cfg.batch_size = 5000;
+  cfg.staging_elems = 777;
+  auto data = hs::data::generate_keys(Distribution::kUniform, 30000, 21);
+  auto expected = data;
+  std::sort(expected.begin(), expected.end());
+  HeterogeneousSorter sorter(test_platform(), cfg);
+  const Report r = sorter.sort(data);
+  EXPECT_EQ(data, expected);
+  EXPECT_EQ(r.element_type, "u64");
+}
+
+TEST(GenericElements, SortsKeyValueRecordsStably) {
+  SortConfig cfg;
+  cfg.approach = Approach::kPipeMerge;
+  cfg.batch_size = 4000;
+  cfg.staging_elems = 500;
+  std::vector<KeyValue64> data;
+  const auto keys =
+      hs::data::generate_keys(Distribution::kDuplicateHeavy, 24000, 22);
+  for (std::uint64_t i = 0; i < keys.size(); ++i) {
+    data.push_back({keys[i], i});
+  }
+  auto expected = data;
+  std::stable_sort(expected.begin(), expected.end());
+  HeterogeneousSorter sorter(test_platform(), cfg);
+  const Report r = sorter.sort(data);
+  // The pipeline is stable end to end: radix batches + stable merges.
+  EXPECT_EQ(data, expected);
+  EXPECT_EQ(r.element_type, "kv64");
+}
+
+TEST(GenericElements, KvTransfersTwiceTheBytes) {
+  SortConfig cfg;
+  cfg.approach = Approach::kPipeData;
+  cfg.batch_size = 4000;
+  HeterogeneousSorter sorter(test_platform(), cfg);
+  const Report rd = sorter.simulate(16000, cpu::element_ops<double>());
+  const Report rkv = sorter.simulate(16000, cpu::element_ops<KeyValue64>());
+  EXPECT_EQ(rkv.trace.phase_bytes(sim::Phase::kHtoD),
+            2 * rd.trace.phase_bytes(sim::Phase::kHtoD));
+  EXPECT_GT(rkv.end_to_end, rd.end_to_end);
+}
+
+TEST(GenericElements, KvBatchSizingUsesElementSize) {
+  // Auto batch sizing must halve the batch for 16-byte records.
+  SortConfig cfg;
+  cfg.approach = Approach::kPipeData;
+  cfg.streams_per_gpu = 2;
+  const auto rc8 = resolve(cfg, test_platform(), 1'000'000, 8);
+  const auto rc16 = resolve(cfg, test_platform(), 1'000'000, 16);
+  EXPECT_EQ(rc8.batch_size, 2 * rc16.batch_size);
+}
+
+TEST(GenericElements, SortBytesValidatesSize) {
+  SortConfig cfg;
+  HeterogeneousSorter sorter(test_platform(), cfg);
+  std::vector<std::byte> bytes(100);
+  EXPECT_DEATH(
+      (void)sorter.sort_bytes(bytes, 7, cpu::element_ops<double>()),
+      "does not match");
+}
+
+// --- device-side pair merging (Section V extension) --------------------------
+
+TEST(DevicePairMerge, SortsCorrectly) {
+  SortConfig cfg;
+  cfg.approach = Approach::kPipeMerge;
+  cfg.device_pair_merge = true;
+  cfg.batch_size = 3000;
+  cfg.staging_elems = 400;
+  auto data = hs::data::generate(Distribution::kUniform, 30000, 23);
+  const auto original = data;
+  HeterogeneousSorter sorter(test_platform(), cfg);
+  const Report r = sorter.sort(data);
+  EXPECT_TRUE(hs::data::is_sorted_permutation(original, data));
+  EXPECT_GT(r.pair_merges, 0u);
+}
+
+TEST(DevicePairMerge, MultiGpuSortsCorrectly) {
+  SortConfig cfg;
+  cfg.approach = Approach::kPipeMerge;
+  cfg.device_pair_merge = true;
+  cfg.pair_policy = PairMergePolicy::kAll;
+  cfg.batch_size = 2000;
+  cfg.num_gpus = 2;
+  cfg.streams_per_gpu = 2;
+  auto data = hs::data::generate(Distribution::kZipf, 28111, 24);
+  const auto original = data;
+  HeterogeneousSorter sorter(test_platform(), cfg);
+  (void)sorter.sort(data);
+  EXPECT_TRUE(hs::data::is_sorted_permutation(original, data));
+}
+
+TEST(DevicePairMerge, MovesPairMergeWorkOffTheCpu) {
+  // Needs realistic batch sizes: at toy scale the device kernel launch
+  // latency exceeds the (tiny) host merge. Timing-only, so no real memory.
+  const model::Platform plat = test_platform(128 * 1024 * 1024, 1);
+  SortConfig cfg;
+  cfg.approach = Approach::kPipeMerge;
+  cfg.batch_size = 1'000'000;
+  HeterogeneousSorter host_sorter(plat, cfg);
+  cfg.device_pair_merge = true;
+  HeterogeneousSorter dev_sorter(plat, cfg);
+
+  const Report host = host_sorter.simulate(20'000'000);
+  const Report dev = dev_sorter.simulate(20'000'000);
+  ASSERT_GT(host.pair_merges, 0u);
+  // Same number of logical pair merges, but the device run spends its
+  // pair-merge phase on the GPU engine and the host pool never sees it.
+  EXPECT_EQ(host.pair_merges, dev.pair_merges);
+  EXPECT_GT(host.busy.pair_merge, 0.0);
+  EXPECT_GT(dev.busy.pair_merge, 0.0);
+  // Device merges at 50 GB/s payload are far faster than host pair merges.
+  EXPECT_LT(dev.busy.pair_merge, host.busy.pair_merge);
+}
+
+TEST(DevicePairMerge, RequiresPipeMerge) {
+  SortConfig cfg;
+  cfg.approach = Approach::kPipeData;
+  cfg.device_pair_merge = true;
+  cfg.batch_size = 1000;
+  EXPECT_DEATH((void)resolve(cfg, test_platform(), 10000),
+               "requires the PipeMerge");
+}
+
+TEST(DevicePairMerge, BatchSizingAccountsForFiveBuffers) {
+  SortConfig cfg;
+  cfg.approach = Approach::kPipeMerge;
+  cfg.streams_per_gpu = 1;
+  const auto rc2 = resolve(cfg, test_platform(), 1'000'000);
+  cfg.device_pair_merge = true;
+  const auto rc5 = resolve(cfg, test_platform(), 1'000'000);
+  EXPECT_EQ(rc5.batch_size, rc2.batch_size * 2 / 5);
+}
+
+TEST(DevicePairMerge, PairsShareASlot) {
+  SortConfig cfg;
+  cfg.approach = Approach::kPipeMerge;
+  cfg.device_pair_merge = true;
+  cfg.batch_size = 1000;
+  cfg.num_gpus = 2;
+  cfg.streams_per_gpu = 2;
+  const auto rc = resolve(cfg, test_platform(), 12000);
+  const auto plan = BatchPlan::create(rc);
+  for (std::uint64_t i = 0; i + 1 < plan.num_batches(); i += 2) {
+    EXPECT_EQ(plan.batch(i).gpu, plan.batch(i + 1).gpu);
+    EXPECT_EQ(plan.batch(i).stream, plan.batch(i + 1).stream);
+  }
+}
+
+// --- double-buffered staging --------------------------------------------------
+
+TEST(DoubleBuffer, SortsCorrectly) {
+  SortConfig cfg;
+  cfg.approach = Approach::kPipeData;
+  cfg.double_buffer_staging = true;
+  cfg.batch_size = 5000;
+  cfg.staging_elems = 600;
+  auto data = hs::data::generate(Distribution::kGaussian, 25000, 25);
+  const auto original = data;
+  HeterogeneousSorter sorter(test_platform(), cfg);
+  (void)sorter.sort(data);
+  EXPECT_TRUE(hs::data::is_sorted_permutation(original, data));
+}
+
+TEST(DoubleBuffer, WinsOnceChunksAmortiseTheExtraAllocation) {
+  // The second pinned buffer costs one extra allocation (~7 ms); the win is
+  // per-chunk MCpy/PCIe overlap, so it needs enough staged bytes to pay off.
+  const model::Platform plat = test_platform(128 * 1024 * 1024, 1);
+  SortConfig cfg;
+  cfg.approach = Approach::kPipeData;
+  cfg.batch_size = 1'000'000;
+  cfg.staging_elems = 100'000;
+  HeterogeneousSorter single(plat, cfg);
+  cfg.double_buffer_staging = true;
+  HeterogeneousSorter dbl(plat, cfg);
+  const double t_single = single.simulate(20'000'000).end_to_end;
+  const double t_dbl = dbl.simulate(20'000'000).end_to_end;
+  EXPECT_LT(t_dbl, t_single);
+}
+
+TEST(DoubleBuffer, PaysTwoPinnedAllocationsPerStream) {
+  SortConfig cfg;
+  cfg.approach = Approach::kPipeData;
+  cfg.batch_size = 5000;
+  cfg.streams_per_gpu = 2;
+  HeterogeneousSorter single(test_platform(), cfg);
+  cfg.double_buffer_staging = true;
+  HeterogeneousSorter dbl(test_platform(), cfg);
+  const Report rs = single.simulate(20000);
+  const Report rd = dbl.simulate(20000);
+  EXPECT_EQ(rd.trace.phase_count(sim::Phase::kPinnedAlloc),
+            2 * rs.trace.phase_count(sim::Phase::kPinnedAlloc));
+}
+
+TEST(DoubleBuffer, ComposesWithDeviceMergeAndParMemcpy) {
+  SortConfig cfg;
+  cfg.approach = Approach::kPipeMerge;
+  cfg.device_pair_merge = true;
+  cfg.double_buffer_staging = true;
+  cfg.memcpy_threads = 4;
+  cfg.batch_size = 2500;
+  cfg.staging_elems = 300;
+  auto data = hs::data::generate(Distribution::kUniform, 27500, 26);
+  const auto original = data;
+  HeterogeneousSorter sorter(test_platform(), cfg);
+  const Report r = sorter.sort(data);
+  EXPECT_TRUE(hs::data::is_sorted_permutation(original, data));
+  EXPECT_EQ(r.label, "PipeMerge+DevMerge+ParMemCpy+DblBuf");
+}
+
+// --- timing invariants across features ---------------------------------------
+
+TEST(TimingInvariants, PipeDataNotSlowerThanBLineMulti) {
+  SortConfig cfg;
+  cfg.approach = Approach::kBLineMulti;
+  cfg.batch_size = 5000;
+  HeterogeneousSorter bl(test_platform(), cfg);
+  cfg.approach = Approach::kPipeData;
+  HeterogeneousSorter pd(test_platform(), cfg);
+  EXPECT_LE(pd.simulate(40000).end_to_end, bl.simulate(40000).end_to_end);
+}
+
+TEST(TimingInvariants, ParMemcpyNotSlower) {
+  SortConfig cfg;
+  cfg.approach = Approach::kPipeData;
+  cfg.batch_size = 5000;
+  HeterogeneousSorter base(test_platform(), cfg);
+  cfg.memcpy_threads = 4;
+  HeterogeneousSorter par(test_platform(), cfg);
+  EXPECT_LE(par.simulate(40000).end_to_end, base.simulate(40000).end_to_end);
+}
+
+TEST(TimingInvariants, TwoGpusNotSlowerThanOne) {
+  SortConfig cfg;
+  cfg.approach = Approach::kPipeData;
+  cfg.batch_size = 5000;
+  cfg.num_gpus = 1;
+  HeterogeneousSorter one(test_platform(), cfg);
+  cfg.num_gpus = 2;
+  HeterogeneousSorter two(test_platform(), cfg);
+  EXPECT_LE(two.simulate(40000).end_to_end, one.simulate(40000).end_to_end);
+}
+
+TEST(TimingInvariants, MoreDataTakesLonger) {
+  SortConfig cfg;
+  cfg.approach = Approach::kPipeMerge;
+  cfg.batch_size = 5000;
+  HeterogeneousSorter sorter(test_platform(), cfg);
+  double prev = 0;
+  for (const std::uint64_t n : {10000ull, 20000ull, 40000ull, 80000ull}) {
+    const double t = sorter.simulate(n).end_to_end;
+    EXPECT_GT(t, prev);
+    prev = t;
+  }
+}
+
+TEST(TimingInvariants, EndToEndAtLeastEachRelatedComponent) {
+  SortConfig cfg;
+  cfg.approach = Approach::kBLineMulti;
+  cfg.batch_size = 5000;
+  HeterogeneousSorter sorter(test_platform(), cfg);
+  const Report r = sorter.simulate(40000);
+  EXPECT_GE(r.end_to_end, r.related_htod);
+  EXPECT_GE(r.end_to_end, r.related_dtoh);
+  EXPECT_GE(r.end_to_end, r.related_sort);
+  EXPECT_GE(r.end_to_end, r.related_merge);
+}
+
+}  // namespace
+}  // namespace hs::core

@@ -1,0 +1,178 @@
+// Tests for the out-of-core module: run-file round trips, buffered streaming
+// across refill boundaries, and external sorting of files larger than the
+// in-memory budget.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <vector>
+
+#include "data/generators.h"
+#include "data/verify.h"
+#include "io/external_sort.h"
+#include "io/run_file.h"
+
+namespace hs::io {
+namespace {
+
+using hs::data::Distribution;
+
+class IoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("hetsort_io_test_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string path(const std::string& name) const { return dir_ / name; }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(IoTest, WriteReadRoundTrip) {
+  const auto data = hs::data::generate(Distribution::kUniform, 10000, 1);
+  write_doubles(path("a.bin"), data);
+  EXPECT_EQ(count_doubles(path("a.bin")), 10000u);
+  EXPECT_EQ(read_doubles(path("a.bin")), data);
+}
+
+TEST_F(IoTest, EmptyFileRoundTrip) {
+  write_doubles(path("empty.bin"), {});
+  EXPECT_EQ(count_doubles(path("empty.bin")), 0u);
+  EXPECT_TRUE(read_doubles(path("empty.bin")).empty());
+}
+
+TEST_F(IoTest, MissingFileThrows) {
+  EXPECT_THROW((void)count_doubles(path("nope.bin")), IoError);
+  EXPECT_THROW((void)read_doubles(path("nope.bin")), IoError);
+  EXPECT_THROW(BufferedRunReader(path("nope.bin"), 16), IoError);
+}
+
+TEST_F(IoTest, TruncatedFileRejected) {
+  // 12 bytes is not a whole number of doubles.
+  std::FILE* f = std::fopen(path("bad.bin").c_str(), "wb");
+  std::fwrite("0123456789ab", 1, 12, f);
+  std::fclose(f);
+  EXPECT_THROW((void)count_doubles(path("bad.bin")), IoError);
+}
+
+TEST_F(IoTest, WriterBuffersAndCounts) {
+  BufferedRunWriter w(path("w.bin"), 7);  // odd buffer vs 100 appends
+  for (int i = 0; i < 100; ++i) w.append(static_cast<double>(i));
+  w.close();
+  EXPECT_EQ(w.written(), 100u);
+  const auto back = read_doubles(path("w.bin"));
+  ASSERT_EQ(back.size(), 100u);
+  for (int i = 0; i < 100; ++i) EXPECT_DOUBLE_EQ(back[static_cast<std::size_t>(i)], i);
+}
+
+TEST_F(IoTest, ReaderStreamsAcrossRefills) {
+  std::vector<double> data(1000);
+  for (std::size_t i = 0; i < data.size(); ++i) data[i] = static_cast<double>(i);
+  write_doubles(path("r.bin"), data);
+  BufferedRunReader r(path("r.bin"), 13);  // forces many refills
+  EXPECT_EQ(r.remaining(), 1000u);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    ASSERT_FALSE(r.empty());
+    EXPECT_DOUBLE_EQ(r.head(), data[i]);
+    r.pop();
+  }
+  EXPECT_TRUE(r.empty());
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST_F(IoTest, ReaderBufferLargerThanFile) {
+  write_doubles(path("s.bin"), std::vector<double>{3, 1, 2});
+  BufferedRunReader r(path("s.bin"), 1024);
+  EXPECT_DOUBLE_EQ(r.head(), 3.0);
+  r.pop();
+  r.pop();
+  r.pop();
+  EXPECT_TRUE(r.empty());
+}
+
+ExternalSortConfig small_pipeline_config(const std::string& tmp) {
+  ExternalSortConfig cfg;
+  cfg.temp_dir = tmp;
+  // Tiny virtual GPU so the in-memory phase itself batches.
+  cfg.platform.gpus.assign(1, [] {
+    model::GpuSpec spec;
+    spec.model = "IoTestGPU";
+    spec.cuda_cores = 64;
+    spec.memory_bytes = 65536 * 8;
+    spec.sort = model::GpuSortModel{1e-4, 2e-9};
+    return spec;
+  }());
+  cfg.pipeline.batch_size = 4000;
+  cfg.pipeline.staging_elems = 512;
+  return cfg;
+}
+
+TEST_F(IoTest, ExternalSortSingleRun) {
+  const auto data = hs::data::generate(Distribution::kUniform, 20000, 2);
+  write_doubles(path("in.bin"), data);
+  auto cfg = small_pipeline_config(dir_);
+  cfg.memory_budget_elems = 1 << 20;  // whole file fits: one run
+  const auto stats = external_sort_file(path("in.bin"), path("out.bin"), cfg);
+  EXPECT_EQ(stats.num_runs, 1u);
+  EXPECT_EQ(stats.n, 20000u);
+  EXPECT_TRUE(hs::data::is_sorted_permutation(data, read_doubles(path("out.bin"))));
+}
+
+TEST_F(IoTest, ExternalSortManyRuns) {
+  const auto data = hs::data::generate(Distribution::kGaussian, 100000, 3);
+  write_doubles(path("in.bin"), data);
+  auto cfg = small_pipeline_config(dir_);
+  cfg.memory_budget_elems = 12'000;  // ~9 runs
+  cfg.io_buffer_elems = 257;         // awkward buffer size on purpose
+  const auto stats = external_sort_file(path("in.bin"), path("out.bin"), cfg);
+  EXPECT_EQ(stats.num_runs, 9u);
+  EXPECT_GT(stats.pipeline_virtual_seconds, 0.0);
+  EXPECT_TRUE(hs::data::is_sorted_permutation(data, read_doubles(path("out.bin"))));
+}
+
+TEST_F(IoTest, ExternalSortInPlaceOverwritesInput) {
+  const auto data = hs::data::generate(Distribution::kZipf, 30000, 4);
+  write_doubles(path("in.bin"), data);
+  auto cfg = small_pipeline_config(dir_);
+  cfg.memory_budget_elems = 8000;
+  (void)external_sort_file(path("in.bin"), path("in.bin"), cfg);
+  EXPECT_TRUE(hs::data::is_sorted_permutation(data, read_doubles(path("in.bin"))));
+}
+
+TEST_F(IoTest, ExternalSortCleansUpRunFiles) {
+  const auto data = hs::data::generate(Distribution::kUniform, 50000, 5);
+  write_doubles(path("in.bin"), data);
+  auto cfg = small_pipeline_config(dir_);
+  cfg.memory_budget_elems = 10000;
+  (void)external_sort_file(path("in.bin"), path("out.bin"), cfg);
+  std::size_t leftover = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir_)) {
+    if (entry.path().filename().string().find("hetsort_run_") == 0) ++leftover;
+  }
+  EXPECT_EQ(leftover, 0u);
+}
+
+TEST_F(IoTest, ExternalSortEmptyInput) {
+  write_doubles(path("in.bin"), {});
+  auto cfg = small_pipeline_config(dir_);
+  const auto stats = external_sort_file(path("in.bin"), path("out.bin"), cfg);
+  EXPECT_EQ(stats.n, 0u);
+  EXPECT_TRUE(read_doubles(path("out.bin")).empty());
+}
+
+TEST_F(IoTest, ExternalSortDuplicateHeavy) {
+  const auto data = hs::data::generate(Distribution::kAllEqual, 40000, 6);
+  write_doubles(path("in.bin"), data);
+  auto cfg = small_pipeline_config(dir_);
+  cfg.memory_budget_elems = 9'000;
+  (void)external_sort_file(path("in.bin"), path("out.bin"), cfg);
+  EXPECT_TRUE(hs::data::is_sorted_permutation(data, read_doubles(path("out.bin"))));
+}
+
+}  // namespace
+}  // namespace hs::io

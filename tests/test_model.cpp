@@ -1,0 +1,214 @@
+// Tests for the calibrated cost models: the constants must reproduce the
+// paper's reported measurements (Fig 4 speedups, Fig 6 merge speedup, the
+// pinned-allocation anecdotes, Section V transfer rates) and satisfy basic
+// monotonicity/sanity properties.
+#include <gtest/gtest.h>
+
+#include "common/math_util.h"
+#include "common/units.h"
+#include "model/cpu_model.h"
+#include "model/gpu_model.h"
+#include "model/pcie_model.h"
+#include "model/pinned_alloc_model.h"
+#include "model/platforms.h"
+
+namespace hs::model {
+namespace {
+
+TEST(CpuSortModel, Fig4SpeedupAtSmallN) {
+  // Paper: 3.17x at n = 1e5 with 16 threads on PLATFORM1.
+  const CpuSortModel m = platform1().cpu_sort;
+  EXPECT_TRUE(hs::approx_rel(m.speedup(16, 100'000), 3.17, 0.10));
+}
+
+TEST(CpuSortModel, Fig4SpeedupAtLargeN) {
+  // Paper: 10.12x at n = 1e8 with 16 threads on PLATFORM1.
+  const CpuSortModel m = platform1().cpu_sort;
+  EXPECT_TRUE(hs::approx_rel(m.speedup(16, 100'000'000), 10.12, 0.10));
+}
+
+TEST(CpuSortModel, SpeedupMonotoneInThreads) {
+  const CpuSortModel m = platform1().cpu_sort;
+  for (unsigned p = 1; p < 16; ++p) {
+    EXPECT_LT(m.speedup(p, 1'000'000), m.speedup(p + 1, 1'000'000));
+  }
+}
+
+TEST(CpuSortModel, SpeedupMonotoneInN) {
+  const CpuSortModel m = platform1().cpu_sort;
+  EXPECT_LT(m.speedup(16, 100'000), m.speedup(16, 1'000'000));
+  EXPECT_LT(m.speedup(16, 1'000'000), m.speedup(16, 100'000'000));
+}
+
+TEST(CpuSortModel, OneThreadIsUnitSpeedup) {
+  const CpuSortModel m = platform1().cpu_sort;
+  EXPECT_DOUBLE_EQ(m.speedup(1, 1'000'000), 1.0);
+}
+
+TEST(CpuSortModel, SeqTimeSuperlinear) {
+  const CpuSortModel m = platform1().cpu_sort;
+  // n log n: doubling n more than doubles time.
+  EXPECT_GT(m.seq_time(2'000'000), 2.0 * m.seq_time(1'000'000));
+}
+
+TEST(CpuSortModel, TinyInputHasNoParallelism) {
+  const CpuSortModel m = platform1().cpu_sort;
+  EXPECT_DOUBLE_EQ(m.parallel_fraction(1), 0.0);
+  EXPECT_NEAR(m.speedup(16, 1), 1.0, 1e-9);
+}
+
+TEST(CpuMergeModel, Fig6SpeedupAt16Threads) {
+  // Paper: pairwise merge speedup 8.14x on 16 cores.
+  const CpuMergeModel m = platform1().cpu_merge;
+  EXPECT_TRUE(hs::approx_rel(m.speedup(16), 8.14, 0.03));
+}
+
+TEST(CpuMergeModel, MergeTimeLinearInN) {
+  const CpuMergeModel m = platform1().cpu_merge;
+  EXPECT_NEAR(m.time(2'000'000'000, 2, 16) / m.time(1'000'000'000, 2, 16),
+              2.0, 1e-9);
+}
+
+TEST(CpuMergeModel, MultiwayCostGrowsWithWays) {
+  const CpuMergeModel m = platform1().cpu_merge;
+  EXPECT_LT(m.time(1'000'000'000, 2, 16), m.time(1'000'000'000, 8, 16));
+  EXPECT_LT(m.time(1'000'000'000, 8, 16), m.time(1'000'000'000, 20, 16));
+}
+
+TEST(CpuMergeModel, LogGrowthInWays) {
+  const CpuMergeModel m = platform1().cpu_merge;
+  // O(n log ways): 4 ways costs 2x of 2 ways.
+  EXPECT_NEAR(m.time(1'000'000'000, 4, 16) / m.time(1'000'000'000, 2, 16),
+              2.0, 1e-9);
+}
+
+TEST(CpuMergeModel, FlowRateReproducesTime) {
+  const CpuMergeModel m = platform1().cpu_merge;
+  const std::uint64_t n = 1'000'000'000;
+  const double t = m.time(n, 2, 16);
+  const double rate = m.flow_rate(n, 2, 16);
+  EXPECT_NEAR(m.traffic_bytes_per_elem * static_cast<double>(n) / rate, t,
+              1e-9);
+}
+
+TEST(HostMemcpyModel, SingleThreadRate) {
+  const HostMemcpyModel m = platform1().host_memcpy;
+  EXPECT_DOUBLE_EQ(m.rate(1), 8.0e9);
+}
+
+TEST(HostMemcpyModel, SaturatesAtMax) {
+  const HostMemcpyModel m = platform1().host_memcpy;
+  EXPECT_DOUBLE_EQ(m.rate(16), m.max_bps);
+  EXPECT_LT(m.rate(2), m.max_bps);
+}
+
+TEST(GpuSortModel, Gp100SortsEightE8InAboutAScond) {
+  // Consistent with the GPUSort component of Fig 8 at n = 8e8 (~0.9 s).
+  const GpuSortModel m = platform1().gpus[0].sort;
+  EXPECT_TRUE(hs::approx_rel(m.time(800'000'000), 0.9, 0.05));
+}
+
+TEST(GpuSortModel, K40SlowerThanGp100) {
+  EXPECT_GT(platform2().gpus[0].sort.time(100'000'000),
+            platform1().gpus[0].sort.time(100'000'000));
+}
+
+TEST(PcieModel, PinnedRateMatchesPaperHtoD) {
+  // Paper Section IV-E.1: 5.96 GiB HtoD in 0.536 s.
+  const PcieModel m = platform1().pcie;
+  const double t = m.pinned_time(hs::bytes_of_elems(800'000'000));
+  EXPECT_TRUE(hs::approx_rel(t, 0.536, 0.02));
+}
+
+TEST(PcieModel, PinnedIsRoughlyTwicePageable) {
+  // Section V: pinned transfers improve throughput up to ~2x.
+  const PcieModel m = platform1().pcie;
+  EXPECT_TRUE(hs::approx_rel(m.pinned_bps / m.pageable_bps, 2.0, 0.1));
+}
+
+TEST(PcieModel, PinnedRateIsAbout75PercentOfPeak) {
+  // Section V: ~12 GB/s is 75% of the 16 GB/s PCIe v3 peak.
+  const PcieModel m = platform1().pcie;
+  EXPECT_TRUE(hs::approx_rel(m.pinned_bps / 16.0e9, 0.75, 0.05));
+}
+
+TEST(PinnedAllocModel, PaperSmallBuffer) {
+  // ps = 1e6 elements (8 MB) allocates in 0.01 s.
+  const PinnedAllocModel m = platform1().pinned_alloc;
+  EXPECT_TRUE(hs::approx_rel(m.time(hs::bytes_of_elems(1'000'000)), 0.01, 0.05));
+}
+
+TEST(PinnedAllocModel, PaperHugeBuffer) {
+  // ps = 8e8 elements (6.4 GB) allocates in 2.2 s.
+  const PinnedAllocModel m = platform1().pinned_alloc;
+  EXPECT_TRUE(
+      hs::approx_rel(m.time(hs::bytes_of_elems(800'000'000)), 2.2, 0.05));
+}
+
+TEST(PinnedAllocModel, HugeBufferSlowerThanWholeBLinePipeline) {
+  // The paper's argument for staging buffers: allocating ps = n costs more
+  // than the sum of the Fig 7 components (~2 s).
+  const PinnedAllocModel m = platform1().pinned_alloc;
+  const double fig7_sum = 0.536 + 0.484 + 0.9;
+  EXPECT_GT(m.time(hs::bytes_of_elems(800'000'000)), fig7_sum);
+}
+
+TEST(Platforms, Table2Specs) {
+  const Platform p1 = platform1();
+  EXPECT_EQ(p1.cpu.total_cores(), 16u);
+  EXPECT_EQ(p1.gpus.size(), 1u);
+  EXPECT_EQ(p1.gpus[0].memory_bytes, 16ull * hs::kGiB);
+  EXPECT_EQ(p1.gpus[0].cuda_cores, 3584u);
+
+  const Platform p2 = platform2();
+  EXPECT_EQ(p2.cpu.total_cores(), 20u);
+  EXPECT_EQ(p2.gpus.size(), 2u);
+  EXPECT_EQ(p2.gpus[0].memory_bytes, 12ull * hs::kGiB);
+  EXPECT_EQ(p2.gpus[1].cuda_cores, 2880u);
+}
+
+TEST(Platforms, ReferenceThreadsMatchPaper) {
+  EXPECT_EQ(platform1().reference_threads(), 16u);  // Section IV-C
+  EXPECT_EQ(platform2().reference_threads(), 20u);
+}
+
+TEST(ReferenceSort, StdSortEqualsOneThreadParallel) {
+  const Platform p = platform1();
+  EXPECT_DOUBLE_EQ(
+      reference_sort_time(p, CpuSortLibrary::kStdSort, 1'000'000, 16),
+      p.cpu_sort.time(1'000'000, 1));
+}
+
+TEST(ReferenceSort, QsortIsTwiceStdSort) {
+  const Platform p = platform1();
+  EXPECT_DOUBLE_EQ(
+      reference_sort_time(p, CpuSortLibrary::kStdQsort, 1'000'000, 1),
+      2.0 * reference_sort_time(p, CpuSortLibrary::kStdSort, 1'000'000, 1));
+}
+
+TEST(ReferenceSort, TbbSlowerThanGnuAtLargeN) {
+  const Platform p = platform1();
+  EXPECT_GT(reference_sort_time(p, CpuSortLibrary::kTbb, 100'000'000, 16),
+            reference_sort_time(p, CpuSortLibrary::kGnuParallel, 100'000'000,
+                                16));
+}
+
+TEST(ReferenceSort, Platform2FasterCpuThanPlatform1) {
+  // Higher clock and more cores.
+  EXPECT_LT(platform2().cpu_sort.time(1'000'000'000, 20),
+            platform1().cpu_sort.time(1'000'000'000, 16));
+}
+
+class SortModelThreadSweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(SortModelThreadSweep, TimeDecreasesWithThreads) {
+  const CpuSortModel m = platform1().cpu_sort;
+  const unsigned p = GetParam();
+  EXPECT_LT(m.time(10'000'000, p + 1), m.time(10'000'000, p));
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, SortModelThreadSweep,
+                         ::testing::Range(1u, 16u));
+
+}  // namespace
+}  // namespace hs::model

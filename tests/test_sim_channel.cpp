@@ -1,0 +1,176 @@
+// Unit tests for the fluid-flow SharedChannel: water-filling allocation,
+// progress accounting, per-flow caps, and completion-time prediction.
+#include <gtest/gtest.h>
+
+#include "sim/channel.h"
+
+namespace hs::sim {
+namespace {
+
+TEST(SharedChannel, SingleUncappedFlowGetsFullCapacity) {
+  SharedChannel ch("c", 100.0);
+  const auto h = ch.add_flow(1000.0, 0.0);
+  EXPECT_DOUBLE_EQ(ch.flow_rate(h), 100.0);
+  EXPECT_DOUBLE_EQ(ch.next_completion(0.0), 10.0);
+}
+
+TEST(SharedChannel, SingleCappedFlowLimitedByCap) {
+  SharedChannel ch("c", 100.0);
+  const auto h = ch.add_flow(1000.0, 40.0);
+  EXPECT_DOUBLE_EQ(ch.flow_rate(h), 40.0);
+  EXPECT_DOUBLE_EQ(ch.next_completion(0.0), 25.0);
+}
+
+TEST(SharedChannel, TwoEqualFlowsShareFairly) {
+  SharedChannel ch("c", 100.0);
+  const auto a = ch.add_flow(500.0, 0.0);
+  const auto b = ch.add_flow(500.0, 0.0);
+  EXPECT_DOUBLE_EQ(ch.flow_rate(a), 50.0);
+  EXPECT_DOUBLE_EQ(ch.flow_rate(b), 50.0);
+}
+
+TEST(SharedChannel, WaterFillingRedistributesSurplus) {
+  SharedChannel ch("c", 100.0);
+  const auto a = ch.add_flow(500.0, 20.0);  // capped below fair share
+  const auto b = ch.add_flow(500.0, 0.0);
+  EXPECT_DOUBLE_EQ(ch.flow_rate(a), 20.0);
+  EXPECT_DOUBLE_EQ(ch.flow_rate(b), 80.0);
+}
+
+TEST(SharedChannel, ThreeWayWaterFilling) {
+  SharedChannel ch("c", 90.0);
+  const auto a = ch.add_flow(100.0, 10.0);
+  const auto b = ch.add_flow(100.0, 35.0);
+  const auto c = ch.add_flow(100.0, 0.0);
+  // a capped at 10; remaining 80 across b,c -> fair 40 > 35 -> b capped at 35;
+  // c gets 45.
+  EXPECT_DOUBLE_EQ(ch.flow_rate(a), 10.0);
+  EXPECT_DOUBLE_EQ(ch.flow_rate(b), 35.0);
+  EXPECT_DOUBLE_EQ(ch.flow_rate(c), 45.0);
+}
+
+TEST(SharedChannel, SumOfCapsBelowCapacityGivesEveryoneTheirCap) {
+  SharedChannel ch("c", 100.0);
+  const auto a = ch.add_flow(100.0, 30.0);
+  const auto b = ch.add_flow(100.0, 30.0);
+  EXPECT_DOUBLE_EQ(ch.flow_rate(a), 30.0);
+  EXPECT_DOUBLE_EQ(ch.flow_rate(b), 30.0);
+}
+
+TEST(SharedChannel, AdvanceConsumesBytes) {
+  SharedChannel ch("c", 100.0);
+  const auto h = ch.add_flow(1000.0, 0.0);
+  ch.advance_to(4.0);
+  EXPECT_DOUBLE_EQ(ch.flow_remaining(h), 600.0);
+  EXPECT_FALSE(ch.flow_done(h));
+  ch.advance_to(10.0);
+  EXPECT_TRUE(ch.flow_done(h));
+}
+
+TEST(SharedChannel, RemovalSpeedsUpSurvivor) {
+  SharedChannel ch("c", 100.0);
+  const auto a = ch.add_flow(500.0, 0.0);
+  const auto b = ch.add_flow(500.0, 0.0);
+  ch.advance_to(5.0);  // both at 250 remaining, rate 50
+  EXPECT_DOUBLE_EQ(ch.flow_remaining(a), 250.0);
+  ch.remove_flow(a);
+  EXPECT_DOUBLE_EQ(ch.flow_rate(b), 100.0);
+  EXPECT_DOUBLE_EQ(ch.next_completion(5.0), 7.5);
+}
+
+TEST(SharedChannel, NextCompletionPicksEarliest) {
+  SharedChannel ch("c", 100.0);
+  ch.add_flow(100.0, 0.0);   // with sharing: rate 50, done at t=2
+  ch.add_flow(1000.0, 0.0);  // rate 50, much later
+  EXPECT_DOUBLE_EQ(ch.next_completion(0.0), 2.0);
+}
+
+TEST(SharedChannel, IdleChannelReportsInfinity) {
+  SharedChannel ch("c", 100.0);
+  EXPECT_EQ(ch.next_completion(0.0), kTimeInfinity);
+}
+
+TEST(SharedChannel, ZeroByteFlowCompletesImmediately) {
+  SharedChannel ch("c", 100.0);
+  const auto h = ch.add_flow(0.0, 0.0);
+  EXPECT_TRUE(ch.flow_done(h));
+  EXPECT_DOUBLE_EQ(ch.next_completion(3.0), 3.0);
+}
+
+TEST(SharedChannel, SlotReuseInvalidatesOldHandles) {
+  SharedChannel ch("c", 100.0);
+  const auto a = ch.add_flow(10.0, 0.0);
+  ch.advance_to(1.0);
+  ch.remove_flow(a);
+  const auto b = ch.add_flow(10.0, 0.0);
+  EXPECT_EQ(a.index, b.index);   // slot reused
+  EXPECT_NE(a.serial, b.serial); // but serial differs
+  EXPECT_DEATH({ (void)ch.flow_rate(a); }, "stale flow handle");
+}
+
+TEST(SharedChannel, ActiveFlowCount) {
+  SharedChannel ch("c", 100.0);
+  EXPECT_EQ(ch.active_flows(), 0u);
+  const auto a = ch.add_flow(10.0, 0.0);
+  const auto b = ch.add_flow(10.0, 0.0);
+  EXPECT_EQ(ch.active_flows(), 2u);
+  ch.remove_flow(a);
+  ch.remove_flow(b);
+  EXPECT_EQ(ch.active_flows(), 0u);
+}
+
+TEST(SharedChannel, ProgressWithRateChangeIsPiecewiseLinear) {
+  SharedChannel ch("c", 100.0);
+  const auto a = ch.add_flow(400.0, 0.0);
+  ch.advance_to(2.0);  // a alone: 200 transferred
+  const auto b = ch.add_flow(400.0, 0.0);
+  ch.advance_to(4.0);  // shared: +100 each
+  EXPECT_DOUBLE_EQ(ch.flow_remaining(a), 100.0);
+  EXPECT_DOUBLE_EQ(ch.flow_remaining(b), 300.0);
+}
+
+// Property sweep: for any mix of caps, allocated rates never exceed capacity
+// nor individual caps, and fully utilise the link when demand allows.
+class ChannelAllocationProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(ChannelAllocationProperty, RatesRespectCapsAndFillCapacity) {
+  const int seed = GetParam();
+  SharedChannel ch("c", 100.0);
+  std::vector<FlowHandle> handles;
+  std::vector<double> caps;
+  // Deterministic pseudo-random caps from the seed.
+  unsigned state = static_cast<unsigned>(seed) * 2654435761u + 1u;
+  const int flows = 1 + seed % 7;
+  for (int i = 0; i < flows; ++i) {
+    state = state * 1664525u + 1013904223u;
+    const double cap = (state % 2 == 0) ? 0.0 : 5.0 + (state % 60);
+    caps.push_back(cap);
+    handles.push_back(ch.add_flow(1000.0, cap));
+  }
+  double total = 0;
+  double total_cap_demand = 0;
+  bool any_uncapped = false;
+  for (int i = 0; i < flows; ++i) {
+    const double r = ch.flow_rate(handles[static_cast<std::size_t>(i)]);
+    EXPECT_GT(r, 0.0);
+    if (caps[static_cast<std::size_t>(i)] > 0.0) {
+      EXPECT_LE(r, caps[static_cast<std::size_t>(i)] + 1e-9);
+      total_cap_demand += caps[static_cast<std::size_t>(i)];
+    } else {
+      any_uncapped = true;
+    }
+    total += r;
+  }
+  EXPECT_LE(total, 100.0 + 1e-9);
+  if (any_uncapped || total_cap_demand >= 100.0) {
+    EXPECT_NEAR(total, 100.0, 1e-9);  // link saturated
+  } else {
+    EXPECT_NEAR(total, total_cap_demand, 1e-9);  // demand-limited
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChannelAllocationProperty,
+                         ::testing::Range(0, 25));
+
+}  // namespace
+}  // namespace hs::sim

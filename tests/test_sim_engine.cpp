@@ -1,0 +1,359 @@
+// Unit tests for the discrete-event Engine: dependency ordering, fixed
+// delays, FIFO compute engines, core pools, channel flows, latency, action
+// ordering, trace accounting, and determinism.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/engine.h"
+
+namespace hs::sim {
+namespace {
+
+Task fixed_task(std::string label, double dur, std::vector<TaskId> deps = {}) {
+  Task t;
+  t.label = std::move(label);
+  t.fixed_duration = dur;
+  t.deps = std::move(deps);
+  return t;
+}
+
+TEST(Engine, EmptyGraphRuns) {
+  Engine e;
+  const Trace tr = e.run(TaskGraph{});
+  EXPECT_EQ(tr.events().size(), 0u);
+  EXPECT_DOUBLE_EQ(tr.makespan(), 0.0);
+}
+
+TEST(Engine, SingleFixedTask) {
+  Engine e;
+  TaskGraph g;
+  g.add(fixed_task("a", 2.5));
+  const Trace tr = e.run(std::move(g));
+  ASSERT_EQ(tr.events().size(), 1u);
+  EXPECT_DOUBLE_EQ(tr.makespan(), 2.5);
+}
+
+TEST(Engine, DependencyChainsSerialize) {
+  Engine e;
+  TaskGraph g;
+  const auto a = g.add(fixed_task("a", 1.0));
+  const auto b = g.add(fixed_task("b", 2.0, {a}));
+  g.add(fixed_task("c", 3.0, {b}));
+  const Trace tr = e.run(std::move(g));
+  EXPECT_DOUBLE_EQ(tr.makespan(), 6.0);
+}
+
+TEST(Engine, IndependentTasksOverlap) {
+  Engine e;
+  TaskGraph g;
+  g.add(fixed_task("a", 5.0));
+  g.add(fixed_task("b", 3.0));
+  const Trace tr = e.run(std::move(g));
+  EXPECT_DOUBLE_EQ(tr.makespan(), 5.0);
+}
+
+TEST(Engine, BarrierJoinsBranches) {
+  Engine e;
+  TaskGraph g;
+  const auto a = g.add(fixed_task("a", 5.0));
+  const auto b = g.add(fixed_task("b", 3.0));
+  g.add_barrier("join", {a, b});
+  const Trace tr = e.run(std::move(g));
+  EXPECT_DOUBLE_EQ(tr.makespan(), 5.0);
+}
+
+TEST(Engine, ComputeEngineSerializesFifo) {
+  Engine e;
+  const EngineId gpu = e.add_compute("gpu");
+  TaskGraph g;
+  for (int i = 0; i < 3; ++i) {
+    Task t;
+    t.label = "k" + std::to_string(i);
+    t.exec = ExecSpec{gpu, 2.0};
+    g.add(std::move(t));
+  }
+  const Trace tr = e.run(std::move(g));
+  EXPECT_DOUBLE_EQ(tr.makespan(), 6.0);  // exclusive server
+}
+
+TEST(Engine, TwoComputeEnginesRunConcurrently) {
+  Engine e;
+  const EngineId g0 = e.add_compute("gpu0");
+  const EngineId g1 = e.add_compute("gpu1");
+  TaskGraph g;
+  Task a;
+  a.exec = ExecSpec{g0, 2.0};
+  Task b;
+  b.exec = ExecSpec{g1, 2.0};
+  g.add(std::move(a));
+  g.add(std::move(b));
+  const Trace tr = e.run(std::move(g));
+  EXPECT_DOUBLE_EQ(tr.makespan(), 2.0);
+}
+
+TEST(Engine, FlowOnChannelTakesBytesOverCapacity) {
+  Engine e;
+  const ChannelId c = e.add_channel("link", 10.0);
+  TaskGraph g;
+  Task t;
+  t.flow = FlowSpec{c, 50.0, 0.0, 0.0};
+  g.add(std::move(t));
+  const Trace tr = e.run(std::move(g));
+  EXPECT_DOUBLE_EQ(tr.makespan(), 5.0);
+}
+
+TEST(Engine, ConcurrentFlowsShareChannel) {
+  Engine e;
+  const ChannelId c = e.add_channel("link", 10.0);
+  TaskGraph g;
+  for (int i = 0; i < 2; ++i) {
+    Task t;
+    t.flow = FlowSpec{c, 50.0, 0.0, 0.0};
+    g.add(std::move(t));
+  }
+  const Trace tr = e.run(std::move(g));
+  EXPECT_DOUBLE_EQ(tr.makespan(), 10.0);  // each effectively at 5 B/s
+}
+
+TEST(Engine, FlowLatencyDelaysTransfer) {
+  Engine e;
+  const ChannelId c = e.add_channel("link", 10.0);
+  TaskGraph g;
+  Task t;
+  t.flow = FlowSpec{c, 50.0, 0.0, 1.5};
+  g.add(std::move(t));
+  const Trace tr = e.run(std::move(g));
+  EXPECT_DOUBLE_EQ(tr.makespan(), 6.5);
+}
+
+TEST(Engine, StaggeredFlowsGetPiecewiseRates) {
+  Engine e;
+  const ChannelId c = e.add_channel("link", 10.0);
+  TaskGraph g;
+  // First flow alone for 2 s (20 bytes done), then shares with second.
+  Task a;
+  a.flow = FlowSpec{c, 60.0, 0.0, 0.0};
+  g.add(std::move(a));
+  const auto pre = g.add(fixed_task("delay", 2.0));
+  Task b;
+  b.flow = FlowSpec{c, 40.0, 0.0, 0.0};
+  b.deps = {pre};
+  g.add(std::move(b));
+  const Trace tr = e.run(std::move(g));
+  // t=2: a has 40 left, b 40; shared at 5 each -> both done at t=10.
+  EXPECT_DOUBLE_EQ(tr.makespan(), 10.0);
+}
+
+TEST(Engine, CorePoolBlocksWideTask) {
+  Engine e;
+  const PoolId p = e.add_pool("cores", 4);
+  TaskGraph g;
+  Task a = fixed_task("narrow", 3.0);
+  a.cores = CoreClaim{p, 3};
+  g.add(std::move(a));
+  Task b = fixed_task("wide", 1.0);
+  b.cores = CoreClaim{p, 2};  // only 1 free -> waits for a
+  g.add(std::move(b));
+  const Trace tr = e.run(std::move(g));
+  EXPECT_DOUBLE_EQ(tr.makespan(), 4.0);
+}
+
+TEST(Engine, CorePoolAllowsConcurrencyWhenItFits) {
+  Engine e;
+  const PoolId p = e.add_pool("cores", 4);
+  TaskGraph g;
+  for (int i = 0; i < 2; ++i) {
+    Task t = fixed_task("t", 3.0);
+    t.cores = CoreClaim{p, 2};
+    g.add(std::move(t));
+  }
+  const Trace tr = e.run(std::move(g));
+  EXPECT_DOUBLE_EQ(tr.makespan(), 3.0);
+}
+
+TEST(Engine, CoreRequestClampedToPoolSize) {
+  Engine e;
+  const PoolId p = e.add_pool("cores", 2);
+  TaskGraph g;
+  Task t = fixed_task("huge", 1.0);
+  t.cores = CoreClaim{p, 100};
+  g.add(std::move(t));
+  const Trace tr = e.run(std::move(g));
+  EXPECT_DOUBLE_EQ(tr.makespan(), 1.0);
+}
+
+TEST(Engine, FifoCorePoolPreservesSubmissionOrder) {
+  Engine e;
+  const PoolId p = e.add_pool("cores", 2);
+  std::vector<int> order;
+  TaskGraph g;
+  Task a = fixed_task("a", 2.0);
+  a.cores = CoreClaim{p, 2};
+  a.action = [&order] { order.push_back(0); };
+  g.add(std::move(a));
+  Task b = fixed_task("b", 1.0);
+  b.cores = CoreClaim{p, 2};
+  b.action = [&order] { order.push_back(1); };
+  g.add(std::move(b));
+  Task c = fixed_task("c", 0.5);
+  c.cores = CoreClaim{p, 1};
+  c.action = [&order] { order.push_back(2); };
+  g.add(std::move(c));
+  e.run(std::move(g));
+  // FIFO: c cannot jump the queue even though one core stays free behind b.
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(Engine, ActionsFireInVirtualCompletionOrder) {
+  Engine e;
+  std::vector<int> order;
+  TaskGraph g;
+  Task slow = fixed_task("slow", 5.0);
+  slow.action = [&order] { order.push_back(0); };
+  g.add(std::move(slow));
+  Task fast = fixed_task("fast", 1.0);
+  fast.action = [&order] { order.push_back(1); };
+  g.add(std::move(fast));
+  e.run(std::move(g));
+  EXPECT_EQ(order, (std::vector<int>{1, 0}));
+}
+
+TEST(Engine, DependentActionSeesUpstreamSideEffect) {
+  Engine e;
+  int value = 0;
+  TaskGraph g;
+  Task w = fixed_task("writer", 1.0);
+  w.action = [&value] { value = 42; };
+  const auto wid = g.add(std::move(w));
+  int observed = -1;
+  Task r = fixed_task("reader", 1.0, {wid});
+  r.action = [&value, &observed] { observed = value; };
+  g.add(std::move(r));
+  e.run(std::move(g));
+  EXPECT_EQ(observed, 42);
+}
+
+TEST(Engine, TracePhasesAccumulate) {
+  Engine e;
+  TaskGraph g;
+  Task a = fixed_task("a", 1.0);
+  a.phase = Phase::kHtoD;
+  g.add(std::move(a));
+  Task b = fixed_task("b", 2.0);
+  b.phase = Phase::kHtoD;
+  g.add(std::move(b));
+  Task c = fixed_task("c", 4.0);
+  c.phase = Phase::kGpuSort;
+  g.add(std::move(c));
+  const Trace tr = e.run(std::move(g));
+  EXPECT_DOUBLE_EQ(tr.phase_busy(Phase::kHtoD), 3.0);
+  EXPECT_DOUBLE_EQ(tr.phase_busy(Phase::kGpuSort), 4.0);
+  EXPECT_EQ(tr.phase_count(Phase::kHtoD), 2u);
+  EXPECT_DOUBLE_EQ(tr.phase_busy(Phase::kDtoH), 0.0);
+}
+
+TEST(Engine, TraceRecordsQueueWait) {
+  Engine e;
+  const EngineId gpu = e.add_compute("gpu");
+  TaskGraph g;
+  for (int i = 0; i < 2; ++i) {
+    Task t;
+    t.phase = Phase::kGpuSort;
+    t.exec = ExecSpec{gpu, 2.0};
+    g.add(std::move(t));
+  }
+  const Trace tr = e.run(std::move(g));
+  // Second kernel waits 2 s behind the first. Queue wait shows up as
+  // (end - start) exceeding the service time in this accounting; total busy
+  // includes the wait inside the exec stage, so makespan is the check here.
+  EXPECT_DOUBLE_EQ(tr.makespan(), 4.0);
+}
+
+TEST(Engine, MixedStagesComposeSequentially) {
+  // fixed -> exec -> latency -> flow within one task.
+  Engine e;
+  const EngineId gpu = e.add_compute("gpu");
+  const ChannelId link = e.add_channel("link", 10.0);
+  TaskGraph g;
+  Task t;
+  t.fixed_duration = 1.0;
+  t.exec = ExecSpec{gpu, 2.0};
+  t.flow = FlowSpec{link, 30.0, 0.0, 0.5};
+  g.add(std::move(t));
+  const Trace tr = e.run(std::move(g));
+  EXPECT_DOUBLE_EQ(tr.makespan(), 1.0 + 2.0 + 0.5 + 3.0);
+}
+
+TEST(Engine, DeterministicAcrossRuns) {
+  auto build = [] {
+    TaskGraph g;
+    const auto a = g.add(fixed_task("a", 1.0));
+    const auto b = g.add(fixed_task("b", 2.0));
+    g.add(fixed_task("c", 0.5, {a, b}));
+    return g;
+  };
+  Engine e1, e2;
+  const Trace t1 = e1.run(build());
+  const Trace t2 = e2.run(build());
+  ASSERT_EQ(t1.events().size(), t2.events().size());
+  for (std::size_t i = 0; i < t1.events().size(); ++i) {
+    EXPECT_EQ(t1.events()[i].label, t2.events()[i].label);
+    EXPECT_DOUBLE_EQ(t1.events()[i].end, t2.events()[i].end);
+  }
+}
+
+TEST(Engine, ZeroCostChainFromInitialSweepFiresOnce) {
+  // Regression: a zero-cost root completes synchronously during the initial
+  // ready sweep, unlocking its dependent before the sweep reaches it; the
+  // dependent must not be started a second time by the sweep.
+  Engine e;
+  TaskGraph g;
+  const auto root = g.add(fixed_task("root", 0.0));
+  int runs = 0;
+  Task dep = fixed_task("dep", 1.0, {root});
+  dep.action = [&runs] { ++runs; };
+  g.add(std::move(dep));
+  const Trace tr = e.run(std::move(g));
+  EXPECT_EQ(runs, 1);
+  EXPECT_DOUBLE_EQ(tr.makespan(), 1.0);
+}
+
+TEST(Engine, LongZeroCostChainCompletesAtTimeZero) {
+  Engine e;
+  TaskGraph g;
+  TaskId prev = g.add(fixed_task("t0", 0.0));
+  for (int i = 1; i < 100; ++i) {
+    prev = g.add(fixed_task("t" + std::to_string(i), 0.0, {prev}));
+  }
+  const Trace tr = e.run(std::move(g));
+  EXPECT_EQ(tr.events().size(), 100u);
+  EXPECT_DOUBLE_EQ(tr.makespan(), 0.0);
+}
+
+TEST(TaskGraph, RejectsForwardDependencies) {
+  TaskGraph g;
+  Task t;
+  t.deps = {5};  // no such task yet
+  EXPECT_DEATH({ g.add(std::move(t)); }, "dependency must precede");
+}
+
+TEST(TaskGraph, BarrierHasZeroCost) {
+  Engine e;
+  TaskGraph g;
+  const auto a = g.add(fixed_task("a", 1.0));
+  g.add_barrier("bar", {a});
+  const Trace tr = e.run(std::move(g));
+  EXPECT_DOUBLE_EQ(tr.makespan(), 1.0);
+}
+
+TEST(TaskGraph, TracedBytesDefaultToFlowBytes) {
+  TaskGraph g;
+  Task t;
+  t.flow = FlowSpec{0, 1234.0, 0.0, 0.0};
+  const auto id = g.add(std::move(t));
+  EXPECT_EQ(g.task(id).traced_bytes, 1234u);
+}
+
+}  // namespace
+}  // namespace hs::sim

@@ -1,0 +1,100 @@
+// Property validation of the simulation engine against an independent
+// reference: for random DAGs of fixed-duration tasks with NO shared
+// resources, the engine's makespan must equal the longest weighted path
+// computed by plain dynamic programming, and every task must start exactly
+// when its last dependency finishes.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.h"
+#include "sim/engine.h"
+
+namespace hs::sim {
+namespace {
+
+struct RandomDag {
+  TaskGraph graph;
+  std::vector<double> durations;
+  std::vector<std::vector<TaskId>> deps;
+};
+
+RandomDag make_random_dag(std::uint64_t seed) {
+  hs::Xoshiro256 rng(seed);
+  RandomDag dag;
+  const std::size_t n = 5 + rng.bounded(60);
+  dag.durations.resize(n);
+  dag.deps.resize(n);
+  for (TaskId id = 0; id < n; ++id) {
+    Task t;
+    t.label = "t" + std::to_string(id);
+    // Durations include zeros to stress synchronous-completion chains.
+    const double dur = (rng.bounded(4) == 0)
+                           ? 0.0
+                           : static_cast<double>(rng.bounded(1000)) / 100.0;
+    t.fixed_duration = dur;
+    dag.durations[id] = dur;
+    if (id > 0) {
+      const std::uint64_t k = rng.bounded(std::min<std::uint64_t>(id, 4) + 1);
+      std::vector<TaskId> chosen;
+      for (std::uint64_t j = 0; j < k; ++j) {
+        const TaskId d = static_cast<TaskId>(rng.bounded(id));
+        if (std::find(chosen.begin(), chosen.end(), d) == chosen.end()) {
+          chosen.push_back(d);
+        }
+      }
+      t.deps = chosen;
+      dag.deps[id] = chosen;
+    }
+    dag.graph.add(std::move(t));
+  }
+  return dag;
+}
+
+class RandomDagProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomDagProperty, MakespanEqualsLongestPath) {
+  RandomDag dag = make_random_dag(static_cast<std::uint64_t>(GetParam()));
+  // Reference: earliest finish by DP over the topological (= id) order.
+  std::vector<double> finish(dag.durations.size(), 0.0);
+  for (std::size_t id = 0; id < dag.durations.size(); ++id) {
+    double ready = 0.0;
+    for (const TaskId d : dag.deps[id]) ready = std::max(ready, finish[d]);
+    finish[id] = ready + dag.durations[id];
+  }
+  const double expected =
+      *std::max_element(finish.begin(), finish.end());
+
+  Engine e;
+  const Trace tr = e.run(std::move(dag.graph));
+  EXPECT_NEAR(tr.makespan(), expected, 1e-9);
+
+  // Per-task: start == max dep finish, end == start + duration.
+  std::vector<double> end_by_task(dag.durations.size(), -1.0);
+  for (const TraceEvent& ev : tr.events()) end_by_task[ev.task] = ev.end;
+  for (const TraceEvent& ev : tr.events()) {
+    double ready = 0.0;
+    for (const TaskId d : dag.deps[ev.task]) {
+      ready = std::max(ready, end_by_task[d]);
+    }
+    EXPECT_NEAR(ev.start, ready, 1e-9) << ev.label;
+    EXPECT_NEAR(ev.end - ev.start, dag.durations[ev.task], 1e-9) << ev.label;
+  }
+}
+
+TEST_P(RandomDagProperty, EveryTaskCompletesExactlyOnce) {
+  RandomDag dag = make_random_dag(static_cast<std::uint64_t>(GetParam()) + 1000);
+  const std::size_t n = dag.graph.size();
+  Engine e;
+  const Trace tr = e.run(std::move(dag.graph));
+  ASSERT_EQ(tr.events().size(), n);
+  std::vector<int> seen(n, 0);
+  for (const TraceEvent& ev : tr.events()) ++seen[ev.task];
+  for (const int s : seen) EXPECT_EQ(s, 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomDagProperty, ::testing::Range(0, 30));
+
+}  // namespace
+}  // namespace hs::sim

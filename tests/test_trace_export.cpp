@@ -1,0 +1,106 @@
+// Tests for the trace exporters (Chrome trace JSON, ASCII Gantt).
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/het_sorter.h"
+#include "model/platforms.h"
+#include "sim/engine.h"
+#include "sim/trace_export.h"
+
+namespace hs::sim {
+namespace {
+
+Trace small_trace() {
+  Engine e;
+  TaskGraph g;
+  Task a;
+  a.label = "b0.h2d0";
+  a.phase = Phase::kHtoD;
+  a.fixed_duration = 1.0;
+  a.traced_bytes = 100;
+  const auto aid = g.add(std::move(a));
+  Task b;
+  b.label = "g0.s0:sort";
+  b.phase = Phase::kGpuSort;
+  b.fixed_duration = 2.0;
+  b.deps = {aid};
+  g.add(std::move(b));
+  return e.run(std::move(g));
+}
+
+TEST(ChromeTrace, EmitsValidEventArray) {
+  std::ostringstream os;
+  export_chrome_trace(small_trace(), os);
+  const std::string s = os.str();
+  EXPECT_EQ(s.front(), '[');
+  EXPECT_NE(s.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(s.find("b0.h2d0"), std::string::npos);
+  EXPECT_NE(s.find("\"cat\": \"HtoD\""), std::string::npos);
+  EXPECT_NE(s.find("\"cat\": \"GPUSort\""), std::string::npos);
+  EXPECT_NE(s.find("\"bytes\": 100"), std::string::npos);
+  // Durations in microseconds: 1 s -> 1000000.000.
+  EXPECT_NE(s.find("\"dur\": 1000000.000"), std::string::npos);
+}
+
+TEST(ChromeTrace, EscapesQuotesInLabels) {
+  Engine e;
+  TaskGraph g;
+  Task a;
+  a.label = "evil\"label";
+  a.fixed_duration = 0.1;
+  g.add(std::move(a));
+  std::ostringstream os;
+  export_chrome_trace(e.run(std::move(g)), os);
+  EXPECT_NE(os.str().find("evil\\\"label"), std::string::npos);
+}
+
+TEST(AsciiGantt, RendersPhaseRows) {
+  std::ostringstream os;
+  render_ascii_gantt(small_trace(), os, 30);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("HtoD"), std::string::npos);
+  EXPECT_NE(s.find("GPUSort"), std::string::npos);
+  EXPECT_NE(s.find('#'), std::string::npos);
+  EXPECT_NE(s.find("3.000 s"), std::string::npos);
+}
+
+TEST(AsciiGantt, EmptyTraceHandled) {
+  std::ostringstream os;
+  render_ascii_gantt(Trace{}, os);
+  EXPECT_NE(os.str().find("empty"), std::string::npos);
+}
+
+TEST(AsciiGantt, SequentialPhasesDoNotOverlapInChart) {
+  // The HtoD row must be busy only in the first third of the chart.
+  std::ostringstream os;
+  render_ascii_gantt(small_trace(), os, 30);
+  std::istringstream is(os.str());
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.find("HtoD") == 0) {
+      const auto bar_start = line.find('|') + 1;
+      // Last 2/3 of the bar must be blank (GPUSort runs there).
+      for (std::size_t i = bar_start + 12; i < bar_start + 30; ++i) {
+        EXPECT_EQ(line[i], ' ') << "position " << i;
+      }
+    }
+  }
+}
+
+TEST(TraceExport, EndToEndPipelineTraceExports) {
+  core::SortConfig cfg;
+  cfg.approach = core::Approach::kPipeMerge;
+  cfg.batch_size = 100'000'000;
+  core::HeterogeneousSorter sorter(model::platform1(), cfg);
+  const auto r = sorter.simulate(500'000'000);
+  std::ostringstream json, gantt;
+  export_chrome_trace(r.trace, json);
+  render_ascii_gantt(r.trace, gantt);
+  EXPECT_GT(json.str().size(), 1000u);
+  EXPECT_NE(gantt.str().find("MultiwayMerge"), std::string::npos);
+  EXPECT_NE(gantt.str().find("PairMerge"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hs::sim

@@ -1,0 +1,317 @@
+// Tests for the virtual GPU runtime: device memory accounting, OOM behaviour,
+// buffer RAII, pinned buffers, stream FIFO ordering, device_sort and
+// device_merge.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/units.h"
+#include "cpu/element_ops.h"
+#include "data/generators.h"
+#include "data/verify.h"
+#include "vgpu/device.h"
+#include "vgpu/device_sort.h"
+#include "vgpu/pinned_buffer.h"
+#include "vgpu/runtime.h"
+#include "vgpu/stream.h"
+
+namespace hs::vgpu {
+namespace {
+
+model::GpuSpec tiny_gpu(std::uint64_t mem_bytes = 8192) {
+  model::GpuSpec spec;
+  spec.model = "TestGPU";
+  spec.cuda_cores = 1;
+  spec.memory_bytes = mem_bytes;
+  return spec;
+}
+
+TEST(Device, TracksUsedAndFree) {
+  Device dev(tiny_gpu(), 0, Execution::kTimingOnly);
+  EXPECT_EQ(dev.used_bytes(), 0u);
+  auto buf = dev.allocate(800);
+  EXPECT_EQ(dev.used_bytes(), 800u);
+  EXPECT_EQ(dev.free_bytes(), dev.capacity_bytes() - 800u);
+}
+
+TEST(Device, ReleaseReturnsCapacity) {
+  Device dev(tiny_gpu(), 0, Execution::kTimingOnly);
+  {
+    auto buf = dev.allocate(4096);
+    EXPECT_EQ(dev.used_bytes(), 4096u);
+  }
+  EXPECT_EQ(dev.used_bytes(), 0u);
+}
+
+TEST(Device, ThrowsOnOom) {
+  Device dev(tiny_gpu(), 0, Execution::kTimingOnly);
+  auto big = dev.allocate(8000);
+  EXPECT_THROW((void)dev.allocate(800), DeviceOutOfMemory);
+}
+
+TEST(Device, OomCarriesDiagnostics) {
+  Device dev(tiny_gpu(), 0, Execution::kTimingOnly);
+  try {
+    (void)dev.allocate(16384);
+    FAIL() << "expected DeviceOutOfMemory";
+  } catch (const DeviceOutOfMemory& e) {
+    EXPECT_EQ(e.requested(), 16384u);
+    EXPECT_EQ(e.available(), 8192u);
+    EXPECT_NE(std::string(e.what()).find("TestGPU"), std::string::npos);
+  }
+}
+
+TEST(Device, ExactFitSucceeds) {
+  Device dev(tiny_gpu(), 0, Execution::kTimingOnly);
+  auto buf = dev.allocate(8192);
+  EXPECT_EQ(dev.free_bytes(), 0u);
+}
+
+TEST(DeviceBuffer, RealModeHasBackingStore) {
+  Device dev(tiny_gpu(), 0, Execution::kReal);
+  auto buf = dev.allocate(64 * sizeof(double));
+  EXPECT_EQ(buf.bytes().size(), 64u * sizeof(double));
+  auto view = buf.as<double>();
+  EXPECT_EQ(view.size(), 64u);
+  view[0] = 1.5;
+  EXPECT_DOUBLE_EQ(buf.as<double>()[0], 1.5);
+}
+
+TEST(DeviceBuffer, TimingModeHasNoBackingStore) {
+  Device dev(tiny_gpu(), 0, Execution::kTimingOnly);
+  auto buf = dev.allocate(512);
+  EXPECT_EQ(buf.size_bytes(), 512u);
+  EXPECT_TRUE(buf.bytes().empty());
+}
+
+TEST(DeviceBuffer, MoveTransfersOwnership) {
+  Device dev(tiny_gpu(), 0, Execution::kTimingOnly);
+  auto a = dev.allocate(800);
+  auto b = std::move(a);
+  EXPECT_FALSE(a.valid());  // NOLINT(bugprone-use-after-move) — tested on purpose
+  EXPECT_TRUE(b.valid());
+  EXPECT_EQ(dev.used_bytes(), 800u);
+  b.release();
+  EXPECT_EQ(dev.used_bytes(), 0u);
+}
+
+TEST(DeviceBuffer, MoveAssignReleasesOldAllocation) {
+  Device dev(tiny_gpu(), 0, Execution::kTimingOnly);
+  auto a = dev.allocate(800);
+  auto b = dev.allocate(1600);
+  b = std::move(a);
+  EXPECT_EQ(dev.used_bytes(), 800u);  // 1600-byte buffer freed
+}
+
+TEST(PinnedHostBuffer, RealStorageAndAllocModel) {
+  PinnedHostBuffer buf(8'000'000, Execution::kReal);
+  EXPECT_EQ(buf.bytes().size(), 8'000'000u);
+  model::PinnedAllocModel m;
+  // The paper's 0.01 s for an 8 MB pinned buffer.
+  EXPECT_NEAR(buf.alloc_time(m), 0.01, 0.002);
+}
+
+TEST(PinnedHostBuffer, TimingModeEmpty) {
+  PinnedHostBuffer buf(8'000'000, Execution::kTimingOnly);
+  EXPECT_TRUE(buf.bytes().empty());
+  EXPECT_EQ(buf.size_bytes(), 8'000'000u);
+}
+
+TEST(Runtime, WiresPlatform2Resources) {
+  Runtime rt(model::platform2(), Execution::kTimingOnly);
+  EXPECT_EQ(rt.num_devices(), 2u);
+  EXPECT_NE(rt.device(0).engine(), rt.device(1).engine());
+  EXPECT_EQ(rt.device(0).capacity_bytes(), 12ull * hs::kGiB);
+}
+
+TEST(Runtime, DevicesShareOnePcieBusButNotCompute) {
+  Runtime rt(model::platform2(), Execution::kTimingOnly);
+  // Two concurrent HtoD flows (one per GPU) must share the single channel:
+  auto& eng = rt.engine();
+  sim::TaskGraph g;
+  for (int i = 0; i < 2; ++i) {
+    sim::Task t;
+    t.flow = sim::FlowSpec{rt.htod_channel(), 11.0e9, 11.0e9, 0.0};
+    g.add(std::move(t));
+  }
+  const sim::Trace tr = eng.run(std::move(g));
+  // Alone each flow takes 1 s; sharing the 11.5 GB/s channel they take ~1.91 s.
+  EXPECT_GT(tr.makespan(), 1.8);
+  EXPECT_LT(tr.makespan(), 2.0);
+}
+
+TEST(Stream, FifoOrderingEnforced) {
+  Runtime rt(model::platform1(), Execution::kTimingOnly);
+  Stream s("s0");
+  sim::TaskGraph g;
+  sim::Task a;
+  a.label = "a";
+  a.fixed_duration = 2.0;
+  s.submit(g, std::move(a));
+  sim::Task b;
+  b.label = "b";
+  b.fixed_duration = 1.0;
+  const auto bid = s.submit(g, std::move(b));
+  EXPECT_EQ(g.task(bid).deps.size(), 1u);
+  const sim::Trace tr = rt.engine().run(std::move(g));
+  EXPECT_DOUBLE_EQ(tr.makespan(), 3.0);  // serialized, not max(2,1)
+}
+
+TEST(Stream, WaitCreatesCrossStreamDependency) {
+  Runtime rt(model::platform1(), Execution::kTimingOnly);
+  Stream s0("s0"), s1("s1");
+  sim::TaskGraph g;
+  sim::Task a;
+  a.fixed_duration = 3.0;
+  const auto aid = s0.submit(g, std::move(a));
+  s1.wait(g, aid);
+  sim::Task b;
+  b.fixed_duration = 1.0;
+  s1.submit(g, std::move(b));
+  const sim::Trace tr = rt.engine().run(std::move(g));
+  EXPECT_DOUBLE_EQ(tr.makespan(), 4.0);
+}
+
+TEST(Stream, AdoptAdvancesTail) {
+  Stream s("s0");
+  sim::TaskGraph g;
+  sim::Task a;
+  const auto aid = g.add(std::move(a));
+  s.adopt(aid);
+  EXPECT_EQ(s.tail(), aid);
+  sim::Task b;
+  const auto bid = s.submit(g, std::move(b));
+  EXPECT_EQ(g.task(bid).deps, std::vector<sim::TaskId>{aid});
+}
+
+TEST(DeviceSort, RealModeSortsBackingStore) {
+  Runtime rt(model::platform1(), Execution::kReal);
+  auto& dev = rt.device(0);
+  auto buf = dev.allocate(10000 * sizeof(double));
+  auto tmp = dev.allocate(10000 * sizeof(double));
+  const auto input =
+      hs::data::generate(hs::data::Distribution::kUniform, 10000, 5);
+  std::copy(input.begin(), input.end(), buf.as<double>().begin());
+
+  Stream s("s0");
+  sim::TaskGraph g;
+  device_sort(rt, g, s, dev, buf, tmp, 10000, cpu::element_ops<double>());
+  rt.engine().run(std::move(g));
+  EXPECT_TRUE(hs::data::is_sorted_permutation(input, buf.as<double>()));
+}
+
+TEST(DeviceSort, ChargesModelTime) {
+  Runtime rt(model::platform1(), Execution::kTimingOnly);
+  auto& dev = rt.device(0);
+  auto buf = dev.allocate(8'000'000);
+  auto tmp = dev.allocate(8'000'000);
+  Stream s("s0");
+  sim::TaskGraph g;
+  device_sort(rt, g, s, dev, buf, tmp, 1'000'000, cpu::element_ops<double>());
+  const sim::Trace tr = rt.engine().run(std::move(g));
+  EXPECT_DOUBLE_EQ(tr.makespan(), dev.spec().sort.time(1'000'000));
+  EXPECT_DOUBLE_EQ(tr.phase_busy(sim::Phase::kGpuSort), tr.makespan());
+}
+
+TEST(DeviceSort, KeyValueCostsMoreDeviceTime) {
+  Runtime rt(model::platform1(), Execution::kTimingOnly);
+  auto& dev = rt.device(0);
+  auto buf = dev.allocate(16'000'000);
+  auto tmp = dev.allocate(16'000'000);
+  Stream s("s0");
+  sim::TaskGraph g;
+  device_sort(rt, g, s, dev, buf, tmp, 1'000'000,
+              cpu::element_ops<hs::KeyValue64>());
+  const sim::Trace tr = rt.engine().run(std::move(g));
+  EXPECT_GT(tr.makespan(), dev.spec().sort.time(1'000'000));
+}
+
+TEST(DeviceSort, RequiresTempOfEqualSize) {
+  Runtime rt(model::platform1(), Execution::kTimingOnly);
+  auto& dev = rt.device(0);
+  auto buf = dev.allocate(8000);
+  auto tmp = dev.allocate(4000);  // too small: out-of-place needs n temp
+  Stream s("s0");
+  sim::TaskGraph g;
+  EXPECT_DEATH(
+      {
+        device_sort(rt, g, s, dev, buf, tmp, 1000,
+                    cpu::element_ops<double>());
+      },
+      "out-of-place");
+}
+
+TEST(DeviceSort, KernelsSerialiseOnOneDevice) {
+  Runtime rt(model::platform1(), Execution::kTimingOnly);
+  auto& dev = rt.device(0);
+  auto b0 = dev.allocate(8'000'000);
+  auto t0 = dev.allocate(8'000'000);
+  auto b1 = dev.allocate(8'000'000);
+  auto t1 = dev.allocate(8'000'000);
+  Stream s0("s0"), s1("s1");
+  sim::TaskGraph g;
+  device_sort(rt, g, s0, dev, b0, t0, 1'000'000, cpu::element_ops<double>());
+  device_sort(rt, g, s1, dev, b1, t1, 1'000'000, cpu::element_ops<double>());
+  const sim::Trace tr = rt.engine().run(std::move(g));
+  EXPECT_NEAR(tr.makespan(), 2.0 * dev.spec().sort.time(1'000'000), 1e-9);
+}
+
+TEST(DeviceMerge, RealModeMergesRuns) {
+  Runtime rt(model::platform1(), Execution::kReal);
+  auto& dev = rt.device(0);
+  constexpr std::uint64_t kElems = 5000;
+  auto left = dev.allocate(kElems * sizeof(double));
+  auto right = dev.allocate(kElems * sizeof(double));
+  auto out = dev.allocate(2 * kElems * sizeof(double));
+  auto a = hs::data::generate(hs::data::Distribution::kUniform, kElems, 1);
+  auto b = hs::data::generate(hs::data::Distribution::kUniform, kElems, 2);
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  std::copy(a.begin(), a.end(), left.as<double>().begin());
+  std::copy(b.begin(), b.end(), right.as<double>().begin());
+
+  Stream s("s0");
+  sim::TaskGraph g;
+  device_merge(rt, g, s, dev, left, kElems, right, kElems, out,
+               cpu::element_ops<double>());
+  rt.engine().run(std::move(g));
+
+  std::vector<double> both = a;
+  both.insert(both.end(), b.begin(), b.end());
+  EXPECT_TRUE(hs::data::is_sorted_permutation(both, out.as<double>()));
+}
+
+TEST(DeviceMerge, ChargesMergeModelTime) {
+  Runtime rt(model::platform1(), Execution::kTimingOnly);
+  auto& dev = rt.device(0);
+  auto left = dev.allocate(8'000'000);
+  auto right = dev.allocate(8'000'000);
+  auto out = dev.allocate(16'000'000);
+  Stream s("s0");
+  sim::TaskGraph g;
+  device_merge(rt, g, s, dev, left, 1'000'000, right, 1'000'000, out,
+               cpu::element_ops<double>());
+  const sim::Trace tr = rt.engine().run(std::move(g));
+  EXPECT_DOUBLE_EQ(tr.makespan(), dev.spec().merge.time(16'000'000));
+  EXPECT_DOUBLE_EQ(tr.phase_busy(sim::Phase::kPairMerge), tr.makespan());
+}
+
+TEST(DeviceMerge, RejectsUndersizedOutput) {
+  Runtime rt(model::platform1(), Execution::kTimingOnly);
+  auto& dev = rt.device(0);
+  auto left = dev.allocate(8000);
+  auto right = dev.allocate(8000);
+  auto out = dev.allocate(8000);  // must be 16000
+  Stream s("s0");
+  sim::TaskGraph g;
+  EXPECT_DEATH(
+      {
+        device_merge(rt, g, s, dev, left, 1000, right, 1000, out,
+                     cpu::element_ops<double>());
+      },
+      "must hold both runs");
+}
+
+}  // namespace
+}  // namespace hs::vgpu

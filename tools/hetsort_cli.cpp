@@ -1,0 +1,301 @@
+// hetsort_cli — command-line driver for the heterogeneous sorting library.
+//
+//   hetsort_cli sort     --n 2e6 [options]   real run: generate, sort, verify
+//   hetsort_cli simulate --n 5e9 [options]   timing-only run at any scale
+//   hetsort_cli survey   --n 5e9 [options]   compare every approach
+//   hetsort_cli sortfile --in F --out G [--budget N]   out-of-core file sort
+//
+// Options:
+//   --platform 1|2          Table II preset (default 1)
+//   --approach bline|blinemulti|pipedata|pipemerge   (default pipemerge)
+//   --type f64|u64|kv64     element type (default f64)
+//   --dist NAME             uniform|gaussian|sorted|reverse|nearly-sorted|
+//                           dup-heavy|all-equal|zipf (default uniform)
+//   --bs N                  batch size in elements (default: auto)
+//   --ps N                  staging buffer elements (default 1e6)
+//   --streams N             streams per GPU (default 2)
+//   --gpus N                GPUs to use (default 1)
+//   --memcpy-threads N      >1 enables PARMEMCPY (default 1)
+//   --device-merge          merge pairs on the GPU (Section V extension)
+//   --double-buffer         double-buffered staging
+//   --pageable              pageable (plain cudaMemcpy) staging
+//   --seed S                workload seed (default 1)
+//   --gantt                 print an ASCII Gantt chart of the run
+//   --critical              print the critical-path phase breakdown
+//   --chrome-trace FILE     write a chrome://tracing JSON trace
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/key_value.h"
+#include "core/het_sorter.h"
+#include "data/generators.h"
+#include "data/verify.h"
+#include "io/external_sort.h"
+#include "io/run_file.h"
+#include "model/platforms.h"
+#include "sim/critical_path.h"
+#include "sim/trace_export.h"
+
+namespace {
+
+using namespace hs;
+
+struct Options {
+  std::string command;
+  std::uint64_t n = 1'000'000;
+  int platform = 1;
+  core::SortConfig cfg;
+  std::string type = "f64";
+  data::Distribution dist = data::Distribution::kUniform;
+  std::uint64_t seed = 1;
+  bool gantt = false;
+  bool critical = false;
+  std::string chrome_trace;
+  std::string in_path;
+  std::string out_path;
+  std::uint64_t budget = 1 << 22;
+};
+
+[[noreturn]] void usage(const char* msg = nullptr) {
+  if (msg != nullptr) std::fprintf(stderr, "error: %s\n\n", msg);
+  std::fprintf(stderr,
+               "usage: hetsort_cli {sort|simulate|survey} --n N [options]\n"
+               "run with no arguments for the option list in the source "
+               "header.\n");
+  std::exit(2);
+}
+
+core::Approach parse_approach(const std::string& s) {
+  if (s == "bline") return core::Approach::kBLine;
+  if (s == "blinemulti") return core::Approach::kBLineMulti;
+  if (s == "pipedata") return core::Approach::kPipeData;
+  if (s == "pipemerge") return core::Approach::kPipeMerge;
+  usage("unknown approach");
+}
+
+data::Distribution parse_dist(const std::string& s) {
+  static const std::map<std::string, data::Distribution> kMap{
+      {"uniform", data::Distribution::kUniform},
+      {"gaussian", data::Distribution::kGaussian},
+      {"sorted", data::Distribution::kSorted},
+      {"reverse", data::Distribution::kReverseSorted},
+      {"nearly-sorted", data::Distribution::kNearlySorted},
+      {"dup-heavy", data::Distribution::kDuplicateHeavy},
+      {"all-equal", data::Distribution::kAllEqual},
+      {"zipf", data::Distribution::kZipf},
+  };
+  const auto it = kMap.find(s);
+  if (it == kMap.end()) usage("unknown distribution");
+  return it->second;
+}
+
+Options parse(int argc, char** argv) {
+  if (argc < 2) usage();
+  Options o;
+  o.command = argv[1];
+  if (o.command != "sort" && o.command != "simulate" &&
+      o.command != "survey" && o.command != "sortfile") {
+    usage("unknown command");
+  }
+  auto next = [&](int& i) -> std::string {
+    if (i + 1 >= argc) usage("missing value for flag");
+    return argv[++i];
+  };
+  for (int i = 2; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--n") {
+      o.n = static_cast<std::uint64_t>(std::strtod(next(i).c_str(), nullptr));
+    } else if (flag == "--platform") {
+      o.platform = std::atoi(next(i).c_str());
+    } else if (flag == "--approach") {
+      o.cfg.approach = parse_approach(next(i));
+    } else if (flag == "--type") {
+      o.type = next(i);
+    } else if (flag == "--dist") {
+      o.dist = parse_dist(next(i));
+    } else if (flag == "--bs") {
+      o.cfg.batch_size =
+          static_cast<std::uint64_t>(std::strtod(next(i).c_str(), nullptr));
+    } else if (flag == "--ps") {
+      o.cfg.staging_elems =
+          static_cast<std::uint64_t>(std::strtod(next(i).c_str(), nullptr));
+    } else if (flag == "--streams") {
+      o.cfg.streams_per_gpu = static_cast<unsigned>(std::atoi(next(i).c_str()));
+    } else if (flag == "--gpus") {
+      o.cfg.num_gpus = static_cast<unsigned>(std::atoi(next(i).c_str()));
+    } else if (flag == "--memcpy-threads") {
+      o.cfg.memcpy_threads = static_cast<unsigned>(std::atoi(next(i).c_str()));
+    } else if (flag == "--device-merge") {
+      o.cfg.device_pair_merge = true;
+    } else if (flag == "--double-buffer") {
+      o.cfg.double_buffer_staging = true;
+    } else if (flag == "--pageable") {
+      o.cfg.staging = core::StagingMode::kPageable;
+    } else if (flag == "--seed") {
+      o.seed = std::strtoull(next(i).c_str(), nullptr, 10);
+    } else if (flag == "--gantt") {
+      o.gantt = true;
+    } else if (flag == "--critical") {
+      o.critical = true;
+    } else if (flag == "--chrome-trace") {
+      o.chrome_trace = next(i);
+    } else if (flag == "--in") {
+      o.in_path = next(i);
+    } else if (flag == "--out") {
+      o.out_path = next(i);
+    } else if (flag == "--budget") {
+      o.budget =
+          static_cast<std::uint64_t>(std::strtod(next(i).c_str(), nullptr));
+    } else {
+      usage(("unknown flag: " + flag).c_str());
+    }
+  }
+  if (o.n == 0) usage("--n must be positive");
+  if (o.type != "f64" && o.type != "u64" && o.type != "kv64") {
+    usage("--type must be f64, u64 or kv64");
+  }
+  return o;
+}
+
+model::Platform pick_platform(int id) {
+  if (id == 1) return model::platform1();
+  if (id == 2) return model::platform2();
+  usage("--platform must be 1 or 2");
+}
+
+void emit_trace_outputs(const Options& o, const core::Report& r) {
+  if (o.gantt) {
+    std::cout << '\n';
+    sim::render_ascii_gantt(r.trace, std::cout);
+  }
+  if (o.critical) {
+    std::cout << '\n';
+    sim::print_critical_summary(r.trace, std::cout);
+  }
+  if (!o.chrome_trace.empty()) {
+    std::ofstream f(o.chrome_trace);
+    if (!f) {
+      std::fprintf(stderr, "cannot open %s\n", o.chrome_trace.c_str());
+      std::exit(1);
+    }
+    sim::export_chrome_trace(r.trace, f);
+    std::printf("wrote %s (open in chrome://tracing)\n",
+                o.chrome_trace.c_str());
+  }
+}
+
+int cmd_sort(const Options& o) {
+  const model::Platform plat = pick_platform(o.platform);
+  core::HeterogeneousSorter sorter(plat, o.cfg);
+  bool ok = false;
+  core::Report r;
+
+  if (o.type == "f64") {
+    auto data = data::generate(o.dist, o.n, o.seed);
+    const auto original = data;
+    r = sorter.sort(data);
+    ok = data::is_sorted_permutation(original, data);
+  } else if (o.type == "u64") {
+    auto data = data::generate_keys(o.dist, o.n, o.seed);
+    const auto expected_fp = data::multiset_fingerprint(data);
+    r = sorter.sort(data);
+    ok = data::is_sorted_ascending(data) &&
+         data::multiset_fingerprint(data) == expected_fp;
+  } else {  // kv64
+    const auto keys = data::generate_keys(o.dist, o.n, o.seed);
+    std::vector<KeyValue64> data(o.n);
+    for (std::uint64_t i = 0; i < o.n; ++i) data[i] = {keys[i], i};
+    r = sorter.sort(data);
+    ok = std::is_sorted(data.begin(), data.end());
+  }
+
+  std::printf("verification: %s\n", ok ? "OK" : "FAILED");
+  r.print(std::cout);
+  emit_trace_outputs(o, r);
+  return ok ? 0 : 1;
+}
+
+int cmd_simulate(const Options& o) {
+  const model::Platform plat = pick_platform(o.platform);
+  core::HeterogeneousSorter sorter(plat, o.cfg);
+  const cpu::ElementOps ops = o.type == "u64"
+                                  ? cpu::element_ops<std::uint64_t>()
+                              : o.type == "kv64"
+                                  ? cpu::element_ops<KeyValue64>()
+                                  : cpu::element_ops<double>();
+  const core::Report r = sorter.simulate(o.n, ops);
+  r.print(std::cout);
+  emit_trace_outputs(o, r);
+  return 0;
+}
+
+int cmd_survey(const Options& o) {
+  const model::Platform plat = pick_platform(o.platform);
+  struct Row {
+    const char* name;
+    core::Approach approach;
+    unsigned memcpy_threads;
+  };
+  const Row rows[] = {
+      {"BLineMulti", core::Approach::kBLineMulti, 1},
+      {"PipeData", core::Approach::kPipeData, 1},
+      {"PipeMerge", core::Approach::kPipeMerge, 1},
+      {"PipeMerge+ParMemCpy", core::Approach::kPipeMerge, 4},
+  };
+  std::printf("%-22s %12s %10s\n", "approach", "end-to-end", "speedup");
+  for (const Row& row : rows) {
+    core::SortConfig cfg = o.cfg;
+    cfg.approach = row.approach;
+    cfg.memcpy_threads = row.memcpy_threads;
+    core::HeterogeneousSorter sorter(plat, cfg);
+    const core::Report r = sorter.simulate(o.n);
+    std::printf("%-22s %10.3f s %9.2fx\n", row.name, r.end_to_end,
+                r.speedup_vs_reference());
+  }
+  return 0;
+}
+
+int cmd_sortfile(const Options& o) {
+  if (o.in_path.empty() || o.out_path.empty()) {
+    usage("sortfile requires --in and --out");
+  }
+  io::ExternalSortConfig cfg;
+  cfg.platform = pick_platform(o.platform);
+  cfg.pipeline = o.cfg;
+  cfg.memory_budget_elems = o.budget;
+  const auto stats = io::external_sort_file(o.in_path, o.out_path, cfg);
+  std::printf(
+      "sorted %llu doubles from %s into %s\n"
+      "  runs: %llu (budget %llu elements)\n"
+      "  pipeline virtual time: %.4f s, wall incl. disk: %.4f s\n",
+      static_cast<unsigned long long>(stats.n), o.in_path.c_str(),
+      o.out_path.c_str(), static_cast<unsigned long long>(stats.num_runs),
+      static_cast<unsigned long long>(o.budget),
+      stats.pipeline_virtual_seconds, stats.wall_seconds);
+  const auto sorted = io::read_doubles(o.out_path);
+  const bool ok = data::is_sorted_ascending(sorted);
+  std::printf("verification: %s\n", ok ? "OK" : "FAILED");
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options o = parse(argc, argv);
+  try {
+    if (o.command == "sort") return cmd_sort(o);
+    if (o.command == "simulate") return cmd_simulate(o);
+    if (o.command == "sortfile") return cmd_sortfile(o);
+    return cmd_survey(o);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
