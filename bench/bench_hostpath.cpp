@@ -1,0 +1,282 @@
+// Host merge-path benchmark with machine-readable output.
+//
+// Measures the real host hot path this repo's PRs optimise — the k-way merge
+// behind the pipeline's final multiway stage — and emits BENCH_hostpath.json
+// so the perf trajectory is tracked in-repo from PR to PR.
+//
+// Two sequential (single-core) series anchor the comparison:
+//   pop_drain   — the pre-PR LoserTree::drain, embedded below verbatim as
+//                 reference::LoserTree (one full root-to-leaf replay per
+//                 element, comparisons load elements through run spans).
+//   block_drain — the buffered key-caching drain: cached-key replays,
+//                 adaptive gallop, cache-resident blocks.
+// A parallel series (scratch-backed multiway_merge_parallel at full pool
+// width) tracks the end-to-end engine.
+//
+// Usage: bench_hostpath [output.json]   (default BENCH_hostpath.json)
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/assert.h"
+#include "common/key_value.h"
+#include "common/math_util.h"
+#include "cpu/loser_tree.h"
+#include "cpu/multiway_merge.h"
+#include "cpu/thread_pool.h"
+#include "data/generators.h"
+
+namespace reference {
+
+// The seed-tree implementation, frozen so the baseline stays the pre-PR code
+// even as src/cpu/loser_tree.h evolves. Comparisons dereference the run spans
+// on every tree level; drain() is one pop() per element.
+template <typename T, typename Compare = std::less<T>>
+class LoserTree {
+ public:
+  explicit LoserTree(std::vector<std::span<const T>> runs, Compare comp = {})
+      : runs_(std::move(runs)), comp_(comp) {
+    k_ = runs_.size();
+    HS_EXPECTS(k_ >= 1);
+    leaves_ = std::size_t{1} << hs::log2_ceil(k_);
+    pos_.assign(leaves_, 0);
+    tree_.assign(leaves_, kExhausted);
+    remaining_ = 0;
+    for (std::size_t r = 0; r < k_; ++r) remaining_ += runs_[r].size();
+    build();
+  }
+
+  bool empty() const { return remaining_ == 0; }
+
+  T pop() {
+    const std::size_t winner = tree_[0];
+    const T value = runs_[winner][pos_[winner]];
+    ++pos_[winner];
+    --remaining_;
+    replay(winner);
+    return value;
+  }
+
+  void drain(std::span<T> out) {
+    HS_EXPECTS(out.size() == remaining_);
+    for (std::size_t i = 0; i < out.size(); ++i) out[i] = pop();
+  }
+
+ private:
+  static constexpr std::size_t kExhausted = ~std::size_t{0};
+
+  bool beats(std::size_t s, std::size_t r) const {
+    if (s == kExhausted) return false;
+    if (r == kExhausted) return true;
+    const T& vs = runs_[s][pos_[s]];
+    const T& vr = runs_[r][pos_[r]];
+    if (comp_(vs, vr)) return true;
+    if (comp_(vr, vs)) return false;
+    return s < r;
+  }
+
+  std::size_t leaf_id(std::size_t leaf) const {
+    return (leaf < k_ && pos_[leaf] < runs_[leaf].size()) ? leaf : kExhausted;
+  }
+
+  void build() {
+    std::vector<std::size_t> winner(2 * leaves_, kExhausted);
+    for (std::size_t i = 0; i < leaves_; ++i) {
+      winner[leaves_ + i] = leaf_id(i);
+    }
+    for (std::size_t i = leaves_ - 1; i >= 1; --i) {
+      const std::size_t a = winner[2 * i];
+      const std::size_t b = winner[2 * i + 1];
+      if (beats(a, b)) {
+        winner[i] = a;
+        tree_[i] = b;
+      } else {
+        winner[i] = b;
+        tree_[i] = a;
+      }
+    }
+    tree_[0] = winner[1];
+  }
+
+  void replay(std::size_t leaf) {
+    std::size_t contender = leaf_id(leaf);
+    std::size_t node = (leaves_ + leaf) / 2;
+    while (node >= 1) {
+      if (beats(tree_[node], contender)) {
+        std::swap(tree_[node], contender);
+      }
+      node /= 2;
+    }
+    tree_[0] = contender;
+  }
+
+  std::vector<std::span<const T>> runs_;
+  Compare comp_;
+  std::size_t k_ = 0;
+  std::size_t leaves_ = 0;
+  std::vector<std::uint64_t> pos_;
+  std::vector<std::size_t> tree_;
+  std::uint64_t remaining_ = 0;
+};
+
+}  // namespace reference
+
+namespace {
+
+using hs::data::Distribution;
+
+constexpr std::uint64_t kTotalElems = std::uint64_t{1} << 22;  // 4M / series
+constexpr int kTrials = 3;
+
+double now_seconds() {
+  using clock = std::chrono::steady_clock;
+  return std::chrono::duration<double>(clock::now().time_since_epoch()).count();
+}
+
+template <typename F>
+double best_of(int trials, F&& f) {
+  double best = 1e300;
+  for (int t = 0; t < trials; ++t) {
+    const double t0 = now_seconds();
+    f();
+    best = std::min(best, now_seconds() - t0);
+  }
+  return best;
+}
+
+template <typename T>
+std::vector<std::vector<T>> make_runs(std::size_t k, std::uint64_t per_run);
+
+template <>
+std::vector<std::vector<double>> make_runs(std::size_t k,
+                                           std::uint64_t per_run) {
+  std::vector<std::vector<double>> runs(k);
+  for (std::size_t r = 0; r < k; ++r) {
+    runs[r] = hs::data::generate(Distribution::kUniform, per_run, r + 1);
+    std::sort(runs[r].begin(), runs[r].end());
+  }
+  return runs;
+}
+
+template <>
+std::vector<std::vector<std::uint64_t>> make_runs(std::size_t k,
+                                                  std::uint64_t per_run) {
+  std::vector<std::vector<std::uint64_t>> runs(k);
+  for (std::size_t r = 0; r < k; ++r) {
+    runs[r] = hs::data::generate_keys(Distribution::kUniform, per_run, r + 1);
+    std::sort(runs[r].begin(), runs[r].end());
+  }
+  return runs;
+}
+
+template <>
+std::vector<std::vector<hs::KeyValue64>> make_runs(std::size_t k,
+                                                   std::uint64_t per_run) {
+  std::vector<std::vector<hs::KeyValue64>> runs(k);
+  for (std::size_t r = 0; r < k; ++r) {
+    const auto keys =
+        hs::data::generate_keys(Distribution::kUniform, per_run, r + 1);
+    runs[r].resize(per_run);
+    for (std::uint64_t i = 0; i < per_run; ++i) runs[r][i] = {keys[i], i};
+    std::sort(runs[r].begin(), runs[r].end());
+  }
+  return runs;
+}
+
+struct Series {
+  std::string type;
+  std::size_t k = 0;
+  double pop_drain_meps = 0;    // million elements / s, sequential
+  double block_drain_meps = 0;  // million elements / s, sequential
+  double parallel_meps = 0;     // million elements / s, full pool
+  double speedup = 0;           // block_drain / pop_drain
+};
+
+template <typename T>
+Series run_series(hs::cpu::ThreadPool& pool, const std::string& type,
+                  std::size_t k) {
+  const std::uint64_t per_run = kTotalElems / k;
+  const std::uint64_t total = per_run * k;
+  const auto runs = make_runs<T>(k, per_run);
+  std::vector<std::span<const T>> spans(runs.begin(), runs.end());
+  std::vector<T> out(total);
+  std::vector<T> expect(total);
+
+  // Reference drain: the frozen pre-PR implementation, per-element pop.
+  const double t_pop = best_of(kTrials, [&] {
+    reference::LoserTree<T> tree(spans);
+    tree.drain(std::span<T>(expect));
+  });
+  // Block drain.
+  const double t_block = best_of(kTrials, [&] {
+    hs::cpu::LoserTree<T> tree(spans);
+    tree.drain(std::span<T>(out));
+  });
+  HS_EXPECTS_MSG(out == expect, "block drain diverged from pop drain");
+  // Parallel engine, scratch reused across trials (steady state).
+  hs::cpu::MultiwayMergeScratch<T> scratch;
+  const double t_par = best_of(kTrials, [&] {
+    auto spans_copy = spans;
+    hs::cpu::multiway_merge_parallel<T>(pool, std::move(spans_copy),
+                                        std::span<T>(out), std::less<T>{}, 0,
+                                        &scratch);
+  });
+  HS_EXPECTS_MSG(out == expect, "parallel merge diverged from pop drain");
+
+  Series s;
+  s.type = type;
+  s.k = k;
+  const double m = static_cast<double>(total) / 1e6;
+  s.pop_drain_meps = m / t_pop;
+  s.block_drain_meps = m / t_block;
+  s.parallel_meps = m / t_par;
+  s.speedup = t_pop / t_block;
+  std::printf("%-5s k=%-3zu  pop %8.1f M/s   block %8.1f M/s   par %8.1f M/s"
+              "   speedup %.2fx\n",
+              type.c_str(), k, s.pop_drain_meps, s.block_drain_meps,
+              s.parallel_meps, s.speedup);
+  return s;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_hostpath.json";
+  hs::cpu::ThreadPool pool;
+
+  std::vector<Series> series;
+  for (const std::size_t k : {2u, 4u, 8u, 16u, 32u, 64u}) {
+    series.push_back(run_series<double>(pool, "f64", k));
+  }
+  for (const std::size_t k : {8u, 32u}) {
+    series.push_back(run_series<std::uint64_t>(pool, "u64", k));
+    series.push_back(run_series<hs::KeyValue64>(pool, "kv64", k));
+  }
+
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  HS_EXPECTS_MSG(f != nullptr, "cannot open output file");
+  std::fprintf(f, "{\n  \"bench\": \"hostpath\",\n");
+  std::fprintf(f, "  \"elements_per_series\": %llu,\n",
+               static_cast<unsigned long long>(kTotalElems));
+  std::fprintf(f, "  \"trials\": %d,\n  \"pool_threads\": %u,\n", kTrials,
+               pool.size());
+  std::fprintf(f, "  \"units\": \"million elements per second\",\n");
+  std::fprintf(f, "  \"series\": [\n");
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    const Series& s = series[i];
+    std::fprintf(f,
+                 "    {\"type\": \"%s\", \"k\": %zu, \"pop_drain\": %.1f, "
+                 "\"block_drain\": %.1f, \"parallel\": %.1f, "
+                 "\"speedup\": %.2f}%s\n",
+                 s.type.c_str(), s.k, s.pop_drain_meps, s.block_drain_meps,
+                 s.parallel_meps, s.speedup, i + 1 < series.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}

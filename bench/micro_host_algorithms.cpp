@@ -91,6 +91,52 @@ void BM_MergeParallel(benchmark::State& state) {
 }
 BENCHMARK(BM_MergeParallel)->Arg(1 << 20);
 
+// The two sequential drain styles of the tournament tree: per-element pop
+// (full root-to-leaf replay each time, the pre-block-drain behaviour) vs. the
+// buffered block drain (runner-up bound + sentinel-free gallop). The ratio is
+// the per-element overhead the host multiway stage no longer pays.
+void BM_LoserTreePopDrain(benchmark::State& state) {
+  const auto ways = static_cast<std::size_t>(state.range(0));
+  constexpr std::uint64_t kPerRun = 1 << 16;
+  std::vector<std::vector<double>> runs(ways);
+  for (std::size_t r = 0; r < ways; ++r) {
+    runs[r] = hs::data::generate(Distribution::kUniform, kPerRun, r + 1);
+    std::sort(runs[r].begin(), runs[r].end());
+  }
+  std::vector<std::span<const double>> spans(runs.begin(), runs.end());
+  std::vector<double> out(ways * kPerRun);
+  for (auto _ : state) {
+    hs::cpu::LoserTree<double> tree(spans);
+    std::size_t i = 0;
+    while (!tree.empty()) out[i++] = tree.pop();
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(out.size()) *
+                          state.iterations());
+}
+BENCHMARK(BM_LoserTreePopDrain)->Arg(4)->Arg(8)->Arg(32);
+
+void BM_LoserTreeBlockDrain(benchmark::State& state) {
+  const auto ways = static_cast<std::size_t>(state.range(0));
+  constexpr std::uint64_t kPerRun = 1 << 16;
+  std::vector<std::vector<double>> runs(ways);
+  for (std::size_t r = 0; r < ways; ++r) {
+    runs[r] = hs::data::generate(Distribution::kUniform, kPerRun, r + 1);
+    std::sort(runs[r].begin(), runs[r].end());
+  }
+  std::vector<std::span<const double>> spans(runs.begin(), runs.end());
+  std::vector<double> out(ways * kPerRun);
+  hs::cpu::LoserTree<double> tree;
+  for (auto _ : state) {
+    tree.reset(spans);
+    tree.drain(std::span<double>(out));
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(out.size()) *
+                          state.iterations());
+}
+BENCHMARK(BM_LoserTreeBlockDrain)->Arg(4)->Arg(8)->Arg(32);
+
 void BM_MultiwayMerge(benchmark::State& state) {
   const auto ways = static_cast<std::size_t>(state.range(0));
   constexpr std::uint64_t kPerRun = 1 << 16;
@@ -109,6 +155,32 @@ void BM_MultiwayMerge(benchmark::State& state) {
                           state.iterations());
 }
 BENCHMARK(BM_MultiwayMerge)->Arg(2)->Arg(8)->Arg(20);
+
+// Steady-state variant: the scratch carries samples, cuts, offsets and every
+// lane's tree across iterations, so this measures the zero-allocation path
+// the pipeline's ElementOps::multiway hook runs.
+void BM_MultiwayMergeScratch(benchmark::State& state) {
+  const auto ways = static_cast<std::size_t>(state.range(0));
+  constexpr std::uint64_t kPerRun = 1 << 16;
+  std::vector<std::vector<double>> runs(ways);
+  for (std::size_t r = 0; r < ways; ++r) {
+    runs[r] = hs::data::generate(Distribution::kUniform, kPerRun, r + 1);
+    std::sort(runs[r].begin(), runs[r].end());
+  }
+  std::vector<std::span<const double>> spans(runs.begin(), runs.end());
+  std::vector<double> out(ways * kPerRun);
+  hs::cpu::MultiwayMergeScratch<double> scratch;
+  for (auto _ : state) {
+    auto spans_copy = spans;
+    hs::cpu::multiway_merge_parallel(pool(), std::move(spans_copy),
+                                     std::span<double>(out),
+                                     std::less<double>{}, 0, &scratch);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(out.size()) *
+                          state.iterations());
+}
+BENCHMARK(BM_MultiwayMergeScratch)->Arg(8)->Arg(20);
 
 void BM_ParallelMemcpy(benchmark::State& state) {
   const auto bytes = static_cast<std::size_t>(state.range(0));

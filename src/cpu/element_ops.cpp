@@ -43,9 +43,12 @@ ElementOps make_ops(std::string name, double gpu_factor) {
       spans.push_back(typed_const<T>(r.data, r.elems));
       total += r.elems;
     }
+    // One scratch per call: all lanes' trees and descriptor arenas are sized
+    // once, so the per-part merge loop allocates nothing.
+    MultiwayMergeScratch<T> scratch;
     multiway_merge_parallel<T>(pool, std::move(spans),
                                         typed<T>(out, total), std::less<T>{},
-                                        threads);
+                                        threads, &scratch);
   };
   return ops;
 }

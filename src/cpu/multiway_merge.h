@@ -10,6 +10,14 @@
 // samples per run) without the complexity of exact multisequence selection —
 // the same engineering trade-off GNU parallel mode makes with its sampling
 // splitting strategy.
+//
+// Steady-state the parallel path performs zero heap allocation per part:
+// cut positions live in one flattened (p+1)×k buffer, each lane owns a
+// reusable sub-run descriptor arena and loser tree, and all of it can be
+// carried across calls in a MultiwayMergeScratch. Splitter boundaries are
+// located by binary search *within the previous cut's tail* ([cuts[j-1][r],
+// size)), so total cut-finding work per run is O(k·log) rather than
+// O(p·k·log n).
 #pragma once
 
 #include <algorithm>
@@ -43,16 +51,44 @@ void multiway_merge_sequential(std::vector<std::span<const T>> runs,
   tree.drain(out);
 }
 
-/// Per-run cut positions for one value-domain part boundary.
-template <typename T>
-using RunCuts = std::vector<std::uint64_t>;
+/// Reusable state for multiway_merge_parallel. After the first call with the
+/// largest (p, k) the merge allocates nothing: resets reuse every buffer.
+/// A scratch is bound to one comparator *state* — do not share it between
+/// call sites whose comparators order differently.
+template <typename T, typename Compare = std::less<T>>
+struct MultiwayMergeScratch {
+  explicit MultiwayMergeScratch(Compare comp = {}) : comp_(comp) {}
+
+  /// One worker lane's private workspace: sub-run descriptors for the part
+  /// being merged, and the tournament tree that drains them.
+  struct Lane {
+    explicit Lane(Compare comp) : tree(comp) {}
+    std::vector<std::span<const T>> sub;
+    LoserTree<T, Compare> tree;
+  };
+
+  void prepare(unsigned lanes, std::size_t k) {
+    while (lanes_.size() < lanes) lanes_.emplace_back(comp_);
+    for (auto& lane : lanes_) lane.sub.reserve(k);
+  }
+
+  Compare comp_;
+  std::vector<T> samples_;
+  std::vector<std::uint64_t> cuts_;     // flattened (p+1) rows of k columns
+  std::vector<std::uint64_t> offsets_;  // p+1 output offsets
+  std::vector<Lane> lanes_;
+};
 
 /// Parallel k-way merge into `out` using up to `parts` lanes (0 = pool size).
+/// Pass a `scratch` to reuse all working memory across calls; otherwise a
+/// call-local scratch is used (still zero allocations per *part*, since every
+/// buffer is sized once up front and lanes reuse their arenas).
 template <typename T, typename Compare = std::less<T>>
 void multiway_merge_parallel(ThreadPool& pool,
                              std::vector<std::span<const T>> runs,
                              std::span<T> out, Compare comp = {},
-                             unsigned parts = 0) {
+                             unsigned parts = 0,
+                             MultiwayMergeScratch<T, Compare>* scratch = nullptr) {
   std::uint64_t total = 0;
   for (const auto& r : runs) total += r.size();
   HS_EXPECTS(out.size() == total);
@@ -65,12 +101,17 @@ void multiway_merge_parallel(ThreadPool& pool,
     return;
   }
 
+  MultiwayMergeScratch<T, Compare> local(comp);
+  MultiwayMergeScratch<T, Compare>& S = scratch ? *scratch : local;
+  const std::size_t k = runs.size();
+
   // --- sample splitters ---------------------------------------------------
   constexpr std::uint64_t kSamplesPerPart = 32;
   const std::uint64_t samples_per_run =
-      std::max<std::uint64_t>(1, kSamplesPerPart * p / runs.size());
-  std::vector<T> samples;
-  samples.reserve(runs.size() * samples_per_run);
+      std::max<std::uint64_t>(1, kSamplesPerPart * p / k);
+  std::vector<T>& samples = S.samples_;
+  samples.clear();
+  samples.reserve(k * samples_per_run);
   for (const auto& r : runs) {
     if (r.empty()) continue;
     for (std::uint64_t s = 0; s < samples_per_run; ++s) {
@@ -82,47 +123,68 @@ void multiway_merge_parallel(ThreadPool& pool,
   std::sort(samples.begin(), samples.end(), comp);
 
   // --- compute per-part cut positions (p+1 boundaries per run) ------------
-  const std::size_t k = runs.size();
-  std::vector<std::vector<std::uint64_t>> cuts(p + 1,
-                                               std::vector<std::uint64_t>(k));
+  // cuts row j holds, for every run, the end of the values belonging to
+  // parts 0..j-1. Rows are filled in splitter order, and each row's search
+  // starts at the previous row's cut, so the k searches for row j cover only
+  // the tail the previous row left — monotone by construction.
+  std::vector<std::uint64_t>& cuts = S.cuts_;
+  cuts.resize(static_cast<std::size_t>(p + 1) * k);
   for (std::size_t r = 0; r < k; ++r) {
-    cuts[0][r] = 0;
-    cuts[p][r] = runs[r].size();
+    cuts[r] = 0;
+    cuts[static_cast<std::size_t>(p) * k + r] = runs[r].size();
   }
   for (unsigned j = 1; j < p; ++j) {
     const std::uint64_t s_idx = static_cast<std::uint64_t>(j) *
                                 samples.size() / p;
     const T& splitter = samples[std::min<std::size_t>(
         s_idx, samples.size() - 1)];
+    const std::uint64_t* prev = &cuts[static_cast<std::size_t>(j - 1) * k];
+    std::uint64_t* row = &cuts[static_cast<std::size_t>(j) * k];
     for (std::size_t r = 0; r < k; ++r) {
-      cuts[j][r] = static_cast<std::uint64_t>(
-          std::upper_bound(runs[r].begin(), runs[r].end(), splitter, comp) -
-          runs[r].begin());
-      // Boundaries must be monotone even if sampled splitters repeat.
-      cuts[j][r] = std::max(cuts[j][r], cuts[j - 1][r]);
+      const auto lo = runs[r].begin() + static_cast<std::ptrdiff_t>(prev[r]);
+      row[r] = prev[r] +
+               static_cast<std::uint64_t>(
+                   std::upper_bound(lo, runs[r].end(), splitter, comp) - lo);
+      HS_ASSERT(row[r] >= prev[r] && row[r] <= runs[r].size());
     }
   }
 
   // --- output offsets per part --------------------------------------------
-  std::vector<std::uint64_t> offsets(p + 1, 0);
+  std::vector<std::uint64_t>& offsets = S.offsets_;
+  offsets.resize(p + 1);
+  offsets[0] = 0;
   for (unsigned j = 0; j < p; ++j) {
     std::uint64_t part_size = 0;
-    for (std::size_t r = 0; r < k; ++r) part_size += cuts[j + 1][r] - cuts[j][r];
+    for (std::size_t r = 0; r < k; ++r) {
+      part_size += cuts[static_cast<std::size_t>(j + 1) * k + r] -
+                   cuts[static_cast<std::size_t>(j) * k + r];
+    }
     offsets[j + 1] = offsets[j] + part_size;
   }
   HS_ASSERT(offsets[p] == total);
 
   // --- merge each part independently ---------------------------------------
+  S.prepare(std::min(p, pool.size()), k);
   parallel_region(pool, p, [&](unsigned lane, unsigned lanes) {
+    typename MultiwayMergeScratch<T, Compare>::Lane& L = S.lanes_[lane];
     for (unsigned j = lane; j < p; j += lanes) {
-      std::vector<std::span<const T>> sub;
-      sub.reserve(k);
+      std::span<T> part_out =
+          out.subspan(offsets[j], offsets[j + 1] - offsets[j]);
+      if (part_out.empty()) continue;
+      // Empty sub-runs are dropped; the survivors keep ascending run order,
+      // so the tree's lower-index tie rule still means lower original run.
+      L.sub.clear();
       for (std::size_t r = 0; r < k; ++r) {
-        sub.push_back(runs[r].subspan(cuts[j][r], cuts[j + 1][r] - cuts[j][r]));
+        const std::uint64_t lo = cuts[static_cast<std::size_t>(j) * k + r];
+        const std::uint64_t hi = cuts[static_cast<std::size_t>(j + 1) * k + r];
+        if (hi > lo) L.sub.push_back(runs[r].subspan(lo, hi - lo));
       }
-      multiway_merge_sequential(std::move(sub),
-                                out.subspan(offsets[j], offsets[j + 1] - offsets[j]),
-                                comp);
+      if (L.sub.size() == 1) {
+        std::copy(L.sub[0].begin(), L.sub[0].end(), part_out.begin());
+        continue;
+      }
+      L.tree.reset(L.sub);
+      L.tree.drain(part_out);
     }
   });
 }

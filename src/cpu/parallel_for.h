@@ -1,7 +1,14 @@
 // Blocked fork-join parallel loop over an index range.
+//
+// Both primitives dispatch through ThreadPool::submit_raw with a single
+// stack-resident context per region: O(p) raw tasks per fork-join, no
+// per-closure heap allocation, and one queue lock acquisition. Chunks are
+// claimed through an atomic index, so a lane delayed by unrelated queue work
+// cannot strand its statically assigned chunk — an idle lane steals it.
 #pragma once
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 
 #include "common/assert.h"
@@ -10,9 +17,10 @@
 namespace hs::cpu {
 
 /// Runs `body(lo, hi)` over disjoint sub-ranges of [begin, end) on up to
-/// `max_parts` lanes (0 = pool.size()). The caller executes the first chunk
-/// itself. Blocks until all chunks finish. `body` must be safe to invoke
-/// concurrently on disjoint ranges.
+/// `max_parts` lanes (0 = pool.size()). The caller executes chunks alongside
+/// the workers. Blocks until all chunks finish. `body` must be safe to invoke
+/// concurrently on disjoint ranges. `body` is invoked at most `max_parts`
+/// times.
 template <typename Body>
 void parallel_for_blocked(ThreadPool& pool, std::uint64_t begin,
                           std::uint64_t end, Body&& body,
@@ -27,25 +35,38 @@ void parallel_for_blocked(ThreadPool& pool, std::uint64_t begin,
     body(begin, end);
     return;
   }
-  const std::uint64_t chunk = (n + parts - 1) / parts;
-  WaitGroup wg(parts - 1);
-  for (unsigned p = 1; p < parts; ++p) {
-    const std::uint64_t lo = begin + chunk * p;
-    const std::uint64_t hi = std::min(end, lo + chunk);
-    if (lo >= hi) {
-      wg.done();
-      continue;
+  struct Ctx {
+    Ctx(Body* b, std::uint64_t lo, std::uint64_t hi, std::uint64_t c,
+        unsigned n_chunks)
+        : body(b), begin(lo), end(hi), chunk(c), chunks(n_chunks) {}
+    Body* body;
+    std::uint64_t begin;
+    std::uint64_t end;
+    std::uint64_t chunk;
+    unsigned chunks;
+    std::atomic<unsigned> next{0};
+    WaitGroup wg;
+  };
+  Ctx ctx(&body, begin, end, (n + parts - 1) / parts, parts);
+  ctx.wg.reset(parts);
+  const auto run = [](void* p) {
+    Ctx& c = *static_cast<Ctx*>(p);
+    for (;;) {
+      const unsigned i = c.next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= c.chunks) break;
+      const std::uint64_t lo = c.begin + c.chunk * i;
+      const std::uint64_t hi = std::min(c.end, lo + c.chunk);
+      if (lo < hi) (*c.body)(lo, hi);
     }
-    pool.submit([&body, &wg, lo, hi] {
-      body(lo, hi);
-      wg.done();
-    });
-  }
-  body(begin, std::min(end, begin + chunk));
-  wg.wait();
+    c.wg.done();
+  };
+  pool.submit_raw(run, &ctx, parts - 1);
+  run(&ctx);
+  ctx.wg.wait();
 }
 
 /// Runs `body(part_index, num_parts)` once per lane; a generic SPMD region.
+/// The caller executes lane 0; workers claim lanes 1..parts-1 atomically.
 template <typename Body>
 void parallel_region(ThreadPool& pool, unsigned parts, Body&& body) {
   HS_EXPECTS(parts >= 1);
@@ -54,15 +75,25 @@ void parallel_region(ThreadPool& pool, unsigned parts, Body&& body) {
     body(0u, 1u);
     return;
   }
-  WaitGroup wg(parts - 1);
-  for (unsigned p = 1; p < parts; ++p) {
-    pool.submit([&body, &wg, p, parts] {
-      body(p, parts);
-      wg.done();
-    });
-  }
+  struct Ctx {
+    Ctx(Body* b, unsigned p) : body(b), parts(p) {}
+    Body* body;
+    unsigned parts;
+    std::atomic<unsigned> next{1};
+    WaitGroup wg;
+  };
+  Ctx ctx(&body, parts);
+  ctx.wg.reset(parts - 1);
+  const auto run = [](void* p) {
+    Ctx& c = *static_cast<Ctx*>(p);
+    const unsigned lane = c.next.fetch_add(1, std::memory_order_relaxed);
+    HS_ASSERT(lane < c.parts);
+    (*c.body)(lane, c.parts);
+    c.wg.done();
+  };
+  pool.submit_raw(run, &ctx, parts - 1);
   body(0u, parts);
-  wg.wait();
+  ctx.wg.wait();
 }
 
 }  // namespace hs::cpu

@@ -1,8 +1,22 @@
 #include "cpu/thread_pool.h"
 
+#include <utility>
+
 #include "common/assert.h"
 
 namespace hs::cpu {
+
+namespace {
+
+// Trampoline for the std::function compatibility path: the closure lives on
+// the heap and is destroyed after its single invocation.
+void invoke_owned_function(void* arg) {
+  auto* fn = static_cast<std::function<void()>*>(arg);
+  (*fn)();
+  delete fn;
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(unsigned threads) {
   unsigned n = threads == 0 ? std::thread::hardware_concurrency() : threads;
@@ -30,11 +44,40 @@ void ThreadPool::submit(std::function<void()> fn) {
     fn();
     return;
   }
+  submit_raw(&invoke_owned_function,
+             new std::function<void()>(std::move(fn)));
+}
+
+void ThreadPool::submit_raw(void (*fn)(void*), void* arg, unsigned copies) {
+  HS_EXPECTS(fn != nullptr);
+  if (copies == 0) return;
+  if (workers_.empty()) {
+    for (unsigned i = 0; i < copies; ++i) fn(arg);
+    return;
+  }
   {
     const std::lock_guard lock(mu_);
-    queue_.push_back(std::move(fn));
+    for (unsigned i = 0; i < copies; ++i) push_locked(Task{fn, arg});
   }
-  cv_.notify_one();
+  if (copies == 1) {
+    cv_.notify_one();
+  } else {
+    cv_.notify_all();
+  }
+}
+
+void ThreadPool::push_locked(Task t) {
+  if (count_ == ring_.size()) {
+    // Grow and unroll the ring so the occupied region is [0, count_).
+    std::vector<Task> grown(std::max<std::size_t>(16, ring_.size() * 2));
+    for (std::size_t i = 0; i < count_; ++i) {
+      grown[i] = ring_[(head_ + i) % ring_.size()];
+    }
+    ring_.swap(grown);
+    head_ = 0;
+  }
+  ring_[(head_ + count_) % ring_.size()] = t;
+  ++count_;
 }
 
 ThreadPool& ThreadPool::global() {
@@ -44,16 +87,23 @@ ThreadPool& ThreadPool::global() {
 
 void ThreadPool::worker_loop() {
   for (;;) {
-    std::function<void()> fn;
+    Task task;
     {
       std::unique_lock lock(mu_);
-      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // stopping
-      fn = std::move(queue_.front());
-      queue_.pop_front();
+      cv_.wait(lock, [this] { return stopping_ || count_ != 0; });
+      if (count_ == 0) return;  // stopping
+      task = ring_[head_];
+      head_ = (head_ + 1) % ring_.size();
+      --count_;
     }
-    fn();
+    task.fn(task.arg);
   }
+}
+
+void WaitGroup::reset(std::size_t count) {
+  const std::lock_guard lock(mu_);
+  HS_EXPECTS(remaining_ == 0);
+  remaining_ = count;
 }
 
 void WaitGroup::done() {

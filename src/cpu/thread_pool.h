@@ -6,11 +6,17 @@
 // and tests. Blocking waits use a per-group counter + condition variable, and
 // the calling thread always executes one share of the work itself, so a pool
 // of size 1 degrades to plain sequential execution without deadlock.
+//
+// The queue holds raw (function pointer, argument) tasks in a grow-on-demand
+// ring buffer, so a fork-join region dispatched via submit_raw() performs no
+// heap allocation in steady state — the per-closure std::function allocations
+// the old deque-of-std::function design paid on every parallel_for are gone
+// from the hot path. submit(std::function) remains for detached work that
+// genuinely needs owning closures.
 #pragma once
 
 #include <condition_variable>
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -31,28 +37,49 @@ class ThreadPool {
   /// as the parallelism degree p.
   unsigned size() const { return static_cast<unsigned>(workers_.size()) + 1; }
 
-  /// Enqueues `fn` for asynchronous execution on a worker.
+  /// Enqueues `fn` for asynchronous execution on a worker. Allocates (the
+  /// closure is moved to the heap); prefer submit_raw on hot paths.
   void submit(std::function<void()> fn);
+
+  /// Enqueues `copies` invocations of `fn(arg)` under a single lock
+  /// acquisition and with zero per-task allocation. `arg` must outlive all
+  /// invocations (fork-join callers keep it on the stack and join before
+  /// returning). On a size-1 pool the invocations run inline.
+  void submit_raw(void (*fn)(void*), void* arg, unsigned copies = 1);
 
   /// Process-wide default pool (lazily constructed, never destroyed before
   /// exit).
   static ThreadPool& global();
 
  private:
+  struct Task {
+    void (*fn)(void*);
+    void* arg;
+  };
+
   void worker_loop();
+  void push_locked(Task t);  // requires mu_ held; grows the ring if full
 
   std::mutex mu_;
   std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
+  // Ring buffer queue: head_ indexes the oldest task, count_ the occupancy.
+  std::vector<Task> ring_;
+  std::size_t head_ = 0;
+  std::size_t count_ = 0;
   std::vector<std::thread> workers_;
   bool stopping_ = false;
 };
 
 /// Waitable counter for fork-join sections (a minimal std::latch that can be
-/// counted down from pool workers and waited on by the caller).
+/// counted down from pool workers, waited on by the caller, and reset for
+/// reuse across fork-join rounds without reconstruction).
 class WaitGroup {
  public:
+  WaitGroup() = default;
   explicit WaitGroup(std::size_t count) : remaining_(count) {}
+
+  /// Re-arms the group. Must not race with done()/wait() from a prior round.
+  void reset(std::size_t count);
 
   void done();
   void wait();
@@ -60,7 +87,7 @@ class WaitGroup {
  private:
   std::mutex mu_;
   std::condition_variable cv_;
-  std::size_t remaining_;
+  std::size_t remaining_ = 0;
 };
 
 }  // namespace hs::cpu

@@ -1,6 +1,7 @@
 #include "sim/channel.h"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 
 #include "common/assert.h"
@@ -53,6 +54,7 @@ FlowHandle SharedChannel::add_flow(double bytes, double rate_cap_bps) {
     flows_.push_back(f);
   }
   ++active_count_;
+  if (std::isfinite(f.cap)) ++capped_count_;
   recompute_rates();
   return FlowHandle{slot, f.serial};
 }
@@ -68,6 +70,10 @@ void SharedChannel::remove_flow(FlowHandle h) {
   free_slots_.push_back(h.index);
   HS_ASSERT(active_count_ > 0);
   --active_count_;
+  if (std::isfinite(f.cap)) {
+    HS_ASSERT(capped_count_ > 0);
+    --capped_count_;
+  }
   recompute_rates();
 }
 
@@ -94,7 +100,17 @@ void SharedChannel::recompute_rates() {
   // Water filling: repeatedly grant capped flows their cap whenever the cap is
   // below the current fair share, then split what is left among the rest.
   if (active_count_ == 0) return;
-  std::vector<Flow*> open;
+  if (capped_count_ == 0) {
+    // Common PCIe case: no flow is individually capped, so water filling
+    // degenerates to one equal split — no worklist needed.
+    const double fair = capacity_bps_ / static_cast<double>(active_count_);
+    for (auto& f : flows_) {
+      if (f.active) f.rate = fair;
+    }
+    return;
+  }
+  std::vector<Flow*>& open = open_scratch_;
+  open.clear();
   open.reserve(active_count_);
   for (auto& f : flows_) {
     if (f.active) open.push_back(&f);

@@ -78,7 +78,9 @@ class SharedChannel {
   double capacity_bps_;
   std::vector<Flow> flows_;      // slot table, slots reused
   std::vector<std::uint32_t> free_slots_;
+  std::vector<Flow*> open_scratch_;  // recompute_rates() worklist, reused
   std::size_t active_count_ = 0;
+  std::size_t capped_count_ = 0;     // active flows with a finite rate cap
   std::uint64_t next_serial_ = 1;
   SimTime last_update_ = 0;
 };

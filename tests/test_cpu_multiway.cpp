@@ -1,16 +1,60 @@
 // Tests for the loser tree and sequential/parallel multiway merge: run-count
 // sweeps, empty and degenerate runs, duplicates, stability, and equivalence
-// with a reference merge.
+// with a reference merge. Also verifies the block-draining fast path against
+// a stable-sort oracle for every supported element type, and that the
+// parallel merge allocates nothing per part in steady state.
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <new>
 #include <vector>
 
+#include "common/key_value.h"
 #include "common/rng.h"
 #include "cpu/loser_tree.h"
 #include "cpu/multiway_merge.h"
 #include "data/generators.h"
 #include "data/verify.h"
+
+// Global allocation counter: every replaceable operator new in this binary
+// bumps it, including calls from pool worker threads, which is what lets
+// SteadyStateZeroAllocations observe the merge engine's true footprint.
+std::atomic<std::uint64_t> g_alloc_count{0};
+
+// GCC's -Wmismatched-new-delete false-positives when it inlines a replaced
+// operator new (it sees malloc feed free through the replacement pair).
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+void* operator new(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc{};
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+// The nothrow variants must be replaced too: libstdc++'s stable_sort
+// temporary buffer allocates through operator new(nothrow), and mixing a
+// default nothrow-new with the malloc-backed delete below trips ASan's
+// alloc-dealloc-mismatch check.
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size ? size : 1);
+}
+void* operator new[](std::size_t size, const std::nothrow_t& tag) noexcept {
+  return ::operator new(size, tag);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { ::operator delete(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  ::operator delete(p);
+}
+void operator delete[](void* p) noexcept { ::operator delete(p); }
+void operator delete[](void* p, std::size_t) noexcept { ::operator delete(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  ::operator delete(p);
+}
+#pragma GCC diagnostic pop
 
 namespace hs::cpu {
 namespace {
@@ -183,6 +227,191 @@ TEST(MultiwayMerge, ParallelPreservesMultiset) {
   EXPECT_EQ(hs::data::multiset_fingerprint(all),
             hs::data::multiset_fingerprint(out));
   EXPECT_TRUE(hs::data::is_sorted_ascending(out));
+}
+
+// ---- block-drain fuzz: every element type vs. a stable-sort oracle ---------
+//
+// The oracle: stable_sort of the runs' concatenation (in run order) is
+// exactly the stable k-way merge — equal keys keep (run, position) order.
+// Comparing full records (KeyValue64 payloads encode run and position)
+// therefore checks both correctness and stability.
+
+template <typename T, typename Compare = std::less<T>>
+void expect_drain_matches_oracle(const std::vector<std::vector<T>>& runs,
+                                 Compare comp = {}) {
+  std::vector<T> oracle;
+  std::uint64_t total = 0;
+  for (const auto& r : runs) total += r.size();
+  oracle.reserve(total);
+  for (const auto& r : runs) oracle.insert(oracle.end(), r.begin(), r.end());
+  std::stable_sort(oracle.begin(), oracle.end(), comp);
+
+  std::vector<std::span<const T>> spans;
+  spans.reserve(runs.size());
+  for (const auto& r : runs) spans.emplace_back(r);
+
+  // Full drain (block path for k > 2, std::merge/copy for k <= 2).
+  {
+    LoserTree<T, Compare> tree(spans, comp);
+    std::vector<T> out(total);
+    tree.drain(out);
+    EXPECT_EQ(out, oracle);
+  }
+  // Odd-sized drain_block calls interleaved with pop(): the tree state must
+  // stay consistent across both consumption styles.
+  {
+    LoserTree<T, Compare> tree(spans, comp);
+    std::vector<T> out(total);
+    std::size_t got = 0;
+    std::size_t step = 1;
+    while (!tree.empty()) {
+      if (step % 3 == 0) {
+        out[got++] = tree.pop();
+      } else {
+        const std::size_t want =
+            std::min<std::size_t>(step * 7 % 61 + 1, out.size() - got);
+        got += tree.drain_block(std::span<T>(out).subspan(got, want));
+      }
+      ++step;
+    }
+    EXPECT_EQ(got, total);
+    EXPECT_EQ(out, oracle);
+  }
+}
+
+std::vector<std::vector<hs::KeyValue64>> make_kv_runs(std::size_t k,
+                                                      std::uint64_t per_run,
+                                                      std::uint64_t seed,
+                                                      Distribution dist) {
+  std::vector<std::vector<hs::KeyValue64>> runs(k);
+  for (std::size_t r = 0; r < k; ++r) {
+    const auto keys = hs::data::generate_keys(dist, per_run, seed + r);
+    runs[r].resize(per_run);
+    for (std::uint64_t i = 0; i < per_run; ++i) {
+      runs[r][i] = {keys[i], (static_cast<std::uint64_t>(r) << 32) | i};
+    }
+    std::stable_sort(runs[r].begin(), runs[r].end());
+  }
+  return runs;
+}
+
+std::vector<std::vector<std::uint64_t>> make_u64_runs(std::size_t k,
+                                                      std::uint64_t per_run,
+                                                      std::uint64_t seed,
+                                                      Distribution dist) {
+  std::vector<std::vector<std::uint64_t>> runs(k);
+  for (std::size_t r = 0; r < k; ++r) {
+    runs[r] = hs::data::generate_keys(dist, per_run, seed + r);
+    std::sort(runs[r].begin(), runs[r].end());
+  }
+  return runs;
+}
+
+class BlockDrainFuzz : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BlockDrainFuzz, DoublesMatchOracle) {
+  const std::size_t k = GetParam();
+  expect_drain_matches_oracle(make_runs(k, 700, 61));
+  expect_drain_matches_oracle(make_runs(k, 257, 62, Distribution::kDuplicateHeavy));
+}
+
+TEST_P(BlockDrainFuzz, Uint64MatchOracle) {
+  const std::size_t k = GetParam();
+  expect_drain_matches_oracle(make_u64_runs(k, 700, 63, Distribution::kUniform));
+  expect_drain_matches_oracle(
+      make_u64_runs(k, 257, 64, Distribution::kDuplicateHeavy));
+}
+
+TEST_P(BlockDrainFuzz, KeyValueMatchOracleStably) {
+  const std::size_t k = GetParam();
+  expect_drain_matches_oracle(make_kv_runs(k, 500, 65, Distribution::kUniform));
+  expect_drain_matches_oracle(
+      make_kv_runs(k, 211, 66, Distribution::kDuplicateHeavy));
+}
+
+TEST_P(BlockDrainFuzz, ExhaustedAndEmptyRuns) {
+  const std::size_t k = GetParam();
+  // Every third run (from 1) empty — already exhausted at build time — and
+  // run 0 shifted strictly below U[0,1) so it exhausts first mid-merge.
+  auto runs = make_runs(k, 400, 67);
+  for (std::size_t r = 1; r < k; r += 3) runs[r].clear();
+  for (auto& v : runs[0]) v -= 10.0;
+  expect_drain_matches_oracle(runs);
+}
+
+INSTANTIATE_TEST_SUITE_P(KSweep, BlockDrainFuzz,
+                         ::testing::Values(std::size_t{1}, std::size_t{2},
+                                           std::size_t{3}, std::size_t{8},
+                                           std::size_t{33}));
+
+TEST(LoserTreeBlockDrain, AllEqualKeysKeepRunOrder) {
+  // 3 runs of identical keys: the drained payloads must be run 0's in
+  // position order, then run 1's, then run 2's.
+  std::vector<std::vector<hs::KeyValue64>> runs(3);
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::uint64_t i = 0; i < 50; ++i) {
+      runs[r].push_back({42, (static_cast<std::uint64_t>(r) << 32) | i});
+    }
+  }
+  expect_drain_matches_oracle(runs);
+}
+
+TEST(LoserTreeBlockDrain, DrainAfterPopsUsesCurrentCursors) {
+  // drain() mid-merge must pick up from the current cursors, including its
+  // internal dual-stream split of the remaining tails.
+  const auto runs = make_runs(8, 500, 90);
+  const auto oracle = reference_merge(runs);
+  LoserTree<double> tree(as_spans(runs));
+  std::vector<double> out(oracle.size());
+  for (std::size_t i = 0; i < 137; ++i) out[i] = tree.pop();
+  tree.drain(std::span<double>(out).subspan(137));
+  EXPECT_EQ(out, oracle);
+  EXPECT_TRUE(tree.empty());
+}
+
+TEST(LoserTreeBlockDrain, ResetReusesAcrossRunSets) {
+  LoserTree<double> tree;
+  for (std::size_t k : {8u, 3u, 33u, 1u, 8u}) {
+    const auto runs = make_runs(k, 300, 70 + k);
+    std::vector<std::span<const double>> spans = as_spans(runs);
+    tree.reset(spans);
+    std::vector<double> out(tree.remaining());
+    tree.drain(out);
+    EXPECT_EQ(out, reference_merge(runs));
+    EXPECT_TRUE(tree.empty());
+  }
+}
+
+TEST(MultiwayMerge, SteadyStateZeroAllocations) {
+  ThreadPool pool(4);
+  const auto runs = make_runs(8, 4096, 71);
+  std::vector<double> out(8 * 4096);
+  MultiwayMergeScratch<double> scratch;
+  // Warm-up call sizes every buffer: the scratch's sample/cut/offset vectors,
+  // each lane's descriptor arena and tree, and the pool's task ring.
+  multiway_merge_parallel(pool, as_spans(runs), std::span<double>(out),
+                          std::less<double>{}, 4, &scratch);
+  // The runs vector is rebuilt outside the measured window (the parameter is
+  // taken by value, so an lvalue call would copy-allocate it inside).
+  auto spans = as_spans(runs);
+  const std::uint64_t before = g_alloc_count.load();
+  multiway_merge_parallel(pool, std::move(spans), std::span<double>(out),
+                          std::less<double>{}, 4, &scratch);
+  const std::uint64_t after = g_alloc_count.load();
+  EXPECT_EQ(after - before, 0u);
+  EXPECT_EQ(out, reference_merge(runs));
+}
+
+TEST(MultiwayMerge, ScratchReuseAcrossChangingShapes) {
+  ThreadPool pool(4);
+  MultiwayMergeScratch<double> scratch;
+  for (const std::size_t k : {2u, 8u, 33u, 5u}) {
+    const auto runs = make_runs(k, 1000, 80 + k);
+    std::vector<double> out(k * 1000);
+    multiway_merge_parallel(pool, as_spans(runs), std::span<double>(out),
+                            std::less<double>{}, 0, &scratch);
+    EXPECT_EQ(out, reference_merge(runs));
+  }
 }
 
 TEST(MultiwayMerge, DescendingComparator) {

@@ -139,6 +139,48 @@ TEST(ParallelMemcpy, PartsParameterLimitsFanout) {
   EXPECT_EQ(dst, src);
 }
 
+TEST(ThreadPool, SubmitRawRunsAllCopies) {
+  ThreadPool pool(4);
+  struct Ctx {
+    std::atomic<int> hits{0};
+    WaitGroup wg;
+  } ctx;
+  ctx.wg.reset(16);
+  pool.submit_raw(
+      [](void* p) {
+        auto& c = *static_cast<Ctx*>(p);
+        c.hits.fetch_add(1);
+        c.wg.done();
+      },
+      &ctx, 16);
+  ctx.wg.wait();
+  EXPECT_EQ(ctx.hits.load(), 16);
+}
+
+TEST(ThreadPool, SubmitRawInlineOnSizeOnePool) {
+  ThreadPool pool(1);
+  int hits = 0;
+  pool.submit_raw([](void* p) { ++*static_cast<int*>(p); }, &hits, 3);
+  EXPECT_EQ(hits, 3);
+}
+
+TEST(WaitGroup, ResetAllowsReuse) {
+  ThreadPool pool(4);
+  WaitGroup wg;
+  std::atomic<int> done{0};
+  for (int round = 0; round < 3; ++round) {
+    wg.reset(4);
+    for (int i = 0; i < 4; ++i) {
+      pool.submit([&] {
+        done.fetch_add(1);
+        wg.done();
+      });
+    }
+    wg.wait();
+    EXPECT_EQ(done.load(), 4 * (round + 1));
+  }
+}
+
 TEST(WaitGroup, WaitsForAll) {
   ThreadPool pool(4);
   WaitGroup wg(3);
