@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hs_common.dir/common/assert.cpp.o"
+  "CMakeFiles/hs_common.dir/common/assert.cpp.o.d"
+  "CMakeFiles/hs_common.dir/common/rng.cpp.o"
+  "CMakeFiles/hs_common.dir/common/rng.cpp.o.d"
+  "CMakeFiles/hs_common.dir/common/table.cpp.o"
+  "CMakeFiles/hs_common.dir/common/table.cpp.o.d"
+  "CMakeFiles/hs_common.dir/common/units.cpp.o"
+  "CMakeFiles/hs_common.dir/common/units.cpp.o.d"
+  "libhs_common.a"
+  "libhs_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hs_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

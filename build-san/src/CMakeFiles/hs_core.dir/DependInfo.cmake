@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/batch_plan.cpp" "src/CMakeFiles/hs_core.dir/core/batch_plan.cpp.o" "gcc" "src/CMakeFiles/hs_core.dir/core/batch_plan.cpp.o.d"
+  "/root/repo/src/core/het_sorter.cpp" "src/CMakeFiles/hs_core.dir/core/het_sorter.cpp.o" "gcc" "src/CMakeFiles/hs_core.dir/core/het_sorter.cpp.o.d"
+  "/root/repo/src/core/lower_bound.cpp" "src/CMakeFiles/hs_core.dir/core/lower_bound.cpp.o" "gcc" "src/CMakeFiles/hs_core.dir/core/lower_bound.cpp.o.d"
+  "/root/repo/src/core/merge_schedule.cpp" "src/CMakeFiles/hs_core.dir/core/merge_schedule.cpp.o" "gcc" "src/CMakeFiles/hs_core.dir/core/merge_schedule.cpp.o.d"
+  "/root/repo/src/core/pipeline_builder.cpp" "src/CMakeFiles/hs_core.dir/core/pipeline_builder.cpp.o" "gcc" "src/CMakeFiles/hs_core.dir/core/pipeline_builder.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/CMakeFiles/hs_core.dir/core/report.cpp.o" "gcc" "src/CMakeFiles/hs_core.dir/core/report.cpp.o.d"
+  "/root/repo/src/core/sort_config.cpp" "src/CMakeFiles/hs_core.dir/core/sort_config.cpp.o" "gcc" "src/CMakeFiles/hs_core.dir/core/sort_config.cpp.o.d"
+  "/root/repo/src/core/staging.cpp" "src/CMakeFiles/hs_core.dir/core/staging.cpp.o" "gcc" "src/CMakeFiles/hs_core.dir/core/staging.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-san/src/CMakeFiles/hs_common.dir/DependInfo.cmake"
+  "/root/repo/build-san/src/CMakeFiles/hs_sim.dir/DependInfo.cmake"
+  "/root/repo/build-san/src/CMakeFiles/hs_cpu.dir/DependInfo.cmake"
+  "/root/repo/build-san/src/CMakeFiles/hs_model.dir/DependInfo.cmake"
+  "/root/repo/build-san/src/CMakeFiles/hs_vgpu.dir/DependInfo.cmake"
+  "/root/repo/build-san/src/CMakeFiles/hs_data.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

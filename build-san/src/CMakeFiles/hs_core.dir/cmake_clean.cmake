@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hs_core.dir/core/batch_plan.cpp.o"
+  "CMakeFiles/hs_core.dir/core/batch_plan.cpp.o.d"
+  "CMakeFiles/hs_core.dir/core/het_sorter.cpp.o"
+  "CMakeFiles/hs_core.dir/core/het_sorter.cpp.o.d"
+  "CMakeFiles/hs_core.dir/core/lower_bound.cpp.o"
+  "CMakeFiles/hs_core.dir/core/lower_bound.cpp.o.d"
+  "CMakeFiles/hs_core.dir/core/merge_schedule.cpp.o"
+  "CMakeFiles/hs_core.dir/core/merge_schedule.cpp.o.d"
+  "CMakeFiles/hs_core.dir/core/pipeline_builder.cpp.o"
+  "CMakeFiles/hs_core.dir/core/pipeline_builder.cpp.o.d"
+  "CMakeFiles/hs_core.dir/core/report.cpp.o"
+  "CMakeFiles/hs_core.dir/core/report.cpp.o.d"
+  "CMakeFiles/hs_core.dir/core/sort_config.cpp.o"
+  "CMakeFiles/hs_core.dir/core/sort_config.cpp.o.d"
+  "CMakeFiles/hs_core.dir/core/staging.cpp.o"
+  "CMakeFiles/hs_core.dir/core/staging.cpp.o.d"
+  "libhs_core.a"
+  "libhs_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hs_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

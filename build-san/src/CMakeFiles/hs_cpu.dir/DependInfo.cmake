@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cpu/element_ops.cpp" "src/CMakeFiles/hs_cpu.dir/cpu/element_ops.cpp.o" "gcc" "src/CMakeFiles/hs_cpu.dir/cpu/element_ops.cpp.o.d"
+  "/root/repo/src/cpu/inplace_merge.cpp" "src/CMakeFiles/hs_cpu.dir/cpu/inplace_merge.cpp.o" "gcc" "src/CMakeFiles/hs_cpu.dir/cpu/inplace_merge.cpp.o.d"
+  "/root/repo/src/cpu/loser_tree.cpp" "src/CMakeFiles/hs_cpu.dir/cpu/loser_tree.cpp.o" "gcc" "src/CMakeFiles/hs_cpu.dir/cpu/loser_tree.cpp.o.d"
+  "/root/repo/src/cpu/merge_path.cpp" "src/CMakeFiles/hs_cpu.dir/cpu/merge_path.cpp.o" "gcc" "src/CMakeFiles/hs_cpu.dir/cpu/merge_path.cpp.o.d"
+  "/root/repo/src/cpu/multiway_merge.cpp" "src/CMakeFiles/hs_cpu.dir/cpu/multiway_merge.cpp.o" "gcc" "src/CMakeFiles/hs_cpu.dir/cpu/multiway_merge.cpp.o.d"
+  "/root/repo/src/cpu/parallel_for.cpp" "src/CMakeFiles/hs_cpu.dir/cpu/parallel_for.cpp.o" "gcc" "src/CMakeFiles/hs_cpu.dir/cpu/parallel_for.cpp.o.d"
+  "/root/repo/src/cpu/parallel_memcpy.cpp" "src/CMakeFiles/hs_cpu.dir/cpu/parallel_memcpy.cpp.o" "gcc" "src/CMakeFiles/hs_cpu.dir/cpu/parallel_memcpy.cpp.o.d"
+  "/root/repo/src/cpu/parallel_quicksort.cpp" "src/CMakeFiles/hs_cpu.dir/cpu/parallel_quicksort.cpp.o" "gcc" "src/CMakeFiles/hs_cpu.dir/cpu/parallel_quicksort.cpp.o.d"
+  "/root/repo/src/cpu/parallel_sort.cpp" "src/CMakeFiles/hs_cpu.dir/cpu/parallel_sort.cpp.o" "gcc" "src/CMakeFiles/hs_cpu.dir/cpu/parallel_sort.cpp.o.d"
+  "/root/repo/src/cpu/radix_sort.cpp" "src/CMakeFiles/hs_cpu.dir/cpu/radix_sort.cpp.o" "gcc" "src/CMakeFiles/hs_cpu.dir/cpu/radix_sort.cpp.o.d"
+  "/root/repo/src/cpu/sample_sort.cpp" "src/CMakeFiles/hs_cpu.dir/cpu/sample_sort.cpp.o" "gcc" "src/CMakeFiles/hs_cpu.dir/cpu/sample_sort.cpp.o.d"
+  "/root/repo/src/cpu/thread_pool.cpp" "src/CMakeFiles/hs_cpu.dir/cpu/thread_pool.cpp.o" "gcc" "src/CMakeFiles/hs_cpu.dir/cpu/thread_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-san/src/CMakeFiles/hs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hs_cpu.dir/cpu/element_ops.cpp.o"
+  "CMakeFiles/hs_cpu.dir/cpu/element_ops.cpp.o.d"
+  "CMakeFiles/hs_cpu.dir/cpu/inplace_merge.cpp.o"
+  "CMakeFiles/hs_cpu.dir/cpu/inplace_merge.cpp.o.d"
+  "CMakeFiles/hs_cpu.dir/cpu/loser_tree.cpp.o"
+  "CMakeFiles/hs_cpu.dir/cpu/loser_tree.cpp.o.d"
+  "CMakeFiles/hs_cpu.dir/cpu/merge_path.cpp.o"
+  "CMakeFiles/hs_cpu.dir/cpu/merge_path.cpp.o.d"
+  "CMakeFiles/hs_cpu.dir/cpu/multiway_merge.cpp.o"
+  "CMakeFiles/hs_cpu.dir/cpu/multiway_merge.cpp.o.d"
+  "CMakeFiles/hs_cpu.dir/cpu/parallel_for.cpp.o"
+  "CMakeFiles/hs_cpu.dir/cpu/parallel_for.cpp.o.d"
+  "CMakeFiles/hs_cpu.dir/cpu/parallel_memcpy.cpp.o"
+  "CMakeFiles/hs_cpu.dir/cpu/parallel_memcpy.cpp.o.d"
+  "CMakeFiles/hs_cpu.dir/cpu/parallel_quicksort.cpp.o"
+  "CMakeFiles/hs_cpu.dir/cpu/parallel_quicksort.cpp.o.d"
+  "CMakeFiles/hs_cpu.dir/cpu/parallel_sort.cpp.o"
+  "CMakeFiles/hs_cpu.dir/cpu/parallel_sort.cpp.o.d"
+  "CMakeFiles/hs_cpu.dir/cpu/radix_sort.cpp.o"
+  "CMakeFiles/hs_cpu.dir/cpu/radix_sort.cpp.o.d"
+  "CMakeFiles/hs_cpu.dir/cpu/sample_sort.cpp.o"
+  "CMakeFiles/hs_cpu.dir/cpu/sample_sort.cpp.o.d"
+  "CMakeFiles/hs_cpu.dir/cpu/thread_pool.cpp.o"
+  "CMakeFiles/hs_cpu.dir/cpu/thread_pool.cpp.o.d"
+  "libhs_cpu.a"
+  "libhs_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hs_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/generators.cpp" "src/CMakeFiles/hs_data.dir/data/generators.cpp.o" "gcc" "src/CMakeFiles/hs_data.dir/data/generators.cpp.o.d"
+  "/root/repo/src/data/verify.cpp" "src/CMakeFiles/hs_data.dir/data/verify.cpp.o" "gcc" "src/CMakeFiles/hs_data.dir/data/verify.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-san/src/CMakeFiles/hs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hs_data.dir/data/generators.cpp.o"
+  "CMakeFiles/hs_data.dir/data/generators.cpp.o.d"
+  "CMakeFiles/hs_data.dir/data/verify.cpp.o"
+  "CMakeFiles/hs_data.dir/data/verify.cpp.o.d"
+  "libhs_data.a"
+  "libhs_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hs_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hs_io.dir/io/external_sort.cpp.o"
+  "CMakeFiles/hs_io.dir/io/external_sort.cpp.o.d"
+  "CMakeFiles/hs_io.dir/io/run_file.cpp.o"
+  "CMakeFiles/hs_io.dir/io/run_file.cpp.o.d"
+  "libhs_io.a"
+  "libhs_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hs_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

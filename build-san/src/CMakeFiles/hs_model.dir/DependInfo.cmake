@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/cpu_model.cpp" "src/CMakeFiles/hs_model.dir/model/cpu_model.cpp.o" "gcc" "src/CMakeFiles/hs_model.dir/model/cpu_model.cpp.o.d"
+  "/root/repo/src/model/gpu_model.cpp" "src/CMakeFiles/hs_model.dir/model/gpu_model.cpp.o" "gcc" "src/CMakeFiles/hs_model.dir/model/gpu_model.cpp.o.d"
+  "/root/repo/src/model/host_mem_model.cpp" "src/CMakeFiles/hs_model.dir/model/host_mem_model.cpp.o" "gcc" "src/CMakeFiles/hs_model.dir/model/host_mem_model.cpp.o.d"
+  "/root/repo/src/model/pcie_model.cpp" "src/CMakeFiles/hs_model.dir/model/pcie_model.cpp.o" "gcc" "src/CMakeFiles/hs_model.dir/model/pcie_model.cpp.o.d"
+  "/root/repo/src/model/pinned_alloc_model.cpp" "src/CMakeFiles/hs_model.dir/model/pinned_alloc_model.cpp.o" "gcc" "src/CMakeFiles/hs_model.dir/model/pinned_alloc_model.cpp.o.d"
+  "/root/repo/src/model/platforms.cpp" "src/CMakeFiles/hs_model.dir/model/platforms.cpp.o" "gcc" "src/CMakeFiles/hs_model.dir/model/platforms.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-san/src/CMakeFiles/hs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hs_model.dir/model/cpu_model.cpp.o"
+  "CMakeFiles/hs_model.dir/model/cpu_model.cpp.o.d"
+  "CMakeFiles/hs_model.dir/model/gpu_model.cpp.o"
+  "CMakeFiles/hs_model.dir/model/gpu_model.cpp.o.d"
+  "CMakeFiles/hs_model.dir/model/host_mem_model.cpp.o"
+  "CMakeFiles/hs_model.dir/model/host_mem_model.cpp.o.d"
+  "CMakeFiles/hs_model.dir/model/pcie_model.cpp.o"
+  "CMakeFiles/hs_model.dir/model/pcie_model.cpp.o.d"
+  "CMakeFiles/hs_model.dir/model/pinned_alloc_model.cpp.o"
+  "CMakeFiles/hs_model.dir/model/pinned_alloc_model.cpp.o.d"
+  "CMakeFiles/hs_model.dir/model/platforms.cpp.o"
+  "CMakeFiles/hs_model.dir/model/platforms.cpp.o.d"
+  "libhs_model.a"
+  "libhs_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hs_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+src/CMakeFiles/hs_model.dir/model/host_mem_model.cpp.o: \
+ /root/repo/src/model/host_mem_model.cpp /usr/include/stdc-predef.h \
+ /root/repo/src/model/host_mem_model.h

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/channel.cpp" "src/CMakeFiles/hs_sim.dir/sim/channel.cpp.o" "gcc" "src/CMakeFiles/hs_sim.dir/sim/channel.cpp.o.d"
+  "/root/repo/src/sim/compute_engine.cpp" "src/CMakeFiles/hs_sim.dir/sim/compute_engine.cpp.o" "gcc" "src/CMakeFiles/hs_sim.dir/sim/compute_engine.cpp.o.d"
+  "/root/repo/src/sim/core_pool.cpp" "src/CMakeFiles/hs_sim.dir/sim/core_pool.cpp.o" "gcc" "src/CMakeFiles/hs_sim.dir/sim/core_pool.cpp.o.d"
+  "/root/repo/src/sim/critical_path.cpp" "src/CMakeFiles/hs_sim.dir/sim/critical_path.cpp.o" "gcc" "src/CMakeFiles/hs_sim.dir/sim/critical_path.cpp.o.d"
+  "/root/repo/src/sim/engine.cpp" "src/CMakeFiles/hs_sim.dir/sim/engine.cpp.o" "gcc" "src/CMakeFiles/hs_sim.dir/sim/engine.cpp.o.d"
+  "/root/repo/src/sim/task_graph.cpp" "src/CMakeFiles/hs_sim.dir/sim/task_graph.cpp.o" "gcc" "src/CMakeFiles/hs_sim.dir/sim/task_graph.cpp.o.d"
+  "/root/repo/src/sim/trace.cpp" "src/CMakeFiles/hs_sim.dir/sim/trace.cpp.o" "gcc" "src/CMakeFiles/hs_sim.dir/sim/trace.cpp.o.d"
+  "/root/repo/src/sim/trace_export.cpp" "src/CMakeFiles/hs_sim.dir/sim/trace_export.cpp.o" "gcc" "src/CMakeFiles/hs_sim.dir/sim/trace_export.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-san/src/CMakeFiles/hs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

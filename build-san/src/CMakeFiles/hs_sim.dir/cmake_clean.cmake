@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hs_sim.dir/sim/channel.cpp.o"
+  "CMakeFiles/hs_sim.dir/sim/channel.cpp.o.d"
+  "CMakeFiles/hs_sim.dir/sim/compute_engine.cpp.o"
+  "CMakeFiles/hs_sim.dir/sim/compute_engine.cpp.o.d"
+  "CMakeFiles/hs_sim.dir/sim/core_pool.cpp.o"
+  "CMakeFiles/hs_sim.dir/sim/core_pool.cpp.o.d"
+  "CMakeFiles/hs_sim.dir/sim/critical_path.cpp.o"
+  "CMakeFiles/hs_sim.dir/sim/critical_path.cpp.o.d"
+  "CMakeFiles/hs_sim.dir/sim/engine.cpp.o"
+  "CMakeFiles/hs_sim.dir/sim/engine.cpp.o.d"
+  "CMakeFiles/hs_sim.dir/sim/task_graph.cpp.o"
+  "CMakeFiles/hs_sim.dir/sim/task_graph.cpp.o.d"
+  "CMakeFiles/hs_sim.dir/sim/trace.cpp.o"
+  "CMakeFiles/hs_sim.dir/sim/trace.cpp.o.d"
+  "CMakeFiles/hs_sim.dir/sim/trace_export.cpp.o"
+  "CMakeFiles/hs_sim.dir/sim/trace_export.cpp.o.d"
+  "libhs_sim.a"
+  "libhs_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hs_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vgpu/device.cpp" "src/CMakeFiles/hs_vgpu.dir/vgpu/device.cpp.o" "gcc" "src/CMakeFiles/hs_vgpu.dir/vgpu/device.cpp.o.d"
+  "/root/repo/src/vgpu/device_buffer.cpp" "src/CMakeFiles/hs_vgpu.dir/vgpu/device_buffer.cpp.o" "gcc" "src/CMakeFiles/hs_vgpu.dir/vgpu/device_buffer.cpp.o.d"
+  "/root/repo/src/vgpu/device_ops.cpp" "src/CMakeFiles/hs_vgpu.dir/vgpu/device_ops.cpp.o" "gcc" "src/CMakeFiles/hs_vgpu.dir/vgpu/device_ops.cpp.o.d"
+  "/root/repo/src/vgpu/device_sort.cpp" "src/CMakeFiles/hs_vgpu.dir/vgpu/device_sort.cpp.o" "gcc" "src/CMakeFiles/hs_vgpu.dir/vgpu/device_sort.cpp.o.d"
+  "/root/repo/src/vgpu/event.cpp" "src/CMakeFiles/hs_vgpu.dir/vgpu/event.cpp.o" "gcc" "src/CMakeFiles/hs_vgpu.dir/vgpu/event.cpp.o.d"
+  "/root/repo/src/vgpu/pinned_buffer.cpp" "src/CMakeFiles/hs_vgpu.dir/vgpu/pinned_buffer.cpp.o" "gcc" "src/CMakeFiles/hs_vgpu.dir/vgpu/pinned_buffer.cpp.o.d"
+  "/root/repo/src/vgpu/runtime.cpp" "src/CMakeFiles/hs_vgpu.dir/vgpu/runtime.cpp.o" "gcc" "src/CMakeFiles/hs_vgpu.dir/vgpu/runtime.cpp.o.d"
+  "/root/repo/src/vgpu/stream.cpp" "src/CMakeFiles/hs_vgpu.dir/vgpu/stream.cpp.o" "gcc" "src/CMakeFiles/hs_vgpu.dir/vgpu/stream.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-san/src/CMakeFiles/hs_common.dir/DependInfo.cmake"
+  "/root/repo/build-san/src/CMakeFiles/hs_sim.dir/DependInfo.cmake"
+  "/root/repo/build-san/src/CMakeFiles/hs_model.dir/DependInfo.cmake"
+  "/root/repo/build-san/src/CMakeFiles/hs_cpu.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

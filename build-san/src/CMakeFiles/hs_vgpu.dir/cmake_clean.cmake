@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hs_vgpu.dir/vgpu/device.cpp.o"
+  "CMakeFiles/hs_vgpu.dir/vgpu/device.cpp.o.d"
+  "CMakeFiles/hs_vgpu.dir/vgpu/device_buffer.cpp.o"
+  "CMakeFiles/hs_vgpu.dir/vgpu/device_buffer.cpp.o.d"
+  "CMakeFiles/hs_vgpu.dir/vgpu/device_ops.cpp.o"
+  "CMakeFiles/hs_vgpu.dir/vgpu/device_ops.cpp.o.d"
+  "CMakeFiles/hs_vgpu.dir/vgpu/device_sort.cpp.o"
+  "CMakeFiles/hs_vgpu.dir/vgpu/device_sort.cpp.o.d"
+  "CMakeFiles/hs_vgpu.dir/vgpu/event.cpp.o"
+  "CMakeFiles/hs_vgpu.dir/vgpu/event.cpp.o.d"
+  "CMakeFiles/hs_vgpu.dir/vgpu/pinned_buffer.cpp.o"
+  "CMakeFiles/hs_vgpu.dir/vgpu/pinned_buffer.cpp.o.d"
+  "CMakeFiles/hs_vgpu.dir/vgpu/runtime.cpp.o"
+  "CMakeFiles/hs_vgpu.dir/vgpu/runtime.cpp.o.d"
+  "CMakeFiles/hs_vgpu.dir/vgpu/stream.cpp.o"
+  "CMakeFiles/hs_vgpu.dir/vgpu/stream.cpp.o.d"
+  "libhs_vgpu.a"
+  "libhs_vgpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hs_vgpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

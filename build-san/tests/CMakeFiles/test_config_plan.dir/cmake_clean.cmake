@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_config_plan.dir/test_config_plan.cpp.o"
+  "CMakeFiles/test_config_plan.dir/test_config_plan.cpp.o.d"
+  "test_config_plan"
+  "test_config_plan.pdb"
+  "test_config_plan[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_config_plan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

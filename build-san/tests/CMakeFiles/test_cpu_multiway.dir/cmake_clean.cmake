@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cpu_multiway.dir/test_cpu_multiway.cpp.o"
+  "CMakeFiles/test_cpu_multiway.dir/test_cpu_multiway.cpp.o.d"
+  "test_cpu_multiway"
+  "test_cpu_multiway.pdb"
+  "test_cpu_multiway[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cpu_multiway.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

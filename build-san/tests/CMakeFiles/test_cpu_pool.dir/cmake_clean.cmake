@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cpu_pool.dir/test_cpu_pool.cpp.o"
+  "CMakeFiles/test_cpu_pool.dir/test_cpu_pool.cpp.o.d"
+  "test_cpu_pool"
+  "test_cpu_pool.pdb"
+  "test_cpu_pool[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cpu_pool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

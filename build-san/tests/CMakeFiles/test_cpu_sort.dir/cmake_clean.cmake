@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cpu_sort.dir/test_cpu_sort.cpp.o"
+  "CMakeFiles/test_cpu_sort.dir/test_cpu_sort.cpp.o.d"
+  "test_cpu_sort"
+  "test_cpu_sort.pdb"
+  "test_cpu_sort[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cpu_sort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

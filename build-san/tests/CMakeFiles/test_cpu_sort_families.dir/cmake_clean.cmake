@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cpu_sort_families.dir/test_cpu_sort_families.cpp.o"
+  "CMakeFiles/test_cpu_sort_families.dir/test_cpu_sort_families.cpp.o.d"
+  "test_cpu_sort_families"
+  "test_cpu_sort_families.pdb"
+  "test_cpu_sort_families[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cpu_sort_families.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

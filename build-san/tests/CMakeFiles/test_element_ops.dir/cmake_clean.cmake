@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_element_ops.dir/test_element_ops.cpp.o"
+  "CMakeFiles/test_element_ops.dir/test_element_ops.cpp.o.d"
+  "test_element_ops"
+  "test_element_ops.pdb"
+  "test_element_ops[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_element_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

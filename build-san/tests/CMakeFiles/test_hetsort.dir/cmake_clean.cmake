@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hetsort.dir/test_hetsort.cpp.o"
+  "CMakeFiles/test_hetsort.dir/test_hetsort.cpp.o.d"
+  "test_hetsort"
+  "test_hetsort.pdb"
+  "test_hetsort[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hetsort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hetsort_ext.dir/test_hetsort_ext.cpp.o"
+  "CMakeFiles/test_hetsort_ext.dir/test_hetsort_ext.cpp.o.d"
+  "test_hetsort_ext"
+  "test_hetsort_ext.pdb"
+  "test_hetsort_ext[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hetsort_ext.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pipeline_fuzz.dir/test_pipeline_fuzz.cpp.o"
+  "CMakeFiles/test_pipeline_fuzz.dir/test_pipeline_fuzz.cpp.o.d"
+  "test_pipeline_fuzz"
+  "test_pipeline_fuzz.pdb"
+  "test_pipeline_fuzz[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pipeline_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

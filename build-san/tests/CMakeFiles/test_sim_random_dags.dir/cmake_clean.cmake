@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_random_dags.dir/test_sim_random_dags.cpp.o"
+  "CMakeFiles/test_sim_random_dags.dir/test_sim_random_dags.cpp.o.d"
+  "test_sim_random_dags"
+  "test_sim_random_dags.pdb"
+  "test_sim_random_dags[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_random_dags.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vgpu.dir/test_vgpu.cpp.o"
+  "CMakeFiles/test_vgpu.dir/test_vgpu.cpp.o.d"
+  "test_vgpu"
+  "test_vgpu.pdb"
+  "test_vgpu[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vgpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

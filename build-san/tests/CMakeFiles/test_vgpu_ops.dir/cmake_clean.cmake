@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vgpu_ops.dir/test_vgpu_ops.cpp.o"
+  "CMakeFiles/test_vgpu_ops.dir/test_vgpu_ops.cpp.o.d"
+  "test_vgpu_ops"
+  "test_vgpu_ops.pdb"
+  "test_vgpu_ops[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vgpu_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-san/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-san/tests/test_common[1]_include.cmake")
+include("/root/repo/build-san/tests/test_sim_channel[1]_include.cmake")
+include("/root/repo/build-san/tests/test_sim_engine[1]_include.cmake")
+include("/root/repo/build-san/tests/test_cpu_merge[1]_include.cmake")
+include("/root/repo/build-san/tests/test_cpu_multiway[1]_include.cmake")
+include("/root/repo/build-san/tests/test_cpu_sort[1]_include.cmake")
+include("/root/repo/build-san/tests/test_cpu_pool[1]_include.cmake")
+include("/root/repo/build-san/tests/test_model[1]_include.cmake")
+include("/root/repo/build-san/tests/test_vgpu[1]_include.cmake")
+include("/root/repo/build-san/tests/test_config_plan[1]_include.cmake")
+include("/root/repo/build-san/tests/test_hetsort[1]_include.cmake")
+include("/root/repo/build-san/tests/test_element_ops[1]_include.cmake")
+include("/root/repo/build-san/tests/test_hetsort_ext[1]_include.cmake")
+include("/root/repo/build-san/tests/test_cpu_sort_families[1]_include.cmake")
+include("/root/repo/build-san/tests/test_trace_export[1]_include.cmake")
+include("/root/repo/build-san/tests/test_pipeline_fuzz[1]_include.cmake")
+include("/root/repo/build-san/tests/test_paper_regression[1]_include.cmake")
+include("/root/repo/build-san/tests/test_io[1]_include.cmake")
+include("/root/repo/build-san/tests/test_vgpu_ops[1]_include.cmake")
+include("/root/repo/build-san/tests/test_critical_path[1]_include.cmake")
+include("/root/repo/build-san/tests/test_data[1]_include.cmake")
+include("/root/repo/build-san/tests/test_sim_random_dags[1]_include.cmake")

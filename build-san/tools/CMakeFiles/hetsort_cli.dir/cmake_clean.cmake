@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetsort_cli.dir/hetsort_cli.cpp.o"
+  "CMakeFiles/hetsort_cli.dir/hetsort_cli.cpp.o.d"
+  "hetsort_cli"
+  "hetsort_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetsort_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
