@@ -1,0 +1,23 @@
+// Root of the structured error taxonomy (docs/fault_model.md).
+//
+// Every *runtime* failure the pipeline can recover from or report derives
+// from hs::Error, so orchestration code distinguishes "a resource failed"
+// (catchable, possibly retryable) from programmer error (HS_EXPECTS aborts):
+//
+//   hs::Error
+//   ├─ vgpu::DeviceOutOfMemory   allocation exceeds device global memory
+//   ├─ vgpu::TransferFault       PCIe / staging copy failed beyond retry budget
+//   ├─ sim::PipelineStalled      the task graph can no longer make progress
+//   └─ io::IoError               filesystem failure (open, short read/write)
+#pragma once
+
+#include <stdexcept>
+
+namespace hs {
+
+class Error : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+}  // namespace hs

@@ -1,12 +1,15 @@
 #include "core/het_sorter.h"
 
+#include <algorithm>
 #include <cstring>
+#include <exception>
 #include <utility>
 
 #include "common/assert.h"
 #include "core/batch_plan.h"
 #include "core/merge_schedule.h"
 #include "core/pipeline_builder.h"
+#include "vgpu/faults.h"
 #include "vgpu/runtime.h"
 
 namespace hs::core {
@@ -32,20 +35,34 @@ Report HeterogeneousSorter::simulate(std::uint64_t n,
   return run({}, n, ops, /*is_real=*/false);
 }
 
-Report HeterogeneousSorter::run(std::span<std::byte> data, std::uint64_t n,
-                                const cpu::ElementOps& ops, bool is_real) {
+Report HeterogeneousSorter::attempt(std::span<std::byte> data, std::uint64_t n,
+                                    const cpu::ElementOps& ops, bool is_real,
+                                    const model::Platform& plat,
+                                    const SortConfig& cfg,
+                                    sim::FaultInjector* injector,
+                                    AttemptInfo& info) {
   const auto mode =
       is_real ? vgpu::Execution::kReal : vgpu::Execution::kTimingOnly;
-  const ResolvedConfig rc = resolve(config_, platform_, n, ops.elem_size);
-  const BatchPlan plan = BatchPlan::create(rc);
+  const ResolvedConfig rc = resolve(cfg, plat, n, ops.elem_size);
+  info.elapsed = 0;
+  info.batch_size = rc.batch_size;
   const MergeSchedule sched = MergeSchedule::plan(rc);
 
-  vgpu::Runtime rt(platform_, mode);
+  vgpu::Runtime rt(plat, mode);
+  rt.bind_fault_injector(injector);
+  const BatchPlan plan = BatchPlan::create(rc);
+
   PipelineBuffers bufs;
   bufs.input = data;
   PipelineBuilder builder(rt, rc, plan, sched, ops);
   sim::TaskGraph graph = builder.build(bufs);
-  sim::Trace trace = rt.engine().run(std::move(graph));
+  sim::Trace trace;
+  try {
+    trace = rt.engine().run(std::move(graph));
+  } catch (...) {
+    info.elapsed = rt.engine().abort_time();
+    throw;
+  }
 
   Report r;
   r.n = n;
@@ -54,7 +71,7 @@ Report HeterogeneousSorter::run(std::span<std::byte> data, std::uint64_t n,
   r.pair_merges = sched.pairs().size();
   r.multiway_ways =
       rc.num_batches > 1 ? sched.multiway_ways(rc.num_batches) : 0;
-  r.label = config_.label();
+  r.label = cfg.label();
   r.element_type = ops.type_name;
   r.end_to_end = trace.makespan();
   r.busy = phase_times(trace);
@@ -62,24 +79,23 @@ Report HeterogeneousSorter::run(std::span<std::byte> data, std::uint64_t n,
   // Related-work accounting (Section IV-E): pure-rate transfers + on-GPU sort
   // + the single multiway merge of all nb batches, nothing else.
   const double bytes = static_cast<double>(n) * static_cast<double>(ops.elem_size);
-  r.related_htod = bytes / platform_.pcie.pinned_bps;
-  r.related_dtoh = bytes / platform_.pcie.pinned_dtoh_bps;
+  r.related_htod = bytes / plat.pcie.pinned_bps;
+  r.related_dtoh = bytes / plat.pcie.pinned_dtoh_bps;
   double sort_total = 0;
   for (const Batch& b : plan.batches()) {
     sort_total +=
-        platform_.gpus[b.gpu].sort.time(b.size) * ops.gpu_sort_cost_factor;
+        plat.gpus[b.gpu].sort.time(b.size) * ops.gpu_sort_cost_factor;
   }
   r.related_sort = sort_total / rc.num_gpus;  // GPUs sort concurrently
   r.related_merge =
       rc.num_batches > 1
-          ? platform_.cpu_merge.time(n, static_cast<double>(rc.num_batches),
-                                     rc.multiway_threads)
+          ? plat.cpu_merge.time(n, static_cast<double>(rc.num_batches),
+                                rc.multiway_threads)
           : 0.0;
   r.related_work_total =
       r.related_htod + r.related_dtoh + r.related_sort + r.related_merge;
 
-  r.reference_cpu_time =
-      platform_.cpu_sort.time(n, platform_.reference_threads());
+  r.reference_cpu_time = plat.cpu_sort.time(n, plat.reference_threads());
 
   r.trace = std::move(trace);
 
@@ -88,6 +104,108 @@ Report HeterogeneousSorter::run(std::span<std::byte> data, std::uint64_t n,
     std::memcpy(data.data(), bufs.output.data(), data.size());
   }
   return r;
+}
+
+Report HeterogeneousSorter::cpu_fallback(std::span<std::byte> data,
+                                         std::uint64_t n,
+                                         const cpu::ElementOps& ops,
+                                         bool is_real, double charged,
+                                         RecoveryStats rec) {
+  const double cpu_time =
+      platform_.cpu_sort.time(n, platform_.reference_threads());
+  if (is_real) ops.device_sort(data.data(), n);
+
+  Report r;
+  r.n = n;
+  r.label = config_.label() + "+CpuFallback";
+  r.element_type = ops.type_name;
+  r.end_to_end = charged + cpu_time;
+  r.reference_cpu_time = cpu_time;
+  rec.cpu_fallback = true;
+  rec.recovery_seconds = charged;
+  r.recovery = rec;
+  return r;
+}
+
+Report HeterogeneousSorter::run(std::span<std::byte> data, std::uint64_t n,
+                                const cpu::ElementOps& ops, bool is_real) {
+  sim::FaultInjector injector(config_.faults);
+  const RecoveryPolicy& pol = config_.recovery;
+  AttemptInfo info;
+  if (!injector.enabled() && !pol.enabled) {
+    // Fault-free fast path: zero overhead, pre-recovery semantics.
+    return attempt(data, n, ops, is_real, platform_, config_, nullptr, info);
+  }
+
+  RecoveryStats rec;
+  double charged = 0;  // virtual seconds burned by failed attempts + penalties
+
+  // Attempt-mutable state. Blacklisting erases devices from the platform
+  // copy; OOM re-splits shrink the batch size.
+  model::Platform plat = platform_;
+  SortConfig cfg = config_;
+
+  // Aborted attempts leave A / W / B partially overwritten (pair merges
+  // recycle A's storage), so every re-attempt restarts from a pristine copy.
+  std::vector<std::byte> pristine;
+  if (is_real) pristine.assign(data.begin(), data.end());
+  const auto restore = [&] {
+    if (is_real) std::memcpy(data.data(), pristine.data(), pristine.size());
+  };
+
+  const unsigned max_attempts = pol.enabled ? std::max(1u, pol.max_attempts) : 1;
+  std::exception_ptr last_error;
+  for (unsigned att = 0; att < max_attempts; ++att) {
+    if (att > 0) restore();
+    rec.attempts = att + 1;
+    try {
+      Report r = attempt(data, n, ops, is_real, plat, cfg, &injector, info);
+      rec.faults_injected = injector.stats().total();
+      rec.transfer_retries = injector.stats().retries_charged;
+      rec.recovery_seconds = charged;
+      r.end_to_end += charged;
+      r.recovery = rec;
+      return r;
+    } catch (const vgpu::DeviceOutOfMemory&) {
+      if (!pol.enabled) throw;
+      // The geometry (or an injected allocation failure) does not fit:
+      // halve the batch and requeue. BLine admits exactly one batch, so
+      // splitting cannot help it.
+      if (info.batch_size <= 1 || cfg.approach == Approach::kBLine) throw;
+      last_error = std::current_exception();
+      charged += info.elapsed + pol.resplit_penalty_s;
+      cfg.batch_size = info.batch_size / 2;
+      ++rec.batch_resplits;
+    } catch (const vgpu::TransferFault& e) {
+      if (!pol.enabled) throw;
+      last_error = std::current_exception();
+      charged += info.elapsed + pol.backoff_total(att + 1);
+      ++rec.devices_blacklisted;
+      if (plat.gpus.size() <= 1) {
+        // Last device lost: CPU is all that remains.
+        rec.faults_injected = injector.stats().total();
+        rec.transfer_retries = injector.stats().retries_charged;
+        if (!pol.cpu_fallback) throw;
+        restore();
+        return cpu_fallback(data, n, ops, is_real, charged, rec);
+      }
+      HS_ASSERT(e.device_index() < plat.gpus.size());
+      plat.gpus.erase(plat.gpus.begin() + e.device_index());
+      const auto remaining = static_cast<unsigned>(plat.gpus.size());
+      cfg.num_gpus = std::min(std::max(1u, cfg.num_gpus), remaining);
+    }
+    // PipelineStalled propagates: a stuck graph is a bug or an injected
+    // hang, and the watchdog report (not a blind retry) is the deliverable.
+  }
+
+  rec.faults_injected = injector.stats().total();
+  rec.transfer_retries = injector.stats().retries_charged;
+  if (pol.cpu_fallback) {
+    restore();
+    return cpu_fallback(data, n, ops, is_real, charged, rec);
+  }
+  HS_ASSERT(last_error != nullptr);
+  std::rethrow_exception(last_error);
 }
 
 }  // namespace hs::core

@@ -17,6 +17,14 @@
 // for paper-scale n. Element types: double (the paper's workload), uint64_t
 // keys, KeyValue64 records (the related work's workload), or any trivially
 // copyable type with a cpu::ElementOps.
+//
+// When SortConfig::faults injects failures and/or SortConfig::recovery is
+// enabled, sort() runs a recovery loop around the pipeline: transient
+// transfer faults are retried with backoff inside the task graph, device OOM
+// halves the batch geometry and requeues, persistently failing devices are
+// blacklisted with work redistributed to the survivors, and a CPU-only sort
+// is the last resort. All recovery cost is charged to the virtual clock and
+// itemised in Report::recovery (see docs/fault_model.md).
 #pragma once
 
 #include <cstdint>
@@ -29,6 +37,7 @@
 #include "core/sort_config.h"
 #include "cpu/element_ops.h"
 #include "model/platforms.h"
+#include "sim/fault_injector.h"
 
 namespace hs::core {
 
@@ -61,8 +70,28 @@ class HeterogeneousSorter {
   Report simulate(std::uint64_t n, const cpu::ElementOps& ops);
 
  private:
+  /// Virtual time an aborted attempt burned and the batch size it ran with,
+  /// for charging/halving in the recovery loop.
+  struct AttemptInfo {
+    double elapsed = 0;
+    std::uint64_t batch_size = 0;
+  };
+
   Report run(std::span<std::byte> data, std::uint64_t n,
              const cpu::ElementOps& ops, bool is_real);
+
+  /// One pipeline build + engine run against `plat`/`cfg`. Fills `info`
+  /// before any fault can strike so the recovery loop can charge and adapt.
+  Report attempt(std::span<std::byte> data, std::uint64_t n,
+                 const cpu::ElementOps& ops, bool is_real,
+                 const model::Platform& plat, const SortConfig& cfg,
+                 sim::FaultInjector* injector, AttemptInfo& info);
+
+  /// All devices lost (or attempts exhausted): CPU-only sort, charged at the
+  /// platform's reference CPU sort model on top of `charged` recovery time.
+  Report cpu_fallback(std::span<std::byte> data, std::uint64_t n,
+                      const cpu::ElementOps& ops, bool is_real, double charged,
+                      RecoveryStats rec);
 
   model::Platform platform_;
   SortConfig config_;

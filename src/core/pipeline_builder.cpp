@@ -56,6 +56,39 @@ unsigned PipelineBuilder::slot_of(const Batch& b) const {
   return b.gpu * rc_.streams_per_gpu + b.stream;
 }
 
+unsigned PipelineBuilder::gpu_of_slot(unsigned slot) const {
+  return slot / rc_.streams_per_gpu;
+}
+
+void PipelineBuilder::apply_transfer_faults(sim::Task& t, sim::FaultSite site,
+                                            unsigned gpu,
+                                            vgpu::TransferKind kind) {
+  sim::FaultInjector* inj = rt_.fault_injector();
+  if (inj == nullptr || !inj->enabled()) return;
+  const RecoveryPolicy& pol = rc_.cfg.recovery;
+  const unsigned fails = inj->transient_failures(site, pol.max_transfer_retries + 1);
+  if (fails == 0) return;
+  if (fails > pol.max_transfer_retries) {
+    // Persistently failing link: the attempt aborts when this transfer
+    // completes in virtual time, and recovery blacklists the device. The
+    // real copy is suppressed — it never succeeded.
+    const std::string model = rt_.platform().gpus[gpu].model;
+    t.action = [model, gpu, kind, fails] {
+      throw vgpu::TransferFault(model, gpu, kind, fails);
+    };
+    return;
+  }
+  // Transient: the payload is re-sent `fails` times and each retry waits an
+  // exponentially growing backoff, all charged to this task's sim time.
+  inj->charge_retries(fails);
+  if (t.flow) {
+    t.flow->bytes *= static_cast<double>(fails) + 1.0;
+    t.flow->latency += pol.backoff_total(fails);
+  } else {
+    t.fixed_duration += pol.backoff_total(fails);
+  }
+}
+
 std::span<std::byte> PipelineBuilder::dest_span(PipelineBuffers& bufs) const {
   // Sorted batches land in W, or directly in B when no merging is needed.
   std::vector<std::byte>& dest =
@@ -165,6 +198,8 @@ void PipelineBuilder::emit_stage_to_device(
       const unsigned threads = rc_.memcpy_threads;
       tin.action = [src, dst, threads] { copy_bytes(src, dst, threads); };
     }
+    apply_transfer_faults(tin, sim::FaultSite::kStagingCopy, gpu_of_slot(slot),
+                          vgpu::TransferKind::kStaging);
     mcpy[c] = g.add(std::move(tin));
 
     sim::Task th;
@@ -181,6 +216,8 @@ void PipelineBuilder::emit_stage_to_device(
       auto dst = dev.bytes().subspan(bytes_of(ch.offset), bytes_of(ch.size));
       th.action = [src, dst] { copy_bytes(src, dst, 1); };
     }
+    apply_transfer_faults(th, sim::FaultSite::kHtoD, gpu_of_slot(slot),
+                          vgpu::TransferKind::kHtoD);
     htod[c] = g.add(std::move(th));
   }
   stream.adopt(htod.back());
@@ -224,6 +261,8 @@ sim::TaskId PipelineBuilder::emit_stage_from_device(
       auto dst = staging[buf].bytes().subspan(0, bytes_of(ch.size));
       td.action = [src, dst] { copy_bytes(src, dst, 1); };
     }
+    apply_transfer_faults(td, sim::FaultSite::kDtoH, gpu_of_slot(slot),
+                          vgpu::TransferKind::kDtoH);
     dtoh[c] = g.add(std::move(td));
 
     sim::Task tout;
@@ -243,6 +282,8 @@ sim::TaskId PipelineBuilder::emit_stage_from_device(
       const unsigned threads = rc_.memcpy_threads;
       tout.action = [src, dst, threads] { copy_bytes(src, dst, threads); };
     }
+    apply_transfer_faults(tout, sim::FaultSite::kStagingCopy, gpu_of_slot(slot),
+                          vgpu::TransferKind::kStaging);
     mcpy[c] = g.add(std::move(tout));
   }
   stream.adopt(mcpy.back());
@@ -285,6 +326,8 @@ sim::TaskId PipelineBuilder::emit_batch_pageable(sim::TaskGraph& g,
     auto dst = sb.dev_in.bytes().subspan(0, bytes_of(b.size));
     th.action = [src, dst] { copy_bytes(src, dst, 1); };
   }
+  apply_transfer_faults(th, sim::FaultSite::kHtoD, b.gpu,
+                        vgpu::TransferKind::kHtoD);
   stream.submit(g, std::move(th));
 
   vgpu::device_sort(rt_, g, stream, rt_.device(b.gpu), sb.dev_in, sb.dev_tmp,
@@ -304,6 +347,8 @@ sim::TaskId PipelineBuilder::emit_batch_pageable(sim::TaskGraph& g,
     auto dst = dest.subspan(bytes_of(b.offset), bytes_of(b.size));
     td.action = [src, dst] { copy_bytes(src, dst, 1); };
   }
+  apply_transfer_faults(td, sim::FaultSite::kDtoH, b.gpu,
+                        vgpu::TransferKind::kDtoH);
   return stream.submit(g, std::move(td));
 }
 

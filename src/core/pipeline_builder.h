@@ -33,7 +33,9 @@
 #include "core/merge_schedule.h"
 #include "core/sort_config.h"
 #include "cpu/element_ops.h"
+#include "sim/fault_injector.h"
 #include "sim/task_graph.h"
+#include "vgpu/faults.h"
 #include "vgpu/pinned_buffer.h"
 #include "vgpu/runtime.h"
 #include "vgpu/stream.h"
@@ -102,7 +104,16 @@ class PipelineBuilder {
   void emit_merges(sim::TaskGraph& g, PipelineBuffers& bufs,
                    const std::vector<sim::TaskId>& batch_done);
 
+  /// Consults the runtime's fault injector for one transfer task: transient
+  /// faults within the retry budget inflate the flow (payload re-sent) and
+  /// charge exponential backoff to the transfer latency; beyond the budget
+  /// the task's action is replaced with one that throws vgpu::TransferFault,
+  /// aborting the attempt at the transfer's virtual completion time.
+  void apply_transfer_faults(sim::Task& t, sim::FaultSite site, unsigned gpu,
+                             vgpu::TransferKind kind);
+
   unsigned slot_of(const Batch& b) const;
+  unsigned gpu_of_slot(unsigned slot) const;
   std::span<std::byte> dest_span(PipelineBuffers& bufs) const;
   std::uint64_t bytes_of(std::uint64_t elems) const;
   bool real() const;

@@ -1,0 +1,77 @@
+// Graceful-degradation policy for the heterogeneous pipeline
+// (docs/fault_model.md).
+//
+// The task graph is static, so recovery operates at two levels:
+//   * inside a task — transient transfer faults are absorbed by bounded
+//     retry-with-backoff, charged to the sim clock (payload is re-sent and
+//     the exponential backoff is added to the transfer latency);
+//   * across attempts — failures that escape a task (device OOM, a transfer
+//     still failing after the retry budget) abort the attempt, the policy
+//     adjusts (halve batches / blacklist the device), and the pipeline is
+//     rebuilt; the aborted attempt's virtual time plus a recovery penalty is
+//     charged to the final report, so degradation is measured, never free.
+// When every device is blacklisted (or attempts run out) the sort falls back
+// to the CPU-only reference path.
+#pragma once
+
+#include <cstdint>
+
+namespace hs::core {
+
+struct RecoveryPolicy {
+  /// Master switch; when false every fault propagates to the caller
+  /// unchanged (the pre-recovery behaviour).
+  bool enabled = false;
+
+  /// Transient transfer faults absorbed per transfer before the device is
+  /// declared persistently unhealthy (TransferFault escapes the task).
+  unsigned max_transfer_retries = 3;
+
+  /// Pipeline rebuild budget: attempts beyond this fall back to the CPU (or
+  /// rethrow when cpu_fallback is off).
+  unsigned max_attempts = 8;
+
+  /// First retry backoff; doubles per consecutive retry. Charged to the sim
+  /// clock (added to the transfer latency / the attempt restart cost).
+  double backoff_base_s = 1e-3;
+
+  /// Requeue cost charged per batch re-split after a device OOM.
+  double resplit_penalty_s = 1e-3;
+
+  /// Sort on the CPU when no device can finish the job.
+  bool cpu_fallback = true;
+
+  /// Total backoff charged for `failures` consecutive transient failures:
+  /// base + 2*base + ... (exponential).
+  double backoff_total(unsigned failures) const {
+    double total = 0.0;
+    double step = backoff_base_s;
+    for (unsigned i = 0; i < failures; ++i) {
+      total += step;
+      step *= 2.0;
+    }
+    return total;
+  }
+};
+
+/// What fault handling actually did during one sort; part of core::Report.
+struct RecoveryStats {
+  std::uint64_t faults_injected = 0;      // total faults the injector fired
+  std::uint64_t transfer_retries = 0;     // transient faults absorbed in-task
+  std::uint64_t batch_resplits = 0;       // device-OOM batch halvings
+  std::uint64_t devices_blacklisted = 0;  // devices removed mid-run
+  std::uint64_t attempts = 1;             // pipeline builds (1 == no recovery)
+  bool cpu_fallback = false;              // all devices lost, CPU sorted it
+
+  /// Virtual seconds charged for failed attempts, backoff, and requeue
+  /// penalties (in-task retry costs live in the phase times instead).
+  double recovery_seconds = 0;
+
+  bool any() const {
+    return faults_injected > 0 || transfer_retries > 0 || batch_resplits > 0 ||
+           devices_blacklisted > 0 || attempts > 1 || cpu_fallback ||
+           recovery_seconds > 0;
+  }
+};
+
+}  // namespace hs::core

@@ -42,6 +42,20 @@ void Report::print(std::ostream& os) const {
                 busy.htod, busy.gpu_sort, busy.dtoh, busy.stage_out,
                 busy.pair_merge, busy.multiway_merge);
   os << buf;
+  if (recovery.any()) {
+    std::snprintf(
+        buf, sizeof buf,
+        "  faults: injected %llu | retries %llu | re-splits %llu | "
+        "blacklisted %llu | attempts %llu%s | recovery charged %.4f s\n",
+        static_cast<unsigned long long>(recovery.faults_injected),
+        static_cast<unsigned long long>(recovery.transfer_retries),
+        static_cast<unsigned long long>(recovery.batch_resplits),
+        static_cast<unsigned long long>(recovery.devices_blacklisted),
+        static_cast<unsigned long long>(recovery.attempts),
+        recovery.cpu_fallback ? " | CPU fallback" : "",
+        recovery.recovery_seconds);
+    os << buf;
+  }
 }
 
 }  // namespace hs::core

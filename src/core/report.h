@@ -6,6 +6,7 @@
 #include <ostream>
 #include <string>
 
+#include "core/recovery.h"
 #include "core/sort_config.h"
 #include "sim/trace.h"
 
@@ -56,6 +57,11 @@ struct Report {
 
   PhaseTimes busy;
   sim::Trace trace;
+
+  /// Fault/recovery accounting; all-zero on a fault-free run. When faults
+  /// were injected, end_to_end already includes recovery.recovery_seconds
+  /// plus the in-task retry and stall costs.
+  RecoveryStats recovery;
 
   double speedup_vs_reference() const {
     return end_to_end > 0 ? reference_cpu_time / end_to_end : 0.0;

@@ -7,7 +7,9 @@
 #include <string>
 #include <string_view>
 
+#include "core/recovery.h"
 #include "model/platforms.h"
+#include "sim/fault_injector.h"
 
 namespace hs::core {
 
@@ -76,6 +78,13 @@ struct SortConfig {
   /// natural extension of Figure 2's strict MCpy/HtoD alternation (ablation:
   /// abl_double_buffer).
   bool double_buffer_staging = false;
+
+  /// Seeded fault schedule injected into the run (all-zero: no faults).
+  sim::FaultPlan faults;
+
+  /// How the pipeline degrades when faults strike (default: disabled, every
+  /// fault propagates). See docs/fault_model.md.
+  RecoveryPolicy recovery;
 
   bool par_memcpy() const { return memcpy_threads > 1; }
 

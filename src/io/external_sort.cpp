@@ -1,12 +1,12 @@
 #include "io/external_sort.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
-#include <memory>
+#include <utility>
 
 #include "common/assert.h"
 #include "core/het_sorter.h"
-#include "cpu/loser_tree.h"
 #include "io/run_file.h"
 
 namespace hs::io {
@@ -14,6 +14,68 @@ namespace {
 
 std::string run_path(const ExternalSortConfig& cfg, std::uint64_t i) {
   return cfg.temp_dir + "/hetsort_run_" + std::to_string(i) + ".bin";
+}
+
+/// Unlinks every registered intermediate run at scope exit — the success
+/// path's cleanup and the failure path's guard are the same mechanism, so a
+/// throw anywhere in run formation or the merge leaves no partial temp
+/// files behind.
+class ScopedRunGuard {
+ public:
+  ScopedRunGuard() = default;
+  ScopedRunGuard(const ScopedRunGuard&) = delete;
+  ScopedRunGuard& operator=(const ScopedRunGuard&) = delete;
+  ~ScopedRunGuard() {
+    for (const auto& p : paths_) std::remove(p.c_str());
+  }
+
+  void add(std::string path) { paths_.push_back(std::move(path)); }
+  const std::vector<std::string>& paths() const { return paths_; }
+
+ private:
+  std::vector<std::string> paths_;
+};
+
+void accumulate(core::RecoveryStats& into, const core::RecoveryStats& r) {
+  into.faults_injected += r.faults_injected;
+  into.transfer_retries += r.transfer_retries;
+  into.batch_resplits += r.batch_resplits;
+  into.devices_blacklisted += r.devices_blacklisted;
+  into.attempts += r.attempts - 1;  // count extra attempts, not baselines
+  into.cpu_fallback = into.cpu_fallback || r.cpu_fallback;
+  into.recovery_seconds += r.recovery_seconds;
+}
+
+/// k-way streaming merge of `runs` into `output_path`. Throws IoError on
+/// (possibly injected) read/write failures; the caller owns retries.
+void merge_runs(const std::vector<std::string>& runs,
+                const std::string& output_path, const ExternalSortConfig& cfg,
+                sim::FaultInjector* injector) {
+  std::vector<BufferedRunReader> readers;
+  readers.reserve(runs.size());
+  for (const auto& path : runs) {
+    readers.emplace_back(path, cfg.io_buffer_elems, injector);
+  }
+  BufferedRunWriter out(output_path, cfg.io_buffer_elems, injector);
+  // Tournament over reader heads; indices beat ties like the LoserTree.
+  // (Readers pull from disk, so the in-memory LoserTree over spans does
+  // not apply directly; k is small, a linear scan per element suffices
+  // for the I/O-bound merge.)
+  for (;;) {
+    int best = -1;
+    for (std::size_t i = 0; i < readers.size(); ++i) {
+      if (readers[i].empty()) continue;
+      if (best < 0 ||
+          readers[i].head() < readers[static_cast<std::size_t>(best)].head()) {
+        best = static_cast<int>(i);
+      }
+    }
+    if (best < 0) break;
+    auto& r = readers[static_cast<std::size_t>(best)];
+    out.append(r.head());
+    r.pop();
+  }
+  out.close();
 }
 
 }  // namespace
@@ -26,6 +88,7 @@ ExternalSortStats external_sort_file(const std::string& input_path,
   const auto wall_start = std::chrono::steady_clock::now();
 
   ExternalSortStats stats;
+  sim::FaultInjector io_injector(cfg.io_faults);
   stats.n = count_doubles(input_path);
   if (stats.n == 0) {
     write_doubles(output_path, {});
@@ -34,7 +97,7 @@ ExternalSortStats external_sort_file(const std::string& input_path,
 
   // --- pass 1: run formation through the heterogeneous pipeline ------------
   core::HeterogeneousSorter sorter(cfg.platform, cfg.pipeline);
-  std::vector<std::string> runs;
+  ScopedRunGuard runs;
   {
     BufferedRunReader input(input_path, cfg.io_buffer_elems);
     std::vector<double> chunk;
@@ -47,48 +110,36 @@ ExternalSortStats external_sort_file(const std::string& input_path,
       }
       const core::Report r = sorter.sort(chunk);
       stats.pipeline_virtual_seconds += r.end_to_end;
-      const std::string path = run_path(cfg, runs.size());
-      write_doubles(path, chunk);
-      runs.push_back(path);
-    }
-  }
-  stats.num_runs = runs.size();
-
-  // --- pass 2: k-way streaming merge ----------------------------------------
-  if (runs.size() == 1) {
-    // Single run: it is already the sorted output.
-    const auto data = read_doubles(runs[0]);
-    write_doubles(output_path, data);
-  } else {
-    std::vector<BufferedRunReader> readers;
-    readers.reserve(runs.size());
-    for (const auto& path : runs) {
-      readers.emplace_back(path, cfg.io_buffer_elems);
-    }
-    BufferedRunWriter out(output_path, cfg.io_buffer_elems);
-    // Tournament over reader heads; indices beat ties like the LoserTree.
-    // (Readers pull from disk, so the in-memory LoserTree over spans does
-    // not apply directly; k is small, a linear scan per element suffices
-    // for the I/O-bound merge.)
-    for (;;) {
-      int best = -1;
-      for (std::size_t i = 0; i < readers.size(); ++i) {
-        if (readers[i].empty()) continue;
-        if (best < 0 ||
-            readers[i].head() < readers[static_cast<std::size_t>(best)].head()) {
-          best = static_cast<int>(i);
+      accumulate(stats.pipeline_recovery, r.recovery);
+      const std::string path = run_path(cfg, runs.paths().size());
+      for (unsigned tries = 0;; ++tries) {
+        try {
+          write_doubles(path, chunk, &io_injector);
+          break;
+        } catch (const IoError&) {
+          // write_doubles already unlinked the partial file.
+          if (tries >= cfg.max_io_retries) throw;
+          ++stats.io_retries;
         }
       }
-      if (best < 0) break;
-      auto& r = readers[static_cast<std::size_t>(best)];
-      out.append(r.head());
-      r.pop();
+      runs.add(path);
     }
-    out.close();
+  }
+  stats.num_runs = runs.paths().size();
+
+  // --- pass 2: k-way streaming merge ----------------------------------------
+  for (unsigned tries = 0;; ++tries) {
+    try {
+      merge_runs(runs.paths(), output_path, cfg, &io_injector);
+      break;
+    } catch (const IoError&) {
+      std::remove(output_path.c_str());
+      if (tries >= cfg.max_io_retries) throw;
+      ++stats.io_retries;
+    }
   }
 
-  for (const auto& path : runs) std::remove(path.c_str());
-
+  stats.io_faults_injected = io_injector.stats().total();
   stats.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     wall_start)

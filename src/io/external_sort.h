@@ -20,8 +20,10 @@
 #include <string>
 #include <vector>
 
+#include "core/recovery.h"
 #include "core/sort_config.h"
 #include "model/platforms.h"
+#include "sim/fault_injector.h"
 
 namespace hs::io {
 
@@ -38,6 +40,15 @@ struct ExternalSortConfig {
 
   /// Directory for intermediate run files (must exist).
   std::string temp_dir = ".";
+
+  /// Seeded fault schedule for the disk layer (kFileRead / kFileWrite sites;
+  /// all-zero: no faults). Pipeline faults are configured independently via
+  /// `pipeline.faults` / `pipeline.recovery`.
+  sim::FaultPlan io_faults;
+
+  /// Times a run write (or the merge pass) is retried after an IoError
+  /// before the error propagates.
+  unsigned max_io_retries = 3;
 };
 
 struct ExternalSortStats {
@@ -45,11 +56,19 @@ struct ExternalSortStats {
   std::uint64_t num_runs = 0;
   double pipeline_virtual_seconds = 0;  // sum over run-formation reports
   double wall_seconds = 0;              // real time incl. disk I/O
+
+  std::uint64_t io_faults_injected = 0;  // kFileRead/kFileWrite faults fired
+  std::uint64_t io_retries = 0;          // run rewrites + merge restarts
+
+  /// Pipeline-side fault/recovery accounting summed over all run-formation
+  /// sorts (see core::Report::recovery).
+  core::RecoveryStats pipeline_recovery;
 };
 
 /// Sorts the doubles in `input_path` into `output_path` (which may equal
-/// `input_path`). Throws IoError on filesystem failures. Intermediate runs
-/// are deleted on success.
+/// `input_path`). Throws IoError on filesystem failures after exhausting
+/// `max_io_retries`. Intermediate runs are deleted on success AND on
+/// failure (a scoped guard unlinks them when any pass throws).
 ExternalSortStats external_sort_file(const std::string& input_path,
                                      const std::string& output_path,
                                      const ExternalSortConfig& cfg);

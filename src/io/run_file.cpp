@@ -17,28 +17,39 @@ std::FILE* open_or_throw(const std::string& path, const char* mode) {
 
 }  // namespace
 
-void write_doubles(const std::string& path, std::span<const double> data) {
+void write_doubles(const std::string& path, std::span<const double> data,
+                   sim::FaultInjector* injector) {
   std::FILE* f = open_or_throw(path, "wb");
-  const std::size_t written =
+  std::size_t written =
       data.empty() ? 0 : std::fwrite(data.data(), sizeof(double), data.size(), f);
+  if (injector != nullptr && injector->enabled() &&
+      injector->should_fault(sim::FaultSite::kFileWrite)) {
+    written = data.size() / 2;  // simulated short write (e.g. ENOSPC)
+  }
   const int rc = std::fclose(f);
   if (written != data.size() || rc != 0) {
+    std::remove(path.c_str());
     throw IoError("short write to " + path);
   }
 }
 
 BufferedRunWriter::BufferedRunWriter(const std::string& path,
-                                     std::size_t buffer_elems)
-    : path_(path), file_(open_or_throw(path, "wb")) {
+                                     std::size_t buffer_elems,
+                                     sim::FaultInjector* injector)
+    : path_(path), file_(open_or_throw(path, "wb")), injector_(injector) {
   HS_EXPECTS(buffer_elems > 0);
   buffer_.reserve(buffer_elems);
 }
 
 BufferedRunWriter::~BufferedRunWriter() {
+  if (file_ == nullptr) return;  // closed cleanly
   try {
     close();
   } catch (const IoError&) {
-    // Destructors must not throw; call close() explicitly to observe errors.
+    // Destructors must not throw, and a truncated run file is worse than a
+    // missing one: unlink the partial output. Call close() explicitly to
+    // observe write errors.
+    std::remove(path_.c_str());
   }
 }
 
@@ -62,8 +73,12 @@ void BufferedRunWriter::close() {
 
 void BufferedRunWriter::flush_buffer() {
   if (buffer_.empty()) return;
-  const std::size_t n =
+  std::size_t n =
       std::fwrite(buffer_.data(), sizeof(double), buffer_.size(), file_);
+  if (injector_ != nullptr && injector_->enabled() &&
+      injector_->should_fault(sim::FaultSite::kFileWrite)) {
+    n = buffer_.size() / 2;  // simulated short write
+  }
   if (n != buffer_.size()) throw IoError("short write to " + path_);
   buffer_.clear();
 }
@@ -91,8 +106,12 @@ std::vector<double> read_doubles(const std::string& path) {
 }
 
 BufferedRunReader::BufferedRunReader(const std::string& path,
-                                     std::size_t buffer_elems)
-    : file_(open_or_throw(path, "rb")), capacity_(buffer_elems) {
+                                     std::size_t buffer_elems,
+                                     sim::FaultInjector* injector)
+    : path_(path),
+      file_(open_or_throw(path, "rb")),
+      capacity_(buffer_elems),
+      injector_(injector) {
   HS_EXPECTS(buffer_elems > 0);
   remaining_total_ = count_doubles(path);
   refill();
@@ -103,12 +122,14 @@ BufferedRunReader::~BufferedRunReader() {
 }
 
 BufferedRunReader::BufferedRunReader(BufferedRunReader&& other) noexcept
-    : file_(std::exchange(other.file_, nullptr)),
+    : path_(std::move(other.path_)),
+      file_(std::exchange(other.file_, nullptr)),
       buffer_(std::move(other.buffer_)),
       pos_(other.pos_),
       capacity_(other.capacity_),
       exhausted_(other.exhausted_),
-      remaining_total_(other.remaining_total_) {}
+      remaining_total_(other.remaining_total_),
+      injector_(other.injector_) {}
 
 double BufferedRunReader::head() const {
   HS_EXPECTS(!empty());
@@ -123,6 +144,10 @@ void BufferedRunReader::pop() {
 }
 
 void BufferedRunReader::refill() {
+  if (injector_ != nullptr && injector_->enabled() &&
+      injector_->should_fault(sim::FaultSite::kFileRead)) {
+    throw IoError("short read from " + path_);
+  }
   buffer_.resize(capacity_);
   const std::size_t got =
       std::fread(buffer_.data(), sizeof(double), capacity_, file_);

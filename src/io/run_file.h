@@ -10,25 +10,31 @@
 #include <cstdio>
 #include <memory>
 #include <span>
-#include <stdexcept>
 #include <string>
 #include <vector>
+
+#include "common/error.h"
+#include "sim/fault_injector.h"
 
 namespace hs::io {
 
 /// Thrown on any file-system failure (open, short read/write).
-class IoError : public std::runtime_error {
+class IoError : public hs::Error {
  public:
-  using std::runtime_error::runtime_error;
+  using hs::Error::Error;
 };
 
-/// Writes `data` to `path`, replacing any existing file.
-void write_doubles(const std::string& path, std::span<const double> data);
+/// Writes `data` to `path`, replacing any existing file. The optional fault
+/// injector may fire a kFileWrite fault (simulated short write -> IoError);
+/// the partial file is unlinked before the throw.
+void write_doubles(const std::string& path, std::span<const double> data,
+                   sim::FaultInjector* injector = nullptr);
 
 /// Appends `data` to an open FILE-backed writer with its own buffer.
 class BufferedRunWriter {
  public:
-  BufferedRunWriter(const std::string& path, std::size_t buffer_elems);
+  BufferedRunWriter(const std::string& path, std::size_t buffer_elems,
+                    sim::FaultInjector* injector = nullptr);
   ~BufferedRunWriter();
 
   BufferedRunWriter(const BufferedRunWriter&) = delete;
@@ -38,8 +44,9 @@ class BufferedRunWriter {
   void append(std::span<const double> values);
 
   /// Flushes and closes; further appends are invalid. Called by the
-  /// destructor if not done explicitly (destructor swallows errors; call
-  /// close() to observe them).
+  /// destructor if not done explicitly. The destructor cannot throw, so if
+  /// its close() fails it unlinks the partial file instead of leaving a
+  /// truncated run behind; call close() to observe write errors.
   void close();
 
   std::uint64_t written() const { return written_; }
@@ -51,6 +58,7 @@ class BufferedRunWriter {
   std::FILE* file_ = nullptr;
   std::vector<double> buffer_;
   std::uint64_t written_ = 0;
+  sim::FaultInjector* injector_ = nullptr;
 };
 
 /// Number of doubles in `path`. Throws IoError if the size is not a multiple
@@ -63,7 +71,8 @@ std::vector<double> read_doubles(const std::string& path);
 /// Streams a run file through a fixed-size buffer.
 class BufferedRunReader {
  public:
-  BufferedRunReader(const std::string& path, std::size_t buffer_elems);
+  BufferedRunReader(const std::string& path, std::size_t buffer_elems,
+                    sim::FaultInjector* injector = nullptr);
   ~BufferedRunReader();
 
   BufferedRunReader(const BufferedRunReader&) = delete;
@@ -82,12 +91,14 @@ class BufferedRunReader {
  private:
   void refill();
 
+  std::string path_;
   std::FILE* file_ = nullptr;
   std::vector<double> buffer_;
   std::size_t pos_ = 0;
   std::size_t capacity_;
   bool exhausted_ = false;
   std::uint64_t remaining_total_ = 0;
+  sim::FaultInjector* injector_ = nullptr;
 };
 
 }  // namespace hs::io

@@ -7,6 +7,10 @@
 
 namespace hs::sim {
 
+PipelineStalled::PipelineStalled(const std::string& what,
+                                 std::vector<std::string> stuck, SimTime at)
+    : hs::Error(what), stuck_(std::move(stuck)), at_(at) {}
+
 ChannelId Engine::add_channel(std::string name, double capacity_bps) {
   channels_.emplace_back(std::move(name), capacity_bps);
   return static_cast<ChannelId>(channels_.size() - 1);
@@ -47,6 +51,7 @@ Trace Engine::run(TaskGraph graph) {
   events_ = {};
   next_seq_ = 0;
   completed_ = 0;
+  abort_time_ = 0;
   trace_.clear();
 
   for (TaskId id = 0; id < n; ++id) {
@@ -58,9 +63,16 @@ Trace Engine::run(TaskGraph graph) {
     if (states_[id].deps_left == 0) on_ready(id, 0.0);
   }
 
+  SimTime now = 0;
   while (!events_.empty()) {
     const Event ev = events_.top();
     events_.pop();
+    if (!(ev.time < watchdog_horizon_)) {
+      // A completion at/beyond the horizon (e.g. a hung kernel scheduled at
+      // t = infinity) will never let the graph finish in bounded time.
+      throw_stalled("watchdog horizon reached", now);
+    }
+    now = ev.time;
     switch (ev.kind) {
       case Event::Kind::kStageDone:
         advance(ev.task, ev.time, ev.next_stage);
@@ -73,8 +85,30 @@ Trace Engine::run(TaskGraph graph) {
     }
   }
 
-  HS_ENSURES(completed_ == n);  // otherwise: resource deadlock or dangling wait
+  if (completed_ != n) {
+    // Resource deadlock or dangling wait: nothing left to fire, tasks remain.
+    throw_stalled("event queue drained", now);
+  }
   return std::exchange(trace_, Trace{});
+}
+
+void Engine::throw_stalled(const std::string& reason, SimTime t) {
+  abort_time_ = t;
+  std::vector<std::string> stuck;
+  for (TaskId id = 0; id < graph_.size(); ++id) {
+    if (!states_[id].done) stuck.push_back(graph_.task(id).label);
+  }
+  constexpr std::size_t kNamed = 8;
+  std::string what = "pipeline stalled (" + reason + ") at t=" +
+                     std::to_string(t) + "s with " +
+                     std::to_string(stuck.size()) + " task(s) stuck:";
+  for (std::size_t i = 0; i < stuck.size() && i < kNamed; ++i) {
+    what += " " + stuck[i];
+  }
+  if (stuck.size() > kNamed) {
+    what += " (+" + std::to_string(stuck.size() - kNamed) + " more)";
+  }
+  throw PipelineStalled(what, std::move(stuck), t);
 }
 
 void Engine::on_ready(TaskId id, SimTime t) {
@@ -168,7 +202,17 @@ void Engine::complete(TaskId id, SimTime t) {
       start_service(granted, t);
     }
   }
-  if (task.action) task.action();
+  if (task.action) {
+    try {
+      task.action();
+    } catch (...) {
+      // A failing side effect (e.g. an injected TransferFault) aborts the
+      // run; record the virtual time so recovery can charge the waste.
+      abort_time_ = t;
+      throw;
+    }
+  }
+  st.done = true;
   ++completed_;
 
   for (const TaskId dep : st.dependents) {

@@ -4,6 +4,12 @@
 // deterministic. Channel flows use the fluid model in SharedChannel; every
 // membership change bumps a per-channel version that invalidates previously
 // scheduled completion checks (lazy deletion).
+//
+// A watchdog guards progress: if the event queue drains with tasks still
+// incomplete (resource deadlock, dangling wait, zero-capacity channel) or
+// the next event lies at/beyond the watchdog horizon (a hung kernel's
+// completion at t = infinity), run() throws PipelineStalled naming the stuck
+// tasks instead of hanging or silently aborting.
 #pragma once
 
 #include <cstdint>
@@ -11,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "common/error.h"
 #include "sim/channel.h"
 #include "sim/compute_engine.h"
 #include "sim/core_pool.h"
@@ -19,6 +26,23 @@
 #include "sim/types.h"
 
 namespace hs::sim {
+
+/// The task graph can no longer make progress; what() lists the stuck tasks.
+class PipelineStalled : public hs::Error {
+ public:
+  PipelineStalled(const std::string& what, std::vector<std::string> stuck,
+                  SimTime at);
+
+  /// Labels of the tasks that had not completed when progress stopped.
+  const std::vector<std::string>& stuck_tasks() const { return stuck_; }
+
+  /// Virtual time at which the stall was detected.
+  SimTime stalled_at() const { return at_; }
+
+ private:
+  std::vector<std::string> stuck_;
+  SimTime at_;
+};
 
 class Engine {
  public:
@@ -33,7 +57,19 @@ class Engine {
   /// Runs `graph` to completion starting at virtual time 0 and returns the
   /// trace. Resource state (engine free times, etc.) carries over between
   /// runs only if reset() is not called; benches call run() on a fresh Engine.
+  /// Throws PipelineStalled when the graph stops making progress, and lets
+  /// task-action exceptions propagate (see abort_time()).
   Trace run(TaskGraph graph);
+
+  /// Events at or beyond this virtual time trip the watchdog (default:
+  /// infinity, so only a never-completing task — e.g. an injected kernel
+  /// hang — trips it).
+  void set_watchdog_horizon(SimTime horizon) { watchdog_horizon_ = horizon; }
+
+  /// Virtual time at which the last run() was aborted by a throwing task
+  /// action or the watchdog; 0 when the last run completed. Lets recovery
+  /// charge the wasted virtual time of a failed attempt to its clock.
+  SimTime abort_time() const { return abort_time_; }
 
  private:
   enum class Stage : std::uint8_t { kFixed, kExec, kLatency, kFlowJoin, kDone };
@@ -44,6 +80,7 @@ class Engine {
     SimTime start = 0;
     bool ready_fired = false;
     bool started = false;
+    bool done = false;
     TaskId blocking_dep = kInvalidTask;
     FlowHandle flow_handle{};
     std::vector<TaskId> dependents;
@@ -70,6 +107,7 @@ class Engine {
   void schedule_stage(TaskId id, SimTime t, Stage next);
   void schedule_channel_check(ChannelId c, SimTime now);
   void handle_channel_check(ChannelId c, SimTime t);
+  [[noreturn]] void throw_stalled(const std::string& reason, SimTime t);
 
   std::vector<SharedChannel> channels_;
   std::vector<ComputeEngine> computes_;
@@ -83,6 +121,8 @@ class Engine {
   std::priority_queue<Event, std::vector<Event>, std::greater<>> events_;
   std::uint64_t next_seq_ = 0;
   std::size_t completed_ = 0;
+  SimTime watchdog_horizon_ = kTimeInfinity;
+  SimTime abort_time_ = 0;
   Trace trace_;
 };
 

@@ -1,0 +1,73 @@
+#include "sim/fault_injector.h"
+
+#include <utility>
+
+#include "common/assert.h"
+
+namespace hs::sim {
+
+std::string_view fault_site_name(FaultSite site) {
+  switch (site) {
+    case FaultSite::kDeviceAlloc: return "device-alloc";
+    case FaultSite::kHtoD: return "htod";
+    case FaultSite::kDtoH: return "dtoh";
+    case FaultSite::kStagingCopy: return "staging-copy";
+    case FaultSite::kKernelStall: return "kernel-stall";
+    case FaultSite::kKernelHang: return "kernel-hang";
+    case FaultSite::kFileRead: return "file-read";
+    case FaultSite::kFileWrite: return "file-write";
+  }
+  return "?";
+}
+
+bool FaultPlan::any() const {
+  for (const double p : probability) {
+    if (p > 0) return true;
+  }
+  return false;
+}
+
+std::uint64_t FaultStats::total() const {
+  std::uint64_t sum = 0;
+  for (const std::uint64_t c : injected) sum += c;
+  return sum;
+}
+
+FaultInjector::FaultInjector(FaultPlan plan)
+    : plan_(std::move(plan)), rng_(plan_.seed), enabled_(plan_.any()) {
+  for (const double p : plan_.probability) {
+    HS_EXPECTS_MSG(p >= 0.0 && p <= 1.0,
+                   "fault probabilities must lie in [0, 1]");
+  }
+  HS_EXPECTS_MSG(plan_.kernel_stall_multiplier >= 1.0,
+                 "a stall cannot make a kernel faster");
+}
+
+bool FaultInjector::budget_left() const {
+  return stats_.total() < plan_.max_faults;
+}
+
+bool FaultInjector::should_fault(FaultSite site) {
+  if (!enabled_ || !budget_left()) return false;
+  const double p = plan_.p(site);
+  if (p <= 0.0) return false;
+  // Draw even for p == 1 so the stream position only depends on the call
+  // sequence of enabled sites, keeping schedules stable under probability
+  // tweaks of other sites.
+  if (rng_.uniform01() >= p) return false;
+  ++stats_.injected[static_cast<std::size_t>(site)];
+  return true;
+}
+
+unsigned FaultInjector::transient_failures(FaultSite site, unsigned cap) {
+  unsigned failures = 0;
+  while (failures < cap && should_fault(site)) ++failures;
+  return failures;
+}
+
+double FaultInjector::kernel_delay_multiplier() {
+  return should_fault(FaultSite::kKernelStall) ? plan_.kernel_stall_multiplier
+                                               : 1.0;
+}
+
+}  // namespace hs::sim

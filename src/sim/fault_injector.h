@@ -1,0 +1,112 @@
+// Deterministic, seed-driven fault injection (docs/fault_model.md).
+//
+// A FaultPlan assigns each fault site a per-draw Bernoulli probability; the
+// injector draws from one xoshiro256** stream, so a (plan, call-sequence)
+// pair reproduces the exact same fault schedule — the pipeline consults the
+// injector in deterministic order (graph construction order for device
+// faults, virtual-time order for I/O faults), making every failing seed
+// replayable. Draws and outcomes are tallied in FaultStats so reports can
+// show what was injected and what recovery cost.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "common/rng.h"
+
+namespace hs::sim {
+
+/// Where a fault can strike. One Bernoulli probability per site.
+enum class FaultSite : std::uint8_t {
+  kDeviceAlloc,  // cudaMalloc analogue fails -> DeviceOutOfMemory
+  kHtoD,         // transient host->device transfer fault
+  kDtoH,         // transient device->host transfer fault
+  kStagingCopy,  // host staging memcpy (pageable <-> pinned) fault
+  kKernelStall,  // kernel runs slow by FaultPlan::kernel_stall_multiplier
+  kKernelHang,   // kernel never completes -> watchdog / PipelineStalled
+  kFileRead,     // short read from a run file -> IoError
+  kFileWrite,    // short write to a run file -> IoError
+};
+
+inline constexpr std::size_t kNumFaultSites = 8;
+
+std::string_view fault_site_name(FaultSite site);
+
+struct FaultPlan {
+  std::uint64_t seed = 0;
+
+  /// Per-draw fault probability for each site, indexed by FaultSite.
+  std::array<double, kNumFaultSites> probability{};
+
+  /// Virtual-duration multiplier applied to a kernel when kKernelStall fires.
+  double kernel_stall_multiplier = 8.0;
+
+  /// Global injection budget: once this many faults fired, the injector goes
+  /// quiet. Guarantees fuzzed runs terminate even at probability 1.
+  std::uint64_t max_faults = UINT64_MAX;
+
+  double& p(FaultSite site) {
+    return probability[static_cast<std::size_t>(site)];
+  }
+  double p(FaultSite site) const {
+    return probability[static_cast<std::size_t>(site)];
+  }
+
+  /// True when any site has a nonzero probability (injection configured).
+  bool any() const;
+};
+
+struct FaultStats {
+  /// Faults that actually fired, per site.
+  std::array<std::uint64_t, kNumFaultSites> injected{};
+
+  /// Transient transfer faults absorbed by in-task retries (each one charged
+  /// backoff + re-transfer time on the sim clock).
+  std::uint64_t retries_charged = 0;
+
+  std::uint64_t injected_at(FaultSite site) const {
+    return injected[static_cast<std::size_t>(site)];
+  }
+  std::uint64_t total() const;
+};
+
+class FaultInjector {
+ public:
+  /// Disabled injector: every query says "no fault" without drawing.
+  FaultInjector() = default;
+
+  explicit FaultInjector(FaultPlan plan);
+
+  bool enabled() const { return enabled_; }
+
+  /// One Bernoulli draw for `site`; true means the fault fires (and is
+  /// tallied). Deterministic in (plan, call sequence).
+  bool should_fault(FaultSite site);
+
+  /// Number of consecutive transient failures before this transfer succeeds,
+  /// capped at `cap` (cap means: still failing, give up). Each failure is
+  /// tallied as an injected fault at `site`.
+  unsigned transient_failures(FaultSite site, unsigned cap);
+
+  /// Virtual-duration multiplier for one kernel launch: 1.0, or the plan's
+  /// stall multiplier when kKernelStall fires.
+  double kernel_delay_multiplier();
+
+  /// Records `n` transient faults as absorbed by retries.
+  void charge_retries(std::uint64_t n) { stats_.retries_charged += n; }
+
+  const FaultPlan& plan() const { return plan_; }
+  const FaultStats& stats() const { return stats_; }
+
+ private:
+  bool budget_left() const;
+
+  FaultPlan plan_{};
+  FaultStats stats_{};
+  Xoshiro256 rng_{0};
+  bool enabled_ = false;
+};
+
+}  // namespace hs::sim

@@ -2,15 +2,16 @@
 
 #include "common/assert.h"
 #include "common/units.h"
+#include "sim/fault_injector.h"
 
 namespace hs::vgpu {
 
 DeviceOutOfMemory::DeviceOutOfMemory(const std::string& device,
                                      std::uint64_t requested,
                                      std::uint64_t available)
-    : std::runtime_error("device " + device + " out of global memory: requested " +
-                         format_bytes(requested) + ", available " +
-                         format_bytes(available)),
+    : hs::Error("device " + device + " out of global memory: requested " +
+                format_bytes(requested) + ", available " +
+                format_bytes(available)),
       requested_(requested),
       available_(available) {}
 
@@ -21,6 +22,10 @@ Device::Device(model::GpuSpec spec, unsigned index, Execution mode)
 
 DeviceBuffer Device::allocate(std::uint64_t bytes) {
   if (bytes > free_bytes()) {
+    throw DeviceOutOfMemory(spec_.model, bytes, free_bytes());
+  }
+  if (injector_ != nullptr && injector_->enabled() &&
+      injector_->should_fault(sim::FaultSite::kDeviceAlloc)) {
     throw DeviceOutOfMemory(spec_.model, bytes, free_bytes());
   }
   used_ += bytes;

@@ -3,19 +3,23 @@
 #pragma once
 
 #include <cstdint>
-#include <stdexcept>
 #include <string>
 
+#include "common/error.h"
 #include "model/platforms.h"
 #include "sim/types.h"
 #include "vgpu/device_buffer.h"
 #include "vgpu/execution.h"
 
+namespace hs::sim {
+class FaultInjector;
+}
+
 namespace hs::vgpu {
 
 /// Thrown when an allocation exceeds remaining device global memory — the
 /// virtual analogue of cudaErrorMemoryAllocation.
-class DeviceOutOfMemory : public std::runtime_error {
+class DeviceOutOfMemory : public hs::Error {
  public:
   DeviceOutOfMemory(const std::string& device, std::uint64_t requested,
                     std::uint64_t available);
@@ -45,8 +49,15 @@ class Device {
   std::uint64_t used_bytes() const { return used_; }
   std::uint64_t free_bytes() const { return spec_.memory_bytes - used_; }
 
-  /// Allocates `bytes` of global memory. Throws DeviceOutOfMemory.
+  /// Allocates `bytes` of global memory. Throws DeviceOutOfMemory when the
+  /// request exceeds free capacity — or when the bound fault injector fires
+  /// a kDeviceAlloc fault (indistinguishable from a real OOM on purpose).
   DeviceBuffer allocate(std::uint64_t bytes);
+
+  /// Optional fault-injection hook; nullptr (the default) means no faults.
+  void bind_fault_injector(sim::FaultInjector* injector) {
+    injector_ = injector;
+  }
 
   /// Simulation compute engine carrying this device's sort kernels; assigned
   /// by the Runtime during wiring.
@@ -62,6 +73,7 @@ class Device {
   Execution mode_;
   std::uint64_t used_ = 0;
   sim::EngineId engine_ = 0;
+  sim::FaultInjector* injector_ = nullptr;
 };
 
 }  // namespace hs::vgpu

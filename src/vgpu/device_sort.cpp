@@ -22,6 +22,17 @@ sim::TaskId device_sort(Runtime& rt, sim::TaskGraph& graph, Stream& stream,
   t.exec = sim::ExecSpec{
       dev.engine(), dev.spec().sort.time(elems) * ops.gpu_sort_cost_factor};
   t.traced_bytes = payload;
+  if (sim::FaultInjector* inj = rt.fault_injector();
+      inj != nullptr && inj->enabled()) {
+    // Stalled kernel: the launch occupies the device for a multiple of its
+    // modelled duration. Hung kernel: it never completes — the completion
+    // lands at t = infinity, which the engine watchdog turns into
+    // PipelineStalled instead of an endless wait.
+    t.exec->duration *= inj->kernel_delay_multiplier();
+    if (inj->should_fault(sim::FaultSite::kKernelHang)) {
+      t.fixed_duration = sim::kTimeInfinity;
+    }
+  }
   if (rt.mode() == Execution::kReal) {
     std::byte* data = buffer.bytes().data();
     auto sort_fn = ops.device_sort;

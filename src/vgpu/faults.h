@@ -1,0 +1,55 @@
+// Device-layer fault types (docs/fault_model.md).
+//
+// A TransferFault is the virtual analogue of a PCIe copy error
+// (cudaErrorUnknown from cudaMemcpyAsync): it surfaces only after the
+// injected transient failures exceeded the per-transfer retry budget, so
+// catching one means the device (or its link) is persistently unhealthy and
+// the recovery engine blacklists it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/error.h"
+
+namespace hs::vgpu {
+
+/// Which copy failed. kStaging is the host-side pageable<->pinned memcpy of
+/// the staging pipeline; it is attributed to the slot's device because the
+/// pinned buffer belongs to that device's stream.
+enum class TransferKind : std::uint8_t { kHtoD, kDtoH, kStaging };
+
+inline std::string_view transfer_kind_name(TransferKind kind) {
+  switch (kind) {
+    case TransferKind::kHtoD: return "HtoD";
+    case TransferKind::kDtoH: return "DtoH";
+    case TransferKind::kStaging: return "staging memcpy";
+  }
+  return "?";
+}
+
+class TransferFault : public hs::Error {
+ public:
+  TransferFault(const std::string& device_model, unsigned device_index,
+                TransferKind kind, unsigned failed_attempts)
+      : hs::Error(std::string(transfer_kind_name(kind)) + " transfer on device " +
+                  device_model + " (gpu" + std::to_string(device_index) +
+                  ") still failing after " + std::to_string(failed_attempts) +
+                  " attempts"),
+        device_index_(device_index),
+        kind_(kind),
+        failed_attempts_(failed_attempts) {}
+
+  /// Index of the failing device within the platform the run was built for.
+  unsigned device_index() const { return device_index_; }
+  TransferKind kind() const { return kind_; }
+  unsigned failed_attempts() const { return failed_attempts_; }
+
+ private:
+  unsigned device_index_;
+  TransferKind kind_;
+  unsigned failed_attempts_;
+};
+
+}  // namespace hs::vgpu

@@ -25,4 +25,9 @@ Device& Runtime::device(unsigned i) {
   return *devices_[i];
 }
 
+void Runtime::bind_fault_injector(sim::FaultInjector* injector) {
+  injector_ = injector;
+  for (auto& dev : devices_) dev->bind_fault_injector(injector);
+}
+
 }  // namespace hs::vgpu

@@ -16,6 +16,7 @@
 
 #include "model/platforms.h"
 #include "sim/engine.h"
+#include "sim/fault_injector.h"
 #include "vgpu/device.h"
 #include "vgpu/execution.h"
 
@@ -37,6 +38,13 @@ class Runtime {
   unsigned num_devices() const { return static_cast<unsigned>(devices_.size()); }
   Device& device(unsigned i);
 
+  /// Binds a fault injector to the runtime and every device (nullptr
+  /// unbinds). The injector must outlive the runtime's pipeline runs.
+  void bind_fault_injector(sim::FaultInjector* injector);
+
+  /// Currently bound injector, or nullptr when faults are off.
+  sim::FaultInjector* fault_injector() const { return injector_; }
+
   sim::ChannelId htod_channel() const { return htod_; }
   sim::ChannelId dtoh_channel() const { return dtoh_; }
   sim::ChannelId host_mem_channel() const { return host_mem_; }
@@ -51,6 +59,7 @@ class Runtime {
   sim::ChannelId dtoh_ = 0;
   sim::ChannelId host_mem_ = 0;
   sim::PoolId host_pool_ = 0;
+  sim::FaultInjector* injector_ = nullptr;
 };
 
 }  // namespace hs::vgpu

@@ -1,0 +1,174 @@
+// Fault-injection fuzzing: for every seeded random fault plan the sorter
+// must either complete with a sorted permutation of its input or fail with
+// a typed hs::Error — never hang, never abort, never return unsorted data.
+// Faulty-but-successful runs must also charge the virtual clock.
+//
+// The seed count is tunable via HETSORT_FAULT_FUZZ_SEEDS (sanitizer CI runs
+// a reduced matrix; the default is the full set).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "core/het_sorter.h"
+#include "data/generators.h"
+#include "data/verify.h"
+#include "io/external_sort.h"
+#include "io/run_file.h"
+
+namespace hs::core {
+namespace {
+
+using hs::data::Distribution;
+using hs::sim::FaultPlan;
+using hs::sim::FaultSite;
+
+int seed_count(int full) {
+  if (const char* env = std::getenv("HETSORT_FAULT_FUZZ_SEEDS")) {
+    const int n = std::atoi(env);
+    if (n > 0) return std::min(n, full);
+  }
+  return full;
+}
+
+model::Platform fuzz_platform() {
+  model::Platform p = model::platform1();
+  p.gpus.clear();
+  model::GpuSpec spec;
+  spec.model = "FuzzGPU";
+  spec.cuda_cores = 64;
+  spec.memory_bytes = 65536 * sizeof(double);
+  spec.sort = model::GpuSortModel{1e-4, 2e-9};
+  p.gpus.push_back(spec);
+  p.gpus.push_back(spec);
+  return p;
+}
+
+SortConfig fuzz_config() {
+  SortConfig cfg;
+  cfg.batch_size = 4000;
+  cfg.staging_elems = 1000;
+  cfg.num_gpus = 2;
+  return cfg;
+}
+
+// A random fault plan: every site gets a small probability; kernel hangs are
+// rarer because they always cost a full (aborted) pipeline run.
+FaultPlan random_plan(std::uint64_t seed) {
+  Xoshiro256 rng(seed * 6364136223846793005ULL + 1442695040888963407ULL);
+  FaultPlan plan;
+  plan.seed = seed;
+  plan.p(FaultSite::kDeviceAlloc) = rng.uniform01() * 0.5;
+  plan.p(FaultSite::kHtoD) = rng.uniform01() * 0.25;
+  plan.p(FaultSite::kDtoH) = rng.uniform01() * 0.25;
+  plan.p(FaultSite::kStagingCopy) = rng.uniform01() * 0.25;
+  plan.p(FaultSite::kKernelStall) = rng.uniform01() * 0.5;
+  plan.p(FaultSite::kKernelHang) = rng.bounded(8) == 0 ? 0.05 : 0.0;
+  plan.kernel_stall_multiplier = 2.0 + rng.uniform01() * 14.0;
+  plan.max_faults = 1 + rng.bounded(16);
+  return plan;
+}
+
+class PipelineFaultFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(PipelineFaultFuzz, SortedOutputOrTypedError) {
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  SortConfig cfg = fuzz_config();
+  cfg.faults = random_plan(seed);
+  cfg.recovery.enabled = true;
+
+  auto data = hs::data::generate(Distribution::kUniform, 20000, 1000 + seed);
+  const auto original = data;
+  const Report fault_free = [&] {
+    auto copy = original;
+    return HeterogeneousSorter(fuzz_platform(), fuzz_config()).sort(copy);
+  }();
+
+  HeterogeneousSorter sorter(fuzz_platform(), cfg);
+  try {
+    const Report r = sorter.sort(data);
+    EXPECT_TRUE(hs::data::is_sorted_permutation(original, data))
+        << "seed " << seed;
+    // When recovery kept the original geometry, injected faults can only
+    // add virtual time (inflated flows, stalled kernels, attempt charges).
+    // Re-splits and blacklisting change the pipeline shape, so their time
+    // is not comparable to the fault-free run's.
+    if (r.recovery.faults_injected > 0 && r.recovery.batch_resplits == 0 &&
+        r.recovery.devices_blacklisted == 0 && !r.recovery.cpu_fallback) {
+      EXPECT_GT(r.end_to_end, fault_free.end_to_end) << "seed " << seed;
+    }
+  } catch (const hs::Error&) {
+    // A typed failure is an acceptable outcome; silent corruption, a hang,
+    // or an untyped exception is not.
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PipelineFaultFuzz,
+                         ::testing::Range(0, seed_count(16)));
+
+class ExternalSortFaultFuzz : public ::testing::TestWithParam<int> {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("hetsort_fault_fuzz_" + std::to_string(::getpid()) + "_" +
+            std::to_string(GetParam()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::filesystem::path dir_;
+};
+
+TEST_P(ExternalSortFaultFuzz, CleansUpRunsOnEveryOutcome) {
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  Xoshiro256 rng(seed ^ 0x9e3779b97f4a7c15ULL);
+
+  io::ExternalSortConfig cfg;
+  cfg.platform = fuzz_platform();
+  cfg.pipeline = fuzz_config();
+  cfg.temp_dir = dir_;
+  cfg.memory_budget_elems = 12'000;  // several runs
+  cfg.io_buffer_elems = 1 << 10;
+  cfg.io_faults.seed = seed;
+  cfg.io_faults.p(FaultSite::kFileRead) = rng.uniform01() * 0.4;
+  cfg.io_faults.p(FaultSite::kFileWrite) = rng.uniform01() * 0.4;
+  cfg.io_faults.max_faults = 1 + rng.bounded(8);
+
+  const auto data =
+      hs::data::generate(Distribution::kGaussian, 50000, 2000 + seed);
+  const std::string in = dir_ / "in.bin";
+  const std::string out = dir_ / "out.bin";
+  io::write_doubles(in, data);
+
+  bool completed = false;
+  try {
+    const auto stats = io::external_sort_file(in, out, cfg);
+    completed = true;
+    EXPECT_TRUE(
+        hs::data::is_sorted_permutation(data, io::read_doubles(out)))
+        << "seed " << seed;
+    if (stats.io_faults_injected > 0) {
+      EXPECT_GT(stats.io_retries, 0u) << "seed " << seed;
+    }
+  } catch (const io::IoError&) {
+    // Retries exhausted: the typed error is the contract.
+  }
+
+  // Success or failure, no intermediate run files may survive.
+  for (const auto& entry : std::filesystem::directory_iterator(dir_)) {
+    const std::string name = entry.path().filename().string();
+    EXPECT_EQ(name.find("hetsort_run_"), std::string::npos)
+        << "leftover run file " << name << " (completed=" << completed
+        << ", seed " << seed << ")";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExternalSortFaultFuzz,
+                         ::testing::Range(0, seed_count(8)));
+
+}  // namespace
+}  // namespace hs::core

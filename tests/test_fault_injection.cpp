@@ -1,0 +1,413 @@
+// Fault injection and recovery: injector determinism, the engine watchdog,
+// the structured error taxonomy, and the HeterogeneousSorter recovery loop
+// (OOM re-splits, device blacklisting, CPU fallback, hang detection).
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "common/units.h"
+#include "core/het_sorter.h"
+#include "data/generators.h"
+#include "data/verify.h"
+#include "io/run_file.h"
+#include "sim/engine.h"
+#include "sim/fault_injector.h"
+#include "vgpu/device.h"
+#include "vgpu/faults.h"
+
+namespace hs::core {
+namespace {
+
+using hs::data::Distribution;
+using hs::sim::FaultPlan;
+using hs::sim::FaultSite;
+
+// Same tiny-GPU platform the end-to-end tests use: small enough that modest
+// inputs exercise multi-batch pipelines, with 2 GPUs for blacklisting paths.
+model::Platform test_platform(std::uint64_t gpu_elems = 65536,
+                              unsigned gpus = 2) {
+  model::Platform p = model::platform1();
+  p.gpus.clear();
+  model::GpuSpec spec;
+  spec.model = "TinyTestGPU";
+  spec.cuda_cores = 64;
+  spec.memory_bytes = gpu_elems * sizeof(double);
+  spec.sort = model::GpuSortModel{1e-4, 2e-9};
+  for (unsigned i = 0; i < gpus; ++i) p.gpus.push_back(spec);
+  return p;
+}
+
+SortConfig small_config() {
+  SortConfig cfg;
+  cfg.batch_size = 4000;
+  cfg.staging_elems = 1000;
+  cfg.num_gpus = 2;
+  return cfg;
+}
+
+// ---------------------------------------------------------------------------
+// FaultInjector
+// ---------------------------------------------------------------------------
+
+TEST(FaultInjector, DisabledWhenAllProbabilitiesZero) {
+  sim::FaultInjector inj{FaultPlan{}};
+  EXPECT_FALSE(inj.enabled());
+  EXPECT_FALSE(inj.should_fault(FaultSite::kHtoD));
+  EXPECT_EQ(inj.stats().total(), 0u);
+}
+
+TEST(FaultInjector, SameSeedSameSchedule) {
+  FaultPlan plan;
+  plan.seed = 99;
+  plan.p(FaultSite::kHtoD) = 0.3;
+  sim::FaultInjector a{plan};
+  sim::FaultInjector b{plan};
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(a.should_fault(FaultSite::kHtoD),
+              b.should_fault(FaultSite::kHtoD))
+        << "diverged at draw " << i;
+  }
+  EXPECT_EQ(a.stats().total(), b.stats().total());
+  EXPECT_GT(a.stats().total(), 0u);  // p=0.3 over 200 draws must fire
+}
+
+TEST(FaultInjector, DifferentSeedsDifferentSchedules) {
+  FaultPlan plan;
+  plan.p(FaultSite::kDtoH) = 0.5;
+  plan.seed = 1;
+  sim::FaultInjector a{plan};
+  plan.seed = 2;
+  sim::FaultInjector b{plan};
+  bool diverged = false;
+  for (int i = 0; i < 64 && !diverged; ++i) {
+    diverged = a.should_fault(FaultSite::kDtoH) !=
+               b.should_fault(FaultSite::kDtoH);
+  }
+  EXPECT_TRUE(diverged);
+}
+
+TEST(FaultInjector, TransientFailuresRespectCap) {
+  FaultPlan plan;
+  plan.seed = 7;
+  plan.p(FaultSite::kHtoD) = 1.0;
+  sim::FaultInjector inj{plan};
+  EXPECT_EQ(inj.transient_failures(FaultSite::kHtoD, 5), 5u);
+  EXPECT_EQ(inj.stats().injected_at(FaultSite::kHtoD), 5u);
+}
+
+TEST(FaultInjector, BudgetBoundsTotalFaults) {
+  FaultPlan plan;
+  plan.seed = 7;
+  plan.p(FaultSite::kFileRead) = 1.0;
+  plan.max_faults = 3;
+  sim::FaultInjector inj{plan};
+  unsigned fired = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (inj.should_fault(FaultSite::kFileRead)) ++fired;
+  }
+  EXPECT_EQ(fired, 3u);
+  EXPECT_EQ(inj.stats().total(), 3u);
+}
+
+TEST(FaultInjector, KernelStallMultiplierOnlyWhenFaulted) {
+  FaultPlan plan;
+  plan.seed = 3;
+  plan.p(FaultSite::kKernelStall) = 1.0;
+  plan.kernel_stall_multiplier = 16.0;
+  sim::FaultInjector inj{plan};
+  EXPECT_DOUBLE_EQ(inj.kernel_delay_multiplier(), 16.0);
+  plan.p(FaultSite::kKernelStall) = 0.0;
+  plan.p(FaultSite::kHtoD) = 0.5;  // keep the injector enabled
+  sim::FaultInjector quiet{plan};
+  EXPECT_DOUBLE_EQ(quiet.kernel_delay_multiplier(), 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// Error taxonomy
+// ---------------------------------------------------------------------------
+
+TEST(ErrorTaxonomy, AllTypedErrorsDeriveFromHsError) {
+  const vgpu::DeviceOutOfMemory oom("GPU0", 2048, 1024);
+  const vgpu::TransferFault tf("GPU0", 0, vgpu::TransferKind::kHtoD, 4);
+  const sim::PipelineStalled st("stall", {"b0.h2d"}, 1.5);
+  const io::IoError ioe("short read");
+  EXPECT_NE(dynamic_cast<const hs::Error*>(&oom), nullptr);
+  EXPECT_NE(dynamic_cast<const hs::Error*>(&tf), nullptr);
+  EXPECT_NE(dynamic_cast<const hs::Error*>(&st), nullptr);
+  EXPECT_NE(dynamic_cast<const hs::Error*>(&ioe), nullptr);
+}
+
+TEST(ErrorTaxonomy, TransferFaultCarriesContext) {
+  const vgpu::TransferFault tf("TinyTestGPU", 1, vgpu::TransferKind::kDtoH, 4);
+  EXPECT_EQ(tf.device_index(), 1u);
+  EXPECT_EQ(tf.kind(), vgpu::TransferKind::kDtoH);
+  EXPECT_EQ(tf.failed_attempts(), 4u);
+  const std::string msg = tf.what();
+  EXPECT_NE(msg.find("TinyTestGPU"), std::string::npos);
+  EXPECT_NE(msg.find("DtoH"), std::string::npos);
+}
+
+// The OOM error must carry enough context to act on: which device, how much
+// was asked for, how much was free.
+TEST(ErrorTaxonomy, OomMessageNamesDeviceAndSizes) {
+  model::Platform plat = test_platform(65536, 2);
+  plat.gpus[1].memory_bytes = 1024 * sizeof(double);
+  SortConfig cfg;
+  cfg.approach = Approach::kBLineMulti;
+  cfg.batch_size = 8000;
+  cfg.num_gpus = 2;
+  auto data = hs::data::generate(Distribution::kUniform, 32000, 10);
+  HeterogeneousSorter sorter(plat, cfg);
+  try {
+    (void)sorter.sort(data);
+    FAIL() << "expected DeviceOutOfMemory";
+  } catch (const vgpu::DeviceOutOfMemory& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("TinyTestGPU"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("requested"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("available"), std::string::npos) << msg;
+    EXPECT_NE(msg.find(format_bytes(e.requested())), std::string::npos) << msg;
+    EXPECT_GT(e.requested(), e.available());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Engine watchdog
+// ---------------------------------------------------------------------------
+
+TEST(Watchdog, HungTaskTripsDefaultHorizon) {
+  sim::Engine e;
+  sim::TaskGraph g;
+  sim::Task ok;
+  ok.label = "fine";
+  ok.fixed_duration = 1.0;
+  const auto a = g.add(std::move(ok));
+  sim::Task hang;
+  hang.label = "stuck.kernel";
+  hang.deps = {a};
+  hang.fixed_duration = sim::kTimeInfinity;
+  g.add(std::move(hang));
+  try {
+    (void)e.run(std::move(g));
+    FAIL() << "expected PipelineStalled";
+  } catch (const sim::PipelineStalled& s) {
+    ASSERT_EQ(s.stuck_tasks().size(), 1u);
+    EXPECT_EQ(s.stuck_tasks()[0], "stuck.kernel");
+    EXPECT_NE(std::string(s.what()).find("stuck.kernel"), std::string::npos);
+  }
+}
+
+TEST(Watchdog, FiniteHorizonCutsOffSlowGraph) {
+  sim::Engine e;
+  e.set_watchdog_horizon(10.0);
+  sim::TaskGraph g;
+  sim::Task slow;
+  slow.label = "slow";
+  slow.fixed_duration = 20.0;
+  g.add(std::move(slow));
+  EXPECT_THROW((void)e.run(std::move(g)), sim::PipelineStalled);
+}
+
+TEST(Watchdog, StallReportListsEveryStuckTask) {
+  sim::Engine e;
+  e.set_watchdog_horizon(10.0);
+  sim::TaskGraph g;
+  sim::Task done;
+  done.label = "done-in-time";
+  done.fixed_duration = 6.0;
+  const auto a = g.add(std::move(done));
+  sim::Task late;
+  late.label = "late.chain";
+  late.deps = {a};
+  late.fixed_duration = 6.0;  // would finish at 12 > horizon
+  g.add(std::move(late));
+  sim::Task never;
+  never.label = "never.finishes";
+  never.fixed_duration = 100.0;
+  g.add(std::move(never));
+  try {
+    (void)e.run(std::move(g));
+    FAIL() << "expected PipelineStalled";
+  } catch (const sim::PipelineStalled& s) {
+    ASSERT_EQ(s.stuck_tasks().size(), 2u);
+    const std::string msg = s.what();
+    EXPECT_NE(msg.find("late.chain"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("never.finishes"), std::string::npos) << msg;
+    EXPECT_EQ(msg.find("done-in-time"), std::string::npos) << msg;
+    EXPECT_GE(s.stalled_at(), 6.0);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Recovery loop acceptance
+// ---------------------------------------------------------------------------
+
+TEST(Recovery, InjectedOomResplitsAndStillSorts) {
+  SortConfig cfg = small_config();
+  cfg.faults.seed = 42;
+  cfg.faults.p(FaultSite::kDeviceAlloc) = 1.0;
+  cfg.faults.max_faults = 1;  // one allocation failure, then clean
+  cfg.recovery.enabled = true;
+
+  auto data = hs::data::generate(Distribution::kUniform, 20000, 77);
+  const auto original = data;
+  const Report fault_free = [&] {
+    auto copy = original;
+    return HeterogeneousSorter(test_platform(), small_config()).sort(copy);
+  }();
+
+  HeterogeneousSorter sorter(test_platform(), cfg);
+  const Report r = sorter.sort(data);
+
+  EXPECT_TRUE(hs::data::is_sorted_permutation(original, data));
+  EXPECT_GE(r.recovery.batch_resplits, 1u);
+  EXPECT_GE(r.recovery.attempts, 2u);
+  EXPECT_GT(r.recovery.faults_injected, 0u);
+  EXPECT_GT(r.end_to_end, fault_free.end_to_end);
+}
+
+TEST(Recovery, TransientTransferFaultsRetryAndCharge) {
+  SortConfig cfg = small_config();
+  cfg.faults.seed = 1;
+  cfg.faults.p(FaultSite::kHtoD) = 0.3;
+  cfg.faults.max_faults = 6;
+  cfg.recovery.enabled = true;
+
+  auto data = hs::data::generate(Distribution::kUniform, 20000, 78);
+  const auto original = data;
+  const Report fault_free = [&] {
+    auto copy = original;
+    return HeterogeneousSorter(test_platform(), small_config()).sort(copy);
+  }();
+
+  HeterogeneousSorter sorter(test_platform(), cfg);
+  const Report r = sorter.sort(data);
+
+  EXPECT_TRUE(hs::data::is_sorted_permutation(original, data));
+  EXPECT_GT(r.recovery.faults_injected, 0u);
+  EXPECT_GT(r.recovery.transfer_retries, 0u);
+  EXPECT_GT(r.end_to_end, fault_free.end_to_end);
+}
+
+TEST(Recovery, AllDevicesBlacklistedFallsBackToCpu) {
+  SortConfig cfg = small_config();
+  cfg.faults.seed = 11;
+  cfg.faults.p(FaultSite::kHtoD) = 1.0;  // every transfer permanently fails
+  cfg.recovery.enabled = true;
+
+  auto data = hs::data::generate(Distribution::kUniform, 20000, 79);
+  const auto original = data;
+  HeterogeneousSorter sorter(test_platform(), cfg);
+  const Report r = sorter.sort(data);
+
+  EXPECT_TRUE(hs::data::is_sorted_permutation(original, data));
+  EXPECT_TRUE(r.recovery.cpu_fallback);
+  EXPECT_EQ(r.recovery.devices_blacklisted, 2u);
+  EXPECT_NE(r.label.find("+CpuFallback"), std::string::npos);
+  EXPECT_GT(r.end_to_end, 0.0);
+}
+
+TEST(Recovery, BlacklistWithoutFallbackRethrows) {
+  SortConfig cfg = small_config();
+  cfg.faults.seed = 11;
+  cfg.faults.p(FaultSite::kHtoD) = 1.0;
+  cfg.recovery.enabled = true;
+  cfg.recovery.cpu_fallback = false;
+
+  auto data = hs::data::generate(Distribution::kUniform, 20000, 80);
+  HeterogeneousSorter sorter(test_platform(), cfg);
+  EXPECT_THROW((void)sorter.sort(data), vgpu::TransferFault);
+}
+
+TEST(Recovery, DisabledPolicyPropagatesInjectedOom) {
+  SortConfig cfg = small_config();
+  cfg.faults.seed = 42;
+  cfg.faults.p(FaultSite::kDeviceAlloc) = 1.0;
+  cfg.faults.max_faults = 1;
+
+  auto data = hs::data::generate(Distribution::kUniform, 20000, 81);
+  HeterogeneousSorter sorter(test_platform(), cfg);
+  EXPECT_THROW((void)sorter.sort(data), vgpu::DeviceOutOfMemory);
+}
+
+TEST(Recovery, KernelHangSurfacesAsPipelineStalled) {
+  SortConfig cfg = small_config();
+  cfg.faults.seed = 13;
+  cfg.faults.p(FaultSite::kKernelHang) = 1.0;
+  cfg.faults.max_faults = 1;
+  cfg.recovery.enabled = true;  // hangs are surfaced, never retried
+
+  auto data = hs::data::generate(Distribution::kUniform, 20000, 82);
+  HeterogeneousSorter sorter(test_platform(), cfg);
+  try {
+    (void)sorter.sort(data);
+    FAIL() << "expected PipelineStalled";
+  } catch (const sim::PipelineStalled& s) {
+    ASSERT_FALSE(s.stuck_tasks().empty());
+    EXPECT_NE(std::string(s.what()).find(":sort"), std::string::npos)
+        << s.what();
+  }
+}
+
+TEST(Recovery, StalledKernelSlowsButCompletes) {
+  SortConfig cfg = small_config();
+  cfg.faults.seed = 17;
+  cfg.faults.p(FaultSite::kKernelStall) = 1.0;
+  cfg.faults.kernel_stall_multiplier = 8.0;
+  cfg.recovery.enabled = true;
+
+  auto data = hs::data::generate(Distribution::kUniform, 20000, 83);
+  const auto original = data;
+  const Report fault_free = [&] {
+    auto copy = original;
+    return HeterogeneousSorter(test_platform(), small_config()).sort(copy);
+  }();
+
+  HeterogeneousSorter sorter(test_platform(), cfg);
+  const Report r = sorter.sort(data);
+
+  EXPECT_TRUE(hs::data::is_sorted_permutation(original, data));
+  EXPECT_EQ(r.recovery.attempts, 1u);  // slow, not broken: no re-attempt
+  EXPECT_GT(r.recovery.faults_injected, 0u);
+  EXPECT_GT(r.end_to_end, fault_free.end_to_end);
+}
+
+TEST(Recovery, SimulateModeRecoversWithoutPayload) {
+  SortConfig cfg = small_config();
+  cfg.faults.seed = 42;
+  cfg.faults.p(FaultSite::kDeviceAlloc) = 1.0;
+  cfg.faults.max_faults = 1;
+  cfg.recovery.enabled = true;
+
+  HeterogeneousSorter sorter(test_platform(), cfg);
+  const Report r = sorter.simulate(20000);
+  EXPECT_GE(r.recovery.batch_resplits, 1u);
+  EXPECT_GT(r.end_to_end, 0.0);
+}
+
+TEST(Recovery, ReportPrintsFaultSection) {
+  SortConfig cfg = small_config();
+  cfg.faults.seed = 42;
+  cfg.faults.p(FaultSite::kDeviceAlloc) = 1.0;
+  cfg.faults.max_faults = 1;
+  cfg.recovery.enabled = true;
+
+  HeterogeneousSorter sorter(test_platform(), cfg);
+  const Report r = sorter.simulate(20000);
+  std::ostringstream os;
+  r.print(os);
+  EXPECT_NE(os.str().find("faults:"), std::string::npos) << os.str();
+
+  // The fault-free report stays byte-for-byte free of the fault section.
+  const Report clean =
+      HeterogeneousSorter(test_platform(), small_config()).simulate(20000);
+  std::ostringstream clean_os;
+  clean.print(clean_os);
+  EXPECT_EQ(clean_os.str().find("faults:"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hs::core
