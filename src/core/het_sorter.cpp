@@ -113,7 +113,7 @@ Report HeterogeneousSorter::cpu_fallback(std::span<std::byte> data,
                                          RecoveryStats rec) {
   const double cpu_time =
       platform_.cpu_sort.time(n, platform_.reference_threads());
-  if (is_real) ops.device_sort(data.data(), n);
+  if (is_real) ops.device_sort(data.data(), n, nullptr);
 
   Report r;
   r.n = n;

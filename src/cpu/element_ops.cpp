@@ -24,8 +24,9 @@ ElementOps make_ops(std::string name, double gpu_factor) {
   ops.elem_size = sizeof(T);
   ops.type_name = std::move(name);
   ops.gpu_sort_cost_factor = gpu_factor;
-  ops.device_sort = [](std::byte* data, std::uint64_t elems) {
-    radix_sort(typed<T>(data, elems));
+  ops.device_sort = [](std::byte* data, std::uint64_t elems,
+                       RadixSortScratch* scratch) {
+    radix_sort(typed<T>(data, elems), scratch);
   };
   ops.merge_pair = [](RunView a, RunView b, std::byte* out,
                       ThreadPool& pool, unsigned threads) {

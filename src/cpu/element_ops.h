@@ -21,6 +21,8 @@
 
 namespace hs::cpu {
 
+class RadixSortScratch;
+
 /// A sorted run inside a byte buffer.
 struct RunView {
   const std::byte* data = nullptr;
@@ -37,7 +39,11 @@ struct ElementOps {
   double gpu_sort_cost_factor = 1.0;
 
   /// Sorts `elems` records at `data` ascending (used by the virtual device).
-  std::function<void(std::byte* data, std::uint64_t elems)> device_sort;
+  /// Pass a `scratch` to reuse the radix engine's working memory across
+  /// batch sorts (nullptr: a call-local scratch is used).
+  std::function<void(std::byte* data, std::uint64_t elems,
+                     RadixSortScratch* scratch)>
+      device_sort;
 
   /// Stable merge of two sorted runs into `out` (pair merges on the CPU).
   std::function<void(RunView a, RunView b, std::byte* out,

@@ -7,18 +7,82 @@
 #include "common/assert.h"
 #include "cpu/parallel_for.h"
 
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#define HS_MEMCPY_STREAM 1
+#endif
+
 namespace hs::cpu {
+namespace {
+
+constexpr std::size_t kSequentialCutoff = 256 * 1024;
+// Streaming pays off once the copy cannot live in cache anyway; below an
+// LLC-scale threshold the write-allocate reads are cheap L2/L3 hits and
+// cached copies win.
+constexpr std::size_t kStreamCutoff = 4u << 20;
+
+#if defined(HS_MEMCPY_STREAM)
+// Unconditional streaming copy: scalar head until `dst` is 16-byte aligned,
+// 64-byte blocks of non-temporal stores (loads may be unaligned), scalar
+// tail. Callers gate on size/profitability.
+void stream_copy_raw(std::byte* d, const std::byte* s, std::size_t bytes) {
+  const std::size_t head =
+      std::min(bytes, (16 - (reinterpret_cast<std::uintptr_t>(d) & 15)) & 15);
+  if (head != 0) {
+    std::memcpy(d, s, head);
+    d += head;
+    s += head;
+    bytes -= head;
+  }
+  const std::size_t vec = bytes & ~std::size_t{63};
+  for (std::size_t i = 0; i < vec; i += 64) {
+    const auto* sp = reinterpret_cast<const __m128i*>(s + i);
+    auto* dp = reinterpret_cast<__m128i*>(d + i);
+    _mm_stream_si128(dp + 0, _mm_loadu_si128(sp + 0));
+    _mm_stream_si128(dp + 1, _mm_loadu_si128(sp + 1));
+    _mm_stream_si128(dp + 2, _mm_loadu_si128(sp + 2));
+    _mm_stream_si128(dp + 3, _mm_loadu_si128(sp + 3));
+  }
+  _mm_sfence();
+  if (bytes != vec) std::memcpy(d + vec, s + vec, bytes - vec);
+}
+#endif
+
+}  // namespace
+
+void memcpy_stream(void* dst, const void* src, std::size_t bytes) {
+#if defined(HS_MEMCPY_STREAM)
+  if (bytes >= kStreamCutoff) {
+    stream_copy_raw(static_cast<std::byte*>(dst),
+                    static_cast<const std::byte*>(src), bytes);
+    return;
+  }
+#endif
+  std::memcpy(dst, src, bytes);
+}
 
 void parallel_memcpy(ThreadPool& pool, void* dst, const void* src,
                      std::size_t bytes, unsigned parts) {
   HS_EXPECTS(dst != nullptr && src != nullptr);
-  constexpr std::size_t kSequentialCutoff = 256 * 1024;
   if (bytes <= kSequentialCutoff || pool.size() == 1) {
     std::memcpy(dst, src, bytes);
     return;
   }
   auto* d = static_cast<std::byte*>(dst);
   const auto* s = static_cast<const std::byte*>(src);
+#if defined(HS_MEMCPY_STREAM)
+  // The whole copy, not the per-lane chunk, decides: lanes of one large copy
+  // all fight for the same cache either way.
+  if (bytes >= kStreamCutoff) {
+    parallel_for_blocked(
+        pool, 0, bytes,
+        [&](std::uint64_t lo, std::uint64_t hi) {
+          stream_copy_raw(d + lo, s + lo, static_cast<std::size_t>(hi - lo));
+        },
+        parts);
+    return;
+  }
+#endif
   parallel_for_blocked(
       pool, 0, bytes,
       [&](std::uint64_t lo, std::uint64_t hi) {

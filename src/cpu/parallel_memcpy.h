@@ -4,6 +4,12 @@
 // memory bandwidth for the pageable<->pinned staging copies, so parallelising
 // plain std::memcpy reduces end-to-end sort time by ~13% (Section IV-F). This
 // is that primitive.
+//
+// Copies larger than the last-level cache additionally bypass it: cached
+// stores read every destination line before overwriting it (write-allocate),
+// turning an n-byte copy into 3n bytes of traffic and evicting the working
+// set. The streaming path uses non-temporal stores to cut that to 2n and
+// leave the cache untouched.
 #pragma once
 
 #include <cstddef>
@@ -15,8 +21,14 @@ namespace hs::cpu {
 /// Copies `bytes` from `src` to `dst` using up to `parts` lanes
 /// (0 = pool.size()). Ranges must not overlap. Falls back to a single
 /// std::memcpy below a size cutoff where thread fan-out costs more than the
-/// copy.
+/// copy; above a cache-size threshold each lane uses non-temporal stores.
 void parallel_memcpy(ThreadPool& pool, void* dst, const void* src,
                      std::size_t bytes, unsigned parts = 0);
+
+/// Single-threaded copy that bypasses the cache with aligned non-temporal
+/// stores (scalar head/tail handle alignment). Copies smaller than the
+/// streaming threshold — where cached copies win — and builds without SSE2
+/// fall back to std::memcpy. Ranges must not overlap.
+void memcpy_stream(void* dst, const void* src, std::size_t bytes);
 
 }  // namespace hs::cpu

@@ -8,11 +8,13 @@
 #include <cstdint>
 #include <functional>
 #include <span>
+#include <type_traits>
 #include <vector>
 
 #include "common/assert.h"
 #include "cpu/multiway_merge.h"
 #include "cpu/parallel_for.h"
+#include "cpu/parallel_memcpy.h"
 #include "cpu/thread_pool.h"
 
 namespace hs::cpu {
@@ -59,11 +61,18 @@ void parallel_sort(ThreadPool& pool, std::span<T> data, Compare comp = {},
   std::vector<T> tmp(n);
   multiway_merge_parallel(pool, std::move(runs), std::span<T>(tmp), comp, p);
 
-  parallel_for_blocked(pool, 0, n, [&](std::uint64_t lo, std::uint64_t hi) {
-    std::copy(tmp.begin() + static_cast<std::ptrdiff_t>(lo),
-              tmp.begin() + static_cast<std::ptrdiff_t>(hi),
-              data.begin() + static_cast<std::ptrdiff_t>(lo));
-  });
+  if constexpr (std::is_trivially_copyable_v<T>) {
+    // The merged result is larger than cache by construction (p blocks of a
+    // big input); parallel_memcpy streams it home without write-allocate
+    // traffic or evicting the caller's working set.
+    parallel_memcpy(pool, data.data(), tmp.data(), n * sizeof(T), p);
+  } else {
+    parallel_for_blocked(pool, 0, n, [&](std::uint64_t lo, std::uint64_t hi) {
+      std::copy(tmp.begin() + static_cast<std::ptrdiff_t>(lo),
+                tmp.begin() + static_cast<std::ptrdiff_t>(hi),
+                data.begin() + static_cast<std::ptrdiff_t>(lo));
+    });
+  }
 }
 
 }  // namespace hs::cpu

@@ -1,183 +1,753 @@
 #include "cpu/radix_sort.h"
 
+#include <algorithm>
 #include <array>
 #include <bit>
 #include <cstring>
-#include <vector>
+#include <new>
+#include <type_traits>
 
 #include "common/assert.h"
 #include "cpu/parallel_for.h"
+#include "cpu/parallel_memcpy.h"
+
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#define HS_RADIX_STREAM 1
+#endif
+
+#if defined(__x86_64__) && defined(__GNUC__)
+#include <immintrin.h>
+#define HS_RADIX_AVX512 1
+#endif
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
 
 namespace hs::cpu {
 namespace {
 
 constexpr unsigned kDigitBits = 8;
-constexpr unsigned kNumDigits = 64 / kDigitBits;
-constexpr std::size_t kRadix = 1u << kDigitBits;
+constexpr std::size_t kCacheLine = 64;
+// Below this the 16 KiB staging area costs more than the scatter it saves.
+constexpr std::uint64_t kWcCutoff = std::uint64_t{1} << 15;
+// Below this, fork-join overhead dominates; run the sequential engine.
+constexpr std::uint64_t kParallelCutoff = std::uint64_t{1} << 16;
 
-constexpr std::size_t digit_of(std::uint64_t key, unsigned pass) {
-  return (key >> (pass * kDigitBits)) & (kRadix - 1);
+static_assert(kRadixPasses * kDigitBits == 64);
+static_assert(kRadixBuckets == std::size_t{1} << kDigitBits);
+
+// --- cache topology ---------------------------------------------------------
+//
+// The scatter strategy depends on where a pass's working set lives. While it
+// fits the last-level cache, ordinary stores hit cache and non-temporal
+// stores would round-trip DRAM and evict the lines the next pass reads —
+// streaming is strictly a loss there. Only once read + write streams
+// overflow the LLC does cache-bypassing write combining pay off.
+
+std::size_t g_llc_override = 0;  // test hook, see set_radix_llc_for_testing
+
+std::size_t detected_llc_bytes() {
+#if defined(_SC_LEVEL3_CACHE_SIZE)
+  if (const long l3 = ::sysconf(_SC_LEVEL3_CACHE_SIZE); l3 > 0) {
+    return static_cast<std::size_t>(l3);
+  }
+#endif
+#if defined(_SC_LEVEL2_CACHE_SIZE)
+  if (const long l2 = ::sysconf(_SC_LEVEL2_CACHE_SIZE); l2 > 0) {
+    return static_cast<std::size_t>(l2);
+  }
+#endif
+  return std::size_t{32} << 20;
 }
 
-// One stable sequential counting pass over records of type R whose 64-bit
-// sort key is KeyFn(record).
-template <typename R, typename KeyFn>
-void radix_pass_sequential(std::span<const R> in, std::span<R> out,
-                           unsigned pass, KeyFn key) {
-  std::array<std::uint64_t, kRadix> count{};
-  for (const R& r : in) ++count[digit_of(key(r), pass)];
-  std::uint64_t sum = 0;
-  for (auto& c : count) {
-    const std::uint64_t n = c;
-    c = sum;
-    sum += n;
-  }
-  for (const R& r : in) out[count[digit_of(key(r), pass)]++] = r;
+std::size_t llc_bytes() {
+  if (g_llc_override != 0) return g_llc_override;
+  static const std::size_t cached = detected_llc_bytes();
+  return cached;
 }
 
-// One stable parallel pass: per-lane histograms, a digit-major exclusive scan
-// so lane l's instances of digit d scatter after lane l-1's, then parallel
-// scatter to precomputed disjoint offsets.
-template <typename R, typename KeyFn>
-void radix_pass_parallel(ThreadPool& pool, std::span<const R> in,
-                         std::span<R> out, unsigned pass, unsigned lanes,
-                         KeyFn key) {
-  const std::uint64_t n = in.size();
-  const std::uint64_t chunk = (n + lanes - 1) / lanes;
-  std::vector<std::array<std::uint64_t, kRadix>> hist(
-      lanes, std::array<std::uint64_t, kRadix>{});
+// --- key transforms ---------------------------------------------------------
+//
+// The engine moves records of a "stored" representation while sorting by a
+// canonical uint64 key. Load maps stored -> canonical and is fused into the
+// first executed pass's read; Store maps canonical -> stored and is fused
+// into the final write (last pass when the executed-pass count is even, the
+// copy-back otherwise). For uint64 keys and KeyValue64 records both are the
+// identity; for doubles they are the order-preserving bijection applied to
+// the raw bit pattern, which is what removes the seed's two standalone
+// transform sweeps.
 
-  parallel_region(pool, lanes, [&](unsigned lane, unsigned) {
-    const std::uint64_t lo = chunk * lane;
-    const std::uint64_t hi = std::min(n, lo + chunk);
-    auto& h = hist[lane];
-    for (std::uint64_t i = lo; i < hi; ++i) ++h[digit_of(key(in[i]), pass)];
-  });
-
-  std::uint64_t sum = 0;
-  for (std::size_t d = 0; d < kRadix; ++d) {
-    for (unsigned l = 0; l < lanes; ++l) {
-      const std::uint64_t c = hist[l][d];
-      hist[l][d] = sum;
-      sum += c;
-    }
+struct Identity {
+  template <typename R>
+  R operator()(const R& r) const {
+    return r;
   }
+};
 
-  parallel_region(pool, lanes, [&](unsigned lane, unsigned) {
-    const std::uint64_t lo = chunk * lane;
-    const std::uint64_t hi = std::min(n, lo + chunk);
-    auto& offsets = hist[lane];
-    for (std::uint64_t i = lo; i < hi; ++i) {
-      out[offsets[digit_of(key(in[i]), pass)]++] = in[i];
-    }
-  });
-}
+struct DoubleLoad {
+  std::uint64_t operator()(std::uint64_t bits) const {
+    const std::uint64_t mask =
+        (bits & 0x8000000000000000ull) ? ~0ull : 0x8000000000000000ull;
+    return bits ^ mask;
+  }
+};
 
-template <typename R, typename KeyFn>
-void radix_sort_generic(std::span<R> records, KeyFn key) {
-  if (records.size() < 2) return;
-  std::vector<R> tmp(records.size());
-  std::span<R> a = records;
-  std::span<R> b = tmp;
-  for (unsigned pass = 0; pass < kNumDigits; ++pass) {
-    radix_pass_sequential<R>(a, b, pass, key);
-    std::swap(a, b);
+struct DoubleStore {
+  std::uint64_t operator()(std::uint64_t key) const {
+    const std::uint64_t mask =
+        (key & 0x8000000000000000ull) ? 0x8000000000000000ull : ~0ull;
+    return key ^ mask;
   }
-  // kNumDigits is even, so the final result already sits in `records`.
-  static_assert(kNumDigits % 2 == 0);
-}
+};
 
-template <typename R, typename KeyFn>
-void radix_sort_parallel_generic(ThreadPool& pool, std::span<R> records,
-                                 unsigned parts, KeyFn key) {
-  const std::uint64_t n = records.size();
-  if (n < 2) return;
-  unsigned lanes = parts == 0 ? pool.size() : std::min(parts, pool.size());
-  constexpr std::uint64_t kSequentialCutoff = 1u << 16;
-  if (lanes <= 1 || n < kSequentialCutoff) {
-    radix_sort_generic(records, key);
-    return;
-  }
-  std::vector<R> tmp(n);
-  std::span<R> a = records;
-  std::span<R> b = tmp;
-  for (unsigned pass = 0; pass < kNumDigits; ++pass) {
-    radix_pass_parallel<R>(pool, a, b, pass, lanes, key);
-    std::swap(a, b);
-  }
-  static_assert(kNumDigits % 2 == 0);
-}
+struct U64Key {
+  std::uint64_t operator()(std::uint64_t k) const { return k; }
+};
+
+struct KvKey {
+  std::uint64_t operator()(const KeyValue64& r) const { return r.key; }
+};
 
 std::span<std::uint64_t> as_keys(std::span<double> values) {
-  // double and uint64_t have identical size/alignment; the key transform is
-  // applied in place to avoid a second O(n) buffer.
+  // double and uint64_t have identical size/alignment; the engine works on
+  // the raw bit patterns and fuses the key bijection into its sweeps.
   static_assert(sizeof(double) == sizeof(std::uint64_t));
   return {reinterpret_cast<std::uint64_t*>(values.data()), values.size()};
 }
 
-constexpr auto kIdentityKey = [](std::uint64_t k) { return k; };
-constexpr auto kKvKey = [](const KeyValue64& r) { return r.key; };
+// --- streaming stores -------------------------------------------------------
 
-}  // namespace
+// How full write-combining lines reach the destination. Chosen once per
+// scatter from the destination's alignment: cache-line flushes are 64-byte
+// strided, so one base-address check covers every flush.
+enum class StreamMode { k128, k64, kNone };
 
-std::uint64_t double_to_radix_key(double d) {
-  const auto bits = std::bit_cast<std::uint64_t>(d);
-  const std::uint64_t mask =
-      (bits & 0x8000000000000000ull) ? ~0ull : 0x8000000000000000ull;
-  return bits ^ mask;
+StreamMode stream_mode_for(const void* out) {
+#if defined(HS_RADIX_STREAM)
+  const auto addr = reinterpret_cast<std::uintptr_t>(out);
+  if ((addr & 15) == 0) return StreamMode::k128;
+  if ((addr & 7) == 0) return StreamMode::k64;
+#else
+  (void)out;
+#endif
+  return StreamMode::kNone;
 }
 
-double radix_key_to_double(std::uint64_t k) {
-  const std::uint64_t mask =
-      (k & 0x8000000000000000ull) ? 0x8000000000000000ull : ~0ull;
-  return std::bit_cast<double>(k ^ mask);
+// Flushes one 64-byte staged line to `dst` without polluting the cache.
+void stream_line(void* dst, const void* src, StreamMode mode) {
+#if defined(HS_RADIX_STREAM)
+  if (mode == StreamMode::k128) {
+    const __m128i* s = reinterpret_cast<const __m128i*>(src);
+    __m128i* d = reinterpret_cast<__m128i*>(dst);
+    _mm_stream_si128(d + 0, _mm_load_si128(s + 0));
+    _mm_stream_si128(d + 1, _mm_load_si128(s + 1));
+    _mm_stream_si128(d + 2, _mm_load_si128(s + 2));
+    _mm_stream_si128(d + 3, _mm_load_si128(s + 3));
+    return;
+  }
+  if (mode == StreamMode::k64) {
+    const auto* s = reinterpret_cast<const long long*>(src);
+    auto* d = reinterpret_cast<long long*>(dst);
+    for (int i = 0; i < 8; ++i) _mm_stream_si64(d + i, s[i]);
+    return;
+  }
+#else
+  (void)mode;
+#endif
+  std::memcpy(dst, src, kCacheLine);
 }
 
-void radix_sort(std::span<std::uint64_t> keys) {
-  radix_sort_generic(keys, kIdentityKey);
+void stream_fence(StreamMode mode) {
+#if defined(HS_RADIX_STREAM)
+  if (mode != StreamMode::kNone) _mm_sfence();
+#else
+  (void)mode;
+#endif
 }
 
-void radix_sort(std::span<double> values) {
-  auto keys = as_keys(values);
-  for (auto& k : keys) k = double_to_radix_key(std::bit_cast<double>(k));
-  radix_sort_generic(keys, kIdentityKey);
-  for (auto& k : keys) {
-    k = std::bit_cast<std::uint64_t>(radix_key_to_double(k));
+// --- histograms and pass selection -----------------------------------------
+
+constexpr std::size_t kHistWords = kRadixPasses * kRadixBuckets;
+
+// The fused sweep fills the 8 histograms through a flat pointer; the nested
+// std::array must therefore be contiguous with no padding.
+static_assert(sizeof(RadixSortScratch::hist) ==
+              kHistWords * sizeof(std::uint64_t));
+
+// The fused sweep is increment-bound, not read-bound: eight read-modify-write
+// chains per element. Three replicated table sets (16 KiB each on the stack)
+// give four interleaved elements disjoint counters, breaking same-bucket
+// store-to-load chains between neighbours; the copies are summed at the end.
+template <typename R, typename KeyFn, typename Load>
+void fused_histograms(const R* in, std::uint64_t lo, std::uint64_t hi,
+                      KeyFn key, Load load, std::uint64_t* hist) {
+  std::array<std::array<std::uint64_t, kHistWords>, 3> rep{};
+  std::fill(hist, hist + kHistWords, 0);
+  std::uint64_t i = lo;
+  for (; i + 4 <= hi; i += 4) {
+    const std::uint64_t a = key(load(in[i]));
+    const std::uint64_t b = key(load(in[i + 1]));
+    const std::uint64_t c = key(load(in[i + 2]));
+    const std::uint64_t e = key(load(in[i + 3]));
+    for (unsigned p = 0; p < kRadixPasses; ++p) {
+      const unsigned sh = p * kDigitBits;
+      ++hist[p * kRadixBuckets + static_cast<std::size_t>((a >> sh) & 0xffu)];
+      ++rep[0][p * kRadixBuckets +
+              static_cast<std::size_t>((b >> sh) & 0xffu)];
+      ++rep[1][p * kRadixBuckets +
+              static_cast<std::size_t>((c >> sh) & 0xffu)];
+      ++rep[2][p * kRadixBuckets +
+              static_cast<std::size_t>((e >> sh) & 0xffu)];
+    }
+  }
+  for (; i < hi; ++i) {
+    const std::uint64_t k = key(load(in[i]));
+    for (unsigned p = 0; p < kRadixPasses; ++p) {
+      const auto d =
+          static_cast<std::size_t>((k >> (p * kDigitBits)) & 0xffu);
+      ++hist[p * kRadixBuckets + d];
+    }
+  }
+  for (std::size_t j = 0; j < kHistWords; ++j) {
+    hist[j] += rep[0][j] + rep[1][j] + rep[2][j];
   }
 }
 
-void radix_sort(std::span<KeyValue64> records) {
-  radix_sort_generic(records, kKvKey);
+// A pass whose histogram has a single occupied bucket scatters every element
+// to its current position — the identity permutation — so it is skipped.
+bool pass_is_trivial(const std::array<std::uint64_t, kRadixBuckets>& h) {
+  unsigned occupied = 0;
+  for (const std::uint64_t c : h) occupied += (c != 0);
+  return occupied <= 1;
+}
+
+// --- scatter ----------------------------------------------------------------
+
+template <typename R, typename KeyFn, typename Load, typename Store>
+void scatter_direct(const R* in, std::uint64_t n, R* out, unsigned shift,
+                    KeyFn key, Load load, Store store, std::uint64_t* next) {
+  // Destination lookahead: the store target of element i + kAhead is known
+  // now (its bucket cursor moves by at most kAhead slots in the meantime, so
+  // the prefetched line is almost always the one the store hits), and
+  // prefetching it converts the dependent store miss into a hit.
+  constexpr std::uint64_t kAhead = 16;
+  std::uint64_t i = 0;
+  for (; i + kAhead < n; ++i) {
+    const auto dp = static_cast<std::size_t>(
+        (key(load(in[i + kAhead])) >> shift) & 0xffu);
+    __builtin_prefetch(out + next[dp], 1);
+    const R canon = load(in[i]);
+    const auto d = static_cast<std::size_t>((key(canon) >> shift) & 0xffu);
+    out[next[d]++] = store(canon);
+  }
+  for (; i < n; ++i) {
+    const R canon = load(in[i]);
+    const auto d = static_cast<std::size_t>((key(canon) >> shift) & 0xffu);
+    out[next[d]++] = store(canon);
+  }
+}
+
+#if defined(HS_RADIX_AVX512)
+
+bool avx512_scatter_supported() {
+  static const bool ok = __builtin_cpu_supports("avx512f") != 0 &&
+                         __builtin_cpu_supports("avx512cd") != 0 &&
+                         __builtin_cpu_supports("avx512vpopcntdq") != 0;
+  return ok;
+}
+
+// GCC's AVX-512 header builds vectors from _mm512_undefined_epi32, which
+// trips -Wmaybe-uninitialized once inlined here; the values are fully
+// overwritten before use.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+
+// Vector conflict scatter for 8-byte keys: eight elements per iteration. Equal
+// digits within a vector share one gathered cursor; VPCONFLICTQ marks, for
+// each lane, the earlier lanes holding the same digit, and the popcount of
+// that mask is the lane's rank among them — so positions stay distinct and in
+// lane order, which preserves stability. The cursor write-back scatters
+// pos + 1 for every lane; scatter stores commit in lane order, so the highest
+// rank (the bucket's true new cursor) wins.
+template <typename Load, typename Store>
+__attribute__((target("avx512f,avx512cd,avx512vpopcntdq"))) void
+scatter_u64_avx512(const std::uint64_t* in, std::uint64_t n,
+                   std::uint64_t* out, unsigned shift, std::uint64_t* next) {
+  const __m512i digit_mask = _mm512_set1_epi64(0xff);
+  const __m512i one = _mm512_set1_epi64(1);
+  const __m512i sign_bit = _mm512_set1_epi64(
+      static_cast<long long>(0x8000000000000000ull));
+  const __m512i all_ones = _mm512_set1_epi64(-1);
+  // One vector step: transform, digit, intra-vector rank, gather cursors,
+  // scatter records, write cursors back. Kept as a lambda-free macro-less
+  // block and instanced twice per loop so the second block's digit/rank work
+  // overlaps the first block's gather/scatter latency; the hardware orders
+  // the cursor writes of block 0 before the gather of block 1.
+#define HS_RADIX_AVX512_STEP(koff)                                          \
+  do {                                                                      \
+    __m512i k = _mm512_loadu_si512(in + i + (koff));                        \
+    if constexpr (std::is_same_v<Load, DoubleLoad>) {                       \
+      const __m512i sign = _mm512_srai_epi64(k, 63);                        \
+      k = _mm512_xor_epi64(k, _mm512_or_epi64(sign, sign_bit));             \
+    }                                                                       \
+    const __m512i d =                                                       \
+        _mm512_and_epi64(_mm512_srli_epi64(k, shift), digit_mask);          \
+    const __m512i rank = _mm512_popcnt_epi64(_mm512_conflict_epi64(d));     \
+    const __m512i base = _mm512_i64gather_epi64(d, next, 8);                \
+    const __m512i pos = _mm512_add_epi64(base, rank);                       \
+    __m512i rec = k;                                                        \
+    if constexpr (std::is_same_v<Store, DoubleStore>) {                     \
+      const __m512i sign = _mm512_srai_epi64(rec, 63);                      \
+      rec = _mm512_xor_epi64(                                               \
+          rec,                                                              \
+          _mm512_or_epi64(sign_bit, _mm512_andnot_epi64(sign, all_ones)));  \
+    }                                                                       \
+    _mm512_i64scatter_epi64(out, pos, rec, 8);                              \
+    _mm512_i64scatter_epi64(next, d, _mm512_add_epi64(pos, one), 8);        \
+  } while (false)
+
+  // Destination prefetch through a deliberately stale cursor snapshot. The
+  // scatter's stores miss L1/L2 (256 live lines spread over the output), and
+  // the position of element i + 128 is predictable now: its bucket cursor
+  // advances by well under a cache line per 128 elements on average, so the
+  // snapshot — refreshed every 256 elements — names the right line almost
+  // every time. Reading the snapshot instead of `next` keeps the prefetch
+  // address computation off the scatter->gather cursor dependence chain.
+  alignas(kCacheLine) std::uint64_t stale[kRadixBuckets];
+  std::memcpy(stale, next, sizeof(stale));
+  constexpr std::uint64_t kAhead = 128;
+  std::uint64_t i = 0;
+  std::uint64_t tick = 0;
+  for (; i + 16 <= n; i += 16) {
+    if ((tick++ & 15u) == 15u) std::memcpy(stale, next, sizeof(stale));
+    if (i + kAhead + 16 <= n) {
+      const std::uint64_t* p = in + i + kAhead;
+      for (unsigned l = 0; l < 16; ++l) {
+        const auto dp =
+            static_cast<std::size_t>((Load{}(p[l]) >> shift) & 0xffu);
+        __builtin_prefetch(out + stale[dp], 1);
+      }
+    }
+    HS_RADIX_AVX512_STEP(0);
+    HS_RADIX_AVX512_STEP(8);
+  }
+  for (; i + 8 <= n; i += 8) {
+    HS_RADIX_AVX512_STEP(0);
+  }
+#undef HS_RADIX_AVX512_STEP
+  for (; i < n; ++i) {
+    const std::uint64_t canon = Load{}(in[i]);
+    const auto d = static_cast<std::size_t>((canon >> shift) & 0xffu);
+    out[next[d]++] = Store{}(canon);
+  }
+}
+
+#pragma GCC diagnostic pop
+
+#endif  // HS_RADIX_AVX512
+
+// Write-combining scatter: records are staged per bucket in a cache-line
+// buffer and full lines are flushed with streaming stores, so the 256-way
+// random write pattern becomes sequential cache-bypassing traffic. `start`
+// guards the head of each bucket region — the first line of a bucket may be
+// shared with the previous bucket (or the previous lane's slice of this
+// bucket), so partial head lines and tails are flushed with plain stores of
+// only the slots this scatter owns.
+template <typename R, typename KeyFn, typename Load, typename Store>
+void scatter_wc(const R* in, std::uint64_t n, R* out, unsigned shift,
+                KeyFn key, Load load, Store store, const std::uint64_t* start,
+                std::uint64_t* next, R* wcbuf, StreamMode mode) {
+  constexpr std::uint64_t kLane = kCacheLine / sizeof(R);
+  constexpr std::uint64_t kLaneMask = kLane - 1;
+  constexpr std::uint64_t kPrefetchAhead = 512 / sizeof(R);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    __builtin_prefetch(in + i + kPrefetchAhead);
+    const R canon = load(in[i]);
+    const auto d = static_cast<std::size_t>((key(canon) >> shift) & 0xffu);
+    const std::uint64_t pos = next[d]++;
+    R* line = wcbuf + d * kLane;
+    line[pos & kLaneMask] = store(canon);
+    if (((pos + 1) & kLaneMask) == 0) {
+      const std::uint64_t base = pos + 1 - kLane;
+      if (base >= start[d]) {
+        stream_line(out + base, line, mode);
+      } else {
+        const std::uint64_t head = start[d] - base;
+        std::memcpy(out + start[d], line + head,
+                    static_cast<std::size_t>(kLane - head) * sizeof(R));
+      }
+    }
+  }
+  for (std::size_t d = 0; d < kRadixBuckets; ++d) {
+    const std::uint64_t end = next[d];
+    const std::uint64_t base = end & ~kLaneMask;
+    const std::uint64_t lo = std::max(base, start[d]);
+    if (lo < end) {
+      std::memcpy(out + lo, wcbuf + d * kLane + (lo - base),
+                  static_cast<std::size_t>(end - lo) * sizeof(R));
+    }
+  }
+  stream_fence(mode);
+}
+
+// Strategy selection, by working-set size against the cache topology:
+//   - read + write streams overflow the LLC -> write-combining scatter with
+//     non-temporal flushes (sequential cache-bypassing traffic, no RFOs);
+//   - LLC-resident and 8-byte records -> vector conflict scatter when the
+//     CPU has AVX-512 CD (about 2x the scalar loop);
+//   - otherwise the direct scalar scatter, which ordinary caching already
+//     serves well at these sizes.
+template <typename R, typename KeyFn, typename Load, typename Store>
+void scatter_pass(const R* in, std::uint64_t n, R* out, unsigned shift,
+                  KeyFn key, Load load, Store store,
+                  const std::uint64_t* start, std::uint64_t* next, R* wcbuf,
+                  bool use_wc) {
+  const std::size_t working_set = 2 * static_cast<std::size_t>(n) * sizeof(R);
+  if (use_wc && working_set > llc_bytes()) {
+    const StreamMode mode = stream_mode_for(out);
+    if (mode != StreamMode::kNone) {
+      scatter_wc(in, n, out, shift, key, load, store, start, next, wcbuf,
+                 mode);
+      return;
+    }
+  }
+#if defined(HS_RADIX_AVX512)
+  if constexpr (std::is_same_v<R, std::uint64_t> &&
+                std::is_same_v<KeyFn, U64Key>) {
+    if (n >= 64 && avx512_scatter_supported()) {
+      scatter_u64_avx512<Load, Store>(in, n, out, shift, next);
+      return;
+    }
+  }
+#endif
+  scatter_direct(in, n, out, shift, key, load, store, next);
+}
+
+// Selects the Load/Store fusion for this pass: Load on the first executed
+// pass only, Store on the final write only (both identity in between).
+template <typename R, typename KeyFn, typename Load, typename Store>
+void scatter_dispatch(const R* in, std::uint64_t n, R* out, unsigned shift,
+                      KeyFn key, Load load, Store store, bool first,
+                      bool final_write, const std::uint64_t* start,
+                      std::uint64_t* next, R* wcbuf, bool use_wc) {
+  if (first && final_write) {
+    scatter_pass(in, n, out, shift, key, load, store, start, next, wcbuf,
+                 use_wc);
+  } else if (first) {
+    scatter_pass(in, n, out, shift, key, load, Identity{}, start, next, wcbuf,
+                 use_wc);
+  } else if (final_write) {
+    scatter_pass(in, n, out, shift, key, Identity{}, store, start, next,
+                 wcbuf, use_wc);
+  } else {
+    scatter_pass(in, n, out, shift, key, Identity{}, Identity{}, start, next,
+                 wcbuf, use_wc);
+  }
+}
+
+// --- copy-back (odd executed-pass count) ------------------------------------
+
+// When an odd number of passes ran, the sorted canonical records sit in the
+// ping-pong buffer; move them home, fusing Store into the write instead of
+// running a separate transform sweep. Streaming stores are used only once
+// the copy overflows the LLC — below that, cached stores keep the sorted
+// output resident for whoever reads it next.
+template <typename R, typename Store>
+void copy_back(R* dst, const R* src, std::uint64_t n, Store store) {
+  const std::size_t bytes = static_cast<std::size_t>(n) * sizeof(R);
+  if constexpr (std::is_same_v<Store, Identity>) {
+    if (bytes > llc_bytes()) {
+      memcpy_stream(dst, src, bytes);
+    } else {
+      std::memcpy(dst, src, bytes);
+    }
+  } else {
+    static_assert(sizeof(R) == sizeof(std::uint64_t));
+#if defined(HS_RADIX_STREAM)
+    if (bytes > llc_bytes() &&
+        (reinterpret_cast<std::uintptr_t>(dst) & 7) == 0) {
+      auto* d = reinterpret_cast<long long*>(dst);
+      for (std::uint64_t i = 0; i < n; ++i) {
+        _mm_stream_si64(d + i, static_cast<long long>(store(src[i])));
+      }
+      _mm_sfence();
+      return;
+    }
+#endif
+    for (std::uint64_t i = 0; i < n; ++i) dst[i] = store(src[i]);
+  }
+}
+
+// --- sequential engine ------------------------------------------------------
+
+template <typename R, typename KeyFn, typename Load, typename Store>
+void sort_sequential(std::span<R> data, KeyFn key, Load load, Store store,
+                     RadixSortScratch& s) {
+  const std::uint64_t n = data.size();
+  s.executed_passes = 0;
+  if (n < 2) return;
+
+  fused_histograms(data.data(), 0, n, key, load, s.hist[0].data());
+
+  std::array<unsigned, kRadixPasses> exec{};
+  unsigned c = 0;
+  for (unsigned p = 0; p < kRadixPasses; ++p) {
+    if (!pass_is_trivial(s.hist[p])) exec[c++] = p;
+  }
+  s.executed_passes = c;
+  // c == 0 means every key is identical: nothing moves, and because Load was
+  // never applied the stored representation is already correct.
+  if (c == 0) return;
+
+  R* tmp = reinterpret_cast<R*>(s.tmp(static_cast<std::size_t>(n) * sizeof(R)));
+  R* wcbuf = reinterpret_cast<R*>(s.wc(1));
+  const bool use_wc = n >= kWcCutoff;
+  const R* src = data.data();
+  R* dst = tmp;
+  for (unsigned j = 0; j < c; ++j) {
+    const unsigned pass = exec[j];
+    std::uint64_t sum = 0;
+    for (std::size_t d = 0; d < kRadixBuckets; ++d) {
+      const std::uint64_t cnt = s.hist[pass][d];
+      s.bucket_start[d] = sum;
+      s.bucket_next[d] = sum;
+      sum += cnt;
+    }
+    const bool first = j == 0;
+    const bool final_write = (j + 1 == c) && (c % 2 == 0);
+    scatter_dispatch(src, n, dst, pass * kDigitBits, key, load, store, first,
+                     final_write, s.bucket_start.data(), s.bucket_next.data(),
+                     wcbuf, use_wc);
+    src = dst;
+    dst = (dst == tmp) ? data.data() : tmp;
+  }
+  if (c % 2 != 0) copy_back(data.data(), tmp, n, store);
+}
+
+// --- parallel engine --------------------------------------------------------
+
+template <typename R, typename KeyFn, typename Load, typename Store>
+void sort_parallel(ThreadPool& pool, std::span<R> data, unsigned parts,
+                   KeyFn key, Load load, Store store, RadixSortScratch& s) {
+  const std::uint64_t n = data.size();
+  const unsigned lanes =
+      parts == 0 ? pool.size() : std::min(parts, pool.size());
+  if (lanes <= 1 || n < kParallelCutoff) {
+    sort_sequential(data, key, load, store, s);
+    return;
+  }
+  s.executed_passes = 0;
+
+  // Arena layout: per-lane fused histograms, then the current pass's per-lane
+  // cursor row and its preserved start-offset row.
+  std::uint64_t* fused = s.lane_words(
+      std::size_t{lanes} * (kHistWords + 2 * kRadixBuckets));
+  std::uint64_t* pnext = fused + std::size_t{lanes} * kHistWords;
+  std::uint64_t* pstart = pnext + std::size_t{lanes} * kRadixBuckets;
+  const std::uint64_t chunk = (n + lanes - 1) / lanes;
+
+  // One fused read sweep: all 8 per-digit histograms per lane. Digit counts
+  // are permutation-invariant, so the global histograms remain valid for
+  // every later pass; the per-lane slices are valid for the first executed
+  // pass only (the layout is unchanged until its scatter).
+  parallel_region(pool, lanes, [&](unsigned lane, unsigned) {
+    const std::uint64_t lo = std::min(n, chunk * lane);
+    const std::uint64_t hi = std::min(n, lo + chunk);
+    fused_histograms(data.data(), lo, hi, key, load,
+                     fused + std::size_t{lane} * kHistWords);
+  });
+
+  for (unsigned p = 0; p < kRadixPasses; ++p) {
+    for (std::size_t d = 0; d < kRadixBuckets; ++d) {
+      std::uint64_t sum = 0;
+      for (unsigned l = 0; l < lanes; ++l) {
+        sum += fused[std::size_t{l} * kHistWords + p * kRadixBuckets + d];
+      }
+      s.hist[p][d] = sum;
+    }
+  }
+
+  std::array<unsigned, kRadixPasses> exec{};
+  unsigned c = 0;
+  for (unsigned p = 0; p < kRadixPasses; ++p) {
+    if (!pass_is_trivial(s.hist[p])) exec[c++] = p;
+  }
+  s.executed_passes = c;
+  if (c == 0) return;
+
+  R* tmp = reinterpret_cast<R*>(s.tmp(static_cast<std::size_t>(n) * sizeof(R)));
+  R* wcbase = reinterpret_cast<R*>(s.wc(lanes));
+  constexpr std::size_t kWcElems = kRadixBuckets * (kCacheLine / sizeof(R));
+  const bool use_wc = n >= kWcCutoff;
+  const R* src = data.data();
+  R* dst = tmp;
+  for (unsigned j = 0; j < c; ++j) {
+    const unsigned pass = exec[j];
+    const unsigned shift = pass * kDigitBits;
+    if (j == 0) {
+      for (unsigned l = 0; l < lanes; ++l) {
+        std::memcpy(pnext + std::size_t{l} * kRadixBuckets,
+                    fused + std::size_t{l} * kHistWords +
+                        std::size_t{pass} * kRadixBuckets,
+                    kRadixBuckets * sizeof(std::uint64_t));
+      }
+    } else {
+      // Later passes see a scattered layout, so their per-lane counts must
+      // be recomputed — but only for this one digit, on canonical records.
+      const R* cur = src;
+      parallel_region(pool, lanes, [&](unsigned lane, unsigned) {
+        std::uint64_t* h = pnext + std::size_t{lane} * kRadixBuckets;
+        std::fill(h, h + kRadixBuckets, 0);
+        const std::uint64_t lo = std::min(n, chunk * lane);
+        const std::uint64_t hi = std::min(n, lo + chunk);
+        for (std::uint64_t i = lo; i < hi; ++i) {
+          ++h[static_cast<std::size_t>((key(cur[i]) >> shift) & 0xffu)];
+        }
+      });
+    }
+
+    // Digit-major exclusive scan: lane l's instances of digit d land after
+    // lane l-1's, which is what keeps the parallel pass stable.
+    std::uint64_t sum = 0;
+    for (std::size_t d = 0; d < kRadixBuckets; ++d) {
+      for (unsigned l = 0; l < lanes; ++l) {
+        const std::size_t idx = std::size_t{l} * kRadixBuckets + d;
+        const std::uint64_t cnt = pnext[idx];
+        pstart[idx] = sum;
+        pnext[idx] = sum;
+        sum += cnt;
+      }
+    }
+
+    const bool first = j == 0;
+    const bool final_write = (j + 1 == c) && (c % 2 == 0);
+    const R* in = src;
+    R* out = dst;
+    parallel_region(pool, lanes, [&](unsigned lane, unsigned) {
+      const std::uint64_t lo = std::min(n, chunk * lane);
+      const std::uint64_t hi = std::min(n, lo + chunk);
+      scatter_dispatch(in + lo, hi - lo, out, shift, key, load, store, first,
+                       final_write, pstart + std::size_t{lane} * kRadixBuckets,
+                       pnext + std::size_t{lane} * kRadixBuckets,
+                       wcbase + std::size_t{lane} * kWcElems, use_wc);
+    });
+    src = dst;
+    dst = (dst == tmp) ? data.data() : tmp;
+  }
+  if (c % 2 != 0) {
+    R* home = data.data();
+    parallel_for_blocked(pool, 0, n,
+                         [&](std::uint64_t lo, std::uint64_t hi) {
+                           copy_back(home + lo, tmp + lo, hi - lo, store);
+                         });
+  }
+}
+
+template <typename Fn>
+void with_scratch(RadixSortScratch* scratch, Fn&& fn) {
+  if (scratch != nullptr) {
+    fn(*scratch);
+  } else {
+    RadixSortScratch local;
+    fn(local);
+  }
+}
+
+}  // namespace
+
+namespace detail {
+
+// Overrides the detected LLC size (0 restores detection) so tests can force
+// the larger-than-LLC write-combining path on machines with large caches.
+void set_radix_llc_for_testing(std::size_t bytes) { g_llc_override = bytes; }
+
+}  // namespace detail
+
+// --- public API -------------------------------------------------------------
+
+std::uint64_t double_to_radix_key(double d) {
+  return DoubleLoad{}(std::bit_cast<std::uint64_t>(d));
+}
+
+double radix_key_to_double(std::uint64_t k) {
+  return std::bit_cast<double>(DoubleStore{}(k));
+}
+
+void radix_sort(std::span<std::uint64_t> keys, RadixSortScratch* scratch) {
+  with_scratch(scratch, [&](RadixSortScratch& s) {
+    sort_sequential(keys, U64Key{}, Identity{}, Identity{}, s);
+  });
+}
+
+void radix_sort(std::span<double> values, RadixSortScratch* scratch) {
+  auto keys = as_keys(values);
+  with_scratch(scratch, [&](RadixSortScratch& s) {
+    sort_sequential(keys, U64Key{}, DoubleLoad{}, DoubleStore{}, s);
+  });
+}
+
+void radix_sort(std::span<KeyValue64> records, RadixSortScratch* scratch) {
+  with_scratch(scratch, [&](RadixSortScratch& s) {
+    sort_sequential(records, KvKey{}, Identity{}, Identity{}, s);
+  });
 }
 
 void radix_sort_parallel(ThreadPool& pool, std::span<std::uint64_t> keys,
-                         unsigned parts) {
-  radix_sort_parallel_generic(pool, keys, parts, kIdentityKey);
+                         unsigned parts, RadixSortScratch* scratch) {
+  with_scratch(scratch, [&](RadixSortScratch& s) {
+    sort_parallel(pool, keys, parts, U64Key{}, Identity{}, Identity{}, s);
+  });
 }
 
 void radix_sort_parallel(ThreadPool& pool, std::span<double> values,
-                         unsigned parts) {
+                         unsigned parts, RadixSortScratch* scratch) {
   auto keys = as_keys(values);
-  parallel_for_blocked(pool, 0, values.size(),
-                       [&](std::uint64_t lo, std::uint64_t hi) {
-                         for (std::uint64_t i = lo; i < hi; ++i) {
-                           keys[i] = double_to_radix_key(
-                               std::bit_cast<double>(keys[i]));
-                         }
-                       });
-  radix_sort_parallel_generic(pool, keys, parts, kIdentityKey);
-  parallel_for_blocked(pool, 0, values.size(),
-                       [&](std::uint64_t lo, std::uint64_t hi) {
-                         for (std::uint64_t i = lo; i < hi; ++i) {
-                           keys[i] = std::bit_cast<std::uint64_t>(
-                               radix_key_to_double(keys[i]));
-                         }
-                       });
+  with_scratch(scratch, [&](RadixSortScratch& s) {
+    sort_parallel(pool, keys, parts, U64Key{}, DoubleLoad{}, DoubleStore{}, s);
+  });
 }
 
 void radix_sort_parallel(ThreadPool& pool, std::span<KeyValue64> records,
-                         unsigned parts) {
-  radix_sort_parallel_generic(pool, records, parts, kKvKey);
+                         unsigned parts, RadixSortScratch* scratch) {
+  with_scratch(scratch, [&](RadixSortScratch& s) {
+    sort_parallel(pool, records, parts, KvKey{}, Identity{}, Identity{}, s);
+  });
+}
+
+// --- scratch ----------------------------------------------------------------
+
+void RadixSortScratch::AlignedDelete::operator()(std::byte* p) const {
+  ::operator delete[](p, std::align_val_t{kCacheLine});
+}
+
+RadixSortScratch::AlignedBuf RadixSortScratch::alloc_aligned(
+    std::size_t bytes) {
+  return AlignedBuf(static_cast<std::byte*>(
+      ::operator new[](bytes, std::align_val_t{kCacheLine})));
+}
+
+std::byte* RadixSortScratch::tmp(std::size_t bytes) {
+  if (tmp_cap_ < bytes) {
+    tmp_ = alloc_aligned(bytes);
+    tmp_cap_ = bytes;
+  }
+  return tmp_.get();
+}
+
+std::byte* RadixSortScratch::wc(unsigned lanes) {
+  const std::size_t need = std::size_t{lanes} * kRadixBuckets * kCacheLine;
+  if (wc_cap_ < need) {
+    wc_ = alloc_aligned(need);
+    wc_cap_ = need;
+  }
+  return wc_.get();
+}
+
+std::uint64_t* RadixSortScratch::lane_words(std::size_t words) {
+  if (lane_words_.size() < words) lane_words_.resize(words);
+  return lane_words_.data();
 }
 
 }  // namespace hs::cpu

@@ -1,8 +1,31 @@
-// LSD radix sort for 64-bit keys — the algorithm class behind both the Thrust
-// sort the paper runs on the GPU and the CUB sort of the related work, so the
-// virtual device sorts with it (`vgpu::device_sort`). 8-bit digits, 8 passes,
-// stable counting scatter; a parallel variant distributes histogramming and
-// scattering across pool lanes with per-lane digit offsets.
+// Bandwidth-proportional LSD radix sort for 64-bit keys — the algorithm class
+// behind both the Thrust sort the paper runs on the GPU and the CUB sort of
+// the related work, so the virtual device sorts with it
+// (`vgpu::device_sort`).
+//
+// Radix sort is a pure memory-bandwidth problem (Stehle & Jacobsen), so the
+// engine is organised around touching memory as few times as possible:
+//
+//   * one fused histogram pass builds all 8 per-digit histograms in a single
+//     read sweep (digit counts are permutation-invariant, so the histograms
+//     of later passes stay valid as elements move);
+//   * any digit whose histogram has a single occupied bucket is skipped —
+//     its counting scatter would be the identity permutation (doubles'
+//     exponent bytes and small-range keys typically skip 2–4 of 8 passes);
+//   * the scatter adapts to the cache topology: working sets that overflow
+//     the last-level cache stage each bucket's output in a cache-line
+//     write-combining buffer flushed with streaming (non-temporal) stores
+//     and software prefetch on the read stream, while LLC-resident working
+//     sets use a vector conflict scatter (AVX-512 CD, eight keys per step)
+//     or the direct scalar loop — non-temporal stores below LLC scale would
+//     evict exactly the lines the next pass is about to read;
+//   * both resident scatters prefetch their *destination* lines: a bucket's
+//     cursor moves slowly, so the store target of an element a hundred
+//     slots ahead in the input is predictable now, and prefetching through
+//     a (deliberately stale) cursor snapshot turns the dependent store
+//     misses that dominate the scatter into hits;
+//   * the double<->key bit transforms are folded into the first read and the
+//     final write of the pass pipeline instead of standalone O(n) sweeps.
 //
 // Doubles are sorted through the standard order-preserving bijection to
 // uint64 (flip all bits of negatives, flip only the sign bit of positives),
@@ -11,39 +34,111 @@
 // (std::sort, by contrast, has UB on NaN with operator<).
 #pragma once
 
+#include <array>
+#include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <span>
+#include <vector>
 
 #include "common/key_value.h"
 #include "cpu/thread_pool.h"
 
 namespace hs::cpu {
 
+inline constexpr std::size_t kRadixBuckets = 256;
+inline constexpr unsigned kRadixPasses = 8;
+
 /// Order-preserving bijections between double and uint64.
 std::uint64_t double_to_radix_key(double d);
 double radix_key_to_double(std::uint64_t k);
 
-/// Sequential LSD radix sort of uint64 keys. O(n) extra memory.
-void radix_sort(std::span<std::uint64_t> keys);
+/// Reusable working memory for the radix engine: the ping-pong buffer, the
+/// fused histograms, the per-lane count/offset arenas, and the
+/// write-combining staging lines. All storage is grow-only, so steady-state
+/// batch sorting (same or smaller n, any element type) performs zero heap
+/// allocations — the same discipline as `MultiwayMergeScratch`.
+///
+/// A scratch is not thread-safe: concurrent sorts need one scratch each
+/// (the parallel engine itself hands disjoint arena rows to its lanes).
+class RadixSortScratch {
+ public:
+  RadixSortScratch() = default;
+  RadixSortScratch(RadixSortScratch&&) = default;
+  RadixSortScratch& operator=(RadixSortScratch&&) = default;
 
-/// Sequential radix sort of doubles via the key bijection.
-void radix_sort(std::span<double> values);
+  /// Ping-pong buffer of at least `bytes`, 64-byte aligned, grow-only.
+  std::byte* tmp(std::size_t bytes);
+
+  /// Write-combining staging area: `lanes` slots of 256 cache lines each
+  /// (16 KiB per lane), 64-byte aligned, grow-only.
+  std::byte* wc(unsigned lanes);
+
+  /// Per-lane histogram/offset arena of at least `words` uint64s, grow-only.
+  std::uint64_t* lane_words(std::size_t words);
+
+  /// Fused per-digit histograms of the whole input (valid for every pass).
+  std::array<std::array<std::uint64_t, kRadixBuckets>, kRadixPasses> hist{};
+
+  /// Sequential-engine bucket cursors for the current pass.
+  std::array<std::uint64_t, kRadixBuckets> bucket_start{};
+  std::array<std::uint64_t, kRadixBuckets> bucket_next{};
+
+  /// Number of non-trivial passes the last sort executed (observability for
+  /// tests and benches; 0 means the input needed no data movement at all).
+  unsigned executed_passes = 0;
+
+ private:
+  struct AlignedDelete {
+    void operator()(std::byte* p) const;
+  };
+  using AlignedBuf = std::unique_ptr<std::byte[], AlignedDelete>;
+  static AlignedBuf alloc_aligned(std::size_t bytes);
+
+  AlignedBuf tmp_;
+  std::size_t tmp_cap_ = 0;
+  AlignedBuf wc_;
+  std::size_t wc_cap_ = 0;
+  std::vector<std::uint64_t> lane_words_;
+};
+
+/// Sequential LSD radix sort of uint64 keys. O(n) extra memory (from
+/// `scratch` when given, else a call-local arena).
+void radix_sort(std::span<std::uint64_t> keys,
+                RadixSortScratch* scratch = nullptr);
+
+/// Sequential radix sort of doubles via the key bijection (transforms fused
+/// into the first/last data movement, never standalone sweeps).
+void radix_sort(std::span<double> values, RadixSortScratch* scratch = nullptr);
+
+/// Sequential LSD radix sort of key/value records by key (stable in the
+/// original order for equal keys). O(n) extra memory.
+void radix_sort(std::span<KeyValue64> records,
+                RadixSortScratch* scratch = nullptr);
 
 /// Parallel LSD radix sort of uint64 keys using up to `parts` lanes
 /// (0 = pool.size()). Stable; O(n) extra memory.
 void radix_sort_parallel(ThreadPool& pool, std::span<std::uint64_t> keys,
-                         unsigned parts = 0);
+                         unsigned parts = 0,
+                         RadixSortScratch* scratch = nullptr);
 
 /// Parallel radix sort of doubles.
 void radix_sort_parallel(ThreadPool& pool, std::span<double> values,
-                         unsigned parts = 0);
-
-/// Sequential LSD radix sort of key/value records by key (stable in the
-/// original order for equal keys). O(n) extra memory.
-void radix_sort(std::span<KeyValue64> records);
+                         unsigned parts = 0,
+                         RadixSortScratch* scratch = nullptr);
 
 /// Parallel radix sort of key/value records by key.
 void radix_sort_parallel(ThreadPool& pool, std::span<KeyValue64> records,
-                         unsigned parts = 0);
+                         unsigned parts = 0,
+                         RadixSortScratch* scratch = nullptr);
+
+namespace detail {
+
+/// Test hook: pretend the last-level cache is `bytes` big (0 restores
+/// detection), forcing the larger-than-LLC write-combining scatter path on
+/// machines whose real LLC would hide it.
+void set_radix_llc_for_testing(std::size_t bytes);
+
+}  // namespace detail
 
 }  // namespace hs::cpu

@@ -36,7 +36,13 @@ sim::TaskId device_sort(Runtime& rt, sim::TaskGraph& graph, Stream& stream,
   if (rt.mode() == Execution::kReal) {
     std::byte* data = buffer.bytes().data();
     auto sort_fn = ops.device_sort;
-    t.action = [data, elems, sort_fn] { sort_fn(data, elems); };
+    // Engine actions run sequentially on the simulation thread, so every
+    // device sort of the run shares the runtime's scratch: after the first
+    // batch warms it, batch sorting performs no heap allocations.
+    cpu::RadixSortScratch* scratch = &rt.sort_scratch();
+    t.action = [data, elems, sort_fn, scratch] {
+      sort_fn(data, elems, scratch);
+    };
   }
   return stream.submit(graph, std::move(t));
 }

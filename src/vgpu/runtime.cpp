@@ -1,11 +1,14 @@
 #include "vgpu/runtime.h"
 
 #include "common/assert.h"
+#include "cpu/radix_sort.h"
 
 namespace hs::vgpu {
 
 Runtime::Runtime(model::Platform platform, Execution mode)
-    : platform_(std::move(platform)), mode_(mode) {
+    : platform_(std::move(platform)),
+      mode_(mode),
+      sort_scratch_(std::make_unique<cpu::RadixSortScratch>()) {
   HS_EXPECTS(!platform_.gpus.empty());
   htod_ = engine_.add_channel("pcie.htod", platform_.pcie.channel_bps);
   dtoh_ = engine_.add_channel("pcie.dtoh", platform_.pcie.channel_bps);
@@ -19,6 +22,8 @@ Runtime::Runtime(model::Platform platform, Execution mode)
         engine_.add_compute("gpu" + std::to_string(i)));
   }
 }
+
+Runtime::~Runtime() = default;
 
 Device& Runtime::device(unsigned i) {
   HS_EXPECTS(i < devices_.size());

@@ -20,11 +20,16 @@
 #include "vgpu/device.h"
 #include "vgpu/execution.h"
 
+namespace hs::cpu {
+class RadixSortScratch;
+}  // namespace hs::cpu
+
 namespace hs::vgpu {
 
 class Runtime {
  public:
   Runtime(model::Platform platform, Execution mode);
+  ~Runtime();
 
   // Devices hold back-references into the runtime's resource table.
   Runtime(const Runtime&) = delete;
@@ -50,6 +55,12 @@ class Runtime {
   sim::ChannelId host_mem_channel() const { return host_mem_; }
   sim::PoolId host_pool() const { return host_pool_; }
 
+  /// Runtime-lifetime radix scratch for real-mode device sorts: the engine
+  /// executes task actions sequentially on the simulation thread, so every
+  /// batch sort of a pipeline run reuses one set of buffers and steady-state
+  /// sorting allocates nothing.
+  cpu::RadixSortScratch& sort_scratch() { return *sort_scratch_; }
+
  private:
   model::Platform platform_;
   Execution mode_;
@@ -60,6 +71,7 @@ class Runtime {
   sim::ChannelId host_mem_ = 0;
   sim::PoolId host_pool_ = 0;
   sim::FaultInjector* injector_ = nullptr;
+  std::unique_ptr<cpu::RadixSortScratch> sort_scratch_;
 };
 
 }  // namespace hs::vgpu

@@ -1,0 +1,321 @@
+// Engine-level tests for the bandwidth-proportional radix sort: the
+// double<->key bijection on every IEEE-754 edge case, trivial-pass skipping
+// (constant, single-varying-byte, narrow-range and duplicate-heavy inputs),
+// key/value stability when passes are skipped, the forced streaming-scatter
+// path, and an operator-new counter proving warm-scratch steady state
+// performs zero heap allocations for every element type, sequential and
+// parallel.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <new>
+#include <span>
+#include <vector>
+
+#include "common/key_value.h"
+#include "cpu/radix_sort.h"
+#include "cpu/thread_pool.h"
+#include "data/generators.h"
+
+// Global allocation counter: every replaceable operator new in this binary
+// bumps it, including the cache-line-aligned variants RadixSortScratch's
+// arenas go through and calls made from pool worker threads.
+std::atomic<std::uint64_t> g_alloc_count{0};
+
+// GCC's -Wmismatched-new-delete false-positives when it inlines a replaced
+// operator new (it sees malloc feed free through the replacement pair).
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+void* operator new(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc{};
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size ? size : 1);
+}
+void* operator new[](std::size_t size, const std::nothrow_t& tag) noexcept {
+  return ::operator new(size, tag);
+}
+void* operator new(std::size_t size, std::align_val_t align) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::aligned_alloc(static_cast<std::size_t>(align),
+                                   (size + static_cast<std::size_t>(align) - 1) &
+                                       ~(static_cast<std::size_t>(align) - 1))) {
+    return p;
+  }
+  throw std::bad_alloc{};
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return ::operator new(size, align);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { ::operator delete(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  ::operator delete(p);
+}
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p) noexcept { ::operator delete(p); }
+void operator delete[](void* p, std::size_t) noexcept { ::operator delete(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  ::operator delete(p);
+}
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+#pragma GCC diagnostic pop
+
+namespace hs::cpu {
+namespace {
+
+using hs::data::Distribution;
+
+double from_bits(std::uint64_t bits) { return std::bit_cast<double>(bits); }
+std::uint64_t to_bits(double d) { return std::bit_cast<std::uint64_t>(d); }
+
+// Restores real LLC detection even if a test body exits early.
+struct LlcOverrideGuard {
+  explicit LlcOverrideGuard(std::size_t bytes) {
+    detail::set_radix_llc_for_testing(bytes);
+  }
+  ~LlcOverrideGuard() { detail::set_radix_llc_for_testing(0); }
+};
+
+TEST(DoubleKeyBijection, EdgeCaseRoundTripIsBitExact) {
+  const std::uint64_t patterns[] = {
+      to_bits(0.0),
+      to_bits(-0.0),
+      to_bits(std::numeric_limits<double>::infinity()),
+      to_bits(-std::numeric_limits<double>::infinity()),
+      to_bits(std::numeric_limits<double>::denorm_min()),
+      to_bits(-std::numeric_limits<double>::denorm_min()),
+      to_bits(std::numeric_limits<double>::min()),
+      to_bits(std::numeric_limits<double>::max()),
+      to_bits(std::numeric_limits<double>::lowest()),
+      0x7ff8000000000000ull,  // quiet NaN, zero payload
+      0x7ff8000000000001ull,  // quiet NaN, small payload
+      0x7fffffffffffffffull,  // quiet NaN, max payload
+      0x7ff0000000000001ull,  // signalling NaN bit pattern
+      0xfff8000000000123ull,  // negative NaN with payload
+      to_bits(1.0),
+      to_bits(-1.0),
+  };
+  for (const std::uint64_t bits : patterns) {
+    const double d = from_bits(bits);
+    const double back = radix_key_to_double(double_to_radix_key(d));
+    EXPECT_EQ(to_bits(back), bits) << "pattern 0x" << std::hex << bits;
+  }
+}
+
+TEST(DoubleKeyBijection, TotalOrderAcrossEdgeCases) {
+  // IEEE-754 total order the bijection must induce: negative NaN below
+  // everything (all bits flipped), then the negative reals from -inf up
+  // through the negative denormals to -0.0, then +0.0 and the positive line,
+  // then positive NaNs by ascending payload above +inf.
+  const double ordered[] = {
+      from_bits(0xfff8000000000123ull),  // negative NaN
+      -std::numeric_limits<double>::infinity(),
+      std::numeric_limits<double>::lowest(),
+      -1.0,
+      -std::numeric_limits<double>::min(),
+      -std::numeric_limits<double>::denorm_min(),
+      -0.0,
+      0.0,
+      std::numeric_limits<double>::denorm_min(),
+      std::numeric_limits<double>::min(),
+      1.0,
+      std::numeric_limits<double>::max(),
+      std::numeric_limits<double>::infinity(),
+      from_bits(0x7ff8000000000000ull),  // quiet NaN, zero payload
+      from_bits(0x7ff8000000000001ull),  // quiet NaN, small payload
+      from_bits(0x7fffffffffffffffull),  // quiet NaN, max payload
+  };
+  for (std::size_t i = 1; i < std::size(ordered); ++i) {
+    EXPECT_LT(double_to_radix_key(ordered[i - 1]),
+              double_to_radix_key(ordered[i]))
+        << "at position " << i;
+  }
+}
+
+TEST(RadixEngine, ConstantInputSkipsEveryPass) {
+  std::vector<std::uint64_t> v(10000, 0xdeadbeefcafef00dull);
+  const auto expect = v;
+  RadixSortScratch scratch;
+  radix_sort(std::span<std::uint64_t>(v), &scratch);
+  EXPECT_EQ(scratch.executed_passes, 0u);
+  EXPECT_EQ(v, expect);
+}
+
+TEST(RadixEngine, SingleVaryingByteExecutesOnePass) {
+  const auto raw =
+      hs::data::generate_keys(Distribution::kUniform, 20000, 31);
+  std::vector<std::uint64_t> v(raw.size());
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    v[i] = 0x1122334400667788ull | ((raw[i] & 0xffu) << 24);
+  }
+  auto expect = v;
+  std::sort(expect.begin(), expect.end());
+  RadixSortScratch scratch;
+  radix_sort(std::span<std::uint64_t>(v), &scratch);
+  EXPECT_EQ(scratch.executed_passes, 1u);
+  EXPECT_EQ(v, expect);
+}
+
+TEST(RadixEngine, NarrowRangeSkipsHighPasses) {
+  auto v = hs::data::generate_keys(Distribution::kUniform, 30000, 32);
+  for (auto& k : v) k &= 0xffffu;
+  auto expect = v;
+  std::sort(expect.begin(), expect.end());
+  RadixSortScratch scratch;
+  radix_sort(std::span<std::uint64_t>(v), &scratch);
+  EXPECT_LE(scratch.executed_passes, 2u);
+  EXPECT_EQ(v, expect);
+  // The call-local arena path (no scratch) must agree.
+  auto w = expect;
+  std::reverse(w.begin(), w.end());
+  radix_sort(std::span<std::uint64_t>(w));
+  EXPECT_EQ(w, expect);
+}
+
+TEST(RadixEngine, DuplicateHeavyDoublesSkipExponentPasses) {
+  auto v = hs::data::generate(Distribution::kDuplicateHeavy, 30000, 33);
+  auto expect = v;
+  std::sort(expect.begin(), expect.end());
+  RadixSortScratch scratch;
+  radix_sort(std::span<double>(v), &scratch);
+  EXPECT_LT(scratch.executed_passes, kRadixPasses);
+  EXPECT_EQ(v, expect);
+}
+
+TEST(RadixEngine, KeyValueStableUnderSkippedPasses) {
+  // Only byte 3 of the key varies, over four values: seven of eight passes
+  // skip, and the one executed counting scatter must still keep equal keys
+  // in arrival order.
+  const auto raw =
+      hs::data::generate_keys(Distribution::kUniform, 20000, 34);
+  std::vector<KeyValue64> v(raw.size());
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    v[i] = {0xaa00bb00cc00dd00ull | ((raw[i] & 0x3u) << 24), i};
+  }
+  auto expect = v;
+  std::stable_sort(expect.begin(), expect.end());
+  RadixSortScratch scratch;
+  radix_sort(std::span<KeyValue64>(v), &scratch);
+  EXPECT_EQ(scratch.executed_passes, 1u);
+  EXPECT_EQ(v, expect);  // values match exactly only if the sort is stable
+}
+
+TEST(RadixEngine, ForcedStreamingScatterPathSorts) {
+  // Pretend the LLC is 4 KiB so every working set takes the write-combining
+  // streaming-store scatter path regardless of the host's real cache.
+  LlcOverrideGuard guard(4096);
+  auto keys = hs::data::generate_keys(Distribution::kUniform, 50000, 35);
+  auto keys_expect = keys;
+  std::sort(keys_expect.begin(), keys_expect.end());
+  RadixSortScratch scratch;
+  radix_sort(std::span<std::uint64_t>(keys), &scratch);
+  EXPECT_EQ(keys, keys_expect);
+
+  auto vals = hs::data::generate(Distribution::kUniform, 50000, 36);
+  auto vals_expect = vals;
+  std::sort(vals_expect.begin(), vals_expect.end());
+  radix_sort(std::span<double>(vals), &scratch);
+  EXPECT_EQ(vals, vals_expect);
+
+  const auto raw = hs::data::generate_keys(Distribution::kUniform, 50000, 37);
+  std::vector<KeyValue64> kv(raw.size());
+  for (std::size_t i = 0; i < raw.size(); ++i) kv[i] = {raw[i] & 0xffffu, i};
+  auto kv_expect = kv;
+  std::stable_sort(kv_expect.begin(), kv_expect.end());
+  radix_sort(std::span<KeyValue64>(kv), &scratch);
+  EXPECT_EQ(kv, kv_expect);
+}
+
+TEST(RadixEngine, ScratchReusedAcrossTypesAndSizes) {
+  RadixSortScratch scratch;
+  for (const std::uint64_t n : {40000u, 10000u, 25000u}) {
+    auto keys = hs::data::generate_keys(Distribution::kUniform, n, 40 + n);
+    auto expect = keys;
+    std::sort(expect.begin(), expect.end());
+    radix_sort(std::span<std::uint64_t>(keys), &scratch);
+    EXPECT_EQ(keys, expect);
+
+    const auto raw = hs::data::generate_keys(Distribution::kDuplicateHeavy, n,
+                                             41 + n);
+    std::vector<KeyValue64> kv(n);
+    for (std::uint64_t i = 0; i < n; ++i) kv[i] = {raw[i], i};
+    auto kv_expect = kv;
+    std::stable_sort(kv_expect.begin(), kv_expect.end());
+    radix_sort(std::span<KeyValue64>(kv), &scratch);
+    EXPECT_EQ(kv, kv_expect);
+  }
+}
+
+TEST(RadixEngine, SteadyStateZeroAllocationsSequential) {
+  constexpr std::uint64_t kN = 30000;
+  auto keys = hs::data::generate_keys(Distribution::kUniform, kN, 50);
+  auto vals = hs::data::generate(Distribution::kUniform, kN, 51);
+  std::vector<KeyValue64> kv(kN);
+  for (std::uint64_t i = 0; i < kN; ++i) kv[i] = {keys[i], i};
+  const auto keys0 = keys;
+  const auto vals0 = vals;
+  const auto kv0 = kv;
+
+  RadixSortScratch scratch;
+  // Warm-up round sizes every arena; kv64 is the widest record, so later
+  // u64/f64 sorts of the same n fit its tmp buffer.
+  radix_sort(std::span<KeyValue64>(kv), &scratch);
+  radix_sort(std::span<std::uint64_t>(keys), &scratch);
+  radix_sort(std::span<double>(vals), &scratch);
+
+  keys = keys0;
+  vals = vals0;
+  kv = kv0;
+  const std::uint64_t before = g_alloc_count.load();
+  radix_sort(std::span<std::uint64_t>(keys), &scratch);
+  radix_sort(std::span<double>(vals), &scratch);
+  radix_sort(std::span<KeyValue64>(kv), &scratch);
+  const std::uint64_t after = g_alloc_count.load();
+  EXPECT_EQ(after - before, 0u);
+  EXPECT_TRUE(std::is_sorted(keys.begin(), keys.end()));
+  EXPECT_TRUE(std::is_sorted(vals.begin(), vals.end()));
+  EXPECT_TRUE(std::is_sorted(kv.begin(), kv.end()));
+}
+
+TEST(RadixEngine, SteadyStateZeroAllocationsParallel) {
+  constexpr std::uint64_t kN = 30000;
+  ThreadPool pool(4);
+  auto keys = hs::data::generate_keys(Distribution::kUniform, kN, 52);
+  std::vector<KeyValue64> kv(kN);
+  for (std::uint64_t i = 0; i < kN; ++i) kv[i] = {keys[i], i};
+  const auto keys0 = keys;
+  const auto kv0 = kv;
+
+  RadixSortScratch scratch;
+  radix_sort_parallel(pool, std::span<KeyValue64>(kv), 0, &scratch);
+  radix_sort_parallel(pool, std::span<std::uint64_t>(keys), 0, &scratch);
+
+  keys = keys0;
+  kv = kv0;
+  const std::uint64_t before = g_alloc_count.load();
+  radix_sort_parallel(pool, std::span<std::uint64_t>(keys), 0, &scratch);
+  radix_sort_parallel(pool, std::span<KeyValue64>(kv), 0, &scratch);
+  const std::uint64_t after = g_alloc_count.load();
+  EXPECT_EQ(after - before, 0u);
+  EXPECT_TRUE(std::is_sorted(keys.begin(), keys.end()));
+  EXPECT_TRUE(std::is_sorted(kv.begin(), kv.end()));
+}
+
+}  // namespace
+}  // namespace hs::cpu

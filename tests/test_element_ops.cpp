@@ -70,8 +70,20 @@ TEST(ElementOps, DeviceSortHookSortsBytes) {
   auto v = hs::data::generate(hs::data::Distribution::kUniform, 10000, 9);
   auto expected = v;
   std::sort(expected.begin(), expected.end());
-  ops.device_sort(reinterpret_cast<std::byte*>(v.data()), v.size());
+  ops.device_sort(reinterpret_cast<std::byte*>(v.data()), v.size(), nullptr);
   EXPECT_EQ(v, expected);
+}
+
+TEST(ElementOps, DeviceSortReusesCallerScratch) {
+  const auto ops = element_ops<hs::KeyValue64>();
+  RadixSortScratch scratch;
+  for (const std::uint64_t n : {20000u, 10000u, 20000u}) {
+    auto v = make_kv(n, 11);
+    auto expected = v;
+    std::stable_sort(expected.begin(), expected.end());
+    ops.device_sort(reinterpret_cast<std::byte*>(v.data()), n, &scratch);
+    EXPECT_EQ(v, expected);
+  }
 }
 
 TEST(ElementOps, MergePairHookMergesRuns) {
