@@ -15,12 +15,18 @@
 // Memcpy series compare std::memcpy, memcpy_stream and parallel_memcpy.
 //
 // Usage: bench_sortpath [output.json]   (default BENCH_sortpath.json)
+//
+// Set HETSORT_BENCH_SMOKE=1 for a reduced run (fewer elements and trials,
+// no 128 MiB copy) suitable for CI: absolute rates shrink with n, but the
+// machine-independent fields (executed_passes, engine-vs-seed speedup) stay
+// comparable against the committed baseline via tools/compare_bench.py.
 #include <algorithm>
 #include <array>
 #include <bit>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <span>
 #include <string>
@@ -103,8 +109,14 @@ namespace {
 
 using hs::data::Distribution;
 
-constexpr std::uint64_t kSortElems = std::uint64_t{1} << 22;  // 4M / series
-constexpr int kTrials = 3;
+// Full-size defaults; HETSORT_BENCH_SMOKE=1 shrinks both in main().
+std::uint64_t g_sort_elems = std::uint64_t{1} << 22;  // 4M / series
+int g_trials = 3;
+
+bool smoke_mode() {
+  const char* v = std::getenv("HETSORT_BENCH_SMOKE");
+  return v != nullptr && v[0] != '\0' && v[0] != '0';
+}
 
 double now_seconds() {
   using clock = std::chrono::steady_clock;
@@ -156,7 +168,7 @@ struct RadixSeries {
 template <typename T>
 RadixSeries run_radix(hs::cpu::ThreadPool& pool, const std::string& type,
                       Distribution dist) {
-  const auto input = make_input<T>(dist, kSortElems);
+  const auto input = make_input<T>(dist, g_sort_elems);
   std::vector<T> work(input.size());
   std::vector<T> expect = input;
   reference::radix_sort(std::span<T>(expect));
@@ -167,9 +179,9 @@ RadixSeries run_radix(hs::cpu::ThreadPool& pool, const std::string& type,
 
   // Timed region includes the reload copy for every candidate equally; the
   // reported rate subtracts it via the measured memcpy time.
-  const double t_copy = best_of(kTrials, reload);
+  const double t_copy = best_of(g_trials, reload);
 
-  const double t_seed = best_of(kTrials, [&] {
+  const double t_seed = best_of(g_trials, [&] {
     reload();
     reference::radix_sort(std::span<T>(work));
   });
@@ -179,7 +191,7 @@ RadixSeries run_radix(hs::cpu::ThreadPool& pool, const std::string& type,
   reload();
   hs::cpu::radix_sort(std::span<T>(work), &scratch);  // warm-up sizes buffers
   const unsigned passes = scratch.executed_passes;
-  const double t_engine = best_of(kTrials, [&] {
+  const double t_engine = best_of(g_trials, [&] {
     reload();
     hs::cpu::radix_sort(std::span<T>(work), &scratch);
   });
@@ -188,7 +200,7 @@ RadixSeries run_radix(hs::cpu::ThreadPool& pool, const std::string& type,
   hs::cpu::RadixSortScratch par_scratch;
   reload();
   hs::cpu::radix_sort_parallel(pool, std::span<T>(work), 0, &par_scratch);
-  const double t_par = best_of(kTrials, [&] {
+  const double t_par = best_of(g_trials, [&] {
     reload();
     hs::cpu::radix_sort_parallel(pool, std::span<T>(work), 0, &par_scratch);
   });
@@ -226,11 +238,11 @@ MemcpySeries run_memcpy(hs::cpu::ThreadPool& pool, std::size_t bytes) {
   MemcpySeries s;
   s.bytes = bytes;
   s.memcpy_gbps =
-      gb / best_of(kTrials, [&] { std::memcpy(dst.data(), src.data(), bytes); });
-  s.stream_gbps = gb / best_of(kTrials, [&] {
+      gb / best_of(g_trials, [&] { std::memcpy(dst.data(), src.data(), bytes); });
+  s.stream_gbps = gb / best_of(g_trials, [&] {
                     hs::cpu::memcpy_stream(dst.data(), src.data(), bytes);
                   });
-  s.parallel_gbps = gb / best_of(kTrials, [&] {
+  s.parallel_gbps = gb / best_of(g_trials, [&] {
                       hs::cpu::parallel_memcpy(pool, dst.data(), src.data(),
                                                bytes);
                     });
@@ -246,6 +258,13 @@ MemcpySeries run_memcpy(hs::cpu::ThreadPool& pool, std::size_t bytes) {
 
 int main(int argc, char** argv) {
   const std::string out_path = argc > 1 ? argv[1] : "BENCH_sortpath.json";
+  const bool smoke = smoke_mode();
+  if (smoke) {
+    g_sort_elems = std::uint64_t{1} << 19;  // 512k: seconds, not minutes
+    g_trials = 2;
+    std::printf("HETSORT_BENCH_SMOKE=1: %llu elements, %d trials\n",
+                static_cast<unsigned long long>(g_sort_elems), g_trials);
+  }
   hs::cpu::ThreadPool pool;
 
   std::vector<RadixSeries> radix;
@@ -257,17 +276,20 @@ int main(int argc, char** argv) {
   }
 
   std::vector<MemcpySeries> copies;
-  for (const std::size_t bytes :
-       {std::size_t{1} << 20, std::size_t{16} << 20, std::size_t{128} << 20}) {
+  std::vector<std::size_t> copy_sizes = {std::size_t{1} << 20,
+                                         std::size_t{16} << 20};
+  if (!smoke) copy_sizes.push_back(std::size_t{128} << 20);
+  for (const std::size_t bytes : copy_sizes) {
     copies.push_back(run_memcpy(pool, bytes));
   }
 
   std::FILE* f = std::fopen(out_path.c_str(), "w");
   HS_EXPECTS_MSG(f != nullptr, "cannot open output file");
   std::fprintf(f, "{\n  \"bench\": \"sortpath\",\n");
+  std::fprintf(f, "  \"smoke\": %s,\n", smoke ? "true" : "false");
   std::fprintf(f, "  \"sort_elements\": %llu,\n",
-               static_cast<unsigned long long>(kSortElems));
-  std::fprintf(f, "  \"trials\": %d,\n  \"pool_threads\": %u,\n", kTrials,
+               static_cast<unsigned long long>(g_sort_elems));
+  std::fprintf(f, "  \"trials\": %d,\n  \"pool_threads\": %u,\n", g_trials,
                pool.size());
   std::fprintf(f, "  \"radix_units\": \"million elements per second\",\n");
   std::fprintf(f, "  \"radix\": [\n");

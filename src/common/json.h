@@ -1,0 +1,23 @@
+// Minimal JSON string escaping shared by the trace/report exporters.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace hs {
+
+/// Escapes the characters a label could inject into a JSON string literal.
+/// Control characters are replaced with spaces (labels are human-written
+/// identifiers; we keep the exporter allocation-light instead of emitting
+/// \uXXXX sequences).
+inline std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(static_cast<unsigned char>(c) < 0x20 ? ' ' : c);
+  }
+  return out;
+}
+
+}  // namespace hs

@@ -9,6 +9,7 @@
 #include "core/batch_plan.h"
 #include "core/merge_schedule.h"
 #include "core/pipeline_builder.h"
+#include "obs/trace_io.h"
 #include "vgpu/faults.h"
 #include "vgpu/runtime.h"
 
@@ -99,6 +100,12 @@ Report HeterogeneousSorter::attempt(std::span<std::byte> data, std::uint64_t n,
 
   r.trace = std::move(trace);
 
+  // Feed the observability layer from the completed trace: byte counters
+  // always, the virtual-clock span tree only when a recorder is installed.
+  // Done post-run so the engine itself stays observability-free.
+  obs::ingest_trace_counters(r.trace);
+  if (obs::SpanRecorder* rec = obs::current()) obs::ingest_trace(*rec, r.trace);
+
   if (is_real) {
     HS_ASSERT(bufs.output.size() == data.size());
     std::memcpy(data.data(), bufs.output.data(), data.size());
@@ -129,6 +136,25 @@ Report HeterogeneousSorter::cpu_fallback(std::span<std::byte> data,
 
 Report HeterogeneousSorter::run(std::span<std::byte> data, std::uint64_t n,
                                 const cpu::ElementOps& ops, bool is_real) {
+  const obs::CounterSnapshot before = obs::counters().snapshot();
+  Report r = run_impl(data, n, ops, is_real);
+  // Mirror the run's recovery outcome into the counter registry so fleet-wide
+  // fault accounting aggregates across runs like every other counter.
+  obs::count(obs::Counter::kFaultsInjected, r.recovery.faults_injected);
+  obs::count(obs::Counter::kTransferRetries, r.recovery.transfer_retries);
+  obs::count(obs::Counter::kBatchResplits, r.recovery.batch_resplits);
+  obs::count(obs::Counter::kDevicesBlacklisted,
+             r.recovery.devices_blacklisted);
+  obs::count(obs::Counter::kAttempts, r.recovery.attempts);
+  obs::count(obs::Counter::kCpuFallbacks, r.recovery.cpu_fallback ? 1 : 0);
+  r.counters = obs::counters().snapshot() - before;
+  return r;
+}
+
+Report HeterogeneousSorter::run_impl(std::span<std::byte> data,
+                                     std::uint64_t n,
+                                     const cpu::ElementOps& ops,
+                                     bool is_real) {
   sim::FaultInjector injector(config_.faults);
   const RecoveryPolicy& pol = config_.recovery;
   AttemptInfo info;

@@ -77,8 +77,13 @@ class HeterogeneousSorter {
     std::uint64_t batch_size = 0;
   };
 
+  /// Observability wrapper: snapshots the counter registry around run_impl,
+  /// feeds the recovery counters, and stores the delta in Report::counters.
   Report run(std::span<std::byte> data, std::uint64_t n,
              const cpu::ElementOps& ops, bool is_real);
+
+  Report run_impl(std::span<std::byte> data, std::uint64_t n,
+                  const cpu::ElementOps& ops, bool is_real);
 
   /// One pipeline build + engine run against `plat`/`cfg`. Fills `info`
   /// before any fault can strike so the recovery loop can charge and adapt.

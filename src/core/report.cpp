@@ -56,6 +56,30 @@ void Report::print(std::ostream& os) const {
         recovery.recovery_seconds);
     os << buf;
   }
+  if (counters.any()) {
+    std::snprintf(
+        buf, sizeof buf,
+        "  counters: HtoD %llu B | DtoH %llu B | staged-in %llu B | "
+        "staged-out %llu B | radix passes %llu (skipped %llu) | "
+        "merged %llu elems | pinned-alloc %llu B\n",
+        static_cast<unsigned long long>(
+            counters.value(obs::Counter::kBytesHtoD)),
+        static_cast<unsigned long long>(
+            counters.value(obs::Counter::kBytesDtoH)),
+        static_cast<unsigned long long>(
+            counters.value(obs::Counter::kBytesStageIn)),
+        static_cast<unsigned long long>(
+            counters.value(obs::Counter::kBytesStageOut)),
+        static_cast<unsigned long long>(
+            counters.value(obs::Counter::kRadixPassesExecuted)),
+        static_cast<unsigned long long>(
+            counters.value(obs::Counter::kRadixPassesSkipped)),
+        static_cast<unsigned long long>(
+            counters.value(obs::Counter::kMergeElements)),
+        static_cast<unsigned long long>(
+            counters.value(obs::Counter::kBytesPinnedAlloc)));
+    os << buf;
+  }
 }
 
 }  // namespace hs::core

@@ -8,6 +8,7 @@
 
 #include "core/recovery.h"
 #include "core/sort_config.h"
+#include "obs/counters.h"
 #include "sim/trace.h"
 
 namespace hs::core {
@@ -62,6 +63,11 @@ struct Report {
   /// were injected, end_to_end already includes recovery.recovery_seconds
   /// plus the in-task retry and stall costs.
   RecoveryStats recovery;
+
+  /// Delta of the process-wide observability counters over this run: bytes
+  /// over each link, radix passes, merge volume, allocations, recovery
+  /// events. All-zero when counting is disabled.
+  obs::CounterSnapshot counters;
 
   double speedup_vs_reference() const {
     return end_to_end > 0 ? reference_cpu_time / end_to_end : 0.0;

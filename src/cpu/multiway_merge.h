@@ -30,6 +30,8 @@
 #include "cpu/loser_tree.h"
 #include "cpu/parallel_for.h"
 #include "cpu/thread_pool.h"
+#include "obs/counters.h"
+#include "obs/span.h"
 
 namespace hs::cpu {
 
@@ -93,6 +95,10 @@ void multiway_merge_parallel(ThreadPool& pool,
   for (const auto& r : runs) total += r.size();
   HS_EXPECTS(out.size() == total);
   if (total == 0) return;
+  const obs::ScopedSpan span("multiway_merge_parallel", "Merge",
+                             total * sizeof(T));
+  obs::count(obs::Counter::kMergeElements, total);
+  obs::count(obs::Counter::kMergeRuns, runs.size());
 
   unsigned p = parts == 0 ? pool.size() : std::min(parts, pool.size());
   p = static_cast<unsigned>(std::min<std::uint64_t>(p, total));

@@ -6,6 +6,8 @@
 
 #include "common/assert.h"
 #include "cpu/parallel_for.h"
+#include "obs/counters.h"
+#include "obs/span.h"
 
 #if defined(__SSE2__)
 #include <emmintrin.h>
@@ -64,6 +66,8 @@ void memcpy_stream(void* dst, const void* src, std::size_t bytes) {
 void parallel_memcpy(ThreadPool& pool, void* dst, const void* src,
                      std::size_t bytes, unsigned parts) {
   HS_EXPECTS(dst != nullptr && src != nullptr);
+  const obs::ScopedSpan span("parallel_memcpy", "Memcpy", bytes);
+  obs::count(obs::Counter::kBytesParMemcpy, bytes);
   if (bytes <= kSequentialCutoff || pool.size() == 1) {
     std::memcpy(dst, src, bytes);
     return;

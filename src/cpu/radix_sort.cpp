@@ -10,6 +10,8 @@
 #include "common/assert.h"
 #include "cpu/parallel_for.h"
 #include "cpu/parallel_memcpy.h"
+#include "obs/counters.h"
+#include "obs/span.h"
 
 #if defined(__SSE2__)
 #include <emmintrin.h>
@@ -655,6 +657,22 @@ void with_scratch(RadixSortScratch* scratch, Fn&& fn) {
   }
 }
 
+// Observability shim around every public entry: one wall span for the whole
+// sort and the pass-accounting counters (skipped = trivial passes the
+// histogram analysis elided).
+template <typename Fn>
+void with_scratch_observed(RadixSortScratch* scratch, const char* span_name,
+                           std::uint64_t bytes, Fn&& fn) {
+  const obs::ScopedSpan span(span_name, "CpuSort", bytes);
+  with_scratch(scratch, [&](RadixSortScratch& s) {
+    fn(s);
+    obs::count(obs::Counter::kRadixSorts, 1);
+    obs::count(obs::Counter::kRadixPassesExecuted, s.executed_passes);
+    obs::count(obs::Counter::kRadixPassesSkipped,
+               kRadixPasses - s.executed_passes);
+  });
+}
+
 }  // namespace
 
 namespace detail {
@@ -676,44 +694,55 @@ double radix_key_to_double(std::uint64_t k) {
 }
 
 void radix_sort(std::span<std::uint64_t> keys, RadixSortScratch* scratch) {
-  with_scratch(scratch, [&](RadixSortScratch& s) {
-    sort_sequential(keys, U64Key{}, Identity{}, Identity{}, s);
-  });
+  with_scratch_observed(
+      scratch, "radix_sort", keys.size_bytes(), [&](RadixSortScratch& s) {
+        sort_sequential(keys, U64Key{}, Identity{}, Identity{}, s);
+      });
 }
 
 void radix_sort(std::span<double> values, RadixSortScratch* scratch) {
   auto keys = as_keys(values);
-  with_scratch(scratch, [&](RadixSortScratch& s) {
-    sort_sequential(keys, U64Key{}, DoubleLoad{}, DoubleStore{}, s);
-  });
+  with_scratch_observed(
+      scratch, "radix_sort", keys.size_bytes(), [&](RadixSortScratch& s) {
+        sort_sequential(keys, U64Key{}, DoubleLoad{}, DoubleStore{}, s);
+      });
 }
 
 void radix_sort(std::span<KeyValue64> records, RadixSortScratch* scratch) {
-  with_scratch(scratch, [&](RadixSortScratch& s) {
-    sort_sequential(records, KvKey{}, Identity{}, Identity{}, s);
-  });
+  with_scratch_observed(
+      scratch, "radix_sort", records.size_bytes(), [&](RadixSortScratch& s) {
+        sort_sequential(records, KvKey{}, Identity{}, Identity{}, s);
+      });
 }
 
 void radix_sort_parallel(ThreadPool& pool, std::span<std::uint64_t> keys,
                          unsigned parts, RadixSortScratch* scratch) {
-  with_scratch(scratch, [&](RadixSortScratch& s) {
-    sort_parallel(pool, keys, parts, U64Key{}, Identity{}, Identity{}, s);
-  });
+  with_scratch_observed(
+      scratch, "radix_sort_parallel", keys.size_bytes(),
+      [&](RadixSortScratch& s) {
+        sort_parallel(pool, keys, parts, U64Key{}, Identity{}, Identity{}, s);
+      });
 }
 
 void radix_sort_parallel(ThreadPool& pool, std::span<double> values,
                          unsigned parts, RadixSortScratch* scratch) {
   auto keys = as_keys(values);
-  with_scratch(scratch, [&](RadixSortScratch& s) {
-    sort_parallel(pool, keys, parts, U64Key{}, DoubleLoad{}, DoubleStore{}, s);
-  });
+  with_scratch_observed(
+      scratch, "radix_sort_parallel", keys.size_bytes(),
+      [&](RadixSortScratch& s) {
+        sort_parallel(pool, keys, parts, U64Key{}, DoubleLoad{},
+                      DoubleStore{}, s);
+      });
 }
 
 void radix_sort_parallel(ThreadPool& pool, std::span<KeyValue64> records,
                          unsigned parts, RadixSortScratch* scratch) {
-  with_scratch(scratch, [&](RadixSortScratch& s) {
-    sort_parallel(pool, records, parts, KvKey{}, Identity{}, Identity{}, s);
-  });
+  with_scratch_observed(
+      scratch, "radix_sort_parallel", records.size_bytes(),
+      [&](RadixSortScratch& s) {
+        sort_parallel(pool, records, parts, KvKey{}, Identity{}, Identity{},
+                      s);
+      });
 }
 
 // --- scratch ----------------------------------------------------------------

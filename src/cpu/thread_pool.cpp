@@ -3,6 +3,8 @@
 #include <utility>
 
 #include "common/assert.h"
+#include "obs/counters.h"
+#include "obs/span.h"
 
 namespace hs::cpu {
 
@@ -51,6 +53,7 @@ void ThreadPool::submit(std::function<void()> fn) {
 void ThreadPool::submit_raw(void (*fn)(void*), void* arg, unsigned copies) {
   HS_EXPECTS(fn != nullptr);
   if (copies == 0) return;
+  obs::count(obs::Counter::kPoolTasks, copies);
   if (workers_.empty()) {
     for (unsigned i = 0; i < copies; ++i) fn(arg);
     return;
@@ -96,6 +99,7 @@ void ThreadPool::worker_loop() {
       head_ = (head_ + 1) % ring_.size();
       --count_;
     }
+    const obs::ScopedSpan span("task", "Pool");
     task.fn(task.arg);
   }
 }

@@ -1,5 +1,6 @@
 #include "model/platforms.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/assert.h"
@@ -92,6 +93,13 @@ double reference_sort_time(const Platform& p, CpuSortLibrary lib,
       return 2.0 * p.cpu_sort.time(n, 1);
   }
   return gnu;
+}
+
+std::uint64_t max_bline_elems(const Platform& p, std::uint64_t elem_size) {
+  HS_EXPECTS(!p.gpus.empty() && elem_size > 0);
+  std::uint64_t smallest = p.gpus.front().memory_bytes;
+  for (const GpuSpec& g : p.gpus) smallest = std::min(smallest, g.memory_bytes);
+  return smallest / (2 * elem_size);
 }
 
 }  // namespace hs::model

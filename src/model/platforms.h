@@ -69,4 +69,10 @@ enum class CpuSortLibrary { kGnuParallel, kTbb, kStdSort, kStdQsort };
 double reference_sort_time(const Platform& p, CpuSortLibrary lib,
                            std::uint64_t n, unsigned threads);
 
+/// Largest n a single-batch (BLINE) run admits: the batch-sizing rule needs
+/// an input buffer plus a sort temporary per stream (Section IV-F), i.e.
+/// 2·n·elem_size bytes on the smallest GPU. Useful for sizing observability
+/// comparisons that want every approach to run the same n.
+std::uint64_t max_bline_elems(const Platform& p, std::uint64_t elem_size);
+
 }  // namespace hs::model

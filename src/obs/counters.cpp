@@ -1,0 +1,46 @@
+#include "obs/counters.h"
+
+namespace hs::obs {
+namespace {
+
+std::atomic<bool> g_enabled{true};
+
+}  // namespace
+
+std::string_view counter_name(Counter c) {
+  switch (c) {
+    case Counter::kBytesHtoD: return "bytes_htod";
+    case Counter::kBytesDtoH: return "bytes_dtoh";
+    case Counter::kBytesStageIn: return "bytes_stage_in";
+    case Counter::kBytesStageOut: return "bytes_stage_out";
+    case Counter::kBytesParMemcpy: return "bytes_par_memcpy";
+    case Counter::kRadixSorts: return "radix_sorts";
+    case Counter::kRadixPassesExecuted: return "radix_passes_executed";
+    case Counter::kRadixPassesSkipped: return "radix_passes_skipped";
+    case Counter::kMergeElements: return "merge_elements";
+    case Counter::kMergeRuns: return "merge_runs";
+    case Counter::kPoolTasks: return "pool_tasks";
+    case Counter::kBytesPinnedAlloc: return "bytes_pinned_alloc";
+    case Counter::kBytesDeviceAlloc: return "bytes_device_alloc";
+    case Counter::kFaultsInjected: return "faults_injected";
+    case Counter::kTransferRetries: return "transfer_retries";
+    case Counter::kBatchResplits: return "batch_resplits";
+    case Counter::kDevicesBlacklisted: return "devices_blacklisted";
+    case Counter::kAttempts: return "attempts";
+    case Counter::kCpuFallbacks: return "cpu_fallbacks";
+  }
+  return "?";
+}
+
+CounterRegistry& counters() {
+  static CounterRegistry registry;
+  return registry;
+}
+
+bool counters_enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+void set_counters_enabled(bool enabled) {
+  g_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+}  // namespace hs::obs

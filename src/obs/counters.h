@@ -1,0 +1,114 @@
+// Process-wide registry of monotonic counters.
+//
+// Counters quantify what the pipeline actually did — bytes over each link,
+// radix passes executed, elements merged, faults absorbed — so the paper's
+// accounting claims (e.g. "one round trip moves 2·n·sizeof(elem) bytes over
+// PCIe") become checkable invariants instead of folklore. The heterogeneous
+// sorter snapshots the registry around each run and reports the delta in
+// core::Report::counters.
+//
+// Cost discipline: a counter bump is one relaxed atomic add behind one
+// relaxed atomic load, issued per *call* (never per element), and the
+// registry is a fixed array — counting allocates nothing. Disable globally
+// with set_counters_enabled(false) if even that is unwanted.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace hs::obs {
+
+enum class Counter : std::uint8_t {
+  // Pipeline data movement (fed from the engine trace after each run; retried
+  // transfers count their re-sent payload, so these measure actual traffic).
+  kBytesHtoD,
+  kBytesDtoH,
+  kBytesStageIn,   // pageable -> pinned staging memcpy
+  kBytesStageOut,  // pinned -> pageable staging memcpy
+  // Host hot paths (wall-clock side, fed at the call sites).
+  kBytesParMemcpy,       // parallel_memcpy payload
+  kRadixSorts,           // radix_sort / radix_sort_parallel calls
+  kRadixPassesExecuted,  // non-trivial passes actually run
+  kRadixPassesSkipped,   // trivial passes elided by the engine
+  kMergeElements,        // elements drained through multiway_merge_parallel
+  kMergeRuns,            // input runs across those merges
+  kPoolTasks,            // raw tasks dispatched by ThreadPool::submit_raw
+  // Allocations (vgpu).
+  kBytesPinnedAlloc,
+  kBytesDeviceAlloc,
+  // Recovery (mirrors core::RecoveryStats; fed by the recovery loop).
+  kFaultsInjected,
+  kTransferRetries,
+  kBatchResplits,
+  kDevicesBlacklisted,
+  kAttempts,
+  kCpuFallbacks,
+};
+
+inline constexpr std::size_t kNumCounters = 19;
+
+std::string_view counter_name(Counter c);
+
+/// Point-in-time copy of every counter; subtract two to get a run's delta.
+struct CounterSnapshot {
+  std::array<std::uint64_t, kNumCounters> values{};
+
+  std::uint64_t value(Counter c) const {
+    return values[static_cast<std::size_t>(c)];
+  }
+  bool any() const {
+    for (const std::uint64_t v : values)
+      if (v != 0) return true;
+    return false;
+  }
+  /// Bytes over PCIe in both directions — 2·n·sizeof(elem) for one fault-free
+  /// round trip of every element.
+  std::uint64_t pcie_round_trip_bytes() const {
+    return value(Counter::kBytesHtoD) + value(Counter::kBytesDtoH);
+  }
+
+  CounterSnapshot operator-(const CounterSnapshot& rhs) const {
+    CounterSnapshot d;
+    for (std::size_t i = 0; i < kNumCounters; ++i)
+      d.values[i] = values[i] - rhs.values[i];
+    return d;
+  }
+};
+
+class CounterRegistry {
+ public:
+  void add(Counter c, std::uint64_t v) {
+    counters_[static_cast<std::size_t>(c)].fetch_add(v,
+                                                     std::memory_order_relaxed);
+  }
+  std::uint64_t value(Counter c) const {
+    return counters_[static_cast<std::size_t>(c)].load(
+        std::memory_order_relaxed);
+  }
+  CounterSnapshot snapshot() const {
+    CounterSnapshot s;
+    for (std::size_t i = 0; i < kNumCounters; ++i)
+      s.values[i] = counters_[i].load(std::memory_order_relaxed);
+    return s;
+  }
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kNumCounters> counters_{};
+};
+
+/// The process-wide registry (always constructed; counters are monotonic for
+/// the process lifetime).
+CounterRegistry& counters();
+
+bool counters_enabled();
+void set_counters_enabled(bool enabled);
+
+/// Hot-path increment: no-op unless counting is enabled.
+inline void count(Counter c, std::uint64_t v) {
+  if (counters_enabled()) counters().add(c, v);
+}
+
+}  // namespace hs::obs

@@ -1,0 +1,152 @@
+#include "obs/overlap.h"
+
+#include <algorithm>
+
+namespace hs::obs {
+
+std::string_view resource_name(Resource r) {
+  switch (r) {
+    case Resource::kHtoD: return "HtoD";
+    case Resource::kDtoH: return "DtoH";
+    case Resource::kGpu: return "GPU";
+    case Resource::kStaging: return "Staging";
+    case Resource::kCpuSort: return "CpuSort";
+    case Resource::kMerge: return "Merge";
+    case Resource::kAlloc: return "Alloc";
+    case Resource::kSync: return "Sync";
+    case Resource::kOther: return "Other";
+  }
+  return "?";
+}
+
+Resource resource_of(std::string_view category) {
+  if (category == "HtoD") return Resource::kHtoD;
+  if (category == "DtoH") return Resource::kDtoH;
+  if (category == "GPUSort") return Resource::kGpu;
+  if (category == "StageIn" || category == "StageOut" || category == "Memcpy")
+    return Resource::kStaging;
+  if (category == "CpuSort") return Resource::kCpuSort;
+  if (category == "PairMerge" || category == "MultiwayMerge" ||
+      category == "Merge")
+    return Resource::kMerge;
+  if (category == "PinnedAlloc" || category == "DeviceAlloc")
+    return Resource::kAlloc;
+  if (category == "Sync") return Resource::kSync;
+  return Resource::kOther;
+}
+
+namespace detail {
+
+Intervals merge_intervals(Intervals raw) {
+  Intervals out;
+  std::erase_if(raw, [](const auto& iv) { return iv.second <= iv.first; });
+  if (raw.empty()) return out;
+  std::sort(raw.begin(), raw.end());
+  out.push_back(raw.front());
+  for (std::size_t i = 1; i < raw.size(); ++i) {
+    if (raw[i].first <= out.back().second) {
+      out.back().second = std::max(out.back().second, raw[i].second);
+    } else {
+      out.push_back(raw[i]);
+    }
+  }
+  return out;
+}
+
+double total_length(const Intervals& iv) {
+  double sum = 0;
+  for (const auto& [lo, hi] : iv) sum += hi - lo;
+  return sum;
+}
+
+double intersection_length(const Intervals& a, const Intervals& b) {
+  double sum = 0;
+  std::size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    const double lo = std::max(a[i].first, b[j].first);
+    const double hi = std::min(a[i].second, b[j].second);
+    if (hi > lo) sum += hi - lo;
+    if (a[i].second < b[j].second) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return sum;
+}
+
+Intervals union_of(const Intervals& a, const Intervals& b) {
+  Intervals all = a;
+  all.insert(all.end(), b.begin(), b.end());
+  return merge_intervals(std::move(all));
+}
+
+}  // namespace detail
+
+double OverlapReport::overlap_fraction(Resource a, Resource b) const {
+  const double lo = std::min(usage[static_cast<std::size_t>(a)].busy,
+                             usage[static_cast<std::size_t>(b)].busy);
+  return lo > 0 ? overlap_seconds(a, b) / lo : 0.0;
+}
+
+OverlapReport analyze_spans(std::span<const Span> spans) {
+  using detail::Intervals;
+  OverlapReport rep;
+
+  std::array<Intervals, kNumResources> raw;
+  bool first = true;
+  for (const Span& s : spans) {
+    if (s.category == "group") continue;  // containers, not resource time
+    const auto r = static_cast<std::size_t>(resource_of(s.category));
+    raw[r].emplace_back(s.start, s.end);
+    rep.usage[r].bytes += s.bytes;
+    rep.usage[r].spans += 1;
+    if (first) {
+      rep.window_start = s.start;
+      rep.window_end = s.end;
+      first = false;
+    } else {
+      rep.window_start = std::min(rep.window_start, s.start);
+      rep.window_end = std::max(rep.window_end, s.end);
+    }
+  }
+  if (first) return rep;  // nothing but groups (or empty input)
+
+  std::array<Intervals, kNumResources> merged;
+  for (std::size_t r = 0; r < kNumResources; ++r) {
+    merged[r] = detail::merge_intervals(std::move(raw[r]));
+    rep.usage[r].busy = detail::total_length(merged[r]);
+    // The union is contained in the window, so utilisation is <= 1 by
+    // construction.
+    rep.usage[r].utilisation =
+        rep.window() > 0 ? rep.usage[r].busy / rep.window() : 0.0;
+  }
+
+  for (std::size_t a = 0; a < kNumResources; ++a) {
+    for (std::size_t b = a + 1; b < kNumResources; ++b) {
+      const double sec = detail::intersection_length(merged[a], merged[b]);
+      rep.overlap[a][b] = sec;
+      rep.overlap[b][a] = sec;
+    }
+  }
+
+  const auto idx = [](Resource r) { return static_cast<std::size_t>(r); };
+  const Intervals copies = detail::union_of(merged[idx(Resource::kHtoD)],
+                                            merged[idx(Resource::kDtoH)]);
+  const Intervals& gpu = merged[idx(Resource::kGpu)];
+  const double copy_busy = detail::total_length(copies);
+  const double gpu_busy = rep.usage[idx(Resource::kGpu)].busy;
+  if (copy_busy > 0 && gpu_busy > 0) {
+    rep.copy_sort_overlap = detail::intersection_length(copies, gpu) /
+                            std::min(copy_busy, gpu_busy);
+  }
+  rep.merge_sort_overlap =
+      rep.overlap_fraction(Resource::kMerge, Resource::kGpu);
+
+  rep.alloc_seconds = rep.usage[idx(Resource::kAlloc)].busy;
+  rep.staging_seconds = rep.usage[idx(Resource::kStaging)].busy;
+  rep.sync_seconds = rep.usage[idx(Resource::kSync)].busy;
+  return rep;
+}
+
+}  // namespace hs::obs

@@ -1,0 +1,112 @@
+#include "obs/span.h"
+
+#include <chrono>
+
+#include "common/assert.h"
+
+namespace hs::obs {
+namespace {
+
+std::atomic<SpanRecorder*> g_recorder{nullptr};
+
+std::uint64_t steady_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// Per-thread nesting state. Bound to one recorder at a time: if a different
+// recorder is installed the stale stack is abandoned (open spans across an
+// install/uninstall are a documented caller error).
+struct ThreadState {
+  const SpanRecorder* owner = nullptr;
+  std::vector<std::uint32_t> open;
+  std::uint32_t track = 0;
+  bool track_assigned = false;
+};
+
+ThreadState& thread_state(const SpanRecorder* rec) {
+  thread_local ThreadState state;
+  if (state.owner != rec) {
+    state.owner = rec;
+    state.open.clear();
+    state.track_assigned = false;
+  }
+  return state;
+}
+
+}  // namespace
+
+SpanRecorder::SpanRecorder() : origin_ns_(steady_ns()) {}
+
+double SpanRecorder::now() const {
+  return static_cast<double>(steady_ns() - origin_ns_) * 1e-9;
+}
+
+std::uint32_t SpanRecorder::record(Span s) {
+  std::lock_guard lock(mu_);
+  spans_.push_back(std::move(s));
+  return static_cast<std::uint32_t>(spans_.size() - 1);
+}
+
+std::uint32_t SpanRecorder::open(const char* name, const char* category,
+                                 std::uint64_t bytes) {
+  ThreadState& ts = thread_state(this);
+  Span s;
+  s.name = name;
+  s.category = category;
+  s.bytes = bytes;
+  s.clock = Clock::kWall;
+  s.depth = static_cast<std::uint32_t>(ts.open.size());
+  s.parent = ts.open.empty() ? kNoParent : ts.open.back();
+  s.start = now();
+  s.end = s.start;  // patched by close()
+  std::uint32_t index = 0;
+  {
+    std::lock_guard lock(mu_);
+    if (!ts.track_assigned) {
+      ts.track = next_track_++;
+      ts.track_assigned = true;
+    }
+    s.track = ts.track;
+    spans_.push_back(std::move(s));
+    index = static_cast<std::uint32_t>(spans_.size() - 1);
+  }
+  ts.open.push_back(index);
+  return index;
+}
+
+void SpanRecorder::close(std::uint32_t index) {
+  ThreadState& ts = thread_state(this);
+  HS_ASSERT(!ts.open.empty() && ts.open.back() == index);
+  ts.open.pop_back();
+  const double t = now();
+  std::lock_guard lock(mu_);
+  spans_[index].end = t;
+}
+
+std::vector<Span> SpanRecorder::snapshot() const {
+  std::lock_guard lock(mu_);
+  return spans_;
+}
+
+std::size_t SpanRecorder::size() const {
+  std::lock_guard lock(mu_);
+  return spans_.size();
+}
+
+void SpanRecorder::clear() {
+  std::lock_guard lock(mu_);
+  spans_.clear();
+}
+
+SpanRecorder* current() {
+  return g_recorder.load(std::memory_order_acquire);
+}
+
+void install(SpanRecorder* r) {
+  g_recorder.store(r, std::memory_order_release);
+}
+
+}  // namespace hs::obs

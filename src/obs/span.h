@@ -1,0 +1,113 @@
+// Unified span recorder — the pipeline's observability timeline.
+//
+// A Span is one named interval on one of two clocks:
+//   * kVirtual — simulation time. The discrete-event engine's trace is folded
+//     into spans (bit-exact event times) by obs::ingest_trace, so PIPEDATA's
+//     claimed HtoD/DtoH/sort overlap is inspectable on the same timeline the
+//     paper's Figures 1-3 draw.
+//   * kWall — wall-clock time from the host hot paths (radix sort, multiway
+//     merge, parallel memcpy, thread-pool task execution), recorded by RAII
+//     ScopedSpan guards.
+//
+// Cost discipline: recording is opt-in. No recorder installed (the default,
+// and what every bench runs with) costs one relaxed atomic load per guard and
+// performs zero heap allocations; defining HETSORT_OBS_DISABLED compiles the
+// guards out entirely. With a recorder installed, spans are appended under a
+// mutex — observability runs are not benchmark runs.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace hs::obs {
+
+enum class Clock : std::uint8_t { kVirtual, kWall };
+
+inline constexpr std::uint32_t kNoParent = 0xffffffffu;
+
+struct Span {
+  std::string name;      // task / call-site label, e.g. "b0.h2d3"
+  std::string category;  // stage label, e.g. "HtoD", "CpuSort", "group"
+  double start = 0;      // seconds on `clock`
+  double end = 0;
+  Clock clock = Clock::kWall;
+  std::int32_t device = -1;       // GPU index; -1 = host
+  std::int64_t batch = -1;        // batch index; -1 = not batch-scoped
+  std::uint64_t bytes = 0;        // payload moved/processed, 0 if n/a
+  std::uint32_t track = 0;        // display row: thread ordinal (wall) or
+                                  // group ordinal (virtual)
+  std::uint32_t depth = 0;        // nesting depth, 0 = root
+  std::uint32_t parent = kNoParent;  // index of the parent span, if any
+};
+
+/// Thread-safe append-only span collection. Wall-clock spans are measured in
+/// seconds since the recorder's construction, so a fresh recorder starts its
+/// timeline at ~0 like the virtual clock does.
+class SpanRecorder {
+ public:
+  SpanRecorder();
+
+  /// Appends a fully formed span (used by the virtual-clock ingestion).
+  /// Returns its index.
+  std::uint32_t record(Span s);
+
+  /// Opens a wall-clock span now; nesting (depth/parent) is derived from the
+  /// calling thread's stack of open spans. Returns the index to close.
+  std::uint32_t open(const char* name, const char* category,
+                     std::uint64_t bytes);
+
+  /// Closes an open wall-clock span at the current time.
+  void close(std::uint32_t index);
+
+  /// Seconds elapsed since construction (the wall timeline's origin).
+  double now() const;
+
+  std::vector<Span> snapshot() const;
+  std::size_t size() const;
+  void clear();
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<Span> spans_;
+  std::uint64_t origin_ns_ = 0;
+  std::uint32_t next_track_ = 0;
+};
+
+/// Currently installed process-wide recorder, or nullptr (the default).
+SpanRecorder* current();
+
+/// Installs `r` as the process-wide recorder (nullptr uninstalls). The caller
+/// keeps ownership and must keep `r` alive — and must not uninstall — while
+/// instrumented code may still hold open spans on it.
+void install(SpanRecorder* r);
+
+/// RAII wall-clock span guard for host hot paths. A no-op (single relaxed
+/// atomic load) when no recorder is installed; compiled out entirely under
+/// HETSORT_OBS_DISABLED.
+class ScopedSpan {
+ public:
+#if defined(HETSORT_OBS_DISABLED)
+  ScopedSpan(const char*, const char*, std::uint64_t = 0) {}
+#else
+  ScopedSpan(const char* name, const char* category, std::uint64_t bytes = 0)
+      : rec_(current()) {
+    if (rec_ != nullptr) index_ = rec_->open(name, category, bytes);
+  }
+  ~ScopedSpan() {
+    if (rec_ != nullptr) rec_->close(index_);
+  }
+#endif
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+#if !defined(HETSORT_OBS_DISABLED)
+  SpanRecorder* rec_ = nullptr;
+  std::uint32_t index_ = 0;
+#endif
+};
+
+}  // namespace hs::obs

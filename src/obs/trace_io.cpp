@@ -1,0 +1,194 @@
+#include "obs/trace_io.h"
+
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include "common/json.h"
+#include "obs/counters.h"
+
+namespace hs::obs {
+namespace {
+
+/// "b12" -> 12; returns -1 when the tail is not a plain number.
+std::int64_t trailing_number(std::string_view s, std::size_t from) {
+  if (from >= s.size()) return -1;
+  std::int64_t v = 0;
+  for (std::size_t i = from; i < s.size(); ++i) {
+    if (s[i] < '0' || s[i] > '9') return -1;
+    v = v * 10 + (s[i] - '0');
+  }
+  return v;
+}
+
+}  // namespace
+
+std::string span_group(std::string_view label) {
+  if (const auto colon = label.find(':'); colon != std::string_view::npos) {
+    return std::string(label.substr(0, colon));
+  }
+  if (const auto dot = label.find('.'); dot != std::string_view::npos) {
+    return std::string(label.substr(0, dot));
+  }
+  return {};
+}
+
+std::vector<Span> spans_from_trace(const sim::Trace& trace) {
+  std::vector<Span> out;
+  out.reserve(trace.events().size() * 2);
+  std::map<std::string, std::uint32_t> group_index;  // group -> span index
+  std::map<std::string, std::uint32_t> tracks;       // row key -> ordinal
+
+  const auto track_of = [&](const std::string& key) {
+    return tracks.emplace(key, static_cast<std::uint32_t>(tracks.size()))
+        .first->second;
+  };
+
+  for (const sim::TraceEvent& ev : trace.events()) {
+    const std::string group = span_group(ev.label);
+
+    Span leaf;
+    leaf.name = ev.label;
+    leaf.category = std::string(sim::phase_name(ev.phase));
+    leaf.start = ev.start;
+    leaf.end = ev.end;
+    leaf.clock = Clock::kVirtual;
+    leaf.bytes = ev.bytes;
+
+    // Batch tag "b<k>" / stream tag "g<k>.s<j>" carry the batch and device
+    // indices the label encodes.
+    if (group.size() > 1 && group[0] == 'b') {
+      leaf.batch = trailing_number(group, 1);
+    } else if (group.size() > 1 && group[0] == 'g') {
+      const auto dot = group.find('.');
+      const auto end = dot == std::string::npos ? group.size() : dot;
+      leaf.device = static_cast<std::int32_t>(
+          trailing_number(std::string_view(group).substr(0, end), 1));
+    }
+
+    if (group.empty()) {
+      leaf.track = track_of(ev.label);
+      out.push_back(std::move(leaf));
+      continue;
+    }
+
+    const auto [it, inserted] =
+        group_index.emplace(group, static_cast<std::uint32_t>(out.size()));
+    if (inserted) {
+      Span g;
+      g.name = group;
+      g.category = "group";
+      g.start = ev.start;
+      g.end = ev.end;
+      g.clock = Clock::kVirtual;
+      g.device = leaf.device;
+      g.batch = leaf.batch;
+      g.track = track_of(group);
+      out.push_back(std::move(g));
+    }
+    Span& g = out[it->second];
+    g.start = std::min(g.start, ev.start);
+    g.end = std::max(g.end, ev.end);
+    g.bytes += leaf.bytes;
+
+    leaf.parent = it->second;
+    leaf.depth = 1;
+    leaf.track = g.track;
+    out.push_back(std::move(leaf));
+  }
+  return out;
+}
+
+void ingest_trace(SpanRecorder& rec, const sim::Trace& trace) {
+  for (Span& s : spans_from_trace(trace)) rec.record(std::move(s));
+}
+
+void ingest_trace_counters(const sim::Trace& trace) {
+  using sim::Phase;
+  count(Counter::kBytesHtoD, trace.phase_bytes(Phase::kHtoD));
+  count(Counter::kBytesDtoH, trace.phase_bytes(Phase::kDtoH));
+  count(Counter::kBytesStageIn, trace.phase_bytes(Phase::kStageIn));
+  count(Counter::kBytesStageOut, trace.phase_bytes(Phase::kStageOut));
+}
+
+OverlapReport analyze_trace(const sim::Trace& trace) {
+  return analyze_spans(spans_from_trace(trace));
+}
+
+void export_chrome_trace(std::span<const Span> spans, std::ostream& os) {
+  os << "[\n";
+  bool first = true;
+  char buf[512];
+
+  // One metadata event per (pid, tid) row names the track.
+  std::map<std::pair<int, std::uint32_t>, std::string> rows;
+  for (const Span& s : spans) {
+    const int pid = s.clock == Clock::kVirtual ? 1 : 2;
+    auto& name = rows[{pid, s.track}];
+    if (name.empty()) {
+      name = s.clock == Clock::kVirtual
+                 ? (s.category == "group" ? s.name : span_group(s.name))
+                 : "cpu.t" + std::to_string(s.track);
+      if (name.empty()) name = s.name;
+    }
+  }
+  for (const auto& [row, name] : rows) {
+    std::snprintf(buf, sizeof buf,
+                  "%s  {\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": %d, "
+                  "\"tid\": %u, \"args\": {\"name\": \"%s\"}}",
+                  first ? "" : ",\n", row.first, row.second + 1,
+                  json_escape(name).c_str());
+    os << buf;
+    first = false;
+  }
+
+  for (const Span& s : spans) {
+    const int pid = s.clock == Clock::kVirtual ? 1 : 2;
+    std::snprintf(
+        buf, sizeof buf,
+        "%s  {\"name\": \"%s\", \"cat\": \"%s\", \"ph\": \"X\", "
+        "\"ts\": %.3f, \"dur\": %.3f, \"pid\": %d, \"tid\": %u, "
+        "\"args\": {\"bytes\": %llu, \"clock\": \"%s\", \"depth\": %u}}",
+        first ? "" : ",\n", json_escape(s.name).c_str(),
+        json_escape(s.category).c_str(), s.start * 1e6,
+        (s.end - s.start) * 1e6, pid, s.track + 1,
+        static_cast<unsigned long long>(s.bytes),
+        s.clock == Clock::kVirtual ? "virtual" : "wall", s.depth);
+    os << buf;
+    first = false;
+  }
+  os << "\n]\n";
+}
+
+void export_overlap_json(const OverlapReport& rep, std::ostream& os) {
+  char buf[256];
+  os << "{\n";
+  std::snprintf(buf, sizeof buf,
+                "  \"window_seconds\": %.9f,\n  \"resources\": {\n",
+                rep.window());
+  os << buf;
+  for (std::size_t r = 0; r < kNumResources; ++r) {
+    const ResourceUsage& u = rep.usage[r];
+    std::snprintf(buf, sizeof buf,
+                  "    \"%s\": {\"busy\": %.9f, \"utilisation\": %.6f, "
+                  "\"bytes\": %llu, \"spans\": %zu}%s\n",
+                  std::string(resource_name(static_cast<Resource>(r))).c_str(),
+                  u.busy, u.utilisation,
+                  static_cast<unsigned long long>(u.bytes), u.spans,
+                  r + 1 < kNumResources ? "," : "");
+    os << buf;
+  }
+  std::snprintf(buf, sizeof buf,
+                "  },\n  \"copy_sort_overlap\": %.6f,\n"
+                "  \"merge_sort_overlap\": %.6f,\n",
+                rep.copy_sort_overlap, rep.merge_sort_overlap);
+  os << buf;
+  std::snprintf(buf, sizeof buf,
+                "  \"overhead\": {\"alloc\": %.9f, \"staging\": %.9f, "
+                "\"sync\": %.9f, \"total\": %.9f}\n}\n",
+                rep.alloc_seconds, rep.staging_seconds, rep.sync_seconds,
+                rep.overhead_seconds());
+  os << buf;
+}
+
+}  // namespace hs::obs

@@ -1,0 +1,58 @@
+// Bridges between the simulator's execution trace and the observability
+// layer, plus the unified exporters.
+//
+// spans_from_trace folds a sim::Trace into a span tree: every trace event
+// becomes a leaf span whose [start, end) is bit-exactly the engine's virtual
+// event interval, and events sharing a label prefix ("b3.h2d0" -> "b3",
+// "g0.s1:sort" -> "g0.s1") are nested under a synthesised group span. The
+// group tree is what the golden-trace tests pin: names, nesting and ordering
+// are deterministic because the engine itself is.
+//
+// The exporters generalise sim/trace_export to both clocks: one Chrome
+// trace-event JSON for any span set (virtual pipelines and wall-clock host
+// profiles load in the same chrome://tracing view), and a machine-readable
+// JSON rendering of the overlap report.
+#pragma once
+
+#include <ostream>
+#include <span>
+#include <vector>
+
+#include "obs/overlap.h"
+#include "obs/span.h"
+#include "sim/trace.h"
+
+namespace hs::obs {
+
+/// Group key for a task label: the part before ':' if present, else before
+/// the first '.', else empty (no group).
+std::string span_group(std::string_view label);
+
+/// Converts a trace into spans (virtual clock). Leaf spans appear in trace
+/// (completion) order, each preceded — at its group's first appearance — by
+/// its group span; group spans carry category "group" and cover the union of
+/// their children.
+std::vector<Span> spans_from_trace(const sim::Trace& trace);
+
+/// Appends the trace's span tree to `rec` (the engine-side feed of the
+/// recorder: one recorder then holds virtual pipeline spans next to wall
+/// spans from the host hot paths).
+void ingest_trace(SpanRecorder& rec, const sim::Trace& trace);
+
+/// Feeds the trace's per-phase byte totals into the global counter registry
+/// (HtoD, DtoH, staging in/out).
+void ingest_trace_counters(const sim::Trace& trace);
+
+/// Folds the trace straight into an overlap report (leaf spans only).
+OverlapReport analyze_trace(const sim::Trace& trace);
+
+/// Chrome trace-event JSON for any span set. Virtual-clock spans render under
+/// pid 1, wall-clock spans under pid 2; rows (tid) are span groups (virtual)
+/// or thread tracks (wall). Durations are microseconds as the format
+/// requires.
+void export_chrome_trace(std::span<const Span> spans, std::ostream& os);
+
+/// Machine-readable overlap/overhead report.
+void export_overlap_json(const OverlapReport& rep, std::ostream& os);
+
+}  // namespace hs::obs

@@ -7,22 +7,9 @@
 #include <vector>
 
 #include "common/assert.h"
+#include "common/json.h"
 
 namespace hs::sim {
-namespace {
-
-// Escapes the few characters task labels could inject into JSON strings.
-std::string json_escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (const char c : s) {
-    if (c == '"' || c == '\\') out.push_back('\\');
-    out.push_back(c);
-  }
-  return out;
-}
-
-}  // namespace
 
 void export_chrome_trace(const Trace& trace, std::ostream& os) {
   os << "[\n";

@@ -2,6 +2,7 @@
 
 #include "common/assert.h"
 #include "common/units.h"
+#include "obs/counters.h"
 #include "sim/fault_injector.h"
 
 namespace hs::vgpu {
@@ -29,6 +30,7 @@ DeviceBuffer Device::allocate(std::uint64_t bytes) {
     throw DeviceOutOfMemory(spec_.model, bytes, free_bytes());
   }
   used_ += bytes;
+  obs::count(obs::Counter::kBytesDeviceAlloc, bytes);
   return DeviceBuffer(this, bytes, mode_ == Execution::kReal);
 }
 

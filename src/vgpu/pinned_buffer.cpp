@@ -1,9 +1,12 @@
 #include "vgpu/pinned_buffer.h"
 
+#include "obs/counters.h"
+
 namespace hs::vgpu {
 
 PinnedHostBuffer::PinnedHostBuffer(std::uint64_t bytes, Execution mode)
     : bytes_(bytes) {
+  obs::count(obs::Counter::kBytesPinnedAlloc, bytes);
   if (mode == Execution::kReal) storage_.resize(bytes);
 }
 

@@ -1,0 +1,263 @@
+// Counter invariants: the paper's accounting claims as checkable numbers.
+// One fault-free round trip moves exactly 2·n·sizeof(elem) bytes over PCIe
+// (and the same through staging); radix counters mirror the engine's
+// executed_passes; merge counters mirror the drained volume; recovery
+// counters mirror Report::recovery under the fault-injection seeds the
+// recovery suite pins.
+//
+// Counters are process-global and monotonic, so every test measures a delta
+// around the calls it makes (gtest runs tests in one thread, serially).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <sstream>
+#include <vector>
+
+#include "core/het_sorter.h"
+#include "cpu/multiway_merge.h"
+#include "cpu/parallel_for.h"
+#include "cpu/parallel_memcpy.h"
+#include "cpu/radix_sort.h"
+#include "cpu/thread_pool.h"
+#include "data/generators.h"
+#include "model/platforms.h"
+#include "obs/counters.h"
+
+namespace hs::obs {
+namespace {
+
+using core::Approach;
+using core::HeterogeneousSorter;
+using core::Report;
+using core::SortConfig;
+using hs::data::Distribution;
+using hs::sim::FaultSite;
+
+model::Platform test_platform(unsigned gpus = 2) {
+  model::Platform p = model::platform1();
+  p.gpus.clear();
+  model::GpuSpec spec;
+  spec.model = "TinyTestGPU";
+  spec.cuda_cores = 64;
+  spec.memory_bytes = 65536 * sizeof(double);
+  spec.sort = model::GpuSortModel{1e-4, 2e-9};
+  for (unsigned i = 0; i < gpus; ++i) p.gpus.push_back(spec);
+  return p;
+}
+
+SortConfig small_config() {
+  SortConfig cfg;
+  cfg.batch_size = 4000;
+  cfg.staging_elems = 1000;
+  cfg.num_gpus = 2;
+  return cfg;
+}
+
+CounterSnapshot delta_of(const CounterSnapshot& before) {
+  return counters().snapshot() - before;
+}
+
+// --- pipeline byte accounting ------------------------------------------------
+
+// Section II: every element crosses PCIe exactly twice (HtoD then DtoH), and
+// the staged pipeline copies it through pinned memory once per direction.
+TEST(PipelineCounters, RoundTripMovesExactly2NBytesOverPcie) {
+  constexpr std::uint64_t n = 20000;
+  const Report r =
+      HeterogeneousSorter(test_platform(), small_config()).simulate(n);
+  EXPECT_EQ(r.counters.value(Counter::kBytesHtoD), n * sizeof(double));
+  EXPECT_EQ(r.counters.value(Counter::kBytesDtoH), n * sizeof(double));
+  EXPECT_EQ(r.counters.value(Counter::kBytesStageIn), n * sizeof(double));
+  EXPECT_EQ(r.counters.value(Counter::kBytesStageOut), n * sizeof(double));
+  EXPECT_EQ(r.counters.pcie_round_trip_bytes(), 2 * n * sizeof(double));
+}
+
+// The counters must agree between the payload-free and the real execution of
+// the identical pipeline.
+TEST(PipelineCounters, RealSortMatchesSimulateByteForByte) {
+  constexpr std::uint64_t n = 20000;
+  HeterogeneousSorter sorter(test_platform(), small_config());
+  const Report sim = sorter.simulate(n);
+  auto data = hs::data::generate(Distribution::kUniform, n, 5);
+  const Report real = sorter.sort(data);
+  for (const Counter c : {Counter::kBytesHtoD, Counter::kBytesDtoH,
+                          Counter::kBytesStageIn, Counter::kBytesStageOut}) {
+    EXPECT_EQ(real.counters.value(c), sim.counters.value(c))
+        << counter_name(c);
+  }
+}
+
+TEST(PipelineCounters, AllocationCountersAreLiveDuringARun) {
+  const Report r =
+      HeterogeneousSorter(test_platform(), small_config()).simulate(20000);
+  EXPECT_GT(r.counters.value(Counter::kBytesPinnedAlloc), 0u);
+  EXPECT_GT(r.counters.value(Counter::kBytesDeviceAlloc), 0u);
+  // Each stream allocates an input buffer plus a sort temporary (the paper's
+  // 2x batch-size device footprint, Section IV-F).
+  EXPECT_GE(r.counters.value(Counter::kBytesDeviceAlloc),
+            2 * 4000 * sizeof(double));
+}
+
+TEST(PipelineCounters, ReportPrintsCounterSection) {
+  const Report r =
+      HeterogeneousSorter(test_platform(), small_config()).simulate(20000);
+  std::ostringstream os;
+  r.print(os);
+  EXPECT_NE(os.str().find("counters:"), std::string::npos) << os.str();
+}
+
+// --- host hot-path counters --------------------------------------------------
+
+TEST(HostPathCounters, RadixPassCountersMatchScratch) {
+  auto values = hs::data::generate(Distribution::kUniform, 50000, 11);
+  cpu::RadixSortScratch scratch;
+  const CounterSnapshot before = counters().snapshot();
+  cpu::radix_sort(std::span<double>(values), &scratch);
+  const CounterSnapshot d = delta_of(before);
+  EXPECT_EQ(d.value(Counter::kRadixSorts), 1u);
+  EXPECT_EQ(d.value(Counter::kRadixPassesExecuted), scratch.executed_passes);
+  EXPECT_EQ(d.value(Counter::kRadixPassesExecuted) +
+                d.value(Counter::kRadixPassesSkipped),
+            cpu::kRadixPasses);
+}
+
+TEST(HostPathCounters, ParallelRadixCountsOncePerCall) {
+  cpu::ThreadPool pool(4);
+  auto values = hs::data::generate(Distribution::kUniform, 50000, 12);
+  cpu::RadixSortScratch scratch;
+  const CounterSnapshot before = counters().snapshot();
+  cpu::radix_sort_parallel(pool, std::span<double>(values), 0, &scratch);
+  const CounterSnapshot d = delta_of(before);
+  EXPECT_EQ(d.value(Counter::kRadixSorts), 1u);
+  EXPECT_EQ(d.value(Counter::kRadixPassesExecuted), scratch.executed_passes);
+}
+
+TEST(HostPathCounters, MergeCountersMatchDrainedVolume) {
+  cpu::ThreadPool pool(4);
+  std::vector<std::vector<double>> runs_store;
+  std::vector<std::span<const double>> runs;
+  std::uint64_t total = 0;
+  for (int r = 0; r < 5; ++r) {
+    auto run = hs::data::generate(Distribution::kUniform,
+                                  static_cast<std::uint64_t>(3000 + 100 * r),
+                                  static_cast<std::uint64_t>(20 + r));
+    std::sort(run.begin(), run.end());
+    total += run.size();
+    runs_store.push_back(std::move(run));
+  }
+  for (const auto& r : runs_store) runs.emplace_back(r);
+  std::vector<double> out(total);
+
+  const CounterSnapshot before = counters().snapshot();
+  cpu::multiway_merge_parallel(pool, runs, std::span<double>(out));
+  const CounterSnapshot d = delta_of(before);
+  EXPECT_EQ(d.value(Counter::kMergeElements), total);
+  EXPECT_EQ(d.value(Counter::kMergeRuns), runs.size());
+  EXPECT_TRUE(std::is_sorted(out.begin(), out.end()));
+}
+
+TEST(HostPathCounters, ParallelMemcpyCountsItsPayload) {
+  cpu::ThreadPool pool(4);
+  const std::size_t bytes = 1 << 20;
+  std::vector<std::byte> src(bytes), dst(bytes);
+  const CounterSnapshot before = counters().snapshot();
+  cpu::parallel_memcpy(pool, dst.data(), src.data(), bytes);
+  const CounterSnapshot d = delta_of(before);
+  EXPECT_EQ(d.value(Counter::kBytesParMemcpy), bytes);
+}
+
+TEST(HostPathCounters, PoolTasksCountSubmittedCopies) {
+  cpu::ThreadPool pool(4);
+  const CounterSnapshot before = counters().snapshot();
+  std::atomic<unsigned> ran{0};
+  cpu::parallel_region(pool, 4,
+                       [&](unsigned, unsigned) { ran.fetch_add(1); });
+  const CounterSnapshot d = delta_of(before);
+  EXPECT_EQ(ran.load(), 4u);
+  // Lane 0 runs on the caller; the other lanes went through submit_raw.
+  EXPECT_EQ(d.value(Counter::kPoolTasks), 3u);
+}
+
+// --- recovery counters mirror Report::recovery -------------------------------
+
+TEST(RecoveryCounters, OomResplitSeedMatchesRecoveryStats) {
+  SortConfig cfg = small_config();
+  cfg.faults.seed = 42;
+  cfg.faults.p(FaultSite::kDeviceAlloc) = 1.0;
+  cfg.faults.max_faults = 1;
+  cfg.recovery.enabled = true;
+  const Report r = HeterogeneousSorter(test_platform(), cfg).simulate(20000);
+  ASSERT_GE(r.recovery.batch_resplits, 1u);
+  EXPECT_EQ(r.counters.value(Counter::kBatchResplits),
+            r.recovery.batch_resplits);
+  EXPECT_EQ(r.counters.value(Counter::kFaultsInjected),
+            r.recovery.faults_injected);
+  EXPECT_EQ(r.counters.value(Counter::kAttempts), r.recovery.attempts);
+  EXPECT_EQ(r.counters.value(Counter::kCpuFallbacks), 0u);
+}
+
+TEST(RecoveryCounters, TransientRetrySeedMatchesRecoveryStats) {
+  SortConfig cfg = small_config();
+  cfg.faults.seed = 1;
+  cfg.faults.p(FaultSite::kHtoD) = 0.3;
+  cfg.faults.max_faults = 6;
+  cfg.recovery.enabled = true;
+  const Report r = HeterogeneousSorter(test_platform(), cfg).simulate(20000);
+  ASSERT_GT(r.recovery.transfer_retries, 0u);
+  EXPECT_EQ(r.counters.value(Counter::kTransferRetries),
+            r.recovery.transfer_retries);
+  EXPECT_EQ(r.counters.value(Counter::kFaultsInjected),
+            r.recovery.faults_injected);
+  // Retried transfers re-send payload: actual HtoD traffic exceeds the
+  // fault-free 1·n·sizeof(elem).
+  EXPECT_GT(r.counters.value(Counter::kBytesHtoD),
+            20000 * sizeof(double));
+}
+
+TEST(RecoveryCounters, BlacklistSeedCountsFallbackAndDevices) {
+  SortConfig cfg = small_config();
+  cfg.faults.seed = 11;
+  cfg.faults.p(FaultSite::kHtoD) = 1.0;
+  cfg.recovery.enabled = true;
+  auto data = hs::data::generate(Distribution::kUniform, 20000, 79);
+  const Report r = HeterogeneousSorter(test_platform(), cfg).sort(data);
+  ASSERT_TRUE(r.recovery.cpu_fallback);
+  EXPECT_EQ(r.counters.value(Counter::kDevicesBlacklisted),
+            r.recovery.devices_blacklisted);
+  EXPECT_EQ(r.counters.value(Counter::kCpuFallbacks), 1u);
+  EXPECT_EQ(r.counters.value(Counter::kAttempts), r.recovery.attempts);
+}
+
+// --- global switch -----------------------------------------------------------
+
+TEST(CounterSwitch, DisablingStopsAllCounting) {
+  struct Reenable {
+    ~Reenable() { set_counters_enabled(true); }
+  } reenable;
+  set_counters_enabled(false);
+  const CounterSnapshot before = counters().snapshot();
+  const Report r =
+      HeterogeneousSorter(test_platform(), small_config()).simulate(20000);
+  const CounterSnapshot d = delta_of(before);
+  EXPECT_FALSE(d.any());
+  EXPECT_FALSE(r.counters.any());
+}
+
+TEST(CounterSwitch, SnapshotSubtractionIsComponentwise) {
+  CounterSnapshot a, b;
+  a.values[0] = 10;
+  a.values[5] = 7;
+  b.values[0] = 4;
+  const CounterSnapshot d = a - b;
+  EXPECT_EQ(d.values[0], 6u);
+  EXPECT_EQ(d.values[5], 7u);
+  EXPECT_TRUE(d.any());
+  EXPECT_FALSE(CounterSnapshot{}.any());
+}
+
+}  // namespace
+}  // namespace hs::obs

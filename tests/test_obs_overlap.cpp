@@ -1,0 +1,234 @@
+// Overlap-analyzer unit tests on hand-built span sets with exact expected
+// fractions, plus a randomised property test: for any span set, per-resource
+// utilisation stays within [0, 1], the overlap matrix is symmetric, pairwise
+// overlap never exceeds the smaller busy time, and the overhead itemisation
+// equals its components.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "obs/overlap.h"
+#include "obs/span.h"
+
+namespace hs::obs {
+namespace {
+
+Span make_span(std::string category, double start, double end,
+               std::uint64_t bytes = 0) {
+  Span s;
+  s.name = category;
+  s.category = std::move(category);
+  s.start = start;
+  s.end = end;
+  s.clock = Clock::kVirtual;
+  s.bytes = bytes;
+  return s;
+}
+
+// --- interval primitives -----------------------------------------------------
+
+TEST(Intervals, MergeSortsCoalescesAndDropsEmpty) {
+  using detail::Intervals;
+  const Intervals m = detail::merge_intervals(
+      {{5, 6}, {1, 2}, {1.5, 3}, {4, 4}, {7, 6}, {2.5, 2.9}});
+  ASSERT_EQ(m.size(), 2u);
+  EXPECT_DOUBLE_EQ(m[0].first, 1.0);
+  EXPECT_DOUBLE_EQ(m[0].second, 3.0);
+  EXPECT_DOUBLE_EQ(m[1].first, 5.0);
+  EXPECT_DOUBLE_EQ(m[1].second, 6.0);
+  EXPECT_DOUBLE_EQ(detail::total_length(m), 3.0);
+  EXPECT_TRUE(detail::merge_intervals({}).empty());
+}
+
+TEST(Intervals, TouchingIntervalsCoalesce) {
+  const detail::Intervals m = detail::merge_intervals({{0, 1}, {1, 2}});
+  ASSERT_EQ(m.size(), 1u);
+  EXPECT_DOUBLE_EQ(detail::total_length(m), 2.0);
+}
+
+TEST(Intervals, IntersectionWalksBothLists) {
+  const detail::Intervals a = detail::merge_intervals({{0, 2}, {4, 6}});
+  const detail::Intervals b = detail::merge_intervals({{1, 5}});
+  EXPECT_DOUBLE_EQ(detail::intersection_length(a, b), 2.0);  // [1,2] + [4,5]
+  EXPECT_DOUBLE_EQ(detail::intersection_length(b, a), 2.0);
+  EXPECT_DOUBLE_EQ(detail::intersection_length(a, {}), 0.0);
+}
+
+TEST(Intervals, UnionMergesAcrossLists) {
+  const detail::Intervals u = detail::union_of(
+      detail::merge_intervals({{0, 2}}), detail::merge_intervals({{1, 3}, {5, 6}}));
+  ASSERT_EQ(u.size(), 2u);
+  EXPECT_DOUBLE_EQ(detail::total_length(u), 4.0);
+}
+
+// --- hand-built span sets ----------------------------------------------------
+
+TEST(OverlapAnalyzer, StrictSerialisationHasZeroOverlap) {
+  const std::vector<Span> spans = {
+      make_span("HtoD", 0, 1),
+      make_span("GPUSort", 1, 3),
+      make_span("DtoH", 3, 4),
+  };
+  const OverlapReport rep = analyze_spans(spans);
+  EXPECT_DOUBLE_EQ(rep.window(), 4.0);
+  EXPECT_DOUBLE_EQ(rep.overlap_seconds(Resource::kHtoD, Resource::kGpu), 0.0);
+  EXPECT_DOUBLE_EQ(rep.copy_sort_overlap, 0.0);
+  EXPECT_DOUBLE_EQ(rep.usage[static_cast<std::size_t>(Resource::kGpu)].busy,
+                   2.0);
+  EXPECT_DOUBLE_EQ(
+      rep.usage[static_cast<std::size_t>(Resource::kGpu)].utilisation, 0.5);
+}
+
+TEST(OverlapAnalyzer, PartialOverlapHasExactFraction) {
+  // HtoD busy [0,2] (2 s), GPU busy [1,4] (3 s); intersection [1,2] = 1 s.
+  // Fraction = 1 / min(2, 3) = 0.5.
+  const std::vector<Span> spans = {
+      make_span("HtoD", 0, 2),
+      make_span("GPUSort", 1, 4),
+  };
+  const OverlapReport rep = analyze_spans(spans);
+  EXPECT_DOUBLE_EQ(rep.overlap_seconds(Resource::kHtoD, Resource::kGpu), 1.0);
+  EXPECT_DOUBLE_EQ(rep.overlap_fraction(Resource::kHtoD, Resource::kGpu), 0.5);
+  EXPECT_DOUBLE_EQ(rep.copy_sort_overlap, 0.5);
+}
+
+TEST(OverlapAnalyzer, FullContainmentIsFractionOne) {
+  const std::vector<Span> spans = {
+      make_span("PairMerge", 1, 2),
+      make_span("GPUSort", 0, 4),
+  };
+  const OverlapReport rep = analyze_spans(spans);
+  EXPECT_DOUBLE_EQ(rep.overlap_fraction(Resource::kMerge, Resource::kGpu),
+                   1.0);
+  EXPECT_DOUBLE_EQ(rep.merge_sort_overlap, 1.0);
+}
+
+TEST(OverlapAnalyzer, CopySortUsesTheUnionOfBothDirections) {
+  // Copies cover [0,1] (HtoD) and [2,3] (DtoH) = 2 s; GPU covers [0,3].
+  // Intersection = 2 s, min busy = 2 s -> fraction exactly 1, even though
+  // each single direction overlaps the GPU for only 1 s.
+  const std::vector<Span> spans = {
+      make_span("HtoD", 0, 1),
+      make_span("DtoH", 2, 3),
+      make_span("GPUSort", 0, 3),
+  };
+  const OverlapReport rep = analyze_spans(spans);
+  EXPECT_DOUBLE_EQ(rep.copy_sort_overlap, 1.0);
+  EXPECT_DOUBLE_EQ(rep.overlap_fraction(Resource::kHtoD, Resource::kGpu),
+                   1.0);
+}
+
+TEST(OverlapAnalyzer, ConcurrentSpansOfOneClassNeverDoubleCount) {
+  // Two devices copy simultaneously: the class is busy 3 s, not 4.
+  const std::vector<Span> spans = {
+      make_span("HtoD", 0, 2, 100),
+      make_span("HtoD", 1, 3, 100),
+  };
+  const OverlapReport rep = analyze_spans(spans);
+  const ResourceUsage& u =
+      rep.usage[static_cast<std::size_t>(Resource::kHtoD)];
+  EXPECT_DOUBLE_EQ(u.busy, 3.0);
+  EXPECT_DOUBLE_EQ(u.utilisation, 1.0);
+  EXPECT_EQ(u.bytes, 200u);
+  EXPECT_EQ(u.spans, 2u);
+}
+
+TEST(OverlapAnalyzer, GroupSpansAreSkipped) {
+  std::vector<Span> spans = {
+      make_span("HtoD", 0, 1),
+  };
+  Span group = make_span("group", 0, 100);  // must not stretch the window
+  group.name = "b0";
+  spans.push_back(group);
+  const OverlapReport rep = analyze_spans(spans);
+  EXPECT_DOUBLE_EQ(rep.window(), 1.0);
+  for (std::size_t r = 0; r < kNumResources; ++r) {
+    EXPECT_LE(rep.usage[r].utilisation, 1.0);
+  }
+}
+
+TEST(OverlapAnalyzer, MultiDevicePipelineOverheadItemisation) {
+  const std::vector<Span> spans = {
+      make_span("PinnedAlloc", 0.0, 0.5),
+      make_span("DeviceAlloc", 0.2, 0.4),   // overlaps pinned: alloc busy 0.5
+      make_span("StageIn", 0.5, 1.0),
+      make_span("Sync", 1.0, 1.1),
+      make_span("StageOut", 1.1, 1.6),
+      make_span("GPUSort", 0.5, 1.5),
+  };
+  const OverlapReport rep = analyze_spans(spans);
+  EXPECT_DOUBLE_EQ(rep.alloc_seconds, 0.5);
+  EXPECT_DOUBLE_EQ(rep.staging_seconds, 1.0);
+  EXPECT_NEAR(rep.sync_seconds, 0.1, 1e-12);
+  EXPECT_DOUBLE_EQ(rep.overhead_seconds(),
+                   rep.alloc_seconds + rep.staging_seconds + rep.sync_seconds);
+}
+
+TEST(OverlapAnalyzer, EmptyAndGroupOnlyInputsYieldEmptyReport) {
+  const OverlapReport empty = analyze_spans({});
+  EXPECT_DOUBLE_EQ(empty.window(), 0.0);
+  std::vector<Span> only_group = {make_span("group", 0, 5)};
+  const OverlapReport rep = analyze_spans(only_group);
+  EXPECT_DOUBLE_EQ(rep.window(), 0.0);
+  for (std::size_t r = 0; r < kNumResources; ++r) {
+    EXPECT_DOUBLE_EQ(rep.usage[r].busy, 0.0);
+  }
+}
+
+TEST(OverlapAnalyzer, UnknownCategoriesFoldIntoOther) {
+  const std::vector<Span> spans = {make_span("SomethingNew", 0, 1)};
+  const OverlapReport rep = analyze_spans(spans);
+  EXPECT_DOUBLE_EQ(
+      rep.usage[static_cast<std::size_t>(Resource::kOther)].busy, 1.0);
+}
+
+// --- property test -----------------------------------------------------------
+
+TEST(OverlapProperty, RandomSpanSetsSatisfyTheInvariants) {
+  const std::array<const char*, 9> kCategories = {
+      "HtoD", "DtoH", "GPUSort", "StageIn",  "CpuSort",
+      "Sync", "Memcpy", "PairMerge", "PinnedAlloc"};
+  Xoshiro256 rng(0xC0FFEEu);
+  for (int set = 0; set < 1000; ++set) {
+    std::vector<Span> spans;
+    const std::uint64_t count = 1 + rng.bounded(12);
+    for (std::uint64_t i = 0; i < count; ++i) {
+      const double a = rng.uniform(0.0, 10.0);
+      const double b = a + rng.uniform(0.0, 5.0);
+      spans.push_back(
+          make_span(kCategories[rng.bounded(kCategories.size())], a, b,
+                    rng.bounded(1u << 20)));
+    }
+    const OverlapReport rep = analyze_spans(spans);
+    constexpr double kEps = 1e-9;
+    ASSERT_GE(rep.window(), 0.0);
+    for (std::size_t r = 0; r < kNumResources; ++r) {
+      ASSERT_GE(rep.usage[r].utilisation, 0.0);
+      ASSERT_LE(rep.usage[r].utilisation, 1.0 + kEps);
+      ASSERT_LE(rep.usage[r].busy, rep.window() + kEps);
+    }
+    for (std::size_t a = 0; a < kNumResources; ++a) {
+      for (std::size_t b = 0; b < kNumResources; ++b) {
+        ASSERT_EQ(rep.overlap[a][b], rep.overlap[b][a]);
+        ASSERT_LE(rep.overlap[a][b],
+                  std::min(rep.usage[a].busy, rep.usage[b].busy) + kEps);
+        ASSERT_GE(rep.overlap[a][b], 0.0);
+      }
+      ASSERT_DOUBLE_EQ(rep.overlap[a][a], 0.0);  // diagonal is unset
+    }
+    ASSERT_LE(rep.copy_sort_overlap, 1.0 + kEps);
+    ASSERT_LE(rep.merge_sort_overlap, 1.0 + kEps);
+    ASSERT_DOUBLE_EQ(
+        rep.overhead_seconds(),
+        rep.alloc_seconds + rep.staging_seconds + rep.sync_seconds);
+  }
+}
+
+}  // namespace
+}  // namespace hs::obs

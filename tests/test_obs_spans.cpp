@@ -1,0 +1,382 @@
+// Golden-trace tests for the span layer: a fixed platform + plan must produce
+// the exact span tree (names, nesting, ordering) for BLINE and PIPEDATA, and
+// every virtual-clock span must carry the engine's event times bit-exactly.
+// Also covers the wall-clock side: ScopedSpan nesting, per-thread tracks, and
+// the unified Chrome-trace export of both clocks.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/het_sorter.h"
+#include "cpu/parallel_for.h"
+#include "cpu/thread_pool.h"
+#include "model/platforms.h"
+#include "obs/span.h"
+#include "obs/trace_io.h"
+#include "sim/trace.h"
+
+namespace hs::obs {
+namespace {
+
+// Same tiny-GPU platform as the fault-injection suite: 65536-element GPUs so
+// small inputs exercise real multi-chunk pipelines.
+model::Platform test_platform(unsigned gpus = 1) {
+  model::Platform p = model::platform1();
+  p.gpus.clear();
+  model::GpuSpec spec;
+  spec.model = "TinyTestGPU";
+  spec.cuda_cores = 64;
+  spec.memory_bytes = 65536 * sizeof(double);
+  spec.sort = model::GpuSortModel{1e-4, 2e-9};
+  for (unsigned i = 0; i < gpus; ++i) p.gpus.push_back(spec);
+  return p;
+}
+
+core::Report simulate(core::Approach a, std::uint64_t n, std::uint64_t bs) {
+  core::SortConfig cfg;
+  cfg.approach = a;
+  cfg.batch_size = bs;
+  cfg.staging_elems = 1000;
+  cfg.num_gpus = 1;
+  core::HeterogeneousSorter sorter(test_platform(), cfg);
+  return sorter.simulate(n);
+}
+
+// Uninstalls the process-wide recorder even when an assertion fails early.
+struct RecorderGuard {
+  explicit RecorderGuard(SpanRecorder& r) { install(&r); }
+  ~RecorderGuard() { install(nullptr); }
+};
+
+TEST(SpanGroup, LabelConventions) {
+  EXPECT_EQ(span_group("b3.h2d0"), "b3");
+  EXPECT_EQ(span_group("b12.in7"), "b12");
+  EXPECT_EQ(span_group("g0.s1:sort"), "g0.s1");
+  EXPECT_EQ(span_group("g1.s0:cudaMallocHost"), "g1.s0");
+  EXPECT_EQ(span_group("m0.h2d"), "m0");
+  EXPECT_EQ(span_group("multiway"), "");
+  EXPECT_EQ(span_group("pairmerge3"), "");
+  EXPECT_EQ(span_group(""), "");
+}
+
+// --- BLINE golden tree -------------------------------------------------------
+//
+// n = 8000 in one 8000-element batch over a 1000-element staging buffer is 8
+// chunks on one stream. The engine's deterministic schedule yields exactly:
+// the stream group (cudaMalloc, cudaMallocHost), the batch group with its 8
+// interleaved StageIn/HtoD chunk pairs, one sort, then 8 interleaved
+// DtoH/StageOut pairs — 35 leaves + 2 group spans, in this order.
+TEST(GoldenSpanTree, BLine) {
+  const core::Report r = simulate(core::Approach::kBLine, 8000, 8000);
+  const std::vector<Span> spans = spans_from_trace(r.trace);
+
+  std::vector<std::pair<std::string, std::string>> expected;  // name, category
+  expected.emplace_back("g0.s0", "group");
+  expected.emplace_back("g0.s0:cudaMalloc", "DeviceAlloc");
+  expected.emplace_back("g0.s0:cudaMallocHost", "PinnedAlloc");
+  expected.emplace_back("b0", "group");
+  for (int c = 0; c < 8; ++c) {
+    expected.emplace_back("b0.in" + std::to_string(c), "StageIn");
+    expected.emplace_back("b0.h2d" + std::to_string(c), "HtoD");
+  }
+  expected.emplace_back("g0.s0:sort", "GPUSort");
+  for (int c = 0; c < 8; ++c) {
+    expected.emplace_back("b0.d2h" + std::to_string(c), "DtoH");
+    expected.emplace_back("b0.out" + std::to_string(c), "StageOut");
+  }
+
+  ASSERT_EQ(spans.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(spans[i].name, expected[i].first) << "span " << i;
+    EXPECT_EQ(spans[i].category, expected[i].second) << "span " << i;
+    EXPECT_EQ(spans[i].clock, Clock::kVirtual) << "span " << i;
+  }
+
+  // Nesting: the two groups are roots; every leaf hangs off its group.
+  const auto idx_of = [&](const std::string& name) {
+    for (std::size_t i = 0; i < spans.size(); ++i) {
+      if (spans[i].name == name) return static_cast<std::uint32_t>(i);
+    }
+    return kNoParent;
+  };
+  const std::uint32_t stream = idx_of("g0.s0");
+  const std::uint32_t batch = idx_of("b0");
+  ASSERT_NE(stream, kNoParent);
+  ASSERT_NE(batch, kNoParent);
+  EXPECT_EQ(spans[stream].parent, kNoParent);
+  EXPECT_EQ(spans[batch].parent, kNoParent);
+  EXPECT_EQ(spans[batch].batch, 0);
+  EXPECT_EQ(spans[stream].device, 0);
+  for (const Span& s : spans) {
+    if (s.category == "group") {
+      EXPECT_EQ(s.depth, 0u) << s.name;
+      continue;
+    }
+    EXPECT_EQ(s.depth, 1u) << s.name;
+    const std::uint32_t want = s.name[0] == 'b' ? batch : stream;
+    EXPECT_EQ(s.parent, want) << s.name;
+    EXPECT_EQ(s.track, spans[want].track) << s.name;
+  }
+
+  // Group spans cover exactly the union of their children.
+  for (const std::uint32_t g : {stream, batch}) {
+    double lo = 1e300, hi = -1e300;
+    for (const Span& s : spans) {
+      if (s.parent != g) continue;
+      lo = std::min(lo, s.start);
+      hi = std::max(hi, s.end);
+    }
+    EXPECT_EQ(spans[g].start, lo) << spans[g].name;
+    EXPECT_EQ(spans[g].end, hi) << spans[g].name;
+  }
+}
+
+// --- PIPEDATA golden tree ----------------------------------------------------
+//
+// n = 8000, bs = 4000: two batches on two streams of one GPU, plus the final
+// multiway merge. Per group, the leaf order is fully pinned; globally, the
+// groups are {g0.s0, g0.s1, b0, b1} and "multiway" stays ungrouped.
+TEST(GoldenSpanTree, PipeData) {
+  const core::Report r = simulate(core::Approach::kPipeData, 8000, 4000);
+  const std::vector<Span> spans = spans_from_trace(r.trace);
+
+  // Projected per-group leaf sequences.
+  const auto group_leaves = [&](const std::string& g) {
+    std::vector<std::string> names;
+    for (const Span& s : spans) {
+      if (s.category != "group" && span_group(s.name) == g) {
+        names.push_back(s.name);
+      }
+    }
+    return names;
+  };
+  for (const std::string g : {"g0.s0", "g0.s1"}) {
+    EXPECT_EQ(group_leaves(g),
+              (std::vector<std::string>{g + ":cudaMalloc",
+                                        g + ":cudaMallocHost", g + ":sort"}));
+  }
+  for (const std::string b : {"b0", "b1"}) {
+    std::vector<std::string> want;
+    for (int c = 0; c < 4; ++c) {
+      want.push_back(b + ".in" + std::to_string(c));
+      want.push_back(b + ".h2d" + std::to_string(c));
+    }
+    for (int c = 0; c < 4; ++c) {
+      want.push_back(b + ".d2h" + std::to_string(c));
+      want.push_back(b + ".out" + std::to_string(c));
+    }
+    EXPECT_EQ(group_leaves(b), want);
+  }
+
+  // Exactly the four groups, plus the ungrouped multiway root.
+  std::vector<std::string> groups;
+  std::size_t multiway_count = 0;
+  for (const Span& s : spans) {
+    if (s.category == "group") groups.push_back(s.name);
+    if (s.name == "multiway") {
+      ++multiway_count;
+      EXPECT_EQ(s.category, "MultiwayMerge");
+      EXPECT_EQ(s.parent, kNoParent);
+      EXPECT_EQ(s.depth, 0u);
+    }
+  }
+  std::sort(groups.begin(), groups.end());
+  EXPECT_EQ(groups,
+            (std::vector<std::string>{"b0", "b1", "g0.s0", "g0.s1"}));
+  EXPECT_EQ(multiway_count, 1u);
+
+  // Batch/device tags parsed from the labels.
+  for (const Span& s : spans) {
+    const std::string g =
+        s.category == "group" ? s.name : span_group(s.name);
+    if (g == "b0") {
+      EXPECT_EQ(s.batch, 0) << s.name;
+    }
+    if (g == "b1") {
+      EXPECT_EQ(s.batch, 1) << s.name;
+    }
+    if (g == "g0.s0" || g == "g0.s1") {
+      EXPECT_EQ(s.device, 0) << s.name;
+    }
+  }
+}
+
+// Leaf spans must carry the engine's event times bit-exactly, in trace
+// (completion) order.
+TEST(GoldenSpanTree, LeafSpansBitExactlyMatchEngineEvents) {
+  const core::Report r = simulate(core::Approach::kPipeData, 8000, 4000);
+  const std::vector<Span> spans = spans_from_trace(r.trace);
+
+  std::vector<const Span*> leaves;
+  for (const Span& s : spans) {
+    if (s.category != "group") leaves.push_back(&s);
+  }
+  const auto& events = r.trace.events();
+  ASSERT_EQ(leaves.size(), events.size());
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(leaves[i]->name, events[i].label);
+    EXPECT_EQ(leaves[i]->start, events[i].start) << events[i].label;
+    EXPECT_EQ(leaves[i]->end, events[i].end) << events[i].label;
+    EXPECT_EQ(leaves[i]->bytes, events[i].bytes) << events[i].label;
+    EXPECT_EQ(leaves[i]->category, sim::phase_name(events[i].phase));
+  }
+}
+
+TEST(GoldenSpanTree, DeterministicAcrossRuns) {
+  const core::Report a = simulate(core::Approach::kPipeData, 8000, 4000);
+  const core::Report b = simulate(core::Approach::kPipeData, 8000, 4000);
+  const std::vector<Span> sa = spans_from_trace(a.trace);
+  const std::vector<Span> sb = spans_from_trace(b.trace);
+  ASSERT_EQ(sa.size(), sb.size());
+  for (std::size_t i = 0; i < sa.size(); ++i) {
+    EXPECT_EQ(sa[i].name, sb[i].name);
+    EXPECT_EQ(sa[i].category, sb[i].category);
+    EXPECT_EQ(sa[i].start, sb[i].start);
+    EXPECT_EQ(sa[i].end, sb[i].end);
+    EXPECT_EQ(sa[i].parent, sb[i].parent);
+    EXPECT_EQ(sa[i].track, sb[i].track);
+    EXPECT_EQ(sa[i].depth, sb[i].depth);
+    EXPECT_EQ(sa[i].bytes, sb[i].bytes);
+  }
+}
+
+// --- wall-clock recorder -----------------------------------------------------
+
+TEST(SpanRecorder, ScopedSpanNestsViaThreadStack) {
+  SpanRecorder rec;
+  const RecorderGuard guard(rec);
+  {
+    const ScopedSpan outer("outer", "CpuSort", 64);
+    {
+      const ScopedSpan inner("inner", "Memcpy", 32);
+    }
+    const ScopedSpan sibling("sibling", "Merge");
+  }
+  const std::vector<Span> spans = rec.snapshot();
+  ASSERT_EQ(spans.size(), 3u);
+  EXPECT_EQ(spans[0].name, "outer");
+  EXPECT_EQ(spans[0].depth, 0u);
+  EXPECT_EQ(spans[0].parent, kNoParent);
+  EXPECT_EQ(spans[0].bytes, 64u);
+  EXPECT_EQ(spans[1].name, "inner");
+  EXPECT_EQ(spans[1].depth, 1u);
+  EXPECT_EQ(spans[1].parent, 0u);
+  EXPECT_EQ(spans[2].name, "sibling");
+  EXPECT_EQ(spans[2].depth, 1u);
+  EXPECT_EQ(spans[2].parent, 0u);
+  for (const Span& s : spans) {
+    EXPECT_EQ(s.clock, Clock::kWall);
+    EXPECT_GE(s.end, s.start);
+    EXPECT_GE(s.start, 0.0);
+  }
+  // Children close before (or when) the parent does.
+  EXPECT_LE(spans[1].end, spans[0].end);
+  EXPECT_LE(spans[2].end, spans[0].end);
+}
+
+TEST(SpanRecorder, NoRecorderInstalledRecordsNothing) {
+  ASSERT_EQ(current(), nullptr);
+  {
+    const ScopedSpan s("ghost", "CpuSort");
+  }
+  SpanRecorder rec;
+  EXPECT_EQ(rec.size(), 0u);
+}
+
+TEST(SpanRecorder, ThreadsGetDistinctTracks) {
+  SpanRecorder rec;
+  const RecorderGuard guard(rec);
+  {
+    const ScopedSpan main_span("main", "Other");
+    std::thread t([] {
+      const ScopedSpan worker_span("worker", "Other");
+    });
+    t.join();
+  }
+  const std::vector<Span> spans = rec.snapshot();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_NE(spans[0].track, spans[1].track);
+  // The worker's span is a root on its own thread, not a child of main's.
+  EXPECT_EQ(spans[0].depth, 0u);
+  EXPECT_EQ(spans[1].depth, 0u);
+}
+
+// The sorter feeds the installed recorder from the completed trace, so a
+// simulate() under a recorder yields the identical bit-exact span tree.
+TEST(SpanRecorder, SimulateIngestsVirtualSpans) {
+  SpanRecorder rec;
+  std::vector<Span> direct;
+  {
+    const RecorderGuard guard(rec);
+    const core::Report r = simulate(core::Approach::kBLine, 8000, 8000);
+    direct = spans_from_trace(r.trace);
+  }
+  const std::vector<Span> recorded = rec.snapshot();
+  // The pipeline runs host hot paths too (thread-pool spans, memcpys), so
+  // the recorder holds at least the virtual tree; its virtual subset must
+  // equal the direct conversion exactly.
+  std::vector<const Span*> virt;
+  for (const Span& s : recorded) {
+    if (s.clock == Clock::kVirtual) virt.push_back(&s);
+  }
+  ASSERT_EQ(virt.size(), direct.size());
+  for (std::size_t i = 0; i < direct.size(); ++i) {
+    EXPECT_EQ(virt[i]->name, direct[i].name);
+    EXPECT_EQ(virt[i]->start, direct[i].start);
+    EXPECT_EQ(virt[i]->end, direct[i].end);
+  }
+}
+
+TEST(SpanRecorder, PoolTasksRecordWallSpans) {
+  cpu::ThreadPool pool(4);
+  SpanRecorder rec;
+  const RecorderGuard guard(rec);
+  std::atomic<int> ran{0};
+  cpu::parallel_region(pool, 4,
+                       [&](unsigned, unsigned) { ran.fetch_add(1); });
+  EXPECT_EQ(ran.load(), 4);
+  std::size_t tasks = 0;
+  for (const Span& s : rec.snapshot()) {
+    if (s.category == "Pool") ++tasks;
+  }
+  EXPECT_GT(tasks, 0u);
+}
+
+// --- unified Chrome export ---------------------------------------------------
+
+TEST(ChromeExport, MixedClocksLandOnSeparateProcesses) {
+  SpanRecorder rec;
+  {
+    const RecorderGuard guard(rec);
+    const ScopedSpan wall("host_work", "CpuSort", 8);
+  }
+  const core::Report r = simulate(core::Approach::kBLine, 8000, 8000);
+  ingest_trace(rec, r.trace);
+
+  std::ostringstream os;
+  const std::vector<Span> spans = rec.snapshot();
+  export_chrome_trace(spans, os);
+  const std::string json = os.str();
+
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_EQ(json.substr(json.size() - 2), "]\n");
+  EXPECT_NE(json.find("\"thread_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"pid\": 1"), std::string::npos);  // virtual clock
+  EXPECT_NE(json.find("\"pid\": 2"), std::string::npos);  // wall clock
+  EXPECT_NE(json.find("\"host_work\""), std::string::npos);
+  EXPECT_NE(json.find("\"g0.s0:sort\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  // Every event object closes; cheap structural sanity for the JSON array.
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+}
+
+}  // namespace
+}  // namespace hs::obs

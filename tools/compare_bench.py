@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Compare a fresh bench_sortpath run against the committed baseline.
+
+Usage: compare_bench.py CANDIDATE.json BASELINE.json [--noise FACTOR]
+
+CI machines and the baseline machine differ, and a smoke run uses a smaller
+input, so absolute rates (M elems/s, GB/s) are not comparable. The guard
+therefore checks only fields that survive a machine change:
+
+  * the set of (type, dist) radix series must match the baseline;
+  * executed_passes must match exactly — trivial-pass skipping is a
+    deterministic property of the input distribution, not of the machine;
+  * the engine-vs-frozen-seed speedup (both measured in the same process on
+    the same machine) must stay within a generous noise factor of the
+    baseline's, catching any change that slows the engine relative to the
+    frozen seed implementation — e.g. instrumentation leaking per-element
+    cost into the hot loops;
+  * every reported rate must be finite and positive (a sanity floor).
+
+Exit status 0 on pass, 1 on any violation (all violations are listed).
+"""
+
+import argparse
+import json
+import math
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("candidate")
+    ap.add_argument("baseline")
+    ap.add_argument(
+        "--noise",
+        type=float,
+        default=3.0,
+        help="allowed speedup ratio band: candidate >= baseline / NOISE "
+        "(default %(default)s)",
+    )
+    args = ap.parse_args()
+
+    cand = load(args.candidate)
+    base = load(args.baseline)
+    errors = []
+
+    def series_key(s):
+        return (s["type"], s["dist"])
+
+    cand_radix = {series_key(s): s for s in cand.get("radix", [])}
+    base_radix = {series_key(s): s for s in base.get("radix", [])}
+
+    if set(cand_radix) != set(base_radix):
+        errors.append(
+            f"radix series mismatch: candidate {sorted(cand_radix)} vs "
+            f"baseline {sorted(base_radix)}"
+        )
+
+    for key in sorted(set(cand_radix) & set(base_radix)):
+        c, b = cand_radix[key], base_radix[key]
+        name = f"{key[0]}/{key[1]}"
+        if c["executed_passes"] != b["executed_passes"]:
+            errors.append(
+                f"{name}: executed_passes {c['executed_passes']} != "
+                f"baseline {b['executed_passes']}"
+            )
+        floor = b["speedup"] / args.noise
+        if not (math.isfinite(c["speedup"]) and c["speedup"] >= floor):
+            errors.append(
+                f"{name}: speedup {c['speedup']:.2f} below noise floor "
+                f"{floor:.2f} (baseline {b['speedup']:.2f} / {args.noise})"
+            )
+        for field in ("seed", "engine", "parallel"):
+            v = c[field]
+            if not (math.isfinite(v) and v > 0):
+                errors.append(f"{name}: rate '{field}' = {v} is not positive")
+
+    for s in cand.get("memcpy", []):
+        for field in ("memcpy", "stream", "parallel"):
+            v = s[field]
+            if not (math.isfinite(v) and v > 0):
+                errors.append(
+                    f"memcpy {s['bytes']} B: rate '{field}' = {v} "
+                    "is not positive"
+                )
+
+    if errors:
+        print(f"FAIL: {args.candidate} vs {args.baseline}")
+        for e in errors:
+            print(f"  - {e}")
+        return 1
+    print(
+        f"OK: {args.candidate} within noise of {args.baseline} "
+        f"({len(cand_radix)} radix series, noise factor {args.noise})"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -3,6 +3,11 @@
 //   hetsort_cli sort     --n 2e6 [options]   real run: generate, sort, verify
 //   hetsort_cli simulate --n 5e9 [options]   timing-only run at any scale
 //   hetsort_cli survey   --n 5e9 [options]   compare every approach
+//   hetsort_cli report   --n 5e9 [options]   observability report: resource
+//                                            utilisation, overlap fractions,
+//                                            overhead itemisation, lower-bound
+//                                            comparison (--json/--chrome-trace
+//                                            for machine-readable exports)
 //   hetsort_cli sortfile --in F --out G [--budget N]   out-of-core file sort
 //
 // Options:
@@ -23,6 +28,7 @@
 //   --gantt                 print an ASCII Gantt chart of the run
 //   --critical              print the critical-path phase breakdown
 //   --chrome-trace FILE     write a chrome://tracing JSON trace
+//   --json FILE             (report) write the overlap report as JSON
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -39,7 +45,10 @@
 #include "data/verify.h"
 #include "io/external_sort.h"
 #include "io/run_file.h"
+#include "core/lower_bound.h"
 #include "model/platforms.h"
+#include "obs/span.h"
+#include "obs/trace_io.h"
 #include "sim/critical_path.h"
 #include "sim/trace_export.h"
 
@@ -58,6 +67,7 @@ struct Options {
   bool gantt = false;
   bool critical = false;
   std::string chrome_trace;
+  std::string json_out;
   std::string in_path;
   std::string out_path;
   std::uint64_t budget = 1 << 22;
@@ -101,7 +111,8 @@ Options parse(int argc, char** argv) {
   Options o;
   o.command = argv[1];
   if (o.command != "sort" && o.command != "simulate" &&
-      o.command != "survey" && o.command != "sortfile") {
+      o.command != "survey" && o.command != "report" &&
+      o.command != "sortfile") {
     usage("unknown command");
   }
   auto next = [&](int& i) -> std::string {
@@ -146,6 +157,8 @@ Options parse(int argc, char** argv) {
       o.critical = true;
     } else if (flag == "--chrome-trace") {
       o.chrome_trace = next(i);
+    } else if (flag == "--json") {
+      o.json_out = next(i);
     } else if (flag == "--in") {
       o.in_path = next(i);
     } else if (flag == "--out") {
@@ -262,6 +275,81 @@ int cmd_survey(const Options& o) {
   return 0;
 }
 
+cpu::ElementOps pick_ops(const std::string& type) {
+  if (type == "u64") return cpu::element_ops<std::uint64_t>();
+  if (type == "kv64") return cpu::element_ops<KeyValue64>();
+  return cpu::element_ops<double>();
+}
+
+int cmd_report(const Options& o) {
+  const model::Platform plat = pick_platform(o.platform);
+  core::HeterogeneousSorter sorter(plat, o.cfg);
+  const cpu::ElementOps ops = pick_ops(o.type);
+
+  // Record the pipeline's span tree; uninstalled before the lower-bound
+  // calibration runs so those do not pollute the timeline.
+  obs::SpanRecorder rec;
+  obs::install(&rec);
+  const core::Report r = sorter.simulate(o.n, ops);
+  obs::install(nullptr);
+  const obs::OverlapReport ov = obs::analyze_trace(r.trace);
+
+  r.print(std::cout);
+
+  std::printf("\n  %-8s %12s %12s %16s %8s\n", "resource", "busy (s)",
+              "utilisation", "bytes", "spans");
+  for (std::size_t i = 0; i < obs::kNumResources; ++i) {
+    const obs::ResourceUsage& u = ov.usage[i];
+    if (u.spans == 0) continue;
+    std::printf("  %-8s %12.4f %11.1f%% %16llu %8zu\n",
+                std::string(obs::resource_name(static_cast<obs::Resource>(i)))
+                    .c_str(),
+                u.busy, 100.0 * u.utilisation,
+                static_cast<unsigned long long>(u.bytes), u.spans);
+  }
+  std::printf(
+      "\n  copy||sort overlap    %6.1f%%   (PCIe transfers under GPU sort)\n"
+      "  merge||sort overlap   %6.1f%%   (host merge under GPU sort)\n"
+      "  overhead itemisation  alloc %.4f s | staging %.4f s | sync %.4f s "
+      "| total %.4f s\n",
+      100.0 * ov.copy_sort_overlap, 100.0 * ov.merge_sort_overlap,
+      ov.alloc_seconds, ov.staging_seconds, ov.sync_seconds,
+      ov.overhead_seconds());
+
+  // Section IV-G lower-bound comparison, calibrated at the largest BLINE-
+  // admissible n on this platform.
+  const unsigned gpus = std::max(1u, o.cfg.num_gpus);
+  const std::uint64_t calib =
+      std::min(o.n, model::max_bline_elems(plat, ops.elem_size));
+  const auto lb = core::LowerBoundModel::derive(plat, calib, gpus);
+  const double bound = lb.time(o.n, gpus);
+  std::printf(
+      "  lower bound (IV-G)    %8.4f s   (end-to-end is %.2fx the bound)\n",
+      bound, bound > 0 ? r.end_to_end / bound : 0.0);
+
+  if (!o.chrome_trace.empty()) {
+    std::ofstream f(o.chrome_trace);
+    if (!f) {
+      std::fprintf(stderr, "cannot open %s\n", o.chrome_trace.c_str());
+      return 1;
+    }
+    const auto spans = rec.snapshot();
+    obs::export_chrome_trace(spans, f);
+    std::printf("wrote %s (open in chrome://tracing)\n",
+                o.chrome_trace.c_str());
+  }
+  if (!o.json_out.empty()) {
+    std::ofstream f(o.json_out);
+    if (!f) {
+      std::fprintf(stderr, "cannot open %s\n", o.json_out.c_str());
+      return 1;
+    }
+    obs::export_overlap_json(ov, f);
+    std::printf("wrote %s\n", o.json_out.c_str());
+  }
+  return 0;
+}
+
 int cmd_sortfile(const Options& o) {
   if (o.in_path.empty() || o.out_path.empty()) {
     usage("sortfile requires --in and --out");
@@ -292,6 +380,7 @@ int main(int argc, char** argv) {
   try {
     if (o.command == "sort") return cmd_sort(o);
     if (o.command == "simulate") return cmd_simulate(o);
+    if (o.command == "report") return cmd_report(o);
     if (o.command == "sortfile") return cmd_sortfile(o);
     return cmd_survey(o);
   } catch (const std::exception& e) {
