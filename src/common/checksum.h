@@ -1,0 +1,53 @@
+// FNV-1a 64-bit checksums for on-disk integrity (docs/fault_model.md).
+//
+// Run-file blocks and the job journal need a cheap, dependency-free digest
+// whose only job is detecting torn writes and flipped bytes — not
+// cryptographic collision resistance. FNV-1a fits: one multiply and one xor
+// per byte, incremental, and a well-known reference constant set, so any
+// external tool can re-derive the values.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace hs {
+
+/// Incremental FNV-1a (64-bit). Feed bytes in any chunking; the digest only
+/// depends on the concatenated byte stream.
+class Fnv1a64 {
+ public:
+  static constexpr std::uint64_t kOffsetBasis = 14695981039346656037ULL;
+  static constexpr std::uint64_t kPrime = 1099511628211ULL;
+
+  void update(const void* data, std::size_t bytes) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    std::uint64_t h = state_;
+    for (std::size_t i = 0; i < bytes; ++i) {
+      h ^= p[i];
+      h *= kPrime;
+    }
+    state_ = h;
+  }
+
+  void update(std::string_view s) { update(s.data(), s.size()); }
+
+  std::uint64_t digest() const { return state_; }
+  void reset() { state_ = kOffsetBasis; }
+
+ private:
+  std::uint64_t state_ = kOffsetBasis;
+};
+
+/// One-shot digest of a contiguous buffer.
+inline std::uint64_t fnv1a64(const void* data, std::size_t bytes) {
+  Fnv1a64 h;
+  h.update(data, bytes);
+  return h.digest();
+}
+
+inline std::uint64_t fnv1a64(std::string_view s) {
+  return fnv1a64(s.data(), s.size());
+}
+
+}  // namespace hs

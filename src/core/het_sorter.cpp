@@ -7,6 +7,7 @@
 
 #include "common/assert.h"
 #include "core/batch_plan.h"
+#include "core/memory_governor.h"
 #include "core/merge_schedule.h"
 #include "core/pipeline_builder.h"
 #include "obs/trace_io.h"
@@ -155,21 +156,58 @@ Report HeterogeneousSorter::run_impl(std::span<std::byte> data,
                                      std::uint64_t n,
                                      const cpu::ElementOps& ops,
                                      bool is_real) {
-  sim::FaultInjector injector(config_.faults);
-  const RecoveryPolicy& pol = config_.recovery;
+  // Governor admission: rule on the projected footprint before anything is
+  // allocated. Staging overflow shrinks ps; a 3n overflow degrades the sort
+  // to the spill path (or throws HostBudgetExceeded when none applies).
+  SortConfig admitted = config_;
+  std::uint64_t admission_ps_shrinks = 0;
+  if (admitted.host_budget_bytes > 0) {
+    MemoryGovernor gov(admitted.host_budget_bytes);
+    if (!gov.fits(admitted, n, ops.elem_size)) {
+      const std::uint64_t footprint =
+          MemoryGovernor::pipeline_footprint_bytes(admitted, n, ops.elem_size);
+      const std::uint64_t ps = gov.staging_to_fit(admitted, n, ops.elem_size);
+      if (ps > 0) {
+        gov.record({GovernorDecision::Kind::kShrinkStaging, footprint,
+                    gov.budget_bytes(), ps});
+        admitted.staging_elems = ps;
+        admission_ps_shrinks = 1;
+      } else {
+        SpillBackend* backend = spill_backend();
+        // Timing-only runs cannot spill: the backend sorts real bytes.
+        if (backend == nullptr || !is_real || !backend->can_spill(ops))
+          throw HostBudgetExceeded(footprint, gov.budget_bytes());
+        const std::uint64_t chunk =
+            gov.spill_chunk_elems(admitted, ops.elem_size);
+        gov.record({GovernorDecision::Kind::kSpill, footprint,
+                    gov.budget_bytes(), chunk});
+        Report r =
+            backend->spill_sort(data, n, ops, platform_, admitted, chunk);
+        r.recovery.spilled = true;
+        return r;
+      }
+    }
+  }
+
+  sim::FaultInjector injector(admitted.faults);
+  const RecoveryPolicy& pol = admitted.recovery;
   AttemptInfo info;
   if (!injector.enabled() && !pol.enabled) {
     // Fault-free fast path: zero overhead, pre-recovery semantics.
-    return attempt(data, n, ops, is_real, platform_, config_, nullptr, info);
+    Report r = attempt(data, n, ops, is_real, platform_, admitted, nullptr,
+                       info);
+    r.recovery.ps_shrinks += admission_ps_shrinks;
+    return r;
   }
 
   RecoveryStats rec;
+  rec.ps_shrinks = admission_ps_shrinks;
   double charged = 0;  // virtual seconds burned by failed attempts + penalties
 
   // Attempt-mutable state. Blacklisting erases devices from the platform
   // copy; OOM re-splits shrink the batch size.
   model::Platform plat = platform_;
-  SortConfig cfg = config_;
+  SortConfig cfg = admitted;
 
   // Aborted attempts leave A / W / B partially overwritten (pair merges
   // recycle A's storage), so every re-attempt restarts from a pristine copy.
@@ -219,6 +257,29 @@ Report HeterogeneousSorter::run_impl(std::span<std::byte> data,
       plat.gpus.erase(plat.gpus.begin() + e.device_index());
       const auto remaining = static_cast<unsigned>(plat.gpus.size());
       cfg.num_gpus = std::min(std::max(1u, cfg.num_gpus), remaining);
+    } catch (const vgpu::HostAllocFailed&) {
+      if (!pol.enabled) throw;
+      // The host refused a pinned staging allocation: shrink ps and retry
+      // with smaller staging chunks (the governor's reaction ladder).
+      const std::uint64_t ps = MemoryGovernor::shrink_staging(cfg.staging_elems);
+      if (ps == 0) {
+        // Already at the ps floor; the CPU path needs no pinned memory.
+        rec.faults_injected = injector.stats().total();
+        rec.transfer_retries = injector.stats().retries_charged;
+        if (!pol.cpu_fallback) throw;
+        charged += info.elapsed + pol.backoff_total(att + 1);
+        restore();
+        return cpu_fallback(data, n, ops, is_real, charged, rec);
+      }
+      last_error = std::current_exception();
+      charged += info.elapsed + pol.backoff_total(att + 1);
+      MemoryGovernor gov(cfg.host_budget_bytes);
+      gov.record({GovernorDecision::Kind::kShrinkStaging,
+                  MemoryGovernor::pipeline_footprint_bytes(cfg, n,
+                                                           ops.elem_size),
+                  gov.budget_bytes(), ps});
+      cfg.staging_elems = ps;
+      ++rec.ps_shrinks;
     }
     // PipelineStalled propagates: a stuck graph is a bug or an injected
     // hang, and the watchdog report (not a blind retry) is the deliverable.

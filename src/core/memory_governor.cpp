@@ -1,0 +1,116 @@
+#include "core/memory_governor.h"
+
+#include <algorithm>
+#include <atomic>
+
+#include "obs/counters.h"
+#include "obs/span.h"
+
+namespace hs::core {
+namespace {
+
+std::atomic<SpillBackend*> g_spill_backend{nullptr};
+
+}  // namespace
+
+std::string_view governor_decision_name(GovernorDecision::Kind kind) {
+  switch (kind) {
+    case GovernorDecision::Kind::kAdmit:
+      return "admit";
+    case GovernorDecision::Kind::kShrinkStaging:
+      return "shrink-staging";
+    case GovernorDecision::Kind::kSpill:
+      return "spill";
+  }
+  return "?";
+}
+
+std::uint64_t MemoryGovernor::staging_footprint_bytes(const SortConfig& cfg,
+                                                      std::size_t elem_size) {
+  const std::uint64_t gpus = std::max(1u, cfg.num_gpus);
+  const std::uint64_t streams = std::max(1u, cfg.streams_per_gpu);
+  const std::uint64_t buffers = cfg.double_buffer_staging ? 2 : 1;
+  return gpus * streams * buffers *
+         static_cast<std::uint64_t>(cfg.staging_elems) * elem_size;
+}
+
+std::uint64_t MemoryGovernor::pipeline_footprint_bytes(const SortConfig& cfg,
+                                                       std::uint64_t n,
+                                                       std::size_t elem_size) {
+  return 3 * n * elem_size + staging_footprint_bytes(cfg, elem_size);
+}
+
+bool MemoryGovernor::fits(const SortConfig& cfg, std::uint64_t n,
+                          std::size_t elem_size) const {
+  if (!limited()) return true;
+  return pipeline_footprint_bytes(cfg, n, elem_size) <= budget_bytes_;
+}
+
+std::uint64_t MemoryGovernor::staging_to_fit(const SortConfig& cfg,
+                                             std::uint64_t n,
+                                             std::size_t elem_size) const {
+  const std::uint64_t data = 3 * n * elem_size;
+  if (data > budget_bytes_) return 0;  // staging is not what overflows
+  SortConfig probe = cfg;
+  probe.staging_elems = kMinStagingElems;
+  if (staging_footprint_bytes(probe, elem_size) > budget_bytes_ - data)
+    return 0;  // even the floor cannot fit next to 3n
+  // Per-element cost of staging: one slot for each (gpu, stream, buffer).
+  const std::uint64_t gpus = std::max(1u, cfg.num_gpus);
+  const std::uint64_t streams = std::max(1u, cfg.streams_per_gpu);
+  const std::uint64_t buffers = cfg.double_buffer_staging ? 2 : 1;
+  const std::uint64_t per_elem = gpus * streams * buffers * elem_size;
+  const std::uint64_t ps = (budget_bytes_ - data) / per_elem;
+  return std::min<std::uint64_t>(cfg.staging_elems,
+                                 std::max(ps, kMinStagingElems));
+}
+
+std::uint64_t MemoryGovernor::shrink_staging(std::uint64_t current_ps) {
+  if (current_ps <= kMinStagingElems) return 0;
+  return std::max(current_ps / 2, kMinStagingElems);
+}
+
+std::uint64_t MemoryGovernor::spill_chunk_elems(const SortConfig& cfg,
+                                                std::size_t elem_size) const {
+  const std::uint64_t staging = staging_footprint_bytes(cfg, elem_size);
+  const std::uint64_t avail =
+      budget_bytes_ > staging ? budget_bytes_ - staging : budget_bytes_ / 2;
+  return std::max<std::uint64_t>(avail / (3 * elem_size), kMinStagingElems);
+}
+
+void MemoryGovernor::record(GovernorDecision decision) {
+  switch (decision.kind) {
+    case GovernorDecision::Kind::kAdmit:
+      break;
+    case GovernorDecision::Kind::kShrinkStaging:
+      obs::count(obs::Counter::kGovernorPsShrinks, 1);
+      break;
+    case GovernorDecision::Kind::kSpill:
+      obs::count(obs::Counter::kGovernorSpills, 1);
+      break;
+  }
+  if (obs::SpanRecorder* rec = obs::current()) {
+    obs::Span s;
+    const char* detail_key =
+        decision.kind == GovernorDecision::Kind::kSpill ? " chunk=" : " ps=";
+    s.name = std::string(governor_decision_name(decision.kind)) +
+             " footprint=" + std::to_string(decision.footprint_bytes) +
+             "B budget=" + std::to_string(decision.budget_bytes) + "B" +
+             detail_key + std::to_string(decision.detail);
+    s.category = "Governor";
+    s.start = s.end = rec->now();  // zero-width marker on the wall timeline
+    s.clock = obs::Clock::kWall;
+    rec->record(std::move(s));
+  }
+  decisions_.push_back(decision);
+}
+
+SpillBackend* spill_backend() {
+  return g_spill_backend.load(std::memory_order_acquire);
+}
+
+void set_spill_backend(SpillBackend* backend) {
+  g_spill_backend.store(backend, std::memory_order_release);
+}
+
+}  // namespace hs::core

@@ -1,0 +1,153 @@
+// Host memory-pressure governor (docs/fault_model.md).
+//
+// The paper's in-memory pipeline needs ~3n host bytes (input A + working W +
+// output B, Section III-C) plus the pinned staging areas. Until now that
+// budget was implicit: exceed it and the process dies in the allocator. The
+// governor makes it explicit policy:
+//
+//   * admission — before a sort runs, its projected footprint is checked
+//     against `SortConfig::host_budget_bytes`. Staging overflow is solved by
+//     shrinking ps (the paper shows ps has shallow impact past ~1e6); a 3n
+//     overflow degrades the sort to the out-of-core spill path instead of
+//     throwing, via the SpillBackend that hs_io registers;
+//   * reaction — a pinned/staging allocation that fails mid-run
+//     (vgpu::HostAllocFailed, injectable via sim::FaultSite::kHostAllocFail)
+//     halves ps and retries through the recovery loop instead of aborting.
+//
+// Every decision is recorded: obs counters (kGovernorPsShrinks /
+// kGovernorSpills), Report::recovery (ps_shrinks / spilled), and — when a
+// SpanRecorder is installed — zero-width "Governor" spans on the wall
+// timeline, so degradation stays measured, never silent.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "core/report.h"
+#include "core/sort_config.h"
+#include "cpu/element_ops.h"
+#include "model/platforms.h"
+
+namespace hs::core {
+
+/// Thrown when the configured host budget cannot admit the sort and no
+/// degradation applies (no spill backend registered, a timing-only run, or
+/// an element type the spill path cannot serialise).
+class HostBudgetExceeded : public hs::Error {
+ public:
+  HostBudgetExceeded(std::uint64_t footprint_bytes, std::uint64_t budget_bytes)
+      : hs::Error("sort footprint of " + std::to_string(footprint_bytes) +
+                  " bytes exceeds the host budget of " +
+                  std::to_string(budget_bytes) +
+                  " bytes and no spill path is available"),
+        footprint_bytes_(footprint_bytes),
+        budget_bytes_(budget_bytes) {}
+
+  std::uint64_t footprint_bytes() const { return footprint_bytes_; }
+  std::uint64_t budget_bytes() const { return budget_bytes_; }
+
+ private:
+  std::uint64_t footprint_bytes_;
+  std::uint64_t budget_bytes_;
+};
+
+struct GovernorDecision {
+  enum class Kind : std::uint8_t {
+    kAdmit,          // footprint fits, nothing to do
+    kShrinkStaging,  // ps reduced (admission pre-shrink or alloc-fail retry)
+    kSpill,          // sort handed to the out-of-core path
+  };
+  Kind kind = Kind::kAdmit;
+  std::uint64_t footprint_bytes = 0;
+  std::uint64_t budget_bytes = 0;
+  /// kShrinkStaging: the new ps (elements); kSpill: the chunk size chosen
+  /// for the external path (elements).
+  std::uint64_t detail = 0;
+};
+
+std::string_view governor_decision_name(GovernorDecision::Kind kind);
+
+class MemoryGovernor {
+ public:
+  /// Smallest ps the shrink ladder will go to; below this the staging chunks
+  /// are so small that per-chunk sync dominates and shrinking further cannot
+  /// be what saves the run.
+  static constexpr std::uint64_t kMinStagingElems = 1024;
+
+  /// budget_bytes == 0 means unlimited (the pre-governor behaviour).
+  explicit MemoryGovernor(std::uint64_t budget_bytes)
+      : budget_bytes_(budget_bytes) {}
+
+  bool limited() const { return budget_bytes_ > 0; }
+  std::uint64_t budget_bytes() const { return budget_bytes_; }
+
+  /// Pinned staging bytes the config will allocate across all streams.
+  static std::uint64_t staging_footprint_bytes(const SortConfig& cfg,
+                                               std::size_t elem_size);
+
+  /// Projected host footprint of an in-memory sort of n elements: the
+  /// paper's ~3n (A + W + B) plus pinned staging. Computed from the raw
+  /// config (not ResolvedConfig) so the governor can rule on sorts the
+  /// resolver would reject.
+  static std::uint64_t pipeline_footprint_bytes(const SortConfig& cfg,
+                                                std::uint64_t n,
+                                                std::size_t elem_size);
+
+  bool fits(const SortConfig& cfg, std::uint64_t n,
+            std::size_t elem_size) const;
+
+  /// Largest ps (<= cfg.staging_elems) that brings the footprint under the
+  /// budget, or 0 when even kMinStagingElems cannot (the 3n term alone
+  /// exceeds the budget — staging is not the problem).
+  std::uint64_t staging_to_fit(const SortConfig& cfg, std::uint64_t n,
+                               std::size_t elem_size) const;
+
+  /// Reaction ladder after a host allocation failure: halve ps, clamped to
+  /// kMinStagingElems. Returns 0 when already at the floor (give up).
+  static std::uint64_t shrink_staging(std::uint64_t current_ps);
+
+  /// Chunk size for the spill path such that each chunk's own 3*chunk
+  /// footprint (plus staging) fits the budget.
+  std::uint64_t spill_chunk_elems(const SortConfig& cfg,
+                                  std::size_t elem_size) const;
+
+  /// Tallies the decision into the obs counters, the decision log, and (when
+  /// a recorder is installed) the wall-clock span timeline.
+  void record(GovernorDecision decision);
+
+  const std::vector<GovernorDecision>& decisions() const { return decisions_; }
+
+ private:
+  std::uint64_t budget_bytes_;
+  std::vector<GovernorDecision> decisions_;
+};
+
+/// Out-of-core escape hatch for sorts the budget cannot admit. hs_core only
+/// defines the interface; hs_io registers the disk implementation
+/// (io::ensure_spill_backend) because core cannot depend on io.
+class SpillBackend {
+ public:
+  virtual ~SpillBackend() = default;
+
+  /// True when this backend can serialise elements of `ops`' type.
+  virtual bool can_spill(const cpu::ElementOps& ops) const = 0;
+
+  /// Sorts `data` in place through the out-of-core path, chunking at
+  /// `chunk_elems` so each chunk fits the budget. Returns a report whose
+  /// end_to_end is the summed pipeline virtual time of the chunk sorts.
+  virtual Report spill_sort(std::span<std::byte> data, std::uint64_t n,
+                            const cpu::ElementOps& ops,
+                            const model::Platform& platform,
+                            const SortConfig& cfg,
+                            std::uint64_t chunk_elems) = 0;
+};
+
+/// Process-wide registered backend, or nullptr.
+SpillBackend* spill_backend();
+void set_spill_backend(SpillBackend* backend);
+
+}  // namespace hs::core

@@ -120,7 +120,8 @@ void PipelineBuilder::allocate_buffers(PipelineBuffers& bufs) {
       }
       if (rc_.cfg.staging == StagingMode::kPinned) {
         for (unsigned i = 0; i < staging_buffers; ++i) {
-          slot.staging.emplace_back(rc_.staging_bytes(), rt_.mode());
+          slot.staging.emplace_back(rc_.staging_bytes(), rt_.mode(),
+                                    rt_.fault_injector());
         }
       }
       bufs.slots.push_back(std::move(slot));

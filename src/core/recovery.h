@@ -61,7 +61,9 @@ struct RecoveryStats {
   std::uint64_t batch_resplits = 0;       // device-OOM batch halvings
   std::uint64_t devices_blacklisted = 0;  // devices removed mid-run
   std::uint64_t attempts = 1;             // pipeline builds (1 == no recovery)
+  std::uint64_t ps_shrinks = 0;  // staging halvings after host alloc failures
   bool cpu_fallback = false;              // all devices lost, CPU sorted it
+  bool spilled = false;  // host budget too small; sorted via the disk path
 
   /// Virtual seconds charged for failed attempts, backoff, and requeue
   /// penalties (in-task retry costs live in the phase times instead).
@@ -69,8 +71,8 @@ struct RecoveryStats {
 
   bool any() const {
     return faults_injected > 0 || transfer_retries > 0 || batch_resplits > 0 ||
-           devices_blacklisted > 0 || attempts > 1 || cpu_fallback ||
-           recovery_seconds > 0;
+           devices_blacklisted > 0 || attempts > 1 || ps_shrinks > 0 ||
+           cpu_fallback || spilled || recovery_seconds > 0;
   }
 };
 

@@ -46,14 +46,16 @@ void Report::print(std::ostream& os) const {
     std::snprintf(
         buf, sizeof buf,
         "  faults: injected %llu | retries %llu | re-splits %llu | "
-        "blacklisted %llu | attempts %llu%s | recovery charged %.4f s\n",
+        "blacklisted %llu | attempts %llu | ps-shrinks %llu%s%s | "
+        "recovery charged %.4f s\n",
         static_cast<unsigned long long>(recovery.faults_injected),
         static_cast<unsigned long long>(recovery.transfer_retries),
         static_cast<unsigned long long>(recovery.batch_resplits),
         static_cast<unsigned long long>(recovery.devices_blacklisted),
         static_cast<unsigned long long>(recovery.attempts),
+        static_cast<unsigned long long>(recovery.ps_shrinks),
         recovery.cpu_fallback ? " | CPU fallback" : "",
-        recovery.recovery_seconds);
+        recovery.spilled ? " | spilled to disk" : "", recovery.recovery_seconds);
     os << buf;
   }
   if (counters.any()) {

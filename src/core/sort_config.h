@@ -79,6 +79,17 @@ struct SortConfig {
   /// abl_double_buffer).
   bool double_buffer_staging = false;
 
+  /// Host memory budget in bytes; 0 = unlimited (pre-governor behaviour).
+  /// When the projected footprint (~3n + pinned staging) exceeds it, the
+  /// MemoryGovernor shrinks ps, and when 3n alone does not fit it degrades
+  /// the sort to the external spill path instead of throwing
+  /// (docs/fault_model.md).
+  std::uint64_t host_budget_bytes = 0;
+
+  /// Directory for the spill path's temporary run files when the governor
+  /// degrades the sort out of core.
+  std::string spill_dir = ".";
+
   /// Seeded fault schedule injected into the run (all-zero: no faults).
   sim::FaultPlan faults;
 

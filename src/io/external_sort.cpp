@@ -1,13 +1,24 @@
 #include "io/external_sort.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <span>
+#include <string_view>
 #include <utility>
+#include <vector>
 
 #include "common/assert.h"
 #include "core/het_sorter.h"
+#include "core/memory_governor.h"
+#include "cpu/element_ops.h"
+#include "io/journal.h"
 #include "io/run_file.h"
+#include "obs/counters.h"
+#include "obs/span.h"
 
 namespace hs::io {
 namespace {
@@ -16,24 +27,62 @@ std::string run_path(const ExternalSortConfig& cfg, std::uint64_t i) {
   return cfg.temp_dir + "/hetsort_run_" + std::to_string(i) + ".bin";
 }
 
-/// Unlinks every registered intermediate run at scope exit — the success
-/// path's cleanup and the failure path's guard are the same mechanism, so a
-/// throw anywhere in run formation or the merge leaves no partial temp
-/// files behind.
+/// Chunk boundaries are a pure function of (index, n, budget): run i always
+/// covers the same input elements, which is what makes journal entries and
+/// re-sorted replacement runs interchangeable with the originals.
+struct ChunkExtent {
+  std::uint64_t start = 0;
+  std::uint64_t count = 0;
+};
+
+ChunkExtent chunk_extent(std::uint64_t index, std::uint64_t n,
+                         std::uint64_t budget) {
+  const std::uint64_t start = index * budget;
+  return {start, std::min(budget, n - start)};
+}
+
+/// Cleanup with crash-recovery semantics. On failure unwind only the files
+/// that never reached the journal are removed — journaled runs, quarantine
+/// evidence and the manifest itself survive for `resume`. commit_success()
+/// removes everything.
 class ScopedRunGuard {
  public:
-  ScopedRunGuard() = default;
+  ScopedRunGuard(std::string temp_dir, bool journal_enabled)
+      : temp_dir_(std::move(temp_dir)), journal_enabled_(journal_enabled) {}
   ScopedRunGuard(const ScopedRunGuard&) = delete;
   ScopedRunGuard& operator=(const ScopedRunGuard&) = delete;
   ~ScopedRunGuard() {
-    for (const auto& p : paths_) std::remove(p.c_str());
+    if (committed_) return;
+    for (const Entry& e : entries_) {
+      if (!e.journaled) std::remove(e.path.c_str());
+    }
   }
 
-  void add(std::string path) { paths_.push_back(std::move(path)); }
-  const std::vector<std::string>& paths() const { return paths_; }
+  void add(std::string path, bool journaled = false) {
+    entries_.push_back({std::move(path), journaled});
+  }
+  void mark_last_journaled() { entries_.back().journaled = true; }
+  void add_quarantined(std::string path) {
+    quarantined_.push_back(std::move(path));
+  }
+
+  void commit_success() {
+    for (const Entry& e : entries_) std::remove(e.path.c_str());
+    for (const std::string& q : quarantined_) std::remove(q.c_str());
+    if (journal_enabled_) remove_journal(temp_dir_);
+    committed_ = true;
+  }
 
  private:
-  std::vector<std::string> paths_;
+  struct Entry {
+    std::string path;
+    bool journaled = false;
+  };
+  std::string temp_dir_;
+  bool journal_enabled_;
+  bool committed_ = false;
+  std::vector<Entry> entries_;
+  std::vector<std::string> quarantined_;
 };
 
 void accumulate(core::RecoveryStats& into, const core::RecoveryStats& r) {
@@ -42,22 +91,88 @@ void accumulate(core::RecoveryStats& into, const core::RecoveryStats& r) {
   into.batch_resplits += r.batch_resplits;
   into.devices_blacklisted += r.devices_blacklisted;
   into.attempts += r.attempts - 1;  // count extra attempts, not baselines
+  into.ps_shrinks += r.ps_shrinks;
   into.cpu_fallback = into.cpu_fallback || r.cpu_fallback;
+  into.spilled = into.spilled || r.spilled;
   into.recovery_seconds += r.recovery_seconds;
 }
 
-/// k-way streaming merge of `runs` into `output_path`. Throws IoError on
-/// (possibly injected) read/write failures; the caller owns retries.
+std::uint64_t file_size_or_zero(const std::string& path) {
+  std::error_code ec;
+  const auto size = std::filesystem::file_size(path, ec);
+  return ec ? 0 : static_cast<std::uint64_t>(size);
+}
+
+/// Sets a failed run aside as "<path>.quarantined" (evidence, removed only
+/// on job success) and tallies its bytes. Missing files quarantine to
+/// nothing — the accounting still records the attempt.
+void quarantine_run(const std::string& path, ExternalSortStats& stats,
+                    ScopedRunGuard& guard) {
+  const std::uint64_t bytes = file_size_or_zero(path);
+  const std::string q = path + ".quarantined";
+  std::error_code ec;
+  std::filesystem::rename(path, q, ec);
+  if (ec) {
+    std::remove(path.c_str());  // cannot set aside: at least get it out of
+                                // the merge set
+  } else {
+    guard.add_quarantined(q);
+  }
+  ++stats.runs_quarantined;
+  stats.quarantined_bytes += bytes;
+  obs::count(obs::Counter::kRunsQuarantined, 1);
+  obs::count(obs::Counter::kBytesQuarantined, bytes);
+}
+
+/// Sorts chunk `index` of the input through the pipeline and writes its
+/// framed run file (re-writing up to max_io_retries times on injected or
+/// real write failures). Returns the run path.
+std::string form_run(std::uint64_t index, const std::string& input_path,
+                     std::uint64_t n, const ExternalSortConfig& cfg,
+                     core::HeterogeneousSorter& sorter,
+                     sim::FaultInjector& io_injector,
+                     ExternalSortStats& stats) {
+  const ChunkExtent ext = chunk_extent(index, n, cfg.memory_budget_elems);
+  std::vector<double> chunk =
+      read_doubles_range(input_path, ext.start, ext.count);
+  const core::Report r = sorter.sort(chunk);
+  stats.pipeline_virtual_seconds += r.end_to_end;
+  accumulate(stats.pipeline_recovery, r.recovery);
+
+  const std::string path = run_path(cfg, index);
+  for (unsigned tries = 0;; ++tries) {
+    try {
+      BufferedRunWriter out(path, cfg.io_buffer_elems, &io_injector,
+                            RunFormat::kFramed);
+      out.append(std::span<const double>(chunk));
+      out.close();
+      break;
+    } catch (const IoError&) {
+      std::remove(path.c_str());
+      if (tries >= cfg.max_io_retries) throw;
+      ++stats.io_retries;
+    }
+  }
+  return path;
+}
+
+/// k-way streaming merge of the framed `runs` into raw `merge_target`.
+/// Throws IoError on (possibly injected) read/write failures and
+/// RunFileCorrupt when a run fails block verification mid-stream; the caller
+/// owns retries and quarantine.
 void merge_runs(const std::vector<std::string>& runs,
-                const std::string& output_path, const ExternalSortConfig& cfg,
+                const std::string& merge_target, const ExternalSortConfig& cfg,
                 sim::FaultInjector* injector) {
   std::vector<BufferedRunReader> readers;
   readers.reserve(runs.size());
   for (const auto& path : runs) {
-    readers.emplace_back(path, cfg.io_buffer_elems, injector);
+    readers.emplace_back(path, cfg.io_buffer_elems, injector,
+                         RunFormat::kFramed);
   }
-  BufferedRunWriter out(output_path, cfg.io_buffer_elems, injector);
-  // Tournament over reader heads; indices beat ties like the LoserTree.
+  BufferedRunWriter out(merge_target, cfg.io_buffer_elems, injector,
+                        RunFormat::kRaw);
+  // Tournament over reader heads; indices beat ties like the LoserTree, so
+  // equal keys drain in run order and the merge is deterministic.
   // (Readers pull from disk, so the in-memory LoserTree over spans does
   // not apply directly; k is small, a linear scan per element suffices
   // for the I/O-bound merge.)
@@ -86,59 +201,155 @@ ExternalSortStats external_sort_file(const std::string& input_path,
   HS_EXPECTS(cfg.memory_budget_elems > 0);
   HS_EXPECTS(cfg.io_buffer_elems > 0);
   const auto wall_start = std::chrono::steady_clock::now();
+  obs::ScopedSpan sort_span("external-sort", "ExternalSort");
 
   ExternalSortStats stats;
   sim::FaultInjector io_injector(cfg.io_faults);
   stats.n = count_doubles(input_path);
   if (stats.n == 0) {
     write_doubles(output_path, {});
+    if (cfg.journal) remove_journal(cfg.temp_dir);
     return stats;
+  }
+
+  const std::uint64_t num_chunks =
+      (stats.n + cfg.memory_budget_elems - 1) / cfg.memory_budget_elems;
+
+  JobJournal journal;
+  journal.input_path = input_path;
+  journal.output_path = output_path;
+  journal.n = stats.n;
+  journal.budget_elems = cfg.memory_budget_elems;
+  journal.block_elems = cfg.io_buffer_elems;
+
+  ScopedRunGuard guard(cfg.temp_dir, cfg.journal);
+  std::vector<std::string> run_paths(num_chunks);
+  std::vector<char> have_run(num_chunks, 0);
+  std::vector<char> resort(num_chunks, 0);  // replacing a quarantined run
+
+  // --- resume: adopt the prior journal, revalidate, quarantine -------------
+  if (cfg.resume && cfg.journal) {
+    obs::ScopedSpan span("revalidate-runs", "ExternalSort");
+    const auto prior = load_journal(cfg.temp_dir);
+    if (prior && prior->compatible_with(journal) &&
+        prior->input_path == input_path) {
+      stats.resumed = true;
+      for (const JournalRun& r : prior->runs) {
+        ++stats.runs_revalidated;
+        const ChunkExtent ext =
+            r.index < num_chunks
+                ? chunk_extent(r.index, stats.n, cfg.memory_budget_elems)
+                : ChunkExtent{};
+        bool intact = r.index < num_chunks && r.start_elem == ext.start &&
+                      r.elem_count == ext.count;
+        if (intact) {
+          try {
+            stats.revalidated_bytes +=
+                verify_run_file(r.path, cfg.io_buffer_elems, &io_injector);
+          } catch (const IoError&) {  // includes RunFileCorrupt
+            intact = false;
+          }
+        }
+        if (intact) {
+          run_paths[r.index] = r.path;
+          have_run[r.index] = 1;
+          journal.runs.push_back(r);
+          guard.add(r.path, /*journaled=*/true);
+          ++stats.runs_reused;
+          obs::count(obs::Counter::kRunsRevalidated, 1);
+        } else {
+          if (r.index < num_chunks) resort[r.index] = 1;
+          quarantine_run(r.path, stats, guard);
+        }
+      }
+      // Re-persist so the manifest reflects only runs that survived
+      // revalidation — a second crash must not resurrect quarantined ones.
+      save_journal(journal, cfg.temp_dir);
+    }
   }
 
   // --- pass 1: run formation through the heterogeneous pipeline ------------
   core::HeterogeneousSorter sorter(cfg.platform, cfg.pipeline);
-  ScopedRunGuard runs;
   {
-    BufferedRunReader input(input_path, cfg.io_buffer_elems);
-    std::vector<double> chunk;
-    chunk.reserve(std::min<std::uint64_t>(stats.n, cfg.memory_budget_elems));
-    while (!input.empty()) {
-      chunk.clear();
-      while (!input.empty() && chunk.size() < cfg.memory_budget_elems) {
-        chunk.push_back(input.head());
-        input.pop();
+    obs::ScopedSpan span("run-formation", "ExternalSort");
+    std::uint64_t durable_new = 0;
+    for (std::uint64_t i = 0; i < num_chunks; ++i) {
+      if (have_run[i]) continue;
+      const std::string path =
+          form_run(i, input_path, stats.n, cfg, sorter, io_injector, stats);
+      guard.add(path, /*journaled=*/false);
+      const ChunkExtent ext =
+          chunk_extent(i, stats.n, cfg.memory_budget_elems);
+      journal.runs.push_back({i, ext.start, ext.count, path});
+      if (cfg.journal) {
+        // The run becomes durable only once the manifest rename lands: a
+        // kill between file close and journal save re-sorts this chunk.
+        save_journal(journal, cfg.temp_dir);
+        guard.mark_last_journaled();
       }
-      const core::Report r = sorter.sort(chunk);
-      stats.pipeline_virtual_seconds += r.end_to_end;
-      accumulate(stats.pipeline_recovery, r.recovery);
-      const std::string path = run_path(cfg, runs.paths().size());
-      for (unsigned tries = 0;; ++tries) {
-        try {
-          write_doubles(path, chunk, &io_injector);
-          break;
-        } catch (const IoError&) {
-          // write_doubles already unlinked the partial file.
-          if (tries >= cfg.max_io_retries) throw;
-          ++stats.io_retries;
-        }
+      if (resort[i]) {
+        ++stats.chunks_resorted;
+        obs::count(obs::Counter::kChunksResorted, 1);
       }
-      runs.add(path);
+      run_paths[i] = path;
+      have_run[i] = 1;
+      ++durable_new;
+      if (cfg.simulate_crash_after_runs > 0 &&
+          durable_new >= cfg.simulate_crash_after_runs) {
+        throw SimulatedCrash(durable_new);
+      }
     }
   }
-  stats.num_runs = runs.paths().size();
+  stats.num_runs = num_chunks;
 
   // --- pass 2: k-way streaming merge ----------------------------------------
-  for (unsigned tries = 0;; ++tries) {
-    try {
-      merge_runs(runs.paths(), output_path, cfg, &io_injector);
-      break;
-    } catch (const IoError&) {
-      std::remove(output_path.c_str());
-      if (tries >= cfg.max_io_retries) throw;
-      ++stats.io_retries;
+  // The merge writes a side file and renames it in, so the real output path
+  // flips atomically from old content to sorted content (and in-place sorts,
+  // output == input, keep the input readable for chunk re-sorts until the
+  // very end).
+  const std::string merge_target = output_path + ".hetsort_part";
+  guard.add(merge_target, /*journaled=*/false);
+  {
+    obs::ScopedSpan span("merge", "ExternalSort");
+    const std::uint64_t max_corrupt_recoveries =
+        num_chunks * (static_cast<std::uint64_t>(cfg.max_io_retries) + 1);
+    std::uint64_t corrupt_recoveries = 0;
+    for (unsigned tries = 0;;) {
+      try {
+        merge_runs(run_paths, merge_target, cfg, &io_injector);
+        break;
+      } catch (const RunFileCorrupt& e) {
+        // A run went bad under the merge's feet (bit rot, torn overwrite, or
+        // an injected kFileCorrupt): quarantine it, re-sort exactly its
+        // chunk, and restart the merge with the replacement.
+        std::remove(merge_target.c_str());
+        const auto it =
+            std::find(run_paths.begin(), run_paths.end(), e.path());
+        if (it == run_paths.end() ||
+            corrupt_recoveries >= max_corrupt_recoveries) {
+          throw;
+        }
+        ++corrupt_recoveries;
+        const auto idx =
+            static_cast<std::uint64_t>(it - run_paths.begin());
+        quarantine_run(e.path(), stats, guard);
+        form_run(idx, input_path, stats.n, cfg, sorter, io_injector, stats);
+        ++stats.chunks_resorted;
+        obs::count(obs::Counter::kChunksResorted, 1);
+      } catch (const IoError&) {
+        std::remove(merge_target.c_str());
+        if (tries >= cfg.max_io_retries) throw;
+        ++tries;
+        ++stats.io_retries;
+      }
     }
   }
+  if (std::rename(merge_target.c_str(), output_path.c_str()) != 0) {
+    std::remove(merge_target.c_str());
+    throw IoError("cannot rename " + merge_target + " to " + output_path);
+  }
 
+  guard.commit_success();
   stats.io_faults_injected = io_injector.stats().total();
   stats.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
@@ -146,5 +357,108 @@ ExternalSortStats external_sort_file(const std::string& input_path,
           .count();
   return stats;
 }
+
+ExternalSortStats resume_external_sort(const std::string& input_path,
+                                       const std::string& output_path,
+                                       ExternalSortConfig cfg) {
+  cfg.journal = true;
+  cfg.resume = true;
+  return external_sort_file(input_path, output_path, cfg);
+}
+
+// ---------------------------------------------------------------------------
+// Spill backend: the governor's out-of-core escape hatch.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Degrades an in-memory sort that busts the host budget into this module:
+/// dump the bytes to a private temp directory, external-sort them with a
+/// budget-fitting chunk size, stream the result back in place.
+class DiskSpillBackend final : public core::SpillBackend {
+ public:
+  bool can_spill(const cpu::ElementOps& ops) const override {
+    // The run-file format stores IEEE-754 doubles; other element types
+    // would need their own serialisation.
+    return std::string_view(ops.type_name) == "f64" &&
+           ops.elem_size == sizeof(double);
+  }
+
+  core::Report spill_sort(std::span<std::byte> data, std::uint64_t n,
+                          const cpu::ElementOps& ops,
+                          const model::Platform& platform,
+                          const core::SortConfig& cfg,
+                          std::uint64_t chunk_elems) override {
+    HS_EXPECTS(data.size() == n * sizeof(double));
+    // A private directory per spill keeps nested jobs (an external sort
+    // whose own run formation spills) from colliding on run names or the
+    // journal.
+    static std::atomic<std::uint64_t> seq{0};
+    const std::string dir = cfg.spill_dir + "/hetsort_spill_" +
+                            std::to_string(seq.fetch_add(1));
+    std::filesystem::create_directories(dir);
+    const std::string in = dir + "/in.bin";
+    const std::string out = dir + "/out.bin";
+    try {
+      write_doubles(
+          in, {reinterpret_cast<const double*>(data.data()),
+               static_cast<std::size_t>(n)});
+
+      ExternalSortConfig ecfg;
+      ecfg.platform = platform;
+      ecfg.pipeline = cfg;
+      // Chunks fit the budget by construction; a budget on the inner
+      // pipeline would recurse into this backend.
+      ecfg.pipeline.host_budget_bytes = 0;
+      ecfg.memory_budget_elems = std::max<std::uint64_t>(1, chunk_elems);
+      ecfg.io_buffer_elems =
+          std::min<std::uint64_t>(ecfg.memory_budget_elems, 1 << 16);
+      ecfg.temp_dir = dir;
+      ecfg.journal = false;  // internal scratch job, nothing to resume into
+      const ExternalSortStats stats = external_sort_file(in, out, ecfg);
+
+      // Stream the sorted file back so the peak stays ~chunk-sized, not +n.
+      BufferedRunReader sorted(out, 1 << 16);
+      double* d = reinterpret_cast<double*>(data.data());
+      for (std::uint64_t i = 0; i < n; ++i) {
+        HS_ASSERT(!sorted.empty());
+        d[i] = sorted.head();
+        sorted.pop();
+      }
+
+      core::Report r;
+      r.n = n;
+      r.num_batches = stats.num_runs;
+      r.label = cfg.label() + "+Spill";
+      r.element_type = ops.type_name;
+      r.end_to_end = stats.pipeline_virtual_seconds;
+      r.reference_cpu_time =
+          platform.cpu_sort.time(n, platform.reference_threads());
+      r.recovery = stats.pipeline_recovery;
+      r.recovery.spilled = true;
+
+      std::error_code ec;
+      std::filesystem::remove_all(dir, ec);
+      return r;
+    } catch (...) {
+      std::error_code ec;
+      std::filesystem::remove_all(dir, ec);
+      throw;
+    }
+  }
+};
+
+DiskSpillBackend g_disk_spill;
+
+}  // namespace
+
+void ensure_spill_backend() { core::set_spill_backend(&g_disk_spill); }
+
+namespace {
+// Linking hs_io's external-sort object registers the backend at static
+// initialisation; ensure_spill_backend() stays available for explicitness
+// (and for builds that dead-strip unused objects).
+const bool g_spill_registered = (ensure_spill_backend(), true);
+}  // namespace
 
 }  // namespace hs::io

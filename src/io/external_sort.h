@@ -7,9 +7,21 @@
 //
 //   pass 1: read chunks of `memory_budget_elems`, sort each through
 //           HeterogeneousSorter (real execution on the virtual platform),
-//           write sorted run files;
+//           write checksummed framed run files (io/run_file.h);
 //   pass 2: k-way merge the run files through fixed-size streaming buffers
-//           (a loser-tree over BufferedRunReaders) into the output file.
+//           into the output file (written to a side file and renamed in, so
+//           a crash mid-merge never leaves a half-written output).
+//
+// Crash safety (docs/fault_model.md): after each run is durably written, the
+// job journal (io/journal.h) is atomically updated. A killed job re-invoked
+// with `resume = true` revalidates every journaled run against its block
+// checksums, reuses the intact ones, quarantines corrupt or truncated ones
+// (renamed to "<run>.quarantined") and re-sorts exactly the chunks they
+// covered. The resumed output is byte-identical to an uninterrupted run:
+// chunk boundaries are a pure function of (n, memory_budget_elems), the
+// run-formation sort is deterministic, and the merge breaks ties by run
+// index. Run files that never reached the journal are removed on failure;
+// everything (runs, quarantine files, journal) is removed on success.
 //
 // This is the classical external mergesort with the paper's hybrid sorter as
 // its in-memory phase; the returned stats separate disk time (wall clock)
@@ -20,6 +32,7 @@
 #include <string>
 #include <vector>
 
+#include "common/error.h"
 #include "core/recovery.h"
 #include "core/sort_config.h"
 #include "model/platforms.h"
@@ -27,23 +40,52 @@
 
 namespace hs::io {
 
+/// Thrown by the `simulate_crash_after_runs` test hook. Everything durable
+/// at the throw point (journaled runs + manifest) is exactly what a SIGKILL
+/// at the same point would leave on disk, so tests exercise the resume path
+/// without forking: the guard only cleans up *non*-journaled state.
+class SimulatedCrash : public hs::Error {
+ public:
+  explicit SimulatedCrash(std::uint64_t durable_runs)
+      : hs::Error("simulated crash after " + std::to_string(durable_runs) +
+                  " durable runs") {}
+};
+
 struct ExternalSortConfig {
   model::Platform platform = model::platform1();
   core::SortConfig pipeline;
 
   /// Elements loaded, sorted and written per run (the in-memory budget;
-  /// the process peak is ~3x this, matching the pipeline's 3n rule).
+  /// the process peak is ~3x this, matching the pipeline's 3n rule). Also
+  /// fixes the chunk boundaries the journal records, so a resumed job must
+  /// use the same value (the journal is dropped otherwise).
   std::uint64_t memory_budget_elems = 1 << 22;
 
-  /// Streaming buffer per run file during the merge phase.
+  /// Streaming buffer per run file during the merge phase, and the framed
+  /// run files' checksum block size.
   std::uint64_t io_buffer_elems = 1 << 16;
 
-  /// Directory for intermediate run files (must exist).
+  /// Directory for intermediate run files and the job journal (must exist).
   std::string temp_dir = ".";
 
-  /// Seeded fault schedule for the disk layer (kFileRead / kFileWrite sites;
-  /// all-zero: no faults). Pipeline faults are configured independently via
-  /// `pipeline.faults` / `pipeline.recovery`.
+  /// Maintain the crash-recovery journal (one atomic manifest rewrite per
+  /// run). Disable for scratch jobs that should leave nothing behind on
+  /// failure either.
+  bool journal = true;
+
+  /// Adopt a compatible journal left in `temp_dir` by a killed job:
+  /// journaled runs are checksum-revalidated and reused, corrupt ones
+  /// quarantined and their chunks re-sorted. Without a usable journal the
+  /// job simply starts fresh (stats.resumed stays false).
+  bool resume = false;
+
+  /// Test hook: throw SimulatedCrash once this many *new* runs have been
+  /// journaled in this invocation (0 = never).
+  std::uint64_t simulate_crash_after_runs = 0;
+
+  /// Seeded fault schedule for the disk layer (kFileRead / kFileWrite /
+  /// kFileCorrupt sites; all-zero: no faults). Pipeline faults are
+  /// configured independently via `pipeline.faults` / `pipeline.recovery`.
   sim::FaultPlan io_faults;
 
   /// Times a run write (or the merge pass) is retried after an IoError
@@ -57,8 +99,17 @@ struct ExternalSortStats {
   double pipeline_virtual_seconds = 0;  // sum over run-formation reports
   double wall_seconds = 0;              // real time incl. disk I/O
 
-  std::uint64_t io_faults_injected = 0;  // kFileRead/kFileWrite faults fired
+  std::uint64_t io_faults_injected = 0;  // kFile* faults fired
   std::uint64_t io_retries = 0;          // run rewrites + merge restarts
+
+  // --- crash-recovery accounting (also mirrored into obs counters) --------
+  bool resumed = false;                  // a compatible journal was adopted
+  std::uint64_t runs_revalidated = 0;    // journaled runs checked on resume
+  std::uint64_t runs_reused = 0;         // ...of those, intact and reused
+  std::uint64_t revalidated_bytes = 0;   // payload bytes read to prove it
+  std::uint64_t runs_quarantined = 0;    // corrupt/truncated runs set aside
+  std::uint64_t quarantined_bytes = 0;   // on-disk size of those runs
+  std::uint64_t chunks_resorted = 0;     // chunks re-sorted to replace them
 
   /// Pipeline-side fault/recovery accounting summed over all run-formation
   /// sorts (see core::Report::recovery).
@@ -66,11 +117,25 @@ struct ExternalSortStats {
 };
 
 /// Sorts the doubles in `input_path` into `output_path` (which may equal
-/// `input_path`). Throws IoError on filesystem failures after exhausting
-/// `max_io_retries`. Intermediate runs are deleted on success AND on
-/// failure (a scoped guard unlinks them when any pass throws).
+/// `input_path`; the output is staged in a side file and renamed in). Throws
+/// IoError on filesystem failures after exhausting `max_io_retries`. On
+/// success every intermediate file is removed; on failure only runs recorded
+/// in the journal survive, ready for `resume`.
 ExternalSortStats external_sort_file(const std::string& input_path,
                                      const std::string& output_path,
                                      const ExternalSortConfig& cfg);
+
+/// Resumes a killed job from the journal in `cfg.temp_dir` (equivalent to
+/// external_sort_file with resume = true). Safe to call when no journal
+/// exists — the job then runs from scratch.
+ExternalSortStats resume_external_sort(const std::string& input_path,
+                                       const std::string& output_path,
+                                       ExternalSortConfig cfg);
+
+/// Registers the disk spill backend with core::set_spill_backend so a
+/// HeterogeneousSorter whose host budget cannot admit 3n degrades into this
+/// module instead of throwing. Linked-in automatically with hs_io (a static
+/// registrar calls it); exposed for explicitness in tests and tools.
+void ensure_spill_backend();
 
 }  // namespace hs::io

@@ -1,0 +1,148 @@
+#include "io/journal.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+#include "common/checksum.h"
+#include "io/run_file.h"
+
+namespace hs::io {
+namespace {
+
+constexpr const char* kHeaderLine = "hetsort-journal v1";
+
+std::string render(const JobJournal& j) {
+  std::ostringstream os;
+  os << kHeaderLine << '\n';
+  os << "input " << j.input_path << '\n';
+  os << "output " << j.output_path << '\n';
+  os << "n " << j.n << '\n';
+  os << "budget " << j.budget_elems << '\n';
+  os << "block " << j.block_elems << '\n';
+  // Runs are recorded in index order even when recovery re-sorted a middle
+  // chunk after its neighbours (the loader requires increasing indices).
+  std::vector<JournalRun> runs = j.runs;
+  std::sort(runs.begin(), runs.end(),
+            [](const JournalRun& a, const JournalRun& b) {
+              return a.index < b.index;
+            });
+  for (const JournalRun& r : runs) {
+    os << "run " << r.index << ' ' << r.start_elem << ' ' << r.elem_count
+       << ' ' << r.path << '\n';
+  }
+  const std::string body = os.str();
+  return body + "end " + std::to_string(fnv1a64(body)) + "\n";
+}
+
+/// Parses "<key> <rest>" and returns rest; nullopt when the key mismatches.
+std::optional<std::string> field(const std::string& line,
+                                 const std::string& key) {
+  if (line.rfind(key + " ", 0) != 0) return std::nullopt;
+  return line.substr(key.size() + 1);
+}
+
+bool parse_u64(const std::string& s, std::uint64_t& out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  out = std::strtoull(s.c_str(), &end, 10);
+  return end != nullptr && *end == '\0';
+}
+
+}  // namespace
+
+std::string journal_path(const std::string& temp_dir) {
+  return temp_dir + "/hetsort_job.manifest";
+}
+
+void save_journal(const JobJournal& journal, const std::string& temp_dir) {
+  const std::string path = journal_path(temp_dir);
+  const std::string tmp = path + ".tmp";
+  const std::string text = render(journal);
+
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) throw IoError("cannot open " + tmp);
+  const std::size_t written = std::fwrite(text.data(), 1, text.size(), f);
+  const bool flushed = std::fflush(f) == 0;
+  const bool closed = std::fclose(f) == 0;
+  if (written != text.size() || !flushed || !closed) {
+    std::remove(tmp.c_str());
+    throw IoError("short write to " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw IoError("cannot rename " + tmp + " to " + path);
+  }
+}
+
+std::optional<JobJournal> load_journal(const std::string& temp_dir) {
+  const std::string path = journal_path(temp_dir);
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return std::nullopt;
+  std::string text;
+  char buf[4096];
+  std::size_t got;
+  while ((got = std::fread(buf, 1, sizeof buf, f)) > 0) text.append(buf, got);
+  std::fclose(f);
+
+  // The last line must be "end <fnv-of-everything-before-it>".
+  const std::size_t nl = text.rfind('\n', text.size() >= 2 ? text.size() - 2
+                                                           : std::string::npos);
+  const std::size_t end_at = nl == std::string::npos ? 0 : nl + 1;
+  std::string end_line = text.substr(end_at);
+  if (!end_line.empty() && end_line.back() == '\n') end_line.pop_back();
+  const auto sum_text = field(end_line, "end");
+  std::uint64_t stored = 0;
+  if (!sum_text || !parse_u64(*sum_text, stored) ||
+      stored != fnv1a64(text.substr(0, end_at))) {
+    return std::nullopt;  // torn or tampered manifest: treat as absent
+  }
+
+  JobJournal j;
+  std::istringstream is(text.substr(0, end_at));
+  std::string line;
+  if (!std::getline(is, line) || line != kHeaderLine) return std::nullopt;
+  std::uint64_t next_index = 0;
+  while (std::getline(is, line)) {
+    if (auto in = field(line, "input")) {
+      j.input_path = *in;
+    } else if (auto out = field(line, "output")) {
+      j.output_path = *out;
+    } else if (auto nv = field(line, "n")) {
+      if (!parse_u64(*nv, j.n)) return std::nullopt;
+    } else if (auto bv = field(line, "budget")) {
+      if (!parse_u64(*bv, j.budget_elems)) return std::nullopt;
+    } else if (auto kv = field(line, "block")) {
+      if (!parse_u64(*kv, j.block_elems)) return std::nullopt;
+    } else if (auto rv = field(line, "run")) {
+      // "run <index> <start> <count> <path>"; the path may contain spaces.
+      JournalRun r;
+      std::istringstream rs(*rv);
+      std::string idx, start, count;
+      if (!(rs >> idx >> start >> count)) return std::nullopt;
+      if (!parse_u64(idx, r.index) || !parse_u64(start, r.start_elem) ||
+          !parse_u64(count, r.elem_count)) {
+        return std::nullopt;
+      }
+      // Indices must be strictly increasing; gaps are fine (a quarantined
+      // middle run leaves one until its chunk is re-sorted).
+      std::getline(rs >> std::ws, r.path);
+      if (r.path.empty() || r.index < next_index) return std::nullopt;
+      next_index = r.index + 1;
+      j.runs.push_back(std::move(r));
+    } else {
+      return std::nullopt;  // unknown record: refuse to guess
+    }
+  }
+  if (j.budget_elems == 0 || j.block_elems == 0) return std::nullopt;
+  return j;
+}
+
+void remove_journal(const std::string& temp_dir) {
+  std::remove(journal_path(temp_dir).c_str());
+  std::remove((journal_path(temp_dir) + ".tmp").c_str());
+}
+
+}  // namespace hs::io

@@ -1,0 +1,64 @@
+// Crash-consistent job journal for the external sort (docs/fault_model.md).
+//
+// The journal is a small text manifest in the job's temp_dir recording the
+// job identity (input, output, element count, chunking budget, run block
+// size) and every run file that is *durably complete* — i.e. its writer
+// close()d successfully and the manifest rename landed. It is rewritten
+// atomically (write to a temp name, fclose, rename) after each run, so at
+// any kill point the on-disk manifest is either the previous or the next
+// consistent state, never a torn one. A trailing FNV-1a checksum line makes
+// even an interrupted rename target detectable.
+//
+// Resume contract: runs listed here are *candidates* — the resume path still
+// re-validates each one against its own framed checksums before reuse, so a
+// journal that outlived a corrupted run quarantines it instead of merging it.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace hs::io {
+
+/// One durably completed run: chunk `index` covers input elements
+/// [start_elem, start_elem + elem_count).
+struct JournalRun {
+  std::uint64_t index = 0;
+  std::uint64_t start_elem = 0;
+  std::uint64_t elem_count = 0;
+  std::string path;
+};
+
+struct JobJournal {
+  std::string input_path;
+  std::string output_path;
+  std::uint64_t n = 0;             // total input elements
+  std::uint64_t budget_elems = 0;  // chunking budget (fixes run boundaries)
+  std::uint64_t block_elems = 0;   // framed-run block size
+  std::vector<JournalRun> runs;
+
+  /// True when `other` describes the same resumable job: identical input
+  /// size and chunk geometry, so run i covers the same elements in both.
+  bool compatible_with(const JobJournal& other) const {
+    return n == other.n && budget_elems == other.budget_elems &&
+           block_elems == other.block_elems;
+  }
+};
+
+/// Manifest location inside `temp_dir`.
+std::string journal_path(const std::string& temp_dir);
+
+/// Atomically replaces the manifest in `temp_dir` (write-temp-then-rename).
+/// Throws IoError when the filesystem refuses.
+void save_journal(const JobJournal& journal, const std::string& temp_dir);
+
+/// Loads the manifest from `temp_dir`. Returns nullopt when it is missing,
+/// torn, or fails its checksum — a fresh job is always a safe recovery, so
+/// corrupt journals are indistinguishable from absent ones.
+std::optional<JobJournal> load_journal(const std::string& temp_dir);
+
+/// Removes the manifest (and any stale temp sibling); missing files are fine.
+void remove_journal(const std::string& temp_dir);
+
+}  // namespace hs::io

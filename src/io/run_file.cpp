@@ -1,8 +1,11 @@
 #include "io/run_file.h"
 
+#include <cstddef>
 #include <utility>
 
 #include "common/assert.h"
+#include "common/checksum.h"
+#include "common/math_util.h"
 
 namespace hs::io {
 namespace {
@@ -15,7 +18,36 @@ std::FILE* open_or_throw(const std::string& path, const char* mode) {
   return f;
 }
 
+std::uint64_t file_bytes(std::FILE* f) {
+  const long pos = std::ftell(f);
+  std::fseek(f, 0, SEEK_END);
+  const long bytes = std::ftell(f);
+  std::fseek(f, pos, SEEK_SET);
+  return bytes < 0 ? 0 : static_cast<std::uint64_t>(bytes);
+}
+
+/// FNV-1a over the header fields preceding header_checksum.
+std::uint64_t header_digest(const RunFileHeader& h) {
+  return fnv1a64(&h, offsetof(RunFileHeader, header_checksum));
+}
+
+void write_header(std::FILE* f, const std::string& path,
+                  const RunFileHeader& h) {
+  if (std::fwrite(&h, sizeof h, 1, f) != 1) {
+    throw IoError("short header write to " + path);
+  }
+}
+
 }  // namespace
+
+std::uint64_t RunFileHeader::num_blocks() const {
+  return block_elems == 0 ? 0 : div_ceil(elem_count, block_elems);
+}
+
+std::uint64_t RunFileHeader::expected_file_bytes() const {
+  return sizeof(RunFileHeader) + elem_count * sizeof(double) +
+         num_blocks() * sizeof(std::uint64_t);
+}
 
 void write_doubles(const std::string& path, std::span<const double> data,
                    sim::FaultInjector* injector) {
@@ -35,10 +67,24 @@ void write_doubles(const std::string& path, std::span<const double> data,
 
 BufferedRunWriter::BufferedRunWriter(const std::string& path,
                                      std::size_t buffer_elems,
-                                     sim::FaultInjector* injector)
-    : path_(path), file_(open_or_throw(path, "wb")), injector_(injector) {
+                                     sim::FaultInjector* injector,
+                                     RunFormat format)
+    : path_(path),
+      file_(open_or_throw(path, format == RunFormat::kFramed ? "wb+" : "wb")),
+      block_elems_(buffer_elems),
+      format_(format),
+      injector_(injector) {
   HS_EXPECTS(buffer_elems > 0);
+  HS_EXPECTS_MSG(format != RunFormat::kAuto, "writers need a concrete format");
   buffer_.reserve(buffer_elems);
+  if (format_ == RunFormat::kFramed) {
+    // Invalid placeholder: a run interrupted before close() never validates.
+    RunFileHeader h;
+    h.elem_count = UINT64_MAX;
+    h.block_elems = block_elems_;
+    h.header_checksum = 0;
+    write_header(file_, path_, h);
+  }
 }
 
 BufferedRunWriter::~BufferedRunWriter() {
@@ -54,9 +100,11 @@ BufferedRunWriter::~BufferedRunWriter() {
 }
 
 void BufferedRunWriter::append(double value) {
+  if (written_ > 0 && value < prev_) sorted_so_far_ = false;
+  prev_ = value;
   buffer_.push_back(value);
   ++written_;
-  if (buffer_.size() == buffer_.capacity()) flush_buffer();
+  if (buffer_.size() >= block_elems_) flush_buffer();
 }
 
 void BufferedRunWriter::append(std::span<const double> values) {
@@ -65,7 +113,22 @@ void BufferedRunWriter::append(std::span<const double> values) {
 
 void BufferedRunWriter::close() {
   if (file_ == nullptr) return;
-  flush_buffer();
+  try {
+    flush_buffer();
+    if (format_ == RunFormat::kFramed) {
+      RunFileHeader h;
+      if (sorted_so_far_) h.flags |= RunFileHeader::kFlagSorted;
+      h.elem_count = written_;
+      h.block_elems = block_elems_;
+      h.header_checksum = header_digest(h);
+      std::fseek(file_, 0, SEEK_SET);
+      write_header(file_, path_, h);
+    }
+  } catch (...) {
+    std::fclose(file_);
+    file_ = nullptr;
+    throw;
+  }
   const int rc = std::fclose(file_);
   file_ = nullptr;
   if (rc != 0) throw IoError("close failed for " + path_);
@@ -80,6 +143,13 @@ void BufferedRunWriter::flush_buffer() {
     n = buffer_.size() / 2;  // simulated short write
   }
   if (n != buffer_.size()) throw IoError("short write to " + path_);
+  if (format_ == RunFormat::kFramed) {
+    const std::uint64_t sum =
+        fnv1a64(buffer_.data(), buffer_.size() * sizeof(double));
+    if (std::fwrite(&sum, sizeof sum, 1, file_) != 1) {
+      throw IoError("short checksum write to " + path_);
+    }
+  }
   buffer_.clear();
 }
 
@@ -105,16 +175,79 @@ std::vector<double> read_doubles(const std::string& path) {
   return v;
 }
 
+std::vector<double> read_doubles_range(const std::string& path,
+                                       std::uint64_t start_elem,
+                                       std::uint64_t count) {
+  const std::uint64_t n = count_doubles(path);
+  if (start_elem + count > n) {
+    throw IoError("range [" + std::to_string(start_elem) + ", " +
+                  std::to_string(start_elem + count) + ") exceeds " + path);
+  }
+  std::vector<double> v(count);
+  std::FILE* f = open_or_throw(path, "rb");
+  std::fseek(f, static_cast<long>(start_elem * sizeof(double)), SEEK_SET);
+  const std::size_t got =
+      count == 0 ? 0 : std::fread(v.data(), sizeof(double), count, f);
+  std::fclose(f);
+  if (got != count) throw IoError("short read from " + path);
+  return v;
+}
+
 BufferedRunReader::BufferedRunReader(const std::string& path,
                                      std::size_t buffer_elems,
-                                     sim::FaultInjector* injector)
+                                     sim::FaultInjector* injector,
+                                     RunFormat format)
     : path_(path),
       file_(open_or_throw(path, "rb")),
       capacity_(buffer_elems),
       injector_(injector) {
   HS_EXPECTS(buffer_elems > 0);
-  remaining_total_ = count_doubles(path);
+  open_framed_or_raw(format);
   refill();
+}
+
+void BufferedRunReader::open_framed_or_raw(RunFormat format) {
+  RunFileHeader h;
+  const bool have_header = std::fread(&h, sizeof h, 1, file_) == 1;
+  const bool magic_ok = have_header && h.magic == RunFileHeader::kMagic;
+  if (format == RunFormat::kFramed && !magic_ok) {
+    throw RunFileCorrupt(path_, "missing or truncated run header");
+  }
+  if (format == RunFormat::kRaw || !magic_ok) {
+    // Raw: the element count is implied by the size, which must divide by 8.
+    format_ = RunFormat::kRaw;
+    std::fseek(file_, 0, SEEK_SET);
+    const std::uint64_t bytes = file_bytes(file_);
+    if (bytes % sizeof(double) != 0) {
+      throw IoError(path_ + " is not a whole number of doubles");
+    }
+    remaining_total_ = file_elems_left_ = bytes / sizeof(double);
+    return;
+  }
+  // Framed: the header vouches for itself (checksum) and for the file
+  // (element count vs. size), so torn and truncated runs fail on open.
+  format_ = RunFormat::kFramed;
+  if (h.header_checksum != header_digest(h)) {
+    throw RunFileCorrupt(path_, "run header checksum mismatch (torn write?)");
+  }
+  if (h.version != RunFileHeader::kVersion) {
+    throw RunFileCorrupt(path_,
+                         "unsupported run format version " +
+                             std::to_string(h.version));
+  }
+  if (h.block_elems == 0) {
+    throw RunFileCorrupt(path_, "run header has zero block size");
+  }
+  const std::uint64_t actual = file_bytes(file_);
+  if (actual != h.expected_file_bytes()) {
+    throw RunFileCorrupt(
+        path_, "file size " + std::to_string(actual) +
+                   " disagrees with header element count " +
+                   std::to_string(h.elem_count) + " (truncated run?)");
+  }
+  header_sorted_ = h.sorted();
+  block_elems_ = h.block_elems;
+  remaining_total_ = file_elems_left_ = h.elem_count;
 }
 
 BufferedRunReader::~BufferedRunReader() {
@@ -129,6 +262,11 @@ BufferedRunReader::BufferedRunReader(BufferedRunReader&& other) noexcept
       capacity_(other.capacity_),
       exhausted_(other.exhausted_),
       remaining_total_(other.remaining_total_),
+      format_(other.format_),
+      header_sorted_(other.header_sorted_),
+      file_elems_left_(other.file_elems_left_),
+      block_index_(other.block_index_),
+      block_elems_(other.block_elems_),
       injector_(other.injector_) {}
 
 double BufferedRunReader::head() const {
@@ -148,12 +286,73 @@ void BufferedRunReader::refill() {
       injector_->should_fault(sim::FaultSite::kFileRead)) {
     throw IoError("short read from " + path_);
   }
+  if (format_ == RunFormat::kFramed) {
+    refill_framed();
+  } else {
+    refill_raw();
+  }
+}
+
+void BufferedRunReader::refill_raw() {
   buffer_.resize(capacity_);
   const std::size_t got =
       std::fread(buffer_.data(), sizeof(double), capacity_, file_);
   buffer_.resize(got);
   pos_ = 0;
   if (got < capacity_) exhausted_ = true;
+}
+
+void BufferedRunReader::refill_framed() {
+  const std::uint64_t want =
+      std::min<std::uint64_t>(block_elems_, file_elems_left_);
+  pos_ = 0;
+  if (want == 0) {
+    buffer_.clear();
+    exhausted_ = true;
+    return;
+  }
+  buffer_.resize(want);
+  std::uint64_t stored = 0;
+  if (std::fread(buffer_.data(), sizeof(double), want, file_) != want ||
+      std::fread(&stored, sizeof stored, 1, file_) != 1) {
+    // The open-time size check makes this unreachable without a concurrent
+    // truncation; treat it as corruption either way.
+    throw RunFileCorrupt(path_, "short read in block " +
+                                    std::to_string(block_index_));
+  }
+  std::uint64_t computed = fnv1a64(buffer_.data(), want * sizeof(double));
+  if (injector_ != nullptr && injector_->enabled() &&
+      injector_->should_fault(sim::FaultSite::kFileCorrupt)) {
+    computed = ~computed;  // simulated bit rot
+  }
+  if (computed != stored) {
+    throw RunFileCorrupt(path_, "checksum mismatch in block " +
+                                    std::to_string(block_index_));
+  }
+  ++block_index_;
+  file_elems_left_ -= want;
+  if (file_elems_left_ == 0) exhausted_ = true;
+}
+
+std::uint64_t verify_run_file(const std::string& path,
+                              std::size_t buffer_elems,
+                              sim::FaultInjector* injector) {
+  BufferedRunReader r(path, buffer_elems, injector, RunFormat::kFramed);
+  const bool check_order = r.header_sorted();
+  std::uint64_t n = 0;
+  double prev = 0;
+  while (!r.empty()) {
+    const double v = r.head();
+    if (check_order && n > 0 && v < prev) {
+      throw RunFileCorrupt(path, "run is not sorted at element " +
+                                     std::to_string(n) +
+                                     " despite the header's sorted flag");
+    }
+    prev = v;
+    ++n;
+    r.pop();
+  }
+  return n * sizeof(double);
 }
 
 }  // namespace hs::io

@@ -1,9 +1,19 @@
 // Binary run files for out-of-core sorting.
 //
-// Format: raw little-endian IEEE-754 doubles, nothing else — the natural
-// on-disk shape of the paper's element type, readable by numpy.fromfile.
-// BufferedRunReader streams a sorted run through a fixed-size buffer so the
-// k-way disk merge of external_sort keeps only O(k * buffer) in memory.
+// Two on-disk formats:
+//   * kRaw — little-endian IEEE-754 doubles, nothing else: the natural shape
+//     of the paper's element type, readable by numpy.fromfile. Used for the
+//     user-facing input and output files.
+//   * kFramed — a 40-byte header (magic, version, sortedness flag, element
+//     count, block size, header checksum) followed by fixed-size blocks of
+//     doubles, each trailed by its FNV-1a 64 checksum. Used for intermediate
+//     run files so a torn write, a truncated file, or a flipped byte is
+//     *detected* (RunFileCorrupt) instead of silently merging garbage — the
+//     foundation of the crash-safe resume path (docs/fault_model.md).
+//
+// BufferedRunReader streams either format through a fixed-size buffer so the
+// k-way disk merge of external_sort keeps only O(k * buffer) in memory;
+// framed blocks are verified as they stream.
 #pragma once
 
 #include <cstdint>
@@ -24,17 +34,66 @@ class IoError : public hs::Error {
   using hs::Error::Error;
 };
 
+/// Thrown when a framed run file fails integrity verification: bad magic or
+/// header checksum, element count disagreeing with the file size, or a block
+/// whose checksum does not match its payload. Carries the offending path so
+/// recovery can quarantine the run.
+class RunFileCorrupt : public IoError {
+ public:
+  RunFileCorrupt(std::string path, const std::string& detail)
+      : IoError(path + ": " + detail), path_(std::move(path)) {}
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+enum class RunFormat : std::uint8_t {
+  kAuto,    // reader only: detect kFramed by magic, fall back to kRaw
+  kRaw,     // headerless doubles
+  kFramed,  // checksummed header + per-block checksums
+};
+
+/// On-disk header of a framed run file (40 bytes, little-endian fields).
+/// A freshly created file carries an invalid placeholder (elem_count
+/// UINT64_MAX, checksum 0); the real header is written by close(), so a run
+/// interrupted before close never validates.
+struct RunFileHeader {
+  static constexpr std::uint64_t kMagic = 0x0031464E55525348ULL;  // "HSRUNF1\0"
+  static constexpr std::uint32_t kVersion = 1;
+  static constexpr std::uint32_t kFlagSorted = 1u << 0;
+
+  std::uint64_t magic = kMagic;
+  std::uint32_t version = kVersion;
+  std::uint32_t flags = 0;
+  std::uint64_t elem_count = 0;
+  std::uint64_t block_elems = 0;
+  std::uint64_t header_checksum = 0;  // FNV-1a of the 32 bytes above
+
+  bool sorted() const { return (flags & kFlagSorted) != 0; }
+  /// Blocks the payload occupies (each trailed by an 8-byte checksum).
+  std::uint64_t num_blocks() const;
+  /// Total file size implied by the header.
+  std::uint64_t expected_file_bytes() const;
+};
+static_assert(sizeof(RunFileHeader) == 40);
+
 /// Writes `data` to `path`, replacing any existing file. The optional fault
 /// injector may fire a kFileWrite fault (simulated short write -> IoError);
 /// the partial file is unlinked before the throw.
 void write_doubles(const std::string& path, std::span<const double> data,
                    sim::FaultInjector* injector = nullptr);
 
-/// Appends `data` to an open FILE-backed writer with its own buffer.
+/// Appends `data` to an open FILE-backed writer with its own buffer. In
+/// kFramed mode the buffer size is the block size: every flush emits one
+/// checksummed block and close() rewrites the header with the final element
+/// count and observed sortedness.
 class BufferedRunWriter {
  public:
   BufferedRunWriter(const std::string& path, std::size_t buffer_elems,
-                    sim::FaultInjector* injector = nullptr);
+                    sim::FaultInjector* injector = nullptr,
+                    RunFormat format = RunFormat::kRaw);
   ~BufferedRunWriter();
 
   BufferedRunWriter(const BufferedRunWriter&) = delete;
@@ -43,10 +102,11 @@ class BufferedRunWriter {
   void append(double value);
   void append(std::span<const double> values);
 
-  /// Flushes and closes; further appends are invalid. Called by the
-  /// destructor if not done explicitly. The destructor cannot throw, so if
-  /// its close() fails it unlinks the partial file instead of leaving a
-  /// truncated run behind; call close() to observe write errors.
+  /// Flushes, finalises the header (kFramed) and closes; further appends are
+  /// invalid. The success path MUST call this explicitly and let the IoError
+  /// escape: the destructor also closes, but it cannot throw, so a write
+  /// error in the destructor unlinks the partial file instead of surfacing —
+  /// acceptable only during exception unwind.
   void close();
 
   std::uint64_t written() const { return written_; }
@@ -57,22 +117,37 @@ class BufferedRunWriter {
   std::string path_;
   std::FILE* file_ = nullptr;
   std::vector<double> buffer_;
+  std::size_t block_elems_;
   std::uint64_t written_ = 0;
+  RunFormat format_;
+  bool sorted_so_far_ = true;
+  double prev_ = 0;
   sim::FaultInjector* injector_ = nullptr;
 };
 
-/// Number of doubles in `path`. Throws IoError if the size is not a multiple
-/// of 8 or the file is unreadable.
+/// Number of doubles in a raw file. Throws IoError if the size is not a
+/// multiple of 8 or the file is unreadable.
 std::uint64_t count_doubles(const std::string& path);
 
-/// Reads the entire file (use only when it fits in memory, e.g. tests).
+/// Reads an entire raw file (use only when it fits in memory, e.g. tests).
 std::vector<double> read_doubles(const std::string& path);
 
-/// Streams a run file through a fixed-size buffer.
+/// Positioned read of `count` doubles starting at element `start_elem` of a
+/// raw file (the resume path re-reads exactly one chunk of the input).
+std::vector<double> read_doubles_range(const std::string& path,
+                                       std::uint64_t start_elem,
+                                       std::uint64_t count);
+
+/// Streams a run file through a fixed-size buffer. In kFramed mode the
+/// header is fully validated on open — including the file size against the
+/// recorded element count, so a truncated run fails here instead of merging
+/// silently as a shorter run — and every block checksum is verified as it
+/// streams (RunFileCorrupt on mismatch).
 class BufferedRunReader {
  public:
   BufferedRunReader(const std::string& path, std::size_t buffer_elems,
-                    sim::FaultInjector* injector = nullptr);
+                    sim::FaultInjector* injector = nullptr,
+                    RunFormat format = RunFormat::kAuto);
   ~BufferedRunReader();
 
   BufferedRunReader(const BufferedRunReader&) = delete;
@@ -82,6 +157,12 @@ class BufferedRunReader {
   bool empty() const { return pos_ >= buffer_.size() && exhausted_; }
   std::uint64_t remaining() const { return remaining_total_; }
 
+  /// Resolved format: kRaw or kFramed, never kAuto.
+  RunFormat format() const { return format_; }
+
+  /// Header sortedness flag; false for raw files (unknown).
+  bool header_sorted() const { return header_sorted_; }
+
   /// Current smallest unread element. Precondition: !empty().
   double head() const;
 
@@ -89,7 +170,10 @@ class BufferedRunReader {
   void pop();
 
  private:
+  void open_framed_or_raw(RunFormat format);
   void refill();
+  void refill_raw();
+  void refill_framed();
 
   std::string path_;
   std::FILE* file_ = nullptr;
@@ -98,7 +182,21 @@ class BufferedRunReader {
   std::size_t capacity_;
   bool exhausted_ = false;
   std::uint64_t remaining_total_ = 0;
+  RunFormat format_ = RunFormat::kRaw;
+  bool header_sorted_ = false;
+  std::uint64_t file_elems_left_ = 0;  // unread payload elements on disk
+  std::uint64_t block_index_ = 0;      // next framed block to read
+  std::uint64_t block_elems_ = 0;      // framed block size from the header
   sim::FaultInjector* injector_ = nullptr;
 };
+
+/// Streams the entire framed run at `path`, verifying every block checksum,
+/// the header-recorded element count and (when the header claims sortedness)
+/// ascending order. Returns the number of payload bytes read. Throws
+/// RunFileCorrupt / IoError on any violation — the resume path's
+/// revalidation primitive.
+std::uint64_t verify_run_file(const std::string& path,
+                              std::size_t buffer_elems,
+                              sim::FaultInjector* injector = nullptr);
 
 }  // namespace hs::io

@@ -28,6 +28,12 @@ std::string_view counter_name(Counter c) {
     case Counter::kDevicesBlacklisted: return "devices_blacklisted";
     case Counter::kAttempts: return "attempts";
     case Counter::kCpuFallbacks: return "cpu_fallbacks";
+    case Counter::kGovernorPsShrinks: return "governor_ps_shrinks";
+    case Counter::kGovernorSpills: return "governor_spills";
+    case Counter::kRunsRevalidated: return "runs_revalidated";
+    case Counter::kRunsQuarantined: return "runs_quarantined";
+    case Counter::kBytesQuarantined: return "bytes_quarantined";
+    case Counter::kChunksResorted: return "chunks_resorted";
   }
   return "?";
 }

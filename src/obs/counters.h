@@ -46,9 +46,17 @@ enum class Counter : std::uint8_t {
   kDevicesBlacklisted,
   kAttempts,
   kCpuFallbacks,
+  // Memory governor (fed by the recovery loop / the governor itself).
+  kGovernorPsShrinks,  // staging shrink-and-retry after a host alloc failure
+  kGovernorSpills,     // sorts degraded to the external spill path
+  // Crash-safe external sort (fed by io::external_sort resume/recovery).
+  kRunsRevalidated,    // journaled runs checksum-verified on resume
+  kRunsQuarantined,    // runs failing verification, set aside
+  kBytesQuarantined,   // on-disk bytes of quarantined runs
+  kChunksResorted,     // input chunks re-sorted to replace bad runs
 };
 
-inline constexpr std::size_t kNumCounters = 19;
+inline constexpr std::size_t kNumCounters = 25;
 
 std::string_view counter_name(Counter c);
 

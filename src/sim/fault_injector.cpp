@@ -16,6 +16,8 @@ std::string_view fault_site_name(FaultSite site) {
     case FaultSite::kKernelHang: return "kernel-hang";
     case FaultSite::kFileRead: return "file-read";
     case FaultSite::kFileWrite: return "file-write";
+    case FaultSite::kFileCorrupt: return "file-corrupt";
+    case FaultSite::kHostAllocFail: return "host-alloc-fail";
   }
   return "?";
 }

@@ -28,9 +28,11 @@ enum class FaultSite : std::uint8_t {
   kKernelHang,   // kernel never completes -> watchdog / PipelineStalled
   kFileRead,     // short read from a run file -> IoError
   kFileWrite,    // short write to a run file -> IoError
+  kFileCorrupt,  // run-file block fails checksum verification -> RunFileCorrupt
+  kHostAllocFail,  // pinned host allocation fails -> HostAllocFailed
 };
 
-inline constexpr std::size_t kNumFaultSites = 8;
+inline constexpr std::size_t kNumFaultSites = 10;
 
 std::string_view fault_site_name(FaultSite site);
 

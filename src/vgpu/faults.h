@@ -52,4 +52,22 @@ class TransferFault : public hs::Error {
   unsigned failed_attempts_;
 };
 
+/// Virtual analogue of cudaMallocHost returning cudaErrorMemoryAllocation
+/// (or std::bad_alloc from a real pinned allocation): the host could not
+/// provide the requested page-locked staging memory. Injectable via
+/// sim::FaultSite::kHostAllocFail. The recovery engine reacts by shrinking
+/// ps (core::MemoryGovernor::shrink_staging) and retrying.
+class HostAllocFailed : public hs::Error {
+ public:
+  explicit HostAllocFailed(std::uint64_t bytes)
+      : hs::Error("pinned host allocation of " + std::to_string(bytes) +
+                  " bytes failed"),
+        bytes_(bytes) {}
+
+  std::uint64_t bytes() const { return bytes_; }
+
+ private:
+  std::uint64_t bytes_;
+};
+
 }  // namespace hs::vgpu

@@ -1,13 +1,27 @@
 #include "vgpu/pinned_buffer.h"
 
+#include <new>
+
 #include "obs/counters.h"
+#include "vgpu/faults.h"
 
 namespace hs::vgpu {
 
-PinnedHostBuffer::PinnedHostBuffer(std::uint64_t bytes, Execution mode)
+PinnedHostBuffer::PinnedHostBuffer(std::uint64_t bytes, Execution mode,
+                                   sim::FaultInjector* injector)
     : bytes_(bytes) {
+  if (injector != nullptr &&
+      injector->should_fault(sim::FaultSite::kHostAllocFail)) {
+    throw HostAllocFailed(bytes);
+  }
   obs::count(obs::Counter::kBytesPinnedAlloc, bytes);
-  if (mode == Execution::kReal) storage_.resize(bytes);
+  if (mode == Execution::kReal) {
+    try {
+      storage_.resize(bytes);
+    } catch (const std::bad_alloc&) {
+      throw HostAllocFailed(bytes);
+    }
+  }
 }
 
 std::span<std::byte> PinnedHostBuffer::bytes() {

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "model/pinned_alloc_model.h"
+#include "sim/fault_injector.h"
 #include "vgpu/execution.h"
 
 namespace hs::vgpu {
@@ -21,7 +22,10 @@ namespace hs::vgpu {
 class PinnedHostBuffer {
  public:
   PinnedHostBuffer() = default;
-  PinnedHostBuffer(std::uint64_t bytes, Execution mode);
+  /// Throws HostAllocFailed when the injector fires kHostAllocFail, or when
+  /// the real backing allocation throws std::bad_alloc.
+  PinnedHostBuffer(std::uint64_t bytes, Execution mode,
+                   sim::FaultInjector* injector = nullptr);
 
   PinnedHostBuffer(PinnedHostBuffer&&) noexcept = default;
   PinnedHostBuffer& operator=(PinnedHostBuffer&&) noexcept = default;

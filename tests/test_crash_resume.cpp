@@ -1,0 +1,459 @@
+// Crash-safety battery for the external sort (docs/fault_model.md):
+//   * the job journal round-trips and rejects torn/tampered manifests;
+//   * a job killed after any prefix of runs resumes to output byte-identical
+//     to an uninterrupted run (the SIGKILL-equivalence contract of
+//     SimulatedCrash);
+//   * corrupt or truncated runs are detected on resume, quarantined and
+//     their chunks re-sorted — never silently merged;
+//   * the merge phase survives a run going bad under its feet;
+//   * the MemoryGovernor admits, shrinks staging, spills out of core, or
+//     throws HostBudgetExceeded exactly per the degradation ladder.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/het_sorter.h"
+#include "core/memory_governor.h"
+#include "data/generators.h"
+#include "data/verify.h"
+#include "io/external_sort.h"
+#include "io/journal.h"
+#include "io/run_file.h"
+
+namespace hs {
+namespace {
+
+using hs::data::Distribution;
+using hs::sim::FaultSite;
+
+model::Platform tiny_platform() {
+  model::Platform p = model::platform1();
+  p.gpus.clear();
+  model::GpuSpec spec;
+  spec.model = "CrashTestGPU";
+  spec.cuda_cores = 64;
+  spec.memory_bytes = 65536 * sizeof(double);
+  spec.sort = model::GpuSortModel{1e-4, 2e-9};
+  p.gpus.push_back(spec);
+  return p;
+}
+
+core::SortConfig tiny_pipeline() {
+  core::SortConfig cfg;
+  cfg.batch_size = 4000;
+  cfg.staging_elems = 512;
+  return cfg;
+}
+
+/// 8 chunks for a 60000-element input: 7 full runs of 8000 plus one of 4000.
+io::ExternalSortConfig crash_cfg(const std::filesystem::path& dir) {
+  io::ExternalSortConfig cfg;
+  cfg.platform = tiny_platform();
+  cfg.pipeline = tiny_pipeline();
+  cfg.memory_budget_elems = 8000;
+  cfg.io_buffer_elems = 512;
+  cfg.temp_dir = dir.string();
+  return cfg;
+}
+
+std::vector<char> file_bytes(const std::filesystem::path& p) {
+  std::ifstream f(p, std::ios::binary);
+  return {std::istreambuf_iterator<char>(f), std::istreambuf_iterator<char>()};
+}
+
+void flip_byte(const std::filesystem::path& p, std::uint64_t offset) {
+  std::fstream f(p, std::ios::in | std::ios::out | std::ios::binary);
+  ASSERT_TRUE(f.is_open()) << p;
+  f.seekg(static_cast<std::streamoff>(offset));
+  char c = 0;
+  f.read(&c, 1);
+  c = static_cast<char>(c ^ 0x40);
+  f.seekp(static_cast<std::streamoff>(offset));
+  f.write(&c, 1);
+}
+
+class CrashResumeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ =
+        std::filesystem::temp_directory_path() /
+        ("hetsort_crash_" + std::to_string(::getpid()) + "_" +
+         ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::create_directories(root_);
+  }
+  void TearDown() override { std::filesystem::remove_all(root_); }
+
+  std::filesystem::path dir(const std::string& name) {
+    const auto d = root_ / name;
+    std::filesystem::create_directories(d);
+    return d;
+  }
+
+  /// Uninterrupted external sort of `data`; returns the output bytes every
+  /// crash/resume variant must reproduce exactly.
+  std::vector<char> golden_output(const std::vector<double>& data,
+                                  const std::filesystem::path& d) {
+    const io::ExternalSortConfig cfg = crash_cfg(d);
+    const std::string in = (d / "in.bin").string();
+    const std::string out = (d / "out.bin").string();
+    io::write_doubles(in, data);
+    io::external_sort_file(in, out, cfg);
+    return file_bytes(d / "out.bin");
+  }
+
+  /// After commit_success nothing but the user-facing files may survive.
+  void expect_only_user_files(const std::filesystem::path& d) {
+    for (const auto& e : std::filesystem::directory_iterator(d)) {
+      const std::string name = e.path().filename().string();
+      EXPECT_TRUE(name == "in.bin" || name == "out.bin")
+          << "leftover intermediate file " << name;
+    }
+  }
+
+  std::filesystem::path root_;
+};
+
+// --- journal -----------------------------------------------------------------
+
+TEST_F(CrashResumeTest, JournalRoundTripsWithGapsAndSpacedPaths) {
+  const auto d = dir("j");
+  io::JobJournal j;
+  j.input_path = "/data/in.bin";
+  j.output_path = "/data/out.bin";
+  j.n = 123456;
+  j.budget_elems = 8000;
+  j.block_elems = 512;
+  j.runs.push_back({0, 0, 8000, "/tmp/run 0 with spaces.bin"});
+  // Index 1 quarantined: the manifest keeps a gap until its chunk re-sorts.
+  j.runs.push_back({2, 16000, 8000, "/tmp/run2.bin"});
+  io::save_journal(j, d.string());
+
+  const auto back = io::load_journal(d.string());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_TRUE(back->compatible_with(j));
+  EXPECT_EQ(back->input_path, j.input_path);
+  EXPECT_EQ(back->output_path, j.output_path);
+  ASSERT_EQ(back->runs.size(), 2u);
+  EXPECT_EQ(back->runs[0].path, "/tmp/run 0 with spaces.bin");
+  EXPECT_EQ(back->runs[1].index, 2u);
+  EXPECT_EQ(back->runs[1].start_elem, 16000u);
+}
+
+TEST_F(CrashResumeTest, JournalRejectsTornOrTamperedManifest) {
+  const auto d = dir("j");
+  io::JobJournal j;
+  j.input_path = "in";
+  j.output_path = "out";
+  j.n = 100;
+  j.budget_elems = 10;
+  j.block_elems = 4;
+  j.runs.push_back({0, 0, 10, "run0"});
+  io::save_journal(j, d.string());
+  ASSERT_TRUE(io::load_journal(d.string()).has_value());
+
+  const auto path = io::journal_path(d.string());
+  const auto intact = file_bytes(path);
+
+  // Tampered: one flipped byte breaks the trailing checksum.
+  flip_byte(path, intact.size() / 2);
+  EXPECT_FALSE(io::load_journal(d.string()).has_value());
+
+  // Torn: a partially written manifest loses its end line.
+  std::ofstream(path, std::ios::binary)
+      .write(intact.data(), static_cast<std::streamoff>(intact.size() - 7));
+  EXPECT_FALSE(io::load_journal(d.string()).has_value());
+
+  // Absent: an empty temp dir simply has no journal.
+  EXPECT_FALSE(io::load_journal(dir("empty").string()).has_value());
+}
+
+TEST_F(CrashResumeTest, JournalRejectsDuplicateRunIndices) {
+  const auto d = dir("j");
+  io::JobJournal j;
+  j.n = 100;
+  j.budget_elems = 10;
+  j.block_elems = 4;
+  j.runs.push_back({1, 10, 10, "runA"});
+  j.runs.push_back({1, 10, 10, "runB"});
+  io::save_journal(j, d.string());
+  EXPECT_FALSE(io::load_journal(d.string()).has_value());
+}
+
+// --- kill and resume ---------------------------------------------------------
+
+TEST_F(CrashResumeTest, ResumeAfterAnyCrashPointIsByteIdentical) {
+  const auto data = hs::data::generate(Distribution::kGaussian, 60000, 42);
+  const auto golden = golden_output(data, dir("base"));
+
+  for (std::uint64_t k = 1; k <= 7; ++k) {
+    const auto d = dir("crash" + std::to_string(k));
+    io::ExternalSortConfig cfg = crash_cfg(d);
+    const std::string in = (d / "in.bin").string();
+    const std::string out = (d / "out.bin").string();
+    io::write_doubles(in, data);
+
+    cfg.simulate_crash_after_runs = k;
+    EXPECT_THROW(io::external_sort_file(in, out, cfg), io::SimulatedCrash);
+
+    // Exactly the k durable runs survive the kill, in the manifest.
+    const auto j = io::load_journal(d.string());
+    ASSERT_TRUE(j.has_value()) << "crash after " << k;
+    EXPECT_EQ(j->runs.size(), k);
+
+    cfg.simulate_crash_after_runs = 0;
+    const auto stats = io::resume_external_sort(in, out, cfg);
+    EXPECT_TRUE(stats.resumed);
+    EXPECT_EQ(stats.runs_revalidated, k);
+    EXPECT_EQ(stats.runs_reused, k);
+    EXPECT_EQ(stats.runs_quarantined, 0u);
+    EXPECT_GT(stats.revalidated_bytes, 0u);
+    EXPECT_TRUE(file_bytes(d / "out.bin") == golden) << "crash after " << k;
+    expect_only_user_files(d);
+  }
+}
+
+TEST_F(CrashResumeTest, CorruptRunIsQuarantinedAndResorted) {
+  const auto data = hs::data::generate(Distribution::kUniform, 60000, 7);
+  const auto golden = golden_output(data, dir("base"));
+
+  const auto d = dir("corrupt");
+  io::ExternalSortConfig cfg = crash_cfg(d);
+  const std::string in = (d / "in.bin").string();
+  const std::string out = (d / "out.bin").string();
+  io::write_doubles(in, data);
+  cfg.simulate_crash_after_runs = 5;
+  EXPECT_THROW(io::external_sort_file(in, out, cfg), io::SimulatedCrash);
+
+  // Bit rot inside run 2's first payload block while the job was down.
+  const auto victim = d / "hetsort_run_2.bin";
+  const std::uint64_t victim_bytes = std::filesystem::file_size(victim);
+  flip_byte(victim, 100);
+
+  cfg.simulate_crash_after_runs = 0;
+  const auto stats = io::resume_external_sort(in, out, cfg);
+  EXPECT_TRUE(stats.resumed);
+  EXPECT_EQ(stats.runs_revalidated, 5u);
+  EXPECT_EQ(stats.runs_reused, 4u);
+  EXPECT_EQ(stats.runs_quarantined, 1u);
+  EXPECT_EQ(stats.quarantined_bytes, victim_bytes);
+  EXPECT_EQ(stats.chunks_resorted, 1u);
+  EXPECT_TRUE(file_bytes(d / "out.bin") == golden);
+  expect_only_user_files(d);  // quarantine evidence removed on success
+}
+
+TEST_F(CrashResumeTest, TruncatedRunIsQuarantinedAndResorted) {
+  const auto data = hs::data::generate(Distribution::kGaussian, 60000, 9);
+  const auto golden = golden_output(data, dir("base"));
+
+  const auto d = dir("trunc");
+  io::ExternalSortConfig cfg = crash_cfg(d);
+  const std::string in = (d / "in.bin").string();
+  const std::string out = (d / "out.bin").string();
+  io::write_doubles(in, data);
+  cfg.simulate_crash_after_runs = 3;
+  EXPECT_THROW(io::external_sort_file(in, out, cfg), io::SimulatedCrash);
+
+  // A torn write: run 1 lost its tail (header now disagrees with the size).
+  std::filesystem::resize_file(d / "hetsort_run_1.bin", 40 + 100);
+
+  cfg.simulate_crash_after_runs = 0;
+  const auto stats = io::resume_external_sort(in, out, cfg);
+  EXPECT_EQ(stats.runs_reused, 2u);
+  EXPECT_EQ(stats.runs_quarantined, 1u);
+  EXPECT_EQ(stats.chunks_resorted, 1u);
+  EXPECT_TRUE(file_bytes(d / "out.bin") == golden);
+  expect_only_user_files(d);
+}
+
+TEST_F(CrashResumeTest, IncompatibleJournalStartsFresh) {
+  const auto data = hs::data::generate(Distribution::kUniform, 60000, 11);
+
+  const auto d = dir("incompat");
+  io::ExternalSortConfig cfg = crash_cfg(d);
+  const std::string in = (d / "in.bin").string();
+  const std::string out = (d / "out.bin").string();
+  io::write_doubles(in, data);
+  cfg.simulate_crash_after_runs = 3;
+  EXPECT_THROW(io::external_sort_file(in, out, cfg), io::SimulatedCrash);
+
+  // A different chunking budget changes every run boundary: the journal
+  // must be ignored, not misapplied.
+  io::ExternalSortConfig other = crash_cfg(d);
+  other.memory_budget_elems = 10000;
+  const auto stats = io::resume_external_sort(in, out, other);
+  EXPECT_FALSE(stats.resumed);
+  EXPECT_EQ(stats.runs_reused, 0u);
+  EXPECT_TRUE(
+      hs::data::is_sorted_permutation(data, io::read_doubles(out)));
+  expect_only_user_files(d);
+}
+
+TEST_F(CrashResumeTest, MergePhaseCorruptionQuarantinesAndRestarts) {
+  const auto data = hs::data::generate(Distribution::kGaussian, 60000, 13);
+  const auto golden = golden_output(data, dir("base"));
+
+  const auto d = dir("mergecorrupt");
+  io::ExternalSortConfig cfg = crash_cfg(d);
+  // The first kFileCorrupt probe fires once: during the merge, since run
+  // formation never reads framed blocks. The merge must quarantine the run
+  // it was reading, re-sort that chunk and restart.
+  cfg.io_faults.seed = 99;
+  cfg.io_faults.p(FaultSite::kFileCorrupt) = 1.0;
+  cfg.io_faults.max_faults = 1;
+  const std::string in = (d / "in.bin").string();
+  const std::string out = (d / "out.bin").string();
+  io::write_doubles(in, data);
+
+  const auto stats = io::external_sort_file(in, out, cfg);
+  EXPECT_EQ(stats.io_faults_injected, 1u);
+  EXPECT_EQ(stats.runs_quarantined, 1u);
+  EXPECT_EQ(stats.chunks_resorted, 1u);
+  EXPECT_TRUE(file_bytes(d / "out.bin") == golden);
+  expect_only_user_files(d);
+}
+
+TEST_F(CrashResumeTest, SeededFaultyCrashThenCleanResumeIsByteIdentical) {
+  const auto data = hs::data::generate(Distribution::kUniform, 48000, 21);
+  const auto golden = golden_output(data, dir("base"));
+
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    const auto d = dir("fuzz" + std::to_string(seed));
+    const std::string in = (d / "in.bin").string();
+    const std::string out = (d / "out.bin").string();
+    io::write_doubles(in, data);
+
+    Xoshiro256 rng(seed ^ 0x9e3779b97f4a7c15ULL);
+    io::ExternalSortConfig faulty = crash_cfg(d);
+    faulty.io_faults.seed = seed;
+    faulty.io_faults.p(FaultSite::kFileRead) = rng.uniform01() * 0.3;
+    faulty.io_faults.p(FaultSite::kFileWrite) = rng.uniform01() * 0.3;
+    faulty.io_faults.p(FaultSite::kFileCorrupt) = rng.uniform01() * 0.2;
+    faulty.io_faults.max_faults = 1 + rng.bounded(6);
+    faulty.simulate_crash_after_runs = 1 + seed % 5;
+    try {
+      io::external_sort_file(in, out, faulty);
+    } catch (const io::IoError&) {
+      // Retries exhausted under injected faults: fine, resume must recover.
+    } catch (const io::SimulatedCrash&) {
+      // The intended kill point.
+    }
+
+    // Whatever the fault schedule left behind, a clean resume finishes the
+    // job to the same bytes as the never-interrupted sort.
+    const auto stats = io::resume_external_sort(in, out, crash_cfg(d));
+    EXPECT_TRUE(file_bytes(d / "out.bin") == golden) << "seed " << seed;
+    EXPECT_EQ(stats.runs_quarantined + stats.runs_reused,
+              stats.runs_revalidated)
+        << "seed " << seed;
+    expect_only_user_files(d);
+  }
+}
+
+// --- memory governor ---------------------------------------------------------
+
+TEST_F(CrashResumeTest, GovernorShrinksStagingToAdmit) {
+  const auto data_src = hs::data::generate(Distribution::kUniform, 20000, 4);
+  auto data = data_src;
+
+  core::SortConfig cfg = tiny_pipeline();
+  cfg.staging_elems = 8192;
+  // 3n fits, the staging area does not: per-element staging cost is
+  // num_gpus * streams_per_gpu * 8 = 16 B, so 32768 spare bytes admit
+  // ps = 2048 — a shrink, not a spill.
+  cfg.host_budget_bytes = 3 * 20000 * sizeof(double) + 32768;
+  core::HeterogeneousSorter sorter(tiny_platform(), cfg);
+  const core::Report r = sorter.sort(data);
+
+  EXPECT_EQ(r.recovery.ps_shrinks, 1u);
+  EXPECT_FALSE(r.recovery.spilled);
+  EXPECT_TRUE(hs::data::is_sorted_permutation(data_src, data));
+}
+
+TEST_F(CrashResumeTest, GovernorSpillsWhenDataExceedsBudget) {
+  io::ensure_spill_backend();
+  const auto d = dir("spill");
+  const auto data_src = hs::data::generate(Distribution::kGaussian, 50000, 5);
+  auto data = data_src;
+
+  core::SortConfig cfg = tiny_pipeline();
+  cfg.host_budget_bytes = 600'000;  // < 3n * 8 = 1.2 MB: must go out of core
+  cfg.spill_dir = d.string();
+  core::HeterogeneousSorter sorter(tiny_platform(), cfg);
+  const core::Report r = sorter.sort(data);
+
+  EXPECT_TRUE(r.recovery.spilled);
+  EXPECT_NE(r.label.find("+Spill"), std::string::npos) << r.label;
+  EXPECT_GT(r.num_batches, 1u);  // chunked out of core
+  EXPECT_TRUE(hs::data::is_sorted_permutation(data_src, data));
+  EXPECT_TRUE(std::filesystem::is_empty(d));  // spill scratch removed
+}
+
+TEST_F(CrashResumeTest, GovernorThrowsWithoutSpillBackend) {
+  core::SpillBackend* const saved = core::spill_backend();
+  core::set_spill_backend(nullptr);
+  auto data = hs::data::generate(Distribution::kUniform, 50000, 6);
+
+  core::SortConfig cfg = tiny_pipeline();
+  cfg.host_budget_bytes = 600'000;
+  core::HeterogeneousSorter sorter(tiny_platform(), cfg);
+  EXPECT_THROW(sorter.sort(data), core::HostBudgetExceeded);
+
+  core::set_spill_backend(saved);
+  io::ensure_spill_backend();
+}
+
+TEST_F(CrashResumeTest, GovernorTimingOnlyRunCannotSpill) {
+  io::ensure_spill_backend();
+  core::SortConfig cfg = tiny_pipeline();
+  cfg.host_budget_bytes = 600'000;
+  core::HeterogeneousSorter sorter(tiny_platform(), cfg);
+  // simulate() has no payload bytes to dump to disk; the budget violation
+  // must surface as the typed error instead of a bogus spill.
+  EXPECT_THROW(sorter.simulate(50000), core::HostBudgetExceeded);
+}
+
+TEST_F(CrashResumeTest, HostAllocFailureShrinksStagingAndRecovers) {
+  const auto data_src = hs::data::generate(Distribution::kUniform, 20000, 8);
+  auto data = data_src;
+
+  core::SortConfig cfg = tiny_pipeline();
+  cfg.staging_elems = 8192;
+  cfg.faults.seed = 3;
+  cfg.faults.p(FaultSite::kHostAllocFail) = 1.0;
+  cfg.faults.max_faults = 2;  // first two pinned allocations fail
+  cfg.recovery.enabled = true;
+  core::HeterogeneousSorter sorter(tiny_platform(), cfg);
+  const core::Report r = sorter.sort(data);
+
+  EXPECT_EQ(r.recovery.ps_shrinks, 2u);  // 8192 -> 4096 -> 2048
+  EXPECT_GE(r.recovery.attempts, 3u);
+  EXPECT_FALSE(r.recovery.cpu_fallback);
+  EXPECT_TRUE(hs::data::is_sorted_permutation(data_src, data));
+}
+
+TEST_F(CrashResumeTest, HostAllocFailureAtFloorFallsBackToCpu) {
+  const auto data_src = hs::data::generate(Distribution::kGaussian, 20000, 10);
+  auto data = data_src;
+
+  core::SortConfig cfg = tiny_pipeline();
+  cfg.staging_elems = core::MemoryGovernor::kMinStagingElems;
+  cfg.faults.seed = 4;
+  cfg.faults.p(FaultSite::kHostAllocFail) = 1.0;
+  cfg.faults.max_faults = 1000;  // pinned memory never comes back
+  cfg.recovery.enabled = true;
+  core::HeterogeneousSorter sorter(tiny_platform(), cfg);
+  const core::Report r = sorter.sort(data);
+
+  EXPECT_TRUE(r.recovery.cpu_fallback);
+  EXPECT_TRUE(hs::data::is_sorted_permutation(data_src, data));
+}
+
+}  // namespace
+}  // namespace hs

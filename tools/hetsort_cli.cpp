@@ -11,6 +11,15 @@
 //   hetsort_cli sortfile --in F --out G [--budget N]   out-of-core file sort
 //
 // Options:
+//   --host-budget BYTES     host memory budget; the governor shrinks staging
+//                           or (sort/sortfile) spills to disk when ~3n plus
+//                           staging exceeds it (default: unlimited)
+//   --temp-dir DIR          (sortfile) run files + journal directory (default .)
+//   --resume                (sortfile) adopt a journal left by a killed job:
+//                           intact runs are reused, corrupt ones quarantined
+//                           and re-sorted
+//   --no-journal            (sortfile) skip the crash-recovery journal
+//   --crash-after-runs N    (sortfile) test hook: die after N durable runs
 //   --platform 1|2          Table II preset (default 1)
 //   --approach bline|blinemulti|pipedata|pipemerge   (default pipemerge)
 //   --type f64|u64|kv64     element type (default f64)
@@ -71,6 +80,10 @@ struct Options {
   std::string in_path;
   std::string out_path;
   std::uint64_t budget = 1 << 22;
+  std::string temp_dir = ".";
+  bool resume = false;
+  bool no_journal = false;
+  std::uint64_t crash_after_runs = 0;
 };
 
 [[noreturn]] void usage(const char* msg = nullptr) {
@@ -166,6 +179,17 @@ Options parse(int argc, char** argv) {
     } else if (flag == "--budget") {
       o.budget =
           static_cast<std::uint64_t>(std::strtod(next(i).c_str(), nullptr));
+    } else if (flag == "--host-budget") {
+      o.cfg.host_budget_bytes =
+          static_cast<std::uint64_t>(std::strtod(next(i).c_str(), nullptr));
+    } else if (flag == "--temp-dir") {
+      o.temp_dir = next(i);
+    } else if (flag == "--resume") {
+      o.resume = true;
+    } else if (flag == "--no-journal") {
+      o.no_journal = true;
+    } else if (flag == "--crash-after-runs") {
+      o.crash_after_runs = std::strtoull(next(i).c_str(), nullptr, 10);
     } else {
       usage(("unknown flag: " + flag).c_str());
     }
@@ -206,6 +230,7 @@ void emit_trace_outputs(const Options& o, const core::Report& r) {
 
 int cmd_sort(const Options& o) {
   const model::Platform plat = pick_platform(o.platform);
+  if (o.cfg.host_budget_bytes > 0) io::ensure_spill_backend();
   core::HeterogeneousSorter sorter(plat, o.cfg);
   bool ok = false;
   core::Report r;
@@ -358,7 +383,15 @@ int cmd_sortfile(const Options& o) {
   cfg.platform = pick_platform(o.platform);
   cfg.pipeline = o.cfg;
   cfg.memory_budget_elems = o.budget;
-  const auto stats = io::external_sort_file(o.in_path, o.out_path, cfg);
+  cfg.temp_dir = o.temp_dir;
+  cfg.pipeline.spill_dir = o.temp_dir;
+  cfg.journal = !o.no_journal;
+  cfg.resume = o.resume;
+  cfg.simulate_crash_after_runs = o.crash_after_runs;
+  io::ensure_spill_backend();
+  const auto stats = o.resume
+                         ? io::resume_external_sort(o.in_path, o.out_path, cfg)
+                         : io::external_sort_file(o.in_path, o.out_path, cfg);
   std::printf(
       "sorted %llu doubles from %s into %s\n"
       "  runs: %llu (budget %llu elements)\n"
@@ -367,6 +400,29 @@ int cmd_sortfile(const Options& o) {
       o.out_path.c_str(), static_cast<unsigned long long>(stats.num_runs),
       static_cast<unsigned long long>(o.budget),
       stats.pipeline_virtual_seconds, stats.wall_seconds);
+  if (stats.resumed) {
+    std::printf(
+        "  resumed from journal: %llu runs revalidated, %llu reused "
+        "(%llu bytes verified)\n",
+        static_cast<unsigned long long>(stats.runs_revalidated),
+        static_cast<unsigned long long>(stats.runs_reused),
+        static_cast<unsigned long long>(stats.revalidated_bytes));
+  }
+  if (stats.runs_quarantined > 0 || stats.chunks_resorted > 0) {
+    std::printf(
+        "  recovery: %llu runs quarantined (%llu bytes), %llu chunks "
+        "re-sorted\n",
+        static_cast<unsigned long long>(stats.runs_quarantined),
+        static_cast<unsigned long long>(stats.quarantined_bytes),
+        static_cast<unsigned long long>(stats.chunks_resorted));
+  }
+  if (stats.pipeline_recovery.ps_shrinks > 0 ||
+      stats.pipeline_recovery.spilled) {
+    std::printf("  governor: %llu staging shrinks%s\n",
+                static_cast<unsigned long long>(
+                    stats.pipeline_recovery.ps_shrinks),
+                stats.pipeline_recovery.spilled ? ", spilled to disk" : "");
+  }
   const auto sorted = io::read_doubles(o.out_path);
   const bool ok = data::is_sorted_ascending(sorted);
   std::printf("verification: %s\n", ok ? "OK" : "FAILED");
