@@ -8,16 +8,30 @@
 //   pop_drain   — the pre-PR LoserTree::drain, embedded below verbatim as
 //                 reference::LoserTree (one full root-to-leaf replay per
 //                 element, comparisons load elements through run spans).
-//   block_drain — the buffered key-caching drain: cached-key replays,
-//                 adaptive gallop, cache-resident blocks.
+//   block_drain — the current sequential engine: cached-key replays,
+//                 adaptive gallop, windowed exhaustion checks; for types
+//                 with DeferredMergeTraits (kv64) this is the payload-
+//                 deferred path — key-only drain into a permutation stream,
+//                 then one streaming gather of the 16-byte records.
 // A parallel series (scratch-backed multiway_merge_parallel at full pool
-// width) tracks the end-to-end engine.
+// width) tracks the end-to-end engine, and a parallel_scaling sweep runs
+// pool_threads = 1/2/4/8 at fixed k to track the partitioned merge's
+// thread-scaling shape. Each series also records the strategy the planner
+// (core/merge_schedule) picks for its shape, so plan flips show up in the
+// JSON diff.
+//
+// On hosts with fewer cores than the sweep width the measured meps for
+// oversubscribed points is not meaningful; the machine-independent fields
+// (partition imbalance from the exact splitter, model_speedup from the
+// calibrated CpuMergeModel) are what compare_bench.py checks.
 //
 // Usage: bench_hostpath [output.json]   (default BENCH_hostpath.json)
+// Env:   HETSORT_BENCH_SMOKE=1 shrinks elements/trials for CI smoke runs.
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <span>
 #include <string>
 #include <vector>
@@ -25,10 +39,13 @@
 #include "common/assert.h"
 #include "common/key_value.h"
 #include "common/math_util.h"
+#include "core/merge_schedule.h"
 #include "cpu/loser_tree.h"
+#include "cpu/merge_plan.h"
 #include "cpu/multiway_merge.h"
 #include "cpu/thread_pool.h"
 #include "data/generators.h"
+#include "model/cpu_model.h"
 
 namespace reference {
 
@@ -129,8 +146,11 @@ namespace {
 
 using hs::data::Distribution;
 
-constexpr std::uint64_t kTotalElems = std::uint64_t{1} << 22;  // 4M / series
-constexpr int kTrials = 3;
+// Full run: 4M elements, best-of-3. Smoke mode (CI) shrinks both so the
+// binary finishes in seconds; smoke output is compared on machine-
+// independent fields only.
+std::uint64_t g_total_elems = std::uint64_t{1} << 22;
+int g_trials = 3;
 
 double now_seconds() {
   using clock = std::chrono::steady_clock;
@@ -187,9 +207,27 @@ std::vector<std::vector<hs::KeyValue64>> make_runs(std::size_t k,
   return runs;
 }
 
+template <typename T>
+constexpr std::size_t key_size_of() {
+  if constexpr (std::is_same_v<T, hs::KeyValue64>) {
+    return sizeof(std::uint64_t);
+  } else {
+    return sizeof(T);
+  }
+}
+
+std::string strategy_name(const hs::cpu::MergePlan& plan) {
+  std::string s = plan.topology == hs::cpu::MergeTopology::kCascaded
+                      ? "cascaded/" + std::to_string(plan.fan_in)
+                      : "flat";
+  s += plan.deferred_payload ? "+deferred" : "+direct";
+  return s;
+}
+
 struct Series {
   std::string type;
   std::size_t k = 0;
+  std::string strategy;         // planner choice for this (type, k, pool)
   double pop_drain_meps = 0;    // million elements / s, sequential
   double block_drain_meps = 0;  // million elements / s, sequential
   double parallel_meps = 0;     // million elements / s, full pool
@@ -199,7 +237,7 @@ struct Series {
 template <typename T>
 Series run_series(hs::cpu::ThreadPool& pool, const std::string& type,
                   std::size_t k) {
-  const std::uint64_t per_run = kTotalElems / k;
+  const std::uint64_t per_run = g_total_elems / k;
   const std::uint64_t total = per_run * k;
   const auto runs = make_runs<T>(k, per_run);
   std::vector<std::span<const T>> spans(runs.begin(), runs.end());
@@ -207,19 +245,32 @@ Series run_series(hs::cpu::ThreadPool& pool, const std::string& type,
   std::vector<T> expect(total);
 
   // Reference drain: the frozen pre-PR implementation, per-element pop.
-  const double t_pop = best_of(kTrials, [&] {
+  const double t_pop = best_of(g_trials, [&] {
     reference::LoserTree<T> tree(spans);
     tree.drain(std::span<T>(expect));
   });
-  // Block drain.
-  const double t_block = best_of(kTrials, [&] {
-    hs::cpu::LoserTree<T> tree(spans);
-    tree.drain(std::span<T>(out));
-  });
+  // Sequential engine drain. Types with DeferredMergeTraits take the
+  // payload-deferred path (key drain + permutation gather); the rest drain
+  // the direct tree.
+  double t_block = 0;
+  if constexpr (hs::cpu::DeferredMergeTraits<T, std::less<T>>::kEnabled) {
+    hs::cpu::DeferredLoserTree<T> tree;
+    std::vector<std::uint64_t> perm;
+    const std::span<const std::span<const T>> rspan(spans);
+    t_block = best_of(g_trials, [&] {
+      hs::cpu::multiway_merge_deferred<T>(rspan, std::span<T>(out), tree,
+                                          perm);
+    });
+  } else {
+    t_block = best_of(g_trials, [&] {
+      hs::cpu::LoserTree<T> tree(spans);
+      tree.drain(std::span<T>(out));
+    });
+  }
   HS_EXPECTS_MSG(out == expect, "block drain diverged from pop drain");
   // Parallel engine, scratch reused across trials (steady state).
   hs::cpu::MultiwayMergeScratch<T> scratch;
-  const double t_par = best_of(kTrials, [&] {
+  const double t_par = best_of(g_trials, [&] {
     auto spans_copy = spans;
     hs::cpu::multiway_merge_parallel<T>(pool, std::move(spans_copy),
                                         std::span<T>(out), std::less<T>{}, 0,
@@ -230,22 +281,89 @@ Series run_series(hs::cpu::ThreadPool& pool, const std::string& type,
   Series s;
   s.type = type;
   s.k = k;
+  s.strategy = strategy_name(hs::core::plan_multiway_merge(
+      {k, total, sizeof(T), key_size_of<T>(), pool.size()}));
   const double m = static_cast<double>(total) / 1e6;
   s.pop_drain_meps = m / t_pop;
   s.block_drain_meps = m / t_block;
   s.parallel_meps = m / t_par;
   s.speedup = t_pop / t_block;
   std::printf("%-5s k=%-3zu  pop %8.1f M/s   block %8.1f M/s   par %8.1f M/s"
-              "   speedup %.2fx\n",
+              "   speedup %.2fx   [%s]\n",
               type.c_str(), k, s.pop_drain_meps, s.block_drain_meps,
-              s.parallel_meps, s.speedup);
+              s.parallel_meps, s.speedup, s.strategy.c_str());
   return s;
+}
+
+struct ScalePoint {
+  std::string type;
+  std::size_t k = 0;
+  unsigned threads = 0;
+  double meps = 0;           // measured on this host — machine-dependent
+  double scaling_vs_1 = 0;   // measured meps / measured meps at 1 thread
+  double imbalance = 0;      // max part size / ideal part size (exact cuts)
+  double model_speedup = 0;  // calibrated CpuMergeModel S(p) — deterministic
+};
+
+template <typename T>
+void run_scaling(const std::string& type, std::size_t k,
+                 std::vector<ScalePoint>& points) {
+  const std::uint64_t per_run = g_total_elems / k;
+  const std::uint64_t total = per_run * k;
+  const auto runs = make_runs<T>(k, per_run);
+  const std::vector<std::span<const T>> spans(runs.begin(), runs.end());
+  std::vector<T> out(total);
+  std::vector<T> expect(total);
+  {
+    reference::LoserTree<T> tree(spans);
+    tree.drain(std::span<T>(expect));
+  }
+
+  double meps_at_1 = 0;
+  for (const unsigned p : {1u, 2u, 4u, 8u}) {
+    hs::cpu::ThreadPool pool(p);
+    hs::cpu::MultiwayMergeScratch<T> scratch;
+    const double t = best_of(g_trials, [&] {
+      auto spans_copy = spans;
+      hs::cpu::multiway_merge_parallel<T>(pool, std::move(spans_copy),
+                                          std::span<T>(out), std::less<T>{},
+                                          p, &scratch);
+    });
+    HS_EXPECTS_MSG(out == expect, "scaling merge diverged from pop drain");
+
+    ScalePoint sp;
+    sp.type = type;
+    sp.k = k;
+    sp.threads = p;
+    sp.meps = static_cast<double>(total) / 1e6 / t;
+    if (p == 1) meps_at_1 = sp.meps;
+    sp.scaling_vs_1 = meps_at_1 > 0 ? sp.meps / meps_at_1 : 0;
+    // The engine cuts parts at exact global ranks total*j/p, so the realised
+    // imbalance is a pure function of (total, p) — record it as the
+    // machine-independent witness that partitioning is not the bottleneck.
+    std::uint64_t max_part = 0;
+    for (unsigned j = 0; j < p; ++j) {
+      max_part = std::max(max_part, total * (j + 1) / p - total * j / p);
+    }
+    sp.imbalance = static_cast<double>(max_part) * p /
+                   static_cast<double>(total);
+    sp.model_speedup = hs::model::CpuMergeModel{}.speedup(p);
+    std::printf("scale %-5s k=%-3zu p=%u  %8.1f M/s   vs1 %.2fx   "
+                "imbalance %.4f   model %.2fx\n",
+                type.c_str(), k, p, sp.meps, sp.scaling_vs_1, sp.imbalance,
+                sp.model_speedup);
+    points.push_back(std::move(sp));
+  }
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   const std::string out_path = argc > 1 ? argv[1] : "BENCH_hostpath.json";
+  if (std::getenv("HETSORT_BENCH_SMOKE") != nullptr) {
+    g_total_elems = std::uint64_t{1} << 19;  // 512K / series
+    g_trials = 1;
+  }
   hs::cpu::ThreadPool pool;
 
   std::vector<Series> series;
@@ -257,23 +375,41 @@ int main(int argc, char** argv) {
     series.push_back(run_series<hs::KeyValue64>(pool, "kv64", k));
   }
 
+  std::vector<ScalePoint> scaling;
+  run_scaling<double>("f64", 16, scaling);
+  run_scaling<hs::KeyValue64>("kv64", 16, scaling);
+
   std::FILE* f = std::fopen(out_path.c_str(), "w");
   HS_EXPECTS_MSG(f != nullptr, "cannot open output file");
   std::fprintf(f, "{\n  \"bench\": \"hostpath\",\n");
   std::fprintf(f, "  \"elements_per_series\": %llu,\n",
-               static_cast<unsigned long long>(kTotalElems));
-  std::fprintf(f, "  \"trials\": %d,\n  \"pool_threads\": %u,\n", kTrials,
+               static_cast<unsigned long long>(g_total_elems));
+  std::fprintf(f, "  \"trials\": %d,\n  \"pool_threads\": %u,\n", g_trials,
                pool.size());
   std::fprintf(f, "  \"units\": \"million elements per second\",\n");
   std::fprintf(f, "  \"series\": [\n");
   for (std::size_t i = 0; i < series.size(); ++i) {
     const Series& s = series[i];
     std::fprintf(f,
-                 "    {\"type\": \"%s\", \"k\": %zu, \"pop_drain\": %.1f, "
+                 "    {\"type\": \"%s\", \"k\": %zu, \"strategy\": \"%s\", "
+                 "\"pop_drain\": %.1f, "
                  "\"block_drain\": %.1f, \"parallel\": %.1f, "
                  "\"speedup\": %.2f}%s\n",
-                 s.type.c_str(), s.k, s.pop_drain_meps, s.block_drain_meps,
-                 s.parallel_meps, s.speedup, i + 1 < series.size() ? "," : "");
+                 s.type.c_str(), s.k, s.strategy.c_str(), s.pop_drain_meps,
+                 s.block_drain_meps, s.parallel_meps, s.speedup,
+                 i + 1 < series.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"parallel_scaling\": [\n");
+  for (std::size_t i = 0; i < scaling.size(); ++i) {
+    const ScalePoint& s = scaling[i];
+    std::fprintf(f,
+                 "    {\"type\": \"%s\", \"k\": %zu, \"threads\": %u, "
+                 "\"meps\": %.1f, \"scaling_vs_1\": %.2f, "
+                 "\"imbalance\": %.4f, \"model_speedup\": %.2f}%s\n",
+                 s.type.c_str(), s.k, s.threads, s.meps, s.scaling_vs_1,
+                 s.imbalance, s.model_speedup,
+                 i + 1 < scaling.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);

@@ -73,6 +73,16 @@ Report HeterogeneousSorter::attempt(std::span<std::byte> data, std::uint64_t n,
   r.pair_merges = sched.pairs().size();
   r.multiway_ways =
       rc.num_batches > 1 ? sched.multiway_ways(rc.num_batches) : 0;
+  if (r.multiway_ways > 0) {
+    const cpu::MergePlan mp = plan_multiway_merge(
+        {r.multiway_ways, n, ops.elem_size, ops.key_size,
+         rc.multiway_threads});
+    r.merge_topology =
+        mp.topology == cpu::MergeTopology::kCascaded ? "cascaded" : "flat";
+    r.merge_fan_in = mp.fan_in;
+    r.merge_levels = mp.levels;
+    r.merge_deferred = mp.deferred_payload;
+  }
   r.label = cfg.label();
   r.element_type = ops.type_name;
   r.end_to_end = trace.makespan();

@@ -51,4 +51,43 @@ std::uint64_t MergeSchedule::multiway_ways(std::uint64_t nb) const {
   return pairs_.size() + (nb - 2 * pairs_.size());
 }
 
+cpu::MergePlan plan_multiway_merge(const MultiwayPlanInput& in,
+                                   const model::MergeEngineModel& m) {
+  cpu::MergePlan plan;  // flat, direct — the degenerate-merge default
+  if (in.ways <= 2) return plan;
+  // A deferred lane needs a tree of at least 3 runs to beat direct + the
+  // extra gather pass; with a key as wide as the record there is nothing to
+  // defer.
+  const bool can_defer = in.key_size > 0 && in.key_size < in.elem_size;
+
+  double best = m.flat_ns_per_elem(in.ways, in.elem_size, in.key_size, false);
+  if (can_defer) {
+    const double c =
+        m.flat_ns_per_elem(in.ways, in.elem_size, in.key_size, true);
+    if (c < best) {
+      best = c;
+      plan.deferred_payload = true;
+    }
+  }
+  // Cascade candidates: power-of-two fan-ins below ways (a fan-in at or
+  // above ways is just the flat merge). Strict improvement required — on a
+  // tie the single-pass flat merge wins.
+  for (unsigned f = 4; f < in.ways; f *= 2) {
+    for (const bool deferred : {false, true}) {
+      if (deferred && !(can_defer && f >= 3)) continue;
+      unsigned levels = 0;
+      const double c = m.cascaded_ns_per_elem(in.ways, f, in.elem_size,
+                                              in.key_size, deferred, &levels);
+      if (c < best) {
+        best = c;
+        plan.topology = cpu::MergeTopology::kCascaded;
+        plan.fan_in = f;
+        plan.levels = levels;
+        plan.deferred_payload = deferred;
+      }
+    }
+  }
+  return plan;
+}
+
 }  // namespace hs::core

@@ -17,8 +17,30 @@
 
 #include "core/batch_plan.h"
 #include "core/sort_config.h"
+#include "cpu/merge_plan.h"
+#include "model/cpu_model.h"
 
 namespace hs::core {
+
+/// Inputs to the multiway merge-tree planner: the merge's shape plus the
+/// element layout. key_size == elem_size means "no narrow comparison key";
+/// payload deferral is only considered when the key is strictly narrower
+/// than the record (kv64: 8-byte key inside a 16-byte record).
+struct MultiwayPlanInput {
+  std::uint64_t ways = 0;
+  std::uint64_t n = 0;
+  std::size_t elem_size = sizeof(double);
+  std::size_t key_size = sizeof(double);
+  unsigned threads = 1;
+};
+
+/// Cost-modeled choice between one flat ways-way merge and a cascaded tree
+/// of narrower merges, and between direct and payload-deferred lanes.
+/// Deterministic in its inputs; ties prefer flat (fewer passes, no scratch
+/// buffer) and direct (no permutation stream). Fan-in candidates are the
+/// powers of two the engine's tournament handles without surplus leaves.
+cpu::MergePlan plan_multiway_merge(const MultiwayPlanInput& in,
+                                   const model::MergeEngineModel& m = {});
 
 struct PairMerge {
   std::uint64_t left = 0;   // batch index

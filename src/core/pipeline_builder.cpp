@@ -5,7 +5,10 @@
 #include <utility>
 
 #include "common/assert.h"
+#include "core/merge_schedule.h"
 #include "core/staging.h"
+#include "obs/counters.h"
+#include "obs/span.h"
 #include "cpu/parallel_memcpy.h"
 #include "cpu/thread_pool.h"
 #include "vgpu/device_sort.h"
@@ -466,8 +469,20 @@ void PipelineBuilder::emit_merges(sim::TaskGraph& g, PipelineBuffers& bufs,
     std::byte* out = bufs.output.data();
     auto multiway_fn = ops_.multiway;
     const unsigned threads = rc_.multiway_threads;
-    t.action = [runs = std::move(runs), out, multiway_fn, threads] {
-      multiway_fn(runs, out, hs::cpu::ThreadPool::global(), threads);
+    // Topology / payload decision is made at build time from the calibrated
+    // model, then surfaced at run time as a MergePlan span plus planner
+    // counters so reports can itemise the executed strategy.
+    const cpu::MergePlan mplan = plan_multiway_merge(
+        {ways, rc_.n, ops_.elem_size, ops_.key_size, rc_.multiway_threads});
+    t.action = [runs = std::move(runs), out, multiway_fn, threads, mplan] {
+      const bool cascaded = mplan.topology == cpu::MergeTopology::kCascaded;
+      const obs::ScopedSpan plan_span("MergePlan", "Merge");
+      obs::count(cascaded ? obs::Counter::kMergePlanCascaded
+                          : obs::Counter::kMergePlanFlat,
+                 1);
+      if (mplan.deferred_payload)
+        obs::count(obs::Counter::kMergePlanDeferred, 1);
+      multiway_fn(runs, out, hs::cpu::ThreadPool::global(), threads, &mplan);
     };
   }
   g.add(std::move(t));

@@ -42,6 +42,14 @@ void Report::print(std::ostream& os) const {
                 busy.htod, busy.gpu_sort, busy.dtoh, busy.stage_out,
                 busy.pair_merge, busy.multiway_merge);
   os << buf;
+  if (!merge_topology.empty()) {
+    std::snprintf(buf, sizeof buf,
+                  "  merge plan            %s (fan-in %u, levels %u, "
+                  "payload %s)\n",
+                  merge_topology.c_str(), merge_fan_in, merge_levels,
+                  merge_deferred ? "deferred" : "direct");
+    os << buf;
+  }
   if (recovery.any()) {
     std::snprintf(
         buf, sizeof buf,

@@ -39,6 +39,14 @@ struct Report {
   std::string label;
   std::string element_type;  // "f64", "u64", "kv64", ...
 
+  /// Planned strategy for the final multiway merge (empty when the run has
+  /// no multiway merge): "flat" or "cascaded", the cascade's fan-in/levels,
+  /// and whether lanes run payload-deferred.
+  std::string merge_topology;
+  unsigned merge_fan_in = 0;
+  unsigned merge_levels = 0;
+  bool merge_deferred = false;
+
   /// Full accounting: virtual makespan including pinned allocation, staging
   /// copies, and per-chunk synchronisation.
   double end_to_end = 0;

@@ -19,9 +19,11 @@ std::span<const T> typed_const(const std::byte* data, std::uint64_t elems) {
 }
 
 template <typename T>
-ElementOps make_ops(std::string name, double gpu_factor) {
+ElementOps make_ops(std::string name, double gpu_factor,
+                    std::size_t key_size = sizeof(T)) {
   ElementOps ops;
   ops.elem_size = sizeof(T);
+  ops.key_size = key_size;
   ops.type_name = std::move(name);
   ops.gpu_sort_cost_factor = gpu_factor;
   ops.device_sort = [](std::byte* data, std::uint64_t elems,
@@ -36,7 +38,8 @@ ElementOps make_ops(std::string name, double gpu_factor) {
                                threads);
   };
   ops.multiway = [](std::span<const RunView> runs, std::byte* out,
-                    ThreadPool& pool, unsigned threads) {
+                    ThreadPool& pool, unsigned threads,
+                    const MergePlan* plan) {
     std::vector<std::span<const T>> spans;
     spans.reserve(runs.size());
     std::uint64_t total = 0;
@@ -49,7 +52,7 @@ ElementOps make_ops(std::string name, double gpu_factor) {
     MultiwayMergeScratch<T> scratch;
     multiway_merge_parallel<T>(pool, std::move(spans),
                                         typed<T>(out, total), std::less<T>{},
-                                        threads, &scratch);
+                                        threads, &scratch, plan);
   };
   return ops;
 }
@@ -72,7 +75,7 @@ ElementOps element_ops<hs::KeyValue64>() {
   // device stays bandwidth-bound, so per-element cost rises only mildly
   // (~15%). Calibrated against the related work's 0.47 s for 375M pairs on
   // CUB-class kernels (Fig 8 of Stehle & Jacobsen).
-  return make_ops<hs::KeyValue64>("kv64", 1.15);
+  return make_ops<hs::KeyValue64>("kv64", 1.15, sizeof(std::uint64_t));
 }
 
 }  // namespace hs::cpu

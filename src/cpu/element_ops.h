@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "common/key_value.h"
+#include "cpu/merge_plan.h"
 #include "cpu/thread_pool.h"
 
 namespace hs::cpu {
@@ -31,6 +32,10 @@ struct RunView {
 
 struct ElementOps {
   std::size_t elem_size = sizeof(double);
+  /// Width of the comparison key inside the record; == elem_size when the
+  /// whole record is the key. A strictly narrower key lets the merge planner
+  /// consider payload-deferred lanes (kv64: 8-byte key, 16-byte record).
+  std::size_t key_size = sizeof(double);
   std::string type_name = "f64";
 
   /// On-GPU sorting throughput relative to the 64-bit radix sort the
@@ -51,8 +56,10 @@ struct ElementOps {
       merge_pair;
 
   /// Stable k-way merge of sorted runs into `out` (final multiway merge).
+  /// `plan` selects topology / payload handling; nullptr = engine default.
   std::function<void(std::span<const RunView> runs, std::byte* out,
-                     ThreadPool& pool, unsigned threads)>
+                     ThreadPool& pool, unsigned threads,
+                     const MergePlan* plan)>
       multiway;
 };
 

@@ -6,7 +6,7 @@
 // (Section III-A). This implementation removes the per-element overheads that
 // dominate the host hot path:
 //
-//   * Key caching. Each tree node stores its loser's current element next to
+//   * Key caching. Each tree node stores its loser's current key next to
 //     the run id, so a replay compares an L1-resident cached key against the
 //     contender key carried in a register — no chasing of run-span base
 //     pointers and cursors (three dependent loads per side per comparison in
@@ -18,6 +18,13 @@
 //     id itself (run r exhausted == id r + leaves_), removing per-comparison
 //     exhaustion branches: a run's end is discovered exactly once, when its
 //     next head is loaded.
+//   * Windowed exhaustion hoist. Before entering the hot loop a drain
+//     computes the refill window — the smallest remaining tail across live
+//     runs. Within window-1 emissions no cursor can cross its slice end, so
+//     the per-element bound check in the head reload is hoisted out of the
+//     loop entirely; one checked step closes each window. Windows below
+//     kWindowMin fall back to checked stepping, so the O(k) window scan is
+//     paid at most once per kWindowMin elements.
 //   * Dual-stream drain. drain() splits the runs at a sampled splitter into
 //     two independent halves of the output and merges both in one
 //     interleaved loop. The two replay chains share no data, so the CPU
@@ -25,17 +32,36 @@
 //     two streams roughly double sustained throughput on one core.
 //   * Adaptive galloping. When one run wins kGallopStreak times in a row,
 //     the drain computes the runner-up bound (best of the losers on the
-//     winner's root-to-leaf path — cached keys, cheap scan) and copies winner
+//     winner's root-to-leaf path — cached keys, cheap scan) and emits winner
 //     elements in a sentinel-free tight loop until the bound, the run's end,
 //     or the remaining space. Uniform random inputs never pay for this;
 //     duplicate-heavy, clustered, and tail-of-merge inputs (one surviving
 //     run) collapse to near-memcpy.
 //   * k <= 2 short-circuit. drain() degenerates to std::copy / std::merge.
 //
+// Emission policies. The tree machinery is generic over what flows through
+// the tournament and what a drain writes out:
+//
+//   * DirectMergePolicy (the LoserTree alias): nodes cache whole elements
+//     and drains emit elements — the classic merge.
+//   * DeferredMergePolicy (the DeferredLoserTree alias): for wide records
+//     whose order is decided by a narrow key (e.g. 16-byte KeyValue64
+//     ordered by its 8-byte key), nodes cache only the key and drains emit a
+//     permutation stream of (run, position) entries packed into 8 bytes.
+//     The tree touches keys log k times but payloads zero times; a separate
+//     gather pass (apply_permutation in multiway_merge.h) then moves each
+//     full record exactly once. This is the paper-adjacent "touch keys many
+//     times, touch payloads once" discipline that closes the kv64 gap.
+//
+// Element types opt into deferral by specialising DeferredMergeTraits for
+// (T, Compare); the default leaves it disabled so custom comparators never
+// silently reorder through a key projection they did not define.
+//
 // Stability: ties go to the lower run index everywhere. The gallop loop
-// splits its comparison on the run-vs-runner-up order, and the dual-stream
+// splits its comparison on the run-vs-runner-up order, the dual-stream
 // split sends all elements equal to the splitter to the lower stream in
-// every run, so equal elements never reorder across the seam.
+// every run, and the deferred policy emits (run, pos) in exactly the order
+// the direct policy would emit elements — so equal elements never reorder.
 //
 // The tree is reusable: reset() rebinds it to a new run set without freeing
 // internal buffers, so steady-state merging (one tree per worker lane)
@@ -54,26 +80,115 @@
 #include <vector>
 
 #include "common/assert.h"
+#include "common/key_value.h"
 #include "common/math_util.h"
 
 namespace hs::cpu {
 
-template <typename T, typename Compare = std::less<T>>
-class LoserTree {
+// --- permutation-entry packing ----------------------------------------------
+// A deferred drain emits one 8-byte entry per element: run index in the top
+// 16 bits, position within the run in the low 48. Consecutive positions from
+// one run differ by exactly 1, so segment detection in the gather pass is a
+// single integer compare per entry.
+
+inline constexpr unsigned kPermRunShift = 48;
+inline constexpr std::uint64_t kPermPosMask =
+    (std::uint64_t{1} << kPermRunShift) - 1;
+
+constexpr std::uint64_t perm_entry(std::size_t run, std::uint64_t pos) {
+  return (static_cast<std::uint64_t>(run) << kPermRunShift) | pos;
+}
+constexpr std::size_t perm_run(std::uint64_t e) {
+  return static_cast<std::size_t>(e >> kPermRunShift);
+}
+constexpr std::uint64_t perm_pos(std::uint64_t e) { return e & kPermPosMask; }
+
+// --- emission policies -------------------------------------------------------
+
+/// Classic merge: the tournament carries whole elements and drains emit them.
+template <typename T>
+struct DirectMergePolicy {
+  using Elem = T;
+  using Key = T;
+  using Out = T;
+  static constexpr bool kDirect = true;
+
+  static Key load(const Elem* base, std::uint64_t pos) { return base[pos]; }
+  static Out make(const Key& key, std::size_t /*run*/, std::uint64_t /*pos*/) {
+    return key;
+  }
+  static void bulk(Out*& o, const Elem* base, std::uint64_t lo,
+                   std::uint64_t hi, std::size_t /*run*/) {
+    o = std::copy(base + lo, base + hi, o);
+  }
+};
+
+/// Opt-in key projection enabling payload-deferred merging for an element
+/// type under a specific comparator. Enabled specialisations must provide:
+///   using Key        — the narrow comparison key (8 bytes);
+///   using KeyCompare — the order on Key matching Compare on T;
+///   static Key key(const T&) — the projection.
+template <typename T, typename Compare>
+struct DeferredMergeTraits {
+  static constexpr bool kEnabled = false;
+};
+
+/// KeyValue64 under its natural order sorts by the 8-byte key alone — the
+/// related work's workload and exactly the case where dragging the 8-byte
+/// payload through every tree level doubles the tournament's cache traffic.
+template <>
+struct DeferredMergeTraits<hs::KeyValue64, std::less<hs::KeyValue64>> {
+  static constexpr bool kEnabled = true;
+  using Key = std::uint64_t;
+  using KeyCompare = std::less<std::uint64_t>;
+  static Key key(const hs::KeyValue64& e) { return e.key; }
+};
+
+/// Payload-deferred merge: the tournament carries only the projected key and
+/// drains emit packed (run, pos) permutation entries.
+template <typename T, typename Traits>
+struct DeferredMergePolicy {
+  using Elem = T;
+  using Key = typename Traits::Key;
+  using Out = std::uint64_t;
+  static constexpr bool kDirect = false;
+
+  static Key load(const Elem* base, std::uint64_t pos) {
+    return Traits::key(base[pos]);
+  }
+  static Out make(const Key& /*key*/, std::size_t run, std::uint64_t pos) {
+    return perm_entry(run, pos);
+  }
+  static void bulk(Out*& o, const Elem* /*base*/, std::uint64_t lo,
+                   std::uint64_t hi, std::size_t run) {
+    const std::uint64_t tag = static_cast<std::uint64_t>(run) << kPermRunShift;
+    for (std::uint64_t p = lo; p < hi; ++p) *o++ = tag | p;
+  }
+};
+
+// --- the tournament ----------------------------------------------------------
+
+template <typename Policy, typename Compare>
+class BasicLoserTree {
  public:
+  using Elem = typename Policy::Elem;
+  using Key = typename Policy::Key;
+  using Out = typename Policy::Out;
+
   /// An empty tree that must be reset() before use; `comp` is fixed for the
   /// tree's lifetime.
-  explicit LoserTree(Compare comp = {}) : comp_(comp) {}
+  explicit BasicLoserTree(Compare comp = {}) : comp_(comp) {}
 
   /// `runs` — the sorted input sequences. Empty runs are permitted.
-  explicit LoserTree(std::vector<std::span<const T>> runs, Compare comp = {})
+  explicit BasicLoserTree(std::vector<std::span<const Elem>> runs,
+                          Compare comp = {})
       : runs_(std::move(runs)), comp_(comp) {
     init();
   }
 
   /// Rebinds the tree to a new run set, reusing internal capacity: after the
   /// first reset with the largest k, further resets allocate nothing.
-  void reset(std::span<const std::span<const T>> runs) {
+  void reset(std::span<const std::span<const Elem>> runs) {
     runs_.assign(runs.begin(), runs.end());
     init();
   }
@@ -81,31 +196,36 @@ class LoserTree {
   bool empty() const { return remaining_ == 0; }
   std::uint64_t remaining() const { return remaining_; }
 
-  /// Pops the smallest element across all runs. Stable across runs: ties go
-  /// to the lower run index. For bulk consumption prefer drain()/
-  /// drain_block(), which amortise bookkeeping over whole blocks.
-  T pop() {
+  /// Pops the smallest element across all runs (direct) or its permutation
+  /// entry (deferred). Stable across runs: ties go to the lower run index.
+  /// For bulk consumption prefer drain()/drain_block(), which amortise
+  /// bookkeeping over whole blocks.
+  Out pop() {
     HS_EXPECTS(!empty());
-    const T value = node_key_[0];
     std::size_t w = node_run_[0];
-    T v = node_key_[0];
-    advance_stream(0, w, v);
+    Key v = node_key_[0];
+    const Out value = Policy::make(v, w, pos_[w]);
+    advance_stream<true>(0, w, v);
     node_run_[0] = w;
     node_key_[0] = v;
     --remaining_;
     return value;
   }
 
-  /// Pops up to out.size() elements into `out`; returns the number written
+  /// Pops up to out.size() entries into `out`; returns the number written
   /// (less than out.size() only when the tree ran empty). Equivalent to
   /// repeated pop().
-  std::size_t drain_block(std::span<T> out) {
+  std::size_t drain_block(std::span<Out> out) {
     const std::size_t n = static_cast<std::size_t>(
         std::min<std::uint64_t>(out.size(), remaining_));
     if (n == 0) return 0;
     std::size_t w = node_run_[0];
-    T v = node_key_[0];
-    drain_stream(0, w, v, out.data(), n);
+    Key v = node_key_[0];
+    Out* o = out.data();
+    std::uint64_t rem = n;
+    std::size_t sr = leaves_;
+    std::size_t st = 0;
+    drain_stream_loop(0, w, v, o, rem, sr, st);
     node_run_[0] = w;
     node_key_[0] = v;
     remaining_ -= n;
@@ -113,7 +233,7 @@ class LoserTree {
   }
 
   /// Merges everything into `out` (size must equal remaining()).
-  void drain(std::span<T> out) {
+  void drain(std::span<Out> out) {
     HS_EXPECTS(out.size() == remaining_);
     if (k_ <= 2) {
       drain_small(out);
@@ -135,6 +255,9 @@ class LoserTree {
   static constexpr std::size_t kGallopStreak = 4;
   // Samples taken per run to pick the dual-stream splitter.
   static constexpr std::uint64_t kSamplesPerRun = 8;
+  // Minimum refill window worth the O(k) scan that computes it; smaller
+  // windows drain with per-element checked steps instead.
+  static constexpr std::uint64_t kWindowMin = 64;
 
   // Internal state is laid out for two independent merge streams over
   // disjoint slices of the same runs. Stream s occupies index range
@@ -151,13 +274,17 @@ class LoserTree {
   void init() {
     k_ = runs_.size();
     HS_EXPECTS(k_ >= 1);
+    if constexpr (!Policy::kDirect) {
+      // Run index must fit the permutation tag; positions must fit 48 bits.
+      HS_EXPECTS(k_ <= (std::size_t{1} << 16));
+    }
     // Round leaves up to a power of two; surplus leaves hold exhausted runs.
     leaves_ = std::size_t{1} << log2_ceil(k_);
     base_.assign(leaves_, nullptr);
     pos_.assign(2 * leaves_, 0);
     end_.assign(2 * leaves_, 0);
     node_run_.assign(2 * leaves_, 0);
-    node_key_.assign(2 * leaves_, T{});
+    node_key_.assign(2 * leaves_, Key{});
     remaining_ = 0;
     for (std::size_t r = 0; r < k_; ++r) {
       base_[r] = runs_[r].data();
@@ -171,7 +298,7 @@ class LoserTree {
   // i.e. the stored loser beats the incoming contender and they must swap.
   // Non-short-circuit logic keeps the data-dependent path branch-free; stale
   // keys of exhausted runs are compared but masked out by the id terms.
-  bool beats(std::size_t l, const T& lk, std::size_t c, const T& ck) const {
+  bool beats(std::size_t l, const Key& lk, std::size_t c, const Key& ck) const {
     const bool lt = comp_(lk, ck);
     const bool gt = comp_(ck, lk);
     return bool((l < leaves_) & ((c >= leaves_) | lt | ((!gt) & (l < c))));
@@ -181,20 +308,20 @@ class LoserTree {
   // trivially copyable: doubles, integer keys, 16-byte key-value records) —
   // written as mask arithmetic so the if-converter cannot reintroduce a
   // branch. Other types fall back to a ternary.
-  static T key_select(bool take_a, const T& a, const T& b) {
-    if constexpr (std::is_trivially_copyable_v<T> &&
-                  (sizeof(T) == 8 || sizeof(T) == 16)) {
-      constexpr std::size_t kWords = sizeof(T) / 8;
+  static Key key_select(bool take_a, const Key& a, const Key& b) {
+    if constexpr (std::is_trivially_copyable_v<Key> &&
+                  (sizeof(Key) == 8 || sizeof(Key) == 16)) {
+      constexpr std::size_t kWords = sizeof(Key) / 8;
       std::uint64_t ua[kWords];
       std::uint64_t ub[kWords];
-      std::memcpy(ua, &a, sizeof(T));
-      std::memcpy(ub, &b, sizeof(T));
+      std::memcpy(ua, &a, sizeof(Key));
+      std::memcpy(ub, &b, sizeof(Key));
       const std::uint64_t m = 0 - static_cast<std::uint64_t>(take_a);
       for (std::size_t i = 0; i < kWords; ++i) {
         ua[i] = (ua[i] & m) | (ub[i] & ~m);
       }
-      T out{};
-      std::memcpy(&out, ua, sizeof(T));
+      Key out{};
+      std::memcpy(&out, ua, sizeof(Key));
       return out;
     } else {
       return take_a ? a : b;
@@ -205,11 +332,11 @@ class LoserTree {
   void build_stream(std::size_t s) {
     const std::size_t so = s * leaves_;
     build_run_.assign(2 * leaves_, 0);
-    build_key_.assign(2 * leaves_, T{});
+    build_key_.assign(2 * leaves_, Key{});
     for (std::size_t i = 0; i < leaves_; ++i) {
       if (i < k_ && pos_[so + i] < end_[so + i]) {
         build_run_[leaves_ + i] = i;
-        build_key_[leaves_ + i] = base_[i][pos_[so + i]];
+        build_key_[leaves_ + i] = Policy::load(base_[i], pos_[so + i]);
       } else {
         build_run_[leaves_ + i] = i + leaves_;
       }
@@ -237,10 +364,10 @@ class LoserTree {
   // (crun, ckey); the final winner lands in (w, v). Pure mask selects — the
   // unpredictable merge comparison never reaches the branch predictor.
   void replay_stream(std::size_t so, std::size_t leaf, std::size_t crun,
-                     T ckey, std::size_t& w, T& v) {
+                     Key ckey, std::size_t& w, Key& v) {
     for (std::size_t node = (leaves_ + leaf) >> 1; node >= 1; node >>= 1) {
       const std::size_t l = node_run_[so + node];
-      const T lk = node_key_[so + node];
+      const Key lk = node_key_[so + node];
       const bool c = beats(l, lk, crun, ckey);
       const std::size_t m = 0 - static_cast<std::size_t>(c);
       node_run_[so + node] = (crun & m) | (l & ~m);
@@ -253,19 +380,28 @@ class LoserTree {
   }
 
   // Consumes stream so's current winner (w, v): advances its cursor, loads
-  // the run's next element (exhaustion checked exactly once, here), and
-  // replays. (w, v) become the new winner; node slot 0 is NOT written —
-  // callers carry the winner in registers across whole loops.
-  void advance_stream(std::size_t so, std::size_t& w, T& v) {
+  // the run's next key, and replays. (w, v) become the new winner; node slot
+  // 0 is NOT written — callers carry the winner in registers across whole
+  // loops. When Checked is false the caller has proved (via the refill
+  // window) that the cursor cannot cross its slice end, so the bound check
+  // and the exhaustion branch are elided from the hot loop.
+  template <bool Checked>
+  void advance_stream(std::size_t so, std::size_t& w, Key& v) {
     const std::size_t leaf = w;
     const std::uint64_t p = ++pos_[so + w];
     std::size_t crun = w;
-    T ckey{};
-    if (p < end_[so + w]) {
-      ckey = base_[w][p];
-      prefetch_ahead(base_[w] + p);
+    Key ckey{};
+    if constexpr (Checked) {
+      if (p < end_[so + w]) {
+        ckey = Policy::load(base_[w], p);
+        prefetch_ahead(base_[w] + p);
+      } else {
+        crun = w + leaves_;
+      }
     } else {
-      crun = w + leaves_;
+      HS_ASSERT(p < end_[so + w]);
+      ckey = Policy::load(base_[w], p);
+      prefetch_ahead(base_[w] + p);
     }
     replay_stream(so, leaf, crun, ckey, w, v);
   }
@@ -275,19 +411,33 @@ class LoserTree {
   // crossing. Explicitly prefetching two lines ahead of the consumed head
   // hides that latency; by the time the run wins again the line is resident.
   // (Prefetches never fault, so running past the run's end is harmless.)
-  static void prefetch_ahead(const T* head) {
+  static void prefetch_ahead(const Elem* head) {
     __builtin_prefetch(reinterpret_cast<const char*>(head) + 128);
+  }
+
+  // Smallest remaining tail across stream so's live runs. Within that many
+  // emissions no cursor can cross its slice end — the refill boundary that
+  // lets the hot loop run unchecked. O(k); callers amortise it over at least
+  // kWindowMin emissions.
+  std::uint64_t live_window(std::size_t so) const {
+    std::uint64_t win = ~std::uint64_t{0};
+    for (std::size_t r = 0; r < k_; ++r) {
+      const std::uint64_t p = pos_[so + r];
+      const std::uint64_t e = end_[so + r];
+      if (p < e) win = std::min(win, e - p);
+    }
+    return win;
   }
 
   // Bulk-emits from stream so's winner run `w` until the runner-up bound,
   // the slice's end, or `cap` elements. Returns the count emitted (always
   // >= 1: the current winner head passes the bound by the tree invariant).
-  std::size_t gallop_stream(std::size_t so, std::size_t& w, T& v, T* o,
+  std::size_t gallop_stream(std::size_t so, std::size_t& w, Key& v, Out* o,
                             std::uint64_t cap) {
     // Runner-up: best of the losers on w's path (cached keys, cheap scan).
     // NOT simply node 1 — the second-best may have lost to w below the root.
     std::size_t s = leaves_;  // exhausted-coded: loses to any live id
-    T skey{};
+    Key skey{};
     for (std::size_t node = (leaves_ + w) >> 1; node >= 1; node >>= 1) {
       const std::size_t l = node_run_[so + node];
       if (beats(l, node_key_[so + node], s, skey)) {
@@ -295,26 +445,36 @@ class LoserTree {
         skey = node_key_[so + node];
       }
     }
-    const T* base = base_[w];
+    const Elem* base = base_[w];
     std::uint64_t cur = pos_[so + w];
     const std::uint64_t start = cur;
     const std::uint64_t limit =
         std::min<std::uint64_t>(end_[so + w], cur + cap);
     if (s >= leaves_) {
-      // Only live run in this stream: copy to the cap.
-      std::copy(base + cur, base + limit, o);
+      // Only live run in this stream: emit to the cap.
+      Policy::bulk(o, base, cur, limit, w);
       cur = limit;
     } else if (w < s) {
-      while (cur < limit && !comp_(skey, base[cur])) *o++ = base[cur++];
+      while (cur < limit) {
+        const Key kk = Policy::load(base, cur);
+        if (comp_(skey, kk)) break;
+        *o++ = Policy::make(kk, w, cur);
+        ++cur;
+      }
     } else {
-      while (cur < limit && comp_(base[cur], skey)) *o++ = base[cur++];
+      while (cur < limit) {
+        const Key kk = Policy::load(base, cur);
+        if (!comp_(kk, skey)) break;
+        *o++ = Policy::make(kk, w, cur);
+        ++cur;
+      }
     }
     HS_ASSERT(cur > start);
     pos_[so + w] = cur;
     std::size_t crun = w;
-    T ckey{};
+    Key ckey{};
     if (cur < end_[so + w]) {
-      ckey = base[cur];
+      ckey = Policy::load(base, cur);
       prefetch_ahead(base + cur);
     } else {
       crun = w + leaves_;
@@ -325,32 +485,53 @@ class LoserTree {
 
   // One drain iteration of stream so: emit the winner and advance, or — when
   // one run has won kGallopStreak times in a row — gallop. `sr`/`st` hold
-  // the streak state across calls.
-  void step_or_gallop(std::size_t so, std::size_t& w, T& v, T*& o,
-                      std::uint64_t& rem, std::size_t& sr, std::size_t& st) {
+  // the streak state across calls. Returns the number of entries emitted.
+  // Hot instantiations skip the cursor bound check (see advance_stream);
+  // galloping handles its own bounds, so it stays safe in either mode.
+  template <bool Hot>
+  std::size_t step_or_gallop(std::size_t so, std::size_t& w, Key& v, Out*& o,
+                             std::uint64_t& rem, std::size_t& sr,
+                             std::size_t& st) {
     if (w == sr) {
       if (++st >= kGallopStreak) {
         const std::size_t e = gallop_stream(so, w, v, o, rem);
         o += e;
         rem -= e;
         st = 0;
-        return;
+        return e;
       }
     } else {
       sr = w;
       st = 1;
     }
-    *o++ = v;
+    *o++ = Policy::make(v, w, pos_[so + w]);
     --rem;
-    advance_stream(so, w, v);
+    advance_stream<!Hot>(so, w, v);
+    return 1;
   }
 
-  // Drains exactly `rem` elements of stream so into `o`.
-  void drain_stream(std::size_t so, std::size_t& w, T& v, T* o,
-                    std::uint64_t rem) {
-    std::size_t sr = leaves_;
-    std::size_t st = 0;
-    while (rem != 0) step_or_gallop(so, w, v, o, rem, sr, st);
+  // Drains stream so until rem reaches 0, in refill-window bursts: one O(k)
+  // window scan buys window-1 unchecked emissions, then a single checked
+  // step closes the window (that step is where a run may exhaust).
+  void drain_stream_loop(std::size_t so, std::size_t& w, Key& v, Out*& o,
+                         std::uint64_t& rem, std::size_t& sr,
+                         std::size_t& st) {
+    while (rem != 0) {
+      const std::uint64_t win = std::min(rem, live_window(so));
+      if (win >= kWindowMin) {
+        const std::uint64_t budget = win - 1;
+        std::uint64_t i = 0;
+        while (i < budget) i += step_or_gallop<true>(so, w, v, o, rem, sr, st);
+        if (rem != 0) step_or_gallop<false>(so, w, v, o, rem, sr, st);
+      } else {
+        // Window too small to be worth the scan: checked steps, re-examined
+        // after at most kWindowMin emissions.
+        std::uint64_t i = 0;
+        while (i < kWindowMin && rem != 0) {
+          i += step_or_gallop<false>(so, w, v, o, rem, sr, st);
+        }
+      }
+    }
   }
 
   // Full drain via two independent streams: split every run's tail at a
@@ -358,31 +539,30 @@ class LoserTree {
   // a tournament per stream, then merge both streams in one interleaved
   // loop. The two replay chains are data-independent, so the core overlaps
   // them and per-element latency roughly halves.
-  void drain_interleaved(std::span<T> out) {
+  void drain_interleaved(std::span<Out> out) {
     // Splitter: median of a small evenly spaced sample of every tail.
     samples_.clear();
     for (std::size_t r = 0; r < k_; ++r) {
       const std::uint64_t len = end_[r] - pos_[r];
       const std::uint64_t take = std::min(len, kSamplesPerRun);
       for (std::uint64_t j = 0; j < take; ++j) {
-        samples_.push_back(base_[r][pos_[r] + (len * j) / take]);
+        samples_.push_back(
+            Policy::load(base_[r], pos_[r] + (len * j) / take));
       }
     }
     HS_ASSERT(!samples_.empty());
     auto mid =
         samples_.begin() + static_cast<std::ptrdiff_t>(samples_.size() / 2);
     std::nth_element(samples_.begin(), mid, samples_.end(), comp_);
-    const T splitter = *mid;
+    const Key splitter = *mid;
 
     // Cut every run at upper_bound(splitter): stream 0 takes [pos_, cut),
     // stream 1 takes [cut, end). Equal keys land in stream 0 for every run,
     // so cross-stream order of equals matches the single-stream order.
     std::uint64_t n0 = 0;
     for (std::size_t r = 0; r < k_; ++r) {
-      const T* base = base_[r];
-      const std::uint64_t cut = static_cast<std::uint64_t>(
-          std::upper_bound(base + pos_[r], base + end_[r], splitter, comp_) -
-          base);
+      const std::uint64_t cut =
+          key_upper_bound(base_[r], pos_[r], end_[r], splitter);
       pos_[leaves_ + r] = cut;
       end_[leaves_ + r] = end_[r];
       end_[r] = cut;
@@ -391,22 +571,43 @@ class LoserTree {
     build_stream(0);
     build_stream(1);
 
-    T* o0 = out.data();
-    T* o1 = out.data() + n0;
+    Out* o0 = out.data();
+    Out* o1 = out.data() + n0;
     std::uint64_t rem0 = n0;
     std::uint64_t rem1 = remaining_ - n0;
     std::size_t w0 = node_run_[0];
-    T v0 = node_key_[0];
+    Key v0 = node_key_[0];
     std::size_t w1 = node_run_[leaves_];
-    T v1 = node_key_[leaves_];
+    Key v1 = node_key_[leaves_];
     std::size_t sr0 = leaves_, st0 = 0;
     std::size_t sr1 = leaves_, st1 = 0;
     while (rem0 != 0 && rem1 != 0) {
-      step_or_gallop(0, w0, v0, o0, rem0, sr0, st0);
-      step_or_gallop(leaves_, w1, v1, o1, rem1, sr1, st1);
+      const std::uint64_t win0 = std::min(rem0, live_window(0));
+      const std::uint64_t win1 = std::min(rem1, live_window(leaves_));
+      if (win0 >= kWindowMin && win1 >= kWindowMin) {
+        // Both windows open: the interleaved pair loop runs unchecked until
+        // either window's budget is spent, then one checked step per stream
+        // closes the windows.
+        const std::uint64_t b0 = win0 - 1;
+        const std::uint64_t b1 = win1 - 1;
+        std::uint64_t i0 = 0, i1 = 0;
+        while (i0 < b0 && i1 < b1) {
+          i0 += step_or_gallop<true>(0, w0, v0, o0, rem0, sr0, st0);
+          i1 += step_or_gallop<true>(leaves_, w1, v1, o1, rem1, sr1, st1);
+        }
+        if (rem0 != 0) step_or_gallop<false>(0, w0, v0, o0, rem0, sr0, st0);
+        if (rem1 != 0)
+          step_or_gallop<false>(leaves_, w1, v1, o1, rem1, sr1, st1);
+      } else {
+        std::uint64_t i = 0;
+        while (i < kWindowMin && rem0 != 0 && rem1 != 0) {
+          step_or_gallop<false>(0, w0, v0, o0, rem0, sr0, st0);
+          i += step_or_gallop<false>(leaves_, w1, v1, o1, rem1, sr1, st1);
+        }
+      }
     }
-    while (rem0 != 0) step_or_gallop(0, w0, v0, o0, rem0, sr0, st0);
-    while (rem1 != 0) step_or_gallop(leaves_, w1, v1, o1, rem1, sr1, st1);
+    drain_stream_loop(0, w0, v0, o0, rem0, sr0, st0);
+    drain_stream_loop(leaves_, w1, v1, o1, rem1, sr1, st1);
 
     // Restore stream-0 invariants for the now-empty tree.
     for (std::size_t r = 0; r < k_; ++r) {
@@ -417,19 +618,58 @@ class LoserTree {
     for (std::size_t i = 0; i < leaves_; ++i) node_run_[i] = i + leaves_;
   }
 
-  // k <= 2: a tournament is pure overhead; copy / std::merge the live tails.
-  // std::merge is stable and prefers the first range on ties, matching the
-  // lower-run-index rule.
-  void drain_small(std::span<T> out) {
-    if (remaining_ != 0) {
-      if (k_ == 1) {
-        std::copy(runs_[0].begin() + static_cast<std::ptrdiff_t>(pos_[0]),
-                  runs_[0].end(), out.begin());
+  // upper_bound on projected keys within [lo, hi) of one run — the generic
+  // form std::upper_bound cannot express when Key != Elem.
+  std::uint64_t key_upper_bound(const Elem* base, std::uint64_t lo,
+                                std::uint64_t hi, const Key& kv) const {
+    while (lo < hi) {
+      const std::uint64_t mid = lo + (hi - lo) / 2;
+      if (comp_(kv, Policy::load(base, mid))) {
+        hi = mid;
       } else {
-        std::merge(runs_[0].begin() + static_cast<std::ptrdiff_t>(pos_[0]),
-                   runs_[0].end(),
-                   runs_[1].begin() + static_cast<std::ptrdiff_t>(pos_[1]),
-                   runs_[1].end(), out.begin(), comp_);
+        lo = mid + 1;
+      }
+    }
+    return lo;
+  }
+
+  // k <= 2: a tournament is pure overhead; copy / merge the live tails.
+  // The direct policy uses std::merge (stable, prefers the first range on
+  // ties — the lower-run-index rule); the deferred policy runs the same
+  // two-cursor loop over projected keys, emitting permutation entries.
+  void drain_small(std::span<Out> out) {
+    if (remaining_ != 0) {
+      if constexpr (Policy::kDirect) {
+        if (k_ == 1) {
+          std::copy(runs_[0].begin() + static_cast<std::ptrdiff_t>(pos_[0]),
+                    runs_[0].end(), out.begin());
+        } else {
+          std::merge(runs_[0].begin() + static_cast<std::ptrdiff_t>(pos_[0]),
+                     runs_[0].end(),
+                     runs_[1].begin() + static_cast<std::ptrdiff_t>(pos_[1]),
+                     runs_[1].end(), out.begin(), comp_);
+        }
+      } else {
+        Out* o = out.data();
+        if (k_ == 1) {
+          Policy::bulk(o, base_[0], pos_[0], end_[0], 0);
+        } else {
+          std::uint64_t i = pos_[0];
+          std::uint64_t j = pos_[1];
+          while (i < end_[0] && j < end_[1]) {
+            const Key ka = Policy::load(base_[0], i);
+            const Key kb = Policy::load(base_[1], j);
+            if (comp_(kb, ka)) {
+              *o++ = Policy::make(kb, 1, j);
+              ++j;
+            } else {
+              *o++ = Policy::make(ka, 0, i);
+              ++i;
+            }
+          }
+          Policy::bulk(o, base_[0], i, end_[0], 0);
+          Policy::bulk(o, base_[1], j, end_[1], 1);
+        }
       }
     }
     for (std::size_t r = 0; r < k_; ++r) pos_[r] = end_[r];
@@ -437,19 +677,32 @@ class LoserTree {
     for (std::size_t i = 0; i < leaves_; ++i) node_run_[i] = i + leaves_;
   }
 
-  std::vector<std::span<const T>> runs_;
+  std::vector<std::span<const Elem>> runs_;
   Compare comp_;
   std::size_t k_ = 0;
   std::size_t leaves_ = 0;
-  std::vector<const T*> base_;          // run base pointers (size leaves_)
+  std::vector<const Elem*> base_;       // run base pointers (size leaves_)
   std::vector<std::uint64_t> pos_;      // per stream: current head index
   std::vector<std::uint64_t> end_;      // per stream: one past the slice end
   std::vector<std::size_t> node_run_;   // per stream: [0] winner, [1..) losers
-  std::vector<T> node_key_;             // cached element for node_run_
+  std::vector<Key> node_key_;           // cached key for node_run_
   std::vector<std::size_t> build_run_;  // build_stream() scratch, reused
-  std::vector<T> build_key_;            // build_stream() scratch, reused
-  std::vector<T> samples_;              // splitter sampling scratch, reused
+  std::vector<Key> build_key_;          // build_stream() scratch, reused
+  std::vector<Key> samples_;            // splitter sampling scratch, reused
   std::uint64_t remaining_ = 0;
 };
+
+/// The classic element-emitting merger (public name unchanged: every
+/// pre-existing call site compiles as before).
+template <typename T, typename Compare = std::less<T>>
+using LoserTree = BasicLoserTree<DirectMergePolicy<T>, Compare>;
+
+/// Key-only merger for types with enabled DeferredMergeTraits: drains emit
+/// packed (run, pos) permutation entries; apply_permutation() in
+/// multiway_merge.h turns them into the merged records in one gather pass.
+template <typename T, typename Compare = std::less<T>>
+using DeferredLoserTree = BasicLoserTree<
+    DeferredMergePolicy<T, DeferredMergeTraits<T, Compare>>,
+    typename DeferredMergeTraits<T, Compare>::KeyCompare>;
 
 }  // namespace hs::cpu

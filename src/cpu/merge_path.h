@@ -43,6 +43,118 @@ std::uint64_t merge_path_split(std::span<const T> a, std::span<const T> b,
   return lo;
 }
 
+/// Exact multisequence selection — the k-run generalisation of the Merge
+/// Path split above. Computes cut positions cuts[r] with sum(cuts) == m such
+/// that the concatenation of the run prefixes [0, cuts[r]) is exactly the
+/// first m outputs of the stable k-way merge (ties: lower run index first,
+/// FIFO within a run). Unlike sampled splitters, the parts this produces are
+/// exactly equal in size, so parallel merge lanes never inherit a skewed
+/// partition — the enabler for near-linear thread scaling.
+///
+/// Algorithm: pivot bisection over the value domain. Each round picks the
+/// midpoint of the largest active window [lo[r], hi[r]) as the pivot and
+/// counts, with window-clamped binary searches, the elements strictly below
+/// it (A) and up to its last equal (B):
+///   * A >= m  — the boundary value precedes the pivot; every cut is at most
+///     the pivot's lower bound, so all hi shrink (A == m returns directly).
+///   * B <  m  — the boundary value follows the pivot; every cut is at least
+///     the pivot's upper bound, so all lo advance.
+///   * A < m <= B — the boundary value IS the pivot: cuts are the lower
+///     bounds plus the remaining m - A equals, distributed in ascending run
+///     order (exactly how the stable merge orders equal keys across runs).
+/// The pivot run's window at least halves every round, so the loop
+/// terminates; when every window collapses the forced cut is returned. The
+/// cuts for increasing m nest componentwise (stable-merge prefixes are
+/// nested), which callers may rely on for monotone partition tables.
+///
+/// `lo` and `hi` are caller-provided k-sized scratch so steady-state callers
+/// allocate nothing. Empty runs are permitted.
+template <typename T, typename Compare = std::less<T>>
+void kway_select(std::span<const std::span<const T>> runs, std::uint64_t m,
+                 std::span<std::uint64_t> cuts, std::span<std::uint64_t> lo,
+                 std::span<std::uint64_t> hi, Compare comp = {}) {
+  const std::size_t k = runs.size();
+  HS_EXPECTS(cuts.size() == k && lo.size() == k && hi.size() == k);
+  std::uint64_t total = 0;
+  for (std::size_t r = 0; r < k; ++r) total += runs[r].size();
+  HS_EXPECTS(m <= total);
+  for (std::size_t r = 0; r < k; ++r) {
+    lo[r] = 0;
+    hi[r] = runs[r].size();
+  }
+  if (m == 0 || m == total) {
+    for (std::size_t r = 0; r < k; ++r) cuts[r] = m == 0 ? 0 : runs[r].size();
+    return;
+  }
+  // Window-clamped binary searches: prior rounds proved the cut lies inside
+  // [lo[r], hi[r]), so bounds outside the window are equivalent to the edge.
+  const auto lower_in = [&](std::size_t r, const T& pivot) {
+    std::uint64_t l = lo[r], h = hi[r];
+    while (l < h) {
+      const std::uint64_t mid = l + (h - l) / 2;
+      if (comp(runs[r][mid], pivot)) {
+        l = mid + 1;
+      } else {
+        h = mid;
+      }
+    }
+    return l;
+  };
+  const auto upper_in = [&](std::size_t r, const T& pivot) {
+    std::uint64_t l = lo[r], h = hi[r];
+    while (l < h) {
+      const std::uint64_t mid = l + (h - l) / 2;
+      if (comp(pivot, runs[r][mid])) {
+        h = mid;
+      } else {
+        l = mid + 1;
+      }
+    }
+    return l;
+  };
+  while (true) {
+    // Pivot: midpoint of the largest active window.
+    std::size_t pr = k;
+    std::uint64_t widest = 0;
+    for (std::size_t r = 0; r < k; ++r) {
+      const std::uint64_t width = hi[r] - lo[r];
+      if (width > widest) {
+        widest = width;
+        pr = r;
+      }
+    }
+    if (pr == k) {
+      // Every window collapsed: the cut is forced (and sums to m, because
+      // the stable cut exists and every round kept it inside the windows).
+      std::uint64_t sum = 0;
+      for (std::size_t r = 0; r < k; ++r) sum += (cuts[r] = lo[r]);
+      HS_ASSERT(sum == m);
+      return;
+    }
+    const T& pivot = runs[pr][lo[pr] + (hi[pr] - lo[pr]) / 2];
+    std::uint64_t below = 0;
+    for (std::size_t r = 0; r < k; ++r) below += (cuts[r] = lower_in(r, pivot));
+    if (below >= m) {
+      if (below == m) return;
+      for (std::size_t r = 0; r < k; ++r) hi[r] = cuts[r];
+      continue;
+    }
+    std::uint64_t upto = 0;
+    for (std::size_t r = 0; r < k; ++r) upto += (lo[r] = upper_in(r, pivot));
+    if (upto < m) continue;  // lo already advanced to the upper bounds
+    // The boundary value is the pivot: hand the remaining m - below equal
+    // keys to runs in ascending order — the stable merge's tie order.
+    std::uint64_t t = m - below;
+    for (std::size_t r = 0; r < k; ++r) {
+      const std::uint64_t eq = std::min<std::uint64_t>(lo[r] - cuts[r], t);
+      cuts[r] += eq;
+      t -= eq;
+    }
+    HS_ASSERT(t == 0);
+    return;
+  }
+}
+
 /// Sequential stable merge of `a` and `b` into `out` (size |a|+|b|).
 template <typename T, typename Compare = std::less<T>>
 void merge_sequential(std::span<const T> a, std::span<const T> b,

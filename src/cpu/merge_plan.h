@@ -1,0 +1,33 @@
+// Execution plan for one host multiway merge.
+//
+// Kept in a leaf header so both layers can name it without entangling their
+// includes: the cpu merge engine consumes a plan (cpu/multiway_merge.h), and
+// the core planner produces one from the calibrated cost model
+// (core/merge_schedule.h + model/cpu_model.h). A default-constructed plan is
+// always valid — flat topology, engine-chosen payload handling.
+#pragma once
+
+#include <cstdint>
+
+namespace hs::cpu {
+
+enum class MergeTopology : std::uint8_t {
+  kFlat,      // one k-way tournament over all runs, single pass
+  kCascaded,  // tree of fan_in-way merges, `levels` passes over the data
+};
+
+struct MergePlan {
+  MergeTopology topology = MergeTopology::kFlat;
+  // Cascaded only: runs per merge node. 0 under kFlat (all k at once).
+  unsigned fan_in = 0;
+  // Number of merge passes over the data: 1 for flat, ceil(log_fan_in(k))
+  // for cascaded.
+  unsigned levels = 1;
+  // Key-only tournament + one permutation-gather pass per output block,
+  // instead of dragging full records through every tree level. Only honoured
+  // for element types with enabled DeferredMergeTraits; the engine silently
+  // merges direct otherwise.
+  bool deferred_payload = false;
+};
+
+}  // namespace hs::cpu

@@ -1,34 +1,43 @@
 // Multiway merge of k sorted runs — sequential (loser tree) and parallel.
 //
-// The parallel version partitions the *value domain* with sampled splitters:
-// each run contributes evenly spaced samples; the union of samples is sorted
-// and p-1 quantiles become splitter values. Part j then merges, from every
-// run, the sub-range of values in (splitter_{j-1}, splitter_j] — boundaries
-// located with std::upper_bound, so duplicated splitter values land in exactly
-// one part and the concatenation of parts is globally sorted. Sampling keeps
-// parts near-equal for realistic inputs (imbalance is bounded by k·n/s for s
-// samples per run) without the complexity of exact multisequence selection —
-// the same engineering trade-off GNU parallel mode makes with its sampling
-// splitting strategy.
+// The parallel version partitions the output with *exact multisequence
+// selection* (kway_select in merge_path.h): boundary j is the stable merge's
+// rank floor(j·n/p), so every lane merges an identical share and the speedup
+// curve is limited by memory bandwidth, not by partition skew. Cut rows nest
+// componentwise (stable-merge prefixes are nested), each part is a contiguous
+// slice of the stable merge, and concatenating parts reproduces it exactly.
 //
-// Steady-state the parallel path performs zero heap allocation per part:
-// cut positions live in one flattened (p+1)×k buffer, each lane owns a
-// reusable sub-run descriptor arena and loser tree, and all of it can be
-// carried across calls in a MultiwayMergeScratch. Splitter boundaries are
-// located by binary search *within the previous cut's tail* ([cuts[j-1][r],
-// size)), so total cut-finding work per run is O(k·log) rather than
-// O(p·k·log n).
+// Payload-deferred lanes. For element types with enabled DeferredMergeTraits
+// (16-byte KeyValue64 ordered by its 8-byte key), each lane drains a key-only
+// DeferredLoserTree into a permutation buffer and then applies the
+// permutation to the full records in one gather pass (apply_permutation):
+// keys ride through the tournament log k times, payloads move exactly once.
+//
+// Cascaded topology. A MergePlan may replace the flat k-way merge with a
+// tree of fan_in-way merges ping-ponging between `out` and a scratch-owned
+// buffer — fewer live read streams per pass at the price of extra passes,
+// which the core planner's cost model only accepts at very large k.
+//
+// Steady-state the parallel path performs zero heap allocation: cut tables,
+// selection windows, each lane's sub-run arena, tournament trees, and
+// permutation buffers are all grow-only and carried in a MultiwayMergeScratch.
+// Lane-private buffers are touched first by the lane that owns them (inside
+// the parallel region), so on NUMA hosts they land on the worker's node.
 #pragma once
 
 #include <algorithm>
 #include <cstdint>
+#include <cstring>
 #include <functional>
 #include <span>
 #include <vector>
 
 #include "common/assert.h"
 #include "cpu/loser_tree.h"
+#include "cpu/merge_path.h"
+#include "cpu/merge_plan.h"
 #include "cpu/parallel_for.h"
+#include "cpu/parallel_memcpy.h"
 #include "cpu/thread_pool.h"
 #include "obs/counters.h"
 #include "obs/span.h"
@@ -53,6 +62,71 @@ void multiway_merge_sequential(std::vector<std::span<const T>> runs,
   tree.drain(out);
 }
 
+/// Applies a permutation stream emitted by a DeferredLoserTree:
+/// out[i] = runs[run(perm[i])][pos(perm[i])]. Maximal segments of
+/// consecutive entries from one run (gallop output, merge tails, clustered
+/// keys) are detected with one integer compare per entry and moved with
+/// memcpy/memcpy_stream; scattered entries gather with software prefetch
+/// running ahead of the use. One streaming write pass over `out`, k forward
+/// read streams over the runs — every payload byte is touched exactly once.
+template <typename T>
+void apply_permutation(std::span<const std::span<const T>> runs,
+                       std::span<const std::uint64_t> perm, T* out) {
+  constexpr std::size_t kPrefetchAhead = 16;
+  constexpr std::size_t kSegMemcpyMin = 16;
+  const std::size_t n = perm.size();
+  std::size_t i = 0;
+  while (i < n) {
+    if (i + kPrefetchAhead < n) {
+      const std::uint64_t e = perm[i + kPrefetchAhead];
+      __builtin_prefetch(runs[perm_run(e)].data() + perm_pos(e));
+    }
+    // Positions occupy the low 48 bits and never reach 2^48, so an entry
+    // equal to its predecessor + 1 is the same run's next element.
+    std::size_t j = i + 1;
+    while (j < n && perm[j] == perm[j - 1] + 1) ++j;
+    const std::uint64_t e = perm[i];
+    const T* src = runs[perm_run(e)].data() + perm_pos(e);
+    const std::size_t len = j - i;
+    if (len >= kSegMemcpyMin) {
+      // memcpy_stream self-gates: plain memcpy below its cutoff, SSE2
+      // non-temporal stores for cache-crushing segments.
+      memcpy_stream(out + i, src, len * sizeof(T));
+    } else {
+      for (std::size_t t = 0; t < len; ++t) out[i + t] = src[t];
+    }
+    i = j;
+  }
+}
+
+/// Sequential payload-deferred merge of `runs` into `out`: key-only drain
+/// into `perm`, then one permutation-gather pass. Requires enabled
+/// DeferredMergeTraits<T, Compare>. `tree` and `perm` are grow-only scratch.
+template <typename T, typename Compare = std::less<T>>
+void multiway_merge_deferred(std::span<const std::span<const T>> runs,
+                             std::span<T> out,
+                             DeferredLoserTree<T, Compare>& tree,
+                             std::vector<std::uint64_t>& perm) {
+  tree.reset(runs);
+  HS_EXPECTS(tree.remaining() == out.size());
+  if (perm.size() < out.size()) perm.resize(out.size());
+  const std::span<std::uint64_t> pspan(perm.data(), out.size());
+  tree.drain(pspan);
+  apply_permutation<T>(runs, pspan, out.data());
+  obs::count(obs::Counter::kMergeDeferredElements, out.size());
+}
+
+// Lane-private deferred-merge state; collapses to an empty struct for types
+// without the trait so Lane never instantiates DeferredLoserTree for them.
+template <typename T, typename Compare,
+          bool Enabled = DeferredMergeTraits<T, Compare>::kEnabled>
+struct DeferredLaneState {
+  DeferredLoserTree<T, Compare> tree;
+  std::vector<std::uint64_t> perm;
+};
+template <typename T, typename Compare>
+struct DeferredLaneState<T, Compare, false> {};
+
 /// Reusable state for multiway_merge_parallel. After the first call with the
 /// largest (p, k) the merge allocates nothing: resets reuse every buffer.
 /// A scratch is bound to one comparator *state* — do not share it between
@@ -62,11 +136,14 @@ struct MultiwayMergeScratch {
   explicit MultiwayMergeScratch(Compare comp = {}) : comp_(comp) {}
 
   /// One worker lane's private workspace: sub-run descriptors for the part
-  /// being merged, and the tournament tree that drains them.
+  /// being merged, the tournament that drains them, and (for deferring
+  /// types) the key tree + permutation buffer. Buffers grow inside the
+  /// owning lane's first iterations — first-touch places them NUMA-locally.
   struct Lane {
     explicit Lane(Compare comp) : tree(comp) {}
     std::vector<std::span<const T>> sub;
     LoserTree<T, Compare> tree;
+    DeferredLaneState<T, Compare> deferred;
   };
 
   void prepare(unsigned lanes, std::size_t k) {
@@ -75,99 +152,118 @@ struct MultiwayMergeScratch {
   }
 
   Compare comp_;
-  std::vector<T> samples_;
   std::vector<std::uint64_t> cuts_;     // flattened (p+1) rows of k columns
   std::vector<std::uint64_t> offsets_;  // p+1 output offsets
+  std::vector<std::uint64_t> sel_lo_;   // kway_select window scratch
+  std::vector<std::uint64_t> sel_hi_;
   std::vector<Lane> lanes_;
+  std::vector<T> cascade_buf_;  // cascaded topology's ping-pong buffer
+  std::vector<std::span<const T>> cascade_runs_[2];  // per-level run tables
 };
+
+template <typename T, typename Compare>
+void multiway_merge_cascaded(ThreadPool& pool,
+                             std::span<const std::span<const T>> runs,
+                             std::span<T> out, Compare comp, unsigned parts,
+                             MultiwayMergeScratch<T, Compare>& scratch,
+                             const MergePlan& plan);
 
 /// Parallel k-way merge into `out` using up to `parts` lanes (0 = pool size).
 /// Pass a `scratch` to reuse all working memory across calls; otherwise a
 /// call-local scratch is used (still zero allocations per *part*, since every
-/// buffer is sized once up front and lanes reuse their arenas).
+/// buffer is sized once up front and lanes reuse their arenas). `plan`
+/// selects topology and payload handling; nullptr lets the engine default:
+/// flat, deferred whenever the type opts in and k >= 3 (below that the tree
+/// is degenerate and the gather pass cannot pay for itself).
 template <typename T, typename Compare = std::less<T>>
 void multiway_merge_parallel(ThreadPool& pool,
-                             std::vector<std::span<const T>> runs,
+                             std::span<const std::span<const T>> runs,
                              std::span<T> out, Compare comp = {},
                              unsigned parts = 0,
-                             MultiwayMergeScratch<T, Compare>* scratch = nullptr) {
+                             MultiwayMergeScratch<T, Compare>* scratch = nullptr,
+                             const MergePlan* plan = nullptr) {
+  constexpr bool kCanDefer = DeferredMergeTraits<T, Compare>::kEnabled;
   std::uint64_t total = 0;
   for (const auto& r : runs) total += r.size();
   HS_EXPECTS(out.size() == total);
   if (total == 0) return;
-  const obs::ScopedSpan span("multiway_merge_parallel", "Merge",
-                             total * sizeof(T));
-  obs::count(obs::Counter::kMergeElements, total);
-  obs::count(obs::Counter::kMergeRuns, runs.size());
-
-  unsigned p = parts == 0 ? pool.size() : std::min(parts, pool.size());
-  p = static_cast<unsigned>(std::min<std::uint64_t>(p, total));
-  if (p <= 1 || runs.size() <= 1) {
-    multiway_merge_sequential(std::move(runs), out, comp);
-    return;
-  }
+  const std::size_t k = runs.size();
 
   MultiwayMergeScratch<T, Compare> local(comp);
   MultiwayMergeScratch<T, Compare>& S = scratch ? *scratch : local;
-  const std::size_t k = runs.size();
 
-  // --- sample splitters ---------------------------------------------------
-  constexpr std::uint64_t kSamplesPerPart = 32;
-  const std::uint64_t samples_per_run =
-      std::max<std::uint64_t>(1, kSamplesPerPart * p / k);
-  std::vector<T>& samples = S.samples_;
-  samples.clear();
-  samples.reserve(k * samples_per_run);
-  for (const auto& r : runs) {
-    if (r.empty()) continue;
-    for (std::uint64_t s = 0; s < samples_per_run; ++s) {
-      const std::uint64_t idx =
-          (s * r.size() + r.size() / 2) / samples_per_run;
-      samples.push_back(r[std::min<std::uint64_t>(idx, r.size() - 1)]);
-    }
+  MergePlan pl;
+  if (plan) {
+    pl = *plan;
+  } else {
+    pl.deferred_payload = kCanDefer && k >= 3;
   }
-  std::sort(samples.begin(), samples.end(), comp);
+  if (pl.topology == MergeTopology::kCascaded && pl.fan_in >= 2 &&
+      k > pl.fan_in) {
+    multiway_merge_cascaded<T, Compare>(pool, runs, out, comp, parts, S, pl);
+    return;
+  }
 
-  // --- compute per-part cut positions (p+1 boundaries per run) ------------
-  // cuts row j holds, for every run, the end of the values belonging to
-  // parts 0..j-1. Rows are filled in splitter order, and each row's search
-  // starts at the previous row's cut, so the k searches for row j cover only
-  // the tail the previous row left — monotone by construction.
+  const obs::ScopedSpan span("multiway_merge_parallel", "Merge",
+                             total * sizeof(T));
+  obs::count(obs::Counter::kMergeElements, total);
+  obs::count(obs::Counter::kMergeRuns, k);
+  const bool deferred = kCanDefer && pl.deferred_payload && k >= 3;
+
+  unsigned p = parts == 0 ? pool.size() : std::min(parts, pool.size());
+  p = static_cast<unsigned>(std::min<std::uint64_t>(p, total));
+  if (p <= 1 || k <= 1) {
+    S.prepare(1, k);
+    typename MultiwayMergeScratch<T, Compare>::Lane& L = S.lanes_[0];
+    if (k == 1) {
+      std::copy(runs[0].begin(), runs[0].end(), out.begin());
+      return;
+    }
+    if constexpr (kCanDefer) {
+      if (deferred) {
+        multiway_merge_deferred<T, Compare>(runs, out, L.deferred.tree,
+                                            L.deferred.perm);
+        return;
+      }
+    }
+    L.sub.assign(runs.begin(), runs.end());
+    L.tree.reset(L.sub);
+    L.tree.drain(out);
+    return;
+  }
+
+  // --- exact cut positions: boundary j is stable-merge rank j*total/p ------
   std::vector<std::uint64_t>& cuts = S.cuts_;
   cuts.resize(static_cast<std::size_t>(p + 1) * k);
+  S.sel_lo_.resize(k);
+  S.sel_hi_.resize(k);
   for (std::size_t r = 0; r < k; ++r) {
     cuts[r] = 0;
     cuts[static_cast<std::size_t>(p) * k + r] = runs[r].size();
   }
   for (unsigned j = 1; j < p; ++j) {
-    const std::uint64_t s_idx = static_cast<std::uint64_t>(j) *
-                                samples.size() / p;
-    const T& splitter = samples[std::min<std::size_t>(
-        s_idx, samples.size() - 1)];
-    const std::uint64_t* prev = &cuts[static_cast<std::size_t>(j - 1) * k];
+    const std::uint64_t m = total * j / p;
     std::uint64_t* row = &cuts[static_cast<std::size_t>(j) * k];
-    for (std::size_t r = 0; r < k; ++r) {
-      const auto lo = runs[r].begin() + static_cast<std::ptrdiff_t>(prev[r]);
-      row[r] = prev[r] +
-               static_cast<std::uint64_t>(
-                   std::upper_bound(lo, runs[r].end(), splitter, comp) - lo);
-      HS_ASSERT(row[r] >= prev[r] && row[r] <= runs[r].size());
-    }
+    kway_select<T, Compare>(runs, m, {row, k}, S.sel_lo_, S.sel_hi_, comp);
   }
 
-  // --- output offsets per part --------------------------------------------
+  // --- output offsets per part: exact ranks, so offsets are closed-form ----
   std::vector<std::uint64_t>& offsets = S.offsets_;
   offsets.resize(p + 1);
-  offsets[0] = 0;
+  for (unsigned j = 0; j <= p; ++j) offsets[j] = total * j / p;
+#ifndef NDEBUG
   for (unsigned j = 0; j < p; ++j) {
     std::uint64_t part_size = 0;
     for (std::size_t r = 0; r < k; ++r) {
+      HS_ASSERT(cuts[static_cast<std::size_t>(j + 1) * k + r] >=
+                cuts[static_cast<std::size_t>(j) * k + r]);
       part_size += cuts[static_cast<std::size_t>(j + 1) * k + r] -
                    cuts[static_cast<std::size_t>(j) * k + r];
     }
-    offsets[j + 1] = offsets[j] + part_size;
+    HS_ASSERT(part_size == offsets[j + 1] - offsets[j]);
   }
-  HS_ASSERT(offsets[p] == total);
+#endif
+  obs::count(obs::Counter::kMergeParts, p);
 
   // --- merge each part independently ---------------------------------------
   S.prepare(std::min(p, pool.size()), k);
@@ -177,6 +273,8 @@ void multiway_merge_parallel(ThreadPool& pool,
       std::span<T> part_out =
           out.subspan(offsets[j], offsets[j + 1] - offsets[j]);
       if (part_out.empty()) continue;
+      const obs::ScopedSpan part_span("merge_part", "Merge",
+                                      part_out.size() * sizeof(T));
       // Empty sub-runs are dropped; the survivors keep ascending run order,
       // so the tree's lower-index tie rule still means lower original run.
       L.sub.clear();
@@ -189,10 +287,92 @@ void multiway_merge_parallel(ThreadPool& pool,
         std::copy(L.sub[0].begin(), L.sub[0].end(), part_out.begin());
         continue;
       }
+      if constexpr (kCanDefer) {
+        if (deferred && L.sub.size() >= 3) {
+          multiway_merge_deferred<T, Compare>(L.sub, part_out,
+                                              L.deferred.tree,
+                                              L.deferred.perm);
+          continue;
+        }
+      }
       L.tree.reset(L.sub);
       L.tree.drain(part_out);
     }
   });
+}
+
+/// Back-compat overload taking owned run descriptors.
+template <typename T, typename Compare = std::less<T>>
+void multiway_merge_parallel(ThreadPool& pool,
+                             std::vector<std::span<const T>> runs,
+                             std::span<T> out, Compare comp = {},
+                             unsigned parts = 0,
+                             MultiwayMergeScratch<T, Compare>* scratch = nullptr,
+                             const MergePlan* plan = nullptr) {
+  multiway_merge_parallel<T, Compare>(
+      pool, std::span<const std::span<const T>>(runs), out, comp, parts,
+      scratch, plan);
+}
+
+/// Cascaded merge tree: levels of fan_in-way merges, ping-ponging between
+/// `out` and the scratch-owned buffer so the last level lands in `out`.
+/// Every level is itself a (flat) parallel merge across the pool; level
+/// buffers and run tables live in the scratch, so steady state allocates
+/// nothing. Each level streams the whole dataset once — the planner accepts
+/// that cost only when flat's k live read streams would thrash the caches.
+template <typename T, typename Compare>
+void multiway_merge_cascaded(ThreadPool& pool,
+                             std::span<const std::span<const T>> runs,
+                             std::span<T> out, Compare comp, unsigned parts,
+                             MultiwayMergeScratch<T, Compare>& scratch,
+                             const MergePlan& plan) {
+  const std::size_t k = runs.size();
+  const unsigned f = std::max(2u, plan.fan_in);
+  HS_EXPECTS(k > f);
+  std::uint64_t total = 0;
+  for (const auto& r : runs) total += r.size();
+  HS_EXPECTS(out.size() == total);
+  unsigned levels = 0;
+  for (std::size_t x = k; x > 1; x = (x + f - 1) / f) ++levels;
+  const obs::ScopedSpan span("multiway_merge_cascaded", "Merge",
+                             total * sizeof(T));
+  obs::count(obs::Counter::kMergeCascadeLevels, levels);
+
+  if (scratch.cascade_buf_.size() < total) scratch.cascade_buf_.resize(total);
+  MergePlan leaf = plan;
+  leaf.topology = MergeTopology::kFlat;
+  leaf.fan_in = 0;
+  leaf.levels = 1;
+
+  std::size_t side = 0;
+  scratch.cascade_runs_[side].assign(runs.begin(), runs.end());
+  for (unsigned level = 1; level <= levels; ++level) {
+    std::vector<std::span<const T>>& cur = scratch.cascade_runs_[side];
+    std::vector<std::span<const T>>& nxt = scratch.cascade_runs_[1 - side];
+    // Parity chosen so level == levels writes `out`; intermediate levels
+    // alternate with the scratch buffer (reads and writes never alias).
+    T* dst = ((levels - level) % 2 == 0) ? out.data()
+                                         : scratch.cascade_buf_.data();
+    nxt.clear();
+    std::uint64_t off = 0;
+    for (std::size_t g = 0; g < cur.size(); g += f) {
+      const std::size_t e = std::min(cur.size(), g + f);
+      std::uint64_t gsize = 0;
+      for (std::size_t r = g; r < e; ++r) gsize += cur[r].size();
+      const std::span<const std::span<const T>> group =
+          std::span<const std::span<const T>>(cur).subspan(g, e - g);
+      // The leaf plan is flat, so this cannot recurse back here; the flat
+      // path never touches the cascade_* scratch members it is iterating.
+      multiway_merge_parallel<T, Compare>(pool, group,
+                                          std::span<T>(dst + off, gsize),
+                                          comp, parts, &scratch, &leaf);
+      nxt.push_back(std::span<const T>(dst + off, gsize));
+      off += gsize;
+    }
+    HS_ASSERT(off == total);
+    side = 1 - side;
+  }
+  HS_ASSERT(scratch.cascade_runs_[side].size() == 1);
 }
 
 }  // namespace hs::cpu

@@ -49,6 +49,49 @@ double CpuMergeModel::flow_rate(std::uint64_t n, double ways,
   return traffic_bytes_per_elem * static_cast<double>(n) / t;
 }
 
+double MergeEngineModel::level_ns(std::uint64_t ways,
+                                  std::size_t width_bytes) const {
+  const double base =
+      level_base_ns + level_byte_ns * static_cast<double>(width_bytes);
+  const double streams = 2.0 * static_cast<double>(ways);
+  const double over = std::max(0.0, streams - stream_budget);
+  return base * (1.0 + thrash_slope * over);
+}
+
+double MergeEngineModel::flat_ns_per_elem(std::uint64_t ways,
+                                          std::size_t elem_bytes,
+                                          std::size_t key_bytes,
+                                          bool deferred) const {
+  HS_EXPECTS(ways >= 1);
+  const double levels = std::max(1.0, hs::log2d(static_cast<double>(ways)));
+  const std::size_t width = deferred ? key_bytes : elem_bytes;
+  double ns = levels * level_ns(ways, width);
+  if (deferred) {
+    // The gather pass pays for the payload move; the tree itself never
+    // touches record bytes.
+    ns += deferred_elem_ns + gather_byte_ns * static_cast<double>(elem_bytes);
+  } else {
+    ns += move_byte_ns * static_cast<double>(elem_bytes);
+  }
+  return ns;
+}
+
+double MergeEngineModel::cascaded_ns_per_elem(std::uint64_t ways,
+                                              unsigned fan_in,
+                                              std::size_t elem_bytes,
+                                              std::size_t key_bytes,
+                                              bool deferred,
+                                              unsigned* levels_out) const {
+  HS_EXPECTS(fan_in >= 2);
+  unsigned levels = 0;
+  for (std::uint64_t x = ways; x > 1; x = (x + fan_in - 1) / fan_in) ++levels;
+  levels = std::max(1u, levels);
+  if (levels_out) *levels_out = levels;
+  // Every level is a flat fan_in-way merge pass over the full dataset.
+  return static_cast<double>(levels) *
+         flat_ns_per_elem(fan_in, elem_bytes, key_bytes, deferred);
+}
+
 double HostMemcpyModel::rate(unsigned threads) const {
   HS_EXPECTS(threads >= 1);
   return std::min(per_thread_bps * threads, max_bps);

@@ -51,6 +51,38 @@ struct CpuMergeModel {
   double flow_rate(std::uint64_t n, double ways, unsigned threads) const;
 };
 
+/// Host merge-engine planning model: per-element nanosecond cost of one flat
+/// k-way tournament drain versus a cascaded tree of fan-in-f merges, as a
+/// function of element and comparison-key widths. Calibrated against
+/// BENCH_hostpath.json (per-level replay cost from the u64/f64/kv64 series;
+/// the stream budget from flat throughput holding to k = 64). Only the
+/// *ordering* of strategies matters to the planner; absolute times are
+/// secondary.
+struct MergeEngineModel {
+  double level_base_ns = 1.0;     // branchless replay: compare + mask select
+  double level_byte_ns = 0.55;    // per cached-key byte moved per level
+  double move_byte_ns = 0.12;     // streaming read+write per byte per pass
+  double gather_byte_ns = 0.30;   // permutation gather, per record byte
+  double deferred_elem_ns = 1.1;  // perm entry emission + decode
+  double stream_budget = 128.0;   // live read streams (2 per run: dual-stream
+                                  // drain) the L2 + prefetchers absorb
+  double thrash_slope = 0.002;    // per-stream replay growth past the budget
+
+  /// Cost of one tournament level at `ways` live runs with `width`-byte
+  /// cached keys, including the cache-thrash penalty once the dual-stream
+  /// drain's 2*ways read streams exceed the budget.
+  double level_ns(std::uint64_t ways, std::size_t width_bytes) const;
+  /// Per-element cost of one flat ways-way merge pass.
+  double flat_ns_per_elem(std::uint64_t ways, std::size_t elem_bytes,
+                          std::size_t key_bytes, bool deferred) const;
+  /// Per-element cost of a cascaded tree of fan_in-way merges; also reports
+  /// the level count through `levels_out` when non-null.
+  double cascaded_ns_per_elem(std::uint64_t ways, unsigned fan_in,
+                              std::size_t elem_bytes, std::size_t key_bytes,
+                              bool deferred,
+                              unsigned* levels_out = nullptr) const;
+};
+
 struct HostMemcpyModel {
   double per_thread_bps = 8.0e9;  // std::memcpy, one core
   double max_bps = 25.0e9;        // saturation with many cores

@@ -19,6 +19,12 @@ std::string_view counter_name(Counter c) {
     case Counter::kRadixPassesSkipped: return "radix_passes_skipped";
     case Counter::kMergeElements: return "merge_elements";
     case Counter::kMergeRuns: return "merge_runs";
+    case Counter::kMergeParts: return "merge_parts";
+    case Counter::kMergeDeferredElements: return "merge_deferred_elements";
+    case Counter::kMergeCascadeLevels: return "merge_cascade_levels";
+    case Counter::kMergePlanFlat: return "merge_plan_flat";
+    case Counter::kMergePlanCascaded: return "merge_plan_cascaded";
+    case Counter::kMergePlanDeferred: return "merge_plan_deferred";
     case Counter::kPoolTasks: return "pool_tasks";
     case Counter::kBytesPinnedAlloc: return "bytes_pinned_alloc";
     case Counter::kBytesDeviceAlloc: return "bytes_device_alloc";

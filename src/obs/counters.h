@@ -35,6 +35,13 @@ enum class Counter : std::uint8_t {
   kRadixPassesSkipped,   // trivial passes elided by the engine
   kMergeElements,        // elements drained through multiway_merge_parallel
   kMergeRuns,            // input runs across those merges
+  kMergeParts,           // exact-selection partitions merged in parallel
+  kMergeDeferredElements,  // elements routed through payload-deferred lanes
+  kMergeCascadeLevels,   // merge passes executed by cascaded topologies
+  // Merge planner decisions (one bump per planned multiway merge).
+  kMergePlanFlat,
+  kMergePlanCascaded,
+  kMergePlanDeferred,
   kPoolTasks,            // raw tasks dispatched by ThreadPool::submit_raw
   // Allocations (vgpu).
   kBytesPinnedAlloc,
@@ -56,7 +63,7 @@ enum class Counter : std::uint8_t {
   kChunksResorted,     // input chunks re-sorted to replace bad runs
 };
 
-inline constexpr std::size_t kNumCounters = 25;
+inline constexpr std::size_t kNumCounters = 31;
 
 std::string_view counter_name(Counter c);
 

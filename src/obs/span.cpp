@@ -16,29 +16,44 @@ std::uint64_t steady_ns() {
           .count());
 }
 
-// Per-thread nesting state. Bound to one recorder at a time: if a different
-// recorder is installed the stale stack is abandoned (open spans across an
-// install/uninstall are a documented caller error).
+// Per-thread nesting state. Bound to one recorder *epoch* at a time: if a
+// different recorder is installed the stale stack is abandoned (open spans
+// across an install/uninstall are a documented caller error). Epochs, not
+// addresses — see SpanRecorder::epoch_.
 struct ThreadState {
-  const SpanRecorder* owner = nullptr;
+  std::uint64_t owner_epoch = 0;  // 0 = unbound (epochs start at 1)
   std::vector<std::uint32_t> open;
   std::uint32_t track = 0;
   bool track_assigned = false;
 };
 
-ThreadState& thread_state(const SpanRecorder* rec) {
-  thread_local ThreadState state;
-  if (state.owner != rec) {
-    state.owner = rec;
-    state.open.clear();
-    state.track_assigned = false;
+std::atomic<std::uint64_t> g_next_epoch{1};
+
+}  // namespace
+
+struct ThreadStateAccess {
+  static ThreadState& get(const SpanRecorder* rec) {
+    thread_local ThreadState state;
+    if (state.owner_epoch != rec->epoch_) {
+      state.owner_epoch = rec->epoch_;
+      state.open.clear();
+      state.track_assigned = false;
+    }
+    return state;
   }
-  return state;
+};
+
+namespace {
+
+ThreadState& thread_state(const SpanRecorder* rec) {
+  return ThreadStateAccess::get(rec);
 }
 
 }  // namespace
 
-SpanRecorder::SpanRecorder() : origin_ns_(steady_ns()) {}
+SpanRecorder::SpanRecorder()
+    : origin_ns_(steady_ns()),
+      epoch_(g_next_epoch.fetch_add(1, std::memory_order_relaxed)) {}
 
 double SpanRecorder::now() const {
   return static_cast<double>(steady_ns() - origin_ns_) * 1e-9;

@@ -70,10 +70,18 @@ class SpanRecorder {
   void clear();
 
  private:
+  friend struct ThreadStateAccess;
+
   mutable std::mutex mu_;
   std::vector<Span> spans_;
   std::uint64_t origin_ns_ = 0;
   std::uint32_t next_track_ = 0;
+  // Process-unique recorder identity. Thread-local nesting state is keyed on
+  // this, not the recorder's address: stack-allocated recorders (tests,
+  // scoped tooling) routinely reuse an address, and keying on the pointer
+  // would let a stale thread state — with its old track assignment — leak
+  // into the new recorder.
+  std::uint64_t epoch_ = 0;
 };
 
 /// Currently installed process-wide recorder, or nullptr (the default).

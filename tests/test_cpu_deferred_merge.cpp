@@ -1,0 +1,345 @@
+// Tests for the payload-deferred merge path and the exact multisequence
+// splitter behind it: deferred-vs-oracle sweeps, all-equal-key stability,
+// permutation bijection fuzzing over ragged run sets, torn partition
+// boundaries (duplicates straddling part cuts), cascaded topology
+// correctness, planner decision pins, and the kv64 steady-state
+// zero-allocation guarantee.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+#include "common/key_value.h"
+#include "common/rng.h"
+#include "core/merge_schedule.h"
+#include "cpu/loser_tree.h"
+#include "cpu/merge_path.h"
+#include "cpu/merge_plan.h"
+#include "cpu/multiway_merge.h"
+#include "data/generators.h"
+
+// Global allocation counter: every replaceable operator new in this binary
+// bumps it, including calls from pool worker threads, which is what lets
+// Kv64SteadyStateZeroAllocations observe the deferred engine's footprint.
+std::atomic<std::uint64_t> g_alloc_count{0};
+
+// GCC's -Wmismatched-new-delete false-positives when it inlines a replaced
+// operator new (it sees malloc feed free through the replacement pair).
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+void* operator new(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc{};
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+// The nothrow variants must be replaced too: mixing a default nothrow-new
+// with the malloc-backed delete below trips ASan's alloc-dealloc-mismatch.
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size ? size : 1);
+}
+void* operator new[](std::size_t size, const std::nothrow_t& tag) noexcept {
+  return ::operator new(size, tag);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { ::operator delete(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  ::operator delete(p);
+}
+void operator delete[](void* p) noexcept { ::operator delete(p); }
+void operator delete[](void* p, std::size_t) noexcept { ::operator delete(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  ::operator delete(p);
+}
+#pragma GCC diagnostic pop
+
+namespace hs::cpu {
+namespace {
+
+// Builds kv64 runs with keys drawn from [0, key_range) and the payload
+// encoding (run, position) so stability violations are observable: the
+// stable merge of runs r0..r{k-1} must order equal keys by (run, pos).
+std::vector<std::vector<KeyValue64>> make_kv_runs(
+    std::span<const std::uint64_t> lens, std::uint64_t key_range,
+    std::uint64_t seed) {
+  std::vector<std::vector<KeyValue64>> runs(lens.size());
+  hs::Xoshiro256 rng(seed);
+  for (std::size_t r = 0; r < lens.size(); ++r) {
+    runs[r].resize(lens[r]);
+    for (std::uint64_t i = 0; i < lens[r]; ++i) {
+      runs[r][i].key = rng.bounded(key_range);
+    }
+    std::sort(runs[r].begin(), runs[r].end());
+    for (std::uint64_t i = 0; i < lens[r]; ++i) {
+      runs[r][i].value = (static_cast<std::uint64_t>(r) << 32) | i;
+    }
+  }
+  return runs;
+}
+
+template <typename T>
+std::vector<std::span<const T>> as_spans(
+    const std::vector<std::vector<T>>& runs) {
+  std::vector<std::span<const T>> s;
+  s.reserve(runs.size());
+  for (const auto& r : runs) s.emplace_back(r);
+  return s;
+}
+
+// The stable oracle: concatenate runs in run order, stable_sort by key.
+// Equal keys keep (run, pos) order — exactly the tie rule the tree's
+// lower-index-wins and in-run FIFO order promise.
+std::vector<KeyValue64> stable_oracle(
+    const std::vector<std::vector<KeyValue64>>& runs) {
+  std::vector<KeyValue64> all;
+  for (const auto& r : runs) all.insert(all.end(), r.begin(), r.end());
+  std::stable_sort(all.begin(), all.end());
+  return all;
+}
+
+std::uint64_t total_of(const std::vector<std::vector<KeyValue64>>& runs) {
+  std::uint64_t t = 0;
+  for (const auto& r : runs) t += r.size();
+  return t;
+}
+
+TEST(DeferredMerge, MatchesStableOracleSweep) {
+  DeferredLoserTree<KeyValue64> tree;
+  std::vector<std::uint64_t> perm;
+  std::uint64_t seed = 100;
+  for (const std::size_t k : {3u, 4u, 5u, 8u, 16u, 33u}) {
+    std::vector<std::uint64_t> lens(k);
+    hs::Xoshiro256 rng(seed);
+    for (auto& l : lens) l = 200 + rng.bounded(800);
+    const auto runs = make_kv_runs(lens, 500, seed++);
+    const auto spans = as_spans(runs);
+    std::vector<KeyValue64> out(total_of(runs));
+    multiway_merge_deferred<KeyValue64>(spans, std::span<KeyValue64>(out),
+                                        tree, perm);
+    EXPECT_EQ(out, stable_oracle(runs)) << "k=" << k;
+  }
+}
+
+TEST(DeferredMerge, AllEqualKeysStable) {
+  // Every key identical: the merged payload sequence must be exactly
+  // run-major (run 0's elements in order, then run 1's, ...), the hardest
+  // tie-breaking case for the gallop and dual-stream paths.
+  const std::vector<std::uint64_t> lens{700, 1, 0, 399, 256, 64};
+  const auto runs = make_kv_runs(lens, 1, 7);
+  const auto spans = as_spans(runs);
+  std::vector<KeyValue64> out(total_of(runs));
+  DeferredLoserTree<KeyValue64> tree;
+  std::vector<std::uint64_t> perm;
+  multiway_merge_deferred<KeyValue64>(spans, std::span<KeyValue64>(out), tree,
+                                      perm);
+  EXPECT_EQ(out, stable_oracle(runs));
+  std::size_t i = 0;
+  for (std::size_t r = 0; r < lens.size(); ++r) {
+    for (std::uint64_t p = 0; p < lens[r]; ++p, ++i) {
+      ASSERT_EQ(out[i].value, (static_cast<std::uint64_t>(r) << 32) | p);
+    }
+  }
+}
+
+TEST(DeferredMerge, PermutationBijectionFuzz) {
+  // The drained permutation stream must be a bijection onto the (run, pos)
+  // domain: sorted, it equals the full enumeration of packed entries.
+  DeferredLoserTree<KeyValue64> tree;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    hs::Xoshiro256 rng(seed * 31);
+    const std::size_t k = 3 + rng.bounded(14);
+    std::vector<std::uint64_t> lens(k);
+    for (auto& l : lens) {
+      l = (rng.bounded(4) == 0) ? 0 : rng.bounded(600);  // empties included
+    }
+    const auto runs = make_kv_runs(lens, 40, seed);
+    const auto spans = as_spans(runs);
+    const std::span<const std::span<const KeyValue64>> rspan(spans);
+    tree.reset(rspan);
+    std::vector<std::uint64_t> perm(tree.remaining());
+    tree.drain(std::span<std::uint64_t>(perm));
+
+    std::vector<std::uint64_t> expect;
+    expect.reserve(perm.size());
+    for (std::size_t r = 0; r < k; ++r) {
+      for (std::uint64_t p = 0; p < lens[r]; ++p) {
+        expect.push_back(perm_entry(r, p));
+      }
+    }
+    std::sort(perm.begin(), perm.end());
+    ASSERT_EQ(perm, expect) << "seed=" << seed;
+  }
+}
+
+TEST(KwaySelect, ExactRanksAndNesting) {
+  // For every rank m: cuts sum to m, the selected prefixes are exactly the
+  // stable merge's first m elements, and cut rows nest as m grows.
+  const std::vector<std::uint64_t> lens{500, 0, 321, 777, 123};
+  const auto runs = make_kv_runs(lens, 60, 42);  // heavy duplicates
+  const auto spans = as_spans(runs);
+  const std::span<const std::span<const KeyValue64>> rspan(spans);
+  const auto oracle = stable_oracle(runs);
+  const std::uint64_t total = oracle.size();
+  const std::size_t k = runs.size();
+
+  std::vector<std::uint64_t> cuts(k), prev(k, 0), lo(k), hi(k);
+  for (const std::uint64_t m :
+       {std::uint64_t{0}, std::uint64_t{1}, total / 7, total / 3, total / 2,
+        total - 1, total}) {
+    kway_select<KeyValue64>(rspan, m, cuts, lo, hi);
+    std::uint64_t sum = 0;
+    for (std::size_t r = 0; r < k; ++r) sum += cuts[r];
+    ASSERT_EQ(sum, m);
+    // The prefixes must reproduce the oracle's first m records exactly —
+    // the splitter's tie rule (ascending run order) is the stable rule.
+    std::vector<KeyValue64> prefix;
+    for (std::size_t r = 0; r < k; ++r) {
+      prefix.insert(prefix.end(), runs[r].begin(),
+                    runs[r].begin() + static_cast<std::ptrdiff_t>(cuts[r]));
+    }
+    std::stable_sort(prefix.begin(), prefix.end());
+    ASSERT_TRUE(std::equal(prefix.begin(), prefix.end(), oracle.begin()))
+        << "m=" << m;
+    // Nesting: increasing m never moves a cut backwards (torn duplicate
+    // blocks split consistently across part boundaries).
+    for (std::size_t r = 0; r < k; ++r) {
+      ASSERT_GE(cuts[r], prev[r]) << "m=" << m << " r=" << r;
+    }
+    prev = cuts;
+  }
+  EXPECT_EQ(prev, lens);  // m == total selects everything
+}
+
+TEST(KwaySelect, AllEqualKeysSplitInRunOrder) {
+  // All keys equal: rank m must take runs whole in ascending order (the
+  // stable tie rule), not split arbitrarily.
+  const std::vector<std::uint64_t> lens{100, 50, 200};
+  const auto runs = make_kv_runs(lens, 1, 3);
+  const auto spans = as_spans(runs);
+  const std::span<const std::span<const KeyValue64>> rspan(spans);
+  std::vector<std::uint64_t> cuts(3), lo(3), hi(3);
+  kway_select<KeyValue64>(rspan, 120, cuts, lo, hi);
+  EXPECT_EQ(cuts, (std::vector<std::uint64_t>{100, 20, 0}));
+  kway_select<KeyValue64>(rspan, 160, cuts, lo, hi);
+  EXPECT_EQ(cuts, (std::vector<std::uint64_t>{100, 50, 10}));
+}
+
+TEST(MultiwayParallel, TornBoundariesStayStable) {
+  // Keys in large duplicate blocks so every part boundary lands inside a
+  // block; the parallel deferred merge must still equal the stable oracle
+  // payload-for-payload at every pool width.
+  const std::vector<std::uint64_t> lens{4096, 4096, 4096, 4096, 4096};
+  const auto runs = make_kv_runs(lens, 16, 99);
+  const auto spans = as_spans(runs);
+  const auto oracle = stable_oracle(runs);
+  std::vector<KeyValue64> out(oracle.size());
+  for (const unsigned p : {2u, 3u, 4u, 8u}) {
+    ThreadPool pool(p);
+    MultiwayMergeScratch<KeyValue64> scratch;
+    multiway_merge_parallel<KeyValue64>(
+        pool, std::span<const std::span<const KeyValue64>>(spans),
+        std::span<KeyValue64>(out), {}, p, &scratch);
+    ASSERT_EQ(out, oracle) << "p=" << p;
+  }
+}
+
+TEST(MultiwayParallel, Kv64SteadyStateZeroAllocations) {
+  // The deferred path (key tree + permutation buffer + gather) must reuse
+  // every buffer after warm-up: merging again allocates nothing, on any
+  // lane thread.
+  ThreadPool pool(4);
+  const std::vector<std::uint64_t> lens{4096, 4096, 4096, 4096,
+                                        4096, 4096, 4096, 4096};
+  const auto runs = make_kv_runs(lens, 1 << 20, 5);
+  std::vector<KeyValue64> out(total_of(runs));
+  MultiwayMergeScratch<KeyValue64> scratch;
+  auto spans = as_spans(runs);
+  multiway_merge_parallel<KeyValue64>(pool, std::move(spans),
+                                      std::span<KeyValue64>(out), {}, 4,
+                                      &scratch);
+  auto spans2 = as_spans(runs);
+  const std::uint64_t before = g_alloc_count.load();
+  multiway_merge_parallel<KeyValue64>(pool, std::move(spans2),
+                                      std::span<KeyValue64>(out), {}, 4,
+                                      &scratch);
+  const std::uint64_t after = g_alloc_count.load();
+  EXPECT_EQ(after - before, 0u);
+  EXPECT_EQ(out, stable_oracle(runs));
+}
+
+TEST(CascadedMerge, MatchesOracleAcrossFanIns) {
+  // Cascaded topology at fan-in 2 and 4 over ragged kv64 runs must agree
+  // with the stable oracle; the last level must land in `out` (parity).
+  const std::vector<std::uint64_t> lens{900, 0,   511, 1024, 77,
+                                        640, 333, 1,   258,  412};
+  const auto runs = make_kv_runs(lens, 300, 21);
+  const auto spans = as_spans(runs);
+  const auto oracle = stable_oracle(runs);
+  std::vector<KeyValue64> out(oracle.size());
+  ThreadPool pool(4);
+  for (const unsigned fan : {2u, 4u}) {
+    MultiwayMergeScratch<KeyValue64> scratch;
+    MergePlan plan;
+    plan.topology = MergeTopology::kCascaded;
+    plan.fan_in = fan;
+    plan.deferred_payload = true;
+    multiway_merge_parallel<KeyValue64>(
+        pool, std::span<const std::span<const KeyValue64>>(spans),
+        std::span<KeyValue64>(out), {}, 0, &scratch, &plan);
+    ASSERT_EQ(out, oracle) << "fan=" << fan;
+  }
+}
+
+TEST(CascadedMerge, DirectPayloadF64) {
+  // The cascade must also compose with the direct (non-deferred) path.
+  std::vector<std::vector<double>> runs(9);
+  std::uint64_t total = 0;
+  for (std::size_t r = 0; r < runs.size(); ++r) {
+    runs[r] = hs::data::generate(hs::data::Distribution::kUniform,
+                                 300 + 41 * r, r + 1);
+    std::sort(runs[r].begin(), runs[r].end());
+    total += runs[r].size();
+  }
+  std::vector<double> all;
+  for (const auto& r : runs) all.insert(all.end(), r.begin(), r.end());
+  std::sort(all.begin(), all.end());
+  const auto spans = as_spans(runs);
+  std::vector<double> out(total);
+  ThreadPool pool(2);
+  MergePlan plan;
+  plan.topology = MergeTopology::kCascaded;
+  plan.fan_in = 4;
+  multiway_merge_parallel<double, std::less<double>>(
+      pool, std::span<const std::span<const double>>(spans),
+      std::span<double>(out), {}, 0, nullptr, &plan);
+  EXPECT_EQ(out, all);
+}
+
+TEST(MergePlanner, DecisionPins) {
+  // Pin the planner's choices for the shapes the pipeline actually hits, so
+  // a cost-model recalibration that flips a decision fails loudly here and
+  // in the bench JSON diff rather than silently changing the hot path.
+  using hs::core::plan_multiway_merge;
+  const auto kv8 = plan_multiway_merge(
+      {8, 1 << 22, sizeof(KeyValue64), sizeof(std::uint64_t), 4});
+  EXPECT_EQ(kv8.topology, MergeTopology::kFlat);
+  EXPECT_TRUE(kv8.deferred_payload);
+
+  const auto f64 = plan_multiway_merge(
+      {8, 1 << 22, sizeof(double), sizeof(double), 4});
+  EXPECT_EQ(f64.topology, MergeTopology::kFlat);
+  EXPECT_FALSE(f64.deferred_payload);  // key == element: nothing to defer
+
+  const auto wide = plan_multiway_merge(
+      {256, 1 << 24, sizeof(KeyValue64), sizeof(std::uint64_t), 4});
+  EXPECT_EQ(wide.topology, MergeTopology::kCascaded);
+  EXPECT_GE(wide.fan_in, 2u);
+  EXPECT_GT(wide.levels, 1u);
+}
+
+}  // namespace
+}  // namespace hs::cpu

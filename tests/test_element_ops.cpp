@@ -107,7 +107,8 @@ TEST(ElementOps, MultiwayHookMergesRuns) {
       {reinterpret_cast<const std::byte*>(c.data()), 2},
   };
   ThreadPool pool(2);
-  ops.multiway(runs, reinterpret_cast<std::byte*>(out.data()), pool, 2);
+  ops.multiway(runs, reinterpret_cast<std::byte*>(out.data()), pool, 2,
+               nullptr);
   EXPECT_TRUE(std::is_sorted(out.begin(), out.end()));
   EXPECT_EQ(out.front().key, 1u);
   EXPECT_EQ(out.back().key, 6u);

@@ -160,6 +160,53 @@ TEST(HostPathCounters, MergeCountersMatchDrainedVolume) {
   EXPECT_TRUE(std::is_sorted(out.begin(), out.end()));
 }
 
+// The multiway action records which strategy the planner picked; a
+// kBLineMulti real run must count exactly one plan (flat for a 3-way f64
+// merge, never deferred: key == element width).
+TEST(HostPathCounters, RealRunCountsMergePlanChoice) {
+  SortConfig cfg = small_config();
+  cfg.approach = Approach::kBLineMulti;
+  cfg.num_gpus = 1;
+  HeterogeneousSorter sorter(test_platform(1), cfg);
+  auto data = hs::data::generate(Distribution::kUniform, 12000, 9);
+  const Report r = sorter.sort(data);
+  EXPECT_GE(r.multiway_ways, 3u);
+  EXPECT_EQ(r.counters.value(Counter::kMergePlanFlat), 1u);
+  EXPECT_EQ(r.counters.value(Counter::kMergePlanCascaded), 0u);
+  EXPECT_EQ(r.counters.value(Counter::kMergePlanDeferred), 0u);
+  EXPECT_EQ(r.merge_topology, "flat");
+  EXPECT_FALSE(r.merge_deferred);
+  EXPECT_TRUE(std::is_sorted(data.begin(), data.end()));
+}
+
+// The deferred engine reports its key-only volume: a kv64 parallel merge
+// defers every element exactly once.
+TEST(HostPathCounters, DeferredMergeCountsDeferredElements) {
+  cpu::ThreadPool pool(4);
+  std::vector<std::vector<hs::KeyValue64>> runs_store(4);
+  std::vector<std::span<const hs::KeyValue64>> runs;
+  std::uint64_t total = 0;
+  for (std::size_t r = 0; r < runs_store.size(); ++r) {
+    const auto keys = hs::data::generate_keys(Distribution::kUniform, 4000,
+                                              30 + r);
+    runs_store[r].resize(keys.size());
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      runs_store[r][i] = {keys[i], i};
+    }
+    std::sort(runs_store[r].begin(), runs_store[r].end());
+    total += keys.size();
+  }
+  for (const auto& r : runs_store) runs.emplace_back(r);
+  std::vector<hs::KeyValue64> out(total);
+
+  const CounterSnapshot before = counters().snapshot();
+  cpu::multiway_merge_parallel(pool, runs, std::span<hs::KeyValue64>(out));
+  const CounterSnapshot d = delta_of(before);
+  EXPECT_EQ(d.value(Counter::kMergeElements), total);
+  EXPECT_EQ(d.value(Counter::kMergeDeferredElements), total);
+  EXPECT_TRUE(std::is_sorted(out.begin(), out.end()));
+}
+
 TEST(HostPathCounters, ParallelMemcpyCountsItsPayload) {
   cpu::ThreadPool pool(4);
   const std::size_t bytes = 1 << 20;

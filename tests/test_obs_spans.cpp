@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "core/het_sorter.h"
+#include "cpu/multiway_merge.h"
 #include "cpu/parallel_for.h"
 #include "cpu/thread_pool.h"
 #include "model/platforms.h"
@@ -347,6 +348,73 @@ TEST(SpanRecorder, PoolTasksRecordWallSpans) {
     if (s.category == "Pool") ++tasks;
   }
   EXPECT_GT(tasks, 0u);
+}
+
+// A real kBLineMulti run executes the planned multiway merge on the host, so
+// the recorder must hold the MergePlan wall span (the planner's choice made
+// observable) above the engine's own multiway span. Golden pin: renaming or
+// dropping either breaks report itemisation and trace tooling.
+TEST(SpanRecorder, MultiwayRunSurfacesMergePlanSpan) {
+  SpanRecorder rec;
+  {
+    const RecorderGuard guard(rec);
+    core::SortConfig cfg;
+    cfg.approach = core::Approach::kBLineMulti;
+    cfg.batch_size = 8000;
+    cfg.staging_elems = 1000;
+    cfg.num_gpus = 1;
+    core::HeterogeneousSorter sorter(test_platform(), cfg);
+    // 3 batches -> a final 3-way host merge behind a MergePlan span.
+    std::vector<double> data(24000);
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      data[i] = static_cast<double>((i * 2654435761u) % 100000);
+    }
+    const core::Report r = sorter.sort(data);
+    ASSERT_GE(r.multiway_ways, 3u);
+    EXPECT_TRUE(std::is_sorted(data.begin(), data.end()));
+  }
+  bool saw_plan = false, saw_engine = false;
+  for (const Span& s : rec.snapshot()) {
+    if (s.name == "MergePlan" && s.category == "Merge" &&
+        s.clock == Clock::kWall) {
+      saw_plan = true;
+    }
+    if (s.name == "multiway_merge_parallel" && s.category == "Merge") {
+      saw_engine = true;
+    }
+  }
+  EXPECT_TRUE(saw_plan);
+  EXPECT_TRUE(saw_engine);
+}
+
+// Partitioned merges attribute wall time per part: with a forced 4-lane pool
+// each part's drain runs under its own merge_part span.
+TEST(SpanRecorder, PartitionedMergeRecordsPerPartSpans) {
+  SpanRecorder rec;
+  std::vector<double> out(4 * 5000);
+  {
+    const RecorderGuard guard(rec);
+    // The pool lives inside the recorder's scope: its destructor joins the
+    // workers, so no lane can still be closing a span when `rec` dies.
+    cpu::ThreadPool pool(4);
+    std::vector<std::vector<double>> runs(4);
+    for (std::size_t r = 0; r < runs.size(); ++r) {
+      runs[r].resize(5000);
+      for (std::size_t i = 0; i < runs[r].size(); ++i) {
+        runs[r][i] = static_cast<double>(i * 4 + r);
+      }
+    }
+    std::vector<std::span<const double>> spans(runs.begin(), runs.end());
+    cpu::multiway_merge_parallel<double>(pool, std::move(spans),
+                                         std::span<double>(out),
+                                         std::less<double>{}, 4);
+  }
+  std::size_t parts = 0;
+  for (const Span& s : rec.snapshot()) {
+    if (s.name == "merge_part" && s.category == "Merge") ++parts;
+  }
+  EXPECT_GE(parts, 2u);
+  EXPECT_TRUE(std::is_sorted(out.begin(), out.end()));
 }
 
 // --- unified Chrome export ---------------------------------------------------

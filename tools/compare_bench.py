@@ -1,12 +1,15 @@
 #!/usr/bin/env python3
-"""Compare a fresh bench_sortpath run against the committed baseline.
+"""Compare a fresh bench run against the committed baseline.
 
 Usage: compare_bench.py CANDIDATE.json BASELINE.json [--noise FACTOR]
+
+Dispatches on the "bench" field of the candidate ("sortpath" or "hostpath").
 
 CI machines and the baseline machine differ, and a smoke run uses a smaller
 input, so absolute rates (M elems/s, GB/s) are not comparable. The guard
 therefore checks only fields that survive a machine change:
 
+sortpath:
   * the set of (type, dist) radix series must match the baseline;
   * executed_passes must match exactly — trivial-pass skipping is a
     deterministic property of the input distribution, not of the machine;
@@ -17,6 +20,18 @@ therefore checks only fields that survive a machine change:
     cost into the hot loops;
   * every reported rate must be finite and positive (a sanity floor).
 
+hostpath:
+  * the set of (type, k) merge series must match the baseline;
+  * the planner strategy per series must match exactly — the merge plan is
+    a deterministic function of (type, k, n, threads), so a flip is a real
+    behaviour change, not noise;
+  * the block-vs-pop speedup (same-process, same-machine ratio) must stay
+    within the noise factor of the baseline's;
+  * the set of (type, k, threads) parallel_scaling points must match, their
+    partition imbalance must stay near 1 (exact multisequence selection),
+    and the calibrated model_speedup must match the baseline exactly;
+  * every reported rate must be finite and positive.
+
 Exit status 0 on pass, 1 on any violation (all violations are listed).
 """
 
@@ -25,27 +40,24 @@ import json
 import math
 import sys
 
+# Exact selection cuts parts at global ranks total*j/p; any drift past
+# rounding means the splitter regressed to sampling.
+IMBALANCE_CEILING = 1.10
+
 
 def load(path):
     with open(path) as f:
         return json.load(f)
 
 
-def main():
-    ap = argparse.ArgumentParser(description=__doc__)
-    ap.add_argument("candidate")
-    ap.add_argument("baseline")
-    ap.add_argument(
-        "--noise",
-        type=float,
-        default=3.0,
-        help="allowed speedup ratio band: candidate >= baseline / NOISE "
-        "(default %(default)s)",
-    )
-    args = ap.parse_args()
+def check_rates(errors, name, series, fields):
+    for field in fields:
+        v = series[field]
+        if not (math.isfinite(v) and v > 0):
+            errors.append(f"{name}: rate '{field}' = {v} is not positive")
 
-    cand = load(args.candidate)
-    base = load(args.baseline)
+
+def compare_sortpath(cand, base, noise):
     errors = []
 
     def series_key(s):
@@ -68,25 +80,111 @@ def main():
                 f"{name}: executed_passes {c['executed_passes']} != "
                 f"baseline {b['executed_passes']}"
             )
-        floor = b["speedup"] / args.noise
+        floor = b["speedup"] / noise
         if not (math.isfinite(c["speedup"]) and c["speedup"] >= floor):
             errors.append(
                 f"{name}: speedup {c['speedup']:.2f} below noise floor "
-                f"{floor:.2f} (baseline {b['speedup']:.2f} / {args.noise})"
+                f"{floor:.2f} (baseline {b['speedup']:.2f} / {noise})"
             )
-        for field in ("seed", "engine", "parallel"):
-            v = c[field]
-            if not (math.isfinite(v) and v > 0):
-                errors.append(f"{name}: rate '{field}' = {v} is not positive")
+        check_rates(errors, name, c, ("seed", "engine", "parallel"))
 
     for s in cand.get("memcpy", []):
-        for field in ("memcpy", "stream", "parallel"):
-            v = s[field]
-            if not (math.isfinite(v) and v > 0):
-                errors.append(
-                    f"memcpy {s['bytes']} B: rate '{field}' = {v} "
-                    "is not positive"
-                )
+        check_rates(
+            errors, f"memcpy {s['bytes']} B", s, ("memcpy", "stream", "parallel")
+        )
+
+    return errors, f"{len(cand_radix)} radix series"
+
+
+def compare_hostpath(cand, base, noise):
+    errors = []
+
+    cand_series = {(s["type"], s["k"]): s for s in cand.get("series", [])}
+    base_series = {(s["type"], s["k"]): s for s in base.get("series", [])}
+
+    if set(cand_series) != set(base_series):
+        errors.append(
+            f"merge series mismatch: candidate {sorted(cand_series)} vs "
+            f"baseline {sorted(base_series)}"
+        )
+
+    for key in sorted(set(cand_series) & set(base_series)):
+        c, b = cand_series[key], base_series[key]
+        name = f"{key[0]}/k={key[1]}"
+        if c.get("strategy") != b.get("strategy"):
+            errors.append(
+                f"{name}: strategy '{c.get('strategy')}' != "
+                f"baseline '{b.get('strategy')}'"
+            )
+        floor = b["speedup"] / noise
+        if not (math.isfinite(c["speedup"]) and c["speedup"] >= floor):
+            errors.append(
+                f"{name}: speedup {c['speedup']:.2f} below noise floor "
+                f"{floor:.2f} (baseline {b['speedup']:.2f} / {noise})"
+            )
+        check_rates(errors, name, c, ("pop_drain", "block_drain", "parallel"))
+
+    def scale_key(s):
+        return (s["type"], s["k"], s["threads"])
+
+    cand_scale = {scale_key(s): s for s in cand.get("parallel_scaling", [])}
+    base_scale = {scale_key(s): s for s in base.get("parallel_scaling", [])}
+
+    if set(cand_scale) != set(base_scale):
+        errors.append(
+            f"parallel_scaling points mismatch: candidate "
+            f"{sorted(cand_scale)} vs baseline {sorted(base_scale)}"
+        )
+
+    for key in sorted(set(cand_scale) & set(base_scale)):
+        c, b = cand_scale[key], base_scale[key]
+        name = f"scaling {key[0]}/k={key[1]}/p={key[2]}"
+        if c["imbalance"] > IMBALANCE_CEILING:
+            errors.append(
+                f"{name}: partition imbalance {c['imbalance']:.4f} exceeds "
+                f"{IMBALANCE_CEILING} — exact selection regressed"
+            )
+        if abs(c["model_speedup"] - b["model_speedup"]) > 1e-6:
+            errors.append(
+                f"{name}: model_speedup {c['model_speedup']} != baseline "
+                f"{b['model_speedup']} — CpuMergeModel calibration changed"
+            )
+        check_rates(errors, name, c, ("meps",))
+
+    return errors, (
+        f"{len(cand_series)} merge series, "
+        f"{len(cand_scale)} scaling points"
+    )
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("candidate")
+    ap.add_argument("baseline")
+    ap.add_argument(
+        "--noise",
+        type=float,
+        default=3.0,
+        help="allowed speedup ratio band: candidate >= baseline / NOISE "
+        "(default %(default)s)",
+    )
+    args = ap.parse_args()
+
+    cand = load(args.candidate)
+    base = load(args.baseline)
+
+    kind = cand.get("bench", "sortpath")
+    if base.get("bench", "sortpath") != kind:
+        print(
+            f"FAIL: bench kind mismatch: candidate '{kind}' vs baseline "
+            f"'{base.get('bench', 'sortpath')}'"
+        )
+        return 1
+
+    if kind == "hostpath":
+        errors, summary = compare_hostpath(cand, base, args.noise)
+    else:
+        errors, summary = compare_sortpath(cand, base, args.noise)
 
     if errors:
         print(f"FAIL: {args.candidate} vs {args.baseline}")
@@ -95,7 +193,7 @@ def main():
         return 1
     print(
         f"OK: {args.candidate} within noise of {args.baseline} "
-        f"({len(cand_radix)} radix series, noise factor {args.noise})"
+        f"({summary}, noise factor {args.noise})"
     )
     return 0
 
