@@ -1,0 +1,52 @@
+// Service-wide device health tracking (docs/service.md).
+//
+// A single sort's recovery loop blacklists a persistently failing device for
+// the remainder of *that run* only — the next sort starts from the full
+// platform and pays the discovery cost again. When many jobs share one
+// machine that is wasted work: once a device proves unhealthy, every
+// subsequent job should route around it from the start. The board is that
+// shared memory: the recovery loop reports blacklistings (by the device's
+// index in the *original* platform, stable across the per-attempt erasures),
+// and the sorter consults the board before building a pipeline.
+//
+// The board is advisory, never fatal: when every device is marked bad the
+// sorter ignores it rather than refusing work (the CPU fallback and the
+// per-run recovery loop still apply), so a poisoned board can degrade
+// throughput but never availability.
+#pragma once
+
+#include <cstddef>
+#include <mutex>
+#include <set>
+#include <vector>
+
+namespace hs::core {
+
+class DeviceHealthBoard {
+ public:
+  void blacklist(std::size_t platform_device_index) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    bad_.insert(platform_device_index);
+  }
+
+  bool blacklisted(std::size_t platform_device_index) const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return bad_.count(platform_device_index) > 0;
+  }
+
+  std::vector<std::size_t> blacklisted_devices() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return {bad_.begin(), bad_.end()};
+  }
+
+  std::size_t count() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return bad_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::set<std::size_t> bad_;
+};
+
+}  // namespace hs::core

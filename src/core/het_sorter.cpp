@@ -199,12 +199,41 @@ Report HeterogeneousSorter::run_impl(std::span<std::byte> data,
     }
   }
 
+  // Shared device health: start from the survivors other jobs already
+  // discovered. `orig_index[i]` names plat.gpus[i] in the *original*
+  // platform, stable across erasures, so the board speaks one language
+  // across concurrent jobs. Advisory: when every device is marked bad the
+  // board is ignored (the per-run recovery loop still degrades gracefully),
+  // so a poisoned board cannot take the service down.
+  model::Platform base_plat = platform_;
+  std::vector<std::size_t> orig_index(base_plat.gpus.size());
+  for (std::size_t i = 0; i < orig_index.size(); ++i) orig_index[i] = i;
+  if (DeviceHealthBoard* board = admitted.device_health) {
+    model::Platform filtered = base_plat;
+    std::vector<std::size_t> filtered_index = orig_index;
+    for (std::size_t i = filtered_index.size(); i-- > 0;) {
+      if (board->blacklisted(filtered_index[i])) {
+        filtered.gpus.erase(filtered.gpus.begin() +
+                            static_cast<std::ptrdiff_t>(i));
+        filtered_index.erase(filtered_index.begin() +
+                             static_cast<std::ptrdiff_t>(i));
+      }
+    }
+    if (!filtered.gpus.empty()) {
+      base_plat = std::move(filtered);
+      orig_index = std::move(filtered_index);
+      admitted.num_gpus =
+          std::min(std::max(1u, admitted.num_gpus),
+                   static_cast<unsigned>(base_plat.gpus.size()));
+    }
+  }
+
   sim::FaultInjector injector(admitted.faults);
   const RecoveryPolicy& pol = admitted.recovery;
   AttemptInfo info;
   if (!injector.enabled() && !pol.enabled) {
     // Fault-free fast path: zero overhead, pre-recovery semantics.
-    Report r = attempt(data, n, ops, is_real, platform_, admitted, nullptr,
+    Report r = attempt(data, n, ops, is_real, base_plat, admitted, nullptr,
                        info);
     r.recovery.ps_shrinks += admission_ps_shrinks;
     return r;
@@ -216,7 +245,7 @@ Report HeterogeneousSorter::run_impl(std::span<std::byte> data,
 
   // Attempt-mutable state. Blacklisting erases devices from the platform
   // copy; OOM re-splits shrink the batch size.
-  model::Platform plat = platform_;
+  model::Platform plat = base_plat;
   SortConfig cfg = admitted;
 
   // Aborted attempts leave A / W / B partially overwritten (pair merges
@@ -264,6 +293,14 @@ Report HeterogeneousSorter::run_impl(std::span<std::byte> data,
         return cpu_fallback(data, n, ops, is_real, charged, rec);
       }
       HS_ASSERT(e.device_index() < plat.gpus.size());
+      // Publish the discovery so concurrent jobs route around the device
+      // from the start instead of each re-paying the blacklisting cost.
+      if (admitted.device_health != nullptr &&
+          e.device_index() < orig_index.size()) {
+        admitted.device_health->blacklist(orig_index[e.device_index()]);
+        orig_index.erase(orig_index.begin() +
+                         static_cast<std::ptrdiff_t>(e.device_index()));
+      }
       plat.gpus.erase(plat.gpus.begin() + e.device_index());
       const auto remaining = static_cast<unsigned>(plat.gpus.size());
       cfg.num_gpus = std::min(std::max(1u, cfg.num_gpus), remaining);

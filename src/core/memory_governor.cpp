@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 
+#include "common/assert.h"
 #include "obs/counters.h"
 #include "obs/span.h"
 
@@ -102,7 +103,48 @@ void MemoryGovernor::record(GovernorDecision decision) {
     s.clock = obs::Clock::kWall;
     rec->record(std::move(s));
   }
+  const std::lock_guard<std::mutex> lock(decisions_mu_);
   decisions_.push_back(decision);
+}
+
+std::vector<GovernorDecision> MemoryGovernor::decisions() const {
+  const std::lock_guard<std::mutex> lock(decisions_mu_);
+  return decisions_;
+}
+
+bool MemoryGovernor::try_reserve(std::uint64_t bytes) {
+  std::uint64_t cur = reserved_.load(std::memory_order_relaxed);
+  for (;;) {
+    if (limited() && (bytes > budget_bytes_ || cur > budget_bytes_ - bytes)) {
+      return false;
+    }
+    if (reserved_.compare_exchange_weak(cur, cur + bytes,
+                                        std::memory_order_acq_rel,
+                                        std::memory_order_relaxed)) {
+      break;
+    }
+  }
+  // Track the high-water mark; losing a race here only under-reports the
+  // peak by a concurrent release, never the invariant.
+  std::uint64_t now = cur + bytes;
+  std::uint64_t peak = peak_reserved_.load(std::memory_order_relaxed);
+  while (now > peak && !peak_reserved_.compare_exchange_weak(
+                           peak, now, std::memory_order_acq_rel,
+                           std::memory_order_relaxed)) {
+  }
+  return true;
+}
+
+void MemoryGovernor::release(std::uint64_t bytes) {
+  const std::uint64_t prev =
+      reserved_.fetch_sub(bytes, std::memory_order_acq_rel);
+  HS_EXPECTS_MSG(prev >= bytes, "governor release exceeds reserved bytes");
+}
+
+std::uint64_t MemoryGovernor::available_bytes() const {
+  if (!limited()) return UINT64_MAX;
+  const std::uint64_t r = reserved_.load(std::memory_order_acquire);
+  return r >= budget_bytes_ ? 0 : budget_bytes_ - r;
 }
 
 SpillBackend* spill_backend() {

@@ -20,8 +20,10 @@
 // timeline, so degradation stays measured, never silent.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
@@ -116,13 +118,43 @@ class MemoryGovernor {
                                   std::size_t elem_size) const;
 
   /// Tallies the decision into the obs counters, the decision log, and (when
-  /// a recorder is installed) the wall-clock span timeline.
+  /// a recorder is installed) the wall-clock span timeline. Thread-safe: the
+  /// service records decisions from concurrent worker threads.
   void record(GovernorDecision decision);
 
-  const std::vector<GovernorDecision>& decisions() const { return decisions_; }
+  /// Snapshot of the decision log (copied under the log mutex).
+  std::vector<GovernorDecision> decisions() const;
+
+  // --- concurrent reservation ledger ----------------------------------------
+  // A governor shared across concurrent jobs is a byte-accounting arbiter:
+  // each job reserves its negotiated budget before running and releases it
+  // after. The invariant `reserved <= budget` holds under arbitrary races
+  // (CAS admission), and releases may come from any thread.
+
+  /// Atomically reserves `bytes` iff the ledger stays within the budget.
+  /// Always succeeds on an unlimited governor (budget 0), but still accounts
+  /// the bytes so releases balance.
+  bool try_reserve(std::uint64_t bytes);
+
+  /// Returns bytes reserved by a matching successful try_reserve. Aborts on
+  /// a release that was never reserved (programmer error).
+  void release(std::uint64_t bytes);
+
+  std::uint64_t reserved_bytes() const {
+    return reserved_.load(std::memory_order_acquire);
+  }
+  /// High-water mark of the ledger over the governor's lifetime.
+  std::uint64_t peak_reserved_bytes() const {
+    return peak_reserved_.load(std::memory_order_acquire);
+  }
+  /// Headroom under the budget; UINT64_MAX when unlimited.
+  std::uint64_t available_bytes() const;
 
  private:
   std::uint64_t budget_bytes_;
+  std::atomic<std::uint64_t> reserved_{0};
+  std::atomic<std::uint64_t> peak_reserved_{0};
+  mutable std::mutex decisions_mu_;
   std::vector<GovernorDecision> decisions_;
 };
 

@@ -7,6 +7,7 @@
 #include <string>
 #include <string_view>
 
+#include "core/device_health.h"
 #include "core/recovery.h"
 #include "model/platforms.h"
 #include "sim/fault_injector.h"
@@ -89,6 +90,13 @@ struct SortConfig {
   /// Directory for the spill path's temporary run files when the governor
   /// degrades the sort out of core.
   std::string spill_dir = ".";
+
+  /// Optional shared device-health board (core/device_health.h). When set,
+  /// devices it marks bad are excluded from the pipeline up front and every
+  /// blacklisting this run performs is reported back, so concurrent jobs on
+  /// one machine share fault discovery instead of each paying for it. The
+  /// caller owns the board and must keep it alive for the sorter's lifetime.
+  DeviceHealthBoard* device_health = nullptr;
 
   /// Seeded fault schedule injected into the run (all-zero: no faults).
   sim::FaultPlan faults;

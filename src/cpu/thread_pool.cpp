@@ -111,13 +111,14 @@ void WaitGroup::reset(std::size_t count) {
 }
 
 void WaitGroup::done() {
-  {
-    const std::lock_guard lock(mu_);
-    HS_ASSERT(remaining_ > 0);
-    --remaining_;
-    if (remaining_ > 0) return;
-  }
-  cv_.notify_all();
+  // Notify while still holding mu_: the waiter may destroy this WaitGroup
+  // the moment wait() returns, so an after-unlock notify could touch a dead
+  // condition variable. Holding the lock keeps the waiter blocked until the
+  // notify has fully completed.
+  const std::lock_guard lock(mu_);
+  HS_ASSERT(remaining_ > 0);
+  --remaining_;
+  if (remaining_ == 0) cv_.notify_all();
 }
 
 void WaitGroup::wait() {

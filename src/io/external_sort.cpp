@@ -41,6 +41,16 @@ ChunkExtent chunk_extent(std::uint64_t index, std::uint64_t n,
   return {start, std::min(budget, n - start)};
 }
 
+/// Cooperative cancellation gate: throws SortCancelled when the caller's
+/// token flipped. Placed at chunk and merge-block boundaries so the on-disk
+/// state at the throw is always crash-consistent.
+void check_cancel(const ExternalSortConfig& cfg, std::string_view where) {
+  if (cfg.cancel != nullptr &&
+      cfg.cancel->load(std::memory_order_acquire)) {
+    throw SortCancelled(where);
+  }
+}
+
 /// Cleanup with crash-recovery semantics. On failure unwind only the files
 /// that never reached the journal are removed — journaled runs, quarantine
 /// evidence and the manifest itself survive for `resume`. commit_success()
@@ -163,6 +173,10 @@ std::string form_run(std::uint64_t index, const std::string& input_path,
 void merge_runs(const std::vector<std::string>& runs,
                 const std::string& merge_target, const ExternalSortConfig& cfg,
                 sim::FaultInjector* injector) {
+  // Cancellation granularity inside the (possibly long) merge loop: check
+  // the token every block of merged elements, not per element.
+  constexpr std::uint64_t kCancelCheckStride = 4096;
+  std::uint64_t merged = 0;
   std::vector<BufferedRunReader> readers;
   readers.reserve(runs.size());
   for (const auto& path : runs) {
@@ -189,6 +203,7 @@ void merge_runs(const std::vector<std::string>& runs,
     auto& r = readers[static_cast<std::size_t>(best)];
     out.append(r.head());
     r.pop();
+    if (++merged % kCancelCheckStride == 0) check_cancel(cfg, "merge");
   }
   out.close();
 }
@@ -275,6 +290,7 @@ ExternalSortStats external_sort_file(const std::string& input_path,
     std::uint64_t durable_new = 0;
     for (std::uint64_t i = 0; i < num_chunks; ++i) {
       if (have_run[i]) continue;
+      check_cancel(cfg, "run-formation");
       const std::string path =
           form_run(i, input_path, stats.n, cfg, sorter, io_injector, stats);
       guard.add(path, /*journaled=*/false);
@@ -311,6 +327,7 @@ ExternalSortStats external_sort_file(const std::string& input_path,
   guard.add(merge_target, /*journaled=*/false);
   {
     obs::ScopedSpan span("merge", "ExternalSort");
+    check_cancel(cfg, "merge");
     const std::uint64_t max_corrupt_recoveries =
         num_chunks * (static_cast<std::uint64_t>(cfg.max_io_retries) + 1);
     std::uint64_t corrupt_recoveries = 0;

@@ -28,8 +28,10 @@
 // from the pipeline's virtual time so both worlds stay honest.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/error.h"
@@ -49,6 +51,18 @@ class SimulatedCrash : public hs::Error {
   explicit SimulatedCrash(std::uint64_t durable_runs)
       : hs::Error("simulated crash after " + std::to_string(durable_runs) +
                   " durable runs") {}
+};
+
+/// Thrown when `ExternalSortConfig::cancel` flips true. Cancellation is
+/// cooperative and crash-equivalent: the sort stops at the next chunk or
+/// merge-block boundary, journaled runs stay durable, and a later `resume`
+/// continues the job exactly as after a kill. Raised by the service layer's
+/// deadline watchdog (service::JobScheduler) but usable by any caller.
+class SortCancelled : public hs::Error {
+ public:
+  explicit SortCancelled(std::string_view where)
+      : hs::Error("sort cancelled during " + std::string(where) +
+                  " (journaled state preserved; resumable)") {}
 };
 
 struct ExternalSortConfig {
@@ -91,6 +105,12 @@ struct ExternalSortConfig {
   /// Times a run write (or the merge pass) is retried after an IoError
   /// before the error propagates.
   unsigned max_io_retries = 3;
+
+  /// Cooperative cancellation token (caller-owned, may be null). Checked
+  /// before each chunk sort and periodically inside the merge; when it reads
+  /// true the sort throws SortCancelled, leaving exactly the on-disk state a
+  /// crash at the same point would (so the job is resumable).
+  const std::atomic<bool>* cancel = nullptr;
 };
 
 struct ExternalSortStats {

@@ -40,6 +40,14 @@ std::string_view counter_name(Counter c) {
     case Counter::kRunsQuarantined: return "runs_quarantined";
     case Counter::kBytesQuarantined: return "bytes_quarantined";
     case Counter::kChunksResorted: return "chunks_resorted";
+    case Counter::kJobsSubmitted: return "jobs_submitted";
+    case Counter::kJobsRejected: return "jobs_rejected";
+    case Counter::kJobsCompleted: return "jobs_completed";
+    case Counter::kJobsFailed: return "jobs_failed";
+    case Counter::kJobsRetried: return "jobs_retried";
+    case Counter::kJobsCancelled: return "jobs_cancelled";
+    case Counter::kJobsResumed: return "jobs_resumed";
+    case Counter::kJobBudgetShrinks: return "job_budget_shrinks";
   }
   return "?";
 }

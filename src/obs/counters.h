@@ -61,9 +61,18 @@ enum class Counter : std::uint8_t {
   kRunsQuarantined,    // runs failing verification, set aside
   kBytesQuarantined,   // on-disk bytes of quarantined runs
   kChunksResorted,     // input chunks re-sorted to replace bad runs
+  // Sort service (fed by service::JobScheduler admission / queue / watchdog).
+  kJobsSubmitted,      // submit() calls that passed admission
+  kJobsRejected,       // submit() calls refused with ServiceOverloaded
+  kJobsCompleted,      // jobs that finished with verified output
+  kJobsFailed,         // jobs that exhausted retries with a typed error
+  kJobsRetried,        // attempt restarts after a typed failure
+  kJobsCancelled,      // watchdog deadline cancellations requested
+  kJobsResumed,        // jobs re-adopted from a prior daemon's manifest
+  kJobBudgetShrinks,   // per-job budget halvings during dispatch negotiation
 };
 
-inline constexpr std::size_t kNumCounters = 31;
+inline constexpr std::size_t kNumCounters = 39;
 
 std::string_view counter_name(Counter c);
 

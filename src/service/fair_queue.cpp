@@ -1,0 +1,76 @@
+#include "service/fair_queue.h"
+
+#include "common/assert.h"
+
+namespace hs::service {
+
+FairQueue::FairQueue(std::vector<ClassConfig> classes, std::size_t capacity)
+    : capacity_(capacity) {
+  for (ClassConfig& c : classes) {
+    HS_EXPECTS_MSG(c.weight > 0, "fair-queue class weight must be positive");
+    classes_[c.name].weight = c.weight;
+  }
+}
+
+FairQueue::ClassState& FairQueue::state_for(const std::string& klass) {
+  return classes_[klass];  // default weight 1.0 on first use
+}
+
+bool FairQueue::push(std::uint64_t handle, const std::string& klass,
+                     double cost) {
+  if (size_ >= capacity_) return false;
+  ClassState& cs = state_for(klass);
+  Item item;
+  item.handle = handle;
+  item.cost = cost;
+  // Start tag: the class resumes where it left off, but an idle class that
+  // fell behind virtual time re-enters at V (it does not bank credit).
+  const double start = std::max(virtual_time_, cs.last_finish);
+  item.finish = start + cost / cs.weight;
+  cs.last_finish = item.finish;
+  cs.items.push_back(item);
+  ++size_;
+  return true;
+}
+
+void FairQueue::pop_from(std::map<std::string, ClassState>::iterator it) {
+  HS_ASSERT(!it->second.items.empty());
+  virtual_time_ = std::max(virtual_time_, it->second.items.front().finish);
+  it->second.items.pop_front();
+  --size_;
+}
+
+std::optional<std::uint64_t> FairQueue::pop() {
+  return pop_first_eligible([](std::uint64_t) { return true; });
+}
+
+bool FairQueue::remove(std::uint64_t handle) {
+  for (auto& [name, cs] : classes_) {
+    for (auto it = cs.items.begin(); it != cs.items.end(); ++it) {
+      if (it->handle == handle) {
+        // Tags of later items in the class stay as assigned: removing a
+        // deadline-expired job must not let its class jump the queue.
+        cs.items.erase(it);
+        --size_;
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+std::vector<std::uint64_t> FairQueue::queued() const {
+  std::vector<std::uint64_t> out;
+  out.reserve(size_);
+  for (const auto& [name, cs] : classes_) {
+    for (const Item& item : cs.items) out.push_back(item.handle);
+  }
+  return out;
+}
+
+double FairQueue::weight(const std::string& klass) const {
+  const auto it = classes_.find(klass);
+  return it == classes_.end() ? 1.0 : it->second.weight;
+}
+
+}  // namespace hs::service

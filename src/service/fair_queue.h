@@ -1,0 +1,114 @@
+// Weighted fair queueing across job classes (docs/service.md).
+//
+// Start-time fair queueing (SFQ): each admitted job receives a virtual
+// finish tag `finish = max(V, class_last_finish) + cost / weight` where V is
+// the queue's virtual time (advanced to the finish tag of each dispatched
+// job). Dispatch picks the smallest finish tag among the *heads* of the
+// per-class FIFOs, so classes share service in weight proportion while jobs
+// within a class keep submission order.
+//
+// Delay bound (why starvation is impossible): while a job J of class c with
+// cost W_J waits at its class head, the work dispatched from any other class
+// c' is bounded by (w_c' / w_c) * W_J + 2 * max_cost_c' — once J's tag is
+// minimal nothing can pass it, and a class's tags advance by cost/weight per
+// dispatched job. tests/test_service_scheduler asserts this bound.
+//
+// The queue is NOT internally synchronised: JobScheduler serialises access
+// under its own mutex (admission, dispatch and deadline removal already need
+// that lock for their compound state updates).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace hs::service {
+
+struct ClassConfig {
+  std::string name;
+  double weight = 1.0;  // relative service share; must be > 0
+};
+
+class FairQueue {
+ public:
+  /// `capacity` bounds the total queued jobs across all classes (the
+  /// admission limit behind ServiceOverloaded). Classes not pre-declared are
+  /// created on first use with weight 1.0.
+  explicit FairQueue(std::vector<ClassConfig> classes, std::size_t capacity);
+
+  /// Admits `handle` into `klass` with service cost `cost` (any consistent
+  /// unit; the scheduler uses input elements). Returns false when full.
+  bool push(std::uint64_t handle, const std::string& klass, double cost);
+
+  /// Dispatches the job with the smallest virtual finish tag among class
+  /// heads. nullopt when empty.
+  std::optional<std::uint64_t> pop();
+
+  /// Dispatches the smallest-tag class head for which `eligible(handle)`
+  /// is true, skipping ineligible classes (memory backpressure must not
+  /// head-of-line-block jobs that could run now). nullopt when none.
+  template <typename Pred>
+  std::optional<std::uint64_t> pop_first_eligible(Pred eligible);
+
+  /// Removes a queued job wherever it sits (deadline expiry while queued).
+  /// Returns false when the handle is not queued.
+  bool remove(std::uint64_t handle);
+
+  bool empty() const { return size_ == 0; }
+  std::size_t size() const { return size_; }
+  std::size_t capacity() const { return capacity_; }
+
+  /// Handles of all queued jobs, unordered (watchdog scans).
+  std::vector<std::uint64_t> queued() const;
+
+  /// Weight of `klass` (1.0 for classes never declared).
+  double weight(const std::string& klass) const;
+
+ private:
+  struct Item {
+    std::uint64_t handle = 0;
+    double cost = 0;
+    double finish = 0;  // virtual finish tag
+  };
+  struct ClassState {
+    double weight = 1.0;
+    double last_finish = 0;
+    std::deque<Item> items;
+  };
+
+  ClassState& state_for(const std::string& klass);
+  void pop_from(std::map<std::string, ClassState>::iterator it);
+
+  std::map<std::string, ClassState> classes_;
+  std::size_t capacity_;
+  std::size_t size_ = 0;
+  double virtual_time_ = 0;
+};
+
+template <typename Pred>
+std::optional<std::uint64_t> FairQueue::pop_first_eligible(Pred eligible) {
+  // Candidates are class heads in ascending finish-tag order; within a class
+  // FIFO order is sacred, so an ineligible head parks its whole class for
+  // this dispatch round.
+  std::vector<std::map<std::string, ClassState>::iterator> heads;
+  for (auto it = classes_.begin(); it != classes_.end(); ++it) {
+    if (!it->second.items.empty()) heads.push_back(it);
+  }
+  std::sort(heads.begin(), heads.end(), [](auto a, auto b) {
+    return a->second.items.front().finish < b->second.items.front().finish;
+  });
+  for (auto it : heads) {
+    if (eligible(it->second.items.front().handle)) {
+      const std::uint64_t h = it->second.items.front().handle;
+      pop_from(it);
+      return h;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace hs::service

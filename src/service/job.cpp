@@ -1,0 +1,21 @@
+#include "service/job.h"
+
+namespace hs::service {
+
+std::string_view job_state_name(JobState s) {
+  switch (s) {
+    case JobState::kQueued:
+      return "queued";
+    case JobState::kRunning:
+      return "running";
+    case JobState::kCompleted:
+      return "completed";
+    case JobState::kFailed:
+      return "failed";
+    case JobState::kCancelled:
+      return "cancelled";
+  }
+  return "?";
+}
+
+}  // namespace hs::service

@@ -1,0 +1,108 @@
+// Job descriptions and outcomes for the sort service (docs/service.md).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "core/sort_config.h"
+#include "data/generators.h"
+#include "io/external_sort.h"
+#include "sim/fault_injector.h"
+
+namespace hs::service {
+
+/// One sort job as submitted by a client. Jobs sort a raw-doubles file into
+/// `output_path`; when `input_path` is empty the service materialises the
+/// input deterministically from (dist, n, seed) into the job's directory, so
+/// a spec is self-contained and replayable (the service manifest persists
+/// exactly these fields for crash resume).
+struct JobSpec {
+  /// Unique job name; also names the per-job journal directory
+  /// `<service_dir>/jobs/<name>`, so it must be filesystem-safe.
+  std::string name;
+
+  /// Existing raw-doubles input file; empty = generate from the fields below.
+  std::string input_path;
+  data::Distribution dist = data::Distribution::kUniform;
+  std::uint64_t n = 0;
+  std::uint64_t seed = 1;
+
+  /// Where the sorted raw-doubles output lands (atomic rename on success).
+  std::string output_path;
+
+  /// Fair-queueing class; unknown names join a weight-1.0 class of their own.
+  std::string job_class = "default";
+
+  /// Host bytes requested for this job; 0 = the scheduler's default grant.
+  /// The grant is negotiated down (halved, floored at the scheduler's
+  /// min_job_budget_bytes) when the shared budget is contended.
+  std::uint64_t host_budget_bytes = 0;
+
+  /// Wall-clock deadline measured from submission (queue wait included);
+  /// 0 = none. The watchdog cancels jobs past their deadline.
+  double deadline_seconds = 0;
+
+  /// Retries after a transient failure (crash, I/O error); each retry
+  /// resumes from the job journal with exponential backoff.
+  unsigned max_retries = 2;
+
+  /// Chunking budget for the external sort; 0 derives it from the granted
+  /// host budget. Persisted in the manifest so resumed attempts keep the
+  /// same chunk geometry and can adopt the job journal.
+  std::uint64_t memory_budget_elems = 0;
+
+  /// Streaming buffer / framed-block size for the run files.
+  std::uint64_t io_buffer_elems = 1 << 14;
+
+  /// Pipeline configuration for run formation (faults, recovery, approach).
+  core::SortConfig pipeline;
+
+  /// Seeded disk-layer fault schedule (see ExternalSortConfig::io_faults).
+  sim::FaultPlan io_faults;
+
+  /// Test hook, first attempt only: crash the job after this many durable
+  /// runs so retry/resume paths are exercised deterministically.
+  std::uint64_t crash_after_runs = 0;
+};
+
+enum class JobState : std::uint8_t {
+  kQueued,     // admitted, waiting for a worker + memory grant
+  kRunning,    // a worker owns it
+  kCompleted,  // output durably renamed in
+  kFailed,     // retries exhausted or deadline expired while queued
+  kCancelled,  // stopped at a cancellation point; journal preserved
+};
+
+std::string_view job_state_name(JobState s);
+
+/// Everything the service knows about a finished (or failed) job.
+struct JobOutcome {
+  std::string name;
+  std::string job_class;
+  JobState state = JobState::kQueued;
+
+  std::string error;       // what() of the final error, empty on success
+  std::string error_type;  // typed name, e.g. "ServiceOverloaded"
+
+  double queue_wait_seconds = 0;  // submit -> worker dispatch
+  double run_seconds = 0;         // dispatch -> completion (all attempts)
+  double virtual_seconds = 0;     // pipeline virtual time (sum over attempts)
+
+  std::uint64_t requested_budget_bytes = 0;
+  std::uint64_t granted_budget_bytes = 0;
+  bool degraded = false;  // granted < requested (budget contention)
+
+  unsigned attempts = 0;  // 1 = clean first run
+  bool resumed = false;   // any attempt adopted a job journal
+
+  /// Cost of other-class jobs dispatched ahead of this one while it was
+  /// queued *and memory-eligible* — the quantity the weighted-fairness bound
+  /// in docs/service.md limits.
+  double bypass_cost = 0;
+
+  /// Disk/pipeline statistics of the successful attempt (zero otherwise).
+  io::ExternalSortStats stats;
+};
+
+}  // namespace hs::service

@@ -1,0 +1,157 @@
+#include "service/manifest.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "common/checksum.h"
+#include "io/run_file.h"
+
+namespace hs::service {
+namespace {
+
+constexpr const char* kHeaderLine = "hetsort-service-manifest v1";
+
+// Fields are tab-separated because the two trailing ones are paths that may
+// contain spaces. The pipeline/fault-plan knobs are deliberately not
+// persisted: the sorted output is a pure function of the input bytes, so a
+// resumed job reproduces it under any pipeline configuration, and replaying
+// an injected fault schedule after a real crash would double-fault the job.
+std::string render(const ServiceManifest& m) {
+  std::ostringstream os;
+  os << kHeaderLine << '\n';
+  for (const ManifestEntry& e : m.jobs) {
+    const JobSpec& s = e.spec;
+    os << "job\t" << s.name << '\t' << (e.done ? 1 : 0) << '\t'
+       << s.job_class << '\t' << static_cast<int>(s.dist) << '\t' << s.n
+       << '\t' << s.seed << '\t' << s.host_budget_bytes << '\t'
+       << s.deadline_seconds << '\t' << s.max_retries << '\t'
+       << s.memory_budget_elems << '\t' << s.io_buffer_elems << '\t'
+       << s.input_path << '\t' << s.output_path << '\n';
+  }
+  const std::string body = os.str();
+  return body + "end " + std::to_string(fnv1a64(body)) + "\n";
+}
+
+bool next_field(const std::string& line, std::size_t& pos, std::string& out) {
+  if (pos > line.size()) return false;
+  const std::size_t tab = line.find('\t', pos);
+  if (tab == std::string::npos) {
+    out = line.substr(pos);
+    pos = line.size() + 1;
+  } else {
+    out = line.substr(pos, tab - pos);
+    pos = tab + 1;
+  }
+  return true;
+}
+
+bool parse_u64(const std::string& s, std::uint64_t& out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  out = std::strtoull(s.c_str(), &end, 10);
+  return end != nullptr && *end == '\0';
+}
+
+bool parse_entry(const std::string& line, ManifestEntry& e) {
+  std::size_t pos = 4;  // past "job\t"
+  std::string name, done, klass, dist, n, seed, budget, deadline, retries,
+      mem, io, input, output;
+  for (std::string* f : {&name, &done, &klass, &dist, &n, &seed, &budget,
+                         &deadline, &retries, &mem, &io, &input, &output}) {
+    if (!next_field(line, pos, *f)) return false;
+  }
+  JobSpec& s = e.spec;
+  s.name = name;
+  s.job_class = klass;
+  s.input_path = input;
+  s.output_path = output;
+  std::uint64_t u = 0;
+  if (!parse_u64(done, u) || u > 1) return false;
+  e.done = u == 1;
+  if (!parse_u64(dist, u) ||
+      u > static_cast<std::uint64_t>(data::Distribution::kZipf)) {
+    return false;
+  }
+  s.dist = static_cast<data::Distribution>(u);
+  if (!parse_u64(n, s.n) || !parse_u64(seed, s.seed) ||
+      !parse_u64(budget, s.host_budget_bytes) ||
+      !parse_u64(mem, s.memory_budget_elems) ||
+      !parse_u64(io, s.io_buffer_elems)) {
+    return false;
+  }
+  if (!parse_u64(retries, u) || u > 1000) return false;
+  s.max_retries = static_cast<unsigned>(u);
+  char* end = nullptr;
+  s.deadline_seconds = std::strtod(deadline.c_str(), &end);
+  if (end == nullptr || *end != '\0' || s.deadline_seconds < 0) return false;
+  return !s.name.empty() && !s.output_path.empty() && s.io_buffer_elems > 0;
+}
+
+}  // namespace
+
+std::string manifest_path(const std::string& service_dir) {
+  return service_dir + "/hetsort_service.manifest";
+}
+
+void save_manifest(const ServiceManifest& m, const std::string& service_dir) {
+  const std::string path = manifest_path(service_dir);
+  const std::string tmp = path + ".tmp";
+  const std::string text = render(m);
+
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) throw io::IoError("cannot open " + tmp);
+  const std::size_t written = std::fwrite(text.data(), 1, text.size(), f);
+  const bool flushed = std::fflush(f) == 0;
+  const bool closed = std::fclose(f) == 0;
+  if (written != text.size() || !flushed || !closed) {
+    std::remove(tmp.c_str());
+    throw io::IoError("short write to " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw io::IoError("cannot rename " + tmp + " to " + path);
+  }
+}
+
+std::optional<ServiceManifest> load_manifest(const std::string& service_dir) {
+  const std::string path = manifest_path(service_dir);
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return std::nullopt;
+  std::string text;
+  char buf[4096];
+  std::size_t got;
+  while ((got = std::fread(buf, 1, sizeof buf, f)) > 0) text.append(buf, got);
+  std::fclose(f);
+
+  const std::size_t nl = text.rfind('\n', text.size() >= 2 ? text.size() - 2
+                                                           : std::string::npos);
+  const std::size_t end_at = nl == std::string::npos ? 0 : nl + 1;
+  std::string end_line = text.substr(end_at);
+  if (!end_line.empty() && end_line.back() == '\n') end_line.pop_back();
+  if (end_line.rfind("end ", 0) != 0) return std::nullopt;
+  std::uint64_t stored = 0;
+  if (!parse_u64(end_line.substr(4), stored) ||
+      stored != fnv1a64(text.substr(0, end_at))) {
+    return std::nullopt;  // torn or tampered: treat as absent
+  }
+
+  ServiceManifest m;
+  std::istringstream is(text.substr(0, end_at));
+  std::string line;
+  if (!std::getline(is, line) || line != kHeaderLine) return std::nullopt;
+  while (std::getline(is, line)) {
+    if (line.rfind("job\t", 0) != 0) return std::nullopt;
+    ManifestEntry e;
+    if (!parse_entry(line, e)) return std::nullopt;
+    m.jobs.push_back(std::move(e));
+  }
+  return m;
+}
+
+void remove_manifest(const std::string& service_dir) {
+  std::remove(manifest_path(service_dir).c_str());
+  std::remove((manifest_path(service_dir) + ".tmp").c_str());
+}
+
+}  // namespace hs::service

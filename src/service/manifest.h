@@ -1,0 +1,42 @@
+// Crash-consistent service manifest (docs/service.md).
+//
+// The scheduler persists every accepted job spec — plus a done/pending flag —
+// to `<service_dir>/hetsort_service.manifest`, rewritten atomically
+// (write-temp-rename, trailing FNV-1a checksum) exactly like the per-job run
+// journal (io/journal.h). After a service crash, `JobScheduler::resume_jobs`
+// reloads the manifest and resubmits every pending job with resume enabled;
+// each then adopts its own job journal in `<service_dir>/jobs/<name>` and
+// continues from its durable runs. Specs are persisted in full (including
+// generator seed and chunk geometry) so a resumed job is byte-identical to
+// one that was never interrupted.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "service/job.h"
+
+namespace hs::service {
+
+struct ManifestEntry {
+  JobSpec spec;
+  bool done = false;
+};
+
+struct ServiceManifest {
+  std::vector<ManifestEntry> jobs;
+};
+
+std::string manifest_path(const std::string& service_dir);
+
+/// Atomically replaces the manifest. Throws io::IoError on refusal.
+void save_manifest(const ServiceManifest& m, const std::string& service_dir);
+
+/// nullopt when missing, torn, or checksum-invalid (a fresh service is
+/// always a safe recovery).
+std::optional<ServiceManifest> load_manifest(const std::string& service_dir);
+
+void remove_manifest(const std::string& service_dir);
+
+}  // namespace hs::service

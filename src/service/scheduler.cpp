@@ -1,0 +1,593 @@
+#include "service/scheduler.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <filesystem>
+#include <sstream>
+#include <utility>
+
+#include "common/assert.h"
+#include "data/generators.h"
+#include "io/external_sort.h"
+#include "io/run_file.h"
+#include "obs/counters.h"
+#include "obs/span.h"
+#include "sim/engine.h"
+#include "vgpu/device.h"
+#include "vgpu/faults.h"
+
+namespace hs::service {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/// Zero-width "Service" marker on the wall timeline, mirroring the
+/// governor's decision markers: no recorder installed, no cost.
+void service_marker(const std::string& text) {
+  if (obs::SpanRecorder* rec = obs::current()) {
+    obs::Span s;
+    s.name = text;
+    s.category = "Service";
+    s.start = s.end = rec->now();
+    s.clock = obs::Clock::kWall;
+    rec->record(std::move(s));
+  }
+}
+
+/// Maps the final error to its typed name so clients (and the fuzz tests)
+/// can assert on failure *kinds* without parsing messages.
+std::string classify_error(const std::exception& e) {
+  if (dynamic_cast<const io::SimulatedCrash*>(&e)) return "SimulatedCrash";
+  if (dynamic_cast<const io::SortCancelled*>(&e)) return "SortCancelled";
+  if (dynamic_cast<const io::RunFileCorrupt*>(&e)) return "RunFileCorrupt";
+  if (dynamic_cast<const io::IoError*>(&e)) return "IoError";
+  if (dynamic_cast<const core::HostBudgetExceeded*>(&e))
+    return "HostBudgetExceeded";
+  if (dynamic_cast<const vgpu::DeviceOutOfMemory*>(&e))
+    return "DeviceOutOfMemory";
+  if (dynamic_cast<const vgpu::TransferFault*>(&e)) return "TransferFault";
+  if (dynamic_cast<const vgpu::HostAllocFailed*>(&e)) return "HostAllocFailed";
+  if (dynamic_cast<const sim::PipelineStalled*>(&e)) return "PipelineStalled";
+  if (dynamic_cast<const ServiceOverloaded*>(&e)) return "ServiceOverloaded";
+  if (dynamic_cast<const JobDeadlineExceeded*>(&e))
+    return "JobDeadlineExceeded";
+  if (dynamic_cast<const hs::Error*>(&e)) return "Error";
+  return "exception";
+}
+
+double percentile(std::vector<double> v, double p) {
+  if (v.empty()) return 0;
+  std::sort(v.begin(), v.end());
+  const auto idx = static_cast<std::size_t>(
+      std::ceil(p * static_cast<double>(v.size())));
+  return v[std::min(v.size() - 1, idx == 0 ? 0 : idx - 1)];
+}
+
+}  // namespace
+
+struct JobScheduler::JobRecord {
+  std::uint64_t id = 0;
+  JobSpec spec;
+  bool resume_requested = false;  // adopt the job journal on first attempt
+
+  JobState state = JobState::kQueued;
+  std::atomic<bool> cancel{false};
+  bool deadline_fired = false;  // guarded by mu_
+  Clock::time_point submit_time{};
+
+  double queue_wait = 0;
+  double run_seconds = 0;
+  double virtual_seconds = 0;
+  std::uint64_t requested = 0;  // negotiated request (post service clamp)
+  std::uint64_t granted = 0;
+  bool degraded = false;
+  bool resumed = false;
+  unsigned attempts = 0;
+  double bypass_cost = 0;
+  std::string error, error_type;
+  std::string span_label;
+  io::ExternalSortStats stats;
+};
+
+JobScheduler::JobScheduler(SchedulerConfig cfg)
+    : cfg_(std::move(cfg)),
+      governor_(cfg_.host_budget_bytes),
+      queue_(cfg_.classes, cfg_.queue_capacity) {
+  HS_EXPECTS(cfg_.workers > 0);
+  HS_EXPECTS(cfg_.queue_capacity > 0);
+  HS_EXPECTS(cfg_.min_job_budget_bytes > 0);
+  std::filesystem::create_directories(cfg_.service_dir + "/jobs");
+  workers_.reserve(cfg_.workers);
+  for (unsigned i = 0; i < cfg_.workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+  watchdog_ = std::thread([this] { watchdog_loop(); });
+}
+
+JobScheduler::~JobScheduler() { shutdown(); }
+
+std::uint64_t JobScheduler::submit(JobSpec spec, bool resume) {
+  if (spec.name.empty()) throw InvalidJobSpec("job name must not be empty");
+  if (spec.output_path.empty()) {
+    throw InvalidJobSpec("job '" + spec.name + "' has no output path");
+  }
+  if (spec.input_path.empty() && spec.n == 0) {
+    throw InvalidJobSpec("job '" + spec.name +
+                         "' has neither an input file nor a size to generate");
+  }
+  // A job whose budget floor can never fit the service budget would wait
+  // forever: refuse it up front, typed.
+  const std::uint64_t requested =
+      spec.host_budget_bytes > 0 ? spec.host_budget_bytes
+                                 : cfg_.default_job_budget_bytes;
+  const std::uint64_t floor = std::min(requested, cfg_.min_job_budget_bytes);
+  if (governor_.limited() && floor > governor_.budget_bytes()) {
+    throw InvalidJobSpec(
+        "job '" + spec.name + "' needs at least " + std::to_string(floor) +
+        " bytes but the service budget is " +
+        std::to_string(governor_.budget_bytes()) + " bytes");
+  }
+
+  std::lock_guard<std::mutex> lk(mu_);
+  if (by_name_.count(spec.name) > 0) {
+    throw InvalidJobSpec("job name '" + spec.name + "' already in use");
+  }
+  if (queue_.size() >= queue_.capacity()) {
+    obs::count(obs::Counter::kJobsRejected, 1);
+    service_marker("reject job=" + spec.name +
+                   " depth=" + std::to_string(queue_.size()));
+    throw ServiceOverloaded(queue_.size(), queue_.capacity());
+  }
+
+  auto rec = std::make_unique<JobRecord>();
+  rec->id = next_id_++;
+  rec->spec = std::move(spec);
+  rec->resume_requested = resume;
+  rec->requested =
+      governor_.limited() ? std::min(requested, governor_.budget_bytes())
+                          : requested;
+  rec->submit_time = Clock::now();
+  rec->span_label = "job:" + rec->spec.name;
+  const std::uint64_t id = rec->id;
+  const std::string klass = rec->spec.job_class;
+  const double cost = static_cast<double>(std::max<std::uint64_t>(
+      1, rec->spec.n > 0 ? rec->spec.n : rec->spec.memory_budget_elems));
+
+  const bool pushed = queue_.push(id, klass, cost);
+  HS_ASSERT(pushed);  // capacity checked above under the same lock
+  peak_queue_depth_ = std::max(peak_queue_depth_, queue_.size());
+  by_name_[rec->spec.name] = id;
+  jobs_[id] = std::move(rec);
+  persist_manifest_locked();
+
+  obs::count(obs::Counter::kJobsSubmitted, 1);
+  service_marker("admit job=" + jobs_[id]->spec.name +
+                 " class=" + klass);
+  dispatch_cv_.notify_one();
+  return id;
+}
+
+std::size_t JobScheduler::resume_jobs() {
+  const auto manifest = load_manifest(cfg_.service_dir);
+  if (!manifest) return 0;
+  std::size_t resubmitted = 0;
+  for (const ManifestEntry& e : manifest->jobs) {
+    if (e.done) continue;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (by_name_.count(e.spec.name) > 0) continue;
+    }
+    submit(e.spec, /*resume=*/true);
+    ++resubmitted;
+  }
+  return resubmitted;
+}
+
+bool JobScheduler::cancel(const std::string& name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  const auto it = by_name_.find(name);
+  if (it == by_name_.end()) return false;
+  JobRecord& job = *jobs_.at(it->second);
+  if (job.state == JobState::kQueued) {
+    queue_.remove(job.id);
+    job.state = JobState::kCancelled;
+    job.error_type = "SortCancelled";
+    job.error = "cancelled while queued";
+    obs::count(obs::Counter::kJobsCancelled, 1);
+    service_marker("cancel job=" + name + " (queued)");
+    idle_cv_.notify_all();
+    return true;
+  }
+  if (job.state == JobState::kRunning) {
+    job.cancel.store(true, std::memory_order_release);
+    service_marker("cancel job=" + name + " (running)");
+    return true;
+  }
+  return false;  // already finished
+}
+
+std::uint64_t JobScheduler::negotiate_budget(JobRecord& job) {
+  // Called under mu_: every reservation happens under the lock, and
+  // releases (lock-free) only grow availability, so once the dispatch
+  // predicate saw the floor fit, the floor reservation cannot fail.
+  const std::uint64_t floor =
+      std::min(job.requested, cfg_.min_job_budget_bytes);
+  std::uint64_t grant = job.requested;
+  std::uint64_t shrinks = 0;
+  while (!governor_.try_reserve(grant)) {
+    const std::uint64_t next = std::max(floor, grant / 2);
+    HS_ASSERT_MSG(next != grant, "floor reservation failed under the lock");
+    grant = next;
+    ++shrinks;
+  }
+  if (shrinks > 0) {
+    job.degraded = true;
+    obs::count(obs::Counter::kJobBudgetShrinks, shrinks);
+    service_marker("shrink job=" + job.spec.name +
+                   " grant=" + std::to_string(grant) +
+                   " requested=" + std::to_string(job.requested));
+  }
+  return grant;
+}
+
+void JobScheduler::worker_loop() {
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    dispatch_cv_.wait(lk, [&] { return stop_ || !queue_.empty(); });
+    if (stop_) return;
+
+    // Memory-eligibility snapshot for this dispatch round. The same
+    // availability judges the dispatched job and the bystanders the
+    // fairness accounting charges it against.
+    const std::uint64_t avail = governor_.available_bytes();
+    const auto floor_fits = [&](std::uint64_t h) {
+      const JobRecord& j = *jobs_.at(h);
+      return std::min(j.requested, cfg_.min_job_budget_bytes) <= avail;
+    };
+    const auto popped = queue_.pop_first_eligible(floor_fits);
+    if (!popped) {
+      // Queue non-empty but nothing fits: block until a release or the
+      // watchdog tick re-opens the question.
+      dispatch_cv_.wait(lk);
+      continue;
+    }
+
+    JobRecord& job = *jobs_.at(*popped);
+    job.granted = negotiate_budget(job);
+    job.state = JobState::kRunning;
+    job.queue_wait = seconds_since(job.submit_time);
+    ++running_;
+
+    // Fairness accounting: the dispatched job's cost counts as bypass work
+    // against every *memory-eligible* queued job of another class (a job
+    // the budget could not have run is not being starved by this pick).
+    const double cost = static_cast<double>(std::max<std::uint64_t>(
+        1, job.spec.n > 0 ? job.spec.n : job.spec.memory_budget_elems));
+    for (const std::uint64_t h : queue_.queued()) {
+      JobRecord& waiter = *jobs_.at(h);
+      if (waiter.spec.job_class != job.spec.job_class && floor_fits(h)) {
+        waiter.bypass_cost += cost;
+      }
+    }
+
+    lk.unlock();
+    run_job(job);
+    lk.lock();
+
+    --running_;
+    governor_.release(job.granted);
+    persist_manifest_locked();
+    idle_cv_.notify_all();
+    dispatch_cv_.notify_all();  // released bytes may unblock waiters
+  }
+}
+
+void JobScheduler::run_job(JobRecord& job) {
+  obs::ScopedSpan span(job.span_label.c_str(), "Service");
+  const Clock::time_point start = Clock::now();
+  const JobSpec& spec = job.spec;
+  const std::string job_dir = cfg_.service_dir + "/jobs/" + spec.name;
+
+  // Mutable results stay in locals until the final commit under mu_, so a
+  // concurrent outcome() poll never reads a half-written record.
+  std::string error, error_type;
+  JobState final_state = JobState::kFailed;
+  unsigned attempts = 0;
+  double virtual_seconds = 0;
+  bool resumed = false;
+  io::ExternalSortStats stats;
+  try {
+    std::filesystem::create_directories(job_dir);
+
+    // Materialise a generated input exactly once; resumed attempts reuse
+    // the file when it is complete (the run journal's validity depends on
+    // the input bytes not changing underneath it).
+    std::string input = spec.input_path;
+    if (input.empty()) {
+      input = job_dir + "/input.bin";
+      std::error_code ec;
+      const bool present = std::filesystem::exists(input, ec) && !ec &&
+                           io::count_doubles(input) == spec.n;
+      if (!present) {
+        io::write_doubles(input, data::generate(spec.dist, spec.n, spec.seed));
+      }
+    }
+
+    io::ExternalSortConfig ecfg;
+    ecfg.platform = cfg_.platform;
+    ecfg.pipeline = spec.pipeline;
+    ecfg.pipeline.host_budget_bytes = job.granted;
+    ecfg.pipeline.spill_dir = job_dir;
+    ecfg.pipeline.device_health = &health_;
+    ecfg.io_buffer_elems = std::max<std::uint64_t>(1, spec.io_buffer_elems);
+    // Chunk geometry must be identical across attempts and restarts (the
+    // journal is dropped otherwise), so it derives from persisted spec
+    // fields and the granted budget — which is reserved once per job, not
+    // per attempt.
+    ecfg.memory_budget_elems =
+        spec.memory_budget_elems > 0
+            ? spec.memory_budget_elems
+            : std::max<std::uint64_t>(ecfg.io_buffer_elems,
+                                      job.granted / (3 * sizeof(double)));
+    ecfg.temp_dir = job_dir;
+    ecfg.journal = true;
+    ecfg.io_faults = spec.io_faults;
+    ecfg.cancel = &job.cancel;
+
+    const unsigned max_attempts = 1 + spec.max_retries;
+    for (unsigned attempt = 0;; ++attempt) {
+      attempts = attempt + 1;
+      ecfg.resume = job.resume_requested || attempt > 0;
+      ecfg.simulate_crash_after_runs =
+          attempt == 0 && !job.resume_requested ? spec.crash_after_runs : 0;
+      try {
+        stats = io::external_sort_file(input, spec.output_path, ecfg);
+        virtual_seconds += stats.pipeline_virtual_seconds;
+        resumed = resumed || stats.resumed;
+        if (resumed) obs::count(obs::Counter::kJobsResumed, 1);
+        final_state = JobState::kCompleted;
+        obs::count(obs::Counter::kJobsCompleted, 1);
+        break;
+      } catch (const io::SortCancelled& e) {
+        // Cancellation (explicit or deadline) is terminal for this
+        // scheduler run but crash-equivalent on disk: journaled runs
+        // survive for a later resume.
+        bool deadline = false;
+        {
+          std::lock_guard<std::mutex> lk(mu_);
+          deadline = job.deadline_fired;
+        }
+        if (deadline) {
+          const JobDeadlineExceeded d(spec.name, spec.deadline_seconds,
+                                      seconds_since(job.submit_time));
+          error = d.what();
+          error_type = "JobDeadlineExceeded";
+        } else {
+          error = e.what();
+          error_type = "SortCancelled";
+        }
+        final_state = JobState::kCancelled;
+        obs::count(obs::Counter::kJobsCancelled, 1);
+        break;
+      } catch (const hs::Error& e) {
+        error = e.what();
+        error_type = classify_error(e);
+        if (attempt + 1 >= max_attempts) {
+          final_state = JobState::kFailed;
+          obs::count(obs::Counter::kJobsFailed, 1);
+          break;
+        }
+        obs::count(obs::Counter::kJobsRetried, 1);
+        service_marker("retry job=" + spec.name + " attempt=" +
+                       std::to_string(attempt + 2) + " after " + error_type);
+        // Exponential backoff, sliced so shutdown and cancel stay
+        // responsive during the wait.
+        double backoff =
+            cfg_.retry_backoff_seconds * std::pow(2.0, attempt);
+        while (backoff > 0) {
+          {
+            std::lock_guard<std::mutex> lk(mu_);
+            if (stop_) break;
+          }
+          if (job.cancel.load(std::memory_order_acquire)) break;
+          const double slice = std::min(backoff, 0.005);
+          std::this_thread::sleep_for(
+              std::chrono::duration<double>(slice));
+          backoff -= slice;
+        }
+      }
+    }
+  } catch (const std::exception& e) {
+    // Setup failures (input materialisation, directory creation).
+    error = e.what();
+    error_type = classify_error(e);
+    final_state = JobState::kFailed;
+    obs::count(obs::Counter::kJobsFailed, 1);
+  }
+
+  std::lock_guard<std::mutex> lk(mu_);
+  job.run_seconds = std::chrono::duration<double>(Clock::now() - start).count();
+  job.attempts = attempts;
+  job.virtual_seconds = virtual_seconds;
+  job.resumed = resumed;
+  job.stats = stats;
+  job.error = error;
+  job.error_type = error_type;
+  job.state = final_state;
+}
+
+void JobScheduler::watchdog_loop() {
+  std::unique_lock<std::mutex> lk(mu_);
+  const auto period =
+      std::chrono::duration<double>(cfg_.watchdog_period_seconds);
+  while (!stop_) {
+    dispatch_cv_.wait_for(lk, period, [&] { return stop_; });
+    if (stop_) return;
+    for (auto& [id, jobp] : jobs_) {
+      JobRecord& job = *jobp;
+      if (job.spec.deadline_seconds <= 0) continue;
+      const double elapsed = seconds_since(job.submit_time);
+      if (elapsed <= job.spec.deadline_seconds) continue;
+      if (job.state == JobState::kQueued) {
+        queue_.remove(job.id);
+        const JobDeadlineExceeded d(job.spec.name, job.spec.deadline_seconds,
+                                    elapsed);
+        job.state = JobState::kFailed;
+        job.error = d.what();
+        job.error_type = "JobDeadlineExceeded";
+        obs::count(obs::Counter::kJobsFailed, 1);
+        service_marker("deadline job=" + job.spec.name + " (queued)");
+        idle_cv_.notify_all();
+      } else if (job.state == JobState::kRunning && !job.deadline_fired) {
+        job.deadline_fired = true;
+        job.cancel.store(true, std::memory_order_release);
+        service_marker("deadline job=" + job.spec.name + " (running)");
+      }
+    }
+    // Ticks double as spurious dispatch wakeups so a worker parked on
+    // memory backpressure re-evaluates periodically.
+    dispatch_cv_.notify_all();
+  }
+}
+
+void JobScheduler::drain() {
+  std::unique_lock<std::mutex> lk(mu_);
+  idle_cv_.wait(lk, [&] { return queue_.empty() && running_ == 0; });
+}
+
+void JobScheduler::shutdown() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (stop_) return;
+    stop_ = true;
+  }
+  dispatch_cv_.notify_all();
+  idle_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+  if (watchdog_.joinable()) watchdog_.join();
+}
+
+void JobScheduler::persist_manifest_locked() {
+  if (!cfg_.manifest) return;
+  ServiceManifest m;
+  m.jobs.reserve(jobs_.size());
+  for (const auto& [id, job] : jobs_) {
+    // kFailed and kCancelled jobs stay pending: their journals are intact
+    // and a restart with resume_jobs() gives them a fresh set of attempts.
+    m.jobs.push_back({job->spec, job->state == JobState::kCompleted});
+  }
+  // Best-effort: a manifest the filesystem refuses degrades crash resume,
+  // it must not take down a healthy service (graceful degradation).
+  try {
+    save_manifest(m, cfg_.service_dir);
+  } catch (const io::IoError&) {
+  }
+}
+
+JobOutcome JobScheduler::outcome(const std::string& name) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  const auto it = by_name_.find(name);
+  HS_EXPECTS_MSG(it != by_name_.end(), "unknown job name");
+  const JobRecord& job = *jobs_.at(it->second);
+  JobOutcome out;
+  out.name = job.spec.name;
+  out.job_class = job.spec.job_class;
+  out.state = job.state;
+  out.error = job.error;
+  out.error_type = job.error_type;
+  out.queue_wait_seconds = job.queue_wait;
+  out.run_seconds = job.run_seconds;
+  out.virtual_seconds = job.virtual_seconds;
+  out.requested_budget_bytes = job.requested;
+  out.granted_budget_bytes = job.granted;
+  out.degraded = job.degraded;
+  out.attempts = job.attempts;
+  out.resumed = job.resumed;
+  out.bypass_cost = job.bypass_cost;
+  out.stats = job.stats;
+  return out;
+}
+
+std::vector<JobOutcome> JobScheduler::outcomes() const {
+  std::vector<std::string> names;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    names.reserve(by_name_.size());
+    for (const auto& [name, id] : by_name_) names.push_back(name);
+  }
+  std::vector<JobOutcome> out;
+  out.reserve(names.size());
+  for (const std::string& n : names) out.push_back(outcome(n));
+  return out;
+}
+
+std::size_t JobScheduler::queue_depth() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return queue_.size();
+}
+
+std::string JobScheduler::report() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::size_t completed = 0, failed = 0, cancelled = 0, queued = 0,
+              running = 0;
+  std::map<std::string, std::vector<double>> waits, runs;
+  std::map<std::string, std::size_t> class_jobs;
+  for (const auto& [id, job] : jobs_) {
+    switch (job->state) {
+      case JobState::kQueued:
+        ++queued;
+        break;
+      case JobState::kRunning:
+        ++running;
+        break;
+      case JobState::kCompleted:
+        ++completed;
+        break;
+      case JobState::kFailed:
+        ++failed;
+        break;
+      case JobState::kCancelled:
+        ++cancelled;
+        break;
+    }
+    ++class_jobs[job->spec.job_class];
+    if (job->state == JobState::kCompleted) {
+      waits[job->spec.job_class].push_back(job->queue_wait);
+      runs[job->spec.job_class].push_back(job->run_seconds);
+    }
+  }
+
+  std::ostringstream os;
+  os << "sort service report\n";
+  os << "  jobs: submitted=" << jobs_.size() << " completed=" << completed
+     << " failed=" << failed << " cancelled=" << cancelled
+     << " running=" << running << " queued=" << queued << '\n';
+  os << "  queue: depth=" << queue_.size() << " peak=" << peak_queue_depth_
+     << " capacity=" << queue_.capacity() << '\n';
+  os << "  budget: total=" << governor_.budget_bytes()
+     << "B reserved=" << governor_.reserved_bytes()
+     << "B peak=" << governor_.peak_reserved_bytes() << "B\n";
+  os << "  devices blacklisted: " << health_.count() << '\n';
+  for (const auto& [klass, count] : class_jobs) {
+    os << "  class " << klass << " (w=" << queue_.weight(klass)
+       << "): jobs=" << count;
+    const auto wit = waits.find(klass);
+    if (wit != waits.end() && !wit->second.empty()) {
+      os << " wait_p50=" << percentile(wit->second, 0.50) * 1e3
+         << "ms wait_p99=" << percentile(wit->second, 0.99) * 1e3 << "ms";
+      const auto& rv = runs.at(klass);
+      os << " run_p50=" << percentile(rv, 0.50) * 1e3
+         << "ms run_p99=" << percentile(rv, 0.99) * 1e3 << "ms";
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace hs::service

@@ -1,0 +1,165 @@
+// Sort-as-a-service job scheduler (docs/service.md).
+//
+// The scheduler turns the single-shot external sort into a long-lived
+// service that many clients share safely:
+//
+//   * admission — a bounded queue; a full queue rejects with the typed
+//     ServiceOverloaded (backpressure) instead of accepting unbounded work;
+//   * fair queueing — jobs carry a class; dispatch is weighted fair across
+//     classes (service/fair_queue.h) so a flood from one tenant cannot
+//     starve another;
+//   * memory negotiation — one MemoryGovernor is the byte arbiter for the
+//     whole service. A worker reserves the job's budget before running;
+//     under contention the grant is halved down to min_job_budget_bytes
+//     (degraded, counted), and a job whose floor cannot fit *waits* for
+//     releases rather than OOM-ing the host. The per-job grant becomes the
+//     job's pipeline host budget, so the in-sort governor ladder
+//     (shrink-staging / spill) nests under the service-level grant;
+//   * deadlines + watchdog — a background thread cancels jobs whose
+//     wall-clock age exceeds their deadline, queued or running. Running
+//     jobs stop at a cooperative cancellation point (io::SortCancelled)
+//     with their journal intact, so a cancelled job is a resumable job;
+//   * retries — transient failures (crash hooks, I/O errors) re-run with
+//     journal resume and exponential backoff, up to JobSpec::max_retries;
+//   * crash resume — accepted specs persist in the service manifest
+//     (service/manifest.h); resume_jobs() resubmits every pending job after
+//     a service restart and each adopts its own run journal;
+//   * shared fault memory — one DeviceHealthBoard spans all jobs, so a
+//     device blacklisted by any job is avoided by every later one.
+//
+// Everything is observable: jobs_* counters, "Service" spans, and report()
+// with per-class queue-wait / run-time percentiles.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/device_health.h"
+#include "core/memory_governor.h"
+#include "model/platforms.h"
+#include "service/fair_queue.h"
+#include "service/job.h"
+#include "service/manifest.h"
+#include "service/service_error.h"
+
+namespace hs::service {
+
+struct SchedulerConfig {
+  /// Root for the service manifest and per-job journal directories
+  /// (`<service_dir>/jobs/<name>`). Created if missing.
+  std::string service_dir = ".";
+
+  /// Concurrent sort workers.
+  unsigned workers = 2;
+
+  /// Admission queue bound; submissions past it throw ServiceOverloaded.
+  std::size_t queue_capacity = 16;
+
+  /// Host bytes shared by all concurrently running jobs; 0 = unlimited.
+  std::uint64_t host_budget_bytes = 0;
+
+  /// Floor of the per-job grant ladder: a grant is halved under contention
+  /// but never below this, and a job waits (not OOMs, not rejects) until
+  /// the floor fits.
+  std::uint64_t min_job_budget_bytes = 1ull << 20;
+
+  /// Grant for jobs that do not request a budget (JobSpec::host_budget_bytes
+  /// == 0). Clamped to the service budget.
+  std::uint64_t default_job_budget_bytes = 16ull << 20;
+
+  /// Fair-queueing classes; absent classes default to weight 1.0.
+  std::vector<ClassConfig> classes;
+
+  /// Watchdog scan period for deadline enforcement.
+  double watchdog_period_seconds = 0.02;
+
+  /// First retry backoff; doubles per retry. Kept tiny by default so tests
+  /// stay fast; a real deployment would raise it.
+  double retry_backoff_seconds = 0.01;
+
+  /// Virtual platform the run-formation pipelines execute on.
+  model::Platform platform = model::platform1();
+
+  /// Persist the service manifest (disable for throwaway in-test services
+  /// that must leave nothing behind).
+  bool manifest = true;
+};
+
+class JobScheduler {
+ public:
+  explicit JobScheduler(SchedulerConfig cfg);
+  ~JobScheduler();  // drains nothing: running jobs finish, queued jobs stay
+                    // in the manifest for the next resume_jobs()
+
+  JobScheduler(const JobScheduler&) = delete;
+  JobScheduler& operator=(const JobScheduler&) = delete;
+
+  /// Admits `spec` or throws: ServiceOverloaded when the queue is full
+  /// (retryable backpressure), InvalidJobSpec on a malformed spec. Returns
+  /// the job id.
+  std::uint64_t submit(JobSpec spec, bool resume = false);
+
+  /// Resubmits every pending job from the service manifest with journal
+  /// resume enabled. Returns how many were resubmitted. Call before the
+  /// first submit() after a restart.
+  std::size_t resume_jobs();
+
+  /// Requests cooperative cancellation of a queued or running job. Returns
+  /// false when the name is unknown or the job already finished.
+  bool cancel(const std::string& name);
+
+  /// Blocks until the queue is empty and every worker is idle.
+  void drain();
+
+  /// Stops accepting dispatches and joins all threads. Running jobs finish
+  /// their current attempt (or hit a cancellation point if cancelled).
+  void shutdown();
+
+  /// Outcome of a finished job (state kQueued/kRunning while in flight).
+  JobOutcome outcome(const std::string& name) const;
+  std::vector<JobOutcome> outcomes() const;
+
+  /// Human-readable service report: job counts, queue stats, budget ledger,
+  /// per-class queue-wait and run-time percentiles (p50/p99).
+  std::string report() const;
+
+  const core::MemoryGovernor& governor() const { return governor_; }
+  core::DeviceHealthBoard& device_health() { return health_; }
+  std::size_t queue_depth() const;
+
+ private:
+  struct JobRecord;
+
+  void worker_loop();
+  void watchdog_loop();
+  void run_job(JobRecord& job);
+  void persist_manifest_locked();
+  std::uint64_t negotiate_budget(JobRecord& job);
+
+  SchedulerConfig cfg_;
+  core::MemoryGovernor governor_;
+  core::DeviceHealthBoard health_;
+
+  mutable std::mutex mu_;
+  std::condition_variable dispatch_cv_;  // queue pushes + budget releases
+  std::condition_variable idle_cv_;      // drain() wakeups
+  FairQueue queue_;
+  std::map<std::uint64_t, std::unique_ptr<JobRecord>> jobs_;
+  std::map<std::string, std::uint64_t> by_name_;
+  std::uint64_t next_id_ = 1;
+  unsigned running_ = 0;
+  std::size_t peak_queue_depth_ = 0;
+  bool stop_ = false;
+
+  std::vector<std::thread> workers_;
+  std::thread watchdog_;
+};
+
+}  // namespace hs::service

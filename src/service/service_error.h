@@ -1,0 +1,71 @@
+// Typed failures of the sort service (docs/service.md).
+//
+// The scheduler's contract under overload is *typed refusal, never OOM*:
+// every job either completes, or fails with an error naming exactly which
+// service policy stopped it — queue capacity (ServiceOverloaded), a wall
+// deadline (JobDeadlineExceeded), or an explicit cancel (surfaced as
+// io::SortCancelled). Clients distinguish "back off and resubmit" from
+// "this job can never run here" without parsing strings.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "common/error.h"
+
+namespace hs::service {
+
+/// Thrown by JobScheduler::submit when the admission queue is full. This is
+/// the backpressure signal: the service is saturated and the client should
+/// retry later (the queue drains as workers finish), not a statement about
+/// the job itself.
+class ServiceOverloaded : public hs::Error {
+ public:
+  ServiceOverloaded(std::size_t depth, std::size_t capacity)
+      : hs::Error("service overloaded: admission queue holds " +
+                  std::to_string(depth) + " of " + std::to_string(capacity) +
+                  " jobs; back off and resubmit"),
+        depth_(depth),
+        capacity_(capacity) {}
+
+  std::size_t depth() const { return depth_; }
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  std::size_t depth_;
+  std::size_t capacity_;
+};
+
+/// Recorded (never thrown across the worker boundary — it lands in
+/// JobOutcome) when the watchdog cancels a job whose wall-clock age exceeded
+/// its deadline, whether it was still queued or already running. A running
+/// job stops at the next cooperative cancellation point; its journal
+/// survives, so the job is resumable with a larger deadline.
+class JobDeadlineExceeded : public hs::Error {
+ public:
+  JobDeadlineExceeded(const std::string& job, double deadline_seconds,
+                      double elapsed_seconds)
+      : hs::Error("job '" + job + "' exceeded its deadline of " +
+                  std::to_string(deadline_seconds) + "s (elapsed " +
+                  std::to_string(elapsed_seconds) +
+                  "s); cancelled with journal preserved"),
+        deadline_seconds_(deadline_seconds),
+        elapsed_seconds_(elapsed_seconds) {}
+
+  double deadline_seconds() const { return deadline_seconds_; }
+  double elapsed_seconds() const { return elapsed_seconds_; }
+
+ private:
+  double deadline_seconds_;
+  double elapsed_seconds_;
+};
+
+/// Thrown by JobScheduler::submit on a spec the service can never run:
+/// empty name, duplicate name, or no output path. Unlike ServiceOverloaded
+/// this is not retryable — the spec itself is wrong.
+class InvalidJobSpec : public hs::Error {
+ public:
+  using hs::Error::Error;
+};
+
+}  // namespace hs::service

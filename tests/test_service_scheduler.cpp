@@ -1,0 +1,665 @@
+// Robustness battery for the sort service (docs/service.md):
+//   * weighted fair queue unit invariants (order, capacity, removal);
+//   * the acceptance demo: more concurrent jobs than the host budget admits,
+//     under seeded fault injection — every admitted job completes
+//     byte-identically, overflow submissions are rejected with the typed
+//     ServiceOverloaded, and nobody starves (the bypass-work fairness bound
+//     holds for every waiting job);
+//   * deadlines: queued jobs expire, running jobs are cancelled by the
+//     watchdog at a cooperative point with their journal preserved;
+//   * retries: a job that crashes mid-flight (SIGKILL-equivalent hook)
+//     resumes from its journal on the next attempt and still produces
+//     byte-identical output;
+//   * service restart: a new scheduler over the same service_dir resumes
+//     every pending job from the manifest;
+//   * shared device health: one job's blacklisting spares the next job the
+//     rediscovery;
+//   * concurrent seeded fault fuzz: under random pipeline + disk fault
+//     plans, every job either completes byte-identically or fails with a
+//     typed, itemised error — never garbage, never a hang.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/generators.h"
+#include "io/external_sort.h"
+#include "io/journal.h"
+#include "io/run_file.h"
+#include "obs/counters.h"
+#include "service/fair_queue.h"
+#include "service/manifest.h"
+#include "service/scheduler.h"
+#include "service/service_error.h"
+
+namespace hs::service {
+namespace {
+
+using hs::data::Distribution;
+using hs::sim::FaultPlan;
+using hs::sim::FaultSite;
+
+int seed_count(int full) {
+  if (const char* env = std::getenv("HETSORT_FAULT_FUZZ_SEEDS")) {
+    const int n = std::atoi(env);
+    if (n > 0) return std::min(n, full);
+  }
+  return full;
+}
+
+model::Platform tiny_platform(unsigned gpus = 1) {
+  model::Platform p = model::platform1();
+  p.gpus.clear();
+  model::GpuSpec spec;
+  spec.model = "ServiceTestGPU";
+  spec.cuda_cores = 64;
+  spec.memory_bytes = 65536 * sizeof(double);
+  spec.sort = model::GpuSortModel{1e-4, 2e-9};
+  for (unsigned i = 0; i < gpus; ++i) p.gpus.push_back(spec);
+  return p;
+}
+
+core::SortConfig tiny_pipeline() {
+  core::SortConfig cfg;
+  cfg.batch_size = 4000;
+  cfg.staging_elems = 512;
+  return cfg;
+}
+
+class ServiceSchedulerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ =
+        std::filesystem::temp_directory_path() /
+        ("hetsort_service_" + std::to_string(::getpid()) + "_" +
+         ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::remove_all(root_);
+    std::filesystem::create_directories(root_);
+  }
+  void TearDown() override { std::filesystem::remove_all(root_); }
+
+  SchedulerConfig base_config() {
+    SchedulerConfig cfg;
+    cfg.service_dir = root_.string();
+    cfg.platform = tiny_platform();
+    cfg.workers = 2;
+    return cfg;
+  }
+
+  JobSpec job(const std::string& name, std::uint64_t n,
+              std::uint64_t seed = 0) {
+    JobSpec spec;
+    spec.name = name;
+    spec.n = n;
+    spec.seed = seed != 0 ? seed : 1 + std::hash<std::string>{}(name) % 1000;
+    spec.output_path = (root_ / (name + ".out")).string();
+    spec.pipeline = tiny_pipeline();
+    spec.memory_budget_elems = 8000;  // several runs per job
+    spec.io_buffer_elems = 512;
+    return spec;
+  }
+
+  /// Byte-exact comparison against an independently sorted copy of the
+  /// job's deterministic input.
+  void expect_byte_identical(const JobSpec& spec) {
+    std::vector<double> expect =
+        data::generate(spec.dist, spec.n, spec.seed);
+    std::sort(expect.begin(), expect.end());
+    const std::vector<double> got = io::read_doubles(spec.output_path);
+    ASSERT_EQ(got.size(), expect.size()) << spec.name;
+    EXPECT_EQ(0, std::memcmp(got.data(), expect.data(),
+                             got.size() * sizeof(double)))
+        << spec.name;
+  }
+
+  std::filesystem::path root_;
+};
+
+// --- fair queue unit ---------------------------------------------------------
+
+TEST(FairQueueUnit, WeightedOrderAcrossClasses) {
+  FairQueue q({{"hi", 3.0}, {"lo", 1.0}}, 64);
+  // Equal-cost jobs: hi (weight 3) should dispatch ~3 per lo.
+  for (std::uint64_t i = 0; i < 6; ++i) ASSERT_TRUE(q.push(100 + i, "hi", 1));
+  for (std::uint64_t i = 0; i < 2; ++i) ASSERT_TRUE(q.push(200 + i, "lo", 1));
+  std::vector<std::uint64_t> order;
+  while (auto h = q.pop()) order.push_back(*h);
+  ASSERT_EQ(order.size(), 8u);
+  // Among the first four dispatches at most one is lo.
+  int lo_in_first4 = 0;
+  for (int i = 0; i < 4; ++i) lo_in_first4 += order[static_cast<std::size_t>(i)] >= 200;
+  EXPECT_LE(lo_in_first4, 1);
+  // Within each class, FIFO order is preserved.
+  std::vector<std::uint64_t> hi, lo;
+  for (std::uint64_t h : order) (h < 200 ? hi : lo).push_back(h);
+  EXPECT_TRUE(std::is_sorted(hi.begin(), hi.end()));
+  EXPECT_TRUE(std::is_sorted(lo.begin(), lo.end()));
+}
+
+TEST(FairQueueUnit, CapacityAndRemoval) {
+  FairQueue q({}, 3);
+  EXPECT_TRUE(q.push(1, "a", 1));
+  EXPECT_TRUE(q.push(2, "b", 1));
+  EXPECT_TRUE(q.push(3, "a", 1));
+  EXPECT_FALSE(q.push(4, "c", 1)) << "capacity must bound total, not class";
+  EXPECT_TRUE(q.remove(2));
+  EXPECT_FALSE(q.remove(2));
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_TRUE(q.push(4, "c", 1));
+  std::size_t drained = 0;
+  while (q.pop()) ++drained;
+  EXPECT_EQ(drained, 3u);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(FairQueueUnit, EligibilityFilterSkipsParkedClasses) {
+  FairQueue q({}, 8);
+  ASSERT_TRUE(q.push(1, "a", 1));
+  ASSERT_TRUE(q.push(2, "a", 1));
+  ASSERT_TRUE(q.push(3, "b", 10));
+  // Class a's head is ineligible: class a is parked entirely (FIFO within a
+  // class), so b's head dispatches even with a later finish tag.
+  const auto h = q.pop_first_eligible(
+      [](std::uint64_t handle) { return handle != 1; });
+  ASSERT_TRUE(h.has_value());
+  EXPECT_EQ(*h, 3u);
+  EXPECT_EQ(q.size(), 2u);
+}
+
+// --- service manifest --------------------------------------------------------
+
+TEST(ServiceManifest, RoundTripsAndRejectsTampering) {
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() /
+      ("hetsort_manifest_" + std::to_string(::getpid()));
+  std::filesystem::create_directories(dir);
+
+  ServiceManifest m;
+  JobSpec a;
+  a.name = "alpha";
+  a.n = 1234;
+  a.seed = 7;
+  a.dist = Distribution::kGaussian;
+  a.job_class = "batch jobs";  // spaces in class names survive (tab-separated)
+  a.host_budget_bytes = 1 << 20;
+  a.deadline_seconds = 2.5;
+  a.max_retries = 5;
+  a.memory_budget_elems = 4096;
+  a.output_path = (dir / "alpha out.bin").string();  // spaces in paths too
+  m.jobs.push_back({a, false});
+  JobSpec b = a;
+  b.name = "beta";
+  b.input_path = (dir / "beta in.bin").string();
+  m.jobs.push_back({b, true});
+
+  save_manifest(m, dir.string());
+  const auto loaded = load_manifest(dir.string());
+  ASSERT_TRUE(loaded.has_value());
+  ASSERT_EQ(loaded->jobs.size(), 2u);
+  EXPECT_EQ(loaded->jobs[0].spec.name, "alpha");
+  EXPECT_FALSE(loaded->jobs[0].done);
+  EXPECT_EQ(loaded->jobs[0].spec.job_class, "batch jobs");
+  EXPECT_EQ(loaded->jobs[0].spec.dist, Distribution::kGaussian);
+  EXPECT_EQ(loaded->jobs[0].spec.n, 1234u);
+  EXPECT_EQ(loaded->jobs[0].spec.host_budget_bytes, 1u << 20);
+  EXPECT_DOUBLE_EQ(loaded->jobs[0].spec.deadline_seconds, 2.5);
+  EXPECT_EQ(loaded->jobs[0].spec.max_retries, 5u);
+  EXPECT_EQ(loaded->jobs[0].spec.output_path, (dir / "alpha out.bin").string());
+  EXPECT_TRUE(loaded->jobs[1].done);
+  EXPECT_EQ(loaded->jobs[1].spec.input_path, (dir / "beta in.bin").string());
+
+  // Flip one byte: the checksum line must reject the whole manifest.
+  {
+    std::FILE* f = std::fopen(manifest_path(dir.string()).c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, 40, SEEK_SET);
+    std::fputc('#', f);
+    std::fclose(f);
+  }
+  EXPECT_FALSE(load_manifest(dir.string()).has_value());
+  std::filesystem::remove_all(dir);
+}
+
+// --- basic service flow ------------------------------------------------------
+
+TEST_F(ServiceSchedulerTest, JobsCompleteByteIdentical) {
+  const auto before = obs::counters().snapshot();
+  std::vector<JobSpec> specs;
+  {
+    JobScheduler sched(base_config());
+    for (int i = 0; i < 4; ++i) {
+      specs.push_back(job("job" + std::to_string(i), 20000));
+      sched.submit(specs.back());
+    }
+    sched.drain();
+    for (const JobSpec& s : specs) {
+      const JobOutcome out = sched.outcome(s.name);
+      EXPECT_EQ(out.state, JobState::kCompleted) << out.error;
+      EXPECT_EQ(out.attempts, 1u);
+      EXPECT_GT(out.stats.num_runs, 1u) << "spec forces multiple runs";
+      EXPECT_GT(out.virtual_seconds, 0.0);
+    }
+    const std::string report = sched.report();
+    EXPECT_NE(report.find("completed=4"), std::string::npos) << report;
+  }
+  for (const JobSpec& s : specs) expect_byte_identical(s);
+  const auto delta = obs::counters().snapshot() - before;
+  EXPECT_EQ(delta.value(obs::Counter::kJobsSubmitted), 4u);
+  EXPECT_EQ(delta.value(obs::Counter::kJobsCompleted), 4u);
+  EXPECT_EQ(delta.value(obs::Counter::kJobsFailed), 0u);
+}
+
+TEST_F(ServiceSchedulerTest, RejectsInvalidSpecsTyped) {
+  JobScheduler sched(base_config());
+  EXPECT_THROW(sched.submit(JobSpec{}), InvalidJobSpec);
+  JobSpec no_out = job("x", 1000);
+  no_out.output_path.clear();
+  EXPECT_THROW(sched.submit(no_out), InvalidJobSpec);
+  JobSpec ok = job("dup", 1000);
+  sched.submit(ok);
+  EXPECT_THROW(sched.submit(ok), InvalidJobSpec) << "duplicate name";
+  sched.drain();
+}
+
+// --- the acceptance demo: overload + faults ----------------------------------
+
+TEST_F(ServiceSchedulerTest, OverloadDemoFaultyJobsCompleteOrRejectTyped) {
+  const auto before = obs::counters().snapshot();
+  SchedulerConfig cfg = base_config();
+  cfg.workers = 2;
+  cfg.queue_capacity = 4;
+  // Budget admits ~2 full grants: concurrent demand exceeds it, so grants
+  // shrink and late dispatches wait for releases — but nothing OOMs.
+  cfg.host_budget_bytes = 8ull << 20;
+  cfg.default_job_budget_bytes = 4ull << 20;
+  cfg.min_job_budget_bytes = 1ull << 20;
+  cfg.classes = {{"batch", 1.0}, {"interactive", 4.0}};
+  JobScheduler sched(cfg);
+
+  // Two long anchors occupy both workers, then the queue fills to capacity;
+  // every further submission must be rejected with the typed backpressure
+  // error (submissions are microseconds, the anchors run much longer).
+  std::vector<JobSpec> admitted;
+  std::size_t rejected = 0;
+  for (int i = 0; i < 12; ++i) {
+    JobSpec s = job("j" + std::to_string(i), i < 2 ? 60000 : 20000);
+    s.job_class = i % 2 == 0 ? "batch" : "interactive";
+    s.host_budget_bytes = 4ull << 20;
+    if (i % 3 == 0) {
+      // A third of the jobs run under pipeline fault injection with
+      // recovery enabled.
+      s.pipeline.faults.seed = static_cast<std::uint64_t>(i) + 1;
+      s.pipeline.faults.p(FaultSite::kHtoD) = 0.05;
+      s.pipeline.faults.p(FaultSite::kStagingCopy) = 0.05;
+      s.pipeline.faults.max_faults = 4;
+      s.pipeline.recovery.enabled = true;
+      s.pipeline.recovery.backoff_base_s = 1e-4;
+    }
+    if (i % 4 == 1) {
+      // And a quarter see disk faults (retried by the io layer).
+      s.io_faults.seed = static_cast<std::uint64_t>(i) + 100;
+      s.io_faults.p(FaultSite::kFileWrite) = 0.05;
+      s.io_faults.max_faults = 2;
+    }
+    try {
+      sched.submit(s);
+      admitted.push_back(std::move(s));
+    } catch (const ServiceOverloaded& e) {
+      ++rejected;
+      EXPECT_EQ(e.capacity(), cfg.queue_capacity);
+      EXPECT_GE(e.depth(), cfg.queue_capacity);
+    }
+  }
+  ASSERT_GE(admitted.size(), 6u) << "2 running + 4 queued must be admitted";
+  EXPECT_GE(rejected, 1u) << "queue past capacity must reject";
+  EXPECT_EQ(admitted.size() + rejected, 12u);
+
+  sched.drain();
+
+  // Zero starvation: every admitted job completed, and the service-level
+  // budget ledger never exceeded the budget.
+  for (const JobSpec& s : admitted) {
+    const JobOutcome out = sched.outcome(s.name);
+    ASSERT_EQ(out.state, JobState::kCompleted)
+        << s.name << ": " << out.error_type << " " << out.error;
+    expect_byte_identical(s);
+    EXPECT_LE(out.granted_budget_bytes, 4ull << 20);
+    EXPECT_GE(out.granted_budget_bytes, 1ull << 20);
+  }
+  EXPECT_LE(sched.governor().peak_reserved_bytes(), cfg.host_budget_bytes);
+  EXPECT_EQ(sched.governor().reserved_bytes(), 0u) << "all grants released";
+
+  const auto delta = obs::counters().snapshot() - before;
+  EXPECT_EQ(delta.value(obs::Counter::kJobsRejected), rejected);
+  EXPECT_EQ(delta.value(obs::Counter::kJobsCompleted), admitted.size());
+}
+
+// --- fairness ----------------------------------------------------------------
+
+TEST_F(ServiceSchedulerTest, FairnessBoundLimitsBypassWork) {
+  SchedulerConfig cfg = base_config();
+  cfg.workers = 1;  // serial dispatch makes the bound exact
+  cfg.queue_capacity = 32;
+  cfg.classes = {{"hi", 4.0}, {"lo", 1.0}};
+  JobScheduler sched(cfg);
+
+  // An anchor occupies the worker while the contest is set up.
+  JobSpec anchor = job("anchor", 60000);
+  anchor.job_class = "hi";
+  sched.submit(anchor);
+
+  const std::uint64_t kCost = 10000;
+  JobSpec lo = job("lo0", kCost);
+  lo.job_class = "lo";
+  sched.submit(lo);
+  std::vector<JobSpec> his;
+  for (int i = 0; i < 8; ++i) {
+    JobSpec h = job("hi" + std::to_string(i), kCost);
+    h.job_class = "hi";
+    sched.submit(h);
+    his.push_back(std::move(h));
+  }
+  sched.drain();
+
+  // Every job ran (no starvation) and the lo job was bypassed by at most
+  // (w_hi / w_lo) * W + 2 * max_cost of hi work — the SFQ delay bound from
+  // docs/service.md.
+  const JobOutcome out = sched.outcome("lo0");
+  ASSERT_EQ(out.state, JobState::kCompleted) << out.error;
+  const double W = static_cast<double>(kCost);
+  EXPECT_LE(out.bypass_cost, (4.0 / 1.0) * W + 2.0 * W)
+      << "weighted-fairness delay bound violated";
+  for (const JobSpec& h : his) {
+    EXPECT_EQ(sched.outcome(h.name).state, JobState::kCompleted);
+  }
+}
+
+// --- deadlines + watchdog ----------------------------------------------------
+
+TEST_F(ServiceSchedulerTest, WatchdogCancelsRunningJobPastDeadline) {
+  SchedulerConfig cfg = base_config();
+  cfg.workers = 1;
+  cfg.watchdog_period_seconds = 0.005;
+  JobScheduler sched(cfg);
+
+  // Many small chunks: plenty of cancellation points, and the first runs go
+  // durable long before the deadline. The input is pre-written so slow input
+  // materialisation (e.g. under TSan) cannot eat the deadline before the
+  // sort even starts.
+  JobSpec slow = job("slow", 800000);
+  std::vector<double> input = data::generate(slow.dist, slow.n, slow.seed);
+  slow.input_path = (root_ / "slow.in").string();
+  io::write_doubles(slow.input_path, input);
+  slow.memory_budget_elems = 4000;
+  slow.deadline_seconds = 0.025;
+  sched.submit(slow);
+  sched.drain();
+
+  const JobOutcome out = sched.outcome("slow");
+  EXPECT_EQ(out.state, JobState::kCancelled) << out.error;
+  EXPECT_EQ(out.error_type, "JobDeadlineExceeded");
+  // Cancellation is crash-equivalent: the job journal survives for resume.
+  EXPECT_TRUE(io::load_journal((root_ / "jobs" / "slow").string()).has_value())
+      << "cancelled job must keep its journal";
+}
+
+TEST_F(ServiceSchedulerTest, QueuedJobExpiresWithoutRunning) {
+  SchedulerConfig cfg = base_config();
+  cfg.workers = 1;
+  cfg.watchdog_period_seconds = 0.005;
+  JobScheduler sched(cfg);
+
+  sched.submit(job("anchor", 100000));
+  JobSpec doomed = job("doomed", 10000);
+  doomed.deadline_seconds = 0.01;  // expires long before the anchor finishes
+  sched.submit(doomed);
+  sched.drain();
+
+  const JobOutcome out = sched.outcome("doomed");
+  EXPECT_EQ(out.state, JobState::kFailed);
+  EXPECT_EQ(out.error_type, "JobDeadlineExceeded");
+  EXPECT_EQ(out.attempts, 0u) << "never dispatched";
+  EXPECT_EQ(sched.outcome("anchor").state, JobState::kCompleted);
+}
+
+TEST_F(ServiceSchedulerTest, ExplicitCancelStopsRunningJob) {
+  SchedulerConfig cfg = base_config();
+  cfg.workers = 1;
+  JobScheduler sched(cfg);
+  JobSpec slow = job("slow", 400000);
+  slow.memory_budget_elems = 4000;
+  sched.submit(slow);
+  // Spin until the worker picks it up, then cancel.
+  while (sched.outcome("slow").state == JobState::kQueued) {
+    std::this_thread::yield();
+  }
+  ASSERT_TRUE(sched.cancel("slow"));
+  sched.drain();
+  const JobOutcome out = sched.outcome("slow");
+  EXPECT_EQ(out.state, JobState::kCancelled);
+  EXPECT_EQ(out.error_type, "SortCancelled");
+}
+
+// --- retries + resume --------------------------------------------------------
+
+TEST_F(ServiceSchedulerTest, CrashedJobRetriesWithJournalResume) {
+  const auto before = obs::counters().snapshot();
+  SchedulerConfig cfg = base_config();
+  cfg.workers = 1;
+  cfg.retry_backoff_seconds = 1e-3;
+  JobScheduler sched(cfg);
+
+  // 40000 / 8000 = 5 chunks. The first attempt dies (SIGKILL-equivalent)
+  // after 3 durable runs; the retry resumes those 3 and forms only 2 new
+  // ones, so it cannot re-trigger the crash hook even if it were armed.
+  JobSpec s = job("phoenix", 40000);
+  s.crash_after_runs = 3;
+  s.max_retries = 1;
+  sched.submit(s);
+  sched.drain();
+
+  const JobOutcome out = sched.outcome("phoenix");
+  ASSERT_EQ(out.state, JobState::kCompleted) << out.error;
+  EXPECT_EQ(out.attempts, 2u);
+  EXPECT_TRUE(out.resumed);
+  EXPECT_EQ(out.stats.runs_reused, 3u);
+  expect_byte_identical(s);
+
+  const auto delta = obs::counters().snapshot() - before;
+  EXPECT_EQ(delta.value(obs::Counter::kJobsRetried), 1u);
+  EXPECT_GE(delta.value(obs::Counter::kJobsResumed), 1u);
+}
+
+TEST_F(ServiceSchedulerTest, RetriesExhaustIntoTypedFailure) {
+  SchedulerConfig cfg = base_config();
+  cfg.workers = 1;
+  cfg.retry_backoff_seconds = 1e-3;
+  JobScheduler sched(cfg);
+
+  // Certain write faults, far beyond the io layer's own retry ladder: every
+  // attempt fails, the job must land as kFailed with a typed error.
+  JobSpec s = job("cursed", 20000);
+  s.io_faults.seed = 42;
+  s.io_faults.p(FaultSite::kFileWrite) = 1.0;
+  s.io_faults.max_faults = 1000000;
+  s.max_retries = 1;
+  sched.submit(s);
+  sched.drain();
+
+  const JobOutcome out = sched.outcome("cursed");
+  EXPECT_EQ(out.state, JobState::kFailed);
+  EXPECT_EQ(out.error_type, "IoError");
+  EXPECT_EQ(out.attempts, 2u) << "initial + one retry";
+  EXPECT_FALSE(out.error.empty());
+}
+
+TEST_F(ServiceSchedulerTest, RestartResumesPendingJobsFromManifest) {
+  std::vector<JobSpec> specs;
+  for (int i = 0; i < 3; ++i) specs.push_back(job("r" + std::to_string(i), 20000));
+  {
+    SchedulerConfig cfg = base_config();
+    cfg.workers = 1;
+    JobScheduler sched(cfg);
+    // An anchor holds the single worker so the three real jobs are still
+    // queued (pending in the manifest) when the service "dies".
+    sched.submit(job("anchor", 200000));
+    for (const JobSpec& s : specs) sched.submit(s);
+    sched.shutdown();  // abrupt stop: queued jobs never ran
+  }
+
+  SchedulerConfig cfg = base_config();
+  cfg.workers = 2;
+  JobScheduler sched(cfg);
+  const std::size_t resumed = sched.resume_jobs();
+  EXPECT_GE(resumed, 3u);
+  sched.drain();
+  for (const JobSpec& s : specs) {
+    ASSERT_EQ(sched.outcome(s.name).state, JobState::kCompleted)
+        << sched.outcome(s.name).error;
+    expect_byte_identical(s);
+  }
+}
+
+// --- shared device health ----------------------------------------------------
+
+TEST_F(ServiceSchedulerTest, DeviceBlacklistIsSharedAcrossJobs) {
+  SchedulerConfig cfg = base_config();
+  cfg.workers = 1;
+  cfg.platform = tiny_platform(2);
+  JobScheduler sched(cfg);
+
+  // Job 1: the first transfer fails through the whole in-task retry budget
+  // (max_transfer_retries = 3, so 4 faults exhaust the injector), recovery
+  // blacklists that device, and the discovery lands on the shared board.
+  JobSpec bad = job("discoverer", 20000);
+  bad.pipeline.num_gpus = 2;
+  bad.pipeline.faults.seed = 7;
+  bad.pipeline.faults.p(FaultSite::kHtoD) = 1.0;
+  bad.pipeline.faults.max_faults = 4;
+  bad.pipeline.recovery.enabled = true;
+  bad.pipeline.recovery.backoff_base_s = 1e-4;
+  sched.submit(bad);
+  sched.drain();
+  ASSERT_EQ(sched.outcome("discoverer").state, JobState::kCompleted)
+      << sched.outcome("discoverer").error;
+  ASSERT_EQ(sched.device_health().count(), 1u)
+      << "recovery must publish the blacklisting";
+
+  // Job 2 (fault-free) starts from the surviving devices: no blacklisting
+  // work left to do.
+  JobSpec clean = job("beneficiary", 20000);
+  clean.pipeline.num_gpus = 2;  // clamped to the surviving device count
+  sched.submit(clean);
+  sched.drain();
+  const JobOutcome out = sched.outcome("beneficiary");
+  ASSERT_EQ(out.state, JobState::kCompleted) << out.error;
+  EXPECT_EQ(out.stats.pipeline_recovery.devices_blacklisted, 0u)
+      << "the shared board should spare the rediscovery";
+  expect_byte_identical(clean);
+}
+
+// --- concurrent seeded fault fuzz --------------------------------------------
+
+class ServiceFaultFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(ServiceFaultFuzz, EveryJobCompletesByteIdenticalOrFailsTyped) {
+  const std::uint64_t seed = static_cast<std::uint64_t>(GetParam());
+  const std::filesystem::path root =
+      std::filesystem::temp_directory_path() /
+      ("hetsort_svcfuzz_" + std::to_string(::getpid()) + "_" +
+       std::to_string(seed));
+  std::filesystem::remove_all(root);
+  std::filesystem::create_directories(root);
+
+  Xoshiro256 rng(seed * 2654435761ULL + 17);
+  SchedulerConfig cfg;
+  cfg.service_dir = root.string();
+  cfg.platform = tiny_platform(1 + static_cast<unsigned>(rng.bounded(2)));
+  cfg.workers = 2 + static_cast<unsigned>(rng.bounded(2));
+  cfg.queue_capacity = 16;
+  cfg.host_budget_bytes = (4ull + rng.bounded(8)) << 20;
+  cfg.min_job_budget_bytes = 1ull << 20;
+  cfg.default_job_budget_bytes = 2ull << 20;
+  cfg.retry_backoff_seconds = 1e-3;
+  JobScheduler sched(cfg);
+
+  std::vector<JobSpec> specs;
+  for (int i = 0; i < 6; ++i) {
+    JobSpec s;
+    s.name = "fuzz" + std::to_string(i);
+    s.n = 10000 + rng.bounded(20000);
+    s.seed = seed * 100 + static_cast<std::uint64_t>(i);
+    s.output_path = (root / (s.name + ".out")).string();
+    s.pipeline = tiny_pipeline();
+    s.pipeline.num_gpus =
+        static_cast<unsigned>(cfg.platform.gpus.size());
+    s.memory_budget_elems = 4000 + rng.bounded(8000);
+    s.io_buffer_elems = 512;
+    s.max_retries = static_cast<unsigned>(rng.bounded(3));
+    if (rng.bounded(2) == 0) {
+      s.pipeline.faults.seed = seed * 31 + static_cast<std::uint64_t>(i);
+      s.pipeline.faults.p(FaultSite::kHtoD) = rng.uniform01() * 0.2;
+      s.pipeline.faults.p(FaultSite::kStagingCopy) = rng.uniform01() * 0.2;
+      s.pipeline.faults.p(FaultSite::kDeviceAlloc) = rng.uniform01() * 0.3;
+      s.pipeline.faults.p(FaultSite::kHostAllocFail) = rng.uniform01() * 0.2;
+      s.pipeline.faults.max_faults = 1 + rng.bounded(8);
+      s.pipeline.recovery.enabled = true;
+      s.pipeline.recovery.backoff_base_s = 1e-4;
+    }
+    if (rng.bounded(2) == 0) {
+      s.io_faults.seed = seed * 97 + static_cast<std::uint64_t>(i);
+      s.io_faults.p(FaultSite::kFileRead) = rng.uniform01() * 0.1;
+      s.io_faults.p(FaultSite::kFileWrite) = rng.uniform01() * 0.1;
+      s.io_faults.p(FaultSite::kFileCorrupt) = rng.uniform01() * 0.05;
+      s.io_faults.max_faults = 1 + rng.bounded(4);
+    }
+    if (rng.bounded(4) == 0) s.crash_after_runs = 1 + rng.bounded(3);
+    sched.submit(s);
+    specs.push_back(std::move(s));
+  }
+  sched.drain();
+
+  static const std::vector<std::string> kTypedErrors = {
+      "SimulatedCrash", "SortCancelled",   "RunFileCorrupt",
+      "IoError",        "TransferFault",   "DeviceOutOfMemory",
+      "HostAllocFailed", "PipelineStalled", "HostBudgetExceeded",
+      "JobDeadlineExceeded"};
+  for (const JobSpec& s : specs) {
+    const JobOutcome out = sched.outcome(s.name);
+    if (out.state == JobState::kCompleted) {
+      std::vector<double> expect = data::generate(s.dist, s.n, s.seed);
+      std::sort(expect.begin(), expect.end());
+      const std::vector<double> got = io::read_doubles(s.output_path);
+      ASSERT_EQ(got.size(), expect.size()) << s.name;
+      EXPECT_EQ(0, std::memcmp(got.data(), expect.data(),
+                               got.size() * sizeof(double)))
+          << s.name << " seed " << seed;
+    } else {
+      EXPECT_EQ(out.state, JobState::kFailed) << s.name;
+      EXPECT_NE(std::find(kTypedErrors.begin(), kTypedErrors.end(),
+                          out.error_type),
+                kTypedErrors.end())
+          << s.name << " untyped error '" << out.error_type
+          << "': " << out.error;
+      EXPECT_FALSE(out.error.empty()) << "errors must be itemised";
+    }
+  }
+  EXPECT_EQ(sched.governor().reserved_bytes(), 0u);
+  sched.shutdown();
+  std::filesystem::remove_all(root);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ServiceFaultFuzz,
+                         ::testing::Range(0, seed_count(6)));
+
+}  // namespace
+}  // namespace hs::service

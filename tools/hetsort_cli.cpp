@@ -9,6 +9,30 @@
 //                                            comparison (--json/--chrome-trace
 //                                            for machine-readable exports)
 //   hetsort_cli sortfile --in F --out G [--budget N]   out-of-core file sort
+//   hetsort_cli verify   FILE                 integrity-check a framed run
+//                                             file (block checksums, header,
+//                                             sortedness); exit 0 = intact
+//   hetsort_cli serve    [options]            sort service: submit a batch of
+//                                             jobs through the concurrent
+//                                             JobScheduler (admission queue,
+//                                             weighted fair classes, shared
+//                                             memory budget, crash resume)
+//
+// Serve options:
+//   --service-dir DIR       manifest + per-job journal root (default .)
+//   --jobs N                generated jobs to submit (default 4)
+//   --job-elems N           elements per generated job (default 1e5)
+//   --workers N             concurrent sort workers (default 2)
+//   --queue-depth N         admission queue capacity (default 16)
+//   --host-budget BYTES     service-wide memory budget shared by all jobs
+//   --min-job-budget BYTES  per-job grant floor under contention (default 1Mi)
+//   --classes SPEC          fair classes "name:weight,name:weight"; generated
+//                           jobs round-robin across them (default "default:1")
+//   --deadline S            per-job deadline in seconds (default: none)
+//   --resume                resume pending jobs from the service manifest
+//                           (newly generated jobs are then skipped)
+//   --crash-after-jobs K    test hook: _Exit(137) after K jobs complete
+//   --report                print the service report (queue, budget, p50/p99)
 //
 // Options:
 //   --host-budget BYTES     host memory budget; the governor shrinks staging
@@ -48,8 +72,12 @@
 #include <string>
 #include <vector>
 
+#include <cmath>
+#include <thread>
+
 #include "common/key_value.h"
 #include "core/het_sorter.h"
+#include "service/scheduler.h"
 #include "data/generators.h"
 #include "data/verify.h"
 #include "io/external_sort.h"
@@ -84,6 +112,18 @@ struct Options {
   bool resume = false;
   bool no_journal = false;
   std::uint64_t crash_after_runs = 0;
+
+  // serve
+  std::string service_dir = ".";
+  std::uint64_t serve_jobs = 4;
+  std::uint64_t job_elems = 100'000;
+  unsigned workers = 2;
+  std::uint64_t queue_depth = 16;
+  std::uint64_t min_job_budget = 1ull << 20;
+  std::string classes_spec = "default:1";
+  double deadline_seconds = 0;
+  std::uint64_t crash_after_jobs = 0;
+  bool serve_report = false;
 };
 
 [[noreturn]] void usage(const char* msg = nullptr) {
@@ -101,6 +141,61 @@ core::Approach parse_approach(const std::string& s) {
   if (s == "pipedata") return core::Approach::kPipeData;
   if (s == "pipemerge") return core::Approach::kPipeMerge;
   usage("unknown approach");
+}
+
+/// Strict numeric flag parsing: scientific notation is welcome ("2e6"), but
+/// trailing garbage, negatives and non-numbers are a usage error (exit 2)
+/// instead of a silent default — a mistyped --host-budget must not quietly
+/// run unlimited.
+std::uint64_t parse_count(const char* flag, const std::string& v) {
+  char* end = nullptr;
+  const double d = std::strtod(v.c_str(), &end);
+  if (end == v.c_str() || end == nullptr || *end != '\0' ||
+      !std::isfinite(d) || d < 0) {
+    usage(("invalid value for " + std::string(flag) + ": '" + v +
+           "' (expected a non-negative number, e.g. 4096 or 2e6)")
+              .c_str());
+  }
+  return static_cast<std::uint64_t>(d);
+}
+
+double parse_seconds(const char* flag, const std::string& v) {
+  char* end = nullptr;
+  const double d = std::strtod(v.c_str(), &end);
+  if (end == v.c_str() || end == nullptr || *end != '\0' ||
+      !std::isfinite(d) || d < 0) {
+    usage(("invalid value for " + std::string(flag) + ": '" + v +
+           "' (expected seconds as a non-negative number)")
+              .c_str());
+  }
+  return d;
+}
+
+std::vector<service::ClassConfig> parse_classes(const std::string& spec) {
+  std::vector<service::ClassConfig> out;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    const std::size_t comma = spec.find(',', pos);
+    const std::string item =
+        spec.substr(pos, comma == std::string::npos ? spec.size() - pos
+                                                    : comma - pos);
+    const std::size_t colon = item.find(':');
+    service::ClassConfig c;
+    c.name = item.substr(0, colon);
+    if (colon != std::string::npos) {
+      char* end = nullptr;
+      c.weight = std::strtod(item.c_str() + colon + 1, &end);
+      if (end == nullptr || *end != '\0' || !(c.weight > 0)) {
+        usage(("invalid class weight in --classes: '" + item + "'").c_str());
+      }
+    }
+    if (c.name.empty()) usage("empty class name in --classes");
+    out.push_back(std::move(c));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  if (out.empty()) usage("--classes must name at least one class");
+  return out;
 }
 
 data::Distribution parse_dist(const std::string& s) {
@@ -125,7 +220,8 @@ Options parse(int argc, char** argv) {
   o.command = argv[1];
   if (o.command != "sort" && o.command != "simulate" &&
       o.command != "survey" && o.command != "report" &&
-      o.command != "sortfile") {
+      o.command != "sortfile" && o.command != "verify" &&
+      o.command != "serve") {
     usage("unknown command");
   }
   auto next = [&](int& i) -> std::string {
@@ -134,8 +230,11 @@ Options parse(int argc, char** argv) {
   };
   for (int i = 2; i < argc; ++i) {
     const std::string flag = argv[i];
-    if (flag == "--n") {
-      o.n = static_cast<std::uint64_t>(std::strtod(next(i).c_str(), nullptr));
+    if (o.command == "verify" && flag.rfind("--", 0) != 0 &&
+        o.in_path.empty()) {
+      o.in_path = flag;  // verify takes the run file as a positional arg
+    } else if (flag == "--n") {
+      o.n = parse_count("--n", next(i));
     } else if (flag == "--platform") {
       o.platform = std::atoi(next(i).c_str());
     } else if (flag == "--approach") {
@@ -145,11 +244,9 @@ Options parse(int argc, char** argv) {
     } else if (flag == "--dist") {
       o.dist = parse_dist(next(i));
     } else if (flag == "--bs") {
-      o.cfg.batch_size =
-          static_cast<std::uint64_t>(std::strtod(next(i).c_str(), nullptr));
+      o.cfg.batch_size = parse_count("--bs", next(i));
     } else if (flag == "--ps") {
-      o.cfg.staging_elems =
-          static_cast<std::uint64_t>(std::strtod(next(i).c_str(), nullptr));
+      o.cfg.staging_elems = parse_count("--ps", next(i));
     } else if (flag == "--streams") {
       o.cfg.streams_per_gpu = static_cast<unsigned>(std::atoi(next(i).c_str()));
     } else if (flag == "--gpus") {
@@ -177,11 +274,9 @@ Options parse(int argc, char** argv) {
     } else if (flag == "--out") {
       o.out_path = next(i);
     } else if (flag == "--budget") {
-      o.budget =
-          static_cast<std::uint64_t>(std::strtod(next(i).c_str(), nullptr));
+      o.budget = parse_count("--budget", next(i));
     } else if (flag == "--host-budget") {
-      o.cfg.host_budget_bytes =
-          static_cast<std::uint64_t>(std::strtod(next(i).c_str(), nullptr));
+      o.cfg.host_budget_bytes = parse_count("--host-budget", next(i));
     } else if (flag == "--temp-dir") {
       o.temp_dir = next(i);
     } else if (flag == "--resume") {
@@ -189,7 +284,27 @@ Options parse(int argc, char** argv) {
     } else if (flag == "--no-journal") {
       o.no_journal = true;
     } else if (flag == "--crash-after-runs") {
-      o.crash_after_runs = std::strtoull(next(i).c_str(), nullptr, 10);
+      o.crash_after_runs = parse_count("--crash-after-runs", next(i));
+    } else if (flag == "--service-dir") {
+      o.service_dir = next(i);
+    } else if (flag == "--jobs") {
+      o.serve_jobs = parse_count("--jobs", next(i));
+    } else if (flag == "--job-elems") {
+      o.job_elems = parse_count("--job-elems", next(i));
+    } else if (flag == "--workers") {
+      o.workers = static_cast<unsigned>(parse_count("--workers", next(i)));
+    } else if (flag == "--queue-depth") {
+      o.queue_depth = parse_count("--queue-depth", next(i));
+    } else if (flag == "--min-job-budget") {
+      o.min_job_budget = parse_count("--min-job-budget", next(i));
+    } else if (flag == "--classes") {
+      o.classes_spec = next(i);
+    } else if (flag == "--deadline") {
+      o.deadline_seconds = parse_seconds("--deadline", next(i));
+    } else if (flag == "--crash-after-jobs") {
+      o.crash_after_jobs = parse_count("--crash-after-jobs", next(i));
+    } else if (flag == "--report" && o.command == "serve") {
+      o.serve_report = true;
     } else {
       usage(("unknown flag: " + flag).c_str());
     }
@@ -197,6 +312,17 @@ Options parse(int argc, char** argv) {
   if (o.n == 0) usage("--n must be positive");
   if (o.type != "f64" && o.type != "u64" && o.type != "kv64") {
     usage("--type must be f64, u64 or kv64");
+  }
+  // Flag conflicts are refused up front, typed, instead of producing
+  // surprising runs: a crash hook firing on a resumed job would crash-loop
+  // it forever, and resuming without a journal is a contradiction.
+  if (o.resume && o.crash_after_runs > 0) {
+    usage("--resume conflicts with --crash-after-runs (the crash hook would "
+          "re-fire on every resume attempt)");
+  }
+  if (o.resume && o.no_journal) {
+    usage("--resume conflicts with --no-journal (resume adopts the journal "
+          "that --no-journal suppresses)");
   }
   return o;
 }
@@ -429,6 +555,120 @@ int cmd_sortfile(const Options& o) {
   return ok ? 0 : 1;
 }
 
+int cmd_verify(const Options& o) {
+  if (o.in_path.empty()) usage("verify requires a run file path (or --in)");
+  try {
+    const std::uint64_t bytes =
+        io::verify_run_file(o.in_path, 1 << 16);
+    std::printf("%s: OK (%llu payload bytes verified)\n", o.in_path.c_str(),
+                static_cast<unsigned long long>(bytes));
+    return 0;
+  } catch (const io::RunFileCorrupt& e) {
+    std::fprintf(stderr, "%s: CORRUPT: %s\n", o.in_path.c_str(), e.what());
+    return 1;
+  } catch (const io::IoError& e) {
+    std::fprintf(stderr, "%s: UNREADABLE: %s\n", o.in_path.c_str(), e.what());
+    return 1;
+  }
+}
+
+int cmd_serve(const Options& o) {
+  io::ensure_spill_backend();
+  service::SchedulerConfig scfg;
+  scfg.service_dir = o.service_dir;
+  scfg.workers = std::max(1u, o.workers);
+  scfg.queue_capacity = static_cast<std::size_t>(
+      std::max<std::uint64_t>(1, o.queue_depth));
+  scfg.host_budget_bytes = o.cfg.host_budget_bytes;
+  scfg.min_job_budget_bytes = std::max<std::uint64_t>(1, o.min_job_budget);
+  scfg.classes = parse_classes(o.classes_spec);
+  scfg.platform = pick_platform(o.platform);
+  service::JobScheduler scheduler(scfg);
+
+  std::vector<std::string> names;
+  if (o.resume) {
+    const std::size_t resumed = scheduler.resume_jobs();
+    std::printf("resumed %zu pending jobs from %s\n", resumed,
+                service::manifest_path(o.service_dir).c_str());
+    for (const service::JobOutcome& out : scheduler.outcomes()) {
+      names.push_back(out.name);
+    }
+  } else {
+    // Generated job mix: round-robin across the declared classes, each job
+    // deterministic from (dist, elems, seed + index).
+    for (std::uint64_t i = 0; i < o.serve_jobs; ++i) {
+      service::JobSpec spec;
+      spec.name = "job" + std::to_string(i);
+      spec.dist = o.dist;
+      spec.n = o.job_elems;
+      spec.seed = o.seed + i;
+      spec.output_path =
+          o.service_dir + "/jobs/" + spec.name + "/output.bin";
+      spec.job_class = scfg.classes[i % scfg.classes.size()].name;
+      spec.deadline_seconds = o.deadline_seconds;
+      spec.pipeline = o.cfg;
+      spec.pipeline.host_budget_bytes = 0;  // the service grant governs
+      spec.memory_budget_elems = o.budget;
+      // Backpressure loop: a full queue is a typed retry-later signal, so
+      // the client backs off and resubmits instead of failing.
+      for (;;) {
+        try {
+          scheduler.submit(spec);
+          break;
+        } catch (const service::ServiceOverloaded&) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        }
+      }
+      names.push_back(spec.name);
+    }
+  }
+
+  if (o.crash_after_jobs > 0) {
+    // Daemon-kill hook for the serve-mode smoke test: die abruptly (no
+    // destructors, like SIGKILL) once K jobs completed. Journals and the
+    // manifest are crash-consistent by construction.
+    for (;;) {
+      std::size_t done = 0, terminal = 0;
+      for (const service::JobOutcome& out : scheduler.outcomes()) {
+        if (out.state == service::JobState::kCompleted) ++done;
+        if (out.state != service::JobState::kQueued &&
+            out.state != service::JobState::kRunning) {
+          ++terminal;
+        }
+      }
+      if (done >= o.crash_after_jobs) {
+        std::fprintf(stderr, "crash-after-jobs: exiting after %zu jobs\n",
+                     done);
+        std::_Exit(137);
+      }
+      if (terminal == names.size()) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  }
+  scheduler.drain();
+
+  int failed = 0;
+  for (const std::string& name : names) {
+    const service::JobOutcome out = scheduler.outcome(name);
+    std::printf("  %-12s %-10s class=%-8s wait=%.3fs run=%.3fs attempts=%u%s",
+                out.name.c_str(),
+                std::string(service::job_state_name(out.state)).c_str(),
+                out.job_class.c_str(), out.queue_wait_seconds,
+                out.run_seconds, out.attempts,
+                out.resumed ? " resumed" : "");
+    if (out.state != service::JobState::kCompleted) {
+      std::printf(" [%s: %s]", out.error_type.c_str(), out.error.c_str());
+      ++failed;
+    }
+    std::printf("\n");
+  }
+  if (o.serve_report) {
+    std::printf("\n%s", scheduler.report().c_str());
+  }
+  scheduler.shutdown();
+  return failed == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -438,6 +678,8 @@ int main(int argc, char** argv) {
     if (o.command == "simulate") return cmd_simulate(o);
     if (o.command == "report") return cmd_report(o);
     if (o.command == "sortfile") return cmd_sortfile(o);
+    if (o.command == "verify") return cmd_verify(o);
+    if (o.command == "serve") return cmd_serve(o);
     return cmd_survey(o);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
