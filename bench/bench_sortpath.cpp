@@ -34,10 +34,13 @@
 
 #include "common/assert.h"
 #include "common/key_value.h"
+#include "core/het_sorter.h"
 #include "cpu/parallel_memcpy.h"
 #include "cpu/radix_sort.h"
 #include "cpu/thread_pool.h"
 #include "data/generators.h"
+#include "data/sketch.h"
+#include "model/platforms.h"
 
 namespace reference {
 
@@ -223,6 +226,69 @@ RadixSeries run_radix(hs::cpu::ThreadPool& pool, const std::string& type,
   return s;
 }
 
+// Planner series: simulated end-to-end time of the distribution-adaptive
+// sort planner against the fixed radix-LSD baseline on platform 1 (GP100),
+// per input distribution. The sketch is computed from real generated keys
+// (2^20 of them) and scaled to the paper-sized population, so the planner
+// sees exactly what a real run of that distribution would hand it; the
+// pipeline itself runs in timing-only mode. Everything reported here is
+// virtual time — machine-independent — so compare_bench.py checks these
+// fields exactly even on smoke runs.
+struct PlannerSeries {
+  std::string type;
+  std::string dist;
+  std::string engine;  // engine the adaptive planner chose
+  unsigned passes = 0;
+  double log2_distinct = 0;
+  double baseline_s = 0;  // fixed radix-LSD end-to-end (simulated)
+  double adaptive_s = 0;  // adaptive planner end-to-end (simulated)
+  double improvement = 0;  // baseline / adaptive
+};
+
+constexpr std::uint64_t kPlannerSimElems = 200'000'000;  // paper-scale n
+constexpr std::uint64_t kPlannerSampleElems = std::uint64_t{1} << 20;
+
+template <typename T>
+PlannerSeries run_planner(const std::string& type, Distribution dist) {
+  const auto keys =
+      hs::data::generate_keys(dist, kPlannerSampleElems, 17);
+  const hs::data::InputSketch sketch =
+      hs::data::sketch_keys(keys, kPlannerSimElems);
+
+  const auto simulate = [&](hs::core::DeviceEnginePolicy policy,
+                            bool with_hint) {
+    hs::core::SortConfig cfg;
+    cfg.device_engine = policy;
+    // The baseline is the pre-portfolio path: fixed radix, no planner at
+    // all (without a hint the kFixedRadix policy never invokes it).
+    cfg.has_planner_hint = with_hint;
+    if (with_hint) cfg.planner_hint = sketch;
+    hs::core::HeterogeneousSorter sorter(hs::model::platform1(), cfg);
+    return sorter.simulate(kPlannerSimElems, hs::cpu::element_ops<T>());
+  };
+
+  const hs::core::Report base =
+      simulate(hs::core::DeviceEnginePolicy::kFixedRadix, false);
+  const hs::core::Report adapt =
+      simulate(hs::core::DeviceEnginePolicy::kAdaptive, true);
+
+  PlannerSeries s;
+  s.type = type;
+  s.dist = std::string(hs::data::distribution_name(dist));
+  s.engine = adapt.device_engine;
+  s.passes = adapt.plan_passes;
+  s.log2_distinct = adapt.plan_log2_distinct;
+  s.baseline_s = base.end_to_end;
+  s.adaptive_s = adapt.end_to_end;
+  s.improvement = base.end_to_end / adapt.end_to_end;
+  std::printf(
+      "plan  %-5s %-15s engine %-10s passes %u   log2d %5.1f   "
+      "base %.3fs   adaptive %.3fs   %.2fx\n",
+      type.c_str(), s.dist.c_str(), s.engine.c_str(), s.passes,
+      s.log2_distinct, s.baseline_s, s.adaptive_s, s.improvement);
+  return s;
+}
+
 struct MemcpySeries {
   std::size_t bytes = 0;
   double memcpy_gbps = 0;
@@ -275,6 +341,15 @@ int main(int argc, char** argv) {
     radix.push_back(run_radix<hs::KeyValue64>(pool, "kv64", dist));
   }
 
+  std::vector<PlannerSeries> planner;
+  planner.push_back(run_planner<std::uint64_t>("u64", Distribution::kUniform));
+  planner.push_back(
+      run_planner<std::uint64_t>("u64", Distribution::kDuplicateHeavy));
+  planner.push_back(run_planner<std::uint64_t>("u64", Distribution::kZipf));
+  planner.push_back(run_planner<std::uint64_t>("u64", Distribution::kSorted));
+  planner.push_back(
+      run_planner<hs::KeyValue64>("kv64", Distribution::kDuplicateHeavy));
+
   std::vector<MemcpySeries> copies;
   std::vector<std::size_t> copy_sizes = {std::size_t{1} << 20,
                                          std::size_t{16} << 20};
@@ -302,6 +377,22 @@ int main(int argc, char** argv) {
                  s.type.c_str(), s.dist.c_str(), s.seed_meps, s.engine_meps,
                  s.parallel_meps, s.executed_passes, s.speedup,
                  i + 1 < radix.size() ? "," : "");
+  }
+  std::fprintf(f,
+               "  ],\n  \"planner_units\": \"simulated seconds, platform1, "
+               "%llu elements\",\n",
+               static_cast<unsigned long long>(kPlannerSimElems));
+  std::fprintf(f, "  \"planner\": [\n");
+  for (std::size_t i = 0; i < planner.size(); ++i) {
+    const PlannerSeries& s = planner[i];
+    std::fprintf(f,
+                 "    {\"type\": \"%s\", \"dist\": \"%s\", \"engine\": "
+                 "\"%s\", \"passes\": %u, \"log2_distinct\": %.1f, "
+                 "\"baseline_s\": %.4f, \"adaptive_s\": %.4f, "
+                 "\"improvement\": %.3f}%s\n",
+                 s.type.c_str(), s.dist.c_str(), s.engine.c_str(), s.passes,
+                 s.log2_distinct, s.baseline_s, s.adaptive_s, s.improvement,
+                 i + 1 < planner.size() ? "," : "");
   }
   std::fprintf(f, "  ],\n  \"memcpy_units\": \"GB per second\",\n");
   std::fprintf(f, "  \"memcpy\": [\n");

@@ -10,6 +10,11 @@
 #include "core/memory_governor.h"
 #include "core/merge_schedule.h"
 #include "core/pipeline_builder.h"
+#include "core/sort_plan.h"
+#include "cpu/radix_sort.h"
+#include "data/sketch.h"
+#include "obs/counters.h"
+#include "obs/span.h"
 #include "obs/trace_io.h"
 #include "vgpu/faults.h"
 #include "vgpu/runtime.h"
@@ -45,7 +50,55 @@ Report HeterogeneousSorter::attempt(std::span<std::byte> data, std::uint64_t n,
                                     AttemptInfo& info) {
   const auto mode =
       is_real ? vgpu::Execution::kReal : vgpu::Execution::kTimingOnly;
-  const ResolvedConfig rc = resolve(cfg, plat, n, ops.elem_size);
+  ResolvedConfig rc = resolve(cfg, plat, n, ops.elem_size);
+
+  // Sort planner: engaged by any non-default engine policy or an explicit
+  // hint; the fixed-radix default takes the zero-overhead pre-portfolio path.
+  SortPlan splan;
+  if (cfg.device_engine != DeviceEnginePolicy::kFixedRadix ||
+      cfg.has_planner_hint) {
+    obs::ScopedSpan plan_span("SortPlan", "Planner");
+    data::InputSketch sk;
+    if (cfg.has_planner_hint) {
+      sk = cfg.planner_hint;
+      if (sk.population == 0) sk.population = n;
+    } else if (is_real && !data.empty() && cfg.planner_sample > 0 &&
+               ops.extract_key) {
+      sk = data::sketch_records(data.data(), n, ops.elem_size,
+                                ops.extract_key, cfg.planner_sample);
+    } else {
+      // Timing-only without a hint (or sampling disabled): plan from the
+      // conservative uniform assumption.
+      sk = data::uniform_sketch(n);
+    }
+    splan =
+        plan_device_sort(sk, rc, plat, ops.gpu_sort_cost_factor,
+                         cfg.device_engine);
+    if (splan.batch_adjusted) {
+      SortConfig tuned = cfg;
+      tuned.batch_size = splan.batch_size;
+      rc = resolve(tuned, plat, n, ops.elem_size);
+      obs::count(obs::Counter::kPlanBatchAdjusts, 1);
+    }
+    rc.device_launch = splan.launch;
+    obs::count(obs::Counter::kSortPlans, 1);
+    switch (splan.launch.engine) {
+      case vgpu::DeviceSortEngine::kRadixLsd:
+        obs::count(obs::Counter::kPlanEngineRadix, 1);
+        break;
+      case vgpu::DeviceSortEngine::kHybridMsd:
+        obs::count(obs::Counter::kPlanEngineHybrid, 1);
+        obs::count(obs::Counter::kPlanPassesSkipped,
+                   cpu::kRadixPasses -
+                       std::min(cpu::kRadixPasses,
+                                splan.launch.predicted_passes));
+        break;
+      case vgpu::DeviceSortEngine::kSampleSort:
+        obs::count(obs::Counter::kPlanEngineSample, 1);
+        break;
+    }
+  }
+
   info.elapsed = 0;
   info.batch_size = rc.batch_size;
   const MergeSchedule sched = MergeSchedule::plan(rc);
@@ -85,6 +138,15 @@ Report HeterogeneousSorter::attempt(std::span<std::byte> data, std::uint64_t n,
   }
   r.label = cfg.label();
   r.element_type = ops.type_name;
+  r.device_engine =
+      std::string(vgpu::device_sort_engine_name(rc.device_launch.engine));
+  r.plan_adaptive = splan.adaptive;
+  r.plan_sketched = splan.sketched;
+  r.plan_passes = rc.device_launch.predicted_passes;
+  r.plan_log2_distinct = rc.device_launch.log2_distinct;
+  r.sketch_entropy_bits = splan.sketch.entropy_bits;
+  r.sketch_dup_ratio = splan.sketch.dup_ratio;
+  r.sketch_presortedness = splan.sketch.presortedness;
   r.end_to_end = trace.makespan();
   r.busy = phase_times(trace);
 

@@ -304,7 +304,7 @@ sim::TaskId PipelineBuilder::emit_batch(sim::TaskGraph& g,
   emit_stage_to_device(g, bufs, stream, slot, b.offset, b.size, sb.dev_in,
                        tag);
   vgpu::device_sort(rt_, g, stream, rt_.device(b.gpu), sb.dev_in, sb.dev_tmp,
-                    b.size, ops_);
+                    b.size, ops_, rc_.device_launch);
   return emit_stage_from_device(g, bufs, stream, slot, sb.dev_in, b.offset,
                                 b.size, tag);
 }
@@ -335,7 +335,7 @@ sim::TaskId PipelineBuilder::emit_batch_pageable(sim::TaskGraph& g,
   stream.submit(g, std::move(th));
 
   vgpu::device_sort(rt_, g, stream, rt_.device(b.gpu), sb.dev_in, sb.dev_tmp,
-                    b.size, ops_);
+                    b.size, ops_, rc_.device_launch);
 
   auto dest = dest_span(bufs);
   sim::Task td;
@@ -369,11 +369,11 @@ sim::TaskId PipelineBuilder::emit_device_pair(sim::TaskGraph& g,
   emit_stage_to_device(g, bufs, stream, slot, left.offset, left.size,
                        sb.dev_in, "b" + std::to_string(left.index));
   vgpu::device_sort(rt_, g, stream, dev, sb.dev_in, sb.dev_tmp, left.size,
-                    ops_);
+                    ops_, rc_.device_launch);
   emit_stage_to_device(g, bufs, stream, slot, right.offset, right.size,
                        sb.dev_in2, "b" + std::to_string(right.index));
   vgpu::device_sort(rt_, g, stream, dev, sb.dev_in2, sb.dev_tmp, right.size,
-                    ops_);
+                    ops_, rc_.device_launch);
   vgpu::device_merge(rt_, g, stream, dev, sb.dev_in, left.size, sb.dev_in2,
                      right.size, sb.dev_out, ops_);
   return emit_stage_from_device(

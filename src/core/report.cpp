@@ -50,6 +50,20 @@ void Report::print(std::ostream& os) const {
                   merge_deferred ? "deferred" : "direct");
     os << buf;
   }
+  // Only surfaced when the planner actually ran: default-path reports stay
+  // byte-identical to the pre-portfolio output.
+  if (plan_adaptive || device_engine != "radix-lsd") {
+    std::snprintf(buf, sizeof buf,
+                  "  sort plan             %s (%s, %s; passes %u, "
+                  "log2-distinct %.1f, entropy %.1f bits, dups %.2f, "
+                  "presorted %.2f)\n",
+                  device_engine.c_str(),
+                  plan_adaptive ? "adaptive" : "forced",
+                  plan_sketched ? "sketched" : "assumed", plan_passes,
+                  plan_log2_distinct, sketch_entropy_bits, sketch_dup_ratio,
+                  sketch_presortedness);
+    os << buf;
+  }
   if (recovery.any()) {
     std::snprintf(
         buf, sizeof buf,

@@ -47,6 +47,18 @@ struct Report {
   unsigned merge_levels = 0;
   bool merge_deferred = false;
 
+  /// Sort-planner decision (vgpu::device_sort_engine_name of the launched
+  /// engine; "radix-lsd" on the pre-portfolio default path).
+  std::string device_engine = "radix-lsd";
+  bool plan_adaptive = false;  ///< engine chosen by ranking, not forced
+  bool plan_sketched = false;  ///< decision consumed a real sketch/hint
+  unsigned plan_passes = 8;    ///< predicted non-trivial radix passes
+  double plan_log2_distinct = 64.0;
+  /// Evidence the planner acted on (zeros when the planner never ran).
+  double sketch_entropy_bits = 0.0;
+  double sketch_dup_ratio = 0.0;
+  double sketch_presortedness = 0.0;
+
   /// Full accounting: virtual makespan including pinned allocation, staging
   /// copies, and per-chunk synchronisation.
   double end_to_end = 0;

@@ -17,9 +17,26 @@ std::string_view approach_name(Approach a) {
   return "?";
 }
 
+std::string_view device_engine_policy_name(DeviceEnginePolicy p) {
+  switch (p) {
+    case DeviceEnginePolicy::kFixedRadix: return "radix";
+    case DeviceEnginePolicy::kFixedHybrid: return "hybrid";
+    case DeviceEnginePolicy::kFixedSample: return "sample";
+    case DeviceEnginePolicy::kAdaptive: return "adaptive";
+  }
+  return "?";
+}
+
 std::string SortConfig::label() const {
   std::string s(approach_name(approach));
   if (device_pair_merge) s += "+DevMerge";
+  if (device_engine == DeviceEnginePolicy::kAdaptive) {
+    s += "+Planner";
+  } else if (device_engine != DeviceEnginePolicy::kFixedRadix) {
+    s += "+";
+    s += device_engine_policy_name(device_engine);
+    s += "Engine";
+  }
   if (par_memcpy()) s += "+ParMemCpy";
   if (double_buffer_staging) s += "+DblBuf";
   if (staging == StagingMode::kPageable) s += "(pageable)";

@@ -9,8 +9,10 @@
 
 #include "core/device_health.h"
 #include "core/recovery.h"
+#include "data/sketch.h"
 #include "model/platforms.h"
 #include "sim/fault_injector.h"
+#include "vgpu/sort_engine.h"
 
 namespace hs::core {
 
@@ -41,10 +43,38 @@ enum class PairMergePolicy : std::uint8_t {
                     // paper reports as counter-productive; kept for ablation)
 };
 
+/// Which on-device sort engine a job launches. The kFixed* policies force
+/// one engine (the fixed-radix default reproduces pre-portfolio behaviour
+/// with zero planner overhead); kAdaptive lets the sort planner
+/// (core/sort_plan.h) rank the portfolio against the input sketch.
+enum class DeviceEnginePolicy : std::uint8_t {
+  kFixedRadix,
+  kFixedHybrid,
+  kFixedSample,
+  kAdaptive,
+};
+
+std::string_view device_engine_policy_name(DeviceEnginePolicy p);
+
 struct SortConfig {
   Approach approach = Approach::kPipeMerge;
   StagingMode staging = StagingMode::kPinned;
   PairMergePolicy pair_policy = PairMergePolicy::kPaperHeuristic;
+
+  /// On-device engine selection policy. Non-default policies engage the sort
+  /// planner: the input is sketched (or `planner_hint` consumed) and the
+  /// chosen launch parameters are charged by the engine's cost model.
+  DeviceEnginePolicy device_engine = DeviceEnginePolicy::kFixedRadix;
+
+  /// Keys the planner's sketcher examines (data/sketch.h); 0 disables
+  /// sampling and plans from the conservative uniform sketch.
+  std::uint64_t planner_sample = 4096;
+
+  /// Caller-provided sketch consumed instead of sampling the input — the
+  /// only way to plan a timing-only run (simulate() has no payload to
+  /// sample) and useful when the caller already knows the distribution.
+  bool has_planner_hint = false;
+  data::InputSketch planner_hint;
 
   /// Section V extension: perform the pair merges ON the GPU before the
   /// sorted data returns to the host (requires kPipeMerge). Each stream then
@@ -126,6 +156,11 @@ struct ResolvedConfig {
   unsigned merge_threads = 1;
   unsigned multiway_threads = 1;
   bool device_pair_merge = false;
+
+  /// Engine + distribution statistics every device sort of this run
+  /// launches with. Filled by the sort planner; defaults to the LSD radix
+  /// baseline at full pass count.
+  vgpu::DeviceSortLaunch device_launch;
 
   unsigned total_streams() const { return streams_per_gpu * num_gpus; }
   std::uint64_t batch_bytes() const { return batch_size * elem_size; }

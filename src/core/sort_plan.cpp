@@ -1,0 +1,134 @@
+#include "core/sort_plan.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+#include "common/math_util.h"
+#include "cpu/radix_sort.h"
+
+namespace hs::core {
+namespace {
+
+double engine_batch_time(const model::GpuSpec& gpu,
+                         vgpu::DeviceSortEngine engine, std::uint64_t bs,
+                         const vgpu::DeviceSortLaunch& launch) {
+  switch (engine) {
+    case vgpu::DeviceSortEngine::kRadixLsd:
+      return gpu.sort.time(bs);
+    case vgpu::DeviceSortEngine::kHybridMsd:
+      return gpu.hybrid_sort.time(bs, launch.predicted_passes);
+    case vgpu::DeviceSortEngine::kSampleSort:
+      return gpu.sample_sort.time(bs, launch.log2_distinct);
+  }
+  return gpu.sort.time(bs);
+}
+
+}  // namespace
+
+SortPlan plan_device_sort(const data::InputSketch& sketch,
+                          const ResolvedConfig& rc,
+                          const model::Platform& plat, double gpu_cost_factor,
+                          DeviceEnginePolicy policy) {
+  HS_EXPECTS(!plat.gpus.empty());
+  const model::GpuSpec& gpu = plat.gpus.front();
+
+  SortPlan p;
+  p.sketch = sketch;
+  p.sketched = sketch.sampled > 0;
+  p.batch_size = rc.batch_size;
+  p.launch.predicted_passes =
+      std::min<unsigned>(sketch.nontrivial_bytes, cpu::kRadixPasses);
+  p.launch.log2_distinct = sketch.log2_distinct;
+
+  // Engine choice: rank the portfolio with the same models the simulator
+  // charges. Ties go to the distribution-oblivious baseline.
+  const double t_radix = engine_batch_time(
+      gpu, vgpu::DeviceSortEngine::kRadixLsd, rc.batch_size, p.launch);
+  switch (policy) {
+    case DeviceEnginePolicy::kFixedRadix:
+      p.launch.engine = vgpu::DeviceSortEngine::kRadixLsd;
+      break;
+    case DeviceEnginePolicy::kFixedHybrid:
+      p.launch.engine = vgpu::DeviceSortEngine::kHybridMsd;
+      break;
+    case DeviceEnginePolicy::kFixedSample:
+      p.launch.engine = vgpu::DeviceSortEngine::kSampleSort;
+      break;
+    case DeviceEnginePolicy::kAdaptive: {
+      p.adaptive = true;
+      p.launch.engine = vgpu::DeviceSortEngine::kRadixLsd;
+      double best = t_radix;
+      for (const auto e : {vgpu::DeviceSortEngine::kHybridMsd,
+                           vgpu::DeviceSortEngine::kSampleSort}) {
+        const double t = engine_batch_time(gpu, e, rc.batch_size, p.launch);
+        if (t < best) {
+          best = t;
+          p.launch.engine = e;
+        }
+      }
+      break;
+    }
+  }
+  const double nb = static_cast<double>(rc.num_batches);
+  p.model_baseline_s = nb * t_radix * gpu_cost_factor;
+  p.model_chosen_s =
+      nb *
+      engine_batch_time(gpu, p.launch.engine, rc.batch_size, p.launch) *
+      gpu_cost_factor;
+
+  // Batch-size tuning: a coarse pipelined-makespan estimate over a few split
+  // factors. Splitting overlaps staging and transfers with sorting (with one
+  // batch all five stages are strictly serial) but buys a host merge over
+  // more runs; both effects are charged with the platform's own models.
+  // BLine admits exactly one batch, so it is never split.
+  if (rc.cfg.approach != Approach::kBLine) {
+    const double stage_rate = plat.host_memcpy.rate(rc.memcpy_threads);
+    const auto makespan = [&](std::uint64_t batches) {
+      const std::uint64_t bs = div_ceil(rc.n, batches);
+      const double bytes = static_cast<double>(bs) *
+                           static_cast<double>(rc.elem_size);
+      // One batch walks stage-in -> HtoD -> sort -> DtoH -> stage-out; the
+      // staging legs exist only in pinned mode and mirror each other.
+      const double g = rc.cfg.staging == StagingMode::kPinned
+                           ? bytes / stage_rate
+                           : 0.0;
+      const double h = bytes / plat.pcie.pinned_bps;
+      const double s =
+          engine_batch_time(gpu, p.launch.engine, bs, p.launch) *
+          gpu_cost_factor;
+      const double d = bytes / plat.pcie.pinned_dtoh_bps;
+      const double pipelined =
+          g + h + s + d + g +
+          static_cast<double>(batches - 1) * std::max({g, h, s, d});
+      const double merge =
+          batches > 1 ? plat.cpu_merge.time(rc.n,
+                                            static_cast<double>(batches),
+                                            rc.multiway_threads)
+                      : 0.0;
+      return pipelined / static_cast<double>(rc.num_gpus) + merge;
+    };
+    const double base_ms = makespan(rc.num_batches);
+    std::uint64_t best_nb = rc.num_batches;
+    double best_ms = base_ms;
+    for (const std::uint64_t mult : {std::uint64_t{2}, std::uint64_t{4}}) {
+      const std::uint64_t cand = rc.num_batches * mult;
+      const std::uint64_t bs = div_ceil(rc.n, cand);
+      if (cand > 64 || bs < std::max<std::uint64_t>(rc.cfg.staging_elems, 1))
+        continue;
+      const double ms = makespan(cand);
+      if (ms < best_ms) {
+        best_ms = ms;
+        best_nb = cand;
+      }
+    }
+    // Only act on a clear win: the estimate ignores staging chunking and
+    // stream interleave, so marginal differences are noise.
+    if (best_nb != rc.num_batches && best_ms < 0.95 * base_ms) {
+      p.batch_size = div_ceil(rc.n, best_nb);
+      p.batch_adjusted = true;
+    }
+  }
+  return p;
+}
+
+}  // namespace hs::core

@@ -1,0 +1,60 @@
+// Distribution-adaptive sort planner.
+//
+// Consumes an input sketch (data/sketch.h) plus the platform's calibrated
+// device and PCIe models and decides, per job:
+//
+//   * which on-device engine to launch (vgpu::DeviceSortEngine) — the LSD
+//     radix baseline for full-entropy keys, the hybrid MSD engine when the
+//     sketch predicts elidable passes (presorted / narrow-domain keys), the
+//     sample-sort engine when the effective key cardinality collapses
+//     (duplicate-heavy / zipf keys);
+//   * the distribution statistics the chosen engine's cost model consumes
+//     (predicted pass count, log2 effective cardinality);
+//   * the batch size, via a coarse pipelined-makespan estimate — splitting an
+//     in-core input into a few batches overlaps its transfers with its sort,
+//     which the one-batch default cannot, at the price of a merge the
+//     estimate charges explicitly.
+//
+// The planner is deliberately coarse: it ranks alternatives with the same
+// analytic models the simulator charges, so its choices are exact for the
+// virtual platform; the simulated end-to-end time remains the ground truth.
+#pragma once
+
+#include <cstdint>
+
+#include "core/sort_config.h"
+#include "data/sketch.h"
+#include "model/platforms.h"
+#include "vgpu/sort_engine.h"
+
+namespace hs::core {
+
+/// The planner's decision for one job, plus the evidence it acted on.
+struct SortPlan {
+  vgpu::DeviceSortLaunch launch;
+  /// True when the engine was chosen by cost ranking (kAdaptive) rather
+  /// than forced by a kFixed* policy.
+  bool adaptive = false;
+  /// True when the decision consumed a real sketch (sampled keys or a
+  /// caller-provided hint) rather than the uniform fallback.
+  bool sketched = false;
+  /// Chosen batch size; differs from the resolved default when the coarse
+  /// makespan estimate favours a split.
+  std::uint64_t batch_size = 0;
+  bool batch_adjusted = false;
+  /// Modelled on-device sort seconds for the whole input: the LSD baseline
+  /// and the chosen engine (equal when the baseline wins).
+  double model_baseline_s = 0.0;
+  double model_chosen_s = 0.0;
+  data::InputSketch sketch;
+};
+
+/// Plans the device-sort launch for a job resolved as `rc` on `plat`.
+/// `gpu_cost_factor` is the element type's cost multiplier
+/// (cpu::ElementOps::gpu_sort_cost_factor).
+SortPlan plan_device_sort(const data::InputSketch& sketch,
+                          const ResolvedConfig& rc,
+                          const model::Platform& plat, double gpu_cost_factor,
+                          DeviceEnginePolicy policy);
+
+}  // namespace hs::core

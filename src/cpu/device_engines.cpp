@@ -1,0 +1,237 @@
+#include "cpu/device_engines.h"
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <cstring>
+#include <vector>
+
+#include "common/assert.h"
+
+namespace hs::cpu {
+namespace {
+
+constexpr unsigned kDigitBits = 8;
+constexpr std::size_t kBuckets = kRadixBuckets;
+
+constexpr std::size_t digit_of(std::uint64_t key, unsigned digit) {
+  return (key >> (digit * kDigitBits)) & (kBuckets - 1);
+}
+
+/// Borrows the scratch ping-pong arena when available, else owns a buffer.
+template <typename R>
+struct TmpBuffer {
+  TmpBuffer(std::uint64_t elems, RadixSortScratch* scratch) {
+    const std::size_t bytes = elems * sizeof(R);
+    if (scratch != nullptr) {
+      data = reinterpret_cast<R*>(scratch->tmp(bytes));
+    } else {
+      owned.resize(elems);
+      data = owned.data();
+    }
+  }
+  R* data = nullptr;
+  std::vector<R> owned;
+};
+
+template <typename R, typename KeyFn>
+unsigned hybrid_msd_generic(std::span<R> rec, KeyFn key,
+                            RadixSortScratch* scratch) {
+  const std::uint64_t n = rec.size();
+  if (n < 2) {
+    if (scratch != nullptr) scratch->executed_passes = 0;
+    return 0;
+  }
+
+  // One fused read sweep builds every per-digit histogram; a digit with a
+  // single occupied bucket is trivial — its scatter would be the identity.
+  std::array<std::array<std::uint64_t, kBuckets>, kRadixPasses> hist{};
+  for (const R& r : rec) {
+    const std::uint64_t k = key(r);
+    for (unsigned d = 0; d < kRadixPasses; ++d) ++hist[d][digit_of(k, d)];
+  }
+  const auto nontrivial = [&](unsigned d) {
+    unsigned occupied = 0;
+    for (const std::uint64_t c : hist[d])
+      if (c != 0 && ++occupied > 1) return true;
+    return false;
+  };
+  int msd = -1;
+  for (unsigned d = kRadixPasses; d-- > 0;) {
+    if (nontrivial(d)) {
+      msd = static_cast<int>(d);
+      break;
+    }
+  }
+  if (msd < 0) {
+    if (scratch != nullptr) scratch->executed_passes = 0;
+    return 0;  // every digit trivial: the input is a single repeated key
+  }
+  std::vector<unsigned> lower;
+  for (unsigned d = 0; d < static_cast<unsigned>(msd); ++d) {
+    if (nontrivial(d)) lower.push_back(d);
+  }
+
+  // MSD pass: stable counting partition into 256 buckets in tmp.
+  TmpBuffer<R> tmp(n, scratch);
+  std::array<std::uint64_t, kBuckets> start{};
+  std::uint64_t sum = 0;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    start[b] = sum;
+    sum += hist[static_cast<unsigned>(msd)][b];
+  }
+  std::array<std::uint64_t, kBuckets> cursor = start;
+  for (const R& r : rec) {
+    tmp.data[cursor[digit_of(key(r), static_cast<unsigned>(msd))]++] = r;
+  }
+
+  // LSD over the remaining non-trivial digits inside each bucket, ping-
+  // ponging between the bucket's tmp and data regions so the final pass
+  // lands back in `rec` (an explicit copy settles odd parities).
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    const std::uint64_t lo = start[b];
+    const std::uint64_t count =
+        (b + 1 < kBuckets ? start[b + 1] : n) - lo;
+    if (count == 0) continue;
+    R* src = tmp.data + lo;
+    R* dst = rec.data() + lo;
+    if (count > 1) {
+      for (const unsigned d : lower) {
+        std::array<std::uint64_t, kBuckets> off{};
+        for (std::uint64_t i = 0; i < count; ++i)
+          ++off[digit_of(key(src[i]), d)];
+        std::uint64_t acc = 0;
+        for (auto& c : off) {
+          const std::uint64_t v = c;
+          c = acc;
+          acc += v;
+        }
+        for (std::uint64_t i = 0; i < count; ++i)
+          dst[off[digit_of(key(src[i]), d)]++] = src[i];
+        std::swap(src, dst);
+      }
+    }
+    if (src != rec.data() + lo) {
+      std::memcpy(rec.data() + lo, src, count * sizeof(R));
+    }
+  }
+
+  const unsigned passes = 1 + static_cast<unsigned>(lower.size());
+  if (scratch != nullptr) scratch->executed_passes = passes;
+  return passes;
+}
+
+template <typename R, typename KeyFn>
+void sample_sort_generic(std::span<R> rec, KeyFn key,
+                         RadixSortScratch* scratch) {
+  const std::uint64_t n = rec.size();
+  if (n < 2) return;
+
+  // Deterministic strided key sample (oversampled relative to the bucket
+  // count), then up to 255 deduplicated splitters at even sample quantiles.
+  const std::uint64_t s = std::min<std::uint64_t>(n, 2048);
+  const std::uint64_t stride = n / s;
+  std::vector<std::uint64_t> sample(s);
+  for (std::uint64_t i = 0; i < s; ++i) sample[i] = key(rec[i * stride]);
+  std::sort(sample.begin(), sample.end());
+  std::vector<std::uint64_t> splitters;
+  splitters.reserve(kBuckets - 1);
+  for (std::size_t j = 1; j < kBuckets; ++j) {
+    const std::uint64_t cand = sample[j * s / kBuckets];
+    if (splitters.empty() || cand != splitters.back())
+      splitters.push_back(cand);
+  }
+
+  // Classify into value ranges (..s0], (s0,s1], ... and stable-scatter.
+  const std::size_t buckets = splitters.size() + 1;
+  const auto bucket_of = [&](std::uint64_t k) {
+    return static_cast<std::size_t>(
+        std::upper_bound(splitters.begin(), splitters.end(), k) -
+        splitters.begin());
+  };
+  std::vector<std::uint64_t> start(buckets + 1, 0);
+  for (const R& r : rec) ++start[bucket_of(key(r)) + 1];
+  for (std::size_t b = 1; b <= buckets; ++b) start[b] += start[b - 1];
+  TmpBuffer<R> tmp(n, scratch);
+  std::vector<std::uint64_t> cursor(start.begin(), start.end() - 1);
+  for (const R& r : rec) tmp.data[cursor[bucket_of(key(r))]++] = r;
+
+  // Per-bucket stable sort; single-valued buckets (the equality-bucket case)
+  // need no work beyond the scatter.
+  for (std::size_t b = 0; b < buckets; ++b) {
+    R* lo = tmp.data + start[b];
+    R* hi = tmp.data + start[b + 1];
+    if (hi - lo < 2) continue;
+    bool all_equal = true;
+    const std::uint64_t first = key(*lo);
+    for (const R* p = lo + 1; p != hi; ++p) {
+      if (key(*p) != first) {
+        all_equal = false;
+        break;
+      }
+    }
+    if (!all_equal) {
+      std::stable_sort(lo, hi,
+                       [&](const R& a, const R& b2) { return key(a) < key(b2); });
+    }
+  }
+  std::memcpy(rec.data(), tmp.data, n * sizeof(R));
+}
+
+constexpr auto kIdentity = [](std::uint64_t k) { return k; };
+constexpr auto kKvKey = [](const KeyValue64& r) { return r.key; };
+
+/// Runs `fn` on the doubles' order-preserving u64 image (same bijection as
+/// the radix engine, so -0.0 < +0.0 and NaNs land above +inf).
+template <typename Fn>
+auto via_key_image(std::span<double> values, Fn fn) {
+  const std::span<std::uint64_t> keys{
+      reinterpret_cast<std::uint64_t*>(values.data()), values.size()};
+  for (auto& k : keys) k = double_to_radix_key(std::bit_cast<double>(k));
+  if constexpr (std::is_void_v<decltype(fn(keys))>) {
+    fn(keys);
+    for (auto& k : keys)
+      k = std::bit_cast<std::uint64_t>(radix_key_to_double(k));
+  } else {
+    const auto r = fn(keys);
+    for (auto& k : keys)
+      k = std::bit_cast<std::uint64_t>(radix_key_to_double(k));
+    return r;
+  }
+}
+
+}  // namespace
+
+unsigned hybrid_msd_sort(std::span<std::uint64_t> keys,
+                         RadixSortScratch* scratch) {
+  return hybrid_msd_generic(keys, kIdentity, scratch);
+}
+
+unsigned hybrid_msd_sort(std::span<double> values, RadixSortScratch* scratch) {
+  return via_key_image(values, [scratch](std::span<std::uint64_t> keys) {
+    return hybrid_msd_generic(keys, kIdentity, scratch);
+  });
+}
+
+unsigned hybrid_msd_sort(std::span<KeyValue64> records,
+                         RadixSortScratch* scratch) {
+  return hybrid_msd_generic(records, kKvKey, scratch);
+}
+
+void device_sample_sort(std::span<std::uint64_t> keys,
+                        RadixSortScratch* scratch) {
+  sample_sort_generic(keys, kIdentity, scratch);
+}
+
+void device_sample_sort(std::span<double> values, RadixSortScratch* scratch) {
+  via_key_image(values, [scratch](std::span<std::uint64_t> keys) {
+    sample_sort_generic(keys, kIdentity, scratch);
+  });
+}
+
+void device_sample_sort(std::span<KeyValue64> records,
+                        RadixSortScratch* scratch) {
+  sample_sort_generic(records, kKvKey, scratch);
+}
+
+}  // namespace hs::cpu

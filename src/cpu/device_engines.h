@@ -1,0 +1,49 @@
+// Host-side twins of the on-device engine portfolio (vgpu::DeviceSortEngine).
+//
+// The virtual GPU charges each engine's calibrated cost model for timing; in
+// Execution::kReal these functions perform the actual algorithm on the
+// device buffer's backing store so output correctness is verifiable. They
+// are correctness twins, not throughput kernels — the LSD engine in
+// cpu/radix_sort.h remains the tuned host hot path.
+//
+//   * hybrid_msd_sort — Stehle & Jacobsen-style hybrid: one stable counting
+//     partition by the most significant non-trivial key byte, then LSD
+//     passes over the remaining non-trivial digits inside each MSD bucket
+//     (trivial digits skipped globally, like the host engine). Returns the
+//     number of scatter passes executed so tests and counters can pin the
+//     entropy-driven elision; 0 means the input needed no data movement.
+//
+//   * device_sample_sort — Leischner/Osipov/Sanders-style sample sort:
+//     deterministic strided key sample, deduplicated splitters, one stable
+//     counting scatter into buckets, then a stable per-bucket sort.
+//     Single-valued buckets (the equality-bucket case that makes dup-heavy
+//     keys cheap) are detected and skipped.
+//
+// Both engines are stable and sort doubles through the same order-preserving
+// u64 bijection as the radix engine. `scratch` reuses the radix engine's
+// grow-only arena across batch sorts; nullptr uses a call-local buffer.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "common/key_value.h"
+#include "cpu/radix_sort.h"
+
+namespace hs::cpu {
+
+unsigned hybrid_msd_sort(std::span<std::uint64_t> keys,
+                         RadixSortScratch* scratch = nullptr);
+unsigned hybrid_msd_sort(std::span<double> values,
+                         RadixSortScratch* scratch = nullptr);
+unsigned hybrid_msd_sort(std::span<KeyValue64> records,
+                         RadixSortScratch* scratch = nullptr);
+
+void device_sample_sort(std::span<std::uint64_t> keys,
+                        RadixSortScratch* scratch = nullptr);
+void device_sample_sort(std::span<double> values,
+                        RadixSortScratch* scratch = nullptr);
+void device_sample_sort(std::span<KeyValue64> records,
+                        RadixSortScratch* scratch = nullptr);
+
+}  // namespace hs::cpu

@@ -1,6 +1,10 @@
 #include "cpu/element_ops.h"
 
+#include <cstring>
+#include <type_traits>
+
 #include "common/assert.h"
+#include "cpu/device_engines.h"
 #include "cpu/merge_path.h"
 #include "cpu/multiway_merge.h"
 #include "cpu/radix_sort.h"
@@ -29,6 +33,25 @@ ElementOps make_ops(std::string name, double gpu_factor,
   ops.device_sort = [](std::byte* data, std::uint64_t elems,
                        RadixSortScratch* scratch) {
     radix_sort(typed<T>(data, elems), scratch);
+  };
+  ops.device_sort_hybrid = [](std::byte* data, std::uint64_t elems,
+                              RadixSortScratch* scratch) {
+    return hybrid_msd_sort(typed<T>(data, elems), scratch);
+  };
+  ops.device_sort_sample = [](std::byte* data, std::uint64_t elems,
+                              RadixSortScratch* scratch) {
+    device_sample_sort(typed<T>(data, elems), scratch);
+  };
+  ops.extract_key = [](const std::byte* rec) -> std::uint64_t {
+    T v;
+    std::memcpy(&v, rec, sizeof(T));
+    if constexpr (std::is_same_v<T, double>) {
+      return double_to_radix_key(v);
+    } else if constexpr (std::is_same_v<T, std::uint64_t>) {
+      return v;
+    } else {
+      return v.key;
+    }
   };
   ops.merge_pair = [](RunView a, RunView b, std::byte* out,
                       ThreadPool& pool, unsigned threads) {

@@ -50,6 +50,23 @@ struct ElementOps {
                      RadixSortScratch* scratch)>
       device_sort;
 
+  /// Portfolio alternatives to `device_sort` (vgpu::DeviceSortEngine). The
+  /// hybrid MSD engine returns the number of scatter passes it executed;
+  /// the virtual device falls back to `device_sort` when these are unset
+  /// (hand-built ElementOps predating the portfolio).
+  std::function<unsigned(std::byte* data, std::uint64_t elems,
+                         RadixSortScratch* scratch)>
+      device_sort_hybrid;
+  std::function<void(std::byte* data, std::uint64_t elems,
+                     RadixSortScratch* scratch)>
+      device_sort_sample;
+
+  /// Reads the record at `rec` and returns its comparison key as the u64
+  /// radix image (doubles via the order-preserving bijection). This is what
+  /// the input sketcher samples, so sketch statistics are computed in the
+  /// same key space every engine sorts in.
+  std::function<std::uint64_t(const std::byte* rec)> extract_key;
+
   /// Stable merge of two sorted runs into `out` (pair merges on the CPU).
   std::function<void(RunView a, RunView b, std::byte* out,
                      ThreadPool& pool, unsigned threads)>

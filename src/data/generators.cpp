@@ -18,9 +18,24 @@ std::string_view distribution_name(Distribution d) {
     case Distribution::kDuplicateHeavy: return "dup-heavy";
     case Distribution::kAllEqual: return "all-equal";
     case Distribution::kZipf: return "zipf";
+    case Distribution::kSaw: return "saw";
+    case Distribution::kRuns: return "runs";
+    case Distribution::kPartialSorted: return "partial-sorted";
   }
   return "?";
 }
+
+namespace {
+
+/// Sawtooth period: long enough that each ramp is a real presorted run,
+/// short enough that even small test inputs see several teeth.
+std::uint64_t saw_period(std::uint64_t n) {
+  return std::max<std::uint64_t>(2, std::min<std::uint64_t>(100'000, n / 8));
+}
+
+constexpr std::uint64_t kRunCount = 16;
+
+}  // namespace
 
 std::vector<double> generate(Distribution dist, std::uint64_t n,
                              std::uint64_t seed) {
@@ -64,6 +79,31 @@ std::vector<double> generate(Distribution dist, std::uint64_t n,
       }
       break;
     }
+    case Distribution::kSaw: {
+      const std::uint64_t period = saw_period(n);
+      for (std::uint64_t i = 0; i < n; ++i) {
+        v[i] = static_cast<double>(i % period);
+      }
+      break;
+    }
+    case Distribution::kRuns: {
+      for (auto& x : v) x = rng.uniform01();
+      const std::uint64_t run = std::max<std::uint64_t>(1, n / kRunCount);
+      for (std::uint64_t start = 0; start < n; start += run) {
+        const std::uint64_t end = std::min(n, start + run);
+        std::sort(v.begin() + static_cast<std::ptrdiff_t>(start),
+                  v.begin() + static_cast<std::ptrdiff_t>(end));
+      }
+      break;
+    }
+    case Distribution::kPartialSorted: {
+      const std::uint64_t sorted = n / 2;
+      for (std::uint64_t i = 0; i < sorted; ++i) v[i] = static_cast<double>(i);
+      for (std::uint64_t i = sorted; i < n; ++i) {
+        v[i] = rng.uniform01() * static_cast<double>(n);
+      }
+      break;
+    }
   }
   return v;
 }
@@ -88,6 +128,27 @@ std::vector<std::uint64_t> generate_keys(Distribution dist, std::uint64_t n,
     case Distribution::kAllEqual:
       std::fill(v.begin(), v.end(), 42u);
       break;
+    case Distribution::kSaw: {
+      const std::uint64_t period = saw_period(n);
+      for (std::uint64_t i = 0; i < n; ++i) v[i] = i % period;
+      break;
+    }
+    case Distribution::kRuns: {
+      for (auto& x : v) x = rng();
+      const std::uint64_t run = std::max<std::uint64_t>(1, n / kRunCount);
+      for (std::uint64_t start = 0; start < n; start += run) {
+        const std::uint64_t end = std::min(n, start + run);
+        std::sort(v.begin() + static_cast<std::ptrdiff_t>(start),
+                  v.begin() + static_cast<std::ptrdiff_t>(end));
+      }
+      break;
+    }
+    case Distribution::kPartialSorted: {
+      const std::uint64_t sorted = n / 2;
+      for (std::uint64_t i = 0; i < sorted; ++i) v[i] = i;
+      for (std::uint64_t i = sorted; i < n; ++i) v[i] = rng();
+      break;
+    }
     default: {
       // Remaining distributions: quantise the double generator.
       const auto d = generate(dist, n, seed);

@@ -23,6 +23,9 @@ enum class Distribution {
   kDuplicateHeavy, // few distinct values
   kAllEqual,       // single value
   kZipf,           // skewed ranks, s = 1.0
+  kSaw,            // sawtooth: ascending ramps of a fixed period
+  kRuns,           // concatenation of 16 independently sorted runs
+  kPartialSorted,  // sorted prefix (half), random tail
 };
 
 std::string_view distribution_name(Distribution d);

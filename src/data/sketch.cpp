@@ -1,0 +1,158 @@
+#include "data/sketch.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <vector>
+
+namespace hs::data {
+namespace {
+
+constexpr std::uint64_t kBlockLen = 64;
+
+double safe_log2(double x) { return std::log2(std::max(1.0, x)); }
+
+/// Core sketch over an already-collected sample. `block_len` tells the
+/// adjacency pass where block boundaries fall (pairs across boundaries are
+/// not adjacent in the input and must not vote on presortedness).
+InputSketch sketch_sample(std::vector<std::uint64_t>& sample,
+                          std::uint64_t block_len, std::uint64_t population) {
+  InputSketch sk;
+  sk.population = population;
+  sk.sampled = sample.size();
+  if (population == 0) return sk;
+  if (sample.empty()) {
+    // Nothing examined: keep the conservative defaults, scaled to n.
+    sk.log2_distinct = std::min(64.0, safe_log2(static_cast<double>(population)));
+    sk.est_runs = static_cast<double>(population) / 2.0;
+    return sk;
+  }
+  const std::uint64_t s = sample.size();
+
+  // Per-byte-position histograms in one sweep: entropy + trivial positions.
+  std::array<std::array<std::uint64_t, 256>, 8> hist{};
+  for (const std::uint64_t k : sample) {
+    for (unsigned d = 0; d < 8; ++d) ++hist[d][(k >> (d * 8)) & 0xff];
+  }
+  sk.entropy_bits = 0.0;
+  sk.nontrivial_bytes = 0;
+  for (unsigned d = 0; d < 8; ++d) {
+    unsigned occupied = 0;
+    double h = 0.0;
+    for (const std::uint64_t c : hist[d]) {
+      if (c == 0) continue;
+      ++occupied;
+      const double p = static_cast<double>(c) / static_cast<double>(s);
+      h -= p * std::log2(p);
+    }
+    sk.entropy_bits += h;
+    if (occupied > 1) ++sk.nontrivial_bytes;
+  }
+
+  // Presortedness from adjacent in-block pairs; runs scale the observed
+  // descent rate to the population.
+  std::uint64_t pairs = 0, ascending = 0;
+  for (std::uint64_t i = 1; i < s; ++i) {
+    if (block_len != 0 && i % block_len == 0) continue;  // block boundary
+    ++pairs;
+    if (sample[i - 1] <= sample[i]) ++ascending;
+  }
+  const double descent_rate =
+      pairs == 0 ? 0.0
+                 : static_cast<double>(pairs - ascending) /
+                       static_cast<double>(pairs);
+  sk.presortedness = pairs == 0 ? 1.0
+                                : static_cast<double>(ascending) /
+                                      static_cast<double>(pairs);
+  sk.est_runs = 1.0 + descent_rate * static_cast<double>(population - 1);
+
+  // Duplicates + collision-corrected cardinality on the sorted sample.
+  std::sort(sample.begin(), sample.end());
+  std::uint64_t distinct = 0, collisions = 0, run = 0;
+  for (std::uint64_t i = 0; i < s; ++i) {
+    if (i == 0 || sample[i] != sample[i - 1]) {
+      ++distinct;
+      run = 1;
+    } else {
+      collisions += run;  // accumulates c*(c-1)/2 pair by pair
+      ++run;
+    }
+  }
+  sk.dup_ratio = static_cast<double>(s - distinct) / static_cast<double>(s);
+  const double pop = static_cast<double>(population);
+  double est_distinct;
+  if (collisions == 0 || s < 2) {
+    est_distinct = pop;  // no collision evidence: assume all-distinct
+  } else {
+    const double total_pairs = 0.5 * static_cast<double>(s) *
+                               static_cast<double>(s - 1);
+    const double p_hat = static_cast<double>(collisions) / total_pairs;
+    est_distinct = std::clamp(1.0 / p_hat, 1.0, pop);
+  }
+  sk.log2_distinct = safe_log2(est_distinct);
+  return sk;
+}
+
+}  // namespace
+
+InputSketch sketch_keys(std::span<const std::uint64_t> keys,
+                        std::uint64_t population, std::uint64_t max_sample) {
+  if (population == 0) population = keys.size();
+  std::vector<std::uint64_t> sample;
+  const std::uint64_t n = keys.size();
+  std::uint64_t block_len = std::min(kBlockLen, n);
+  if (n <= max_sample) {
+    sample.assign(keys.begin(), keys.end());
+    block_len = 0;  // one contiguous block: every adjacent pair is real
+  } else {
+    const std::uint64_t blocks =
+        std::max<std::uint64_t>(1, max_sample / block_len);
+    sample.reserve(blocks * block_len);
+    for (std::uint64_t b = 0; b < blocks; ++b) {
+      // Even spread of block starts across [0, n - block_len].
+      const std::uint64_t start =
+          blocks == 1 ? 0 : (n - block_len) * b / (blocks - 1);
+      for (std::uint64_t i = 0; i < block_len; ++i)
+        sample.push_back(keys[start + i]);
+    }
+  }
+  return sketch_sample(sample, block_len, population);
+}
+
+InputSketch sketch_records(
+    const std::byte* data, std::uint64_t elems, std::size_t elem_size,
+    const std::function<std::uint64_t(const std::byte*)>& extract_key,
+    std::uint64_t max_sample) {
+  if (data == nullptr || elems == 0 || !extract_key) {
+    return uniform_sketch(elems);
+  }
+  std::vector<std::uint64_t> sample;
+  std::uint64_t block_len = std::min(kBlockLen, elems);
+  if (elems <= max_sample) {
+    sample.reserve(elems);
+    for (std::uint64_t i = 0; i < elems; ++i)
+      sample.push_back(extract_key(data + i * elem_size));
+    block_len = 0;
+  } else {
+    const std::uint64_t blocks =
+        std::max<std::uint64_t>(1, max_sample / block_len);
+    sample.reserve(blocks * block_len);
+    for (std::uint64_t b = 0; b < blocks; ++b) {
+      const std::uint64_t start =
+          blocks == 1 ? 0 : (elems - block_len) * b / (blocks - 1);
+      for (std::uint64_t i = 0; i < block_len; ++i)
+        sample.push_back(extract_key(data + (start + i) * elem_size));
+    }
+  }
+  return sketch_sample(sample, block_len, elems);
+}
+
+InputSketch uniform_sketch(std::uint64_t population) {
+  InputSketch sk;
+  sk.population = population;
+  sk.log2_distinct = std::min(64.0, safe_log2(static_cast<double>(population)));
+  sk.est_runs = population == 0 ? 0.0 : static_cast<double>(population) / 2.0;
+  return sk;
+}
+
+}  // namespace hs::data

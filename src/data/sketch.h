@@ -1,0 +1,77 @@
+// Cheap input distribution sketch — the statistics the sort planner
+// (core/sort_plan.h) needs to choose an on-device engine, and nothing more.
+//
+// The sketcher reads a bounded sample (default 4096 keys) taken as evenly
+// spread *blocks* of consecutive records rather than isolated points:
+// adjacency inside a block is real adjacency in the input, so the
+// presortedness and run-length estimates stay valid, while spreading the
+// blocks keeps global statistics (entropy, duplicates) unbiased for the
+// stationary generators the benches use. Everything is computed in the u64
+// radix-key image (doubles through the order-preserving bijection), the key
+// space every engine actually sorts in.
+//
+// Cardinality uses the collision-corrected (inverse Simpson index) estimator:
+// with s sampled keys and C intra-sample collision pairs, the collision
+// probability estimate p = C / C(s,2) gives distinct ~= 1/p. A sample with
+// no collisions cannot distinguish "all distinct" from "more distinct values
+// than s^2" — the estimate then falls back to the population size, which is
+// the right answer for the engines' cost models either way.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <span>
+
+namespace hs::data {
+
+/// Distribution statistics for a (prospective) sort input of `population`
+/// keys. Defaults describe a full-entropy uniform input — the conservative
+/// assumption when nothing was sampled.
+struct InputSketch {
+  std::uint64_t population = 0;  ///< keys the sketch stands for (n)
+  std::uint64_t sampled = 0;     ///< keys actually examined (0: assumed)
+
+  /// Sum over the 8 key byte positions of the sampled byte-value Shannon
+  /// entropy, in bits (64 = full-entropy keys).
+  double entropy_bits = 64.0;
+
+  /// Key byte positions with >= 2 distinct sampled values. A trivial
+  /// position's counting scatter is the identity, so this is exactly the
+  /// scatter-pass count the radix engines (host LSD and device hybrid MSD)
+  /// will execute.
+  unsigned nontrivial_bytes = 8;
+
+  /// Fraction of sampled keys that duplicate an earlier sampled key.
+  double dup_ratio = 0.0;
+
+  /// log2 of the collision-corrected distinct-key estimate, scaled to the
+  /// population (<= log2(population)).
+  double log2_distinct = 64.0;
+
+  /// Fraction of adjacent in-block pairs already in order (1.0 = sorted,
+  /// ~0.5 = random, 0.0 = reversed).
+  double presortedness = 0.5;
+
+  /// Estimated number of ascending runs in the full input (1 = sorted).
+  double est_runs = 0.0;
+};
+
+/// Sketches `keys` (already in radix-key space) as a stand-in for a
+/// `population`-key input; population 0 means the span IS the population.
+/// `max_sample` bounds the keys examined.
+InputSketch sketch_keys(std::span<const std::uint64_t> keys,
+                        std::uint64_t population = 0,
+                        std::uint64_t max_sample = 4096);
+
+/// Sketches `elems` records of `elem_size` bytes at `data`, reading each
+/// sampled record's key through `extract_key` (cpu::ElementOps::extract_key).
+InputSketch sketch_records(
+    const std::byte* data, std::uint64_t elems, std::size_t elem_size,
+    const std::function<std::uint64_t(const std::byte*)>& extract_key,
+    std::uint64_t max_sample = 4096);
+
+/// The no-information sketch: full-entropy uniform keys of `population`.
+InputSketch uniform_sketch(std::uint64_t population);
+
+}  // namespace hs::data

@@ -20,6 +20,45 @@ struct GpuSortModel {
   double throughput() const { return 1.0 / per_elem_s; }
 };
 
+/// Stehle & Jacobsen-style hybrid MSD radix sort (engine portfolio). The MSD
+/// bucket walk, bin computation, and bucket-descriptor management cost a
+/// fixed per-element floor whatever the keys look like; each *non-trivial*
+/// digit then costs one bandwidth-bound scatter pass. Calibrated relative to
+/// the tuned LSD baseline so a full-entropy input (8 of 8 passes) runs ~30%
+/// slower than GpuSortModel — the hybrid's edge is entirely entropy-driven
+/// pass elision, which the fixed-cost baseline cannot express.
+struct GpuHybridSortModel {
+  double launch_s = 2.4e-3;       // launch + bucket descriptor setup
+  double base_elem_s = 0.20e-9;   // MSD partition/bookkeeping floor
+  double per_pass_elem_s = 0.17e-9;  // one scatter pass per non-trivial digit
+
+  double time(std::uint64_t n, unsigned passes) const {
+    return launch_s +
+           static_cast<double>(n) *
+               (base_elem_s + per_pass_elem_s * static_cast<double>(passes));
+  }
+};
+
+/// Leischner/Osipov/Sanders-style GPU sample sort (engine portfolio):
+/// comparison-bound, so cost grows with the *effective* key cardinality
+/// (log2 of the collision-corrected distinct count) — equality buckets stop
+/// recursing the moment a bucket holds a single value, which is what makes
+/// skewed/dup-heavy keys cheap. Calibrated so full-cardinality uniform keys
+/// run slightly above the radix baseline (consistent with radix winning on
+/// primitive uniform keys in the GPU sorting literature) while 16-value
+/// dup-heavy inputs run ~3.7x below it.
+struct GpuSampleSortModel {
+  double launch_s = 2.8e-3;        // splitter selection + classify launches
+  double base_elem_s = 0.08e-9;    // classify + scatter floor
+  double per_log2_elem_s = 0.055e-9;  // recursion depth per log2(distinct)
+
+  double time(std::uint64_t n, double log2_distinct) const {
+    const double depth = log2_distinct < 1.0 ? 1.0 : log2_distinct;
+    return launch_s + static_cast<double>(n) *
+                          (base_elem_s + per_log2_elem_s * depth);
+  }
+};
+
 struct DeviceAllocModel {
   double alloc_s = 1.0e-3;  // cudaMalloc-style allocation latency
 };

@@ -31,6 +31,10 @@ struct GpuSpec {
   unsigned cuda_cores = 0;
   std::uint64_t memory_bytes = 0;
   GpuSortModel sort;
+  /// Engine-portfolio alternatives to `sort` (vgpu::DeviceSortEngine):
+  /// distribution-dependent cost models the planner chooses between.
+  GpuHybridSortModel hybrid_sort;
+  GpuSampleSortModel sample_sort;
   GpuMergeModel merge;
   DeviceAllocModel alloc;
 };

@@ -48,6 +48,12 @@ std::string_view counter_name(Counter c) {
     case Counter::kJobsCancelled: return "jobs_cancelled";
     case Counter::kJobsResumed: return "jobs_resumed";
     case Counter::kJobBudgetShrinks: return "job_budget_shrinks";
+    case Counter::kSortPlans: return "sort_plans";
+    case Counter::kPlanEngineRadix: return "plan_engine_radix";
+    case Counter::kPlanEngineHybrid: return "plan_engine_hybrid";
+    case Counter::kPlanEngineSample: return "plan_engine_sample";
+    case Counter::kPlanPassesSkipped: return "plan_passes_skipped";
+    case Counter::kPlanBatchAdjusts: return "plan_batch_adjusts";
   }
   return "?";
 }

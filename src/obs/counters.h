@@ -70,9 +70,16 @@ enum class Counter : std::uint8_t {
   kJobsCancelled,      // watchdog deadline cancellations requested
   kJobsResumed,        // jobs re-adopted from a prior daemon's manifest
   kJobBudgetShrinks,   // per-job budget halvings during dispatch negotiation
+  // Sort planner decisions (fed by core::HeterogeneousSorter per attempt).
+  kSortPlans,           // planner invocations (non-default engine policies)
+  kPlanEngineRadix,     // launches planned on the LSD radix baseline
+  kPlanEngineHybrid,    // launches planned on the hybrid MSD engine
+  kPlanEngineSample,    // launches planned on the sample-sort engine
+  kPlanPassesSkipped,   // radix passes the plan predicts elided (hybrid)
+  kPlanBatchAdjusts,    // batch geometries changed by the makespan estimate
 };
 
-inline constexpr std::size_t kNumCounters = 39;
+inline constexpr std::size_t kNumCounters = 45;
 
 std::string_view counter_name(Counter c);
 

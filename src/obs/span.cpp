@@ -51,8 +51,9 @@ ThreadState& thread_state(const SpanRecorder* rec) {
 
 }  // namespace
 
-SpanRecorder::SpanRecorder()
+SpanRecorder::SpanRecorder(unsigned sample_period)
     : origin_ns_(steady_ns()),
+      sample_period_(sample_period == 0 ? 1 : sample_period),
       epoch_(g_next_epoch.fetch_add(1, std::memory_order_relaxed)) {}
 
 double SpanRecorder::now() const {
@@ -68,6 +69,19 @@ std::uint32_t SpanRecorder::record(Span s) {
 std::uint32_t SpanRecorder::open(const char* name, const char* category,
                                  std::uint64_t bytes) {
   ThreadState& ts = thread_state(this);
+  // Sampling: a dropped root poisons its whole subtree. The marker keeps the
+  // thread's nesting stack balanced so close() order stays verifiable, while
+  // dropped spans never allocate or take the mutex.
+  if (!ts.open.empty() && ts.open.back() == kDroppedSpan) {
+    ts.open.push_back(kDroppedSpan);
+    return kDroppedSpan;
+  }
+  if (sample_period_ > 1 && ts.open.empty() &&
+      root_seq_.fetch_add(1, std::memory_order_relaxed) % sample_period_ !=
+          0) {
+    ts.open.push_back(kDroppedSpan);
+    return kDroppedSpan;
+  }
   Span s;
   s.name = name;
   s.category = category;
@@ -96,6 +110,7 @@ void SpanRecorder::close(std::uint32_t index) {
   ThreadState& ts = thread_state(this);
   HS_ASSERT(!ts.open.empty() && ts.open.back() == index);
   ts.open.pop_back();
+  if (index == kDroppedSpan) return;
   const double t = now();
   std::lock_guard lock(mu_);
   spans_[index].end = t;

@@ -28,6 +28,11 @@ enum class Clock : std::uint8_t { kVirtual, kWall };
 
 inline constexpr std::uint32_t kNoParent = 0xffffffffu;
 
+/// Sentinel index returned by SpanRecorder::open for spans a sampling
+/// recorder dropped; close(kDroppedSpan) pops the thread's nesting marker
+/// without recording anything.
+inline constexpr std::uint32_t kDroppedSpan = 0xfffffffeu;
+
 struct Span {
   std::string name;      // task / call-site label, e.g. "b0.h2d3"
   std::string category;  // stage label, e.g. "HtoD", "CpuSort", "group"
@@ -46,9 +51,20 @@ struct Span {
 /// Thread-safe append-only span collection. Wall-clock spans are measured in
 /// seconds since the recorder's construction, so a fresh recorder starts its
 /// timeline at ~0 like the virtual clock does.
+///
+/// `sample_period` > 1 turns the recorder into a sampling recorder: only
+/// every sample_period-th *root* wall-clock span is kept, and a dropped root
+/// drops its entire subtree (children of a kept root are all kept), so the
+/// surviving spans are complete, well-formed trees. This is what lets the
+/// service keep always-on planner spans in serve mode at a bounded cost:
+/// dropped spans allocate nothing and never touch the recorder mutex.
+/// Sampling applies to open()/close() only; record() (virtual-clock
+/// ingestion) always keeps its span.
 class SpanRecorder {
  public:
-  SpanRecorder();
+  explicit SpanRecorder(unsigned sample_period = 1);
+
+  unsigned sample_period() const { return sample_period_; }
 
   /// Appends a fully formed span (used by the virtual-clock ingestion).
   /// Returns its index.
@@ -76,6 +92,8 @@ class SpanRecorder {
   std::vector<Span> spans_;
   std::uint64_t origin_ns_ = 0;
   std::uint32_t next_track_ = 0;
+  unsigned sample_period_ = 1;
+  std::atomic<std::uint64_t> root_seq_{0};  // root spans seen (kept + dropped)
   // Process-unique recorder identity. Thread-local nesting state is keyed on
   // this, not the recorder's address: stack-allocated recorders (tests,
   // scoped tooling) routinely reuse an address, and keying on the pointer

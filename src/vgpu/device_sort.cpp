@@ -7,10 +7,43 @@
 
 namespace hs::vgpu {
 
+std::string_view device_sort_engine_name(DeviceSortEngine e) {
+  switch (e) {
+    case DeviceSortEngine::kRadixLsd:
+      return "radix-lsd";
+    case DeviceSortEngine::kHybridMsd:
+      return "hybrid-msd";
+    case DeviceSortEngine::kSampleSort:
+      return "sample";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// Charges the selected engine's cost model. Distribution statistics reach
+/// the model through `launch`; the element type's cost factor applies to
+/// every engine (payload bytes move through the same device pipeline).
+double engine_kernel_time(const Device& dev, std::uint64_t elems,
+                          const DeviceSortLaunch& launch) {
+  switch (launch.engine) {
+    case DeviceSortEngine::kRadixLsd:
+      return dev.spec().sort.time(elems);
+    case DeviceSortEngine::kHybridMsd:
+      return dev.spec().hybrid_sort.time(elems, launch.predicted_passes);
+    case DeviceSortEngine::kSampleSort:
+      return dev.spec().sample_sort.time(elems, launch.log2_distinct);
+  }
+  return dev.spec().sort.time(elems);
+}
+
+}  // namespace
+
 sim::TaskId device_sort(Runtime& rt, sim::TaskGraph& graph, Stream& stream,
                         Device& dev, DeviceBuffer& buffer,
                         const DeviceBuffer& temp, std::uint64_t elems,
-                        const cpu::ElementOps& ops) {
+                        const cpu::ElementOps& ops,
+                        const DeviceSortLaunch& launch) {
   const std::uint64_t payload = elems * ops.elem_size;
   HS_EXPECTS(payload <= buffer.size_bytes());
   HS_EXPECTS_MSG(temp.size_bytes() >= payload,
@@ -20,7 +53,8 @@ sim::TaskId device_sort(Runtime& rt, sim::TaskGraph& graph, Stream& stream,
   t.label = stream.name() + ":sort";
   t.phase = sim::Phase::kGpuSort;
   t.exec = sim::ExecSpec{
-      dev.engine(), dev.spec().sort.time(elems) * ops.gpu_sort_cost_factor};
+      dev.engine(),
+      engine_kernel_time(dev, elems, launch) * ops.gpu_sort_cost_factor};
   t.traced_bytes = payload;
   if (sim::FaultInjector* inj = rt.fault_injector();
       inj != nullptr && inj->enabled()) {
@@ -35,14 +69,30 @@ sim::TaskId device_sort(Runtime& rt, sim::TaskGraph& graph, Stream& stream,
   }
   if (rt.mode() == Execution::kReal) {
     std::byte* data = buffer.bytes().data();
-    auto sort_fn = ops.device_sort;
     // Engine actions run sequentially on the simulation thread, so every
     // device sort of the run shares the runtime's scratch: after the first
     // batch warms it, batch sorting performs no heap allocations.
     cpu::RadixSortScratch* scratch = &rt.sort_scratch();
-    t.action = [data, elems, sort_fn, scratch] {
-      sort_fn(data, elems, scratch);
-    };
+    // Hand-built ElementOps may predate the portfolio: fall back to the
+    // baseline sort so timing and correctness stay consistent.
+    if (launch.engine == DeviceSortEngine::kHybridMsd &&
+        ops.device_sort_hybrid) {
+      auto sort_fn = ops.device_sort_hybrid;
+      t.action = [data, elems, sort_fn, scratch] {
+        sort_fn(data, elems, scratch);
+      };
+    } else if (launch.engine == DeviceSortEngine::kSampleSort &&
+               ops.device_sort_sample) {
+      auto sort_fn = ops.device_sort_sample;
+      t.action = [data, elems, sort_fn, scratch] {
+        sort_fn(data, elems, scratch);
+      };
+    } else {
+      auto sort_fn = ops.device_sort;
+      t.action = [data, elems, sort_fn, scratch] {
+        sort_fn(data, elems, scratch);
+      };
+    }
   }
   return stream.submit(graph, std::move(t));
 }

@@ -20,15 +20,20 @@
 #include "sim/task_graph.h"
 #include "vgpu/device.h"
 #include "vgpu/runtime.h"
+#include "vgpu/sort_engine.h"
 #include "vgpu/stream.h"
 
 namespace hs::vgpu {
 
-/// Returns the task id of the sort kernel.
+/// Returns the task id of the sort kernel. `launch` selects the engine from
+/// the on-device portfolio and carries the distribution statistics its cost
+/// model consumes; the default launches the distribution-oblivious LSD radix
+/// baseline, reproducing pre-portfolio behaviour.
 sim::TaskId device_sort(Runtime& rt, sim::TaskGraph& graph, Stream& stream,
                         Device& dev, DeviceBuffer& buffer,
                         const DeviceBuffer& temp, std::uint64_t elems,
-                        const cpu::ElementOps& ops);
+                        const cpu::ElementOps& ops,
+                        const DeviceSortLaunch& launch = {});
 
 /// Merges two sorted runs already resident in `left` and `right` into `out`
 /// ON the device — the GPU-side merging the paper's Section V calls for in

@@ -1,0 +1,48 @@
+// On-device sort engine portfolio — the dispatch vocabulary shared by the
+// virtual GPU (vgpu/device_sort.cpp charges the matching cost model and runs
+// the matching real algorithm) and the core planner (core/sort_plan.h picks
+// an engine per job from the input sketch).
+//
+// Kept as a leaf header (cstdint only) so core/sort_config.h can carry the
+// chosen launch parameters without pulling the full vgpu runtime into every
+// configuration consumer.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace hs::vgpu {
+
+enum class DeviceSortEngine : std::uint8_t {
+  /// Thrust/CUB-style least-significant-digit radix sort — the paper's
+  /// Section III-B black box. Distribution-oblivious cost: the model charges
+  /// the same time whatever the keys look like.
+  kRadixLsd,
+  /// Stehle & Jacobsen-style hybrid most-significant-digit radix sort: one
+  /// MSD partition pass plus LSD passes over the remaining non-trivial
+  /// digits. Cost is proportional to the predicted pass count, so
+  /// low-entropy keys (presorted ranges, narrow domains) sort in a fraction
+  /// of the fixed-cost baseline.
+  kHybridMsd,
+  /// Leischner/Osipov/Sanders-style GPU sample sort: splitter-based and
+  /// comparison-bound, with equality buckets that collapse duplicate-heavy
+  /// and skewed (zipf) key sets to near-linear work.
+  kSampleSort,
+};
+
+std::string_view device_sort_engine_name(DeviceSortEngine e);
+
+/// Per-launch engine selection plus the distribution statistics the
+/// distribution-dependent cost models consume. Defaults reproduce the
+/// pre-portfolio behaviour exactly (LSD radix at full pass count).
+struct DeviceSortLaunch {
+  DeviceSortEngine engine = DeviceSortEngine::kRadixLsd;
+  /// Predicted non-trivial radix passes (of cpu::kRadixPasses = 8); feeds
+  /// GpuHybridSortModel.
+  unsigned predicted_passes = 8;
+  /// log2 of the estimated number of distinct keys (collision-corrected
+  /// effective cardinality); feeds GpuSampleSortModel.
+  double log2_distinct = 64.0;
+};
+
+}  // namespace hs::vgpu

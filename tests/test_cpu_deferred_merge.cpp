@@ -334,8 +334,18 @@ TEST(MergePlanner, DecisionPins) {
   EXPECT_EQ(f64.topology, MergeTopology::kFlat);
   EXPECT_FALSE(f64.deferred_payload);  // key == element: nothing to defer
 
-  const auto wide = plan_multiway_merge(
+  // The measured flat-merge sweep (see MergeEngineModel) showed per-level
+  // throughput holding to k = 128 with only shallow growth beyond, so the
+  // cascade crossover sits far higher than the first-principles model had
+  // it: flat still wins a 256-way kv64 merge, and the cascade only pays for
+  // itself past ~512 ways.
+  const auto mid = plan_multiway_merge(
       {256, 1 << 24, sizeof(KeyValue64), sizeof(std::uint64_t), 4});
+  EXPECT_EQ(mid.topology, MergeTopology::kFlat);
+  EXPECT_TRUE(mid.deferred_payload);
+
+  const auto wide = plan_multiway_merge(
+      {1024, 1 << 24, sizeof(KeyValue64), sizeof(std::uint64_t), 4});
   EXPECT_EQ(wide.topology, MergeTopology::kCascaded);
   EXPECT_GE(wide.fan_in, 2u);
   EXPECT_GT(wide.levels, 1u);

@@ -1,0 +1,197 @@
+// Correctness tests for the on-device engine portfolio's host twins
+// (cpu/device_engines.h): the hybrid MSD radix sort and the splitter-based
+// sample sort, which Execution::kReal device batches dispatch to.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/key_value.h"
+#include "common/rng.h"
+#include "cpu/device_engines.h"
+#include "cpu/radix_sort.h"
+#include "data/generators.h"
+
+namespace hs::cpu {
+namespace {
+
+using data::Distribution;
+
+const std::vector<Distribution> kAllDists = {
+    Distribution::kUniform,       Distribution::kGaussian,
+    Distribution::kSorted,        Distribution::kReverseSorted,
+    Distribution::kNearlySorted,  Distribution::kDuplicateHeavy,
+    Distribution::kAllEqual,      Distribution::kZipf,
+    Distribution::kSaw,           Distribution::kRuns,
+    Distribution::kPartialSorted,
+};
+
+TEST(HybridMsdSort, MatchesStableSortU64AcrossDistributions) {
+  for (const Distribution dist : kAllDists) {
+    auto v = data::generate_keys(dist, 10'000, 7);
+    auto expect = v;
+    std::stable_sort(expect.begin(), expect.end());
+    hybrid_msd_sort(std::span<std::uint64_t>(v));
+    EXPECT_EQ(v, expect) << data::distribution_name(dist);
+  }
+}
+
+TEST(HybridMsdSort, MatchesStableSortF64AcrossDistributions) {
+  for (const Distribution dist : kAllDists) {
+    auto v = data::generate(dist, 10'000, 7);
+    auto expect = v;
+    std::stable_sort(expect.begin(), expect.end());
+    hybrid_msd_sort(std::span<double>(v));
+    EXPECT_EQ(v, expect) << data::distribution_name(dist);
+  }
+}
+
+TEST(SampleSort, MatchesStableSortU64AcrossDistributions) {
+  for (const Distribution dist : kAllDists) {
+    auto v = data::generate_keys(dist, 10'000, 11);
+    auto expect = v;
+    std::stable_sort(expect.begin(), expect.end());
+    device_sample_sort(std::span<std::uint64_t>(v));
+    EXPECT_EQ(v, expect) << data::distribution_name(dist);
+  }
+}
+
+TEST(SampleSort, MatchesStableSortF64AcrossDistributions) {
+  for (const Distribution dist : kAllDists) {
+    auto v = data::generate(dist, 10'000, 11);
+    auto expect = v;
+    std::stable_sort(expect.begin(), expect.end());
+    device_sample_sort(std::span<double>(v));
+    EXPECT_EQ(v, expect) << data::distribution_name(dist);
+  }
+}
+
+// Stability is observable on kv64: records with equal keys must keep their
+// input order (value holds the original index).
+template <typename SortFn>
+void check_kv64_stability(SortFn sort_fn, std::uint64_t distinct_keys) {
+  Xoshiro256 rng(3);
+  std::vector<KeyValue64> v(20'000);
+  for (std::uint64_t i = 0; i < v.size(); ++i) {
+    v[i] = {rng.bounded(distinct_keys), i};
+  }
+  auto expect = v;
+  std::stable_sort(expect.begin(), expect.end(),
+                   [](const KeyValue64& a, const KeyValue64& b) {
+                     return a.key < b.key;
+                   });
+  sort_fn(std::span<KeyValue64>(v));
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    EXPECT_EQ(v[i].key, expect[i].key) << i;
+    EXPECT_EQ(v[i].value, expect[i].value) << i;
+  }
+}
+
+TEST(HybridMsdSort, StableOnKv64DuplicateKeys) {
+  check_kv64_stability(
+      [](std::span<KeyValue64> s) { hybrid_msd_sort(s); }, 16);
+  check_kv64_stability(
+      [](std::span<KeyValue64> s) { hybrid_msd_sort(s); }, 5000);
+}
+
+TEST(SampleSort, StableOnKv64DuplicateKeys) {
+  check_kv64_stability(
+      [](std::span<KeyValue64> s) { device_sample_sort(s); }, 16);
+  check_kv64_stability(
+      [](std::span<KeyValue64> s) { device_sample_sort(s); }, 5000);
+}
+
+TEST(HybridMsdSort, PassCountTracksKeyEntropy) {
+  // All-equal keys: no non-trivial digit, zero scatter passes.
+  std::vector<std::uint64_t> equal(4096, 42);
+  EXPECT_EQ(hybrid_msd_sort(std::span<std::uint64_t>(equal)), 0u);
+  EXPECT_TRUE(std::is_sorted(equal.begin(), equal.end()));
+
+  // 16 distinct small values: only byte 0 varies — a single MSD partition
+  // finishes the sort.
+  Xoshiro256 rng(9);
+  std::vector<std::uint64_t> dup(4096);
+  for (auto& k : dup) k = rng.bounded(16);
+  EXPECT_EQ(hybrid_msd_sort(std::span<std::uint64_t>(dup)), 1u);
+  EXPECT_TRUE(std::is_sorted(dup.begin(), dup.end()));
+
+  // 0..4095: bytes 0 and 1 vary — one MSD partition plus one LSD pass.
+  std::vector<std::uint64_t> iota(4096);
+  for (std::uint64_t i = 0; i < iota.size(); ++i) iota[i] = i;
+  EXPECT_EQ(hybrid_msd_sort(std::span<std::uint64_t>(iota)), 2u);
+  EXPECT_TRUE(std::is_sorted(iota.begin(), iota.end()));
+
+  // Full-entropy keys: all 8 digits non-trivial.
+  std::vector<std::uint64_t> full(4096);
+  for (auto& k : full) k = rng();
+  EXPECT_EQ(hybrid_msd_sort(std::span<std::uint64_t>(full)), 8u);
+  EXPECT_TRUE(std::is_sorted(full.begin(), full.end()));
+}
+
+TEST(DeviceEngines, TinyInputs) {
+  for (const std::size_t n : {0u, 1u, 2u, 3u}) {
+    Xoshiro256 rng(n);
+    std::vector<std::uint64_t> a(n), b(n);
+    for (std::size_t i = 0; i < n; ++i) a[i] = b[i] = rng();
+    auto expect = a;
+    std::sort(expect.begin(), expect.end());
+    hybrid_msd_sort(std::span<std::uint64_t>(a));
+    device_sample_sort(std::span<std::uint64_t>(b));
+    EXPECT_EQ(a, expect) << n;
+    EXPECT_EQ(b, expect) << n;
+  }
+}
+
+TEST(DeviceEngines, NegativeAndSpecialDoubles) {
+  std::vector<double> v = {3.5,  -0.0, 0.0,  -17.25, 1e300,
+                           -1e300, 42.0, -42.0, 0.5,   -0.5};
+  auto a = v;
+  auto b = v;
+  auto expect = v;
+  std::sort(expect.begin(), expect.end());
+  hybrid_msd_sort(std::span<double>(a));
+  device_sample_sort(std::span<double>(b));
+  // Compare bit patterns so -0.0 vs 0.0 ordering (bijection order) is
+  // deterministic: values must be numerically sorted either way.
+  EXPECT_TRUE(std::is_sorted(a.begin(), a.end()));
+  EXPECT_TRUE(std::is_sorted(b.begin(), b.end()));
+  EXPECT_EQ(a.size(), expect.size());
+}
+
+TEST(DeviceEngines, ScratchReuseAcrossCalls) {
+  RadixSortScratch scratch;
+  Xoshiro256 rng(13);
+  for (int round = 0; round < 4; ++round) {
+    std::vector<std::uint64_t> a(1000 << round);
+    for (auto& k : a) k = rng.bounded(64);
+    auto expect = a;
+    std::sort(expect.begin(), expect.end());
+    const unsigned passes = hybrid_msd_sort(std::span<std::uint64_t>(a),
+                                            &scratch);
+    EXPECT_EQ(a, expect);
+    EXPECT_EQ(passes, scratch.executed_passes);
+    std::vector<std::uint64_t> b(1000 << round);
+    for (auto& k : b) k = rng();
+    auto expect_b = b;
+    std::sort(expect_b.begin(), expect_b.end());
+    device_sample_sort(std::span<std::uint64_t>(b), &scratch);
+    EXPECT_EQ(b, expect_b);
+  }
+}
+
+TEST(SampleSort, AdversarialSkewAroundSplitters) {
+  // One huge equality bucket plus sparse outliers: the splitter dedup path
+  // and the single-valued-bucket fast path both trigger.
+  std::vector<std::uint64_t> v(50'000, 7777);
+  Xoshiro256 rng(21);
+  for (int i = 0; i < 100; ++i) v[rng.bounded(v.size())] = rng();
+  auto expect = v;
+  std::sort(expect.begin(), expect.end());
+  device_sample_sort(std::span<std::uint64_t>(v));
+  EXPECT_EQ(v, expect);
+}
+
+}  // namespace
+}  // namespace hs::cpu

@@ -446,5 +446,104 @@ TEST(ChromeExport, MixedClocksLandOnSeparateProcesses) {
             std::count(json.begin(), json.end(), '}'));
 }
 
+// --- root sampling -----------------------------------------------------------
+
+TEST(SpanSampling, PeriodOneKeepsEverything) {
+  SpanRecorder rec(1);
+  const RecorderGuard guard(rec);
+  for (int i = 0; i < 8; ++i) {
+    const ScopedSpan root("root", "Test");
+    const ScopedSpan child("child", "Test");
+  }
+  EXPECT_EQ(rec.size(), 16u);
+}
+
+TEST(SpanSampling, KeepsOneRootInPeriod) {
+  SpanRecorder rec(4);
+  const RecorderGuard guard(rec);
+  for (int i = 0; i < 16; ++i) {
+    const ScopedSpan root("root", "Test");
+  }
+  EXPECT_EQ(rec.size(), 4u);  // roots 0, 4, 8, 12
+}
+
+TEST(SpanSampling, DroppedRootDropsWholeSubtreeKeptRootKeepsIt) {
+  SpanRecorder rec(2);
+  const RecorderGuard guard(rec);
+  for (int i = 0; i < 6; ++i) {
+    const ScopedSpan root("root", "Test");
+    const ScopedSpan mid("mid", "Test");
+    const ScopedSpan leaf("leaf", "Test");
+  }
+  // 3 of 6 roots kept, each with its complete 3-deep chain.
+  const std::vector<Span> spans = rec.snapshot();
+  EXPECT_EQ(spans.size(), 9u);
+  std::size_t roots = 0, mids = 0, leaves = 0;
+  for (const Span& s : spans) {
+    if (s.name == "root") ++roots;
+    if (s.name == "mid") ++mids;
+    if (s.name == "leaf") ++leaves;
+  }
+  EXPECT_EQ(roots, 3u);
+  EXPECT_EQ(mids, 3u);
+  EXPECT_EQ(leaves, 3u);
+  // Surviving trees are well formed: every non-root points at a live parent.
+  for (const Span& s : spans) {
+    if (s.depth > 0) {
+      ASSERT_LT(s.parent, spans.size());
+      EXPECT_EQ(spans[s.parent].depth, s.depth - 1);
+    }
+  }
+}
+
+TEST(SpanSampling, RecordIsNeverSampled) {
+  SpanRecorder rec(1000);
+  for (int i = 0; i < 10; ++i) {
+    Span s;
+    s.name = "virtual";
+    s.category = "Sim";
+    s.clock = Clock::kVirtual;
+    rec.record(std::move(s));
+  }
+  EXPECT_EQ(rec.size(), 10u);
+}
+
+TEST(SpanSampling, ZeroPeriodNormalisesToOne) {
+  SpanRecorder rec(0);
+  EXPECT_EQ(rec.sample_period(), 1u);
+  const RecorderGuard guard(rec);
+  for (int i = 0; i < 5; ++i) {
+    const ScopedSpan root("root", "Test");
+  }
+  EXPECT_EQ(rec.size(), 5u);
+}
+
+TEST(SpanSampling, PerThreadSamplingKeepsTreesWellFormed) {
+  SpanRecorder rec(3);
+  const RecorderGuard guard(rec);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([] {
+      for (int i = 0; i < 30; ++i) {
+        const ScopedSpan root("root", "Test");
+        const ScopedSpan child("child", "Test");
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  const std::vector<Span> spans = rec.snapshot();
+  // 120 roots total across threads: exactly 1 in 3 kept (the counter is
+  // shared), each with its child.
+  EXPECT_EQ(spans.size(), 80u);
+  for (const Span& s : spans) {
+    if (s.name == "child") {
+      ASSERT_LT(s.parent, spans.size());
+      EXPECT_EQ(spans[s.parent].name, "root");
+      EXPECT_EQ(spans[s.parent].track, s.track);
+    }
+    EXPECT_GT(s.end, s.start - 1e-12);
+  }
+}
+
 }  // namespace
 }  // namespace hs::obs

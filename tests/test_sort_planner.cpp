@@ -1,0 +1,279 @@
+// Tests for the input sketcher (data/sketch.h) and the distribution-adaptive
+// sort planner (core/sort_plan.h) end to end through HeterogeneousSorter.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/key_value.h"
+#include "common/rng.h"
+#include "core/het_sorter.h"
+#include "data/generators.h"
+#include "data/sketch.h"
+#include "model/platforms.h"
+
+namespace hs {
+namespace {
+
+using core::DeviceEnginePolicy;
+using core::HeterogeneousSorter;
+using core::Report;
+using core::SortConfig;
+using data::Distribution;
+using data::InputSketch;
+
+// ---------------------------------------------------------------- sketcher
+
+TEST(Sketch, UniformKeysLookUniform) {
+  const auto keys = data::generate_keys(Distribution::kUniform, 1 << 16, 5);
+  const InputSketch s = data::sketch_keys(keys);
+  EXPECT_EQ(s.population, keys.size());
+  EXPECT_GT(s.sampled, 0u);
+  EXPECT_GT(s.entropy_bits, 55.0);
+  EXPECT_EQ(s.nontrivial_bytes, 8u);
+  EXPECT_LT(s.dup_ratio, 0.01);
+  // No collisions in 4096 samples of 2^64 keys: falls back to population.
+  EXPECT_NEAR(s.log2_distinct, 16.0, 0.5);
+  EXPECT_NEAR(s.presortedness, 0.5, 0.1);
+}
+
+TEST(Sketch, AllEqualCollapses) {
+  const std::vector<std::uint64_t> keys(10'000, 42);
+  const InputSketch s = data::sketch_keys(keys);
+  EXPECT_EQ(s.nontrivial_bytes, 0u);
+  EXPECT_NEAR(s.entropy_bits, 0.0, 1e-9);
+  EXPECT_GT(s.dup_ratio, 0.99);
+  EXPECT_NEAR(s.log2_distinct, 0.0, 1e-9);
+  EXPECT_NEAR(s.presortedness, 1.0, 1e-9);  // equal counts as in order
+}
+
+TEST(Sketch, SortedInputDetected) {
+  std::vector<std::uint64_t> keys(1 << 16);
+  for (std::uint64_t i = 0; i < keys.size(); ++i) keys[i] = i;
+  const InputSketch s = data::sketch_keys(keys);
+  EXPECT_NEAR(s.presortedness, 1.0, 1e-9);
+  EXPECT_NEAR(s.est_runs, 1.0, 1e-6);
+  // 0..65535 touches key bytes 0 and 1 only.
+  EXPECT_EQ(s.nontrivial_bytes, 2u);
+}
+
+TEST(Sketch, DuplicateHeavyMeasured) {
+  const auto keys =
+      data::generate_keys(Distribution::kDuplicateHeavy, 1 << 16, 5);
+  const InputSketch s = data::sketch_keys(keys);
+  EXPECT_GT(s.dup_ratio, 0.9);
+  EXPECT_NEAR(s.log2_distinct, 4.0, 0.5);  // 16 distinct values
+  EXPECT_EQ(s.nontrivial_bytes, 1u);
+}
+
+TEST(Sketch, PopulationScalingKeepsPerKeyStatistics) {
+  // A sample of 2^20 real keys standing in for a 2e8-key run: per-key
+  // statistics (entropy, dups, distinct count) are unchanged; population
+  // and the distinct fallback scale.
+  const auto keys = data::generate_keys(Distribution::kDuplicateHeavy,
+                                        1 << 20, 17);
+  const InputSketch s = data::sketch_keys(keys, 200'000'000ull);
+  EXPECT_EQ(s.population, 200'000'000ull);
+  EXPECT_NEAR(s.log2_distinct, 4.0, 0.5);
+  EXPECT_GT(s.dup_ratio, 0.9);
+}
+
+TEST(Sketch, TinyInputsDoNotCrash) {
+  for (const std::uint64_t n : {0ull, 1ull, 2ull, 3ull, 63ull, 64ull, 65ull,
+                                4095ull, 4096ull, 4097ull}) {
+    Xoshiro256 rng(n);
+    std::vector<std::uint64_t> keys(n);
+    for (auto& k : keys) k = rng();
+    const InputSketch s = data::sketch_keys(keys);
+    EXPECT_EQ(s.population, n);
+    EXPECT_LE(s.sampled, std::max<std::uint64_t>(n, 1));
+    EXPECT_GE(s.entropy_bits, 0.0);
+    EXPECT_LE(s.entropy_bits, 64.0);
+  }
+}
+
+TEST(Sketch, FuzzInvariantsHold) {
+  Xoshiro256 rng(99);
+  for (int round = 0; round < 50; ++round) {
+    const std::uint64_t n = rng.bounded(20'000);
+    const std::uint64_t distinct = 1 + rng.bounded(1 << rng.bounded(20));
+    std::vector<std::uint64_t> keys(n);
+    for (auto& k : keys) k = rng.bounded(distinct);
+    if (rng.bounded(3) == 0) std::sort(keys.begin(), keys.end());
+    const InputSketch s = data::sketch_keys(keys);
+    EXPECT_EQ(s.population, n);
+    EXPECT_GE(s.entropy_bits, 0.0);
+    EXPECT_LE(s.entropy_bits, 64.0);
+    EXPECT_LE(s.nontrivial_bytes, 8u);
+    EXPECT_GE(s.dup_ratio, 0.0);
+    EXPECT_LE(s.dup_ratio, 1.0);
+    EXPECT_GE(s.log2_distinct, 0.0);
+    if (n > 0) {
+      EXPECT_LE(s.log2_distinct,
+                std::log2(static_cast<double>(n)) + 1e-9);
+    }
+    EXPECT_GE(s.presortedness, 0.0);
+    EXPECT_LE(s.presortedness, 1.0);
+    EXPECT_GE(s.est_runs, n > 0 ? 1.0 : 0.0);
+    EXPECT_LE(s.est_runs, static_cast<double>(n) + 1e-9);
+  }
+}
+
+// ----------------------------------------------------------- planner pins
+
+// Paper-scale simulated runs with a sketch taken from real generated keys —
+// the same setup as the bench_sortpath planner series. All virtual time:
+// deterministic on every machine.
+Report simulate_with_hint(Distribution dist, DeviceEnginePolicy policy,
+                          std::uint64_t n_sim) {
+  const auto keys = data::generate_keys(dist, 1 << 20, 17);
+  SortConfig cfg;
+  cfg.device_engine = policy;
+  cfg.has_planner_hint = true;
+  cfg.planner_hint = data::sketch_keys(keys, n_sim);
+  HeterogeneousSorter sorter(model::platform1(), cfg);
+  return sorter.simulate(n_sim, cpu::element_ops<std::uint64_t>());
+}
+
+constexpr std::uint64_t kSimElems = 200'000'000;
+
+TEST(SortPlanner, RadixOnUniformKeys) {
+  const Report r =
+      simulate_with_hint(Distribution::kUniform, DeviceEnginePolicy::kAdaptive,
+                         kSimElems);
+  EXPECT_EQ(r.device_engine, "radix-lsd");
+  EXPECT_TRUE(r.plan_adaptive);
+  EXPECT_TRUE(r.plan_sketched);
+  EXPECT_EQ(r.plan_passes, 8u);
+}
+
+TEST(SortPlanner, SampleSortOnDuplicateHeavyKeys) {
+  const Report r = simulate_with_hint(Distribution::kDuplicateHeavy,
+                                      DeviceEnginePolicy::kAdaptive,
+                                      kSimElems);
+  EXPECT_EQ(r.device_engine, "sample");
+  EXPECT_EQ(r.plan_passes, 1u);
+  EXPECT_LT(r.plan_log2_distinct, 5.0);
+}
+
+TEST(SortPlanner, SampleSortOnZipfKeys) {
+  const Report r = simulate_with_hint(
+      Distribution::kZipf, DeviceEnginePolicy::kAdaptive, kSimElems);
+  EXPECT_EQ(r.device_engine, "sample");
+  EXPECT_LT(r.plan_log2_distinct, 12.0);
+}
+
+TEST(SortPlanner, HybridSkipsPassesOnPresortedKeys) {
+  const Report r = simulate_with_hint(
+      Distribution::kSorted, DeviceEnginePolicy::kAdaptive, kSimElems);
+  EXPECT_EQ(r.device_engine, "hybrid-msd");
+  EXPECT_LT(r.plan_passes, 8u);  // top key bytes of 0..2^20-1 are trivial
+  EXPECT_EQ(r.counters.value(obs::Counter::kPlanPassesSkipped),
+            8u - r.plan_passes);
+}
+
+TEST(SortPlanner, AdaptiveBeatsFixedRadixByThirtyPercentOnDupHeavy) {
+  // The acceptance bar: >= 1.3x simulated end-to-end improvement on a
+  // non-uniform distribution against the pre-portfolio fixed-radix path.
+  const auto keys =
+      data::generate_keys(Distribution::kDuplicateHeavy, 1 << 20, 17);
+  SortConfig base_cfg;  // no planner at all — the pre-portfolio baseline
+  HeterogeneousSorter base(model::platform1(), base_cfg);
+  const Report b = base.simulate(kSimElems,
+                                 cpu::element_ops<std::uint64_t>());
+
+  const Report a = simulate_with_hint(Distribution::kDuplicateHeavy,
+                                      DeviceEnginePolicy::kAdaptive,
+                                      kSimElems);
+  EXPECT_EQ(b.device_engine, "radix-lsd");
+  EXPECT_GE(b.end_to_end, 1.3 * a.end_to_end)
+      << "baseline " << b.end_to_end << "s vs adaptive " << a.end_to_end
+      << "s";
+}
+
+TEST(SortPlanner, BatchTunerSplitsSerialSingleBatch) {
+  // At 2e8 u64 the whole input fits one batch, which serialises staging,
+  // transfers, and sort; the planner's coarse makespan model should split
+  // it to buy overlap, and the simulated pipeline should agree it's a win.
+  const Report a = simulate_with_hint(Distribution::kDuplicateHeavy,
+                                      DeviceEnginePolicy::kAdaptive,
+                                      kSimElems);
+  EXPECT_GT(a.num_batches, 1u);
+  EXPECT_EQ(a.counters.value(obs::Counter::kPlanBatchAdjusts), 1u);
+}
+
+TEST(SortPlanner, CountersAccountDecisions) {
+  const Report r = simulate_with_hint(Distribution::kDuplicateHeavy,
+                                      DeviceEnginePolicy::kAdaptive,
+                                      kSimElems);
+  EXPECT_EQ(r.counters.value(obs::Counter::kSortPlans), 1u);
+  EXPECT_EQ(r.counters.value(obs::Counter::kPlanEngineSample), 1u);
+  EXPECT_EQ(r.counters.value(obs::Counter::kPlanEngineRadix), 0u);
+  EXPECT_EQ(r.counters.value(obs::Counter::kPlanEngineHybrid), 0u);
+}
+
+// ------------------------------------------------------- real execution
+
+template <typename T>
+void check_real_sort(DeviceEnginePolicy policy, Distribution dist) {
+  SortConfig cfg;
+  cfg.device_engine = policy;
+  auto data = data::generate_keys(dist, 200'000, 23);
+  std::vector<T> v;
+  if constexpr (std::is_same_v<T, std::uint64_t>) {
+    v = std::move(data);
+  } else {
+    v.resize(data.size());
+    for (std::uint64_t i = 0; i < data.size(); ++i) v[i] = {data[i], i};
+  }
+  HeterogeneousSorter sorter(model::platform1(), cfg);
+  const Report r = sorter.sort(v);
+  if constexpr (std::is_same_v<T, std::uint64_t>) {
+    EXPECT_TRUE(std::is_sorted(v.begin(), v.end()));
+  } else {
+    EXPECT_TRUE(std::is_sorted(v.begin(), v.end(),
+                               [](const KeyValue64& a, const KeyValue64& b) {
+                                 return a.key < b.key;
+                               }));
+  }
+  EXPECT_EQ(r.n, 200'000u);
+}
+
+TEST(SortPlanner, RealSortsCorrectUnderEveryPolicy) {
+  for (const auto policy :
+       {DeviceEnginePolicy::kFixedRadix, DeviceEnginePolicy::kFixedHybrid,
+        DeviceEnginePolicy::kFixedSample, DeviceEnginePolicy::kAdaptive}) {
+    check_real_sort<std::uint64_t>(policy, Distribution::kDuplicateHeavy);
+    check_real_sort<std::uint64_t>(policy, Distribution::kUniform);
+    check_real_sort<KeyValue64>(policy, Distribution::kZipf);
+  }
+}
+
+TEST(SortPlanner, RealAdaptiveRunSketchesItsInput) {
+  SortConfig cfg;
+  cfg.device_engine = DeviceEnginePolicy::kAdaptive;
+  auto v = data::generate_keys(Distribution::kDuplicateHeavy, 300'000, 29);
+  HeterogeneousSorter sorter(model::platform1(), cfg);
+  const Report r = sorter.sort(v);
+  EXPECT_TRUE(std::is_sorted(v.begin(), v.end()));
+  EXPECT_TRUE(r.plan_adaptive);
+  EXPECT_TRUE(r.plan_sketched);  // sketch came from the real payload
+  EXPECT_GT(r.sketch_dup_ratio, 0.9);
+  EXPECT_EQ(r.plan_passes, 1u);  // 16 distinct values: byte 0 only
+}
+
+TEST(SortPlanner, FixedPoliciesLabelTheRun) {
+  SortConfig cfg;
+  cfg.device_engine = DeviceEnginePolicy::kFixedSample;
+  HeterogeneousSorter sorter(model::platform1(), cfg);
+  const Report r =
+      sorter.simulate(1 << 22, cpu::element_ops<std::uint64_t>());
+  EXPECT_EQ(r.device_engine, "sample");
+  EXPECT_FALSE(r.plan_adaptive);
+  EXPECT_NE(r.label.find("sampleEngine"), std::string::npos) << r.label;
+}
+
+}  // namespace
+}  // namespace hs

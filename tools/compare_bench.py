@@ -18,6 +18,11 @@ sortpath:
     baseline's, catching any change that slows the engine relative to the
     frozen seed implementation — e.g. instrumentation leaking per-element
     cost into the hot loops;
+  * the planner series are simulated virtual time, fully machine-independent:
+    the (type, dist) set, the chosen engine, and the predicted pass count
+    must match the baseline exactly, and the adaptive-vs-fixed-radix
+    improvement must stay within the noise factor of the baseline's (a
+    deterministic quantity; the band only forgives recalibration drift);
   * every reported rate must be finite and positive (a sanity floor).
 
 hostpath:
@@ -88,12 +93,46 @@ def compare_sortpath(cand, base, noise):
             )
         check_rates(errors, name, c, ("seed", "engine", "parallel"))
 
+    cand_plan = {series_key(s): s for s in cand.get("planner", [])}
+    base_plan = {series_key(s): s for s in base.get("planner", [])}
+
+    if set(cand_plan) != set(base_plan):
+        errors.append(
+            f"planner series mismatch: candidate {sorted(cand_plan)} vs "
+            f"baseline {sorted(base_plan)}"
+        )
+
+    for key in sorted(set(cand_plan) & set(base_plan)):
+        c, b = cand_plan[key], base_plan[key]
+        name = f"planner {key[0]}/{key[1]}"
+        if c["engine"] != b["engine"]:
+            errors.append(
+                f"{name}: engine '{c['engine']}' != baseline '{b['engine']}'"
+                " — the planner's decision flipped"
+            )
+        if c["passes"] != b["passes"]:
+            errors.append(
+                f"{name}: predicted passes {c['passes']} != "
+                f"baseline {b['passes']}"
+            )
+        floor = b["improvement"] / noise
+        if not (math.isfinite(c["improvement"]) and c["improvement"] >= floor):
+            errors.append(
+                f"{name}: improvement {c['improvement']:.3f} below noise "
+                f"floor {floor:.3f} (baseline {b['improvement']:.3f})"
+            )
+        check_rates(
+            errors, name, c, ("baseline_s", "adaptive_s", "improvement")
+        )
+
     for s in cand.get("memcpy", []):
         check_rates(
             errors, f"memcpy {s['bytes']} B", s, ("memcpy", "stream", "parallel")
         )
 
-    return errors, f"{len(cand_radix)} radix series"
+    return errors, (
+        f"{len(cand_radix)} radix series, {len(cand_plan)} planner series"
+    )
 
 
 def compare_hostpath(cand, base, noise):

@@ -69,6 +69,7 @@
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -124,6 +125,7 @@ struct Options {
   double deadline_seconds = 0;
   std::uint64_t crash_after_jobs = 0;
   bool serve_report = false;
+  unsigned span_sample = 0;  // serve: 1-in-N root-span sampling (0 = off)
 };
 
 [[noreturn]] void usage(const char* msg = nullptr) {
@@ -133,6 +135,14 @@ struct Options {
                "run with no arguments for the option list in the source "
                "header.\n");
   std::exit(2);
+}
+
+core::DeviceEnginePolicy parse_engine(const std::string& s) {
+  if (s == "radix") return core::DeviceEnginePolicy::kFixedRadix;
+  if (s == "hybrid") return core::DeviceEnginePolicy::kFixedHybrid;
+  if (s == "sample") return core::DeviceEnginePolicy::kFixedSample;
+  if (s == "auto") return core::DeviceEnginePolicy::kAdaptive;
+  usage("unknown engine (expected radix|hybrid|sample|auto)");
 }
 
 core::Approach parse_approach(const std::string& s) {
@@ -208,6 +218,9 @@ data::Distribution parse_dist(const std::string& s) {
       {"dup-heavy", data::Distribution::kDuplicateHeavy},
       {"all-equal", data::Distribution::kAllEqual},
       {"zipf", data::Distribution::kZipf},
+      {"saw", data::Distribution::kSaw},
+      {"runs", data::Distribution::kRuns},
+      {"partial-sorted", data::Distribution::kPartialSorted},
   };
   const auto it = kMap.find(s);
   if (it == kMap.end()) usage("unknown distribution");
@@ -243,6 +256,8 @@ Options parse(int argc, char** argv) {
       o.type = next(i);
     } else if (flag == "--dist") {
       o.dist = parse_dist(next(i));
+    } else if (flag == "--engine") {
+      o.cfg.device_engine = parse_engine(next(i));
     } else if (flag == "--bs") {
       o.cfg.batch_size = parse_count("--bs", next(i));
     } else if (flag == "--ps") {
@@ -305,6 +320,9 @@ Options parse(int argc, char** argv) {
       o.crash_after_jobs = parse_count("--crash-after-jobs", next(i));
     } else if (flag == "--report" && o.command == "serve") {
       o.serve_report = true;
+    } else if (flag == "--span-sample") {
+      o.span_sample =
+          static_cast<unsigned>(parse_count("--span-sample", next(i)));
     } else {
       usage(("unknown flag: " + flag).c_str());
     }
@@ -574,6 +592,14 @@ int cmd_verify(const Options& o) {
 
 int cmd_serve(const Options& o) {
   io::ensure_spill_backend();
+  // Always-on observability at serve scale: a sampling recorder keeps one
+  // in N root spans (whole subtrees), so planner/merge spans stay cheap
+  // enough to leave enabled for every job.
+  std::optional<obs::SpanRecorder> rec;
+  if (o.span_sample > 0) {
+    rec.emplace(o.span_sample);
+    obs::install(&*rec);
+  }
   service::SchedulerConfig scfg;
   scfg.service_dir = o.service_dir;
   scfg.workers = std::max(1u, o.workers);
@@ -666,6 +692,11 @@ int cmd_serve(const Options& o) {
     std::printf("\n%s", scheduler.report().c_str());
   }
   scheduler.shutdown();
+  if (rec.has_value()) {
+    obs::install(nullptr);
+    std::printf("spans kept: %zu (1-in-%u root sampling)\n", rec->size(),
+                rec->sample_period());
+  }
   return failed == 0 ? 0 : 1;
 }
 
