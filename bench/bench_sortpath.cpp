@@ -38,6 +38,7 @@
 #include "cpu/parallel_memcpy.h"
 #include "cpu/radix_sort.h"
 #include "cpu/thread_pool.h"
+#include "cpu/total_order.h"
 #include "data/generators.h"
 #include "data/sketch.h"
 #include "model/platforms.h"
@@ -248,10 +249,34 @@ struct PlannerSeries {
 constexpr std::uint64_t kPlannerSimElems = 200'000'000;  // paper-scale n
 constexpr std::uint64_t kPlannerSampleElems = std::uint64_t{1} << 20;
 
+/// Sample keys for the planner sketch, in the lane's u64 total-order key
+/// image (the space the sketcher and every engine operate in).
+template <typename T>
+std::vector<std::uint64_t> make_sketch_keys(Distribution dist) {
+  if constexpr (std::is_same_v<T, std::int32_t>) {
+    const auto v = hs::data::generate_values<std::int32_t>(
+        dist, kPlannerSampleElems, 17);
+    std::vector<std::uint64_t> keys(v.size());
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      keys[i] = hs::cpu::i32_total_key(v[i]);
+    }
+    return keys;
+  } else if constexpr (std::is_same_v<T, float>) {
+    const auto v =
+        hs::data::generate_values<float>(dist, kPlannerSampleElems, 17);
+    std::vector<std::uint64_t> keys(v.size());
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      keys[i] = hs::cpu::f32_total_key(v[i]);
+    }
+    return keys;
+  } else {
+    return hs::data::generate_keys(dist, kPlannerSampleElems, 17);
+  }
+}
+
 template <typename T>
 PlannerSeries run_planner(const std::string& type, Distribution dist) {
-  const auto keys =
-      hs::data::generate_keys(dist, kPlannerSampleElems, 17);
+  const auto keys = make_sketch_keys<T>(dist);
   const hs::data::InputSketch sketch =
       hs::data::sketch_keys(keys, kPlannerSimElems);
 
@@ -349,6 +374,13 @@ int main(int argc, char** argv) {
   planner.push_back(run_planner<std::uint64_t>("u64", Distribution::kSorted));
   planner.push_back(
       run_planner<hs::KeyValue64>("kv64", Distribution::kDuplicateHeavy));
+  // New-lane pins: the distribution-driven engine flips must reproduce on
+  // the 32-bit lanes (ISSUE 9's acceptance) — dup-heavy i32 collapses
+  // cardinality (sample sort), sorted f32 elides passes (hybrid, <= 4 by
+  // the 4-byte key image alone).
+  planner.push_back(
+      run_planner<std::int32_t>("i32", Distribution::kDuplicateHeavy));
+  planner.push_back(run_planner<float>("f32", Distribution::kSorted));
 
   std::vector<MemcpySeries> copies;
   std::vector<std::size_t> copy_sizes = {std::size_t{1} << 20,

@@ -1,9 +1,12 @@
-// 16-byte key/value record — the element type of the related work's
-// heterogeneous sort (Stehle & Jacobsen sort 6 GB of 64-bit key / 64-bit
-// value pairs; the paper's Fig 7 compares against that workload).
+// Key/value record types — the element shapes of the related work's
+// heterogeneous sorts (Stehle & Jacobsen sort 6 GB of 64-bit key / 64-bit
+// value pairs; the paper's Fig 7 compares against that workload), plus a
+// variable-width-payload generalisation for wider-record lanes.
 #pragma once
 
+#include <array>
 #include <compare>
+#include <cstddef>
 #include <cstdint>
 
 namespace hs {
@@ -21,5 +24,26 @@ struct KeyValue64 {
 };
 
 static_assert(sizeof(KeyValue64) == 16);
+
+/// 64-bit key with a `PayloadBytes`-wide opaque payload: the variable-width
+/// kv record shape. Like KeyValue64, only the key participates in ordering;
+/// the payload rides along untouched through every scatter and merge, so the
+/// bytes-per-element cost of wider records is observable without adding a
+/// comparison dimension.
+template <std::size_t PayloadBytes>
+struct KeyValuePad {
+  std::uint64_t key = 0;
+  std::array<std::byte, PayloadBytes> payload{};
+
+  friend bool operator==(const KeyValuePad&, const KeyValuePad&) = default;
+  friend bool operator<(const KeyValuePad& a, const KeyValuePad& b) {
+    return a.key < b.key;
+  }
+};
+
+/// The registry's wide-record lane: 8-byte key + 24-byte payload (32-byte
+/// records, 4x the bytes of a bare key).
+using KeyValue64P24 = KeyValuePad<24>;
+static_assert(sizeof(KeyValue64P24) == 32);
 
 }  // namespace hs

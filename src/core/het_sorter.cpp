@@ -73,7 +73,7 @@ Report HeterogeneousSorter::attempt(std::span<std::byte> data, std::uint64_t n,
     }
     splan =
         plan_device_sort(sk, rc, plat, ops.gpu_sort_cost_factor,
-                         cfg.device_engine);
+                         cfg.device_engine, ops.key_radix_bytes);
     if (splan.batch_adjusted) {
       SortConfig tuned = cfg;
       tuned.batch_size = splan.batch_size;

@@ -28,8 +28,10 @@ double engine_batch_time(const model::GpuSpec& gpu,
 SortPlan plan_device_sort(const data::InputSketch& sketch,
                           const ResolvedConfig& rc,
                           const model::Platform& plat, double gpu_cost_factor,
-                          DeviceEnginePolicy policy) {
+                          DeviceEnginePolicy policy,
+                          unsigned key_radix_bytes) {
   HS_EXPECTS(!plat.gpus.empty());
+  HS_EXPECTS(key_radix_bytes >= 1 && key_radix_bytes <= cpu::kRadixPasses);
   const model::GpuSpec& gpu = plat.gpus.front();
 
   SortPlan p;
@@ -37,7 +39,7 @@ SortPlan plan_device_sort(const data::InputSketch& sketch,
   p.sketched = sketch.sampled > 0;
   p.batch_size = rc.batch_size;
   p.launch.predicted_passes =
-      std::min<unsigned>(sketch.nontrivial_bytes, cpu::kRadixPasses);
+      std::min({sketch.nontrivial_bytes, key_radix_bytes, cpu::kRadixPasses});
   p.launch.log2_distinct = sketch.log2_distinct;
 
   // Engine choice: rank the portfolio with the same models the simulator

@@ -51,10 +51,14 @@ struct SortPlan {
 
 /// Plans the device-sort launch for a job resolved as `rc` on `plat`.
 /// `gpu_cost_factor` is the element type's cost multiplier
-/// (cpu::ElementOps::gpu_sort_cost_factor).
+/// (cpu::ElementOps::gpu_sort_cost_factor); `key_radix_bytes` its key-image
+/// width (cpu::ElementOps::key_radix_bytes) — the 32-bit lanes can never
+/// execute more than 4 radix passes, so the predicted pass count is clamped
+/// to it.
 SortPlan plan_device_sort(const data::InputSketch& sketch,
                           const ResolvedConfig& rc,
                           const model::Platform& plat, double gpu_cost_factor,
-                          DeviceEnginePolicy policy);
+                          DeviceEnginePolicy policy,
+                          unsigned key_radix_bytes = 8);
 
 }  // namespace hs::core

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/assert.h"
+#include "cpu/total_order.h"
 
 namespace hs::cpu {
 namespace {
@@ -178,8 +179,72 @@ void sample_sort_generic(std::span<R> rec, KeyFn key,
   std::memcpy(rec.data(), tmp.data, n * sizeof(R));
 }
 
+/// Pass-skipping LSD twin for lanes without a dedicated cpu::radix_sort
+/// instantiation. Fused histograms find the non-trivial digits up front;
+/// each executes one stable counting scatter, ping-ponging between `rec`
+/// and the tmp arena (an explicit copy settles odd parities).
+template <typename R, typename KeyFn>
+unsigned lsd_generic(std::span<R> rec, KeyFn key, RadixSortScratch* scratch) {
+  const std::uint64_t n = rec.size();
+  if (n < 2) {
+    if (scratch != nullptr) scratch->executed_passes = 0;
+    return 0;
+  }
+  std::array<std::array<std::uint64_t, kBuckets>, kRadixPasses> hist{};
+  for (const R& r : rec) {
+    const std::uint64_t k = key(r);
+    for (unsigned d = 0; d < kRadixPasses; ++d) ++hist[d][digit_of(k, d)];
+  }
+  std::vector<unsigned> live;
+  for (unsigned d = 0; d < kRadixPasses; ++d) {
+    unsigned occupied = 0;
+    for (const std::uint64_t c : hist[d]) {
+      if (c != 0 && ++occupied > 1) {
+        live.push_back(d);
+        break;
+      }
+    }
+  }
+  if (live.empty()) {
+    if (scratch != nullptr) scratch->executed_passes = 0;
+    return 0;
+  }
+  TmpBuffer<R> tmp(n, scratch);
+  R* src = rec.data();
+  R* dst = tmp.data;
+  for (const unsigned d : live) {
+    std::array<std::uint64_t, kBuckets> off{};
+    std::uint64_t acc = 0;
+    for (std::size_t b = 0; b < kBuckets; ++b) {
+      off[b] = acc;
+      acc += hist[d][b];
+    }
+    for (std::uint64_t i = 0; i < n; ++i)
+      dst[off[digit_of(key(src[i]), d)]++] = src[i];
+    std::swap(src, dst);
+  }
+  if (src != rec.data()) std::memcpy(rec.data(), src, n * sizeof(R));
+  const unsigned passes = static_cast<unsigned>(live.size());
+  if (scratch != nullptr) scratch->executed_passes = passes;
+  return passes;
+}
+
 constexpr auto kIdentity = [](std::uint64_t k) { return k; };
 constexpr auto kKvKey = [](const KeyValue64& r) { return r.key; };
+// 32-bit lanes sort directly on their records with the key function widening
+// each key to its zero-extended u64 total-order image — the upper four
+// digits are trivially single-bucket, so pass skipping caps them at 4
+// scatters without any buffer widening.
+constexpr auto kU32Key = [](std::uint32_t v) {
+  return static_cast<std::uint64_t>(v);
+};
+constexpr auto kI32Key = [](std::int32_t v) {
+  return static_cast<std::uint64_t>(i32_total_key(v));
+};
+constexpr auto kF32Key = [](float v) {
+  return static_cast<std::uint64_t>(f32_total_key(v));
+};
+constexpr auto kPadKvKey = [](const KeyValue64P24& r) { return r.key; };
 
 /// Runs `fn` on the doubles' order-preserving u64 image (same bijection as
 /// the radix engine, so -0.0 < +0.0 and NaNs land above +inf).
@@ -218,6 +283,25 @@ unsigned hybrid_msd_sort(std::span<KeyValue64> records,
   return hybrid_msd_generic(records, kKvKey, scratch);
 }
 
+unsigned hybrid_msd_sort(std::span<std::uint32_t> keys,
+                         RadixSortScratch* scratch) {
+  return hybrid_msd_generic(keys, kU32Key, scratch);
+}
+
+unsigned hybrid_msd_sort(std::span<std::int32_t> values,
+                         RadixSortScratch* scratch) {
+  return hybrid_msd_generic(values, kI32Key, scratch);
+}
+
+unsigned hybrid_msd_sort(std::span<float> values, RadixSortScratch* scratch) {
+  return hybrid_msd_generic(values, kF32Key, scratch);
+}
+
+unsigned hybrid_msd_sort(std::span<KeyValue64P24> records,
+                         RadixSortScratch* scratch) {
+  return hybrid_msd_generic(records, kPadKvKey, scratch);
+}
+
 void device_sample_sort(std::span<std::uint64_t> keys,
                         RadixSortScratch* scratch) {
   sample_sort_generic(keys, kIdentity, scratch);
@@ -232,6 +316,44 @@ void device_sample_sort(std::span<double> values, RadixSortScratch* scratch) {
 void device_sample_sort(std::span<KeyValue64> records,
                         RadixSortScratch* scratch) {
   sample_sort_generic(records, kKvKey, scratch);
+}
+
+void device_sample_sort(std::span<std::uint32_t> keys,
+                        RadixSortScratch* scratch) {
+  sample_sort_generic(keys, kU32Key, scratch);
+}
+
+void device_sample_sort(std::span<std::int32_t> values,
+                        RadixSortScratch* scratch) {
+  sample_sort_generic(values, kI32Key, scratch);
+}
+
+void device_sample_sort(std::span<float> values, RadixSortScratch* scratch) {
+  sample_sort_generic(values, kF32Key, scratch);
+}
+
+void device_sample_sort(std::span<KeyValue64P24> records,
+                        RadixSortScratch* scratch) {
+  sample_sort_generic(records, kPadKvKey, scratch);
+}
+
+unsigned device_lsd_sort(std::span<std::uint32_t> keys,
+                         RadixSortScratch* scratch) {
+  return lsd_generic(keys, kU32Key, scratch);
+}
+
+unsigned device_lsd_sort(std::span<std::int32_t> values,
+                         RadixSortScratch* scratch) {
+  return lsd_generic(values, kI32Key, scratch);
+}
+
+unsigned device_lsd_sort(std::span<float> values, RadixSortScratch* scratch) {
+  return lsd_generic(values, kF32Key, scratch);
+}
+
+unsigned device_lsd_sort(std::span<KeyValue64P24> records,
+                         RadixSortScratch* scratch) {
+  return lsd_generic(records, kPadKvKey, scratch);
 }
 
 }  // namespace hs::cpu

@@ -19,9 +19,18 @@
 //     Single-valued buckets (the equality-bucket case that makes dup-heavy
 //     keys cheap) are detected and skipped.
 //
-// Both engines are stable and sort doubles through the same order-preserving
-// u64 bijection as the radix engine. `scratch` reuses the radix engine's
-// grow-only arena across batch sorts; nullptr uses a call-local buffer.
+//   * device_lsd_sort — plain LSD twin for the lanes that have no dedicated
+//     cpu::radix_sort instantiation (i32/u32/f32 and the wide-payload kv
+//     record): trivial digits are skipped exactly like the tuned engine, so
+//     a 32-bit key image executes at most 4 of the 8 possible passes.
+//     Returns the executed pass count.
+//
+// All engines are stable and order every lane by its u64 total-order key
+// image (cpu/total_order.h): doubles and floats through the sign-flip
+// bijection (so -0.0 < +0.0 and NaNs land at deterministic tails), signed
+// ints through the two's-complement sign-bit flip, unsigned ints and kv keys
+// as-is. `scratch` reuses the radix engine's grow-only arena across batch
+// sorts; nullptr uses a call-local buffer.
 #pragma once
 
 #include <cstdint>
@@ -38,6 +47,14 @@ unsigned hybrid_msd_sort(std::span<double> values,
                          RadixSortScratch* scratch = nullptr);
 unsigned hybrid_msd_sort(std::span<KeyValue64> records,
                          RadixSortScratch* scratch = nullptr);
+unsigned hybrid_msd_sort(std::span<std::uint32_t> keys,
+                         RadixSortScratch* scratch = nullptr);
+unsigned hybrid_msd_sort(std::span<std::int32_t> values,
+                         RadixSortScratch* scratch = nullptr);
+unsigned hybrid_msd_sort(std::span<float> values,
+                         RadixSortScratch* scratch = nullptr);
+unsigned hybrid_msd_sort(std::span<KeyValue64P24> records,
+                         RadixSortScratch* scratch = nullptr);
 
 void device_sample_sort(std::span<std::uint64_t> keys,
                         RadixSortScratch* scratch = nullptr);
@@ -45,5 +62,22 @@ void device_sample_sort(std::span<double> values,
                         RadixSortScratch* scratch = nullptr);
 void device_sample_sort(std::span<KeyValue64> records,
                         RadixSortScratch* scratch = nullptr);
+void device_sample_sort(std::span<std::uint32_t> keys,
+                        RadixSortScratch* scratch = nullptr);
+void device_sample_sort(std::span<std::int32_t> values,
+                        RadixSortScratch* scratch = nullptr);
+void device_sample_sort(std::span<float> values,
+                        RadixSortScratch* scratch = nullptr);
+void device_sample_sort(std::span<KeyValue64P24> records,
+                        RadixSortScratch* scratch = nullptr);
+
+unsigned device_lsd_sort(std::span<std::uint32_t> keys,
+                         RadixSortScratch* scratch = nullptr);
+unsigned device_lsd_sort(std::span<std::int32_t> values,
+                         RadixSortScratch* scratch = nullptr);
+unsigned device_lsd_sort(std::span<float> values,
+                         RadixSortScratch* scratch = nullptr);
+unsigned device_lsd_sort(std::span<KeyValue64P24> records,
+                         RadixSortScratch* scratch = nullptr);
 
 }  // namespace hs::cpu

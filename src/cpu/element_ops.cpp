@@ -1,5 +1,6 @@
 #include "cpu/element_ops.h"
 
+#include <array>
 #include <cstring>
 #include <type_traits>
 
@@ -8,6 +9,7 @@
 #include "cpu/merge_path.h"
 #include "cpu/multiway_merge.h"
 #include "cpu/radix_sort.h"
+#include "cpu/total_order.h"
 
 namespace hs::cpu {
 namespace {
@@ -22,17 +24,56 @@ std::span<const T> typed_const(const std::byte* data, std::uint64_t elems) {
   return {reinterpret_cast<const T*>(data), elems};
 }
 
+/// The comparator a lane's merges run under. Floats get the total-order
+/// comparator (bijection-image compare) so merge output matches the radix
+/// engines on NaN/-0.0; everything else keeps std::less — kv64 in
+/// particular MUST stay std::less<KeyValue64>, because the payload-deferred
+/// merge is keyed on DeferredMergeTraits<KeyValue64, std::less<KeyValue64>>.
+template <typename T>
+using LaneLess =
+    std::conditional_t<std::is_floating_point_v<T>, TotalOrderLess<T>,
+                       std::less<T>>;
+
+/// Lanes with a dedicated tuned radix_sort instantiation; the rest use the
+/// pass-skipping LSD twin in cpu/device_engines.
+template <typename T>
+constexpr bool kHasTunedRadix = std::is_same_v<T, double> ||
+                                std::is_same_v<T, std::uint64_t> ||
+                                std::is_same_v<T, hs::KeyValue64>;
+
+template <typename T>
+std::uint64_t lane_key(const T& v) {
+  if constexpr (std::is_same_v<T, double>) {
+    return double_to_radix_key(v);
+  } else if constexpr (std::is_same_v<T, float>) {
+    return f32_total_key(v);
+  } else if constexpr (std::is_same_v<T, std::int32_t>) {
+    return i32_total_key(v);
+  } else if constexpr (std::is_same_v<T, std::uint64_t> ||
+                       std::is_same_v<T, std::uint32_t>) {
+    return v;
+  } else {
+    return v.key;
+  }
+}
+
 template <typename T>
 ElementOps make_ops(std::string name, double gpu_factor,
-                    std::size_t key_size = sizeof(T)) {
+                    std::size_t key_size = sizeof(T),
+                    unsigned key_radix_bytes = 8) {
   ElementOps ops;
   ops.elem_size = sizeof(T);
   ops.key_size = key_size;
   ops.type_name = std::move(name);
   ops.gpu_sort_cost_factor = gpu_factor;
+  ops.key_radix_bytes = key_radix_bytes;
   ops.device_sort = [](std::byte* data, std::uint64_t elems,
                        RadixSortScratch* scratch) {
-    radix_sort(typed<T>(data, elems), scratch);
+    if constexpr (kHasTunedRadix<T>) {
+      radix_sort(typed<T>(data, elems), scratch);
+    } else {
+      device_lsd_sort(typed<T>(data, elems), scratch);
+    }
   };
   ops.device_sort_hybrid = [](std::byte* data, std::uint64_t elems,
                               RadixSortScratch* scratch) {
@@ -45,19 +86,13 @@ ElementOps make_ops(std::string name, double gpu_factor,
   ops.extract_key = [](const std::byte* rec) -> std::uint64_t {
     T v;
     std::memcpy(&v, rec, sizeof(T));
-    if constexpr (std::is_same_v<T, double>) {
-      return double_to_radix_key(v);
-    } else if constexpr (std::is_same_v<T, std::uint64_t>) {
-      return v;
-    } else {
-      return v.key;
-    }
+    return lane_key(v);
   };
   ops.merge_pair = [](RunView a, RunView b, std::byte* out,
                       ThreadPool& pool, unsigned threads) {
     merge_parallel<T>(pool, typed_const<T>(a.data, a.elems),
                                typed_const<T>(b.data, b.elems),
-                               typed<T>(out, a.elems + b.elems), std::less<T>{},
+                               typed<T>(out, a.elems + b.elems), LaneLess<T>{},
                                threads);
   };
   ops.multiway = [](std::span<const RunView> runs, std::byte* out,
@@ -72,9 +107,9 @@ ElementOps make_ops(std::string name, double gpu_factor,
     }
     // One scratch per call: all lanes' trees and descriptor arenas are sized
     // once, so the per-part merge loop allocates nothing.
-    MultiwayMergeScratch<T> scratch;
+    MultiwayMergeScratch<T, LaneLess<T>> scratch;
     multiway_merge_parallel<T>(pool, std::move(spans),
-                                        typed<T>(out, total), std::less<T>{},
+                                        typed<T>(out, total), LaneLess<T>{},
                                         threads, &scratch, plan);
   };
   return ops;
@@ -99,6 +134,70 @@ ElementOps element_ops<hs::KeyValue64>() {
   // (~15%). Calibrated against the related work's 0.47 s for 375M pairs on
   // CUB-class kernels (Fig 8 of Stehle & Jacobsen).
   return make_ops<hs::KeyValue64>("kv64", 1.15, sizeof(std::uint64_t));
+}
+
+template <>
+ElementOps element_ops<float>() {
+  // Half the bytes per element of the calibrated f64 lane, but the same
+  // per-element classify/scan work, so cost shrinks less than 2x.
+  return make_ops<float>("f32", 0.55, sizeof(float), 4);
+}
+
+template <>
+ElementOps element_ops<std::int32_t>() {
+  return make_ops<std::int32_t>("i32", 0.55, sizeof(std::int32_t), 4);
+}
+
+template <>
+ElementOps element_ops<std::uint32_t>() {
+  return make_ops<std::uint32_t>("u32", 0.55, sizeof(std::uint32_t), 4);
+}
+
+template <>
+ElementOps element_ops<hs::KeyValue64P24>() {
+  // 32-byte records: the 24-byte payload rides through every scatter, so
+  // the lane costs noticeably more than kv64 but stays under the 2x a pure
+  // bytes-moved model would predict (key work is unchanged).
+  return make_ops<hs::KeyValue64P24>("kv64p24", 1.45, sizeof(std::uint64_t));
+}
+
+namespace {
+
+struct LaneEntry {
+  std::string_view name;
+  ElementOps ops;
+};
+
+const std::array<LaneEntry, 7>& lane_registry() {
+  static const std::array<LaneEntry, 7> kLanes = {{
+      {"f64", element_ops<double>()},
+      {"u64", element_ops<std::uint64_t>()},
+      {"kv64", element_ops<hs::KeyValue64>()},
+      {"f32", element_ops<float>()},
+      {"i32", element_ops<std::int32_t>()},
+      {"u32", element_ops<std::uint32_t>()},
+      {"kv64p24", element_ops<hs::KeyValue64P24>()},
+  }};
+  return kLanes;
+}
+
+}  // namespace
+
+std::span<const std::string_view> element_lane_names() {
+  static const std::array<std::string_view, 7> kNames = [] {
+    std::array<std::string_view, 7> names{};
+    const auto& reg = lane_registry();
+    for (std::size_t i = 0; i < reg.size(); ++i) names[i] = reg[i].name;
+    return names;
+  }();
+  return kNames;
+}
+
+const ElementOps* element_ops_by_name(std::string_view name) {
+  for (const LaneEntry& lane : lane_registry()) {
+    if (lane.name == name) return &lane.ops;
+  }
+  return nullptr;
 }
 
 }  // namespace hs::cpu

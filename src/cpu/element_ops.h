@@ -1,12 +1,20 @@
-// Type erasure for the pipeline's element type.
+// Type erasure for the pipeline's element type, and the typed lane registry.
 //
 // The heterogeneous pipeline moves and merges opaque fixed-size records; only
-// three operations depend on the concrete type: the on-device sort, the
-// pairwise merge, and the multiway merge. ElementOps bundles them so the
-// pipeline compiles once over byte buffers while users sort `double`
-// (the paper's workload), `uint64_t` keys, or 16-byte `KeyValue64` records
-// (the related work's workload) — or any trivially copyable type they
-// provide ops for.
+// a handful of operations depend on the concrete type: the on-device sorts,
+// the key extraction the sketcher samples, the pairwise merge, and the
+// multiway merge. ElementOps bundles them so the pipeline compiles once over
+// byte buffers while users sort any registered lane:
+//
+//   f64  u64  kv64  f32  i32  u32  kv64p24
+//
+// Every lane defines the same contract: `extract_key` is an order-preserving
+// bijection from the record's comparison key into u64 radix-image space
+// (floats via the sign-flip bijection, signed ints via the sign-bit flip —
+// see cpu/total_order.h), and the merge comparators order by exactly that
+// image, so the sketcher, all three device engines, the deferred-merge
+// policy, and data/verify agree on one total order per lane. Other trivially
+// copyable types can still be supported by building an ElementOps by hand.
 #pragma once
 
 #include <cstddef>
@@ -14,6 +22,7 @@
 #include <functional>
 #include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/key_value.h"
@@ -42,6 +51,13 @@ struct ElementOps {
   /// GpuSortModel is calibrated for (key/value records move twice the bytes
   /// per element through the device pipeline).
   double gpu_sort_cost_factor = 1.0;
+
+  /// Width of the key's radix image in bytes: the maximum number of scatter
+  /// passes any radix-family engine can execute on this lane. 8 for 64-bit
+  /// keys; 4 for the 32-bit lanes, whose zero-extended images make the upper
+  /// four digits trivially skippable. The planner clamps its predicted pass
+  /// count to this.
+  unsigned key_radix_bytes = 8;
 
   /// Sorts `elems` records at `data` ascending (used by the virtual device).
   /// Pass a `scratch` to reuse the radix engine's working memory across
@@ -80,9 +96,9 @@ struct ElementOps {
       multiway;
 };
 
-/// Ready-made ops. Explicit specialisations exist for double, uint64_t, and
-/// KeyValue64; other trivially copyable types can be supported by building
-/// an ElementOps by hand.
+/// Ready-made ops. Explicit specialisations exist for every registered lane;
+/// other trivially copyable types can be supported by building an ElementOps
+/// by hand.
 template <typename T>
 ElementOps element_ops();
 
@@ -92,5 +108,21 @@ template <>
 ElementOps element_ops<std::uint64_t>();
 template <>
 ElementOps element_ops<hs::KeyValue64>();
+template <>
+ElementOps element_ops<float>();
+template <>
+ElementOps element_ops<std::int32_t>();
+template <>
+ElementOps element_ops<std::uint32_t>();
+template <>
+ElementOps element_ops<hs::KeyValue64P24>();
+
+/// Every registered lane name, in registry order (f64 first — the paper's
+/// workload and the CLI default).
+std::span<const std::string_view> element_lane_names();
+
+/// Ops for a named lane, or nullptr when the name is not registered. The
+/// returned object lives for the program's lifetime.
+const ElementOps* element_ops_by_name(std::string_view name);
 
 }  // namespace hs::cpu

@@ -1,0 +1,91 @@
+// Total-order semantics for every comparison key in the system.
+//
+// Floating-point `operator<` is not a strict weak ordering once NaNs appear
+// (every comparison involving a NaN is false, so NaN compares "equivalent"
+// to everything), and it cannot distinguish -0.0 from +0.0. A sorter whose
+// radix path orders by the bit-level bijection while its merge path orders
+// by `operator<` would emit different outputs depending on which engine
+// touched the data. This header pins ONE total order, the IEEE-754
+// totalOrder predicate the radix bijection already implements, and every
+// layer — the radix engines, the loser-tree merge comparators
+// (cpu::ElementOps hooks), and data/verify — uses it:
+//
+//   -NaN < -Inf < ... < -0.0 < +0.0 < ... < +Inf < +NaN
+//
+// NaNs are ordered deterministically by payload (bit pattern), negative
+// NaNs below -Inf and positive NaNs above +Inf. Ties (bit-identical values,
+// including equal NaN payloads) are broken stably: every engine in the
+// portfolio is stable, so records with equal total-order keys keep their
+// input order end to end.
+//
+// The bijections here are the single source of truth: f64_total_key is
+// bit-identical to cpu::double_to_radix_key (asserted by tests), and the
+// 32-bit variants define the key images the i32/u32/f32 lanes sort in.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <functional>
+
+namespace hs::cpu {
+
+/// Order-preserving bijection double -> u64 (flip all bits of negatives,
+/// flip only the sign bit of non-negatives). Identical to
+/// double_to_radix_key in cpu/radix_sort.h; kept inline here so per-record
+/// comparators pay no call overhead.
+inline std::uint64_t f64_total_key(double d) {
+  const std::uint64_t bits = std::bit_cast<std::uint64_t>(d);
+  const std::uint64_t mask =
+      (bits & 0x8000000000000000ull) ? ~0ull : 0x8000000000000000ull;
+  return bits ^ mask;
+}
+
+inline double f64_from_total_key(std::uint64_t k) {
+  const std::uint64_t mask =
+      (k & 0x8000000000000000ull) ? 0x8000000000000000ull : ~0ull;
+  return std::bit_cast<double>(k ^ mask);
+}
+
+/// The same bijection for float -> u32.
+inline std::uint32_t f32_total_key(float f) {
+  const std::uint32_t bits = std::bit_cast<std::uint32_t>(f);
+  const std::uint32_t mask = (bits & 0x80000000u) ? ~0u : 0x80000000u;
+  return bits ^ mask;
+}
+
+inline float f32_from_total_key(std::uint32_t k) {
+  const std::uint32_t mask = (k & 0x80000000u) ? 0x80000000u : ~0u;
+  return std::bit_cast<float>(k ^ mask);
+}
+
+/// Two's-complement int32 -> u32 order-preserving bijection (sign-bit flip).
+inline std::uint32_t i32_total_key(std::int32_t v) {
+  return std::bit_cast<std::uint32_t>(v) ^ 0x80000000u;
+}
+
+inline std::int32_t i32_from_total_key(std::uint32_t k) {
+  return std::bit_cast<std::int32_t>(k ^ 0x80000000u);
+}
+
+/// The comparator every merge and verification path uses. For integral and
+/// key/value types this IS std::less (their operator< is already a total
+/// order); the float specialisations compare bijection images so NaN and
+/// signed-zero ordering match the radix engines exactly.
+template <typename T>
+struct TotalOrderLess : std::less<T> {};
+
+template <>
+struct TotalOrderLess<double> {
+  bool operator()(double a, double b) const {
+    return f64_total_key(a) < f64_total_key(b);
+  }
+};
+
+template <>
+struct TotalOrderLess<float> {
+  bool operator()(float a, float b) const {
+    return f32_total_key(a) < f32_total_key(b);
+  }
+};
+
+}  // namespace hs::cpu

@@ -1,9 +1,13 @@
 #include "data/generators.h"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
+#include <cstring>
+#include <type_traits>
 
 #include "common/assert.h"
+#include "common/key_value.h"
 #include "common/rng.h"
 
 namespace hs::data {
@@ -21,8 +25,28 @@ std::string_view distribution_name(Distribution d) {
     case Distribution::kSaw: return "saw";
     case Distribution::kRuns: return "runs";
     case Distribution::kPartialSorted: return "partial-sorted";
+    case Distribution::kOrganPipe: return "organ-pipe";
   }
   return "?";
+}
+
+std::span<const Distribution> all_distributions() {
+  static constexpr std::array<Distribution, 12> kAll = {
+      Distribution::kUniform,        Distribution::kGaussian,
+      Distribution::kSorted,         Distribution::kReverseSorted,
+      Distribution::kNearlySorted,   Distribution::kDuplicateHeavy,
+      Distribution::kAllEqual,       Distribution::kZipf,
+      Distribution::kSaw,            Distribution::kRuns,
+      Distribution::kPartialSorted,  Distribution::kOrganPipe,
+  };
+  return kAll;
+}
+
+std::optional<Distribution> distribution_from_name(std::string_view name) {
+  for (const Distribution d : all_distributions()) {
+    if (distribution_name(d) == name) return d;
+  }
+  return std::nullopt;
 }
 
 namespace {
@@ -34,6 +58,12 @@ std::uint64_t saw_period(std::uint64_t n) {
 }
 
 constexpr std::uint64_t kRunCount = 16;
+
+/// Organ pipe: 0,1,...,peak,...,1,0 — every prefix ascends, every suffix
+/// descends, which is the classic adversarial shape for run detection.
+std::uint64_t organ_rank(std::uint64_t i, std::uint64_t n) {
+  return std::min(i, n - 1 - i);
+}
 
 }  // namespace
 
@@ -104,6 +134,11 @@ std::vector<double> generate(Distribution dist, std::uint64_t n,
       }
       break;
     }
+    case Distribution::kOrganPipe:
+      for (std::uint64_t i = 0; i < n; ++i) {
+        v[i] = static_cast<double>(organ_rank(i, n));
+      }
+      break;
   }
   return v;
 }
@@ -149,6 +184,9 @@ std::vector<std::uint64_t> generate_keys(Distribution dist, std::uint64_t n,
       for (std::uint64_t i = sorted; i < n; ++i) v[i] = rng();
       break;
     }
+    case Distribution::kOrganPipe:
+      for (std::uint64_t i = 0; i < n; ++i) v[i] = organ_rank(i, n);
+      break;
     default: {
       // Remaining distributions: quantise the double generator.
       const auto d = generate(dist, n, seed);
@@ -160,6 +198,202 @@ std::vector<std::uint64_t> generate_keys(Distribution dist, std::uint64_t n,
     }
   }
   return v;
+}
+
+namespace {
+
+/// Ordered-shape value at rank `i` of `n`: the i32 lane centres the ramp on
+/// zero so ordered distributions exercise negative values and the sign-flip
+/// bijection; the f32 lane likewise spans both signs.
+template <typename T>
+T rank_value(std::uint64_t i, std::uint64_t n) {
+  if constexpr (std::is_same_v<T, std::int32_t>) {
+    return static_cast<std::int32_t>(static_cast<std::int64_t>(i) -
+                                     static_cast<std::int64_t>(n / 2));
+  } else if constexpr (std::is_same_v<T, float>) {
+    return static_cast<float>(static_cast<double>(i) -
+                              static_cast<double>(n / 2));
+  } else {
+    return static_cast<T>(i);
+  }
+}
+
+/// Full-range random value (the uniform distribution and random tails).
+template <typename T>
+T random_value(Xoshiro256& rng) {
+  if constexpr (std::is_same_v<T, float>) {
+    // Span both signs so the bijection's negative branch is exercised.
+    return static_cast<float>(rng.uniform01() * 2.0 - 1.0);
+  } else if constexpr (std::is_same_v<T, std::int32_t>) {
+    return static_cast<std::int32_t>(static_cast<std::uint32_t>(rng()));
+  } else {
+    return static_cast<T>(rng());
+  }
+}
+
+template <typename T>
+T gauss_value(Xoshiro256& rng) {
+  if constexpr (std::is_same_v<T, float>) {
+    return static_cast<float>(rng.normal());
+  } else if constexpr (std::is_same_v<T, std::int32_t>) {
+    return static_cast<std::int32_t>(std::llround(rng.normal() * 1e6));
+  } else {
+    return static_cast<T>(std::llround(std::abs(rng.normal()) * 1e6));
+  }
+}
+
+template <typename T>
+T dup_value(Xoshiro256& rng) {
+  if constexpr (std::is_same_v<T, float>) {
+    return static_cast<float>(rng.bounded(16)) - 8.0f;
+  } else if constexpr (std::is_same_v<T, std::int32_t>) {
+    return static_cast<std::int32_t>(rng.bounded(16)) - 8;
+  } else {
+    return static_cast<T>(rng.bounded(16));
+  }
+}
+
+}  // namespace
+
+template <typename T>
+std::vector<T> generate_values(Distribution dist, std::uint64_t n,
+                               std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<T> v(n);
+  switch (dist) {
+    case Distribution::kUniform:
+      for (auto& x : v) x = random_value<T>(rng);
+      break;
+    case Distribution::kGaussian:
+      for (auto& x : v) x = gauss_value<T>(rng);
+      break;
+    case Distribution::kSorted:
+      for (std::uint64_t i = 0; i < n; ++i) v[i] = rank_value<T>(i, n);
+      break;
+    case Distribution::kReverseSorted:
+      for (std::uint64_t i = 0; i < n; ++i) {
+        v[i] = rank_value<T>(n - 1 - i, n);
+      }
+      break;
+    case Distribution::kNearlySorted: {
+      for (std::uint64_t i = 0; i < n; ++i) v[i] = rank_value<T>(i, n);
+      const std::uint64_t swaps = n / 100;
+      for (std::uint64_t s = 0; s < swaps; ++s) {
+        std::swap(v[rng.bounded(n)], v[rng.bounded(n)]);
+      }
+      break;
+    }
+    case Distribution::kDuplicateHeavy:
+      for (auto& x : v) x = dup_value<T>(rng);
+      break;
+    case Distribution::kAllEqual:
+      std::fill(v.begin(), v.end(), static_cast<T>(42));
+      break;
+    case Distribution::kZipf: {
+      constexpr double kRanks = 1e6;
+      const double h = std::log(kRanks);
+      for (auto& x : v) {
+        x = static_cast<T>(std::floor(std::exp(rng.uniform01() * h)));
+      }
+      break;
+    }
+    case Distribution::kSaw: {
+      const std::uint64_t period = saw_period(n);
+      for (std::uint64_t i = 0; i < n; ++i) {
+        v[i] = rank_value<T>(i % period, period);
+      }
+      break;
+    }
+    case Distribution::kRuns: {
+      for (auto& x : v) x = random_value<T>(rng);
+      const std::uint64_t run = std::max<std::uint64_t>(1, n / kRunCount);
+      for (std::uint64_t start = 0; start < n; start += run) {
+        const std::uint64_t end = std::min(n, start + run);
+        // No NaNs are generated here, so operator< is a total order.
+        std::sort(v.begin() + static_cast<std::ptrdiff_t>(start),
+                  v.begin() + static_cast<std::ptrdiff_t>(end));
+      }
+      break;
+    }
+    case Distribution::kPartialSorted: {
+      const std::uint64_t sorted = n / 2;
+      for (std::uint64_t i = 0; i < sorted; ++i) v[i] = rank_value<T>(i, n);
+      for (std::uint64_t i = sorted; i < n; ++i) {
+        if constexpr (std::is_same_v<T, float>) {
+          // Scale the tail to the prefix's range so it actually interleaves.
+          v[i] = static_cast<float>(rng.uniform01() * static_cast<double>(n) -
+                                    static_cast<double>(n / 2));
+        } else {
+          v[i] = random_value<T>(rng);
+        }
+      }
+      break;
+    }
+    case Distribution::kOrganPipe:
+      for (std::uint64_t i = 0; i < n; ++i) {
+        v[i] = rank_value<T>(organ_rank(i, n), n);
+      }
+      break;
+  }
+  return v;
+}
+
+template std::vector<float> generate_values<float>(Distribution, std::uint64_t,
+                                                   std::uint64_t);
+template std::vector<std::int32_t> generate_values<std::int32_t>(
+    Distribution, std::uint64_t, std::uint64_t);
+template std::vector<std::uint32_t> generate_values<std::uint32_t>(
+    Distribution, std::uint64_t, std::uint64_t);
+
+namespace {
+
+template <typename T>
+std::vector<std::byte> to_bytes(const std::vector<T>& v) {
+  std::vector<std::byte> out(v.size() * sizeof(T));
+  if (!v.empty()) std::memcpy(out.data(), v.data(), out.size());
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::byte> generate_lane(std::string_view lane, Distribution dist,
+                                     std::uint64_t n, std::uint64_t seed) {
+  if (lane == "f64") return to_bytes(generate(dist, n, seed));
+  if (lane == "u64") return to_bytes(generate_keys(dist, n, seed));
+  if (lane == "f32") return to_bytes(generate_values<float>(dist, n, seed));
+  if (lane == "i32") {
+    return to_bytes(generate_values<std::int32_t>(dist, n, seed));
+  }
+  if (lane == "u32") {
+    return to_bytes(generate_values<std::uint32_t>(dist, n, seed));
+  }
+  if (lane == "kv64") {
+    const auto keys = generate_keys(dist, n, seed);
+    std::vector<KeyValue64> recs(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      recs[i].key = keys[i];
+      recs[i].value = i;  // input position: makes stability observable
+    }
+    return to_bytes(recs);
+  }
+  if (lane == "kv64p24") {
+    const auto keys = generate_keys(dist, n, seed);
+    std::vector<KeyValue64P24> recs(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      recs[i].key = keys[i];
+      // Deterministic payload: the record index in the first 8 bytes (so
+      // stability is observable), golden-ratio-mixed index bytes after.
+      std::memcpy(recs[i].payload.data(), &i, sizeof(i));
+      const std::uint64_t mix = i * 0x9E3779B97F4A7C15ull;
+      for (std::size_t j = sizeof(i); j < recs[i].payload.size(); ++j) {
+        recs[i].payload[j] =
+            static_cast<std::byte>((mix >> ((j % 8) * 8)) & 0xFF);
+      }
+    }
+    return to_bytes(recs);
+  }
+  HS_EXPECTS_MSG(false, "generate_lane: unknown element lane name");
+  return {};
 }
 
 }  // namespace hs::data

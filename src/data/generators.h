@@ -1,4 +1,4 @@
-// Synthetic workload generation.
+// Synthetic workload generation — the distribution x element-lane matrix.
 //
 // The paper evaluates on uniformly distributed 64-bit doubles only (Section
 // IV-A: hybrid sorting is transfer-dominated, hence distribution-oblivious).
@@ -6,9 +6,17 @@
 // common in the sorting literature (PARADIS, Polychroniou & Ross) so tests
 // can probe the real algorithms' sensitivity — and demonstrate the paper's
 // obliviousness claim in an ablation bench.
+//
+// Every generator is seed-deterministic: a (distribution, lane, n, seed)
+// tuple produces byte-identical buffers on every run and platform
+// (tests/test_seed_determinism.cpp pins this across processes), which is what
+// lets the conformance matrix pin planner decisions per cell.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <optional>
+#include <span>
 #include <string_view>
 #include <vector>
 
@@ -26,9 +34,19 @@ enum class Distribution {
   kSaw,            // sawtooth: ascending ramps of a fixed period
   kRuns,           // concatenation of 16 independently sorted runs
   kPartialSorted,  // sorted prefix (half), random tail
+  kOrganPipe,      // ascending half, descending half (merge worst case)
+  // New members go at the end: the service manifest serialises the integer
+  // value, so reordering would corrupt resumed jobs.
 };
 
 std::string_view distribution_name(Distribution d);
+
+/// Every distribution, in enum order. size() doubles as the valid-range
+/// bound for deserialised values.
+std::span<const Distribution> all_distributions();
+
+/// Parses a distribution_name() string; nullopt for unknown names.
+std::optional<Distribution> distribution_from_name(std::string_view name);
 
 /// Generates `n` doubles from `dist` deterministically from `seed`.
 std::vector<double> generate(Distribution dist, std::uint64_t n,
@@ -37,5 +55,22 @@ std::vector<double> generate(Distribution dist, std::uint64_t n,
 /// Generates `n` uint64 keys (for radix tests) from `dist`.
 std::vector<std::uint64_t> generate_keys(Distribution dist, std::uint64_t n,
                                          std::uint64_t seed);
+
+/// Typed value generation for the 32-bit lanes. The i32 instantiation
+/// centres ordered shapes around zero so negative values (and the sign-flip
+/// bijection) are actually exercised. Instantiated for float, int32_t, and
+/// uint32_t.
+template <typename T>
+std::vector<T> generate_values(Distribution dist, std::uint64_t n,
+                               std::uint64_t seed);
+
+/// Generates `n` records of the named element lane (cpu::ElementOps
+/// registry name: f64|u64|kv64|f32|i32|u32|kv64p24) as a raw byte buffer.
+/// Key/value lanes take their keys from generate_keys and derive value /
+/// payload bytes deterministically from the record index, so stability is
+/// observable. Aborts on unknown lane names — validate against the registry
+/// first.
+std::vector<std::byte> generate_lane(std::string_view lane, Distribution dist,
+                                     std::uint64_t n, std::uint64_t seed);
 
 }  // namespace hs::data

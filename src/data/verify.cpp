@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <bit>
 
+#include "common/assert.h"
 #include "common/rng.h"
+#include "cpu/total_order.h"  // header-only: no hs_cpu link dependency
 
 namespace hs::data {
 namespace {
@@ -16,10 +18,22 @@ std::uint64_t hash_u64(std::uint64_t x) {
 }  // namespace
 
 bool is_sorted_ascending(std::span<const double> v) {
-  return std::is_sorted(v.begin(), v.end());
+  return std::is_sorted(v.begin(), v.end(), cpu::TotalOrderLess<double>{});
 }
 
 bool is_sorted_ascending(std::span<const std::uint64_t> v) {
+  return std::is_sorted(v.begin(), v.end());
+}
+
+bool is_sorted_ascending(std::span<const float> v) {
+  return std::is_sorted(v.begin(), v.end(), cpu::TotalOrderLess<float>{});
+}
+
+bool is_sorted_ascending(std::span<const std::int32_t> v) {
+  return std::is_sorted(v.begin(), v.end());
+}
+
+bool is_sorted_ascending(std::span<const std::uint32_t> v) {
   return std::is_sorted(v.begin(), v.end());
 }
 
@@ -35,10 +49,62 @@ std::uint64_t multiset_fingerprint(std::span<const std::uint64_t> v) {
   return acc;
 }
 
+std::uint64_t multiset_fingerprint(std::span<const float> v) {
+  std::uint64_t acc = 0;
+  for (const float f : v) acc += hash_u64(std::bit_cast<std::uint32_t>(f));
+  return acc;
+}
+
+std::uint64_t multiset_fingerprint(std::span<const std::int32_t> v) {
+  std::uint64_t acc = 0;
+  for (const std::int32_t x : v) {
+    acc += hash_u64(std::bit_cast<std::uint32_t>(x));
+  }
+  return acc;
+}
+
+std::uint64_t multiset_fingerprint(std::span<const std::uint32_t> v) {
+  std::uint64_t acc = 0;
+  for (const std::uint32_t x : v) acc += hash_u64(x);
+  return acc;
+}
+
 bool is_sorted_permutation(std::span<const double> input,
                            std::span<const double> output) {
   return input.size() == output.size() && is_sorted_ascending(output) &&
          multiset_fingerprint(input) == multiset_fingerprint(output);
+}
+
+bool is_sorted_by_key(
+    std::span<const std::byte> data, std::size_t elem_size,
+    const std::function<std::uint64_t(const std::byte*)>& extract_key) {
+  HS_EXPECTS(elem_size > 0 && data.size() % elem_size == 0);
+  const std::size_t n = data.size() / elem_size;
+  if (n < 2) return true;
+  std::uint64_t prev = extract_key(data.data());
+  for (std::size_t i = 1; i < n; ++i) {
+    const std::uint64_t cur = extract_key(data.data() + i * elem_size);
+    if (cur < prev) return false;
+    prev = cur;
+  }
+  return true;
+}
+
+std::uint64_t multiset_fingerprint_bytes(std::span<const std::byte> data,
+                                         std::size_t elem_size) {
+  HS_EXPECTS(elem_size > 0 && data.size() % elem_size == 0);
+  std::uint64_t acc = 0;
+  for (std::size_t off = 0; off < data.size(); off += elem_size) {
+    // FNV-1a over the record bytes, then one splitmix finalise: records
+    // differing in any byte (key or payload) hash to unrelated values.
+    std::uint64_t h = 0xCBF29CE484222325ull;
+    for (std::size_t j = 0; j < elem_size; ++j) {
+      h ^= static_cast<std::uint64_t>(data[off + j]);
+      h *= 0x100000001B3ull;
+    }
+    acc += hash_u64(h);
+  }
+  return acc;
 }
 
 }  // namespace hs::data

@@ -4,22 +4,52 @@
 // the permutation check compares an order-independent multiset fingerprint
 // (sum of per-element hashes) of input and output, so tests catch dropped or
 // fabricated elements without O(n log n) re-sorting.
+//
+// Float sortedness is checked under the SAME total order the engines sort in
+// (cpu/total_order.h): -NaN < -Inf < ... < -0.0 < +0.0 < ... < +Inf < +NaN.
+// That makes the check strictly stronger than std::is_sorted with operator<
+// — an output that places +0.0 before -0.0, or scatters NaNs anywhere but
+// the deterministic tails, is reported as unsorted. Fingerprints hash bit
+// patterns, so -0.0 and +0.0 (and distinct NaN payloads) stay distinct
+// elements of the multiset.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <span>
 
 namespace hs::data {
 
 bool is_sorted_ascending(std::span<const double> v);
 bool is_sorted_ascending(std::span<const std::uint64_t> v);
+bool is_sorted_ascending(std::span<const float> v);
+bool is_sorted_ascending(std::span<const std::int32_t> v);
+bool is_sorted_ascending(std::span<const std::uint32_t> v);
 
 /// Order-independent multiset fingerprint (commutative hash accumulation).
 std::uint64_t multiset_fingerprint(std::span<const double> v);
 std::uint64_t multiset_fingerprint(std::span<const std::uint64_t> v);
+std::uint64_t multiset_fingerprint(std::span<const float> v);
+std::uint64_t multiset_fingerprint(std::span<const std::int32_t> v);
+std::uint64_t multiset_fingerprint(std::span<const std::uint32_t> v);
 
 /// True iff `output` is a sorted permutation of `input`.
 bool is_sorted_permutation(std::span<const double> input,
                            std::span<const double> output);
+
+/// Lane-generic sortedness over a raw record buffer: `extract_key` maps each
+/// `elem_size`-byte record to its u64 total-order key image
+/// (cpu::ElementOps::extract_key), so one check covers every registered
+/// lane. `data.size()` must be a multiple of `elem_size`.
+bool is_sorted_by_key(
+    std::span<const std::byte> data, std::size_t elem_size,
+    const std::function<std::uint64_t(const std::byte*)>& extract_key);
+
+/// Lane-generic multiset fingerprint over whole records (key AND payload
+/// bytes), so a merge that reorders payloads among equal keys — or
+/// fabricates records — changes the fingerprint.
+std::uint64_t multiset_fingerprint_bytes(std::span<const std::byte> data,
+                                         std::size_t elem_size);
 
 }  // namespace hs::data

@@ -69,8 +69,7 @@ bool parse_entry(const std::string& line, ManifestEntry& e) {
   std::uint64_t u = 0;
   if (!parse_u64(done, u) || u > 1) return false;
   e.done = u == 1;
-  if (!parse_u64(dist, u) ||
-      u > static_cast<std::uint64_t>(data::Distribution::kZipf)) {
+  if (!parse_u64(dist, u) || u >= data::all_distributions().size()) {
     return false;
   }
   s.dist = static_cast<data::Distribution>(u);

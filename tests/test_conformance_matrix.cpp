@@ -1,0 +1,544 @@
+// Scenario-matrix conformance: the typed-lane differential oracle harness.
+//
+// Every registered element lane x every distribution is checked against a
+// std::stable_sort oracle computed in the lane's u64 total-order key space,
+// across the full device-engine portfolio (LSD radix, hybrid MSD, sample
+// sort) and the host merge policies (flat, cascaded, payload-deferred). One
+// table-driven sweep pins three properties at once:
+//
+//   * correctness — every engine x merge-policy cell reproduces the oracle's
+//     exact output bytes, so key order AND stable tie order AND payload
+//     integrity are all checked in one memcmp;
+//   * float total-order semantics — the oracle comparator is the sign-flip
+//     bijection (cpu/total_order.h), so NaN/Inf tails, signed zeros, and
+//     distinct NaN payloads must land exactly where the bijection says;
+//   * planner determinism — the adaptive planner's (engine, passes) decision
+//     for every (lane, distribution) cell at paper scale is pinned, including
+//     the distribution-driven engine flips on the 32-bit lanes.
+//
+// HETSORT_CONFORMANCE_DISTS=name,name,... reduces the distribution axis (the
+// sanitizer CI job runs a subset; unset runs all twelve).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <limits>
+#include <numeric>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/key_value.h"
+#include "core/het_sorter.h"
+#include "cpu/element_ops.h"
+#include "cpu/merge_plan.h"
+#include "cpu/radix_sort.h"
+#include "cpu/thread_pool.h"
+#include "cpu/total_order.h"
+#include "data/generators.h"
+#include "data/sketch.h"
+#include "data/verify.h"
+#include "model/platforms.h"
+
+namespace hs {
+namespace {
+
+using data::Distribution;
+
+// ------------------------------------------------------------ matrix axes
+
+// The distribution axis, reduced by HETSORT_CONFORMANCE_DISTS when set.
+std::vector<Distribution> conformance_dists() {
+  const char* env = std::getenv("HETSORT_CONFORMANCE_DISTS");
+  if (env == nullptr || *env == '\0') {
+    const auto all = data::all_distributions();
+    return {all.begin(), all.end()};
+  }
+  std::vector<Distribution> out;
+  std::string_view rest = env;
+  while (!rest.empty()) {
+    const std::size_t comma = rest.find(',');
+    const std::string_view name = rest.substr(0, comma);
+    rest = comma == std::string_view::npos ? std::string_view{}
+                                           : rest.substr(comma + 1);
+    if (name.empty()) continue;
+    const auto d = data::distribution_from_name(name);
+    EXPECT_TRUE(d.has_value())
+        << "HETSORT_CONFORMANCE_DISTS names unknown distribution '" << name
+        << "'";
+    if (d.has_value()) out.push_back(*d);
+  }
+  return out;
+}
+
+bool dist_selected(std::span<const Distribution> selected, Distribution d) {
+  return std::find(selected.begin(), selected.end(), d) != selected.end();
+}
+
+// A device engine as a uniform callable, so the sweep can iterate the
+// portfolio without caring that the hybrid entry point reports pass counts.
+struct EngineUnderTest {
+  std::string_view name;
+  std::function<void(std::byte*, std::uint64_t, cpu::RadixSortScratch*)> sort;
+};
+
+std::vector<EngineUnderTest> engines_for(const cpu::ElementOps& ops) {
+  return {
+      {"radix-lsd", ops.device_sort},
+      {"hybrid-msd",
+       [&ops](std::byte* d, std::uint64_t n, cpu::RadixSortScratch* s) {
+         ops.device_sort_hybrid(d, n, s);
+       }},
+      {"sample", ops.device_sort_sample},
+  };
+}
+
+struct MergePolicyUnderTest {
+  std::string_view name;
+  cpu::MergePlan plan;
+};
+
+// k = 5 runs: flat needs 1 level, cascaded fan-in 4 needs ceil(log4 5) = 2.
+// Deferred payload is only honoured for lanes with DeferredMergeTraits
+// (kv64); elsewhere the engine silently merges direct, so running it on
+// every lane also pins that fallback.
+std::vector<MergePolicyUnderTest> merge_policies() {
+  cpu::MergePlan cascaded;
+  cascaded.topology = cpu::MergeTopology::kCascaded;
+  cascaded.fan_in = 4;
+  cascaded.levels = 2;
+  cpu::MergePlan deferred;
+  deferred.deferred_payload = true;
+  return {{"flat", cpu::MergePlan{}},
+          {"cascaded4", cascaded},
+          {"flat-deferred", deferred}};
+}
+
+// ---------------------------------------------------------------- oracle
+
+// std::stable_sort over record indices, comparing u64 total-order key
+// images. extract_key is an order-preserving bijection from the lane's
+// comparison key (floats via the sign-flip map), so this is exactly "stable
+// sort by the lane's comparator" — computed without naming the lane's type.
+std::vector<std::byte> stable_oracle(std::span<const std::byte> input,
+                                     const cpu::ElementOps& ops) {
+  const std::uint64_t n = input.size() / ops.elem_size;
+  std::vector<std::uint64_t> order(n);
+  std::iota(order.begin(), order.end(), 0u);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::uint64_t a, std::uint64_t b) {
+                     return ops.extract_key(input.data() + a * ops.elem_size) <
+                            ops.extract_key(input.data() + b * ops.elem_size);
+                   });
+  std::vector<std::byte> out(input.size());
+  for (std::uint64_t i = 0; i < n; ++i) {
+    std::memcpy(out.data() + i * ops.elem_size,
+                input.data() + order[i] * ops.elem_size, ops.elem_size);
+  }
+  return out;
+}
+
+// --------------------------------------------- engine x merge-policy sweep
+
+constexpr std::uint64_t kMatrixElems = 6000;
+// Uneven on purpose: a one-element run and unequal large runs exercise the
+// loser tree's degenerate shapes in every cell.
+constexpr std::uint64_t kRunBounds[] = {0, 1200, 1201, 3000, 4500,
+                                        kMatrixElems};
+constexpr std::size_t kRuns = std::size(kRunBounds) - 1;
+
+TEST(ConformanceMatrix, EveryCellMatchesTheStableOracle) {
+  cpu::ThreadPool pool(4);
+  const auto dists = conformance_dists();
+  for (const auto lane : cpu::element_lane_names()) {
+    const cpu::ElementOps* ops = cpu::element_ops_by_name(lane);
+    ASSERT_NE(ops, nullptr) << lane;
+    for (const Distribution dist : dists) {
+      const auto input =
+          data::generate_lane(lane, dist, kMatrixElems, 11);
+      const auto expected = stable_oracle(input, *ops);
+      const std::uint64_t input_fp =
+          data::multiset_fingerprint_bytes(input, ops->elem_size);
+
+      for (const EngineUnderTest& engine : engines_for(*ops)) {
+        // Sort the five runs with this engine once; every merge policy
+        // drains the same sorted runs.
+        std::vector<std::byte> runs_buf(input);
+        std::vector<cpu::RunView> runs(kRuns);
+        for (std::size_t r = 0; r < kRuns; ++r) {
+          std::byte* base = runs_buf.data() + kRunBounds[r] * ops->elem_size;
+          const std::uint64_t elems = kRunBounds[r + 1] - kRunBounds[r];
+          engine.sort(base, elems, nullptr);
+          runs[r] = {base, elems};
+        }
+
+        for (const MergePolicyUnderTest& policy : merge_policies()) {
+          const std::string cell = std::string(lane) + "/" +
+                                   std::string(data::distribution_name(dist)) +
+                                   "/" + std::string(engine.name) + "/" +
+                                   std::string(policy.name);
+          std::vector<std::byte> out(input.size());
+          ops->multiway(runs, out.data(), pool, 4, &policy.plan);
+          EXPECT_EQ(std::memcmp(out.data(), expected.data(), out.size()), 0)
+              << cell << ": output differs from the stable oracle";
+          EXPECT_TRUE(
+              data::is_sorted_by_key(out, ops->elem_size, ops->extract_key))
+              << cell;
+          EXPECT_EQ(data::multiset_fingerprint_bytes(out, ops->elem_size),
+                    input_fp)
+              << cell << ": records lost, fabricated, or payload-corrupted";
+        }
+      }
+    }
+  }
+}
+
+// ------------------------------------------------------------ planner pins
+
+// The adaptive planner's decision for every (lane, distribution) cell at
+// paper scale (2e8 elements, platform1), sketched from 2^20 real generated
+// records — all simulated virtual time, so the values are machine-
+// independent and pinned exactly. Highlights the matrix encodes:
+//
+//   * dup-heavy and all-equal flip EVERY lane to sample sort (the planner
+//     reads low distinct counts from the sketch, not the lane);
+//   * presorted shapes (sorted/reverse/nearly-sorted/saw) flip to the
+//     pass-skipping hybrid with passes < key width;
+//   * the 32-bit lanes never exceed 4 passes — key_radix_bytes clamps the
+//     plan even for uniform keys;
+//   * high-entropy shapes (uniform, runs, partial-sorted) keep LSD radix on
+//     the 64-bit lanes.
+struct PlannerPin {
+  std::string_view lane;
+  Distribution dist;
+  std::string_view engine;
+  unsigned passes;
+};
+
+constexpr PlannerPin kPlannerPins[] = {
+    {"f64", Distribution::kUniform, "radix-lsd", 7u},
+    {"f64", Distribution::kGaussian, "radix-lsd", 8u},
+    {"f64", Distribution::kSorted, "hybrid-msd", 4u},
+    {"f64", Distribution::kReverseSorted, "hybrid-msd", 4u},
+    {"f64", Distribution::kNearlySorted, "hybrid-msd", 4u},
+    {"f64", Distribution::kDuplicateHeavy, "sample", 2u},
+    {"f64", Distribution::kAllEqual, "sample", 0u},
+    {"f64", Distribution::kZipf, "sample", 4u},
+    {"f64", Distribution::kSaw, "hybrid-msd", 4u},
+    {"f64", Distribution::kRuns, "radix-lsd", 8u},
+    {"f64", Distribution::kPartialSorted, "radix-lsd", 8u},
+    {"f64", Distribution::kOrganPipe, "sample", 4u},
+    {"u64", Distribution::kUniform, "radix-lsd", 8u},
+    {"u64", Distribution::kGaussian, "hybrid-msd", 3u},
+    {"u64", Distribution::kSorted, "hybrid-msd", 3u},
+    {"u64", Distribution::kReverseSorted, "hybrid-msd", 3u},
+    {"u64", Distribution::kNearlySorted, "hybrid-msd", 5u},
+    {"u64", Distribution::kDuplicateHeavy, "sample", 1u},
+    {"u64", Distribution::kAllEqual, "sample", 0u},
+    {"u64", Distribution::kZipf, "sample", 5u},
+    {"u64", Distribution::kSaw, "hybrid-msd", 3u},
+    {"u64", Distribution::kRuns, "radix-lsd", 8u},
+    {"u64", Distribution::kPartialSorted, "radix-lsd", 8u},
+    {"u64", Distribution::kOrganPipe, "hybrid-msd", 3u},
+    {"kv64", Distribution::kUniform, "radix-lsd", 8u},
+    {"kv64", Distribution::kGaussian, "hybrid-msd", 3u},
+    {"kv64", Distribution::kSorted, "hybrid-msd", 3u},
+    {"kv64", Distribution::kReverseSorted, "hybrid-msd", 3u},
+    {"kv64", Distribution::kNearlySorted, "hybrid-msd", 5u},
+    {"kv64", Distribution::kDuplicateHeavy, "sample", 1u},
+    {"kv64", Distribution::kAllEqual, "sample", 0u},
+    {"kv64", Distribution::kZipf, "sample", 5u},
+    {"kv64", Distribution::kSaw, "hybrid-msd", 3u},
+    {"kv64", Distribution::kRuns, "radix-lsd", 8u},
+    {"kv64", Distribution::kPartialSorted, "radix-lsd", 8u},
+    {"kv64", Distribution::kOrganPipe, "hybrid-msd", 3u},
+    {"f32", Distribution::kUniform, "hybrid-msd", 4u},
+    {"f32", Distribution::kGaussian, "hybrid-msd", 4u},
+    {"f32", Distribution::kSorted, "hybrid-msd", 4u},
+    {"f32", Distribution::kReverseSorted, "hybrid-msd", 4u},
+    {"f32", Distribution::kNearlySorted, "hybrid-msd", 4u},
+    {"f32", Distribution::kDuplicateHeavy, "sample", 4u},
+    {"f32", Distribution::kAllEqual, "sample", 0u},
+    {"f32", Distribution::kZipf, "sample", 4u},
+    {"f32", Distribution::kSaw, "hybrid-msd", 4u},
+    {"f32", Distribution::kRuns, "hybrid-msd", 4u},
+    {"f32", Distribution::kPartialSorted, "hybrid-msd", 4u},
+    {"f32", Distribution::kOrganPipe, "sample", 4u},
+    {"i32", Distribution::kUniform, "hybrid-msd", 4u},
+    {"i32", Distribution::kGaussian, "hybrid-msd", 4u},
+    {"i32", Distribution::kSorted, "hybrid-msd", 4u},
+    {"i32", Distribution::kReverseSorted, "hybrid-msd", 4u},
+    {"i32", Distribution::kNearlySorted, "hybrid-msd", 4u},
+    {"i32", Distribution::kDuplicateHeavy, "sample", 4u},
+    {"i32", Distribution::kAllEqual, "sample", 0u},
+    {"i32", Distribution::kZipf, "sample", 3u},
+    {"i32", Distribution::kSaw, "hybrid-msd", 4u},
+    {"i32", Distribution::kRuns, "hybrid-msd", 4u},
+    {"i32", Distribution::kPartialSorted, "hybrid-msd", 4u},
+    {"i32", Distribution::kOrganPipe, "hybrid-msd", 3u},
+    {"u32", Distribution::kUniform, "hybrid-msd", 4u},
+    {"u32", Distribution::kGaussian, "hybrid-msd", 3u},
+    {"u32", Distribution::kSorted, "hybrid-msd", 3u},
+    {"u32", Distribution::kReverseSorted, "hybrid-msd", 3u},
+    {"u32", Distribution::kNearlySorted, "hybrid-msd", 3u},
+    {"u32", Distribution::kDuplicateHeavy, "sample", 1u},
+    {"u32", Distribution::kAllEqual, "sample", 0u},
+    {"u32", Distribution::kZipf, "sample", 3u},
+    {"u32", Distribution::kSaw, "hybrid-msd", 3u},
+    {"u32", Distribution::kRuns, "hybrid-msd", 4u},
+    {"u32", Distribution::kPartialSorted, "hybrid-msd", 4u},
+    {"u32", Distribution::kOrganPipe, "hybrid-msd", 3u},
+    {"kv64p24", Distribution::kUniform, "radix-lsd", 8u},
+    {"kv64p24", Distribution::kGaussian, "hybrid-msd", 3u},
+    {"kv64p24", Distribution::kSorted, "hybrid-msd", 3u},
+    {"kv64p24", Distribution::kReverseSorted, "hybrid-msd", 3u},
+    {"kv64p24", Distribution::kNearlySorted, "hybrid-msd", 5u},
+    {"kv64p24", Distribution::kDuplicateHeavy, "sample", 1u},
+    {"kv64p24", Distribution::kAllEqual, "sample", 0u},
+    {"kv64p24", Distribution::kZipf, "sample", 5u},
+    {"kv64p24", Distribution::kSaw, "hybrid-msd", 3u},
+    {"kv64p24", Distribution::kRuns, "radix-lsd", 8u},
+    {"kv64p24", Distribution::kPartialSorted, "radix-lsd", 8u},
+    {"kv64p24", Distribution::kOrganPipe, "hybrid-msd", 3u},
+};
+
+constexpr std::uint64_t kSketchElems = 1 << 20;
+constexpr std::uint64_t kSimElems = 200'000'000;
+
+core::Report simulate_cell(std::string_view lane, Distribution dist) {
+  const cpu::ElementOps* ops = cpu::element_ops_by_name(lane);
+  const auto records = data::generate_lane(lane, dist, kSketchElems, 17);
+  std::vector<std::uint64_t> keys(kSketchElems);
+  for (std::uint64_t i = 0; i < kSketchElems; ++i) {
+    keys[i] = ops->extract_key(records.data() + i * ops->elem_size);
+  }
+  core::SortConfig cfg;
+  cfg.device_engine = core::DeviceEnginePolicy::kAdaptive;
+  cfg.has_planner_hint = true;
+  cfg.planner_hint = data::sketch_keys(keys, kSimElems);
+  core::HeterogeneousSorter sorter(model::platform1(), cfg);
+  return sorter.simulate(kSimElems, *ops);
+}
+
+TEST(ConformanceMatrix, PlannerDecisionPinnedPerCell) {
+  const auto dists = conformance_dists();
+  for (const PlannerPin& pin : kPlannerPins) {
+    if (!dist_selected(dists, pin.dist)) continue;
+    const core::Report r = simulate_cell(pin.lane, pin.dist);
+    const std::string cell = std::string(pin.lane) + "/" +
+                             std::string(data::distribution_name(pin.dist));
+    EXPECT_EQ(r.device_engine, pin.engine) << cell << ": engine flipped";
+    EXPECT_EQ(r.plan_passes, pin.passes) << cell << ": pass count moved";
+    const unsigned cap = cpu::element_ops_by_name(pin.lane)->key_radix_bytes;
+    EXPECT_LE(r.plan_passes, cap)
+        << cell << ": plan exceeds the lane's key width";
+  }
+}
+
+TEST(ConformanceMatrix, PinTableCoversTheFullMatrix) {
+  // One pin per (lane, distribution): the table cannot silently fall behind
+  // a new lane or distribution.
+  EXPECT_EQ(std::size(kPlannerPins),
+            cpu::element_lane_names().size() *
+                data::all_distributions().size());
+  for (const auto lane : cpu::element_lane_names()) {
+    for (const Distribution dist : data::all_distributions()) {
+      const auto hit = std::count_if(
+          std::begin(kPlannerPins), std::end(kPlannerPins),
+          [&](const PlannerPin& p) {
+            return p.lane == lane && p.dist == dist;
+          });
+      EXPECT_EQ(hit, 1) << lane << "/" << data::distribution_name(dist);
+    }
+  }
+}
+
+TEST(ConformanceMatrix, DistributionFlipsEngineOn32BitLanes) {
+  // The acceptance flips, asserted explicitly: on the SAME lane, data shape
+  // alone moves the planner. i32 uniform keeps the pass-skipping hybrid but
+  // dup-heavy flips to sample sort; f32 zipf picks sample while presorted
+  // f32 picks the hybrid with passes capped by the 4-byte key image.
+  const core::Report i32_uniform =
+      simulate_cell("i32", Distribution::kUniform);
+  const core::Report i32_dups =
+      simulate_cell("i32", Distribution::kDuplicateHeavy);
+  EXPECT_EQ(i32_uniform.device_engine, "hybrid-msd");
+  EXPECT_EQ(i32_dups.device_engine, "sample");
+  EXPECT_LT(i32_dups.plan_log2_distinct, 5.0);
+
+  const core::Report f32_zipf = simulate_cell("f32", Distribution::kZipf);
+  const core::Report f32_sorted =
+      simulate_cell("f32", Distribution::kSorted);
+  EXPECT_EQ(f32_zipf.device_engine, "sample");
+  EXPECT_EQ(f32_sorted.device_engine, "hybrid-msd");
+  EXPECT_LE(f32_sorted.plan_passes, 4u);
+}
+
+// ------------------------------------------------- float total-order edges
+
+// Canonical ascending sequence under the engines' total order, with both
+// zero signs, both infinities, and NaNs of both signs and distinct payloads:
+// -NaN < -Inf < -1.5 < -0.0 < +0.0 < 1.5 < +Inf < +NaN(p0) < +NaN(p1).
+std::vector<double> canonical_f64() {
+  return {std::bit_cast<double>(0xFFF8000000000000ull),  // -NaN
+          -std::numeric_limits<double>::infinity(),
+          -1.5,
+          -0.0,
+          0.0,
+          1.5,
+          std::numeric_limits<double>::infinity(),
+          std::bit_cast<double>(0x7FF8000000000000ull),   // +NaN
+          std::bit_cast<double>(0x7FF8000000000001ull)};  // +NaN, payload 1
+}
+
+std::vector<float> canonical_f32() {
+  return {std::bit_cast<float>(0xFFC00000u),  // -NaN
+          -std::numeric_limits<float>::infinity(),
+          -1.5f,
+          -0.0f,
+          0.0f,
+          1.5f,
+          std::numeric_limits<float>::infinity(),
+          std::bit_cast<float>(0x7FC00000u),   // +NaN
+          std::bit_cast<float>(0x7FC00001u)};  // +NaN, payload 1
+}
+
+template <typename T>
+void check_verify_edges(std::vector<T> v) {
+  EXPECT_TRUE(data::is_sorted_ascending(std::span<const T>(v)));
+  // Any adjacent transposition breaks the total order — including swapping
+  // the two zero signs and the two NaN payloads, which operator< cannot see.
+  for (std::size_t i = 0; i + 1 < v.size(); ++i) {
+    std::swap(v[i], v[i + 1]);
+    EXPECT_FALSE(data::is_sorted_ascending(std::span<const T>(v)))
+        << "transposition at " << i << " not detected";
+    std::swap(v[i], v[i + 1]);
+  }
+}
+
+TEST(FloatTotalOrder, VerifyRejectsEveryTranspositionOfTheCanonicalTails) {
+  check_verify_edges(canonical_f64());
+  check_verify_edges(canonical_f32());
+}
+
+TEST(FloatTotalOrder, SignedZerosAreDistinctAndOrdered) {
+  const std::vector<double> good = {-0.0, 0.0};
+  const std::vector<double> bad = {0.0, -0.0};
+  EXPECT_TRUE(data::is_sorted_ascending(std::span<const double>(good)));
+  EXPECT_FALSE(data::is_sorted_ascending(std::span<const double>(bad)));
+  const std::vector<float> goodf = {-0.0f, 0.0f};
+  const std::vector<float> badf = {0.0f, -0.0f};
+  EXPECT_TRUE(data::is_sorted_ascending(std::span<const float>(goodf)));
+  EXPECT_FALSE(data::is_sorted_ascending(std::span<const float>(badf)));
+}
+
+TEST(FloatTotalOrder, FingerprintsHashBitPatterns) {
+  const std::vector<double> neg_zero = {-0.0};
+  const std::vector<double> pos_zero = {0.0};
+  EXPECT_NE(data::multiset_fingerprint(std::span<const double>(neg_zero)),
+            data::multiset_fingerprint(std::span<const double>(pos_zero)));
+  const std::vector<float> nan_p0 = {std::bit_cast<float>(0x7FC00000u)};
+  const std::vector<float> nan_p1 = {std::bit_cast<float>(0x7FC00001u)};
+  EXPECT_NE(data::multiset_fingerprint(std::span<const float>(nan_p0)),
+            data::multiset_fingerprint(std::span<const float>(nan_p1)));
+}
+
+template <typename T>
+void check_engines_place_tails(const std::vector<T>& canonical,
+                               std::string_view lane) {
+  const cpu::ElementOps* ops = cpu::element_ops_by_name(lane);
+  ASSERT_NE(ops, nullptr);
+  // Many copies, reversed and interleaved, so the NaN/Inf/zero specials pass
+  // through real engine machinery (histograms, buckets, base cases) rather
+  // than a trivial small-input path.
+  std::vector<T> input;
+  for (int copy = 0; copy < 64; ++copy) {
+    for (std::size_t i = canonical.size(); i-- > 0;) {
+      input.push_back(canonical[i]);
+    }
+  }
+  const std::span<const std::byte> in_bytes = std::as_bytes(std::span(input));
+  const auto expected = stable_oracle(in_bytes, *ops);
+  for (const EngineUnderTest& engine : engines_for(*ops)) {
+    std::vector<T> v = input;
+    engine.sort(std::as_writable_bytes(std::span(v)).data(), v.size(),
+                nullptr);
+    EXPECT_EQ(std::memcmp(v.data(), expected.data(), expected.size()), 0)
+        << lane << "/" << engine.name
+        << ": specials not at the bijection's exact positions";
+    EXPECT_TRUE(data::is_sorted_ascending(std::span<const T>(v)))
+        << lane << "/" << engine.name;
+  }
+}
+
+TEST(FloatTotalOrder, EveryEnginePlacesSpecialsAtDeterministicTails) {
+  check_engines_place_tails(canonical_f64(), "f64");
+  check_engines_place_tails(canonical_f32(), "f32");
+}
+
+TEST(FloatTotalOrder, BijectionsRoundTripAndPreserveOrder) {
+  const auto f64s = canonical_f64();
+  for (std::size_t i = 0; i < f64s.size(); ++i) {
+    const std::uint64_t img = cpu::f64_total_key(f64s[i]);
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(cpu::f64_from_total_key(img)),
+              std::bit_cast<std::uint64_t>(f64s[i]));
+    if (i + 1 < f64s.size()) {
+      EXPECT_LT(img, cpu::f64_total_key(f64s[i + 1]));
+      EXPECT_TRUE(cpu::TotalOrderLess<double>{}(f64s[i], f64s[i + 1]));
+    }
+  }
+  const auto f32s = canonical_f32();
+  for (std::size_t i = 0; i < f32s.size(); ++i) {
+    const std::uint32_t img = cpu::f32_total_key(f32s[i]);
+    EXPECT_EQ(std::bit_cast<std::uint32_t>(cpu::f32_from_total_key(img)),
+              std::bit_cast<std::uint32_t>(f32s[i]));
+    if (i + 1 < f32s.size()) {
+      EXPECT_LT(img, cpu::f32_total_key(f32s[i + 1]));
+      EXPECT_TRUE(cpu::TotalOrderLess<float>{}(f32s[i], f32s[i + 1]));
+    }
+  }
+}
+
+// --------------------------------------------------- corrupted-order guard
+
+TEST(ConformanceMatrix, CorruptionIsDetectedOnEveryLane) {
+  for (const auto lane : cpu::element_lane_names()) {
+    const cpu::ElementOps* ops = cpu::element_ops_by_name(lane);
+    const auto input =
+        data::generate_lane(lane, Distribution::kUniform, 512, 7);
+    auto sorted = stable_oracle(input, *ops);
+    ASSERT_TRUE(
+        data::is_sorted_by_key(sorted, ops->elem_size, ops->extract_key))
+        << lane;
+    // Swapping the extreme records breaks key order.
+    std::vector<std::byte> swapped = sorted;
+    std::vector<std::byte> tmp(ops->elem_size);
+    std::byte* first = swapped.data();
+    std::byte* last = swapped.data() + swapped.size() - ops->elem_size;
+    std::memcpy(tmp.data(), first, ops->elem_size);
+    std::memcpy(first, last, ops->elem_size);
+    std::memcpy(last, tmp.data(), ops->elem_size);
+    EXPECT_FALSE(
+        data::is_sorted_by_key(swapped, ops->elem_size, ops->extract_key))
+        << lane << ": swapped extremes not detected";
+    EXPECT_EQ(data::multiset_fingerprint_bytes(swapped, ops->elem_size),
+              data::multiset_fingerprint_bytes(sorted, ops->elem_size))
+        << lane << ": fingerprint must be order-independent";
+    // Flipping one byte anywhere in a record — key or payload — changes the
+    // whole-record fingerprint.
+    std::vector<std::byte> flipped = sorted;
+    flipped[flipped.size() - 1] ^= std::byte{0x40};
+    EXPECT_NE(data::multiset_fingerprint_bytes(flipped, ops->elem_size),
+              data::multiset_fingerprint_bytes(sorted, ops->elem_size))
+        << lane << ": payload corruption not reflected in fingerprint";
+  }
+}
+
+}  // namespace
+}  // namespace hs

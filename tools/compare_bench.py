@@ -55,21 +55,49 @@ def load(path):
         return json.load(f)
 
 
+def field(errors, name, series, key):
+    """Fetch series[key], recording a readable error (instead of raising
+    KeyError) when a pinned series is missing the field. Returns None on a
+    miss; callers skip the comparison, and the run still fails."""
+    if key not in series:
+        errors.append(f"{name}: series is missing required field '{key}'")
+        return None
+    return series[key]
+
+
+def index_series(errors, label, entries, key_fields):
+    """Index a series list by its identifying fields, reporting malformed
+    entries (missing key fields) instead of raising KeyError."""
+    out = {}
+    for s in entries:
+        missing = [f for f in key_fields if f not in s]
+        if missing:
+            errors.append(
+                f"{label}: series missing key field(s) {missing}: {s}"
+            )
+            continue
+        out[tuple(s[f] for f in key_fields)] = s
+    return out
+
+
 def check_rates(errors, name, series, fields):
-    for field in fields:
-        v = series[field]
+    for f in fields:
+        v = field(errors, name, series, f)
+        if v is None:
+            continue
         if not (math.isfinite(v) and v > 0):
-            errors.append(f"{name}: rate '{field}' = {v} is not positive")
+            errors.append(f"{name}: rate '{f}' = {v} is not positive")
 
 
 def compare_sortpath(cand, base, noise):
     errors = []
 
-    def series_key(s):
-        return (s["type"], s["dist"])
-
-    cand_radix = {series_key(s): s for s in cand.get("radix", [])}
-    base_radix = {series_key(s): s for s in base.get("radix", [])}
+    cand_radix = index_series(
+        errors, "candidate radix", cand.get("radix", []), ("type", "dist")
+    )
+    base_radix = index_series(
+        errors, "baseline radix", base.get("radix", []), ("type", "dist")
+    )
 
     if set(cand_radix) != set(base_radix):
         errors.append(
@@ -80,21 +108,29 @@ def compare_sortpath(cand, base, noise):
     for key in sorted(set(cand_radix) & set(base_radix)):
         c, b = cand_radix[key], base_radix[key]
         name = f"{key[0]}/{key[1]}"
-        if c["executed_passes"] != b["executed_passes"]:
+        c_passes = field(errors, name, c, "executed_passes")
+        b_passes = field(errors, f"baseline {name}", b, "executed_passes")
+        if c_passes is not None and b_passes is not None and c_passes != b_passes:
             errors.append(
-                f"{name}: executed_passes {c['executed_passes']} != "
-                f"baseline {b['executed_passes']}"
+                f"{name}: executed_passes {c_passes} != baseline {b_passes}"
             )
-        floor = b["speedup"] / noise
-        if not (math.isfinite(c["speedup"]) and c["speedup"] >= floor):
-            errors.append(
-                f"{name}: speedup {c['speedup']:.2f} below noise floor "
-                f"{floor:.2f} (baseline {b['speedup']:.2f} / {noise})"
-            )
+        c_speedup = field(errors, name, c, "speedup")
+        b_speedup = field(errors, f"baseline {name}", b, "speedup")
+        if c_speedup is not None and b_speedup is not None:
+            floor = b_speedup / noise
+            if not (math.isfinite(c_speedup) and c_speedup >= floor):
+                errors.append(
+                    f"{name}: speedup {c_speedup:.2f} below noise floor "
+                    f"{floor:.2f} (baseline {b_speedup:.2f} / {noise})"
+                )
         check_rates(errors, name, c, ("seed", "engine", "parallel"))
 
-    cand_plan = {series_key(s): s for s in cand.get("planner", [])}
-    base_plan = {series_key(s): s for s in base.get("planner", [])}
+    cand_plan = index_series(
+        errors, "candidate planner", cand.get("planner", []), ("type", "dist")
+    )
+    base_plan = index_series(
+        errors, "baseline planner", base.get("planner", []), ("type", "dist")
+    )
 
     if set(cand_plan) != set(base_plan):
         errors.append(
@@ -105,29 +141,38 @@ def compare_sortpath(cand, base, noise):
     for key in sorted(set(cand_plan) & set(base_plan)):
         c, b = cand_plan[key], base_plan[key]
         name = f"planner {key[0]}/{key[1]}"
-        if c["engine"] != b["engine"]:
+        c_engine = field(errors, name, c, "engine")
+        b_engine = field(errors, f"baseline {name}", b, "engine")
+        if c_engine is not None and b_engine is not None and c_engine != b_engine:
             errors.append(
-                f"{name}: engine '{c['engine']}' != baseline '{b['engine']}'"
+                f"{name}: engine '{c_engine}' != baseline '{b_engine}'"
                 " — the planner's decision flipped"
             )
-        if c["passes"] != b["passes"]:
+        c_p = field(errors, name, c, "passes")
+        b_p = field(errors, f"baseline {name}", b, "passes")
+        if c_p is not None and b_p is not None and c_p != b_p:
             errors.append(
-                f"{name}: predicted passes {c['passes']} != "
-                f"baseline {b['passes']}"
+                f"{name}: predicted passes {c_p} != baseline {b_p}"
             )
-        floor = b["improvement"] / noise
-        if not (math.isfinite(c["improvement"]) and c["improvement"] >= floor):
-            errors.append(
-                f"{name}: improvement {c['improvement']:.3f} below noise "
-                f"floor {floor:.3f} (baseline {b['improvement']:.3f})"
-            )
+        c_imp = field(errors, name, c, "improvement")
+        b_imp = field(errors, f"baseline {name}", b, "improvement")
+        if c_imp is not None and b_imp is not None:
+            floor = b_imp / noise
+            if not (math.isfinite(c_imp) and c_imp >= floor):
+                errors.append(
+                    f"{name}: improvement {c_imp:.3f} below noise "
+                    f"floor {floor:.3f} (baseline {b_imp:.3f})"
+                )
         check_rates(
             errors, name, c, ("baseline_s", "adaptive_s", "improvement")
         )
 
     for s in cand.get("memcpy", []):
         check_rates(
-            errors, f"memcpy {s['bytes']} B", s, ("memcpy", "stream", "parallel")
+            errors,
+            f"memcpy {s.get('bytes', '?')} B",
+            s,
+            ("memcpy", "stream", "parallel"),
         )
 
     return errors, (
@@ -138,8 +183,12 @@ def compare_sortpath(cand, base, noise):
 def compare_hostpath(cand, base, noise):
     errors = []
 
-    cand_series = {(s["type"], s["k"]): s for s in cand.get("series", [])}
-    base_series = {(s["type"], s["k"]): s for s in base.get("series", [])}
+    cand_series = index_series(
+        errors, "candidate merge", cand.get("series", []), ("type", "k")
+    )
+    base_series = index_series(
+        errors, "baseline merge", base.get("series", []), ("type", "k")
+    )
 
     if set(cand_series) != set(base_series):
         errors.append(
@@ -155,19 +204,29 @@ def compare_hostpath(cand, base, noise):
                 f"{name}: strategy '{c.get('strategy')}' != "
                 f"baseline '{b.get('strategy')}'"
             )
-        floor = b["speedup"] / noise
-        if not (math.isfinite(c["speedup"]) and c["speedup"] >= floor):
-            errors.append(
-                f"{name}: speedup {c['speedup']:.2f} below noise floor "
-                f"{floor:.2f} (baseline {b['speedup']:.2f} / {noise})"
-            )
+        c_speedup = field(errors, name, c, "speedup")
+        b_speedup = field(errors, f"baseline {name}", b, "speedup")
+        if c_speedup is not None and b_speedup is not None:
+            floor = b_speedup / noise
+            if not (math.isfinite(c_speedup) and c_speedup >= floor):
+                errors.append(
+                    f"{name}: speedup {c_speedup:.2f} below noise floor "
+                    f"{floor:.2f} (baseline {b_speedup:.2f} / {noise})"
+                )
         check_rates(errors, name, c, ("pop_drain", "block_drain", "parallel"))
 
-    def scale_key(s):
-        return (s["type"], s["k"], s["threads"])
-
-    cand_scale = {scale_key(s): s for s in cand.get("parallel_scaling", [])}
-    base_scale = {scale_key(s): s for s in base.get("parallel_scaling", [])}
+    cand_scale = index_series(
+        errors,
+        "candidate parallel_scaling",
+        cand.get("parallel_scaling", []),
+        ("type", "k", "threads"),
+    )
+    base_scale = index_series(
+        errors,
+        "baseline parallel_scaling",
+        base.get("parallel_scaling", []),
+        ("type", "k", "threads"),
+    )
 
     if set(cand_scale) != set(base_scale):
         errors.append(
@@ -178,15 +237,22 @@ def compare_hostpath(cand, base, noise):
     for key in sorted(set(cand_scale) & set(base_scale)):
         c, b = cand_scale[key], base_scale[key]
         name = f"scaling {key[0]}/k={key[1]}/p={key[2]}"
-        if c["imbalance"] > IMBALANCE_CEILING:
+        c_imb = field(errors, name, c, "imbalance")
+        if c_imb is not None and c_imb > IMBALANCE_CEILING:
             errors.append(
-                f"{name}: partition imbalance {c['imbalance']:.4f} exceeds "
+                f"{name}: partition imbalance {c_imb:.4f} exceeds "
                 f"{IMBALANCE_CEILING} — exact selection regressed"
             )
-        if abs(c["model_speedup"] - b["model_speedup"]) > 1e-6:
+        c_model = field(errors, name, c, "model_speedup")
+        b_model = field(errors, f"baseline {name}", b, "model_speedup")
+        if (
+            c_model is not None
+            and b_model is not None
+            and abs(c_model - b_model) > 1e-6
+        ):
             errors.append(
-                f"{name}: model_speedup {c['model_speedup']} != baseline "
-                f"{b['model_speedup']} — CpuMergeModel calibration changed"
+                f"{name}: model_speedup {c_model} != baseline "
+                f"{b_model} — CpuMergeModel calibration changed"
             )
         check_rates(errors, name, c, ("meps",))
 

@@ -46,9 +46,11 @@
 //   --crash-after-runs N    (sortfile) test hook: die after N durable runs
 //   --platform 1|2          Table II preset (default 1)
 //   --approach bline|blinemulti|pipedata|pipemerge   (default pipemerge)
-//   --type f64|u64|kv64     element type (default f64)
+//   --type LANE             element lane: f64|u64|kv64|f32|i32|u32|kv64p24
+//                           (default f64)
 //   --dist NAME             uniform|gaussian|sorted|reverse|nearly-sorted|
-//                           dup-heavy|all-equal|zipf (default uniform)
+//                           dup-heavy|all-equal|zipf|saw|runs|partial-sorted|
+//                           organ-pipe (default uniform)
 //   --bs N                  batch size in elements (default: auto)
 //   --ps N                  staging buffer elements (default 1e6)
 //   --streams N             streams per GPU (default 2)
@@ -76,8 +78,10 @@
 #include <cmath>
 #include <thread>
 
+#include "common/assert.h"
 #include "common/key_value.h"
 #include "core/het_sorter.h"
+#include "cpu/element_ops.h"
 #include "service/scheduler.h"
 #include "data/generators.h"
 #include "data/verify.h"
@@ -209,22 +213,29 @@ std::vector<service::ClassConfig> parse_classes(const std::string& spec) {
 }
 
 data::Distribution parse_dist(const std::string& s) {
-  static const std::map<std::string, data::Distribution> kMap{
-      {"uniform", data::Distribution::kUniform},
-      {"gaussian", data::Distribution::kGaussian},
-      {"sorted", data::Distribution::kSorted},
-      {"reverse", data::Distribution::kReverseSorted},
-      {"nearly-sorted", data::Distribution::kNearlySorted},
-      {"dup-heavy", data::Distribution::kDuplicateHeavy},
-      {"all-equal", data::Distribution::kAllEqual},
-      {"zipf", data::Distribution::kZipf},
-      {"saw", data::Distribution::kSaw},
-      {"runs", data::Distribution::kRuns},
-      {"partial-sorted", data::Distribution::kPartialSorted},
-  };
-  const auto it = kMap.find(s);
-  if (it == kMap.end()) usage("unknown distribution");
-  return it->second;
+  if (const auto d = data::distribution_from_name(s)) return *d;
+  std::string msg = "unknown distribution '" + s + "' (expected ";
+  bool first = true;
+  for (const data::Distribution d : data::all_distributions()) {
+    if (!first) msg += '|';
+    msg += data::distribution_name(d);
+    first = false;
+  }
+  msg += ')';
+  usage(msg.c_str());
+}
+
+std::string parse_type(const std::string& s) {
+  if (cpu::element_ops_by_name(s) != nullptr) return s;
+  std::string msg = "unknown element type '" + s + "' (expected ";
+  bool first = true;
+  for (const std::string_view lane : cpu::element_lane_names()) {
+    if (!first) msg += '|';
+    msg += lane;
+    first = false;
+  }
+  msg += ')';
+  usage(msg.c_str());
 }
 
 Options parse(int argc, char** argv) {
@@ -253,7 +264,7 @@ Options parse(int argc, char** argv) {
     } else if (flag == "--approach") {
       o.cfg.approach = parse_approach(next(i));
     } else if (flag == "--type") {
-      o.type = next(i);
+      o.type = parse_type(next(i));
     } else if (flag == "--dist") {
       o.dist = parse_dist(next(i));
     } else if (flag == "--engine") {
@@ -328,9 +339,6 @@ Options parse(int argc, char** argv) {
     }
   }
   if (o.n == 0) usage("--n must be positive");
-  if (o.type != "f64" && o.type != "u64" && o.type != "kv64") {
-    usage("--type must be f64, u64 or kv64");
-  }
   // Flag conflicts are refused up front, typed, instead of producing
   // surprising runs: a crash hook firing on a resumed job would crash-loop
   // it forever, and resuming without a journal is a contradiction.
@@ -372,31 +380,30 @@ void emit_trace_outputs(const Options& o, const core::Report& r) {
   }
 }
 
+cpu::ElementOps pick_ops(const std::string& type) {
+  const cpu::ElementOps* ops = cpu::element_ops_by_name(type);
+  HS_ASSERT(ops != nullptr);  // parse_type validated against the registry
+  return *ops;
+}
+
 int cmd_sort(const Options& o) {
   const model::Platform plat = pick_platform(o.platform);
   if (o.cfg.host_budget_bytes > 0) io::ensure_spill_backend();
   core::HeterogeneousSorter sorter(plat, o.cfg);
-  bool ok = false;
-  core::Report r;
 
-  if (o.type == "f64") {
-    auto data = data::generate(o.dist, o.n, o.seed);
-    const auto original = data;
-    r = sorter.sort(data);
-    ok = data::is_sorted_permutation(original, data);
-  } else if (o.type == "u64") {
-    auto data = data::generate_keys(o.dist, o.n, o.seed);
-    const auto expected_fp = data::multiset_fingerprint(data);
-    r = sorter.sort(data);
-    ok = data::is_sorted_ascending(data) &&
-         data::multiset_fingerprint(data) == expected_fp;
-  } else {  // kv64
-    const auto keys = data::generate_keys(o.dist, o.n, o.seed);
-    std::vector<KeyValue64> data(o.n);
-    for (std::uint64_t i = 0; i < o.n; ++i) data[i] = {keys[i], i};
-    r = sorter.sort(data);
-    ok = std::is_sorted(data.begin(), data.end());
-  }
+  // Lane-generic path: every registered --type flows through the same
+  // generate -> sort_bytes -> verify pipeline. The whole-record fingerprint
+  // catches dropped/duplicated records (payload bytes included), and
+  // sortedness is checked in the lane's total-order key image.
+  const cpu::ElementOps ops = pick_ops(o.type);
+  std::vector<std::byte> data =
+      data::generate_lane(o.type, o.dist, o.n, o.seed);
+  const std::uint64_t expected_fp =
+      data::multiset_fingerprint_bytes(data, ops.elem_size);
+  core::Report r = sorter.sort_bytes(std::span(data), o.n, ops);
+  const bool ok =
+      data::is_sorted_by_key(data, ops.elem_size, ops.extract_key) &&
+      data::multiset_fingerprint_bytes(data, ops.elem_size) == expected_fp;
 
   std::printf("verification: %s\n", ok ? "OK" : "FAILED");
   r.print(std::cout);
@@ -407,11 +414,7 @@ int cmd_sort(const Options& o) {
 int cmd_simulate(const Options& o) {
   const model::Platform plat = pick_platform(o.platform);
   core::HeterogeneousSorter sorter(plat, o.cfg);
-  const cpu::ElementOps ops = o.type == "u64"
-                                  ? cpu::element_ops<std::uint64_t>()
-                              : o.type == "kv64"
-                                  ? cpu::element_ops<KeyValue64>()
-                                  : cpu::element_ops<double>();
+  const cpu::ElementOps ops = pick_ops(o.type);
   const core::Report r = sorter.simulate(o.n, ops);
   r.print(std::cout);
   emit_trace_outputs(o, r);
@@ -442,12 +445,6 @@ int cmd_survey(const Options& o) {
                 r.speedup_vs_reference());
   }
   return 0;
-}
-
-cpu::ElementOps pick_ops(const std::string& type) {
-  if (type == "u64") return cpu::element_ops<std::uint64_t>();
-  if (type == "kv64") return cpu::element_ops<KeyValue64>();
-  return cpu::element_ops<double>();
 }
 
 int cmd_report(const Options& o) {
