@@ -150,6 +150,14 @@ class MemoryGovernor {
   /// Headroom under the budget; UINT64_MAX when unlimited.
   std::uint64_t available_bytes() const;
 
+  /// Ledger occupancy in [0, 1]: reserved / budget, or 0 when unlimited.
+  /// One of the load signals driving the service's degraded-mode machine.
+  double occupancy() const {
+    return limited() ? static_cast<double>(reserved_bytes()) /
+                           static_cast<double>(budget_bytes_)
+                     : 0.0;
+  }
+
  private:
   std::uint64_t budget_bytes_;
   std::atomic<std::uint64_t> reserved_{0};

@@ -89,6 +89,13 @@ struct SortConfig {
   /// ps — pinned staging buffer size in elements (paper default 1e6).
   std::uint64_t staging_elems = 1'000'000;
 
+  /// Degraded-mode bias (service Pressure mode): the batch-split tuner in
+  /// core::plan_device_sort normally demands a clear (>5%) modeled win
+  /// before splitting batches further; with this set it accepts any modeled
+  /// non-regression, trading pipeline efficiency for smaller per-batch
+  /// device and staging footprints.
+  bool prefer_small_batches = false;
+
   /// ns — streams per GPU (paper default 2 for the pipelined approaches).
   unsigned streams_per_gpu = 2;
 

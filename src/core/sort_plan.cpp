@@ -124,8 +124,11 @@ SortPlan plan_device_sort(const data::InputSketch& sketch,
       }
     }
     // Only act on a clear win: the estimate ignores staging chunking and
-    // stream interleave, so marginal differences are noise.
-    if (best_nb != rc.num_batches && best_ms < 0.95 * base_ms) {
+    // stream interleave, so marginal differences are noise. Under memory
+    // pressure (prefer_small_batches) any modeled non-regression is taken —
+    // smaller batches mean smaller device + staging footprints.
+    const double accept = rc.cfg.prefer_small_batches ? 1.0 : 0.95;
+    if (best_nb != rc.num_batches && best_ms < accept * base_ms) {
       p.batch_size = div_ceil(rc.n, best_nb);
       p.batch_adjusted = true;
     }

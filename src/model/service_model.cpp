@@ -1,0 +1,56 @@
+#include "model/service_model.h"
+
+#include <algorithm>
+
+namespace hs::model {
+
+JobCostBreakdown JobCostModel::estimate(const Platform& plat,
+                                        const JobCostInputs& in) const {
+  JobCostBreakdown out;
+  if (in.n == 0) return out;
+  const double n = static_cast<double>(in.n);
+  const double bytes = n * static_cast<double>(in.elem_size);
+  const std::uint64_t chunk =
+      in.chunk_elems > 0 ? std::min(in.chunk_elems, in.n) : in.n;
+  out.chunks = (in.n + chunk - 1) / chunk;
+  const double chunks = static_cast<double>(out.chunks);
+
+  // Run formation: each chunk stages in (pageable -> pinned), crosses PCIe,
+  // sorts on device, and comes back. Per-chunk fixed costs (launch, async
+  // submission) pay once per chunk; the linear terms depend only on n.
+  double sort_s = 0;
+  if (!plat.gpus.empty()) {
+    const GpuSortModel& gpu = plat.gpus.front().sort;
+    sort_s = gpu.launch_s * chunks + gpu.per_elem_s * n;
+  } else {
+    sort_s = plat.cpu_sort.time(chunk, plat.reference_threads()) * chunks;
+  }
+  const double htod_s =
+      plat.pcie.async_latency_s * chunks + bytes / plat.pcie.pinned_bps;
+  const double dtoh_s =
+      plat.pcie.async_latency_s * chunks + bytes / plat.pcie.pinned_dtoh_bps;
+  const double staging_s = plat.host_memcpy.time(
+      static_cast<std::uint64_t>(2 * bytes), in.merge_threads);
+  out.form_seconds = (sort_s + htod_s + dtoh_s + staging_s) * wall_factor;
+
+  // Final merge: one flat k-way tournament drain of the durable runs,
+  // scaled by the calibrated merge-speedup curve for the thread count.
+  if (out.chunks > 1) {
+    const std::size_t key_bytes = std::min<std::size_t>(in.elem_size, 8);
+    const double flat_ns = merge_engine.flat_ns_per_elem(
+        out.chunks, in.elem_size, key_bytes, /*deferred=*/false);
+    const double speedup = std::max(1.0, plat.cpu_merge.speedup(
+                                             std::max(1u, in.merge_threads)));
+    out.merge_seconds = flat_ns * 1e-9 * n / speedup * wall_factor;
+  }
+
+  // Disk legs: read input + write runs during formation; a second full
+  // read + write pass when an external merge is needed.
+  const double passes = out.chunks > 1 ? 4.0 : 2.0;
+  out.io_seconds = passes * bytes / disk_bps * wall_factor;
+
+  out.overhead_seconds = per_run_overhead_s * chunks * wall_factor;
+  return out;
+}
+
+}  // namespace hs::model

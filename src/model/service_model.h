@@ -1,0 +1,71 @@
+// Whole-job cost model for service-level SLO admission (docs/service.md).
+//
+// The per-phase models in this directory price one pipeline stage each; the
+// sort service needs the *end-to-end* figure — "can this job finish before
+// its deadline?" — before a worker ever touches it. JobCostModel composes
+// the calibrated building blocks the planner already trusts (GpuSortModel
+// for run formation, PcieModel for the staging round trip, HostMemcpyModel
+// for the pageable<->pinned legs, MergeEngineModel + CpuMergeModel for the
+// final k-way drain) with the two quantities only the service knows: disk
+// bandwidth for the external legs and a wall factor calibrating model
+// seconds to the host the daemon actually runs on.
+//
+// The estimate is deliberately a *fast-fail filter*, not a guarantee: the
+// deadline watchdog remains the enforcer for admitted jobs. What admission
+// buys is rejecting hopeless jobs at submit() — typed, with an
+// earliest-feasible hint — instead of burning a worker and cancelling at the
+// deadline (ISSUE 10's "never admit-then-cancel").
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "model/cpu_model.h"
+#include "model/platforms.h"
+
+namespace hs::model {
+
+/// What the service knows about a job before running it. `chunk_elems`
+/// is the external sort's run-formation chunk (0 = fits in one chunk).
+struct JobCostInputs {
+  std::uint64_t n = 0;
+  std::size_t elem_size = sizeof(double);
+  std::uint64_t chunk_elems = 0;
+  unsigned merge_threads = 1;
+};
+
+/// Itemised estimate; seconds are model (virtual-platform) time scaled by
+/// JobCostModel::wall_factor.
+struct JobCostBreakdown {
+  double form_seconds = 0;      // device sort + PCIe + staging memcpy
+  double merge_seconds = 0;     // final k-way merge of the durable runs
+  double io_seconds = 0;        // disk read/write legs of the external path
+  double overhead_seconds = 0;  // per-run fixed costs (open/seal/journal)
+  std::uint64_t chunks = 1;
+
+  double total() const {
+    return form_seconds + merge_seconds + io_seconds + overhead_seconds;
+  }
+};
+
+struct JobCostModel {
+  /// Sequential disk bandwidth for run files; the default is a mid-range
+  /// SATA SSD, low enough to be conservative on CI sandboxes.
+  double disk_bps = 1.2e9;
+
+  /// Fixed cost per durable run: file open, frame seal, journal append.
+  double per_run_overhead_s = 2e-3;
+
+  /// Calibration of model seconds to wall seconds on the serving host
+  /// (1.0 = trust the virtual platform; a loaded single-core CI box wants
+  /// more). Scales the whole estimate.
+  double wall_factor = 1.0;
+
+  /// Host merge-engine pricing for the final k-way drain.
+  MergeEngineModel merge_engine;
+
+  JobCostBreakdown estimate(const Platform& plat,
+                            const JobCostInputs& in) const;
+};
+
+}  // namespace hs::model

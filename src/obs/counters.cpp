@@ -48,6 +48,10 @@ std::string_view counter_name(Counter c) {
     case Counter::kJobsCancelled: return "jobs_cancelled";
     case Counter::kJobsResumed: return "jobs_resumed";
     case Counter::kJobBudgetShrinks: return "job_budget_shrinks";
+    case Counter::kJobsSloRejected: return "jobs_slo_rejected";
+    case Counter::kJobsShedRejected: return "jobs_shed_rejected";
+    case Counter::kJobsPreempted: return "jobs_preempted";
+    case Counter::kServiceModeTransitions: return "service_mode_transitions";
     case Counter::kSortPlans: return "sort_plans";
     case Counter::kPlanEngineRadix: return "plan_engine_radix";
     case Counter::kPlanEngineHybrid: return "plan_engine_hybrid";

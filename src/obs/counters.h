@@ -70,6 +70,11 @@ enum class Counter : std::uint8_t {
   kJobsCancelled,      // watchdog deadline cancellations requested
   kJobsResumed,        // jobs re-adopted from a prior daemon's manifest
   kJobBudgetShrinks,   // per-job budget halvings during dispatch negotiation
+  // Service survivability (SLO admission, preemption, degraded mode).
+  kJobsSloRejected,    // submissions refused at admission with SloUnmeetable
+  kJobsShedRejected,   // submissions refused by Shed-mode load shedding
+  kJobsPreempted,      // running jobs that checkpoint-and-yielded their grant
+  kServiceModeTransitions,  // Normal/Pressure/Shed state changes
   // Sort planner decisions (fed by core::HeterogeneousSorter per attempt).
   kSortPlans,           // planner invocations (non-default engine policies)
   kPlanEngineRadix,     // launches planned on the LSD radix baseline
@@ -79,7 +84,7 @@ enum class Counter : std::uint8_t {
   kPlanBatchAdjusts,    // batch geometries changed by the makespan estimate
 };
 
-inline constexpr std::size_t kNumCounters = 45;
+inline constexpr std::size_t kNumCounters = 49;
 
 std::string_view counter_name(Counter c);
 

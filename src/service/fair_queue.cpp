@@ -33,6 +33,22 @@ bool FairQueue::push(std::uint64_t handle, const std::string& klass,
   return true;
 }
 
+void FairQueue::restore(std::uint64_t handle, const std::string& klass,
+                        double cost, double finish) {
+  ClassState& cs = state_for(klass);
+  Item item;
+  item.handle = handle;
+  item.cost = cost;
+  item.finish = finish;
+  // The class's tag sequence is monotone, so ordered insertion keeps FIFO
+  // semantics for everything pushed since; last_finish is NOT advanced —
+  // the tag was already accounted when the job was first admitted.
+  auto pos = cs.items.begin();
+  while (pos != cs.items.end() && pos->finish <= finish) ++pos;
+  cs.items.insert(pos, item);
+  ++size_;
+}
+
 void FairQueue::pop_from(std::map<std::string, ClassState>::iterator it) {
   HS_ASSERT(!it->second.items.empty());
   virtual_time_ = std::max(virtual_time_, it->second.items.front().finish);
@@ -71,6 +87,11 @@ std::vector<std::uint64_t> FairQueue::queued() const {
 double FairQueue::weight(const std::string& klass) const {
   const auto it = classes_.find(klass);
   return it == classes_.end() ? 1.0 : it->second.weight;
+}
+
+double FairQueue::last_finish(const std::string& klass) const {
+  const auto it = classes_.find(klass);
+  return it == classes_.end() ? 0.0 : it->second.last_finish;
 }
 
 }  // namespace hs::service

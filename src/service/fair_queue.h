@@ -44,6 +44,14 @@ class FairQueue {
   /// unit; the scheduler uses input elements). Returns false when full.
   bool push(std::uint64_t handle, const std::string& klass, double cost);
 
+  /// Re-admits a previously dispatched job with its original finish tag
+  /// `finish` (captured via last_finish() right after push), inserting in
+  /// tag order within its class. This is the preemption path: the job keeps
+  /// its virtual start time, so yielding a grant costs no fairness credit.
+  /// Ignores the capacity bound — the job was already admitted once.
+  void restore(std::uint64_t handle, const std::string& klass, double cost,
+               double finish);
+
   /// Dispatches the job with the smallest virtual finish tag among class
   /// heads. nullopt when empty.
   std::optional<std::uint64_t> pop();
@@ -67,6 +75,11 @@ class FairQueue {
 
   /// Weight of `klass` (1.0 for classes never declared).
   double weight(const std::string& klass) const;
+
+  /// Virtual finish tag most recently assigned in `klass` — immediately
+  /// after push() this is the pushed job's own tag (captured by the
+  /// scheduler for later restore()).
+  double last_finish(const std::string& klass) const;
 
  private:
   struct Item {

@@ -96,6 +96,14 @@ struct JobOutcome {
   unsigned attempts = 0;  // 1 = clean first run
   bool resumed = false;   // any attempt adopted a job journal
 
+  /// Times this job checkpoint-and-yielded its grant to a higher-weight
+  /// arrival; each yield re-queued it with its virtual start preserved.
+  unsigned preemptions = 0;
+
+  /// Admission-time whole-job cost estimate (model::JobCostModel); feeds the
+  /// SLO gate and the retry-after hints in typed rejections.
+  double estimate_seconds = 0;
+
   /// Cost of other-class jobs dispatched ahead of this one while it was
   /// queued *and memory-eligible* — the quantity the weighted-fairness bound
   /// in docs/service.md limits.

@@ -20,6 +20,10 @@ constexpr const char* kHeaderLine = "hetsort-service-manifest v1";
 std::string render(const ServiceManifest& m) {
   std::ostringstream os;
   os << kHeaderLine << '\n';
+  if (m.watchdog_period_seconds > 0) {
+    os << "config\twatchdog_period_seconds\t" << m.watchdog_period_seconds
+       << '\n';
+  }
   for (const ManifestEntry& e : m.jobs) {
     const JobSpec& s = e.spec;
     os << "job\t" << s.name << '\t' << (e.done ? 1 : 0) << '\t'
@@ -140,6 +144,22 @@ std::optional<ServiceManifest> load_manifest(const std::string& service_dir) {
   std::string line;
   if (!std::getline(is, line) || line != kHeaderLine) return std::nullopt;
   while (std::getline(is, line)) {
+    if (line.rfind("config\t", 0) == 0) {
+      // Service-level settings: "config\t<key>\t<value>". Unknown keys are
+      // skipped so a newer daemon's manifest still resumes on an older one.
+      std::size_t pos = 7;  // past "config\t"
+      std::string key, value;
+      if (!next_field(line, pos, key) || !next_field(line, pos, value)) {
+        return std::nullopt;
+      }
+      if (key == "watchdog_period_seconds") {
+        char* end = nullptr;
+        const double v = std::strtod(value.c_str(), &end);
+        if (end == nullptr || *end != '\0' || v <= 0) return std::nullopt;
+        m.watchdog_period_seconds = v;
+      }
+      continue;
+    }
     if (line.rfind("job\t", 0) != 0) return std::nullopt;
     ManifestEntry e;
     if (!parse_entry(line, e)) return std::nullopt;

@@ -26,6 +26,11 @@ struct ManifestEntry {
 
 struct ServiceManifest {
   std::vector<ManifestEntry> jobs;
+
+  /// Watchdog scan period the service was running with; persisted so
+  /// `serve --resume` keeps deadline enforcement cadence across restarts
+  /// unless the flag overrides it. 0 = not recorded (older manifests).
+  double watchdog_period_seconds = 0;
 };
 
 std::string manifest_path(const std::string& service_dir);

@@ -55,6 +55,7 @@ std::string classify_error(const std::exception& e) {
   if (dynamic_cast<const vgpu::HostAllocFailed*>(&e)) return "HostAllocFailed";
   if (dynamic_cast<const sim::PipelineStalled*>(&e)) return "PipelineStalled";
   if (dynamic_cast<const ServiceOverloaded*>(&e)) return "ServiceOverloaded";
+  if (dynamic_cast<const SloUnmeetable*>(&e)) return "SloUnmeetable";
   if (dynamic_cast<const JobDeadlineExceeded*>(&e))
     return "JobDeadlineExceeded";
   if (dynamic_cast<const hs::Error*>(&e)) return "Error";
@@ -71,6 +72,15 @@ double percentile(std::vector<double> v, double p) {
 
 }  // namespace
 
+std::string_view service_mode_name(ServiceMode m) {
+  switch (m) {
+    case ServiceMode::kNormal: return "normal";
+    case ServiceMode::kPressure: return "pressure";
+    case ServiceMode::kShed: return "shed";
+  }
+  return "?";
+}
+
 struct JobScheduler::JobRecord {
   std::uint64_t id = 0;
   JobSpec spec;
@@ -78,17 +88,31 @@ struct JobScheduler::JobRecord {
 
   JobState state = JobState::kQueued;
   std::atomic<bool> cancel{false};
-  bool deadline_fired = false;  // guarded by mu_
+  // All the reason flags below are guarded by mu_; `cancel` is the one
+  // lock-free stop signal the pipeline polls, and the flags say *why* it
+  // was raised (deadline > explicit cancel > preemption).
+  bool deadline_fired = false;
+  bool cancel_requested = false;   // explicit cancel() on a running job
+  bool preempt_requested = false;  // asked to checkpoint-and-yield its grant
+  bool preempt_yield = false;      // run_job stopped at a checkpoint to yield
+  bool pressure_dispatch = false;  // dispatched while mode != Normal
+  std::uint64_t preempted_by = 0;  // beneficiary id while preempt in flight
+  std::uint64_t parked_behind = 0;  // ineligible until this job dispatches
   Clock::time_point submit_time{};
 
   double queue_wait = 0;
   double run_seconds = 0;
   double virtual_seconds = 0;
+  double cost = 0;        // fair-queue service cost (input elements)
+  double finish_tag = 0;  // SFQ finish tag, preserved across preemptions
+  double estimate_seconds = 0;  // admission-time whole-job cost estimate
   std::uint64_t requested = 0;  // negotiated request (post service clamp)
   std::uint64_t granted = 0;
   bool degraded = false;
   bool resumed = false;
   unsigned attempts = 0;
+  unsigned dispatches = 0;
+  unsigned preemptions = 0;
   double bypass_cost = 0;
   std::string error, error_type;
   std::string span_label;
@@ -102,6 +126,10 @@ JobScheduler::JobScheduler(SchedulerConfig cfg)
   HS_EXPECTS(cfg_.workers > 0);
   HS_EXPECTS(cfg_.queue_capacity > 0);
   HS_EXPECTS(cfg_.min_job_budget_bytes > 0);
+  HS_EXPECTS(cfg_.watchdog_period_seconds > 0);
+  for (const ClassConfig& c : cfg_.classes) {
+    max_class_weight_ = std::max(max_class_weight_, c.weight);
+  }
   std::filesystem::create_directories(cfg_.service_dir + "/jobs");
   workers_.reserve(cfg_.workers);
   for (unsigned i = 0; i < cfg_.workers; ++i) {
@@ -134,43 +162,109 @@ std::uint64_t JobScheduler::submit(JobSpec spec, bool resume) {
         std::to_string(governor_.budget_bytes()) + " bytes");
   }
 
+  const std::uint64_t clamped =
+      governor_.limited() ? std::min(requested, governor_.budget_bytes())
+                          : requested;
+  // Whole-job cost estimate (may stat the input file — outside the lock).
+  // Always computed: it feeds the SLO gate when enabled and the retry-after
+  // hints in typed rejections either way.
+  const model::JobCostBreakdown estimate = estimate_spec(spec, clamped);
+
   std::lock_guard<std::mutex> lk(mu_);
-  if (by_name_.count(spec.name) > 0) {
-    throw InvalidJobSpec("job name '" + spec.name + "' already in use");
+  JobRecord* reopen = nullptr;
+  if (const auto itn = by_name_.find(spec.name); itn != by_name_.end()) {
+    JobRecord& old = *jobs_.at(itn->second);
+    if (old.state == JobState::kFailed || old.state == JobState::kCancelled) {
+      // A failed/cancelled job may be resubmitted under the same name: its
+      // journal is intact, so the fresh attempt resumes where it stopped.
+      reopen = &old;
+    } else {
+      throw InvalidJobSpec("job name '" + spec.name + "' already in use");
+    }
+  }
+
+  update_mode_locked();
+  if (mode_ == ServiceMode::kShed &&
+      queue_.weight(spec.job_class) < max_class_weight_) {
+    record_rejection_locked(spec.job_class, "shed");
+    obs::count(obs::Counter::kJobsShedRejected, 1);
+    service_marker("shed job=" + spec.name + " class=" + spec.job_class);
+    throw ServiceOverloaded(queue_.size(), queue_.capacity(),
+                            ServiceOverloaded::Reason::kShed,
+                            committed_seconds_locked());
   }
   if (queue_.size() >= queue_.capacity()) {
+    record_rejection_locked(spec.job_class, "queue");
     obs::count(obs::Counter::kJobsRejected, 1);
     service_marker("reject job=" + spec.name +
                    " depth=" + std::to_string(queue_.size()));
-    throw ServiceOverloaded(queue_.size(), queue_.capacity());
+    throw ServiceOverloaded(queue_.size(), queue_.capacity(),
+                            ServiceOverloaded::Reason::kQueueFull,
+                            committed_seconds_locked());
+  }
+  if (cfg_.slo_admission && spec.deadline_seconds > 0) {
+    const double queue_s = committed_seconds_locked();
+    if (queue_s + estimate.total() > spec.deadline_seconds) {
+      // Never admit-then-cancel: a hopeless deadline is refused before a
+      // worker ever touches it, with the earliest feasible hint attached.
+      record_rejection_locked(spec.job_class, "slo");
+      obs::count(obs::Counter::kJobsSloRejected, 1);
+      service_marker("slo-reject job=" + spec.name + " estimate=" +
+                     std::to_string(estimate.total() + queue_s));
+      throw SloUnmeetable(spec.name, spec.deadline_seconds, estimate.total(),
+                          queue_s);
+    }
   }
 
-  auto rec = std::make_unique<JobRecord>();
-  rec->id = next_id_++;
-  rec->spec = std::move(spec);
-  rec->resume_requested = resume;
-  rec->requested =
-      governor_.limited() ? std::min(requested, governor_.budget_bytes())
-                          : requested;
-  rec->submit_time = Clock::now();
-  rec->span_label = "job:" + rec->spec.name;
-  const std::uint64_t id = rec->id;
-  const std::string klass = rec->spec.job_class;
-  const double cost = static_cast<double>(std::max<std::uint64_t>(
-      1, rec->spec.n > 0 ? rec->spec.n : rec->spec.memory_budget_elems));
+  JobRecord* job = nullptr;
+  if (reopen != nullptr) {
+    // The original spec is kept (chunk geometry must not change under the
+    // journal); only the deadline and retry allowance refresh, so "resubmit
+    // with a larger deadline" works as the cancel contract promises.
+    reopen->spec.deadline_seconds = spec.deadline_seconds;
+    reopen->spec.max_retries = spec.max_retries;
+    reopen->state = JobState::kQueued;
+    reopen->cancel.store(false, std::memory_order_release);
+    reopen->deadline_fired = false;
+    reopen->cancel_requested = false;
+    reopen->preempt_requested = false;
+    reopen->preempt_yield = false;
+    reopen->preempted_by = 0;
+    reopen->parked_behind = 0;
+    reopen->resume_requested = true;
+    reopen->submit_time = Clock::now();
+    reopen->error.clear();
+    reopen->error_type.clear();
+    job = reopen;
+  } else {
+    auto rec = std::make_unique<JobRecord>();
+    rec->id = next_id_++;
+    rec->spec = std::move(spec);
+    rec->resume_requested = resume;
+    rec->requested = clamped;
+    rec->submit_time = Clock::now();
+    rec->span_label = "job:" + rec->spec.name;
+    const std::uint64_t id = rec->id;
+    by_name_[rec->spec.name] = id;
+    job = rec.get();
+    jobs_[id] = std::move(rec);
+  }
+  job->estimate_seconds = estimate.total();
+  job->cost = static_cast<double>(std::max<std::uint64_t>(
+      1, job->spec.n > 0 ? job->spec.n : job->spec.memory_budget_elems));
 
-  const bool pushed = queue_.push(id, klass, cost);
+  const bool pushed = queue_.push(job->id, job->spec.job_class, job->cost);
   HS_ASSERT(pushed);  // capacity checked above under the same lock
+  job->finish_tag = queue_.last_finish(job->spec.job_class);
   peak_queue_depth_ = std::max(peak_queue_depth_, queue_.size());
-  by_name_[rec->spec.name] = id;
-  jobs_[id] = std::move(rec);
   persist_manifest_locked();
 
   obs::count(obs::Counter::kJobsSubmitted, 1);
-  service_marker("admit job=" + jobs_[id]->spec.name +
-                 " class=" + klass);
+  service_marker("admit job=" + job->spec.name +
+                 " class=" + job->spec.job_class);
+  preempt_for_locked(*job);
   dispatch_cv_.notify_one();
-  return id;
+  return job->id;
 }
 
 std::size_t JobScheduler::resume_jobs() {
@@ -205,11 +299,142 @@ bool JobScheduler::cancel(const std::string& name) {
     return true;
   }
   if (job.state == JobState::kRunning) {
+    job.cancel_requested = true;
     job.cancel.store(true, std::memory_order_release);
     service_marker("cancel job=" + name + " (running)");
     return true;
   }
   return false;  // already finished
+}
+
+ServiceMode JobScheduler::mode() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return mode_;
+}
+
+std::size_t JobScheduler::mode_transitions() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return mode_transitions_;
+}
+
+void JobScheduler::update_mode_locked() {
+  if (!cfg_.load_shedding) return;  // mode pinned at Normal
+  const double depth_frac = static_cast<double>(queue_.size()) /
+                            static_cast<double>(queue_.capacity());
+  const double ledger = governor_.occupancy();
+  const double bad_devices =
+      cfg_.platform.gpus.empty()
+          ? 0.0
+          : static_cast<double>(health_.count()) /
+                static_cast<double>(cfg_.platform.gpus.size());
+  ServiceMode target = ServiceMode::kNormal;
+  if (depth_frac >= cfg_.pressure_queue_fraction ||
+      ledger >= cfg_.pressure_ledger_fraction || bad_devices >= 0.5) {
+    target = ServiceMode::kPressure;
+  }
+  if (depth_frac >= cfg_.shed_queue_fraction ||
+      ledger >= cfg_.shed_ledger_fraction) {
+    target = ServiceMode::kShed;
+  }
+  if (target == mode_) return;
+  ++mode_transitions_;
+  obs::count(obs::Counter::kServiceModeTransitions, 1);
+  service_marker("mode " + std::string(service_mode_name(mode_)) + "->" +
+                 std::string(service_mode_name(target)) +
+                 " depth=" + std::to_string(queue_.size()) +
+                 " ledger=" + std::to_string(ledger));
+  mode_ = target;
+}
+
+double JobScheduler::committed_seconds_locked() const {
+  double s = 0;
+  for (const auto& [id, job] : jobs_) {
+    if (job->state == JobState::kQueued || job->state == JobState::kRunning) {
+      s += job->estimate_seconds;
+    }
+  }
+  return s / static_cast<double>(std::max(1u, cfg_.workers));
+}
+
+void JobScheduler::record_rejection_locked(const std::string& klass,
+                                           const std::string& reason) {
+  ++rejections_[klass][reason];
+}
+
+model::JobCostBreakdown JobScheduler::estimate_spec(
+    const JobSpec& spec, std::uint64_t requested) const {
+  model::JobCostInputs in;
+  in.n = spec.n;
+  if (in.n == 0 && !spec.input_path.empty()) {
+    std::error_code ec;
+    const auto bytes = std::filesystem::file_size(spec.input_path, ec);
+    if (!ec) in.n = bytes / sizeof(double);
+  }
+  in.elem_size = sizeof(double);
+  const std::uint64_t iobuf = std::max<std::uint64_t>(1, spec.io_buffer_elems);
+  in.chunk_elems =
+      spec.memory_budget_elems > 0
+          ? spec.memory_budget_elems
+          : std::max<std::uint64_t>(iobuf, requested / (3 * sizeof(double)));
+  in.merge_threads = std::max(1u, spec.pipeline.multiway_threads);
+  return cfg_.cost_model.estimate(cfg_.platform, in);
+}
+
+void JobScheduler::preempt_for_locked(const JobRecord& newcomer) {
+  if (!cfg_.preemption || !governor_.limited()) return;
+  if (newcomer.state != JobState::kQueued) return;
+  const std::uint64_t floor =
+      std::min(newcomer.requested, cfg_.min_job_budget_bytes);
+  const std::uint64_t avail = governor_.available_bytes();
+  if (floor <= avail) return;  // will dispatch without anyone yielding
+
+  const double w_new = queue_.weight(newcomer.spec.job_class);
+  std::vector<JobRecord*> victims;
+  for (auto& [id, job] : jobs_) {
+    if (job->state == JobState::kRunning && !job->preempt_requested &&
+        queue_.weight(job->spec.job_class) < w_new) {
+      victims.push_back(job.get());
+    }
+  }
+  // Cheapest sacrifice first: lowest weight, then the most recent dispatch
+  // (least sunk work to redo — its journal keeps what it already finished).
+  std::sort(victims.begin(), victims.end(),
+            [this](const JobRecord* a, const JobRecord* b) {
+              const double wa = queue_.weight(a->spec.job_class);
+              const double wb = queue_.weight(b->spec.job_class);
+              if (wa != wb) return wa < wb;
+              return a->id > b->id;
+            });
+  std::uint64_t freeable = 0;
+  for (JobRecord* victim : victims) {
+    if (avail + freeable >= floor) break;
+    victim->preempt_requested = true;
+    victim->preempted_by = newcomer.id;
+    victim->cancel.store(true, std::memory_order_release);
+    freeable += victim->granted;
+    service_marker("preempt job=" + victim->spec.name +
+                   " for=" + newcomer.spec.name);
+  }
+}
+
+void JobScheduler::requeue_preempted_locked(JobRecord& job) {
+  job.state = JobState::kQueued;
+  job.preempt_yield = false;
+  job.preempt_requested = false;
+  job.cancel.store(false, std::memory_order_release);
+  job.resume_requested = true;  // the yield is a checkpoint: resume from it
+  job.parked_behind = job.preempted_by;
+  job.preempted_by = 0;
+  job.granted = 0;  // released by the worker; renegotiated at re-dispatch
+  ++job.preemptions;
+  obs::count(obs::Counter::kJobsPreempted, 1);
+  // Original finish tag: the job keeps its virtual start time, so the yield
+  // costs it no fairness credit — but it stays parked until the beneficiary
+  // has dispatched, else strict SFQ order would hand the grant right back.
+  queue_.restore(job.id, job.spec.job_class, job.cost, job.finish_tag);
+  peak_queue_depth_ = std::max(peak_queue_depth_, queue_.size());
+  service_marker("yield job=" + job.spec.name +
+                 " preemptions=" + std::to_string(job.preemptions));
 }
 
 std::uint64_t JobScheduler::negotiate_budget(JobRecord& job) {
@@ -220,6 +445,12 @@ std::uint64_t JobScheduler::negotiate_budget(JobRecord& job) {
       std::min(job.requested, cfg_.min_job_budget_bytes);
   std::uint64_t grant = job.requested;
   std::uint64_t shrinks = 0;
+  if (mode_ != ServiceMode::kNormal && grant / 2 >= floor) {
+    // Pressure/Shed: new grants start halved so more jobs fit the ledger
+    // and each job's chunk geometry shrinks with it.
+    grant /= 2;
+    ++shrinks;
+  }
   while (!governor_.try_reserve(grant)) {
     const std::uint64_t next = std::max(floor, grant / 2);
     HS_ASSERT_MSG(next != grant, "floor reservation failed under the lock");
@@ -244,10 +475,20 @@ void JobScheduler::worker_loop() {
 
     // Memory-eligibility snapshot for this dispatch round. The same
     // availability judges the dispatched job and the bystanders the
-    // fairness accounting charges it against.
+    // fairness accounting charges it against. A job parked behind a
+    // preemption beneficiary stays ineligible until the beneficiary has
+    // left the queue — strict SFQ order would otherwise hand the yielded
+    // grant straight back to the preempted job.
     const std::uint64_t avail = governor_.available_bytes();
     const auto floor_fits = [&](std::uint64_t h) {
-      const JobRecord& j = *jobs_.at(h);
+      JobRecord& j = *jobs_.at(h);
+      if (j.parked_behind != 0) {
+        const auto it = jobs_.find(j.parked_behind);
+        if (it != jobs_.end() && it->second->state == JobState::kQueued) {
+          return false;
+        }
+        j.parked_behind = 0;  // beneficiary dispatched or terminal: unpark
+      }
       return std::min(j.requested, cfg_.min_job_budget_bytes) <= avail;
     };
     const auto popped = queue_.pop_first_eligible(floor_fits);
@@ -259,9 +500,12 @@ void JobScheduler::worker_loop() {
     }
 
     JobRecord& job = *jobs_.at(*popped);
+    update_mode_locked();
     job.granted = negotiate_budget(job);
     job.state = JobState::kRunning;
-    job.queue_wait = seconds_since(job.submit_time);
+    job.pressure_dispatch = mode_ != ServiceMode::kNormal;
+    if (job.dispatches == 0) job.queue_wait = seconds_since(job.submit_time);
+    ++job.dispatches;
     ++running_;
 
     // Fairness accounting: the dispatched job's cost counts as bypass work
@@ -282,6 +526,27 @@ void JobScheduler::worker_loop() {
 
     --running_;
     governor_.release(job.granted);
+    if (job.preempt_yield) {
+      if (job.cancel_requested) {
+        // An explicit cancel raced the yield: honour the cancel (the
+        // journal survives either way).
+        job.preempt_yield = false;
+        job.preempt_requested = false;
+        job.preempted_by = 0;
+        job.state = JobState::kCancelled;
+        job.error_type = "SortCancelled";
+        job.error = "cancelled while yielding to a preemption";
+        obs::count(obs::Counter::kJobsCancelled, 1);
+      } else {
+        requeue_preempted_locked(job);
+      }
+    } else {
+      // Terminal outcome with a preempt request still pending (the job
+      // finished before reaching a checkpoint): nothing to yield.
+      job.preempt_requested = false;
+      job.preempted_by = 0;
+    }
+    update_mode_locked();
     persist_manifest_locked();
     idle_cv_.notify_all();
     dispatch_cv_.notify_all();  // released bytes may unblock waiters
@@ -298,6 +563,7 @@ void JobScheduler::run_job(JobRecord& job) {
   // concurrent outcome() poll never reads a half-written record.
   std::string error, error_type;
   JobState final_state = JobState::kFailed;
+  bool preempt_yield = false;
   unsigned attempts = 0;
   double virtual_seconds = 0;
   bool resumed = false;
@@ -339,6 +605,15 @@ void JobScheduler::run_job(JobRecord& job) {
     ecfg.journal = true;
     ecfg.io_faults = spec.io_faults;
     ecfg.cancel = &job.cancel;
+    if (job.pressure_dispatch) {
+      // Degraded-mode bias: smaller pinned staging and a batch planner that
+      // takes any modeled non-regression toward more, smaller batches. The
+      // chunk geometry above is untouched — the journal stays adoptable.
+      ecfg.pipeline.prefer_small_batches = true;
+      ecfg.pipeline.staging_elems =
+          std::max(core::MemoryGovernor::kMinStagingElems,
+                   ecfg.pipeline.staging_elems / 2);
+    }
 
     const unsigned max_attempts = 1 + spec.max_retries;
     for (unsigned attempt = 0;; ++attempt) {
@@ -355,13 +630,24 @@ void JobScheduler::run_job(JobRecord& job) {
         obs::count(obs::Counter::kJobsCompleted, 1);
         break;
       } catch (const io::SortCancelled& e) {
-        // Cancellation (explicit or deadline) is terminal for this
-        // scheduler run but crash-equivalent on disk: journaled runs
-        // survive for a later resume.
-        bool deadline = false;
+        // The stop flag fired; why it fired decides what happens next.
+        // Priority: deadline > explicit cancel > preemption. Every variant
+        // is crash-equivalent on disk — journaled runs survive.
+        bool deadline = false, explicit_cancel = false, preempt = false;
         {
           std::lock_guard<std::mutex> lk(mu_);
           deadline = job.deadline_fired;
+          explicit_cancel = job.cancel_requested;
+          preempt = job.preempt_requested;
+        }
+        if (!deadline && !explicit_cancel && preempt) {
+          // Checkpoint-and-yield: not terminal. The worker loop re-admits
+          // the job with its virtual start preserved; the next dispatch
+          // resumes from the journal, so the output is byte-identical to a
+          // never-preempted run.
+          preempt_yield = true;
+          final_state = JobState::kRunning;
+          break;
         }
         if (deadline) {
           const JobDeadlineExceeded d(spec.name, spec.deadline_seconds,
@@ -412,14 +698,18 @@ void JobScheduler::run_job(JobRecord& job) {
   }
 
   std::lock_guard<std::mutex> lk(mu_);
-  job.run_seconds = std::chrono::duration<double>(Clock::now() - start).count();
-  job.attempts = attempts;
-  job.virtual_seconds = virtual_seconds;
-  job.resumed = resumed;
+  // Accumulate across dispatches: a preempted job runs run_job() once per
+  // grant, and its outcome reports the whole story.
+  job.run_seconds +=
+      std::chrono::duration<double>(Clock::now() - start).count();
+  job.attempts += attempts;
+  job.virtual_seconds += virtual_seconds;
+  job.resumed = job.resumed || resumed;
   job.stats = stats;
   job.error = error;
   job.error_type = error_type;
   job.state = final_state;
+  job.preempt_yield = preempt_yield;
 }
 
 void JobScheduler::watchdog_loop() {
@@ -439,6 +729,7 @@ void JobScheduler::watchdog_loop() {
         const JobDeadlineExceeded d(job.spec.name, job.spec.deadline_seconds,
                                     elapsed);
         job.state = JobState::kFailed;
+        if (job.dispatches == 0) job.queue_wait = elapsed;
         job.error = d.what();
         job.error_type = "JobDeadlineExceeded";
         obs::count(obs::Counter::kJobsFailed, 1);
@@ -451,7 +742,9 @@ void JobScheduler::watchdog_loop() {
       }
     }
     // Ticks double as spurious dispatch wakeups so a worker parked on
-    // memory backpressure re-evaluates periodically.
+    // memory backpressure re-evaluates periodically, and as a periodic
+    // re-evaluation of the load-shedding mode.
+    update_mode_locked();
     dispatch_cv_.notify_all();
   }
 }
@@ -476,6 +769,7 @@ void JobScheduler::shutdown() {
 void JobScheduler::persist_manifest_locked() {
   if (!cfg_.manifest) return;
   ServiceManifest m;
+  m.watchdog_period_seconds = cfg_.watchdog_period_seconds;
   m.jobs.reserve(jobs_.size());
   for (const auto& [id, job] : jobs_) {
     // kFailed and kCancelled jobs stay pending: their journals are intact
@@ -509,6 +803,8 @@ JobOutcome JobScheduler::outcome(const std::string& name) const {
   out.degraded = job.degraded;
   out.attempts = job.attempts;
   out.resumed = job.resumed;
+  out.preemptions = job.preemptions;
+  out.estimate_seconds = job.estimate_seconds;
   out.bypass_cost = job.bypass_cost;
   out.stats = job.stats;
   return out;
@@ -536,8 +832,12 @@ std::string JobScheduler::report() const {
   std::lock_guard<std::mutex> lk(mu_);
   std::size_t completed = 0, failed = 0, cancelled = 0, queued = 0,
               running = 0;
-  std::map<std::string, std::vector<double>> waits, runs;
-  std::map<std::string, std::size_t> class_jobs;
+  struct ClassTally {
+    std::size_t jobs = 0, completed = 0, failed = 0, cancelled = 0;
+    unsigned preemptions = 0;
+    std::vector<double> waits, runs;
+  };
+  std::map<std::string, ClassTally> tally;
   for (const auto& [id, job] : jobs_) {
     switch (job->state) {
       case JobState::kQueued:
@@ -556,12 +856,29 @@ std::string JobScheduler::report() const {
         ++cancelled;
         break;
     }
-    ++class_jobs[job->spec.job_class];
-    if (job->state == JobState::kCompleted) {
-      waits[job->spec.job_class].push_back(job->queue_wait);
-      runs[job->spec.job_class].push_back(job->run_seconds);
+    ClassTally& t = tally[job->spec.job_class];
+    ++t.jobs;
+    t.preemptions += job->preemptions;
+    switch (job->state) {
+      case JobState::kCompleted: ++t.completed; break;
+      case JobState::kFailed: ++t.failed; break;
+      case JobState::kCancelled: ++t.cancelled; break;
+      default: break;
+    }
+    // Every terminal job that has a measured wait contributes to the
+    // percentiles — failed and cancelled included, so shed/cancelled load
+    // is visible in the latency table rather than silently absent.
+    if (job->state == JobState::kCompleted ||
+        job->state == JobState::kFailed ||
+        job->state == JobState::kCancelled) {
+      if (job->dispatches > 0 || job->queue_wait > 0) {
+        t.waits.push_back(job->queue_wait);
+      }
+      if (job->dispatches > 0) t.runs.push_back(job->run_seconds);
     }
   }
+  // Classes that only ever got rejected still deserve a row.
+  for (const auto& [klass, reasons] : rejections_) tally[klass];
 
   std::ostringstream os;
   os << "sort service report\n";
@@ -570,20 +887,33 @@ std::string JobScheduler::report() const {
      << " running=" << running << " queued=" << queued << '\n';
   os << "  queue: depth=" << queue_.size() << " peak=" << peak_queue_depth_
      << " capacity=" << queue_.capacity() << '\n';
+  os << "  mode: " << service_mode_name(mode_)
+     << " (transitions=" << mode_transitions_ << ", shedding="
+     << (cfg_.load_shedding ? "on" : "off") << ")\n";
   os << "  budget: total=" << governor_.budget_bytes()
      << "B reserved=" << governor_.reserved_bytes()
      << "B peak=" << governor_.peak_reserved_bytes() << "B\n";
   os << "  devices blacklisted: " << health_.count() << '\n';
-  for (const auto& [klass, count] : class_jobs) {
+  for (const auto& [klass, t] : tally) {
     os << "  class " << klass << " (w=" << queue_.weight(klass)
-       << "): jobs=" << count;
-    const auto wit = waits.find(klass);
-    if (wit != waits.end() && !wit->second.empty()) {
-      os << " wait_p50=" << percentile(wit->second, 0.50) * 1e3
-         << "ms wait_p99=" << percentile(wit->second, 0.99) * 1e3 << "ms";
-      const auto& rv = runs.at(klass);
-      os << " run_p50=" << percentile(rv, 0.50) * 1e3
-         << "ms run_p99=" << percentile(rv, 0.99) * 1e3 << "ms";
+       << "): jobs=" << t.jobs;
+    if (t.completed > 0) os << " completed=" << t.completed;
+    if (t.failed > 0) os << " failed=" << t.failed;
+    if (t.cancelled > 0) os << " cancelled=" << t.cancelled;
+    if (t.preemptions > 0) os << " preemptions=" << t.preemptions;
+    if (!t.waits.empty()) {
+      os << " wait_p50=" << percentile(t.waits, 0.50) * 1e3
+         << "ms wait_p99=" << percentile(t.waits, 0.99) * 1e3 << "ms";
+    }
+    if (!t.runs.empty()) {
+      os << " run_p50=" << percentile(t.runs, 0.50) * 1e3
+         << "ms run_p99=" << percentile(t.runs, 0.99) * 1e3 << "ms";
+    }
+    if (const auto rit = rejections_.find(klass); rit != rejections_.end()) {
+      os << " rejected:";
+      for (const auto& [reason, count] : rit->second) {
+        os << ' ' << reason << '=' << count;
+      }
     }
     os << '\n';
   }

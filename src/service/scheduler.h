@@ -15,6 +15,23 @@
 //     releases rather than OOM-ing the host. The per-job grant becomes the
 //     job's pipeline host budget, so the in-sort governor ladder
 //     (shrink-staging / spill) nests under the service-level grant;
+//   * SLO admission — with slo_admission enabled, a deadline job is priced
+//     at submit() through model::JobCostModel plus the committed queue
+//     work; an unmeetable deadline is refused immediately with the typed
+//     SloUnmeetable (estimate + earliest-feasible hint) instead of being
+//     admitted and cancelled at the deadline;
+//   * preemption — when a high-weight job arrives and the governor ledger
+//     cannot fit its floor, running lower-weight jobs are asked (at their
+//     existing cooperative cancellation checkpoints) to checkpoint-and-yield
+//     their grant: preemption ≡ crash-resume, so the journal survives and
+//     the resumed output is byte-identical. The fair queue re-admits the
+//     preempted job with its virtual start time preserved, parked until the
+//     beneficiary has dispatched;
+//   * degraded mode — a Normal → Pressure → Shed state machine driven by
+//     queue depth, ledger occupancy, and the DeviceHealthBoard. Pressure
+//     halves new grants and biases planner batch splits toward smaller
+//     footprints; Shed admits only the highest-weight class and refuses the
+//     rest with typed backpressure carrying a retry-after hint;
 //   * deadlines + watchdog — a background thread cancels jobs whose
 //     wall-clock age exceeds their deadline, queued or running. Running
 //     jobs stop at a cooperative cancellation point (io::SortCancelled)
@@ -44,12 +61,25 @@
 #include "core/device_health.h"
 #include "core/memory_governor.h"
 #include "model/platforms.h"
+#include "model/service_model.h"
 #include "service/fair_queue.h"
 #include "service/job.h"
 #include "service/manifest.h"
 #include "service/service_error.h"
 
 namespace hs::service {
+
+/// Load-shedding state machine (docs/service.md). Transitions are driven by
+/// queue depth (fraction of capacity), governor ledger occupancy, and the
+/// shared DeviceHealthBoard, evaluated at every submit, dispatch, completion
+/// and watchdog tick.
+enum class ServiceMode : std::uint8_t {
+  kNormal,    // full grants, all classes admitted
+  kPressure,  // new grants halved; planner biased to smaller footprints
+  kShed,      // only the highest-weight class admitted
+};
+
+std::string_view service_mode_name(ServiceMode m);
 
 struct SchedulerConfig {
   /// Root for the service manifest and per-job journal directories
@@ -77,8 +107,33 @@ struct SchedulerConfig {
   /// Fair-queueing classes; absent classes default to weight 1.0.
   std::vector<ClassConfig> classes;
 
-  /// Watchdog scan period for deadline enforcement.
+  /// Watchdog scan period for deadline enforcement (`serve
+  /// --watchdog-period-ms`; persisted in the service manifest).
   double watchdog_period_seconds = 0.02;
+
+  /// SLO admission: price deadline jobs through `cost_model` at submit()
+  /// and refuse unmeetable deadlines with SloUnmeetable. Off by default —
+  /// calibrate cost_model.wall_factor to the serving host first.
+  bool slo_admission = false;
+
+  /// Whole-job cost model for SLO admission and retry-after hints.
+  model::JobCostModel cost_model;
+
+  /// Preempt running lower-weight jobs (checkpoint-and-yield) when a
+  /// higher-weight arrival's budget floor cannot fit the ledger.
+  bool preemption = true;
+
+  /// Enable the Normal → Pressure → Shed state machine. Off keeps the mode
+  /// pinned at Normal (admission limited only by queue capacity).
+  bool load_shedding = false;
+
+  /// Mode thresholds: enter Pressure/Shed when the queue depth fraction or
+  /// ledger occupancy reaches these. A half-blacklisted device fleet also
+  /// forces at least Pressure.
+  double pressure_queue_fraction = 0.5;
+  double shed_queue_fraction = 0.9;
+  double pressure_ledger_fraction = 0.75;
+  double shed_ledger_fraction = 0.95;
 
   /// First retry backoff; doubles per retry. Kept tiny by default so tests
   /// stay fast; a real deployment would raise it.
@@ -134,6 +189,10 @@ class JobScheduler {
   core::DeviceHealthBoard& device_health() { return health_; }
   std::size_t queue_depth() const;
 
+  /// Current load-shedding mode and lifetime transition count.
+  ServiceMode mode() const;
+  std::size_t mode_transitions() const;
+
  private:
   struct JobRecord;
 
@@ -142,10 +201,19 @@ class JobScheduler {
   void run_job(JobRecord& job);
   void persist_manifest_locked();
   std::uint64_t negotiate_budget(JobRecord& job);
+  void update_mode_locked();
+  void requeue_preempted_locked(JobRecord& job);
+  void preempt_for_locked(const JobRecord& newcomer);
+  double committed_seconds_locked() const;
+  void record_rejection_locked(const std::string& klass,
+                               const std::string& reason);
+  model::JobCostBreakdown estimate_spec(const JobSpec& spec,
+                                        std::uint64_t requested) const;
 
   SchedulerConfig cfg_;
   core::MemoryGovernor governor_;
   core::DeviceHealthBoard health_;
+  double max_class_weight_ = 1.0;  // the class Shed mode protects
 
   mutable std::mutex mu_;
   std::condition_variable dispatch_cv_;  // queue pushes + budget releases
@@ -157,6 +225,12 @@ class JobScheduler {
   unsigned running_ = 0;
   std::size_t peak_queue_depth_ = 0;
   bool stop_ = false;
+  ServiceMode mode_ = ServiceMode::kNormal;
+  std::size_t mode_transitions_ = 0;
+  /// class -> rejection reason ("queue" / "shed" / "slo") -> count; feeds
+  /// the per-class rejection breakdown in report(). Rejected submissions
+  /// have no JobRecord, so they are tallied here.
+  std::map<std::string, std::map<std::string, std::size_t>> rejections_;
 
   std::vector<std::thread> workers_;
   std::thread watchdog_;

@@ -2,38 +2,96 @@
 //
 // The scheduler's contract under overload is *typed refusal, never OOM*:
 // every job either completes, or fails with an error naming exactly which
-// service policy stopped it — queue capacity (ServiceOverloaded), a wall
+// service policy stopped it — queue capacity or load shedding
+// (ServiceOverloaded, with a machine-readable reason and retry-after hint),
+// an unmeetable deadline caught at admission (SloUnmeetable), a wall
 // deadline (JobDeadlineExceeded), or an explicit cancel (surfaced as
 // io::SortCancelled). Clients distinguish "back off and resubmit" from
 // "this job can never run here" without parsing strings.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 
 #include "common/error.h"
 
 namespace hs::service {
 
-/// Thrown by JobScheduler::submit when the admission queue is full. This is
+/// Thrown by JobScheduler::submit when the admission queue is full
+/// (kQueueFull) or the load-shedding state machine is in Shed mode and the
+/// job's class is not the protected highest-weight class (kShed). This is
 /// the backpressure signal: the service is saturated and the client should
-/// retry later (the queue drains as workers finish), not a statement about
-/// the job itself.
+/// retry later — `retry_after_seconds` estimates when, from the committed
+/// work ahead — not a statement about the job itself.
 class ServiceOverloaded : public hs::Error {
  public:
-  ServiceOverloaded(std::size_t depth, std::size_t capacity)
-      : hs::Error("service overloaded: admission queue holds " +
-                  std::to_string(depth) + " of " + std::to_string(capacity) +
-                  " jobs; back off and resubmit"),
+  enum class Reason : std::uint8_t { kQueueFull, kShed };
+
+  ServiceOverloaded(std::size_t depth, std::size_t capacity,
+                    Reason reason = Reason::kQueueFull,
+                    double retry_after_seconds = 0)
+      : hs::Error(reason == Reason::kShed
+                      ? "service shedding load: only the highest-weight "
+                        "class is admitted; retry in ~" +
+                            std::to_string(retry_after_seconds) + "s"
+                      : "service overloaded: admission queue holds " +
+                            std::to_string(depth) + " of " +
+                            std::to_string(capacity) +
+                            " jobs; back off and resubmit in ~" +
+                            std::to_string(retry_after_seconds) + "s"),
         depth_(depth),
-        capacity_(capacity) {}
+        capacity_(capacity),
+        reason_(reason),
+        retry_after_seconds_(retry_after_seconds) {}
 
   std::size_t depth() const { return depth_; }
   std::size_t capacity() const { return capacity_; }
+  Reason reason() const { return reason_; }
+  /// Estimated seconds until a resubmission is likely to be admitted
+  /// (committed queue work divided by worker parallelism). 0 = unknown.
+  double retry_after_seconds() const { return retry_after_seconds_; }
 
  private:
   std::size_t depth_;
   std::size_t capacity_;
+  Reason reason_;
+  double retry_after_seconds_;
+};
+
+/// Thrown by JobScheduler::submit (SLO admission enabled) when the cost
+/// models say the job's deadline cannot be met even if everything goes
+/// right: estimated queue wait plus estimated run time exceeds the deadline.
+/// The job is never admitted — no worker time is burned on a hopeless job —
+/// and `earliest_feasible_seconds` tells the client the smallest deadline
+/// that would currently pass admission.
+class SloUnmeetable : public hs::Error {
+ public:
+  SloUnmeetable(const std::string& job, double deadline_seconds,
+                double estimate_seconds, double queue_seconds)
+      : hs::Error("job '" + job + "' cannot meet its deadline of " +
+                  std::to_string(deadline_seconds) + "s: estimated run " +
+                  std::to_string(estimate_seconds) + "s after ~" +
+                  std::to_string(queue_seconds) +
+                  "s of committed queue work; earliest feasible deadline ~" +
+                  std::to_string(estimate_seconds + queue_seconds) + "s"),
+        deadline_seconds_(deadline_seconds),
+        estimate_seconds_(estimate_seconds),
+        queue_seconds_(queue_seconds) {}
+
+  double deadline_seconds() const { return deadline_seconds_; }
+  /// Modeled run time of the job itself (form + merge + disk legs).
+  double estimate_seconds() const { return estimate_seconds_; }
+  /// Modeled wait for the committed work already queued or running.
+  double queue_seconds() const { return queue_seconds_; }
+  double earliest_feasible_seconds() const {
+    return estimate_seconds_ + queue_seconds_;
+  }
+
+ private:
+  double deadline_seconds_;
+  double estimate_seconds_;
+  double queue_seconds_;
 };
 
 /// Recorded (never thrown across the worker boundary — it lands in

@@ -103,6 +103,49 @@ TEST(GovernorConcurrency, UnlimitedGovernorAdmitsEverythingAndBalances) {
   EXPECT_GT(gov.peak_reserved_bytes(), 0u) << "books still kept when unlimited";
 }
 
+TEST(GovernorConcurrency, YieldChurnReReservesSmallerWithoutLeaks) {
+  // The preemption yield pattern from the service scheduler: a running job
+  // releases its whole grant, then the re-admitted job renegotiates a
+  // smaller one — concurrently across many workers. The ledger must never
+  // exceed the budget, occupancy must stay in [0, 1], and every byte must
+  // come back.
+  constexpr std::uint64_t kBudget = 4ull << 20;
+  MemoryGovernor gov(kBudget);
+
+  std::atomic<bool> violated{false};
+  std::vector<std::thread> threads;
+  for (unsigned t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Xoshiro256 rng(0xcafe + t);
+      for (int round = 0; round < kRoundsPerThread; ++round) {
+        const std::uint64_t grant = (kBudget / 4) >> rng.bounded(3);
+        if (!gov.try_reserve(grant)) continue;
+        const double occ = gov.occupancy();
+        if (occ < 0.0 || occ > 1.0) violated.store(true);
+        // Yield: hand the whole grant back, come back halved.
+        gov.release(grant);
+        const std::uint64_t smaller = std::max<std::uint64_t>(1, grant / 2);
+        if (gov.try_reserve(smaller)) {
+          if (gov.reserved_bytes() > kBudget) violated.store(true);
+          gov.release(smaller);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  EXPECT_FALSE(violated.load()) << "invariant broke during yield churn";
+  EXPECT_EQ(gov.reserved_bytes(), 0u) << "a yielded grant leaked";
+  EXPECT_DOUBLE_EQ(gov.occupancy(), 0.0);
+  EXPECT_LE(gov.peak_reserved_bytes(), kBudget);
+
+  MemoryGovernor unlimited(0);
+  ASSERT_TRUE(unlimited.try_reserve(1ull << 30));
+  EXPECT_DOUBLE_EQ(unlimited.occupancy(), 0.0)
+      << "an unlimited ledger has no meaningful occupancy";
+  unlimited.release(1ull << 30);
+}
+
 TEST(GovernorConcurrency, ConcurrentDecisionRecordingLosesNothing) {
   MemoryGovernor gov(1ull << 30);
   constexpr int kPerThread = 500;

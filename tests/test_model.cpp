@@ -11,6 +11,7 @@
 #include "model/pcie_model.h"
 #include "model/pinned_alloc_model.h"
 #include "model/platforms.h"
+#include "model/service_model.h"
 
 namespace hs::model {
 namespace {
@@ -197,6 +198,45 @@ TEST(ReferenceSort, Platform2FasterCpuThanPlatform1) {
   // Higher clock and more cores.
   EXPECT_LT(platform2().cpu_sort.time(1'000'000'000, 20),
             platform1().cpu_sort.time(1'000'000'000, 16));
+}
+
+TEST(JobCostModel, EstimateIsPositiveMonotonicAndItemised) {
+  const Platform p = platform1();
+  const JobCostModel m;
+
+  JobCostInputs small;
+  small.n = 100'000;
+  small.chunk_elems = 0;  // fits in one chunk: no external merge
+  const JobCostBreakdown one = m.estimate(p, small);
+  EXPECT_EQ(one.chunks, 1u);
+  EXPECT_GT(one.form_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(one.merge_seconds, 0.0) << "single run needs no merge";
+  EXPECT_GT(one.io_seconds, 0.0);
+  EXPECT_GT(one.total(), 0.0);
+
+  JobCostInputs chunked = small;
+  chunked.chunk_elems = 10'000;  // 10 runs: merge + double the disk legs
+  const JobCostBreakdown ten = m.estimate(p, chunked);
+  EXPECT_EQ(ten.chunks, 10u);
+  EXPECT_GT(ten.merge_seconds, 0.0);
+  EXPECT_GT(ten.io_seconds, one.io_seconds);
+  EXPECT_GT(ten.total(), one.total());
+
+  JobCostInputs bigger = chunked;
+  bigger.n *= 8;
+  EXPECT_GT(m.estimate(p, bigger).total(), ten.total())
+      << "cost must grow with input size";
+
+  JobCostModel scaled = m;
+  scaled.wall_factor = 3.0;
+  EXPECT_NEAR(scaled.estimate(p, chunked).form_seconds,
+              3.0 * ten.form_seconds, 1e-12)
+      << "wall_factor calibrates the pipeline legs";
+
+  // CPU fallback: a platform with no GPUs still prices run formation.
+  Platform cpu_only = p;
+  cpu_only.gpus.clear();
+  EXPECT_GT(m.estimate(cpu_only, chunked).form_seconds, 0.0);
 }
 
 class SortModelThreadSweep : public ::testing::TestWithParam<unsigned> {};

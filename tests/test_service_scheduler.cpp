@@ -22,6 +22,8 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <cstdlib>
 #include <cstring>
@@ -35,7 +37,9 @@
 #include "io/external_sort.h"
 #include "io/journal.h"
 #include "io/run_file.h"
+#include "model/service_model.h"
 #include "obs/counters.h"
+#include "obs/span.h"
 #include "service/fair_queue.h"
 #include "service/manifest.h"
 #include "service/scheduler.h"
@@ -161,6 +165,29 @@ TEST(FairQueueUnit, CapacityAndRemoval) {
   EXPECT_TRUE(q.empty());
 }
 
+TEST(FairQueueUnit, RestoreKeepsTagAndDoesNotAdvanceVirtualTime) {
+  FairQueue q({}, 8);
+  ASSERT_TRUE(q.push(1, "a", 100));
+  const double f1 = q.last_finish("a");
+  ASSERT_TRUE(q.push(2, "a", 100));
+  const double f2 = q.last_finish("a");
+  EXPECT_GT(f2, f1);
+  auto h = q.pop();
+  ASSERT_TRUE(h.has_value());
+  EXPECT_EQ(*h, 1u);
+  // The preemption path: a dispatched job comes back with its original tag.
+  q.restore(1, "a", 100, f1);
+  EXPECT_DOUBLE_EQ(q.last_finish("a"), f2)
+      << "restore must not advance the class virtual time";
+  h = q.pop();
+  ASSERT_TRUE(h.has_value());
+  EXPECT_EQ(*h, 1u) << "restored job keeps its place ahead of later arrivals";
+  h = q.pop();
+  ASSERT_TRUE(h.has_value());
+  EXPECT_EQ(*h, 2u);
+  EXPECT_TRUE(q.empty());
+}
+
 TEST(FairQueueUnit, EligibilityFilterSkipsParkedClasses) {
   FairQueue q({}, 8);
   ASSERT_TRUE(q.push(1, "a", 1));
@@ -229,6 +256,37 @@ TEST(ServiceManifest, RoundTripsAndRejectsTampering) {
   std::filesystem::remove_all(dir);
 }
 
+TEST(ServiceManifest, WatchdogPeriodRoundTripsAndDefaultsToUnset) {
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() /
+      ("hetsort_manifest_wd_" + std::to_string(::getpid()));
+  std::filesystem::create_directories(dir);
+
+  JobSpec a;
+  a.name = "j";
+  a.n = 10;
+  a.output_path = (dir / "o.bin").string();
+
+  ServiceManifest m;
+  m.watchdog_period_seconds = 0.125;
+  m.jobs.push_back({a, false});
+  save_manifest(m, dir.string());
+  auto loaded = load_manifest(dir.string());
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_DOUBLE_EQ(loaded->watchdog_period_seconds, 0.125);
+  ASSERT_EQ(loaded->jobs.size(), 1u);
+
+  // A manifest written without the config line (older services) loads with
+  // the period unset, so the scheduler default applies.
+  ServiceManifest bare;
+  bare.jobs.push_back({a, false});
+  save_manifest(bare, dir.string());
+  loaded = load_manifest(dir.string());
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_DOUBLE_EQ(loaded->watchdog_period_seconds, 0.0);
+  std::filesystem::remove_all(dir);
+}
+
 // --- basic service flow ------------------------------------------------------
 
 TEST_F(ServiceSchedulerTest, JobsCompleteByteIdentical) {
@@ -287,10 +345,21 @@ TEST_F(ServiceSchedulerTest, OverloadDemoFaultyJobsCompleteOrRejectTyped) {
 
   // Two long anchors occupy both workers, then the queue fills to capacity;
   // every further submission must be rejected with the typed backpressure
-  // error (submissions are microseconds, the anchors run much longer).
+  // error. The burst waits until both anchors have actually been dispatched
+  // — sanitizer builds wake worker threads slowly enough that an immediate
+  // burst would fill the queue under the anchors and skew the admit count.
   std::vector<JobSpec> admitted;
   std::size_t rejected = 0;
   for (int i = 0; i < 12; ++i) {
+    if (i == 2) {
+      const auto give_up =
+          std::chrono::steady_clock::now() + std::chrono::seconds(30);
+      while ((sched.outcome("j0").state == JobState::kQueued ||
+              sched.outcome("j1").state == JobState::kQueued) &&
+             std::chrono::steady_clock::now() < give_up) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    }
     JobSpec s = job("j" + std::to_string(i), i < 2 ? 60000 : 20000);
     s.job_class = i % 2 == 0 ? "batch" : "interactive";
     s.host_budget_bytes = 4ull << 20;
@@ -565,6 +634,358 @@ TEST_F(ServiceSchedulerTest, DeviceBlacklistIsSharedAcrossJobs) {
   EXPECT_EQ(out.stats.pipeline_recovery.devices_blacklisted, 0u)
       << "the shared board should spare the rediscovery";
   expect_byte_identical(clean);
+}
+
+// --- SLO admission -----------------------------------------------------------
+
+TEST_F(ServiceSchedulerTest, SloAdmissionRejectsHopelessDeadlineTyped) {
+  const auto before = obs::counters().snapshot();
+  SchedulerConfig cfg = base_config();
+  cfg.workers = 1;
+  cfg.slo_admission = true;
+  JobScheduler sched(cfg);
+
+  JobSpec hopeless = job("hopeless", 200000);
+  hopeless.deadline_seconds = 1e-9;
+  try {
+    sched.submit(hopeless);
+    FAIL() << "a nanosecond deadline must be refused at admission";
+  } catch (const SloUnmeetable& e) {
+    EXPECT_DOUBLE_EQ(e.deadline_seconds(), 1e-9);
+    EXPECT_GT(e.estimate_seconds(), 0.0);
+    EXPECT_DOUBLE_EQ(e.queue_seconds(), 0.0) << "service was empty";
+    EXPECT_GE(e.earliest_feasible_seconds(), e.estimate_seconds());
+  }
+  EXPECT_TRUE(sched.outcomes().empty())
+      << "never admit-then-cancel: a rejected job leaves no record";
+
+  // The same name with a feasible deadline is admitted and completes — the
+  // refusal burned no worker time and reserved no state.
+  hopeless.deadline_seconds = 3600;
+  sched.submit(hopeless);
+  sched.drain();
+  const JobOutcome out = sched.outcome("hopeless");
+  EXPECT_EQ(out.state, JobState::kCompleted) << out.error;
+  EXPECT_GT(out.estimate_seconds, 0.0);
+  expect_byte_identical(hopeless);
+
+  const auto delta = obs::counters().snapshot() - before;
+  EXPECT_EQ(delta.value(obs::Counter::kJobsSloRejected), 1u);
+  const std::string report = sched.report();
+  EXPECT_NE(report.find("slo=1"), std::string::npos) << report;
+}
+
+TEST_F(ServiceSchedulerTest, SloAdmissionChargesCommittedQueueWork) {
+  SchedulerConfig cfg = base_config();
+  cfg.workers = 1;
+  cfg.slo_admission = true;
+  JobScheduler sched(cfg);
+
+  sched.submit(job("anchor", 400000));
+  const double anchor_est = sched.outcome("anchor").estimate_seconds;
+  ASSERT_GT(anchor_est, 0.0);
+
+  // Price the newcomer with the same models the scheduler uses, so the
+  // thresholds below are exact rather than tuned magic numbers.
+  JobSpec tight = job("tight", 20000);
+  model::JobCostInputs in;
+  in.n = tight.n;
+  in.chunk_elems = tight.memory_budget_elems;
+  in.merge_threads = std::max(1u, tight.pipeline.multiway_threads);
+  const double self_est = cfg.cost_model.estimate(cfg.platform, in).total();
+  ASSERT_GT(self_est, 0.0);
+
+  // Feasible alone, hopeless behind the anchor: only the committed-work
+  // charge can reject it.
+  tight.deadline_seconds = self_est + 0.5 * anchor_est;
+  EXPECT_THROW(sched.submit(tight), SloUnmeetable);
+
+  // Generous absolute slack: admission is decided from the estimates (the
+  // charge above is the pin), but the watchdog enforces the deadline
+  // against *wall* time, and sanitizer builds run the sort ~10x slower
+  // than the model's calibration.
+  tight.deadline_seconds = self_est + 2.0 * anchor_est + 30.0;
+  sched.submit(tight);
+  sched.drain();
+  EXPECT_EQ(sched.outcome("tight").state, JobState::kCompleted)
+      << sched.outcome("tight").error;
+  EXPECT_EQ(sched.outcome("anchor").state, JobState::kCompleted);
+}
+
+// --- preemptive grant re-negotiation -----------------------------------------
+
+TEST_F(ServiceSchedulerTest, PreemptionYieldsGrantAndResumesByteIdentical) {
+  const auto before = obs::counters().snapshot();
+  SchedulerConfig cfg = base_config();
+  cfg.workers = 1;
+  cfg.host_budget_bytes = 2ull << 20;
+  cfg.default_job_budget_bytes = 2ull << 20;
+  cfg.min_job_budget_bytes = 1ull << 20;
+  cfg.classes = {{"lo", 1.0}, {"hi", 8.0}};
+  JobScheduler sched(cfg);
+
+  JobSpec victim = job("victim", 200000);
+  victim.job_class = "lo";
+  victim.memory_budget_elems = 4000;  // 50 chunks: plenty of checkpoints
+  sched.submit(victim);
+  // Wait for durable progress (not merely kRunning): a yield before the
+  // first sealed run would have nothing to resume, and this test pins the
+  // resumed-from-checkpoint contract.
+  const std::string victim_dir = (root_ / "jobs" / "victim").string();
+  for (;;) {
+    const auto j = io::load_journal(victim_dir);
+    if (j.has_value() && !j->runs.empty()) break;
+    std::this_thread::yield();
+  }
+
+  // The whole ledger is granted to the victim; the high-weight arrival's
+  // floor cannot fit, so the victim must checkpoint-and-yield.
+  JobSpec urgent = job("urgent", 20000);
+  urgent.job_class = "hi";
+  sched.submit(urgent);
+  sched.drain();
+
+  const JobOutcome hi = sched.outcome("urgent");
+  ASSERT_EQ(hi.state, JobState::kCompleted) << hi.error;
+  const JobOutcome lo = sched.outcome("victim");
+  ASSERT_EQ(lo.state, JobState::kCompleted) << lo.error;
+  EXPECT_EQ(lo.preemptions, 1u);
+  EXPECT_TRUE(lo.resumed)
+      << "the yield is a checkpoint: the journal must be resumed, not redone";
+  EXPECT_GE(lo.attempts, 2u) << "one attempt per grant";
+  expect_byte_identical(victim);
+  expect_byte_identical(urgent);
+
+  EXPECT_EQ(sched.governor().reserved_bytes(), 0u);
+  const auto delta = obs::counters().snapshot() - before;
+  EXPECT_EQ(delta.value(obs::Counter::kJobsPreempted), 1u);
+  EXPECT_EQ(delta.value(obs::Counter::kJobsCancelled), 0u)
+      << "a preemption is not a cancellation";
+  const std::string report = sched.report();
+  EXPECT_NE(report.find("preemptions=1"), std::string::npos) << report;
+}
+
+// --- degraded mode state machine ---------------------------------------------
+
+TEST_F(ServiceSchedulerTest, LoadSheddingWalksNormalPressureShed) {
+  const auto before = obs::counters().snapshot();
+  obs::SpanRecorder rec;
+  obs::install(&rec);
+  SchedulerConfig cfg = base_config();
+  cfg.workers = 1;
+  cfg.queue_capacity = 4;
+  cfg.load_shedding = true;
+  cfg.pressure_queue_fraction = 0.5;
+  cfg.shed_queue_fraction = 0.75;
+  cfg.classes = {{"bulk", 1.0}, {"gold", 4.0}};
+  std::size_t shed_rejected = 0;
+  {
+    JobScheduler sched(cfg);
+    EXPECT_EQ(sched.mode(), ServiceMode::kNormal);
+
+    // A long anchor pins the single worker so the queue depth is scripted
+    // purely by submissions.
+    JobSpec anchor = job("anchor", 400000);
+    anchor.job_class = "gold";
+    anchor.memory_budget_elems = 4000;
+    sched.submit(anchor);
+    while (sched.outcome("anchor").state == JobState::kQueued) {
+      std::this_thread::yield();
+    }
+
+    for (int i = 0; i < 3; ++i) {
+      JobSpec b = job("bulk" + std::to_string(i), 20000);
+      b.job_class = "bulk";
+      sched.submit(b);  // depth 1, 2 (=> pressure), 3
+    }
+    EXPECT_EQ(sched.mode(), ServiceMode::kPressure);
+
+    // Depth 3/4 crosses the shed threshold: the next low-weight submission
+    // sees Shed mode and is refused typed, with a retry-after hint.
+    JobSpec shedme = job("shedme", 20000);
+    shedme.job_class = "bulk";
+    try {
+      sched.submit(shedme);
+      FAIL() << "bulk must be shed at depth 3/4";
+    } catch (const ServiceOverloaded& e) {
+      ++shed_rejected;
+      EXPECT_EQ(e.reason(), ServiceOverloaded::Reason::kShed);
+      EXPECT_GT(e.retry_after_seconds(), 0.0);
+    }
+    EXPECT_EQ(sched.mode(), ServiceMode::kShed);
+
+    // The protected highest-weight class is still admitted in Shed mode.
+    JobSpec vip = job("vip", 20000);
+    vip.job_class = "gold";
+    sched.submit(vip);
+
+    sched.drain();
+    EXPECT_EQ(sched.mode(), ServiceMode::kNormal) << "recovered after drain";
+    EXPECT_GE(sched.mode_transitions(), 3u);
+    for (const JobOutcome& out : sched.outcomes()) {
+      EXPECT_EQ(out.state, JobState::kCompleted) << out.name << out.error;
+    }
+
+    const std::string report = sched.report();
+    EXPECT_NE(report.find("mode: normal"), std::string::npos) << report;
+    EXPECT_NE(report.find("shedding=on"), std::string::npos) << report;
+    EXPECT_NE(report.find("rejected: shed=1"), std::string::npos) << report;
+  }
+  obs::install(nullptr);
+
+  const auto delta = obs::counters().snapshot() - before;
+  EXPECT_EQ(delta.value(obs::Counter::kJobsShedRejected), shed_rejected);
+  EXPECT_GE(delta.value(obs::Counter::kServiceModeTransitions), 3u);
+
+  bool saw_pressure = false, saw_shed_mode = false, saw_shed_job = false;
+  for (const obs::Span& s : rec.snapshot()) {
+    if (s.category != "Service") continue;
+    saw_pressure |= s.name.rfind("mode normal->pressure", 0) == 0;
+    saw_shed_mode |= s.name.rfind("mode pressure->shed", 0) == 0;
+    saw_shed_job |= s.name.rfind("shed job=shedme", 0) == 0;
+  }
+  EXPECT_TRUE(saw_pressure) << "mode transition must hit the span timeline";
+  EXPECT_TRUE(saw_shed_mode);
+  EXPECT_TRUE(saw_shed_job);
+}
+
+TEST_F(ServiceSchedulerTest, WatchdogPeriodPersistsInServiceManifest) {
+  SchedulerConfig cfg = base_config();
+  cfg.watchdog_period_seconds = 0.125;
+  {
+    JobScheduler sched(cfg);
+    sched.submit(job("w", 10000));
+    sched.drain();
+  }
+  const auto m = load_manifest(root_.string());
+  ASSERT_TRUE(m.has_value());
+  EXPECT_DOUBLE_EQ(m->watchdog_period_seconds, 0.125)
+      << "serve --resume must be able to keep the watchdog cadence";
+}
+
+// --- preempt / crash / deadline interleave on one job ------------------------
+
+TEST_F(ServiceSchedulerTest, PreemptCrashDeadlineInterleaveStaysByteIdentical) {
+  for (const std::uint64_t seed : {1u, 2u, 3u}) {
+    const std::filesystem::path root = root_ / ("seed" + std::to_string(seed));
+    std::filesystem::create_directories(root);
+    SchedulerConfig cfg;
+    cfg.service_dir = root.string();
+    cfg.platform = tiny_platform();
+    cfg.workers = 2;
+    cfg.host_budget_bytes = 2ull << 20;
+    cfg.default_job_budget_bytes = 2ull << 20;
+    cfg.min_job_budget_bytes = 1ull << 20;
+    cfg.retry_backoff_seconds = 1e-3;
+    cfg.watchdog_period_seconds = 0.005;
+    cfg.classes = {{"lo", 1.0}, {"hi", 8.0}};
+    JobScheduler sched(cfg);
+
+    // Invariant sampler: the ledger must never exceed the budget, whatever
+    // the preempt/crash/cancel interleaving does to grants.
+    std::atomic<bool> sampling{true};
+    std::atomic<std::size_t> violations{0};
+    std::thread sampler([&] {
+      while (sampling.load(std::memory_order_acquire)) {
+        if (sched.governor().reserved_bytes() > cfg.host_budget_bytes) {
+          violations.fetch_add(1, std::memory_order_relaxed);
+        }
+        std::this_thread::yield();
+      }
+    });
+
+    JobSpec victim;
+    victim.name = "victim";
+    victim.n = 60000;
+    victim.seed = seed;
+    victim.output_path = (root / "victim.out").string();
+    victim.job_class = "lo";
+    victim.pipeline = tiny_pipeline();
+    victim.memory_budget_elems = 4000;  // 15 chunks of checkpoints
+    victim.io_buffer_elems = 512;
+    victim.max_retries = 2;
+    victim.crash_after_runs = 2;      // first grant dies mid-flight
+    victim.deadline_seconds = 0.08;   // first life likely deadline-cancelled
+    sched.submit(victim);
+
+    // Disturbance loop: random preemptions (high-weight arrivals against an
+    // exhausted ledger) and explicit cancels rain on the victim while the
+    // crash hook and the watchdog fire. Whenever the victim lands terminal,
+    // it is reopened under the same name and resumes from its journal.
+    Xoshiro256 rng(seed * 977 + 5);
+    int hi_jobs = 0;
+    bool completed = false;
+    for (int round = 0; round < 400; ++round) {
+      const JobState st = sched.outcome("victim").state;
+      if (st == JobState::kCompleted) {
+        completed = true;
+        break;
+      }
+      if (st == JobState::kFailed || st == JobState::kCancelled) {
+        JobSpec again = victim;
+        again.crash_after_runs = 0;
+        again.deadline_seconds = 0;  // reopen clears the deadline
+        try {
+          sched.submit(again);
+        } catch (const ServiceOverloaded&) {
+        }
+        continue;
+      }
+      if (round < 30) {
+        const std::uint64_t act = rng.bounded(3);
+        if (act == 0) {
+          JobSpec hi;
+          hi.name = "hi" + std::to_string(hi_jobs++);
+          hi.n = 20000;
+          hi.seed = seed * 1000 + static_cast<std::uint64_t>(hi_jobs);
+          hi.output_path = (root / (hi.name + ".out")).string();
+          hi.job_class = "hi";
+          hi.pipeline = tiny_pipeline();
+          hi.memory_budget_elems = 8000;
+          hi.io_buffer_elems = 512;
+          try {
+            sched.submit(hi);
+          } catch (const ServiceOverloaded&) {
+            --hi_jobs;
+          }
+        } else if (act == 1 && st == JobState::kRunning) {
+          sched.cancel("victim");
+        }
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    sched.drain();
+    if (!completed) {
+      completed = sched.outcome("victim").state == JobState::kCompleted;
+    }
+    sampling.store(false, std::memory_order_release);
+    sampler.join();
+
+    ASSERT_TRUE(completed)
+        << "seed " << seed << ": victim never recovered: "
+        << sched.outcome("victim").error_type << " "
+        << sched.outcome("victim").error;
+    EXPECT_EQ(violations.load(), 0u)
+        << "ledger exceeded the budget mid-interleave";
+    EXPECT_EQ(sched.governor().reserved_bytes(), 0u);
+
+    // Byte-identity after an arbitrary preempt/crash/cancel history.
+    std::vector<double> expect =
+        data::generate(victim.dist, victim.n, victim.seed);
+    std::sort(expect.begin(), expect.end());
+    const std::vector<double> got = io::read_doubles(victim.output_path);
+    ASSERT_EQ(got.size(), expect.size()) << "seed " << seed;
+    EXPECT_EQ(0, std::memcmp(got.data(), expect.data(),
+                             got.size() * sizeof(double)))
+        << "seed " << seed;
+    for (const JobOutcome& out : sched.outcomes()) {
+      if (out.name.rfind("hi", 0) == 0) {
+        EXPECT_EQ(out.state, JobState::kCompleted)
+            << out.name << ": " << out.error;
+      }
+    }
+    sched.shutdown();
+  }
 }
 
 // --- concurrent seeded fault fuzz --------------------------------------------

@@ -32,7 +32,19 @@
 //   --resume                resume pending jobs from the service manifest
 //                           (newly generated jobs are then skipped)
 //   --crash-after-jobs K    test hook: _Exit(137) after K jobs complete
-//   --report                print the service report (queue, budget, p50/p99)
+//   --report                print the service report (queue, budget, p50/p99,
+//                           mode, per-class rejection breakdown)
+//   --watchdog-period-ms M  deadline watchdog scan period; persisted in the
+//                           manifest, so --resume keeps it unless overridden
+//   --slo                   price deadline jobs at submit and refuse
+//                           unmeetable deadlines (typed SloUnmeetable)
+//   --shed-policy P         off|balanced|aggressive: Normal/Pressure/Shed
+//                           load-shedding thresholds (default off)
+//   --submit-retries K      give up after K overload rejections (0 = retry
+//                           forever); rejections print typed reasons and do
+//                           not affect the exit code
+//   --fault-rate P          seeded per-job fault injection (transfer/staging
+//                           at P, durable I/O at P/2) for overload soaks
 //
 // Options:
 //   --host-budget BYTES     host memory budget; the governor shrinks staging
@@ -130,6 +142,11 @@ struct Options {
   std::uint64_t crash_after_jobs = 0;
   bool serve_report = false;
   unsigned span_sample = 0;  // serve: 1-in-N root-span sampling (0 = off)
+  double watchdog_period_ms = 0;    // 0 = scheduler default / manifest value
+  bool slo_admission = false;       // price deadlines at submit (SloUnmeetable)
+  std::string shed_policy = "off";  // off|balanced|aggressive
+  std::uint64_t submit_retries = 0;  // 0 = retry overloads forever
+  double fault_rate = 0;  // serve: seeded per-job fault probability
 };
 
 [[noreturn]] void usage(const char* msg = nullptr) {
@@ -329,6 +346,24 @@ Options parse(int argc, char** argv) {
       o.deadline_seconds = parse_seconds("--deadline", next(i));
     } else if (flag == "--crash-after-jobs") {
       o.crash_after_jobs = parse_count("--crash-after-jobs", next(i));
+    } else if (flag == "--watchdog-period-ms") {
+      o.watchdog_period_ms = parse_seconds("--watchdog-period-ms", next(i));
+      if (!(o.watchdog_period_ms > 0)) {
+        usage("--watchdog-period-ms must be positive");
+      }
+    } else if (flag == "--slo") {
+      o.slo_admission = true;
+    } else if (flag == "--shed-policy") {
+      o.shed_policy = next(i);
+      if (o.shed_policy != "off" && o.shed_policy != "balanced" &&
+          o.shed_policy != "aggressive") {
+        usage("--shed-policy must be off|balanced|aggressive");
+      }
+    } else if (flag == "--submit-retries") {
+      o.submit_retries = parse_count("--submit-retries", next(i));
+    } else if (flag == "--fault-rate") {
+      o.fault_rate = parse_seconds("--fault-rate", next(i));
+      if (o.fault_rate > 1.0) usage("--fault-rate must be in [0, 1]");
     } else if (flag == "--report" && o.command == "serve") {
       o.serve_report = true;
     } else if (flag == "--span-sample") {
@@ -606,6 +641,27 @@ int cmd_serve(const Options& o) {
   scfg.min_job_budget_bytes = std::max<std::uint64_t>(1, o.min_job_budget);
   scfg.classes = parse_classes(o.classes_spec);
   scfg.platform = pick_platform(o.platform);
+  scfg.slo_admission = o.slo_admission;
+  if (o.shed_policy == "balanced") {
+    scfg.load_shedding = true;
+  } else if (o.shed_policy == "aggressive") {
+    scfg.load_shedding = true;
+    scfg.pressure_queue_fraction = 0.25;
+    scfg.pressure_ledger_fraction = 0.5;
+    scfg.shed_queue_fraction = 0.6;
+    scfg.shed_ledger_fraction = 0.8;
+  }
+  // Watchdog-period precedence: an explicit flag wins; otherwise --resume
+  // keeps the cadence recorded in the manifest; otherwise the built-in
+  // default stands.
+  if (o.watchdog_period_ms > 0) {
+    scfg.watchdog_period_seconds = o.watchdog_period_ms / 1000.0;
+  } else if (o.resume) {
+    if (const auto m = service::load_manifest(o.service_dir);
+        m.has_value() && m->watchdog_period_seconds > 0) {
+      scfg.watchdog_period_seconds = m->watchdog_period_seconds;
+    }
+  }
   service::JobScheduler scheduler(scfg);
 
   std::vector<std::string> names;
@@ -632,17 +688,57 @@ int cmd_serve(const Options& o) {
       spec.pipeline = o.cfg;
       spec.pipeline.host_budget_bytes = 0;  // the service grant governs
       spec.memory_budget_elems = o.budget;
-      // Backpressure loop: a full queue is a typed retry-later signal, so
-      // the client backs off and resubmits instead of failing.
-      for (;;) {
+      if (o.fault_rate > 0) {
+        // Seeded per-job fault mix for overload-storm soaks: transfer and
+        // staging faults at the full rate, durable-I/O faults at half, both
+        // budget-capped so a job still terminates. The soak runs the
+        // resilient configuration — recovery absorbs transfer faults so an
+        // admitted job completes rather than burning its retry budget.
+        spec.pipeline.recovery.enabled = true;
+        spec.pipeline.faults.seed = o.seed + 1000 * (i + 1);
+        spec.pipeline.faults.p(sim::FaultSite::kHtoD) = o.fault_rate;
+        spec.pipeline.faults.p(sim::FaultSite::kStagingCopy) = o.fault_rate;
+        spec.pipeline.faults.max_faults = 4;
+        spec.io_faults.seed = o.seed + 2000 * (i + 1);
+        spec.io_faults.p(sim::FaultSite::kFileWrite) = o.fault_rate / 2;
+        spec.io_faults.max_faults = 2;
+      }
+      // Backpressure loop: a full queue (or shed mode) is a typed
+      // retry-later signal, so the client backs off and resubmits — up to
+      // --submit-retries times (0 = forever). An SLO refusal is final by
+      // design: resubmitting an unmeetable deadline cannot help. Typed
+      // rejections are the service working as intended, not job failures,
+      // so they never affect the exit code.
+      bool admitted = false;
+      for (std::uint64_t attempt = 0;; ++attempt) {
         try {
           scheduler.submit(spec);
+          admitted = true;
           break;
-        } catch (const service::ServiceOverloaded&) {
+        } catch (const service::SloUnmeetable& e) {
+          std::printf(
+              "  %-12s rejected   class=%-8s reason=slo estimate=%.3fs "
+              "queue=%.3fs deadline=%.3fs earliest-feasible=%.3fs\n",
+              spec.name.c_str(), spec.job_class.c_str(),
+              e.estimate_seconds(), e.queue_seconds(), e.deadline_seconds(),
+              e.earliest_feasible_seconds());
+          break;
+        } catch (const service::ServiceOverloaded& e) {
+          if (o.submit_retries > 0 && attempt + 1 >= o.submit_retries) {
+            std::printf(
+                "  %-12s rejected   class=%-8s reason=%s depth=%zu/%zu "
+                "retry-after=%.3fs\n",
+                spec.name.c_str(), spec.job_class.c_str(),
+                e.reason() == service::ServiceOverloaded::Reason::kShed
+                    ? "shed"
+                    : "queue",
+                e.depth(), e.capacity(), e.retry_after_seconds());
+            break;
+          }
           std::this_thread::sleep_for(std::chrono::milliseconds(5));
         }
       }
-      names.push_back(spec.name);
+      if (admitted) names.push_back(spec.name);
     }
   }
 
@@ -679,6 +775,7 @@ int cmd_serve(const Options& o) {
                 out.job_class.c_str(), out.queue_wait_seconds,
                 out.run_seconds, out.attempts,
                 out.resumed ? " resumed" : "");
+    if (out.preemptions > 0) std::printf(" preemptions=%u", out.preemptions);
     if (out.state != service::JobState::kCompleted) {
       std::printf(" [%s: %s]", out.error_type.c_str(), out.error.c_str());
       ++failed;
